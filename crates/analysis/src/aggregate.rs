@@ -1,0 +1,382 @@
+//! CTM aggregation (§IV-C3, equations 4–10): in-lines callee CTMs into
+//! caller CTMs in reverse topological order of the call graph, producing the
+//! program call transition matrix (pCTM).
+//!
+//! The four cases of Fig. 6:
+//!
+//! 1. a caller call preceding the callee: `P_m[a][k] += P_m[a][f] ·
+//!    P_f[ε][k]` (eqs. 4–5);
+//! 2. a caller call following the callee: `P_m[k][b] += P_f[k][ε′] ·
+//!    P_m[f][b]` (eqs. 6–7);
+//! 3. a call pair inside the callee: `P_m[k][l] += (Σ_a P_m[a][f]) ·
+//!    P_f[k][l]` (eqs. 8–9 — the paper's trailing `P_{f,m_i}` factor is a
+//!    typo: keeping it would break the flow-conservation property the paper
+//!    itself states for the pCTM, so we drop it);
+//! 4. a call-free path through the callee: `P_m[a][b] += P_m[a][f] ·
+//!    P_f[ε][ε′] · P_m[f][b]` (eq. 10, applied for any callee with
+//!    pass-through mass, which subsumes the "callee makes no calls" case).
+//!
+//! After in-lining, the callee's row and column are removed. The final
+//! matrix for `main` is the pCTM; its invariants (ε row sums to 1, ε′
+//! column sums to 1, per-call flow conservation) are checked by tests.
+
+use crate::callgraph::CallGraph;
+use crate::ctm::{CallLabel, Ctm};
+use std::collections::HashMap;
+
+/// In-lines `callee_ctm` (already fully aggregated) into `caller` at the
+/// user label `f`.
+///
+/// The computation works in *expectation space*: a pCTM entry is the
+/// expected number of times the pair occurs per program run. With
+/// `α` = expected invocations of `f`, `e_k`/`x_k` the callee's per-
+/// invocation entry/exit flows, `p0` its call-free (silent) mass, and `q`
+/// the conditional successor distribution after an invocation
+/// (`q_y = P_m[f][y]/α`, including the self-successor `q_f` when two `f`
+/// call sites are adjacent), the elimination sums the geometric series of
+/// consecutive *silent* invocations, `r = 1 / (1 − q_f·p0)`:
+///
+/// * caller → first call:      `P[x][k] += I_x · r · e_k`          (eqs. 4–5)
+/// * pairs inside f:           `P[k][l] += α · P^f[k][l]`          (eqs. 8–9,
+///   the paper's trailing `P_{f,m_i}` factor is a typo — keeping it breaks
+///   the flow-conservation property the paper itself states)
+/// * adjacent invocations:     `P[k][l] += α · x_k · q_f · r · e_l`
+/// * last call → caller:       `P[k][y] += α · x_k · r · q_y`      (eqs. 6–7)
+/// * silent pass-through:      `P[x][y] += I_x · p0 · r · q_y`     (eq. 10,
+///   with the conditional `q_y` replacing the paper's absolute
+///   `P_m[f][b]`, which double-counts invocation mass when α ≠ 1)
+///
+/// Flow is conserved exactly; for callees invoked from several merged
+/// sites the label-level representation remains an approximation of
+/// higher-order correlations (see `tests/montecarlo.rs`).
+pub fn inline_callee(caller: &mut Ctm, f: &CallLabel, callee_ctm: &Ctm) {
+    let Some(fi) = caller.index_of(f) else {
+        return;
+    };
+
+    // Snapshot the caller's flows at f.
+    let caller_labels: Vec<CallLabel> = caller.labels().to_vec();
+    let incoming: Vec<(CallLabel, f64)> = caller_labels
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != fi)
+        .map(|(i, l)| (l.clone(), caller.at(i, fi)))
+        .filter(|(_, p)| *p > 0.0)
+        .collect();
+    let outgoing: Vec<(CallLabel, f64)> = caller_labels
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != fi)
+        .map(|(j, l)| (l.clone(), caller.at(fi, j)))
+        .filter(|(_, p)| *p > 0.0)
+        .collect();
+    let self_mass = caller.at(fi, fi);
+    let alpha: f64 = incoming.iter().map(|(_, p)| p).sum::<f64>() + self_mass;
+    if alpha <= 0.0 {
+        caller.remove(f);
+        return;
+    }
+
+    let callee_labels: Vec<CallLabel> = callee_ctm.labels().to_vec();
+    let p0 = callee_ctm.get(&CallLabel::Entry, &CallLabel::Exit);
+    let q_f = self_mass / alpha;
+    let denom = 1.0 - q_f * p0;
+    // Degenerate: f always silent and always followed by f — an infinite
+    // silent loop carries no observable mass.
+    let r = if denom > 1e-12 { 1.0 / denom } else { 0.0 };
+
+    // Silent pass-through: x → (silent f)+ → y.
+    if p0 > 0.0 {
+        for (x, ix) in &incoming {
+            for (y, oy) in &outgoing {
+                let q_y = oy / alpha;
+                caller.add(x.clone(), y.clone(), ix * p0 * r * q_y);
+            }
+        }
+    }
+
+    for k in &callee_labels {
+        if k.is_virtual() {
+            continue;
+        }
+        let e_k = callee_ctm.get(&CallLabel::Entry, k);
+        let x_k = callee_ctm.get(k, &CallLabel::Exit);
+        // Caller → f's first calls (through any number of silent
+        // invocations first).
+        if e_k > 0.0 {
+            for (x, ix) in &incoming {
+                caller.add(x.clone(), k.clone(), ix * r * e_k);
+            }
+        }
+        if x_k > 0.0 {
+            // f's last calls → the caller's successors.
+            for (y, oy) in &outgoing {
+                let q_y = oy / alpha;
+                caller.add(k.clone(), y.clone(), alpha * x_k * r * q_y);
+            }
+            // f's last calls → the next invocation's first calls.
+            if q_f > 0.0 {
+                for l in &callee_labels {
+                    if l.is_virtual() {
+                        continue;
+                    }
+                    let e_l = callee_ctm.get(&CallLabel::Entry, l);
+                    if e_l > 0.0 {
+                        caller.add(k.clone(), l.clone(), alpha * x_k * q_f * r * e_l);
+                    }
+                }
+            }
+        }
+        // Pairs inside one invocation.
+        for l in &callee_labels {
+            if l.is_virtual() {
+                continue;
+            }
+            let p_kl = callee_ctm.get(k, l);
+            if p_kl > 0.0 {
+                caller.add(k.clone(), l.clone(), alpha * p_kl);
+            }
+        }
+    }
+
+    caller.remove(f);
+}
+
+/// Aggregates all function CTMs into the pCTM of `main`.
+///
+/// `ctms` maps function names to their standalone CTMs (from
+/// [`build_ctm`](crate::ctm::build_ctm)). Functions are processed callees
+/// first per the call graph's reverse topological order; user labels whose
+/// target has no CTM (undefined functions) are treated as transparent.
+pub fn aggregate_program(cg: &CallGraph, ctms: &HashMap<String, Ctm>) -> Ctm {
+    let mut done: HashMap<String, Ctm> = HashMap::new();
+    for fid in cg.reverse_topological() {
+        let fname = &cg.functions[fid];
+        let Some(base) = ctms.get(fname) else {
+            continue;
+        };
+        let mut ctm = base.clone();
+        // Inline every user label. Callees processed earlier are in `done`;
+        // same-SCC callees were already skipped at CFG construction, and
+        // unknown callees are dropped as transparent no-ops.
+        for label in ctm.user_labels() {
+            let CallLabel::User(callee_name) = &label else {
+                unreachable!("user_labels returns only User labels");
+            };
+            match done.get(callee_name) {
+                Some(callee_ctm) => {
+                    let callee_ctm = callee_ctm.clone();
+                    inline_callee(&mut ctm, &label, &callee_ctm);
+                }
+                None => {
+                    // Transparent: behave as a callee whose ε→ε′ mass is 1.
+                    let mut identity = Ctm::new();
+                    identity.set(CallLabel::Entry, CallLabel::Exit, 1.0);
+                    inline_callee(&mut ctm, &label, &identity);
+                }
+            }
+        }
+        done.insert(fname.clone(), ctm);
+    }
+    done.remove("main").unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfg;
+    use crate::ctm::build_ctm;
+    use crate::forecast::forecast;
+    use adprom_lang::{parse_program, Program};
+
+    fn pctm_of(src: &str) -> Ctm {
+        let prog: Program = parse_program(src).unwrap();
+        let cg = CallGraph::build(&prog);
+        let mut ctms = HashMap::new();
+        for f in &prog.functions {
+            let skip = cg.recursive_callees(&f.name);
+            let cfg = build_cfg(f, &skip);
+            let fore = forecast(&cfg);
+            ctms.insert(f.name.clone(), build_ctm(&cfg, &fore, &HashMap::new()));
+        }
+        aggregate_program(&cg, &ctms)
+    }
+
+    fn lib(name: &str) -> CallLabel {
+        CallLabel::Lib(name.to_string())
+    }
+
+    fn assert_pctm_properties(ctm: &Ctm) {
+        assert!(
+            (ctm.entry_row_sum() - 1.0).abs() < 1e-9,
+            "entry row sums to 1, got {}",
+            ctm.entry_row_sum()
+        );
+        assert!(
+            (ctm.exit_col_sum() - 1.0).abs() < 1e-9,
+            "exit col sums to 1, got {}",
+            ctm.exit_col_sum()
+        );
+        for l in ctm.labels().to_vec() {
+            if !l.is_virtual() {
+                assert!(
+                    ctm.flow_imbalance(&l) < 1e-9,
+                    "flow conserved at {l}: imbalance {}",
+                    ctm.flow_imbalance(&l)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inline_simple_callee() {
+        // main: puts; helper; printf — helper: putchar
+        let ctm = pctm_of(
+            "fn main() { puts(\"a\"); helper(); printf(\"b\"); }\nfn helper() { putchar(1); }",
+        );
+        assert!(ctm.user_labels().is_empty(), "no user labels remain");
+        assert!((ctm.get(&lib("puts"), &lib("putchar")) - 1.0).abs() < 1e-12);
+        assert!((ctm.get(&lib("putchar"), &lib("printf")) - 1.0).abs() < 1e-12);
+        assert_eq!(ctm.get(&lib("puts"), &lib("printf")), 0.0);
+        assert_pctm_properties(&ctm);
+    }
+
+    #[test]
+    fn inline_empty_callee_is_transparent() {
+        // Case 4: helper makes no calls, so puts→printf survives through it.
+        let ctm =
+            pctm_of("fn main() { puts(\"a\"); helper(); printf(\"b\"); }\nfn helper() { let x = 1; }");
+        assert!((ctm.get(&lib("puts"), &lib("printf")) - 1.0).abs() < 1e-12);
+        assert_pctm_properties(&ctm);
+    }
+
+    #[test]
+    fn callee_with_branch_splits_mass() {
+        let ctm = pctm_of(
+            r#"
+            fn main() { puts("pre"); helper(); puts("post"); }
+            fn helper() { if (x) { printf("t"); } }
+            "#,
+        );
+        // helper prints with probability 1/2, passes through with 1/2.
+        assert!((ctm.get(&lib("puts"), &lib("printf")) - 0.5).abs() < 1e-12);
+        assert!((ctm.get(&lib("printf"), &lib("puts")) - 0.5).abs() < 1e-12);
+        assert!((ctm.get(&lib("puts"), &lib("puts")) - 0.5).abs() < 1e-12);
+        assert_pctm_properties(&ctm);
+    }
+
+    #[test]
+    fn two_level_inlining() {
+        let ctm = pctm_of(
+            r#"
+            fn main() { a(); }
+            fn a() { puts("in a"); b(); }
+            fn b() { printf("in b"); }
+            "#,
+        );
+        assert!((ctm.get(&CallLabel::Entry, &lib("puts")) - 1.0).abs() < 1e-12);
+        assert!((ctm.get(&lib("puts"), &lib("printf")) - 1.0).abs() < 1e-12);
+        assert!((ctm.get(&lib("printf"), &CallLabel::Exit) - 1.0).abs() < 1e-12);
+        assert_pctm_properties(&ctm);
+    }
+
+    #[test]
+    fn callee_called_from_two_sites_accumulates() {
+        let ctm = pctm_of(
+            r#"
+            fn main() {
+                if (x) { puts("l"); helper(); } else { printf("r"); helper(); }
+            }
+            fn helper() { putchar(1); }
+            "#,
+        );
+        // putchar reached from both branches with 1/2 each.
+        assert!((ctm.get(&lib("puts"), &lib("putchar")) - 0.5).abs() < 1e-12);
+        assert!((ctm.get(&lib("printf"), &lib("putchar")) - 0.5).abs() < 1e-12);
+        assert!((ctm.get(&lib("putchar"), &CallLabel::Exit) - 1.0).abs() < 1e-12);
+        assert_pctm_properties(&ctm);
+    }
+
+    #[test]
+    fn conditionally_called_callee_conserves_flow() {
+        // f is invoked with probability 1/2 (α < 1): this is the case where
+        // the paper's eq. 10 as printed loses mass. With the α correction,
+        // the invariants must still hold, including a call-free pass-through
+        // path inside f.
+        let ctm = pctm_of(
+            r#"
+            fn main() {
+                puts("always");
+                if (x) { f(); }
+                printf("after");
+            }
+            fn f() {
+                if (y) { putchar(1); }
+            }
+            "#,
+        );
+        assert_pctm_properties(&ctm);
+        // puts → printf survives both via the untaken branch (1/2) and via
+        // f's silent path (1/2 · 1/2): total 3/4.
+        assert!((ctm.get(&lib("puts"), &lib("printf")) - 0.75).abs() < 1e-12);
+        assert!((ctm.get(&lib("puts"), &lib("putchar")) - 0.25).abs() < 1e-12);
+        assert!((ctm.get(&lib("putchar"), &lib("printf")) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recursion_is_transparent() {
+        let ctm = pctm_of(
+            r#"
+            fn main() { puts("pre"); rec(3); puts("post"); }
+            fn rec(n) { if (n > 0) { printf("step"); rec(n - 1); } }
+            "#,
+        );
+        // rec's self-call was skipped; its printf still shows up.
+        assert!(ctm.get(&lib("puts"), &lib("printf")) > 0.0);
+        assert_pctm_properties(&ctm);
+    }
+
+    #[test]
+    fn paper_style_main_f_example() {
+        // Structure of the paper's Fig. 3: main prints or queries and calls
+        // f(); f() prints (one labeled). CTM invariants and the qualitative
+        // entries of Tables I–II are checked.
+        let ctm = pctm_of(
+            r#"
+            fn main() {
+                if (a) {
+                    printf("menu");
+                } else {
+                    printf("query path");
+                    PQexec(c, "SELECT * FROM t");
+                    f(1);
+                }
+            }
+            fn f(n) {
+                if (n > 1) { printf("big"); } else { puts("small"); }
+            }
+            "#,
+        );
+        // PQexec is never first: some printf precedes it.
+        assert_eq!(ctm.get(&CallLabel::Entry, &lib("PQexec")), 0.0);
+        // After PQexec control flows into f's calls only.
+        assert!(ctm.get(&lib("PQexec"), &lib("printf")) > 0.0);
+        assert!(ctm.get(&lib("PQexec"), &lib("puts")) > 0.0);
+        assert_eq!(ctm.get(&lib("PQexec"), &CallLabel::Exit), 0.0);
+        assert_pctm_properties(&ctm);
+    }
+
+    #[test]
+    fn deep_chain_properties_hold() {
+        let ctm = pctm_of(
+            r#"
+            fn main() { l1(); }
+            fn l1() { if (a) { puts("1"); } l2(); }
+            fn l2() { while (b) { printf("2"); } l3(); }
+            fn l3() { if (c) { putchar(3); } else { fputs("3", f); } }
+            "#,
+        );
+        assert!(ctm.user_labels().is_empty());
+        assert_pctm_properties(&ctm);
+    }
+}

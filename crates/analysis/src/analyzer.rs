@@ -1,0 +1,265 @@
+//! The Analyzer (§IV-B1): orchestrates the whole static phase.
+//!
+//! Given a program it produces everything the Profile Constructor needs:
+//! call graph, per-function CFGs, the DDG with labeled output sites, the
+//! per-function CTMs and the aggregated pCTM — plus wall-clock timings for
+//! each step (Table VIII).
+
+use crate::aggregate::aggregate_program;
+use crate::callgraph::CallGraph;
+use crate::cfg::{build_cfg, Cfg};
+use crate::ctm::{build_ctm, Ctm};
+use crate::ddg::{analyze_ddg, Ddg};
+use crate::forecast::{forecast, Forecast};
+use adprom_lang::{Callee, CallSiteId, Program};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Wall-clock cost of each analysis step (Table VIII rows).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisTimings {
+    /// CFG construction (incl. call graph + DDG, the paper's "parsing").
+    pub build_cfg: Duration,
+    /// Probability estimation (conditional, reachability, transition).
+    pub probabilities: Duration,
+    /// Aggregation of all CTMs into the pCTM.
+    pub aggregation: Duration,
+}
+
+/// Everything the static phase produces.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The call graph.
+    pub cg: CallGraph,
+    /// Per-function CFGs, in program function order.
+    pub cfgs: Vec<Cfg>,
+    /// Per-function forecasts, parallel to `cfgs`.
+    pub forecasts: Vec<Forecast>,
+    /// The data-dependency analysis result.
+    pub ddg: Ddg,
+    /// Observation label of every library call site (DDG-labeled sites get
+    /// `name_Q<bid>`; `bid` is the global block id of the call's CFG node).
+    pub site_labels: HashMap<CallSiteId, String>,
+    /// Per-function CTMs keyed by function name.
+    pub ctms: HashMap<String, Ctm>,
+    /// The aggregated program CTM.
+    pub pctm: Ctm,
+    /// Step timings.
+    pub timings: AnalysisTimings,
+}
+
+impl Analysis {
+    /// Observation name for a call site; falls back to the raw callee name
+    /// for user calls (which never reach the collector).
+    pub fn label_of(&self, site: CallSiteId) -> Option<&str> {
+        self.site_labels.get(&site).map(String::as_str)
+    }
+
+    /// Distinct observation labels (the HMM alphabet candidates from the
+    /// static phase), sorted.
+    pub fn observation_labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = self
+            .pctm
+            .labels()
+            .iter()
+            .filter(|l| !l.is_virtual())
+            .map(|l| l.name().to_string())
+            .collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+}
+
+/// Runs the full static analysis of a program.
+pub fn analyze(prog: &Program) -> Analysis {
+    // --- step 1: call graph, CFGs, DDG, site labels ---
+    let t0 = Instant::now();
+    let cg = CallGraph::build(prog);
+    let mut cfgs = Vec::with_capacity(prog.functions.len());
+    for f in &prog.functions {
+        let skip = cg.recursive_callees(&f.name);
+        cfgs.push(build_cfg(f, &skip));
+    }
+    let ddg = analyze_ddg(prog);
+    let site_labels = label_sites(&cfgs, &ddg);
+    let build_cfg_time = t0.elapsed();
+
+    // --- step 2: probability estimation (forecast + CTMs) ---
+    let t1 = Instant::now();
+    let forecasts: Vec<Forecast> = cfgs.iter().map(forecast).collect();
+    let mut ctms = HashMap::with_capacity(cfgs.len());
+    for (cfg, fore) in cfgs.iter().zip(&forecasts) {
+        ctms.insert(cfg.func.clone(), build_ctm(cfg, fore, &site_labels));
+    }
+    let probabilities_time = t1.elapsed();
+
+    // --- step 3: aggregation ---
+    let t2 = Instant::now();
+    let pctm = aggregate_program(&cg, &ctms);
+    let aggregation_time = t2.elapsed();
+
+    Analysis {
+        cg,
+        cfgs,
+        forecasts,
+        ddg,
+        site_labels,
+        ctms,
+        pctm,
+        timings: AnalysisTimings {
+            build_cfg: build_cfg_time,
+            probabilities: probabilities_time,
+            aggregation: aggregation_time,
+        },
+    }
+}
+
+/// Assigns observation labels to every library call site. Block ids are
+/// global across the program (function CFGs numbered in declaration order),
+/// so an inserted statement shifts the ids after it — which is exactly how
+/// AD-PROM distinguishes a reused `printf` from the original one (Fig. 9).
+fn label_sites(cfgs: &[Cfg], ddg: &Ddg) -> HashMap<CallSiteId, String> {
+    let mut labels = HashMap::new();
+    let mut offset = 0usize;
+    for cfg in cfgs {
+        for node in cfg.call_nodes() {
+            let call = node.call.as_ref().expect("call node has a call");
+            if let Callee::Library(lc) = &call.callee {
+                let bid = offset + node.id;
+                let name = if ddg.is_labeled(call.site) {
+                    format!("{}_Q{}", lc.name(), bid)
+                } else {
+                    lc.name().to_string()
+                };
+                labels.insert(call.site, name);
+            }
+        }
+        offset += cfg.nodes.len();
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctm::CallLabel;
+    use adprom_lang::parse_program;
+
+    const FIG1: &str = r#"
+        fn main() {
+            let query = "SELECT * FROM items WHERE ID = 10";
+            let result = PQexec(conn, query);
+            let rows = PQntuples(result);
+            for (let r = 0; r < rows; r = r + 1) {
+                printf("%s", PQgetvalue(result, r, 0));
+            }
+        }
+    "#;
+
+    #[test]
+    fn fig1_analysis_labels_leaking_printf() {
+        let prog = parse_program(FIG1).unwrap();
+        let analysis = analyze(&prog);
+        let labeled: Vec<&str> = analysis
+            .site_labels
+            .values()
+            .filter(|l| l.contains("_Q"))
+            .map(String::as_str)
+            .collect();
+        assert_eq!(labeled.len(), 1);
+        assert!(labeled[0].starts_with("printf_Q"));
+        // The labeled printf appears in the pCTM alphabet.
+        let obs = analysis.observation_labels();
+        assert!(obs.iter().any(|l| l.starts_with("printf_Q")), "{obs:?}");
+    }
+
+    #[test]
+    fn pctm_properties_after_full_analysis() {
+        let prog = parse_program(
+            r#"
+            fn main() {
+                printf("menu");
+                let c = scanf();
+                if (c == 1) { list(); } else { puts("bye"); }
+            }
+            fn list() {
+                let r = PQexec(conn, "SELECT * FROM t");
+                let n = PQntuples(r);
+                for (let i = 0; i < n; i = i + 1) {
+                    printf("%s", PQgetvalue(r, i, 0));
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let analysis = analyze(&prog);
+        let pctm = &analysis.pctm;
+        assert!((pctm.entry_row_sum() - 1.0).abs() < 1e-9);
+        assert!((pctm.exit_col_sum() - 1.0).abs() < 1e-9);
+        for l in pctm.labels().to_vec() {
+            if !l.is_virtual() {
+                assert!(pctm.flow_imbalance(&l) < 1e-9, "at {l}");
+            }
+        }
+        assert!(pctm.user_labels().is_empty());
+    }
+
+    #[test]
+    fn block_ids_shift_when_code_inserted() {
+        // Fig. 9: reusing a print in a *different block* must yield a
+        // different label.
+        let original = r#"
+            fn main() {
+                let v = PQgetvalue(r, 0, 0);
+                if (x) { printf("%s", v); }
+                printf("static");
+            }
+        "#;
+        let modified = r#"
+            fn main() {
+                let v = PQgetvalue(r, 0, 0);
+                if (x) { printf("%s", v); } else { printf("%s", v); }
+                printf("static");
+            }
+        "#;
+        let a1 = analyze(&parse_program(original).unwrap());
+        let a2 = analyze(&parse_program(modified).unwrap());
+        let labels1: Vec<String> = a1
+            .site_labels
+            .values()
+            .filter(|l| l.contains("_Q"))
+            .cloned()
+            .collect();
+        let labels2: Vec<String> = a2
+            .site_labels
+            .values()
+            .filter(|l| l.contains("_Q"))
+            .cloned()
+            .collect();
+        assert_eq!(labels1.len(), 1);
+        assert_eq!(labels2.len(), 2);
+        // The new site's label differs from the original's.
+        let new_labels: Vec<&String> =
+            labels2.iter().filter(|l| !labels1.contains(l)).collect();
+        assert!(!new_labels.is_empty());
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let prog = parse_program(FIG1).unwrap();
+        let analysis = analyze(&prog);
+        // Durations exist (may be tiny but the fields are real measurements).
+        assert!(analysis.timings.build_cfg.as_nanos() > 0);
+        assert!(analysis.timings.probabilities.as_nanos() > 0);
+        assert!(analysis.timings.aggregation.as_nanos() > 0);
+    }
+
+    #[test]
+    fn entry_label_present_in_pctm() {
+        let prog = parse_program("fn main() { puts(\"x\"); }").unwrap();
+        let analysis = analyze(&prog);
+        assert!(analysis.pctm.index_of(&CallLabel::Entry).is_some());
+        assert!(analysis.pctm.index_of(&CallLabel::Exit).is_some());
+    }
+}

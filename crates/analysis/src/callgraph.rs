@@ -1,0 +1,209 @@
+//! Call graph (CG) construction and ordering.
+//!
+//! The aggregation step in-lines callee CTMs into caller CTMs in *reverse
+//! topological order* of the CG (§IV-C3). Recursive edges (self loops and
+//! strongly-connected components) are broken: the paper leaves loops and
+//! recursion to the dynamic phase, so recursive call edges are treated as
+//! transparent at static-analysis time.
+
+use adprom_lang::{Callee, Program};
+use std::collections::HashMap;
+
+/// The call graph of a program.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Function names, indexed by function id.
+    pub functions: Vec<String>,
+    /// `callees[i]` = ids of functions called by function `i` (deduplicated,
+    /// in first-call order).
+    pub callees: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the CG from a program. Calls to undefined functions are
+    /// ignored (the validator reports them separately).
+    pub fn build(prog: &Program) -> CallGraph {
+        let functions: Vec<String> = prog.functions.iter().map(|f| f.name.clone()).collect();
+        let index: HashMap<&str, usize> = functions
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        let mut callees = vec![Vec::new(); functions.len()];
+        prog.for_each_call(|_, callee, caller| {
+            if let Callee::User(name) = callee {
+                if let (Some(&ci), Some(&fi)) =
+                    (index.get(caller), index.get(name.as_str()))
+                {
+                    if !callees[ci].contains(&fi) {
+                        callees[ci].push(fi);
+                    }
+                }
+            }
+        });
+        CallGraph { functions, callees }
+    }
+
+    /// Function id by name.
+    pub fn id_of(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f == name)
+    }
+
+    /// Strongly connected components (Tarjan). Returns `scc_of[f]` — the
+    /// component id of each function. Components are numbered in reverse
+    /// topological order of the condensation (callees get lower ids).
+    pub fn sccs(&self) -> Vec<usize> {
+        // Iterative Tarjan to survive deep graphs.
+        let n = self.functions.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut scc_of = vec![usize::MAX; n];
+        let mut next_index = 0usize;
+        let mut next_scc = 0usize;
+
+        #[derive(Clone)]
+        struct Frame {
+            v: usize,
+            child: usize,
+        }
+
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut call_stack = vec![Frame { v: root, child: 0 }];
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+
+            while let Some(frame) = call_stack.last().cloned() {
+                let v = frame.v;
+                if frame.child < self.callees[v].len() {
+                    let w = self.callees[v][frame.child];
+                    call_stack.last_mut().expect("frame present").child += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call_stack.push(Frame { v: w, child: 0 });
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    call_stack.pop();
+                    if let Some(parent) = call_stack.last() {
+                        let p = parent.v;
+                        low[p] = low[p].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        loop {
+                            let w = stack.pop().expect("stack non-empty in SCC pop");
+                            on_stack[w] = false;
+                            scc_of[w] = next_scc;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        next_scc += 1;
+                    }
+                }
+            }
+        }
+        scc_of
+    }
+
+    /// Names of callees that are *recursive* with respect to `func`: callees
+    /// in the same SCC, or `func` itself. CFG construction skips these call
+    /// sites.
+    pub fn recursive_callees(&self, func: &str) -> Vec<String> {
+        let Some(fi) = self.id_of(func) else {
+            return Vec::new();
+        };
+        let scc = self.sccs();
+        self.callees[fi]
+            .iter()
+            .filter(|&&c| scc[c] == scc[fi])
+            .map(|&c| self.functions[c].clone())
+            .collect()
+    }
+
+    /// Functions in reverse topological order (callees before callers),
+    /// suitable as the aggregation order. Cycles are broken via SCCs:
+    /// members of one SCC appear consecutively in arbitrary internal order.
+    pub fn reverse_topological(&self) -> Vec<usize> {
+        let scc = self.sccs();
+        // Tarjan numbered SCCs in reverse topological order of the
+        // condensation already; sort functions by SCC id ascending.
+        let mut order: Vec<usize> = (0..self.functions.len()).collect();
+        order.sort_by_key(|&f| scc[f]);
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adprom_lang::parse_program;
+
+    #[test]
+    fn builds_simple_cg() {
+        let prog = parse_program(
+            "fn main() { a(); b(); }\nfn a() { b(); }\nfn b() { puts(\"x\"); }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&prog);
+        let main = cg.id_of("main").unwrap();
+        let a = cg.id_of("a").unwrap();
+        let b = cg.id_of("b").unwrap();
+        assert_eq!(cg.callees[main], vec![a, b]);
+        assert_eq!(cg.callees[a], vec![b]);
+        assert!(cg.callees[b].is_empty());
+    }
+
+    #[test]
+    fn reverse_topo_puts_callees_first() {
+        let prog = parse_program(
+            "fn main() { a(); }\nfn a() { b(); }\nfn b() { }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&prog);
+        let order = cg.reverse_topological();
+        let pos = |name: &str| {
+            order
+                .iter()
+                .position(|&f| cg.functions[f] == name)
+                .unwrap()
+        };
+        assert!(pos("b") < pos("a"));
+        assert!(pos("a") < pos("main"));
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let prog = parse_program("fn main() { rec(1); }\nfn rec(x) { rec(x); }").unwrap();
+        let cg = CallGraph::build(&prog);
+        assert_eq!(cg.recursive_callees("rec"), vec!["rec".to_string()]);
+        assert!(cg.recursive_callees("main").is_empty());
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let prog = parse_program(
+            "fn main() { a(); }\nfn a() { b(); }\nfn b() { a(); }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&prog);
+        assert_eq!(cg.recursive_callees("a"), vec!["b".to_string()]);
+        assert_eq!(cg.recursive_callees("b"), vec!["a".to_string()]);
+        // main is outside the cycle.
+        assert!(cg.recursive_callees("main").is_empty());
+        // Aggregation order still covers everyone.
+        assert_eq!(cg.reverse_topological().len(), 3);
+    }
+}

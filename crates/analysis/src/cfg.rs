@@ -1,0 +1,392 @@
+//! Control-flow graph construction (§IV-A of the paper).
+//!
+//! Each function lowers to a directed graph whose nodes are code blocks and
+//! whose edges are control flow. Two conventions matter for the probability
+//! forecast:
+//!
+//! * **At most one call per node.** Blocks are split at call sites (calls
+//!   inside one expression are linearized in evaluation order), which keeps
+//!   the path product of eq. 3 well-defined.
+//! * **The graph is acyclic.** Per §IV-C1 the static analysis "does not
+//!   handle loops and recursions as each node is visited once": loop back
+//!   edges are redirected to the loop exit, so a `while` body is modelled as
+//!   executing at most once; iteration counts are learned dynamically by the
+//!   HMM.
+//!
+//! Node 0 is the virtual entry ε and node 1 the virtual exit ε′.
+
+use adprom_lang::{Callee, CallSiteId, Expr, Function, Stmt};
+
+/// Index of a CFG node.
+pub type NodeId = usize;
+
+/// Virtual entry node id (ε).
+pub const ENTRY: NodeId = 0;
+/// Virtual exit node id (ε′).
+pub const EXIT: NodeId = 1;
+
+/// A call occurrence inside a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallRef {
+    /// The program-wide call-site id.
+    pub site: CallSiteId,
+    /// Library or user callee.
+    pub callee: Callee,
+}
+
+/// One CFG node (a code block making at most one call).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Node id == index into [`Cfg::nodes`].
+    pub id: NodeId,
+    /// The call made by this block, if any. Entry/exit make none.
+    pub call: Option<CallRef>,
+}
+
+/// The control-flow graph of one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cfg {
+    /// Function name.
+    pub func: String,
+    /// Nodes; index 0 is ε, index 1 is ε′.
+    pub nodes: Vec<Node>,
+    /// Successor lists, parallel to `nodes`.
+    pub succ: Vec<Vec<NodeId>>,
+}
+
+impl Cfg {
+    /// Predecessor lists (computed on demand).
+    pub fn predecessors(&self) -> Vec<Vec<NodeId>> {
+        let mut pred = vec![Vec::new(); self.nodes.len()];
+        for (from, succs) in self.succ.iter().enumerate() {
+            for &to in succs {
+                pred[to].push(from);
+            }
+        }
+        pred
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.succ[n].len()
+    }
+
+    /// Topological order over the (acyclic) graph, entry first. Unreachable
+    /// nodes appear after reachable ones; the forecast gives them zero
+    /// reachability.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        for succs in &self.succ {
+            for &t in succs {
+                indegree[t] += 1;
+            }
+        }
+        let mut queue: Vec<NodeId> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &w in &self.succ[v] {
+                indegree[w] -= 1;
+                if indegree[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "CFG must be acyclic");
+        order
+    }
+
+    /// The call nodes (those making a call), in node order.
+    pub fn call_nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.call.is_some())
+    }
+}
+
+/// Builds the CFG of a function.
+///
+/// `skip_recursive_callees` lists user functions whose call sites should not
+/// produce call nodes (recursion broken at static-analysis time; see the
+/// call-graph module).
+pub fn build_cfg(func: &Function, skip_recursive_callees: &[String]) -> Cfg {
+    let mut b = CfgBuilder {
+        cfg: Cfg {
+            func: func.name.clone(),
+            nodes: vec![Node { id: ENTRY, call: None }, Node { id: EXIT, call: None }],
+            succ: vec![Vec::new(), Vec::new()],
+        },
+        skip: skip_recursive_callees,
+    };
+    let end = b.lower_block(&func.body, ENTRY, &mut Vec::new());
+    if let Some(end) = end {
+        b.edge(end, EXIT);
+    }
+    b.cfg
+}
+
+struct CfgBuilder<'a> {
+    cfg: Cfg,
+    skip: &'a [String],
+}
+
+impl CfgBuilder<'_> {
+    fn new_node(&mut self, call: Option<CallRef>) -> NodeId {
+        let id = self.cfg.nodes.len();
+        self.cfg.nodes.push(Node { id, call });
+        self.cfg.succ.push(Vec::new());
+        id
+    }
+
+    fn edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.cfg.succ[from].contains(&to) {
+            self.cfg.succ[from].push(to);
+        }
+    }
+
+    /// Lowers the calls inside `expr` (evaluation order: arguments before
+    /// the call itself), chaining nodes after `cur`. Returns the new tail.
+    fn lower_expr_calls(&mut self, expr: &Expr, mut cur: NodeId) -> NodeId {
+        match expr {
+            Expr::Binary(_, a, b) | Expr::Index(a, b) => {
+                cur = self.lower_expr_calls(a, cur);
+                self.lower_expr_calls(b, cur)
+            }
+            Expr::Unary(_, a) => self.lower_expr_calls(a, cur),
+            Expr::Call {
+                site,
+                callee,
+                args,
+                ..
+            } => {
+                for a in args {
+                    cur = self.lower_expr_calls(a, cur);
+                }
+                let skipped = matches!(callee, Callee::User(name) if self.skip.contains(name));
+                if skipped {
+                    cur
+                } else {
+                    let node = self.new_node(Some(CallRef {
+                        site: *site,
+                        callee: callee.clone(),
+                    }));
+                    self.edge(cur, node);
+                    node
+                }
+            }
+            _ => cur,
+        }
+    }
+
+    /// Lowers a statement list starting after node `cur`. Returns the tail
+    /// node of the fallthrough path, or `None` if control cannot fall
+    /// through (return/break/continue). `loop_exits` is the stack of
+    /// innermost-loop exit nodes for break/continue redirection.
+    fn lower_block(
+        &mut self,
+        stmts: &[Stmt],
+        mut cur: NodeId,
+        loop_exits: &mut Vec<NodeId>,
+    ) -> Option<NodeId> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Let(_, e) | Stmt::Assign(_, e) | Stmt::Expr(e) => {
+                    cur = self.lower_expr_calls(e, cur);
+                }
+                Stmt::Return(e) => {
+                    if let Some(e) = e {
+                        cur = self.lower_expr_calls(e, cur);
+                    }
+                    self.edge(cur, EXIT);
+                    return None;
+                }
+                Stmt::Break | Stmt::Continue => {
+                    // Back edges are redirected to the loop exit (§IV-C1);
+                    // `continue` statically behaves the same way.
+                    if let Some(&exit) = loop_exits.last() {
+                        self.edge(cur, exit);
+                    } else {
+                        self.edge(cur, EXIT);
+                    }
+                    return None;
+                }
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    cur = self.lower_expr_calls(cond, cur);
+                    // Branch point: a fresh no-call node with two successors
+                    // so the conditional probability is 1/2 (eq. 1).
+                    let branch = self.new_node(None);
+                    self.edge(cur, branch);
+                    let join = self.new_node(None);
+
+                    let then_entry = self.new_node(None);
+                    self.edge(branch, then_entry);
+                    if let Some(t_end) = self.lower_block(then_branch, then_entry, loop_exits) {
+                        self.edge(t_end, join);
+                    }
+
+                    let else_entry = self.new_node(None);
+                    self.edge(branch, else_entry);
+                    if let Some(e_end) = self.lower_block(else_branch, else_entry, loop_exits) {
+                        self.edge(e_end, join);
+                    }
+                    cur = join;
+                }
+                Stmt::While { cond, body } => {
+                    cur = self.lower_expr_calls(cond, cur);
+                    let branch = self.new_node(None);
+                    self.edge(cur, branch);
+                    let after = self.new_node(None);
+                    let body_entry = self.new_node(None);
+                    self.edge(branch, body_entry);
+                    self.edge(branch, after);
+                    loop_exits.push(after);
+                    if let Some(b_end) = self.lower_block(body, body_entry, loop_exits) {
+                        // Back edge redirected to the loop exit.
+                        self.edge(b_end, after);
+                    }
+                    loop_exits.pop();
+                    cur = after;
+                }
+                Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                } => {
+                    if let Some(c) =
+                        self.lower_block(std::slice::from_ref(init.as_ref()), cur, loop_exits)
+                    {
+                        cur = c;
+                    } else {
+                        return None;
+                    }
+                    cur = self.lower_expr_calls(cond, cur);
+                    let branch = self.new_node(None);
+                    self.edge(cur, branch);
+                    let after = self.new_node(None);
+                    let body_entry = self.new_node(None);
+                    self.edge(branch, body_entry);
+                    self.edge(branch, after);
+                    loop_exits.push(after);
+                    if let Some(b_end) = self.lower_block(body, body_entry, loop_exits) {
+                        let s_end =
+                            self.lower_block(std::slice::from_ref(step.as_ref()), b_end, loop_exits);
+                        if let Some(s_end) = s_end {
+                            self.edge(s_end, after);
+                        }
+                    }
+                    loop_exits.pop();
+                    cur = after;
+                }
+            }
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adprom_lang::parse_program;
+
+    fn cfg_of(src: &str, func: &str) -> Cfg {
+        let prog = parse_program(src).unwrap();
+        build_cfg(prog.function(func).unwrap(), &[])
+    }
+
+    #[test]
+    fn straight_line_chains_calls() {
+        let cfg = cfg_of("fn main() { puts(\"a\"); puts(\"b\"); }", "main");
+        let calls: Vec<_> = cfg.call_nodes().collect();
+        assert_eq!(calls.len(), 2);
+        // entry -> c1 -> c2 -> exit
+        assert_eq!(cfg.succ[ENTRY], vec![calls[0].id]);
+        assert_eq!(cfg.succ[calls[0].id], vec![calls[1].id]);
+        assert_eq!(cfg.succ[calls[1].id], vec![EXIT]);
+    }
+
+    #[test]
+    fn nested_call_linearized_before_outer() {
+        // printf("%s", PQgetvalue(..)) must produce PQgetvalue -> printf.
+        let cfg = cfg_of(
+            "fn main() { printf(\"%s\", PQgetvalue(r, 0, 0)); }",
+            "main",
+        );
+        let calls: Vec<_> = cfg.call_nodes().collect();
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0].call.as_ref().unwrap().callee.name(), "PQgetvalue");
+        assert_eq!(calls[1].call.as_ref().unwrap().callee.name(), "printf");
+        assert_eq!(cfg.succ[calls[0].id], vec![calls[1].id]);
+    }
+
+    #[test]
+    fn if_creates_branch_with_two_successors() {
+        let cfg = cfg_of(
+            "fn main() { if (x > 0) { puts(\"a\"); } else { puts(\"b\"); } }",
+            "main",
+        );
+        // Find the node with out-degree 2.
+        let branches: Vec<_> = (0..cfg.nodes.len())
+            .filter(|&i| cfg.out_degree(i) == 2)
+            .collect();
+        assert_eq!(branches.len(), 1);
+        let order = cfg.topo_order();
+        assert_eq!(order.len(), cfg.nodes.len());
+    }
+
+    #[test]
+    fn while_is_acyclic_after_redirect() {
+        let cfg = cfg_of(
+            "fn main() { let i = 0; while (i < 3) { puts(\"x\"); i = i + 1; } puts(\"done\"); }",
+            "main",
+        );
+        // topo_order would debug-panic on a cycle; also every node is present.
+        assert_eq!(cfg.topo_order().len(), cfg.nodes.len());
+        // The loop-body call node's flow reaches the after node, not back.
+        let calls: Vec<_> = cfg.call_nodes().collect();
+        assert_eq!(calls.len(), 2);
+    }
+
+    #[test]
+    fn return_connects_to_exit() {
+        let cfg = cfg_of(
+            "fn main() { if (x) { return; } puts(\"after\"); }",
+            "main",
+        );
+        assert_eq!(cfg.topo_order().len(), cfg.nodes.len());
+        let pred = cfg.predecessors();
+        assert!(!pred[EXIT].is_empty());
+    }
+
+    #[test]
+    fn break_targets_loop_exit() {
+        let cfg = cfg_of(
+            "fn main() { while (1) { if (x) { break; } puts(\"body\"); } puts(\"after\"); }",
+            "main",
+        );
+        assert_eq!(cfg.topo_order().len(), cfg.nodes.len());
+    }
+
+    #[test]
+    fn skip_recursive_callee_omits_node() {
+        let src = "fn main() { rec(1); }\nfn rec(x) { rec(x); }";
+        let prog = parse_program(src).unwrap();
+        let cfg = build_cfg(prog.function("rec").unwrap(), &["rec".to_string()]);
+        assert_eq!(cfg.call_nodes().count(), 0);
+        let cfg_main = build_cfg(prog.function("main").unwrap(), &[]);
+        assert_eq!(cfg_main.call_nodes().count(), 1);
+    }
+
+    #[test]
+    fn condition_calls_lowered_before_branch() {
+        let cfg = cfg_of(
+            "fn main() { if (strcmp(a, b) == 0) { puts(\"eq\"); } }",
+            "main",
+        );
+        let calls: Vec<_> = cfg.call_nodes().collect();
+        assert_eq!(calls[0].call.as_ref().unwrap().callee.name(), "strcmp");
+    }
+}

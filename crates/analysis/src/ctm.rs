@@ -1,0 +1,425 @@
+//! Call Transition Matrices (CTMs) — §IV-C2, equation 3.
+//!
+//! The CTM of a function records, for each ordered pair of calls `(c_i →
+//! c_j)`, the probability that `c_j` is the next call after `c_i`. Virtual
+//! entry ε and exit ε′ participate as pseudo-calls (Tables I–II of the
+//! paper). The transition probability from the call at node `n_x` to the
+//! call at node `n_y` is
+//!
+//! ```text
+//! P^t = P^r_x · Π_{k=x}^{y-1} P^c_{k,k+1}        (eq. 3)
+//! ```
+//!
+//! summed over every directed path from `n_x` to `n_y` whose intermediate
+//! nodes make no call (the paper's worked example is the single-path case).
+
+use crate::cfg::{Cfg, ENTRY, EXIT};
+use crate::forecast::Forecast;
+use adprom_lang::{Callee, CallSiteId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A label in the CTM alphabet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CallLabel {
+    /// Virtual entry ε.
+    Entry,
+    /// Virtual exit ε′.
+    Exit,
+    /// A library call, possibly DDG-decorated (`printf_Q6`).
+    Lib(String),
+    /// A call to a user-defined function (removed by aggregation).
+    User(String),
+}
+
+impl CallLabel {
+    /// Observation-alphabet name of the label.
+    pub fn name(&self) -> &str {
+        match self {
+            CallLabel::Entry => "ε",
+            CallLabel::Exit => "ε'",
+            CallLabel::Lib(s) | CallLabel::User(s) => s,
+        }
+    }
+
+    /// True for ε/ε′.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, CallLabel::Entry | CallLabel::Exit)
+    }
+}
+
+impl fmt::Display for CallLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A call transition matrix over a label alphabet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ctm {
+    labels: Vec<CallLabel>,
+    index: HashMap<CallLabel, usize>,
+    /// Row-major transition probabilities; `m[i][j] = P(labels[i] →
+    /// labels[j])`.
+    m: Vec<Vec<f64>>,
+}
+
+impl Default for Ctm {
+    fn default() -> Ctm {
+        Ctm::new()
+    }
+}
+
+impl Ctm {
+    /// Creates an empty CTM holding only ε and ε′.
+    pub fn new() -> Ctm {
+        let mut ctm = Ctm {
+            labels: Vec::new(),
+            index: HashMap::new(),
+            m: Vec::new(),
+        };
+        ctm.ensure(CallLabel::Entry);
+        ctm.ensure(CallLabel::Exit);
+        ctm
+    }
+
+    /// The label alphabet, ε first, ε′ second, then calls in insertion order.
+    pub fn labels(&self) -> &[CallLabel] {
+        &self.labels
+    }
+
+    /// Number of labels (matrix dimension).
+    pub fn dim(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Index of a label, if present.
+    pub fn index_of(&self, label: &CallLabel) -> Option<usize> {
+        self.index.get(label).copied()
+    }
+
+    /// Ensures a label exists, returning its index.
+    pub fn ensure(&mut self, label: CallLabel) -> usize {
+        if let Some(&i) = self.index.get(&label) {
+            return i;
+        }
+        let i = self.labels.len();
+        self.labels.push(label.clone());
+        self.index.insert(label, i);
+        for row in &mut self.m {
+            row.push(0.0);
+        }
+        self.m.push(vec![0.0; i + 1]);
+        i
+    }
+
+    /// Transition probability between two labels (0 when either is absent).
+    pub fn get(&self, from: &CallLabel, to: &CallLabel) -> f64 {
+        match (self.index_of(from), self.index_of(to)) {
+            (Some(i), Some(j)) => self.m[i][j],
+            _ => 0.0,
+        }
+    }
+
+    /// Raw entry by index.
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.m[i][j]
+    }
+
+    /// Adds probability mass to a transition.
+    pub fn add(&mut self, from: CallLabel, to: CallLabel, p: f64) {
+        let i = self.ensure(from);
+        let j = self.ensure(to);
+        self.m[i][j] += p;
+    }
+
+    /// Sets a transition probability.
+    pub fn set(&mut self, from: CallLabel, to: CallLabel, p: f64) {
+        let i = self.ensure(from);
+        let j = self.ensure(to);
+        self.m[i][j] = p;
+    }
+
+    /// Sum of the ε row — property (1) of the pCTM: must be 1.
+    pub fn entry_row_sum(&self) -> f64 {
+        self.m[0].iter().sum()
+    }
+
+    /// Sum of the ε′ column — property (2) of the pCTM: must be 1.
+    pub fn exit_col_sum(&self) -> f64 {
+        self.m.iter().map(|row| row[1]).sum()
+    }
+
+    /// Flow imbalance of a call label: |inflow − outflow| (property (3):
+    /// conserved flow for every call).
+    pub fn flow_imbalance(&self, label: &CallLabel) -> f64 {
+        let Some(i) = self.index_of(label) else {
+            return 0.0;
+        };
+        let inflow: f64 = self.m.iter().map(|row| row[i]).sum();
+        let outflow: f64 = self.m[i].iter().sum();
+        (inflow - outflow).abs()
+    }
+
+    /// Removes a label's row and column (used when in-lining a callee).
+    pub fn remove(&mut self, label: &CallLabel) {
+        let Some(i) = self.index_of(label) else {
+            return;
+        };
+        self.labels.remove(i);
+        self.index.remove(label);
+        for (l, idx) in self.index.iter_mut() {
+            let _ = l;
+            if *idx > i {
+                *idx -= 1;
+            }
+        }
+        self.m.remove(i);
+        for row in &mut self.m {
+            row.remove(i);
+        }
+    }
+
+    /// The user-function labels still present (aggregation targets).
+    pub fn user_labels(&self) -> Vec<CallLabel> {
+        self.labels
+            .iter()
+            .filter(|l| matches!(l, CallLabel::User(_)))
+            .cloned()
+            .collect()
+    }
+
+    /// Renders the matrix as an aligned table (Tables I–II style).
+    pub fn render_table(&self, title: &str) -> String {
+        let mut out = String::new();
+        let width = self
+            .labels
+            .iter()
+            .map(|l| l.name().len())
+            .max()
+            .unwrap_or(4)
+            .max(6);
+        out.push_str(&format!("{title:width$} |"));
+        for l in &self.labels {
+            out.push_str(&format!(" {:>width$}", l.name()));
+        }
+        out.push('\n');
+        for (i, l) in self.labels.iter().enumerate() {
+            out.push_str(&format!("{:width$} |", l.name()));
+            for j in 0..self.labels.len() {
+                out.push_str(&format!(" {:>width$.4}", self.m[i][j]));
+            }
+            out.push('\n');
+            let _ = l;
+        }
+        out
+    }
+}
+
+/// Builds the CTM of one function from its CFG and forecast.
+///
+/// `site_labels` maps library call sites to their observation names
+/// (DDG-labeled sites carry `_Q<bid>` suffixes).
+pub fn build_ctm(
+    cfg: &Cfg,
+    forecast: &Forecast,
+    site_labels: &HashMap<CallSiteId, String>,
+) -> Ctm {
+    let mut ctm = Ctm::new();
+    let node_label = |id: usize| -> Option<CallLabel> {
+        let node = &cfg.nodes[id];
+        match (&node.call, id) {
+            (_, ENTRY) => Some(CallLabel::Entry),
+            (_, EXIT) => Some(CallLabel::Exit),
+            (Some(call), _) => Some(match &call.callee {
+                Callee::Library(lc) => CallLabel::Lib(
+                    site_labels
+                        .get(&call.site)
+                        .cloned()
+                        .unwrap_or_else(|| lc.name().to_string()),
+                ),
+                Callee::User(name) => CallLabel::User(name.clone()),
+            }),
+            (None, _) => None,
+        }
+    };
+
+    // Pre-register every call label so functions whose calls are unreachable
+    // still surface them in the alphabet with zero probability.
+    for node in cfg.call_nodes() {
+        if let Some(l) = node_label(node.id) {
+            ctm.ensure(l);
+        }
+    }
+
+    let topo = cfg.topo_order();
+    let topo_pos: Vec<usize> = {
+        let mut pos = vec![0; cfg.nodes.len()];
+        for (i, &v) in topo.iter().enumerate() {
+            pos[v] = i;
+        }
+        pos
+    };
+
+    // Sources: entry plus every call node.
+    let sources: Vec<usize> = std::iter::once(ENTRY)
+        .chain(cfg.call_nodes().map(|n| n.id))
+        .collect();
+
+    for &s in &sources {
+        let src_label = node_label(s).expect("source is entry or call node");
+        let r = forecast.reach[s];
+        if r == 0.0 {
+            continue;
+        }
+        // DP over topo order: g[v] = Σ over call-free paths s→v of the
+        // conditional-probability product.
+        let mut g = vec![0.0f64; cfg.nodes.len()];
+        // Seed the successors of s.
+        for &w in &cfg.succ[s] {
+            g[w] += forecast.cond[s];
+        }
+        // Propagate through no-call intermediate nodes in topo order.
+        let start_pos = topo_pos[s];
+        for &v in topo.iter().skip(start_pos + 1) {
+            if g[v] == 0.0 {
+                continue;
+            }
+            let stops_here = v == EXIT || cfg.nodes[v].call.is_some();
+            if stops_here {
+                let dst_label = node_label(v).expect("stop node has a label");
+                ctm.add(src_label.clone(), dst_label, r * g[v]);
+            } else {
+                for &w in &cfg.succ[v] {
+                    g[w] += g[v] * forecast.cond[v];
+                }
+            }
+        }
+    }
+    ctm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfg;
+    use crate::forecast::forecast;
+    use adprom_lang::parse_program;
+
+    fn ctm_of(src: &str) -> Ctm {
+        let prog = parse_program(src).unwrap();
+        let cfg = build_cfg(prog.entry().unwrap(), &[]);
+        let f = forecast(&cfg);
+        build_ctm(&cfg, &f, &HashMap::new())
+    }
+
+    fn lib(name: &str) -> CallLabel {
+        CallLabel::Lib(name.to_string())
+    }
+
+    #[test]
+    fn straight_line_transitions() {
+        let ctm = ctm_of("fn main() { puts(\"a\"); printf(\"b\"); }");
+        assert!((ctm.get(&CallLabel::Entry, &lib("puts")) - 1.0).abs() < 1e-12);
+        assert!((ctm.get(&lib("puts"), &lib("printf")) - 1.0).abs() < 1e-12);
+        assert!((ctm.get(&lib("printf"), &CallLabel::Exit) - 1.0).abs() < 1e-12);
+        // No skipping transition: printf is between puts and exit.
+        assert_eq!(ctm.get(&lib("puts"), &CallLabel::Exit), 0.0);
+        assert_eq!(ctm.get(&CallLabel::Entry, &lib("printf")), 0.0);
+    }
+
+    #[test]
+    fn branch_splits_probability() {
+        // if (x) { puts } else { printf } — each reached with 0.5.
+        let ctm = ctm_of(
+            "fn main() { if (x) { puts(\"a\"); } else { printf(\"b\"); } }",
+        );
+        assert!((ctm.get(&CallLabel::Entry, &lib("puts")) - 0.5).abs() < 1e-12);
+        assert!((ctm.get(&CallLabel::Entry, &lib("printf")) - 0.5).abs() < 1e-12);
+        assert!((ctm.get(&lib("puts"), &CallLabel::Exit) - 0.5).abs() < 1e-12);
+        assert!((ctm.get(&lib("printf"), &CallLabel::Exit) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn properties_hold_on_branchy_function() {
+        let ctm = ctm_of(
+            r#"
+            fn main() {
+                puts("start");
+                if (a) {
+                    printf("a");
+                    if (b) { putchar(1); }
+                } else {
+                    while (c) { fputs("w", f); }
+                }
+                puts("end");
+            }
+            "#,
+        );
+        assert!((ctm.entry_row_sum() - 1.0).abs() < 1e-9, "entry row sums to 1");
+        assert!((ctm.exit_col_sum() - 1.0).abs() < 1e-9, "exit col sums to 1");
+        for l in ctm.labels().to_vec() {
+            if !l.is_virtual() {
+                assert!(ctm.flow_imbalance(&l) < 1e-9, "flow conserved at {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn call_pair_with_intermediate_call_is_zero() {
+        // Paper: the pair (ε, PQexec) is 0 when printf'' sits between.
+        let ctm = ctm_of("fn main() { printf(\"x\"); PQexec(c, \"SELECT 1\"); }");
+        assert_eq!(ctm.get(&CallLabel::Entry, &lib("PQexec")), 0.0);
+        assert!((ctm.get(&lib("printf"), &lib("PQexec")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_function_has_entry_to_exit_one() {
+        let ctm = ctm_of("fn main() { let x = 1; }");
+        assert!((ctm.get(&CallLabel::Entry, &CallLabel::Exit) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn user_calls_become_user_labels() {
+        let prog = parse_program("fn main() { helper(); }\nfn helper() { }").unwrap();
+        let cfg = build_cfg(prog.entry().unwrap(), &[]);
+        let f = forecast(&cfg);
+        let ctm = build_ctm(&cfg, &f, &HashMap::new());
+        assert_eq!(ctm.user_labels(), vec![CallLabel::User("helper".into())]);
+    }
+
+    #[test]
+    fn ddg_site_labels_decorate_calls() {
+        let prog = parse_program("fn main() { printf(\"%s\", v); }").unwrap();
+        let cfg = build_cfg(prog.entry().unwrap(), &[]);
+        let f = forecast(&cfg);
+        let mut site_labels = HashMap::new();
+        prog.for_each_call(|site, _, _| {
+            site_labels.insert(site, "printf_Q3".to_string());
+        });
+        let ctm = build_ctm(&cfg, &f, &site_labels);
+        assert!((ctm.get(&CallLabel::Entry, &lib("printf_Q3")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_label_shrinks_matrix() {
+        let mut ctm = ctm_of("fn main() { puts(\"a\"); printf(\"b\"); }");
+        assert_eq!(ctm.dim(), 4);
+        ctm.remove(&lib("puts"));
+        assert_eq!(ctm.dim(), 3);
+        assert_eq!(ctm.index_of(&lib("puts")), None);
+        // Remaining entries intact.
+        assert!((ctm.get(&lib("printf"), &CallLabel::Exit) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamond_sums_multiple_callfree_paths() {
+        // if with empty branches: two call-free paths between the calls.
+        let ctm = ctm_of(
+            "fn main() { puts(\"pre\"); if (x) { } else { } puts(\"post\"); }",
+        );
+        // Both paths are call-free, so the transition keeps full mass.
+        assert!((ctm.get(&lib("puts"), &lib("puts")) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,407 @@
+//! Data-dependency graph (DDG): interprocedural taint analysis from DB input
+//! statements to output statements (§IV-B1, §IV-C1).
+//!
+//! Sources are the library calls that retrieve the targeted data (TD) from
+//! the database (`PQexec`, `PQgetvalue`, `mysql_store_result`,
+//! `mysql_fetch_row`, …); sinks are the output statements the paper lists
+//! (`printf`, `fprintf`, `sprintf`, `snprintf`, `fputc`, `fputs`, `write`,
+//! `fwrite`, …). The analysis is a flow-insensitive fixpoint over variable
+//! taint, propagated:
+//!
+//! * through assignments and expressions,
+//! * through buffer propagators (`strcpy(dst, src)` taints `dst`),
+//! * interprocedurally through user-function parameters and return values
+//!   (context-insensitive).
+//!
+//! The result is the set of *output call sites whose arguments may carry the
+//! TD* — exactly the sites the Analyzer labels `name_Q<bid>`.
+
+use adprom_lang::{Callee, CallSiteId, Expr, LibCall, Program, Stmt};
+use std::collections::{HashMap, HashSet};
+
+/// Result of the taint analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Ddg {
+    /// Output call sites that may emit DB-derived data.
+    pub tainted_sinks: HashSet<CallSiteId>,
+    /// Variables found tainted, per function (diagnostic / test surface).
+    pub tainted_vars: HashMap<String, HashSet<String>>,
+    /// Functions whose return value may carry the TD.
+    pub tainted_returns: HashSet<String>,
+}
+
+impl Ddg {
+    /// True if the given site was labeled as a potential data-leak sink.
+    pub fn is_labeled(&self, site: CallSiteId) -> bool {
+        self.tainted_sinks.contains(&site)
+    }
+}
+
+/// Runs the interprocedural taint fixpoint over a program.
+pub fn analyze_ddg(prog: &Program) -> Ddg {
+    let mut state = State {
+        vars: HashMap::new(),
+        returns: HashSet::new(),
+        param_taint: HashMap::new(),
+        sinks: HashSet::new(),
+    };
+
+    // Seed parameter-taint tracking so map lookups are cheap.
+    for f in &prog.functions {
+        state.vars.insert(f.name.clone(), HashSet::new());
+    }
+
+    // Fixpoint: each pass propagates one more "hop"; bounded by the total
+    // number of (function, variable) pairs.
+    loop {
+        let before = state.fingerprint();
+        for f in &prog.functions {
+            // Pull parameter taint discovered at call sites into locals.
+            let incoming: Vec<String> = f
+                .params
+                .iter()
+                .filter(|p| {
+                    state
+                        .param_taint
+                        .get(&f.name)
+                        .is_some_and(|set| set.contains(*p))
+                })
+                .cloned()
+                .collect();
+            for p in incoming {
+                state.taint_var(&f.name, &p);
+            }
+            for stmt in &f.body {
+                visit_stmt(stmt, &f.name, &mut state, prog);
+            }
+        }
+        if state.fingerprint() == before {
+            break;
+        }
+    }
+
+    Ddg {
+        tainted_sinks: state.sinks,
+        tainted_vars: state.vars,
+        tainted_returns: state.returns,
+    }
+}
+
+struct State {
+    /// function -> tainted variable names.
+    vars: HashMap<String, HashSet<String>>,
+    /// functions with tainted return values.
+    returns: HashSet<String>,
+    /// function -> parameters that receive taint from some call site.
+    param_taint: HashMap<String, HashSet<String>>,
+    /// labeled sink sites.
+    sinks: HashSet<CallSiteId>,
+}
+
+impl State {
+    fn fingerprint(&self) -> (usize, usize, usize, usize) {
+        (
+            self.vars.values().map(HashSet::len).sum(),
+            self.returns.len(),
+            self.param_taint.values().map(HashSet::len).sum(),
+            self.sinks.len(),
+        )
+    }
+
+    fn taint_var(&mut self, func: &str, var: &str) {
+        self.vars
+            .entry(func.to_string())
+            .or_default()
+            .insert(var.to_string());
+    }
+
+    fn var_tainted(&self, func: &str, var: &str) -> bool {
+        self.vars
+            .get(func)
+            .is_some_and(|set| set.contains(var))
+    }
+}
+
+/// Computes the taint of an expression, recording side effects (sink labels,
+/// propagator taint, interprocedural parameter taint) along the way.
+fn expr_taint(e: &Expr, func: &str, state: &mut State, prog: &Program) -> bool {
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Null => false,
+        Expr::Var(v) => state.var_tainted(func, v),
+        Expr::Binary(_, a, b) | Expr::Index(a, b) => {
+            let ta = expr_taint(a, func, state, prog);
+            let tb = expr_taint(b, func, state, prog);
+            ta || tb
+        }
+        Expr::Unary(_, a) => expr_taint(a, func, state, prog),
+        Expr::Call {
+            site,
+            callee,
+            args,
+            ..
+        } => {
+            let arg_taints: Vec<bool> = args
+                .iter()
+                .map(|a| expr_taint(a, func, state, prog))
+                .collect();
+            let any_arg_tainted = arg_taints.iter().any(|&t| t);
+            match callee {
+                Callee::Library(lc) => {
+                    // Propagators move taint into their destination buffer.
+                    if let Some(dst) = lc.propagates_to_arg() {
+                        let source_tainted = arg_taints
+                            .iter()
+                            .enumerate()
+                            .any(|(i, &t)| i != dst && t);
+                        if source_tainted {
+                            if let Some(Expr::Var(v)) = args.get(dst) {
+                                state.taint_var(func, v);
+                            }
+                        }
+                    }
+                    // Output sinks with tainted arguments get labeled.
+                    if lc.is_output_sink() && any_arg_tainted {
+                        state.sinks.insert(*site);
+                    }
+                    // Sources return the TD.
+                    lc.is_db_source()
+                        || (taint_through_handle(*lc) && any_arg_tainted)
+                }
+                Callee::User(name) => {
+                    // Propagate taint into callee parameters.
+                    if let Some(f) = prog.function(name) {
+                        for (param, &tainted) in f.params.iter().zip(&arg_taints) {
+                            if tainted {
+                                state
+                                    .param_taint
+                                    .entry(name.clone())
+                                    .or_default()
+                                    .insert(param.clone());
+                            }
+                        }
+                    }
+                    state.returns.contains(name)
+                }
+            }
+        }
+    }
+}
+
+/// Calls whose return value carries taint when an argument does — e.g.
+/// `PQntuples(result)` returns metadata of a tainted handle. Row *counts*
+/// are metadata, not the TD itself; only value accessors stay tainted.
+fn taint_through_handle(lc: LibCall) -> bool {
+    matches!(lc, LibCall::Strstr | LibCall::Atoi | LibCall::Atof)
+}
+
+fn visit_stmt(stmt: &Stmt, func: &str, state: &mut State, prog: &Program) {
+    match stmt {
+        Stmt::Let(name, e) | Stmt::Assign(name, e) => {
+            if expr_taint(e, func, state, prog) {
+                state.taint_var(func, name);
+            }
+        }
+        Stmt::Expr(e) => {
+            expr_taint(e, func, state, prog);
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            expr_taint(cond, func, state, prog);
+            for s in then_branch.iter().chain(else_branch) {
+                visit_stmt(s, func, state, prog);
+            }
+        }
+        Stmt::While { cond, body } => {
+            expr_taint(cond, func, state, prog);
+            for s in body {
+                visit_stmt(s, func, state, prog);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            visit_stmt(init, func, state, prog);
+            expr_taint(cond, func, state, prog);
+            visit_stmt(step, func, state, prog);
+            for s in body {
+                visit_stmt(s, func, state, prog);
+            }
+        }
+        Stmt::Return(Some(e)) => {
+            if expr_taint(e, func, state, prog) {
+                state.returns.insert(func.to_string());
+            }
+        }
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adprom_lang::parse_program;
+
+    fn labeled_sinks(src: &str) -> Vec<(String, u32)> {
+        let prog = parse_program(src).unwrap();
+        let ddg = analyze_ddg(&prog);
+        let mut out = Vec::new();
+        prog.for_each_call(|site, callee, _| {
+            if ddg.is_labeled(site) {
+                out.push((callee.name().to_string(), site.0));
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn direct_print_of_query_result_is_labeled() {
+        // The Fig. 1 pattern.
+        let sinks = labeled_sinks(
+            r#"
+            fn main() {
+                let result = PQexec(conn, "SELECT * FROM items WHERE ID = 10");
+                let rows = PQntuples(result);
+                for (let r = 0; r < rows; r = r + 1) {
+                    printf("%s", PQgetvalue(result, r, 0));
+                }
+            }
+            "#,
+        );
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(sinks[0].0, "printf");
+    }
+
+    #[test]
+    fn untainted_print_is_not_labeled() {
+        let sinks = labeled_sinks(
+            r#"
+            fn main() {
+                let result = PQexec(conn, "SELECT 1");
+                printf("done");
+            }
+            "#,
+        );
+        assert!(sinks.is_empty());
+    }
+
+    #[test]
+    fn row_count_is_metadata_not_td() {
+        // Printing PQntuples(result) is not a leak of the TD.
+        let sinks = labeled_sinks(
+            r#"
+            fn main() {
+                let result = PQexec(conn, "SELECT * FROM t");
+                let n = PQntuples(result);
+                printf("%d rows", n);
+            }
+            "#,
+        );
+        assert!(sinks.is_empty());
+    }
+
+    #[test]
+    fn strcpy_propagates_taint() {
+        let sinks = labeled_sinks(
+            r#"
+            fn main() {
+                let row = mysql_fetch_row(result);
+                let buf = "";
+                strcpy(buf, row[0]);
+                fputs(buf, f);
+            }
+            "#,
+        );
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(sinks[0].0, "fputs");
+    }
+
+    #[test]
+    fn taint_flows_through_user_function_param() {
+        let sinks = labeled_sinks(
+            r#"
+            fn main() {
+                let v = PQgetvalue(r, 0, 0);
+                show(v);
+            }
+            fn show(x) {
+                printf("%s", x);
+            }
+            "#,
+        );
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(sinks[0].0, "printf");
+    }
+
+    #[test]
+    fn taint_flows_through_user_function_return() {
+        let sinks = labeled_sinks(
+            r#"
+            fn main() {
+                let v = fetch(r);
+                fprintf(f, "%s", v);
+            }
+            fn fetch(r) {
+                return PQgetvalue(r, 0, 0);
+            }
+            "#,
+        );
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(sinks[0].0, "fprintf");
+    }
+
+    #[test]
+    fn clean_function_chain_stays_clean() {
+        let sinks = labeled_sinks(
+            r#"
+            fn main() {
+                let v = greet();
+                printf("%s", v);
+            }
+            fn greet() {
+                return "hello";
+            }
+            "#,
+        );
+        assert!(sinks.is_empty());
+    }
+
+    #[test]
+    fn mysql_fetch_row_is_source() {
+        let sinks = labeled_sinks(
+            r#"
+            fn main() {
+                mysql_query(conn, "SELECT * FROM clients");
+                let result = mysql_store_result(conn);
+                let row = mysql_fetch_row(result);
+                while (row != null) {
+                    printf("%s ", row[0]);
+                    row = mysql_fetch_row(result);
+                }
+            }
+            "#,
+        );
+        assert_eq!(sinks.len(), 1);
+    }
+
+    #[test]
+    fn two_sinks_both_labeled() {
+        let sinks = labeled_sinks(
+            r#"
+            fn main() {
+                let v = PQgetvalue(r, 0, 0);
+                printf("%s", v);
+                fwrite(v, 1, 10, f);
+                puts("static text");
+            }
+            "#,
+        );
+        let names: Vec<&str> = sinks.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["printf", "fwrite"]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Probability forecast (§IV-C2, equations 1–2).
+//!
+//! For each function's CFG the forecast approximates:
+//!
+//! * the **conditional probability** `P^c_{xy} = 1 / outdeg(x)` for each
+//!   edge `x → y` (eq. 1), and
+//! * the **reachability probability** `P^r_y = Σ_{x ∈ parents(y)} P^r_x ·
+//!   P^c_{xy}` (eq. 2), computed in topological order from the entry ε
+//!   (which has reachability 1).
+
+use crate::cfg::{Cfg, NodeId, ENTRY};
+
+/// Forecast output for one CFG.
+#[derive(Debug, Clone)]
+pub struct Forecast {
+    /// `reach[n]` = reachability probability of node `n` (eq. 2).
+    pub reach: Vec<f64>,
+    /// `cond[x]` = conditional probability of each outgoing edge of `x`
+    /// (uniform over successors, eq. 1). Parallel to `cfg.succ[x]`.
+    pub cond: Vec<f64>,
+}
+
+impl Forecast {
+    /// Conditional probability of the edge `x → y`; 0 if no such edge.
+    pub fn cond_prob(&self, cfg: &Cfg, x: NodeId, y: NodeId) -> f64 {
+        if cfg.succ[x].contains(&y) {
+            self.cond[x]
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Computes the forecast for a CFG.
+pub fn forecast(cfg: &Cfg) -> Forecast {
+    let n = cfg.nodes.len();
+    let cond: Vec<f64> = (0..n)
+        .map(|x| {
+            let d = cfg.out_degree(x);
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / d as f64
+            }
+        })
+        .collect();
+
+    let mut reach = vec![0.0f64; n];
+    reach[ENTRY] = 1.0;
+    for v in cfg.topo_order() {
+        let r = reach[v];
+        if r == 0.0 {
+            continue;
+        }
+        let p = cond[v];
+        for &w in &cfg.succ[v] {
+            reach[w] += r * p;
+        }
+    }
+    Forecast { reach, cond }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{build_cfg, EXIT};
+    use adprom_lang::parse_program;
+
+    fn forecast_of(src: &str) -> (Cfg, Forecast) {
+        let prog = parse_program(src).unwrap();
+        let cfg = build_cfg(prog.entry().unwrap(), &[]);
+        let f = forecast(&cfg);
+        (cfg, f)
+    }
+
+    #[test]
+    fn straight_line_reaches_exit_with_one() {
+        let (_, f) = forecast_of("fn main() { puts(\"a\"); puts(\"b\"); }");
+        assert!((f.reach[EXIT] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn if_halves_reachability() {
+        let (cfg, f) = forecast_of(
+            "fn main() { if (x) { puts(\"a\"); } else { puts(\"b\"); } }",
+        );
+        // Each branch call node has reachability 0.5.
+        for node in cfg.call_nodes() {
+            assert!((f.reach[node.id] - 0.5).abs() < 1e-12, "node {}", node.id);
+        }
+        // Flow rejoins: exit reachability is 1.
+        assert!((f.reach[EXIT] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_branches_quarter_reachability() {
+        let (cfg, f) = forecast_of(
+            "fn main() { if (x) { if (y) { puts(\"deep\"); } } }",
+        );
+        let call = cfg.call_nodes().next().unwrap();
+        assert!((f.reach[call.id] - 0.25).abs() < 1e-12);
+        assert!((f.reach[EXIT] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn while_body_has_half_reachability() {
+        let (cfg, f) = forecast_of("fn main() { while (c) { puts(\"x\"); } }");
+        let call = cfg.call_nodes().next().unwrap();
+        assert!((f.reach[call.id] - 0.5).abs() < 1e-12);
+        assert!((f.reach[EXIT] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exit_reachability_is_always_one() {
+        // Mass conservation: all paths end at ε′ whatever the shape.
+        for src in [
+            "fn main() { for (let i = 0; i < 9; i = i + 1) { if (i % 2 == 0) { puts(\"e\"); } } }",
+            "fn main() { if (a) { return; } while (b) { if (c) { break; } puts(\"x\"); } }",
+            "fn main() { }",
+        ] {
+            let (_, f) = forecast_of(src);
+            assert!((f.reach[EXIT] - 1.0).abs() < 1e-9, "src: {src}");
+        }
+    }
+
+    #[test]
+    fn conditional_probability_is_uniform() {
+        let (cfg, f) = forecast_of(
+            "fn main() { if (x) { puts(\"a\"); } else { puts(\"b\"); } }",
+        );
+        let branch = (0..cfg.nodes.len())
+            .find(|&i| cfg.out_degree(i) == 2)
+            .unwrap();
+        assert!((f.cond[branch] - 0.5).abs() < 1e-12);
+        let first_succ = cfg.succ[branch][0];
+        assert!((f.cond_prob(&cfg, branch, first_succ) - 0.5).abs() < 1e-12);
+        assert_eq!(f.cond_prob(&cfg, branch, branch), 0.0);
+    }
+}

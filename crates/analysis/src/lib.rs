@@ -1,0 +1,39 @@
+//! # adprom-analysis
+//!
+//! The static half of AD-PROM (ICDE 2020): control-flow and data-flow
+//! analysis of application programs, the probability forecast, per-function
+//! Call Transition Matrices, and their aggregation into the program CTM
+//! (pCTM) that initializes the HMM.
+//!
+//! Pipeline (§IV-C of the paper):
+//!
+//! 1. [`callgraph`] — call graph, SCCs, aggregation order;
+//! 2. [`cfg`](mod@cfg) — per-function CFGs (blocks split at call sites, loop back
+//!    edges redirected so each node is visited once);
+//! 3. [`ddg`] — interprocedural taint from DB reads to output statements;
+//!    tainted sinks get labeled `name_Q<bid>`;
+//! 4. [`forecast`](mod@forecast) — conditional and reachability probabilities (eqs. 1–2);
+//! 5. [`ctm`] — transition probabilities between call pairs (eq. 3);
+//! 6. [`aggregate`] — in-lining callee CTMs into callers (eqs. 4–10) to
+//!    produce the pCTM.
+//!
+//! [`analyzer::analyze`] runs the whole pipeline and reports per-step
+//! timings (Table VIII).
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod analyzer;
+pub mod callgraph;
+pub mod cfg;
+pub mod ctm;
+pub mod ddg;
+pub mod forecast;
+
+pub use aggregate::{aggregate_program, inline_callee};
+pub use analyzer::{analyze, Analysis, AnalysisTimings};
+pub use callgraph::CallGraph;
+pub use cfg::{build_cfg, CallRef, Cfg, Node, NodeId, ENTRY, EXIT};
+pub use ctm::{build_ctm, CallLabel, Ctm};
+pub use ddg::{analyze_ddg, Ddg};
+pub use forecast::{forecast, Forecast};

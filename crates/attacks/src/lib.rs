@@ -1,0 +1,23 @@
+//! # adprom-attacks
+//!
+//! The adversary of §III / §V-C, in executable form:
+//!
+//! * [`mutate`] — source/binary-level program mutations: attack 1 (insert
+//!   a print similar to one in another branch), attack 2 (new call in a
+//!   different function), attack 3 (reuse an existing print for the TD),
+//!   attack 4 (Dyninst-style binary patch dumping results to a file);
+//! * attack 5 needs no mutation — it is the Fig. 2 tautology input,
+//!   provided by `adprom_workloads::banking::injection_case`;
+//! * [`synthetic`] — the A-S1/A-S2/A-S3 anomalous-sequence generators of
+//!   the §V-D scalability experiment.
+
+#![warn(missing_docs)]
+
+pub mod mutate;
+pub mod synthetic;
+
+pub use mutate::{
+    attack1_insert_similar_print, attack2_new_call_in_function, attack3_reuse_print,
+    attack4_binary_patch, AttackOutcome,
+};
+pub use synthetic::{a_s1, a_s2, a_s3, labeled_mix, AS1_TAIL};

@@ -1,0 +1,539 @@
+//! Program mutators implementing the attacks of §V-C.
+//!
+//! Each mutator takes the original program and returns a modified copy plus
+//! a description of what was changed. Mutations allocate fresh call-site
+//! ids through the program, like real code edits or binary patches would
+//! shift block addresses.
+
+use adprom_lang::{Callee, Expr, Function, LibCall, Program, Stmt};
+
+/// A mutated program and what was done to it.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// The modified program.
+    pub program: Program,
+    /// Which function was targeted.
+    pub target_function: String,
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// Attack 1: insert a new printing command *similar to another command in
+/// another branch of the program* — the call sequence looks identical
+/// without block ids. Finds an `if` whose one branch prints and clones the
+/// print into the opposite branch.
+pub fn attack1_insert_similar_print(prog: &Program) -> Option<AttackOutcome> {
+    let mut out = prog.clone();
+    // Pass 1 (immutable): find a function with a print inside an if branch.
+    let candidates: Vec<(String, Stmt)> = out
+        .functions
+        .iter()
+        .filter_map(|f| find_branch_print(&f.body).map(|p| (f.name.clone(), p)))
+        .collect();
+    for (name, print_stmt) in candidates {
+        let mut cloned = print_stmt;
+        refresh_sites(&mut cloned, &mut out);
+        let func = out.function_mut(&name).expect("function still present");
+        if insert_into_opposite_branch(&mut func.body, &cloned) {
+            out.recompute_next_site();
+            return Some(AttackOutcome {
+                program: out,
+                target_function: name.clone(),
+                description: format!(
+                    "attack 1: cloned a print statement into the opposite branch of an if in `{name}`"
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// Attack 2: insert a *new call in a different function* that prints query
+/// results. The attacker picks a function that never touched the TD and
+/// adds a fetch-and-print there.
+pub fn attack2_new_call_in_function(prog: &Program, query: &str) -> Option<AttackOutcome> {
+    let mut out = prog.clone();
+    // Target: preferably a function with no output sink at all; otherwise
+    // one that never issues `printf` — either way the inserted call is new
+    // for that function (the out-of-context signal).
+    let target = out
+        .functions
+        .iter()
+        .find(|f| f.name != "main" && !function_has_output_sink(f) && !f.body.is_empty())
+        .or_else(|| {
+            out.functions
+                .iter()
+                .find(|f| f.name != "main" && !function_calls(f, LibCall::Printf) && !f.body.is_empty())
+        })?
+        .name
+        .clone();
+
+    let exec = call_expr(&mut out, LibCall::PQexec, vec![Expr::var("conn"), Expr::str(query)]);
+    let getv = call_expr(
+        &mut out,
+        LibCall::PQgetvalue,
+        vec![Expr::var("__r"), Expr::Int(0), Expr::Int(0)],
+    );
+    let print = call_expr(
+        &mut out,
+        LibCall::Printf,
+        vec![Expr::str("%s"), Expr::var("__leak")],
+    );
+    let func = out.function_mut(&target).expect("target exists");
+    func.body.insert(0, Stmt::Let("__r".into(), exec));
+    func.body.insert(1, Stmt::Let("__leak".into(), getv));
+    func.body.insert(2, Stmt::Expr(print));
+    out.recompute_next_site();
+    Some(AttackOutcome {
+        program: out,
+        target_function: target.clone(),
+        description: format!(
+            "attack 2: inserted a query + print of its result into `{target}`, which never printed before"
+        ),
+    })
+}
+
+/// Attack 3: *reuse an existing print command* — change the arguments of a
+/// constant print to output a field of the query result instead. The call
+/// sequence is unchanged; only the data flowing through it differs.
+pub fn attack3_reuse_print(prog: &Program) -> Option<AttackOutcome> {
+    let mut out = prog.clone();
+    for fi in 0..out.functions.len() {
+        let func = &out.functions[fi];
+        // The function must already hold TD in a variable...
+        let Some(td_var) = tainted_var_in(func) else {
+            continue;
+        };
+        let name = func.name.clone();
+        // ...and have a print whose arguments are all constants.
+        let func = &mut out.functions[fi];
+        if let Some(args) = find_constant_print_args(&mut func.body) {
+            *args = vec![Expr::str("%s"), Expr::var(&td_var)];
+            return Some(AttackOutcome {
+                program: out,
+                target_function: name.clone(),
+                description: format!(
+                    "attack 3: redirected an existing constant print in `{name}` to output `{td_var}` (query result)"
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// Attack 4: *binary patching* — the attacker rewrites the binary (Dyninst
+/// style) to add a patch that dumps query results to a file. We splice the
+/// patch after the first statement of a data-bearing function, the moral
+/// equivalent of inserting instrumentation at an arbitrary code address.
+pub fn attack4_binary_patch(prog: &Program, query: &str) -> Option<AttackOutcome> {
+    let mut out = prog.clone();
+    let target = out
+        .functions
+        .iter()
+        .find(|f| f.name != "main" && !f.body.is_empty())?
+        .name
+        .clone();
+    let fopen = call_expr(
+        &mut out,
+        LibCall::Fopen,
+        vec![Expr::str("exfil.dat"), Expr::str("a")],
+    );
+    let exec = call_expr(&mut out, LibCall::PQexec, vec![Expr::var("conn"), Expr::str(query)]);
+    let getv = call_expr(
+        &mut out,
+        LibCall::PQgetvalue,
+        vec![Expr::var("__pr"), Expr::Int(0), Expr::Int(0)],
+    );
+    let dump = call_expr(
+        &mut out,
+        LibCall::Fwrite,
+        vec![Expr::var("__pv"), Expr::Int(1), Expr::Int(64), Expr::var("__pf")],
+    );
+    let func = out.function_mut(&target).expect("target exists");
+    let at = 1.min(func.body.len());
+    func.body.insert(at, Stmt::Let("__pf".into(), fopen));
+    func.body.insert(at + 1, Stmt::Let("__pr".into(), exec));
+    func.body.insert(at + 2, Stmt::Let("__pv".into(), getv));
+    func.body.insert(at + 3, Stmt::Expr(dump));
+    out.recompute_next_site();
+    Some(AttackOutcome {
+        program: out,
+        target_function: target.clone(),
+        description: format!(
+            "attack 4: binary patch in `{target}` dumping query results to exfil.dat"
+        ),
+    })
+}
+
+// ---- helpers ----
+
+fn call_expr(prog: &mut Program, lc: LibCall, args: Vec<Expr>) -> Expr {
+    Expr::Call {
+        site: prog.fresh_site(),
+        callee: Callee::Library(lc),
+        args,
+        line: 0,
+    }
+}
+
+fn is_print_stmt(stmt: &Stmt) -> bool {
+    matches!(
+        stmt,
+        Stmt::Expr(Expr::Call {
+            callee: Callee::Library(lc),
+            ..
+        }) if lc.is_output_sink()
+    )
+}
+
+/// Finds a print statement living in a branch of some `if`, returning a
+/// clone of it.
+fn find_branch_print(body: &[Stmt]) -> Option<Stmt> {
+    for stmt in body.iter() {
+        match stmt {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                if let Some(p) = then_branch.iter().find(|s| is_print_stmt(s)) {
+                    return Some(p.clone());
+                }
+                if let Some(p) = else_branch.iter().find(|s| is_print_stmt(s)) {
+                    return Some(p.clone());
+                }
+                if let Some(p) = find_branch_print(then_branch) {
+                    return Some(p);
+                }
+                if let Some(p) = find_branch_print(else_branch) {
+                    return Some(p);
+                }
+            }
+            Stmt::While { body, .. } => {
+                if let Some(p) = find_branch_print(body) {
+                    return Some(p);
+                }
+            }
+            Stmt::For { body, .. } => {
+                if let Some(p) = find_branch_print(body) {
+                    return Some(p);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Inserts the statement into the branch of the first `if` that does *not*
+/// already contain a print.
+fn insert_into_opposite_branch(body: &mut [Stmt], stmt: &Stmt) -> bool {
+    for s in body.iter_mut() {
+        match s {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let then_has = then_branch.iter().any(is_print_stmt);
+                let else_has = else_branch.iter().any(is_print_stmt);
+                if then_has && !else_has {
+                    else_branch.push(stmt.clone());
+                    return true;
+                }
+                if else_has && !then_has {
+                    then_branch.push(stmt.clone());
+                    return true;
+                }
+                if insert_into_opposite_branch(then_branch, stmt)
+                    || insert_into_opposite_branch(else_branch, stmt)
+                {
+                    return true;
+                }
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                // Not a pattern guard: the recursive call needs &mut body.
+                #[allow(clippy::collapsible_match)]
+                if insert_into_opposite_branch(body, stmt) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Gives every call inside the statement a fresh site id (an inserted
+/// statement is new code — new blocks, new addresses).
+fn refresh_sites(stmt: &mut Stmt, prog: &mut Program) {
+    let mut fix = |e: &mut Expr| {
+        e.walk_mut(&mut |e| {
+            if let Expr::Call { site, .. } = e {
+                *site = prog.fresh_site();
+            }
+        })
+    };
+    match stmt {
+        Stmt::Let(_, e) | Stmt::Assign(_, e) | Stmt::Expr(e) => fix(e),
+        Stmt::Return(Some(e)) => fix(e),
+        _ => {}
+    }
+}
+
+fn function_calls(f: &Function, target: LibCall) -> bool {
+    let mut found = false;
+    let prog = Program::new(vec![f.clone()], u32::MAX);
+    prog.for_each_call(|_, callee, _| {
+        if matches!(callee, Callee::Library(lc) if *lc == target) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn function_has_output_sink(f: &Function) -> bool {
+    let mut found = false;
+    let prog = Program::new(vec![f.clone()], u32::MAX);
+    prog.for_each_call(|_, callee, _| {
+        if let Callee::Library(lc) = callee {
+            if lc.is_output_sink() {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// A variable in `f` assigned directly from a DB-source call.
+fn tainted_var_in(f: &Function) -> Option<String> {
+    fn scan(stmts: &[Stmt]) -> Option<String> {
+        for s in stmts {
+            match s {
+                Stmt::Let(name, Expr::Call { callee, .. })
+                | Stmt::Assign(name, Expr::Call { callee, .. }) => {
+                    if let Callee::Library(lc) = callee {
+                        if lc.is_db_source() {
+                            return Some(name.clone());
+                        }
+                    }
+                }
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    if let Some(v) = scan(then_branch).or_else(|| scan(else_branch)) {
+                        return Some(v);
+                    }
+                }
+                Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                    if let Some(v) = scan(body) {
+                        return Some(v);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    scan(&f.body)
+}
+
+/// A path to a statement: at each level, the statement index and which
+/// sub-body to descend into next (None = the print is here).
+type PrintPath = Vec<(usize, SubBody)>;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SubBody {
+    Here,
+    Then,
+    Else,
+    Loop,
+}
+
+/// Finds a print whose args are all literals and returns a mutable
+/// reference to its argument list. The search prefers *hot* sites — loop
+/// bodies first, then straight-line code, then `if` branches — because an
+/// attack that only fires on an error path would rarely manifest at run
+/// time.
+fn find_constant_print_args(body: &mut [Stmt]) -> Option<&mut Vec<Expr>> {
+    let path = locate_constant_print(body, 0)
+        .or_else(|| locate_constant_print(body, 1))
+        .or_else(|| locate_constant_print(body, 2))?;
+    resolve_print_path(body, &path)
+}
+
+fn is_constant_expr(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Int(_) | Expr::Float(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Null
+    )
+}
+
+fn is_constant_print(stmt: &Stmt) -> bool {
+    matches!(
+        stmt,
+        Stmt::Expr(Expr::Call {
+            callee: Callee::Library(lc),
+            args,
+            ..
+        }) if lc.is_output_sink() && args.iter().all(is_constant_expr)
+    )
+}
+
+/// Priority pass 0 = inside loops, 1 = top-level, 2 = inside if branches.
+fn locate_constant_print(body: &[Stmt], pass: u8) -> Option<PrintPath> {
+    for (i, stmt) in body.iter().enumerate() {
+        match stmt {
+            _ if pass == 1 && is_constant_print(stmt) => {
+                return Some(vec![(i, SubBody::Here)]);
+            }
+            Stmt::While { body: b, .. } | Stmt::For { body: b, .. } if pass == 0 => {
+                // Anything within the loop counts as hot: any pass inside.
+                for inner_pass in [1, 0, 2] {
+                    if let Some(mut rest) = locate_constant_print(b, inner_pass) {
+                        let mut path = vec![(i, SubBody::Loop)];
+                        path.append(&mut rest);
+                        return Some(path);
+                    }
+                }
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } if pass == 2 => {
+                for inner_pass in [1, 0, 2] {
+                    if let Some(mut rest) = locate_constant_print(then_branch, inner_pass) {
+                        let mut path = vec![(i, SubBody::Then)];
+                        path.append(&mut rest);
+                        return Some(path);
+                    }
+                    if let Some(mut rest) = locate_constant_print(else_branch, inner_pass) {
+                        let mut path = vec![(i, SubBody::Else)];
+                        path.append(&mut rest);
+                        return Some(path);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn resolve_print_path<'a>(
+    body: &'a mut [Stmt],
+    path: &[(usize, SubBody)],
+) -> Option<&'a mut Vec<Expr>> {
+    let ((i, kind), rest) = path.split_first()?;
+    let stmt = body.get_mut(*i)?;
+    match (kind, stmt) {
+        (
+            SubBody::Here,
+            Stmt::Expr(Expr::Call { args, .. }),
+        ) => Some(args),
+        (SubBody::Then, Stmt::If { then_branch, .. }) => resolve_print_path(then_branch, rest),
+        (SubBody::Else, Stmt::If { else_branch, .. }) => resolve_print_path(else_branch, rest),
+        (SubBody::Loop, Stmt::While { body, .. }) | (SubBody::Loop, Stmt::For { body, .. }) => {
+            resolve_print_path(body, rest)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adprom_lang::{parse_program, validate};
+
+    const VICTIM: &str = r#"
+        fn main() {
+            let c = atoi(scanf());
+            if (c == 1) { report(conn); } else { helper(); }
+        }
+        fn report(conn) {
+            let r = PQexec(conn, "SELECT * FROM t");
+            let v = PQgetvalue(r, 0, 0);
+            if (v != null) {
+                printf("%s", v);
+            } else {
+                let x = 1;
+            }
+            puts("done");
+        }
+        fn helper() {
+            let y = strlen("abc");
+        }
+    "#;
+
+    fn victim() -> Program {
+        parse_program(VICTIM).unwrap()
+    }
+
+    #[test]
+    fn attack1_clones_print_into_other_branch() {
+        let prog = victim();
+        let before = prog.call_site_count();
+        let outcome = attack1_insert_similar_print(&prog).unwrap();
+        assert!(validate(&outcome.program).is_empty());
+        assert!(outcome.program.call_site_count() > before);
+        // The original program is untouched.
+        assert_eq!(prog.call_site_count(), before);
+    }
+
+    #[test]
+    fn attack2_targets_function_without_prints() {
+        let prog = victim();
+        let outcome = attack2_new_call_in_function(&prog, "SELECT * FROM t").unwrap();
+        assert_eq!(outcome.target_function, "helper");
+        assert!(validate(&outcome.program).is_empty());
+        // helper now prints.
+        let helper = outcome.program.function("helper").unwrap();
+        assert!(function_has_output_sink(helper));
+    }
+
+    #[test]
+    fn attack3_rewires_constant_print() {
+        let prog = victim();
+        let outcome = attack3_reuse_print(&prog).unwrap();
+        assert_eq!(outcome.target_function, "report");
+        assert!(validate(&outcome.program).is_empty());
+        // Same number of call sites: nothing inserted, only args changed.
+        assert_eq!(
+            outcome.program.call_site_count(),
+            prog.call_site_count()
+        );
+        assert!(outcome.description.contains('r'));
+    }
+
+    #[test]
+    fn attack4_splices_file_dump() {
+        let prog = victim();
+        let outcome = attack4_binary_patch(&prog, "SELECT * FROM t").unwrap();
+        assert!(validate(&outcome.program).is_empty());
+        let mut has_fwrite = false;
+        outcome.program.for_each_call(|_, callee, _| {
+            if callee.name() == "fwrite" {
+                has_fwrite = true;
+            }
+        });
+        assert!(has_fwrite);
+    }
+
+    #[test]
+    fn mutations_allocate_fresh_sites() {
+        let prog = victim();
+        let outcome = attack2_new_call_in_function(&prog, "SELECT 1").unwrap();
+        // No duplicate site ids (validate checks this too, but be explicit).
+        let mut seen = std::collections::HashSet::new();
+        let mut dup = false;
+        outcome.program.for_each_call(|site, _, _| {
+            if !seen.insert(site.0) {
+                dup = true;
+            }
+        });
+        assert!(!dup);
+    }
+}

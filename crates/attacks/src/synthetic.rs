@@ -1,0 +1,161 @@
+//! Synthetic anomalous sequences (§V-D): the three generators used by the
+//! scalability experiment.
+//!
+//! * **A-S1** — replace the tail of a normal sequence (the last 5 calls)
+//!   with random calls drawn from the *legitimate* set;
+//! * **A-S2** — inject library calls that do not belong to the legitimate
+//!   set at all;
+//! * **A-S3** — increase the frequency of legitimate calls (repeat a run
+//!   inside the sequence), modelling the higher-selectivity attacks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How many trailing calls A-S1 replaces (the paper uses 5).
+pub const AS1_TAIL: usize = 5;
+
+/// A-S1: replace the last [`AS1_TAIL`] calls with random legitimate calls.
+pub fn a_s1(window: &[String], legitimate: &[String], seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = window.to_vec();
+    if legitimate.is_empty() || out.is_empty() {
+        return out;
+    }
+    let start = out.len().saturating_sub(AS1_TAIL);
+    for slot in out.iter_mut().skip(start) {
+        *slot = legitimate[rng.gen_range(0..legitimate.len())].clone();
+    }
+    out
+}
+
+/// A-S2: inject `count` calls that are outside the legitimate set, at
+/// random positions.
+pub fn a_s2(window: &[String], count: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = window.to_vec();
+    for k in 0..count {
+        let pos = if out.is_empty() {
+            0
+        } else {
+            rng.gen_range(0..=out.len())
+        };
+        out.insert(pos, format!("__injected_call_{}", k % 4));
+    }
+    out
+}
+
+/// A-S3: pick a random position and repeat the call there `extra` more
+/// times — the trace shape of a query that suddenly returns far more rows.
+pub fn a_s3(window: &[String], extra: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if window.is_empty() {
+        return Vec::new();
+    }
+    let pos = rng.gen_range(0..window.len());
+    let mut out = Vec::with_capacity(window.len() + extra);
+    for (i, name) in window.iter().enumerate() {
+        out.push(name.clone());
+        if i == pos {
+            for _ in 0..extra {
+                out.push(name.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Generates a labeled evaluation set: `(sequence, is_anomalous)` pairs
+/// mixing normal windows with all three anomaly types, at roughly
+/// `anomaly_fraction` anomalous.
+pub fn labeled_mix(
+    normal_windows: &[Vec<String>],
+    legitimate: &[String],
+    anomaly_fraction: f64,
+    seed: u64,
+) -> Vec<(Vec<String>, bool)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(normal_windows.len());
+    for (i, w) in normal_windows.iter().enumerate() {
+        if rng.gen_bool(anomaly_fraction) {
+            let variant = i % 3;
+            let seq = match variant {
+                0 => a_s1(w, legitimate, seed ^ i as u64),
+                1 => a_s2(w, 2, seed ^ i as u64),
+                _ => a_s3(w, 6, seed ^ i as u64),
+            };
+            out.push((seq, true));
+        } else {
+            out.push((w.clone(), false));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> Vec<String> {
+        (0..15).map(|i| format!("call{}", i % 7)).collect()
+    }
+
+    fn legit() -> Vec<String> {
+        (0..7).map(|i| format!("call{i}")).collect()
+    }
+
+    #[test]
+    fn as1_changes_only_tail() {
+        let w = window();
+        let mutated = a_s1(&w, &legit(), 42);
+        assert_eq!(mutated.len(), w.len());
+        assert_eq!(&mutated[..10], &w[..10]);
+        // Tail values remain legitimate calls.
+        assert!(mutated[10..].iter().all(|c| legit().contains(c)));
+    }
+
+    #[test]
+    fn as2_injects_unknown_calls() {
+        let w = window();
+        let mutated = a_s2(&w, 3, 7);
+        assert_eq!(mutated.len(), w.len() + 3);
+        assert_eq!(
+            mutated
+                .iter()
+                .filter(|c| c.starts_with("__injected_call_"))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn as3_repeats_an_existing_call() {
+        let w = window();
+        let mutated = a_s3(&w, 5, 9);
+        assert_eq!(mutated.len(), w.len() + 5);
+        // Only legitimate names appear.
+        assert!(mutated.iter().all(|c| legit().contains(c)));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let w = window();
+        assert_eq!(a_s1(&w, &legit(), 1), a_s1(&w, &legit(), 1));
+        assert_eq!(a_s2(&w, 2, 1), a_s2(&w, 2, 1));
+        assert_eq!(a_s3(&w, 2, 1), a_s3(&w, 2, 1));
+    }
+
+    #[test]
+    fn labeled_mix_respects_fraction_roughly() {
+        let windows: Vec<Vec<String>> = (0..200).map(|_| window()).collect();
+        let mix = labeled_mix(&windows, &legit(), 0.3, 11);
+        let anomalous = mix.iter().filter(|(_, a)| *a).count();
+        assert!((30..90).contains(&anomalous), "{anomalous}");
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert!(a_s1(&[], &legit(), 1).is_empty());
+        assert_eq!(a_s2(&[], 2, 1).len(), 2);
+        assert!(a_s3(&[], 2, 1).is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! Microbenchmarks for the static-analysis pipeline (Table VIII's cost
+//! structure): CFG construction, DDG taint fixpoint, probability forecast +
+//! CTMs, and pCTM aggregation, at App1–App3 scale.
+
+use adprom_analysis::{
+    aggregate_program, analyze, analyze_ddg, build_cfg, build_ctm, forecast, CallGraph,
+};
+use adprom_workloads::sir;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn programs() -> Vec<(String, adprom_lang::Program)> {
+    [sir::app1_spec(), sir::app2_spec(), sir::app3_spec()]
+        .into_iter()
+        .map(|spec| (spec.name.clone(), sir::generate_program(&spec)))
+        .collect()
+}
+
+fn bench_full_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze_full");
+    for (name, prog) in programs() {
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &prog, |b, prog| {
+            b.iter(|| black_box(analyze(black_box(prog)).pctm.dim()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let (_, prog) = programs().remove(2 - 1); // App2 scale
+    c.bench_function("cfg_build_app2", |b| {
+        b.iter(|| {
+            let total: usize = prog
+                .functions
+                .iter()
+                .map(|f| build_cfg(f, &[]).nodes.len())
+                .sum();
+            black_box(total)
+        })
+    });
+    c.bench_function("ddg_fixpoint_app2", |b| {
+        b.iter(|| black_box(analyze_ddg(black_box(&prog)).tainted_sinks.len()))
+    });
+    c.bench_function("aggregation_app2", |b| {
+        // Pre-compute CTMs; measure only the in-lining.
+        let cg = CallGraph::build(&prog);
+        let mut ctms = HashMap::new();
+        for f in &prog.functions {
+            let cfg = build_cfg(f, &cg.recursive_callees(&f.name));
+            let fore = forecast(&cfg);
+            ctms.insert(f.name.clone(), build_ctm(&cfg, &fore, &HashMap::new()));
+        }
+        b.iter(|| black_box(aggregate_program(&cg, &ctms).dim()))
+    });
+}
+
+criterion_group!(benches, bench_full_analysis, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Collector microbenchmark behind Table VI: per-event cost of the AD-PROM
+//! Calls Collector (name + caller only) vs the ltrace simulator (argument
+//! formatting + instruction-pointer resolution).
+
+use adprom_lang::{CallSiteId, LibCall};
+use adprom_trace::{CallEvent, CallSink, LtraceCollector, TraceCollector};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn events(n: usize) -> Vec<CallEvent> {
+    (0..n)
+        .map(|i| CallEvent {
+            name: if i % 3 == 0 {
+                format!("printf_Q{}", i % 40)
+            } else {
+                "mysql_fetch_row".to_string()
+            },
+            call: LibCall::Printf,
+            caller: format!("work{}", i % 8),
+            site: CallSiteId((i % 90) as u32),
+            detail: None,
+        })
+        .collect()
+}
+
+fn bench_collectors(c: &mut Criterion) {
+    let batch = events(1000);
+    let functions: Vec<String> = (0..8).map(|i| format!("work{i}")).collect();
+
+    c.bench_function("calls_collector_1k_events", |b| {
+        b.iter_batched(
+            TraceCollector::new,
+            |mut sink| {
+                for e in &batch {
+                    sink.on_call(e.clone());
+                }
+                black_box(sink.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("ltrace_collector_1k_events", |b| {
+        b.iter_batched(
+            || LtraceCollector::new(&functions, 4096),
+            |mut sink| {
+                for e in &batch {
+                    sink.on_call(e.clone());
+                }
+                black_box(sink.records().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_collectors);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Database-substrate benchmarks: parse+execute cost for the statement
+//! shapes the workloads issue, including the tautology-injection query.
+
+use adprom_db::{Database, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn seeded_db(rows: usize) -> Database {
+    let mut db = Database::new("bench");
+    db.execute("CREATE TABLE clients (id INT, name TEXT, balance FLOAT)")
+        .unwrap();
+    for i in 0..rows {
+        db.execute(&format!(
+            "INSERT INTO clients VALUES ({}, 'client{}', {})",
+            100 + i,
+            i,
+            (i * 13) % 700
+        ))
+        .unwrap();
+    }
+    db
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut db = seeded_db(1000);
+    c.bench_function("select_point_1k_rows", |b| {
+        b.iter(|| {
+            let r = db
+                .execute(black_box("SELECT * FROM clients WHERE id = 600"))
+                .unwrap();
+            black_box(r.rows().unwrap().ntuples())
+        })
+    });
+    c.bench_function("select_tautology_1k_rows", |b| {
+        b.iter(|| {
+            let r = db
+                .execute(black_box(
+                    "SELECT * FROM clients where id='1' OR '1'='1'",
+                ))
+                .unwrap();
+            black_box(r.rows().unwrap().ntuples())
+        })
+    });
+    c.bench_function("count_with_predicate", |b| {
+        b.iter(|| {
+            let r = db
+                .execute(black_box(
+                    "SELECT COUNT(*) FROM clients WHERE balance > 300",
+                ))
+                .unwrap();
+            black_box(r.rows().unwrap().get_value(0, 0))
+        })
+    });
+    db.prepare("by_id", "SELECT * FROM clients WHERE id = $1").unwrap();
+    c.bench_function("prepared_point_lookup", |b| {
+        b.iter(|| {
+            let r = db
+                .execute_prepared("by_id", &[Value::Text("600".into())])
+                .unwrap();
+            black_box(r.rows().unwrap().ntuples())
+        })
+    });
+    c.bench_function("parse_only_select", |b| {
+        b.iter(|| {
+            black_box(adprom_db::sql::parse_sql(black_box(
+                "SELECT id, name FROM clients WHERE balance >= 10 AND name LIKE 'c%' ORDER BY id LIMIT 5",
+            ))
+            .unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

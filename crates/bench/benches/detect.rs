@@ -1,0 +1,37 @@
+//! Detection-phase throughput: per-window classification cost and
+//! whole-trace scanning (what the online monitor pays per library call).
+
+use adprom_analysis::analyze;
+use adprom_core::{build_profile, ConstructorConfig, DetectionEngine};
+use adprom_workloads::hospital;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_detection(c: &mut Criterion) {
+    let workload = hospital::workload(15, 9);
+    let analysis = analyze(&workload.program);
+    let traces = workload.collect_traces(&analysis.site_labels);
+    let mut config = ConstructorConfig::default();
+    config.train.max_iterations = 6;
+    let (profile, _) = build_profile("App_h", &analysis, &traces, &config);
+    let engine = DetectionEngine::new(&profile);
+    let trace = &traces[0];
+    let window: Vec<adprom_trace::CallEvent> =
+        trace.iter().take(profile.window).cloned().collect();
+
+    c.bench_function("classify_window15", |b| {
+        b.iter(|| black_box(engine.classify(black_box(&window)).flag))
+    });
+
+    c.bench_function("scan_trace", |b| {
+        b.iter(|| black_box(engine.scan(black_box(trace)).len()))
+    });
+
+    let names: Vec<String> = window.iter().map(|e| e.name.clone()).collect();
+    c.bench_function("score_window15", |b| {
+        b.iter(|| black_box(engine.score(black_box(&names))))
+    });
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

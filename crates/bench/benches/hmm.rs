@@ -1,0 +1,50 @@
+//! Microbenchmarks for the HMM substrate: the forward pass (the per-window
+//! detection cost) and one Baum–Welch re-estimation step (the training
+//! cost unit behind Table VIII and the clustering ablation).
+
+use adprom_hmm::{forward, reestimate, viterbi, Hmm};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_window15");
+    for &n in &[16usize, 64, 256] {
+        let hmm = Hmm::random(n, n, 42);
+        let obs = hmm.sample(15, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(forward(&hmm, black_box(&obs)).log_likelihood))
+        });
+    }
+    group.finish();
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    let hmm = Hmm::random(64, 64, 42);
+    let obs = hmm.sample(15, 7);
+    c.bench_function("viterbi_n64_t15", |b| {
+        b.iter(|| black_box(viterbi(&hmm, black_box(&obs))))
+    });
+}
+
+fn bench_reestimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baum_welch_iteration");
+    group.sample_size(10);
+    for &n in &[16usize, 64] {
+        let teacher = Hmm::random(n, n, 3);
+        let windows: Vec<Vec<usize>> = (0..200).map(|i| teacher.sample(15, i)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || Hmm::random(n, n, 11),
+                |mut hmm| {
+                    reestimate(&mut hmm, &windows, 1e-6);
+                    black_box(hmm.pi[0])
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_viterbi, bench_reestimate);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! §V-C text: "the averaged size of an application's profile is about
+//! ~31k". Serializes the CA-dataset profiles and reports their sizes.
+
+use adprom_bench::{ca_apps, print_table, train_app};
+use adprom_core::ConstructorConfig;
+
+fn main() {
+    println!("== profile size (paper: ~31 kB average) ==");
+    let mut config = ConstructorConfig::default();
+    config.train.max_iterations = 10;
+    let mut rows = Vec::new();
+    let mut total = 0usize;
+    let mut count = 0usize;
+    for workload in ca_apps() {
+        let trained = train_app(&workload, &config);
+        let size = trained.profile.serialized_size();
+        total += size;
+        count += 1;
+        rows.push(vec![
+            workload.name.clone(),
+            trained.profile.hmm.n_states().to_string(),
+            trained.profile.alphabet.len().to_string(),
+            format!("{:.1} kB", size as f64 / 1024.0),
+        ]);
+    }
+    print_table(
+        "serialized profile sizes",
+        &["App", "states", "symbols", "profile size"],
+        &rows,
+    );
+    println!(
+        "\naverage: {:.1} kB   (paper: ~31 kB)",
+        total as f64 / count as f64 / 1024.0
+    );
+}

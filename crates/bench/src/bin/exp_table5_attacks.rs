@@ -1,0 +1,129 @@
+//! Table V: AD-PROM vs CMarkov across the five attacks of §V-C.
+//!
+//! Paper result: CMarkov misses attacks 1 and 3 (the raw call sequence is
+//! unchanged — only block ids / data-flow labels distinguish them) and
+//! cannot connect any detection to the data source; AD-PROM detects all
+//! five and connects each to its source.
+
+use adprom_analysis::analyze;
+use adprom_attacks::{
+    attack1_insert_similar_print, attack2_new_call_in_function, attack3_reuse_print,
+    attack4_binary_patch,
+};
+use adprom_bench::print_table;
+use adprom_core::{
+    build_cmarkov, build_profile, strip_trace, ConstructorConfig, DetectionEngine, Flag,
+};
+use adprom_workloads::{banking, Workload};
+
+fn main() {
+    println!("== Table V: AD-PROM vs CMarkov ==");
+    let workload = banking::workload(60, 0x7AB1);
+    let analysis = analyze(&workload.program);
+    let traces = workload.collect_traces(&analysis.site_labels);
+    let config = ConstructorConfig::default();
+
+    println!("training AD-PROM profile on App_b ({} traces)...", traces.len());
+    let (adprom_profile, _) = build_profile("App_b", &analysis, &traces, &config);
+    println!("training CMarkov profile (no DDG labels, no caller tracking)...");
+    let (cmarkov_profile, _) = build_cmarkov("App_b", &analysis, &traces, &config);
+
+    let adprom_engine = DetectionEngine::new(&adprom_profile);
+    let cmarkov_engine = DetectionEngine::new(&cmarkov_profile);
+
+    // Collect each attack's modified program (attack 5 is a malicious
+    // input on the unmodified binary).
+    let attacks: Vec<(&str, Option<adprom_lang::Program>)> = vec![
+        (
+            "Attack 1 (similar print, other branch)",
+            attack1_insert_similar_print(&workload.program).map(|a| a.program),
+        ),
+        (
+            "Attack 2 (new call in other function)",
+            attack2_new_call_in_function(&workload.program, "SELECT * FROM clients")
+                .map(|a| a.program),
+        ),
+        (
+            "Attack 3 (reuse existing print)",
+            attack3_reuse_print(&workload.program).map(|a| a.program),
+        ),
+        (
+            "Attack 4 (binary patch to file)",
+            attack4_binary_patch(&workload.program, "SELECT * FROM clients").map(|a| a.program),
+        ),
+        ("Attack 5 (SQL injection input)", None),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, program) in attacks {
+        let (adprom_flag, cmarkov_flag, connected) = match program {
+            Some(program) => run_attack(&workload, program, &adprom_engine, &cmarkov_engine),
+            None => {
+                // Attack 5: malicious input on the original binary.
+                let trace = workload.run_case(&banking::injection_case(), &analysis.site_labels);
+                let a = adprom_engine.verdict(&trace);
+                let c = cmarkov_engine.verdict(&strip_trace(&trace));
+                let connected = adprom_engine
+                    .scan(&trace)
+                    .iter()
+                    .any(|al| al.flag == Flag::DataLeak && al.detail.contains("_Q"));
+                (a, c, connected)
+            }
+        };
+        rows.push(vec![
+            name.to_string(),
+            render(cmarkov_flag, false),
+            render(adprom_flag, connected),
+        ]);
+    }
+    print_table("AD-PROM vs CMarkov", &["Attack", "CMarkov", "AD-PROM"], &rows);
+    println!(
+        "\npaper: CMarkov misses attacks 1 and 3; AD-PROM detects all five and \
+         connects each to the data source"
+    );
+}
+
+fn run_attack(
+    workload: &Workload,
+    program: adprom_lang::Program,
+    adprom_engine: &DetectionEngine<'_>,
+    cmarkov_engine: &DetectionEngine<'_>,
+) -> (Flag, Flag, bool) {
+    let attacked = Workload {
+        name: workload.name.clone(),
+        dbms: workload.dbms,
+        program,
+        make_db: banking::make_db,
+        test_cases: workload.test_cases.clone(),
+    };
+    // Detection-time instrumentation analyzes the modified binary.
+    let attacked_analysis = analyze(&attacked.program);
+    let mut adprom_flag = Flag::Normal;
+    let mut cmarkov_flag = Flag::Normal;
+    let mut connected = false;
+    for case in attacked.test_cases.iter().take(40) {
+        let labeled = attacked.run_case(case, &attacked_analysis.site_labels);
+        let v = adprom_engine.verdict(&labeled);
+        if v > adprom_flag {
+            adprom_flag = v;
+        }
+        if !connected {
+            connected = adprom_engine
+                .scan(&labeled)
+                .iter()
+                .any(|a| (a.flag == Flag::DataLeak && a.detail.contains("_Q"))
+                    || a.flag == Flag::OutOfContext);
+        }
+        // CMarkov's collector sees raw names only.
+        cmarkov_flag = cmarkov_flag.max(cmarkov_engine.verdict(&strip_trace(&labeled)));
+    }
+    (adprom_flag, cmarkov_flag, connected)
+}
+
+fn render(flag: Flag, connected: bool) -> String {
+    match (flag, connected) {
+        (Flag::Normal, _) => "undetected".to_string(),
+        (f, true) => format!("detected ({f}) & connected to source"),
+        (f, false) => format!("detected ({f})"),
+    }
+}

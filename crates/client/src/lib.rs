@@ -1,0 +1,24 @@
+//! # adprom-client
+//!
+//! A libpq / libmysqlclient-shaped client layer over [`adprom_db`]. The
+//! application programs monitored by AD-PROM talk to the database through
+//! exactly this call surface, and the interpreter in `adprom-trace`
+//! dispatches the corresponding `LibCall`s here.
+//!
+//! The semantics mirror the C libraries where it matters to the paper:
+//!
+//! * `PQexec` returns a result handle; `PQntuples` / `PQgetvalue` walk it —
+//!   so *one extra matching row means one extra `PQgetvalue`+`printf` pair*
+//!   in the trace (Fig. 1).
+//! * `mysql_query` only reports status; `mysql_store_result` materializes the
+//!   rows and `mysql_fetch_row` iterates a cursor, returning `None` at the
+//!   end — so the Fig. 2 injection loop really executes once per row.
+//! * Named prepared statements (`PQprepare`/`PQexecPrepared`,
+//!   `mysql_stmt_*`) bind parameters server-side and are immune to the
+//!   tautology injection.
+
+#![warn(missing_docs)]
+
+pub mod session;
+
+pub use session::{ClientError, ClientSession, ResultHandle};

@@ -1,0 +1,336 @@
+//! A client session: one connection to one database, holding result sets
+//! and cursors, exposed through libpq- and libmysql-shaped methods.
+
+use adprom_db::{Database, DbError, QueryResult, ResultSet, Value};
+use std::fmt;
+
+/// Opaque handle to a stored result set (what `PQexec` /
+/// `mysql_store_result` return to the program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResultHandle(pub usize);
+
+/// Client-layer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The underlying engine rejected the statement.
+    Db(DbError),
+    /// A result handle is stale or out of range.
+    BadHandle(usize),
+    /// `mysql_store_result` called with no pending query result.
+    NoPendingResult,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Db(e) => write!(f, "database error: {e}"),
+            ClientError::BadHandle(h) => write!(f, "invalid result handle {h}"),
+            ClientError::NoPendingResult => write!(f, "no pending result to store"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<DbError> for ClientError {
+    fn from(e: DbError) -> ClientError {
+        ClientError::Db(e)
+    }
+}
+
+#[derive(Debug)]
+struct StoredResult {
+    rows: ResultSet,
+    /// `mysql_fetch_row` cursor.
+    cursor: usize,
+}
+
+/// One connection to one database.
+///
+/// The session owns the [`Database`] — the reproduction runs client and
+/// server in-process, which keeps the call surface identical while removing
+/// the network (the paper's overhead numbers likewise exclude server time).
+#[derive(Debug)]
+pub struct ClientSession {
+    db: Database,
+    results: Vec<StoredResult>,
+    /// Result of the last `mysql_query`, waiting for `mysql_store_result`.
+    pending: Option<ResultSet>,
+    /// Count of queries submitted (used by experiment harnesses).
+    queries_submitted: u64,
+}
+
+impl ClientSession {
+    /// Opens a session over an existing database (`PQconnectdb` /
+    /// `mysql_real_connect`).
+    pub fn connect(db: Database) -> ClientSession {
+        ClientSession {
+            db,
+            results: Vec::new(),
+            pending: None,
+            queries_submitted: 0,
+        }
+    }
+
+    /// The underlying database (for seeding and assertions in tests).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the underlying database.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Number of queries submitted over this session.
+    pub fn queries_submitted(&self) -> u64 {
+        self.queries_submitted
+    }
+
+    fn store(&mut self, rows: ResultSet) -> ResultHandle {
+        self.results.push(StoredResult { rows, cursor: 0 });
+        ResultHandle(self.results.len() - 1)
+    }
+
+    fn stored(&self, h: ResultHandle) -> Result<&StoredResult, ClientError> {
+        self.results.get(h.0).ok_or(ClientError::BadHandle(h.0))
+    }
+
+    fn result_set_of(result: QueryResult) -> ResultSet {
+        match result {
+            QueryResult::Rows(rs) => rs,
+            // Command results expose zero tuples, like PGRES_COMMAND_OK.
+            QueryResult::Affected(_) | QueryResult::Ok => ResultSet {
+                columns: vec![],
+                rows: vec![],
+            },
+        }
+    }
+
+    // ---- libpq surface ----
+
+    /// `PQexec`: run a query, return a result handle.
+    pub fn pq_exec(&mut self, sql: &str) -> Result<ResultHandle, ClientError> {
+        self.queries_submitted += 1;
+        let result = self.db.execute(sql)?;
+        Ok(self.store(Self::result_set_of(result)))
+    }
+
+    /// `PQprepare`: register a named prepared statement.
+    pub fn pq_prepare(&mut self, name: &str, sql: &str) -> Result<(), ClientError> {
+        self.db.prepare(name, sql)?;
+        Ok(())
+    }
+
+    /// `PQexecPrepared`: execute a named prepared statement with text
+    /// parameters (libpq passes all parameters as strings).
+    pub fn pq_exec_prepared(
+        &mut self,
+        name: &str,
+        params: &[String],
+    ) -> Result<ResultHandle, ClientError> {
+        self.queries_submitted += 1;
+        let values: Vec<Value> = params.iter().map(|p| Value::Text(p.clone())).collect();
+        let result = self.db.execute_prepared(name, &values)?;
+        Ok(self.store(Self::result_set_of(result)))
+    }
+
+    /// `PQntuples`: number of rows in a result.
+    pub fn pq_ntuples(&self, h: ResultHandle) -> Result<usize, ClientError> {
+        Ok(self.stored(h)?.rows.ntuples())
+    }
+
+    /// `PQnfields`: number of columns in a result.
+    pub fn pq_nfields(&self, h: ResultHandle) -> Result<usize, ClientError> {
+        Ok(self.stored(h)?.rows.nfields())
+    }
+
+    /// `PQgetvalue`: field as text; empty string when out of range (libpq
+    /// returns "" rather than failing).
+    pub fn pq_getvalue(&self, h: ResultHandle, row: usize, col: usize) -> Result<String, ClientError> {
+        Ok(self
+            .stored(h)?
+            .rows
+            .get_value(row, col)
+            .unwrap_or_default())
+    }
+
+    /// `PQclear`: drop a stored result (handle becomes a stub; libpq-style
+    /// use-after-clear is an error).
+    pub fn pq_clear(&mut self, h: ResultHandle) -> Result<(), ClientError> {
+        let slot = self
+            .results
+            .get_mut(h.0)
+            .ok_or(ClientError::BadHandle(h.0))?;
+        slot.rows = ResultSet {
+            columns: vec![],
+            rows: vec![],
+        };
+        slot.cursor = 0;
+        Ok(())
+    }
+
+    // ---- libmysqlclient surface ----
+
+    /// `mysql_query`: run a query; returns 0 on success, 1 on error (the C
+    /// convention), leaving row results pending for `mysql_store_result`.
+    pub fn mysql_query(&mut self, sql: &str) -> i64 {
+        self.queries_submitted += 1;
+        match self.db.execute(sql) {
+            Ok(result) => {
+                self.pending = Some(Self::result_set_of(result));
+                0
+            }
+            Err(_) => {
+                self.pending = None;
+                1
+            }
+        }
+    }
+
+    /// `mysql_stmt_prepare` + `mysql_stmt_execute` combined (one statement
+    /// handle per session keeps the surface small). Parameters are bound as
+    /// text, matching `MYSQL_TYPE_STRING` binds.
+    pub fn mysql_stmt_prepare(&mut self, sql: &str) -> Result<(), ClientError> {
+        self.db.prepare("__mysql_stmt", sql)?;
+        Ok(())
+    }
+
+    /// Executes the prepared statement; results become pending.
+    pub fn mysql_stmt_execute(&mut self, params: &[String]) -> Result<(), ClientError> {
+        self.queries_submitted += 1;
+        let values: Vec<Value> = params.iter().map(|p| Value::Text(p.clone())).collect();
+        let result = self.db.execute_prepared("__mysql_stmt", &values)?;
+        self.pending = Some(Self::result_set_of(result));
+        Ok(())
+    }
+
+    /// `mysql_store_result`: materialize the pending result.
+    pub fn mysql_store_result(&mut self) -> Result<ResultHandle, ClientError> {
+        let rows = self.pending.take().ok_or(ClientError::NoPendingResult)?;
+        Ok(self.store(rows))
+    }
+
+    /// `mysql_fetch_row`: next row as text fields, or `None` at the end.
+    pub fn mysql_fetch_row(&mut self, h: ResultHandle) -> Result<Option<Vec<String>>, ClientError> {
+        let slot = self
+            .results
+            .get_mut(h.0)
+            .ok_or(ClientError::BadHandle(h.0))?;
+        if slot.cursor >= slot.rows.ntuples() {
+            return Ok(None);
+        }
+        let row = slot.rows.rows[slot.cursor]
+            .iter()
+            .map(|v| v.render())
+            .collect();
+        slot.cursor += 1;
+        Ok(Some(row))
+    }
+
+    /// `mysql_num_rows`.
+    pub fn mysql_num_rows(&self, h: ResultHandle) -> Result<usize, ClientError> {
+        Ok(self.stored(h)?.rows.ntuples())
+    }
+
+    /// `mysql_num_fields`.
+    pub fn mysql_num_fields(&self, h: ResultHandle) -> Result<usize, ClientError> {
+        Ok(self.stored(h)?.rows.nfields())
+    }
+
+    /// `mysql_free_result`.
+    pub fn mysql_free_result(&mut self, h: ResultHandle) -> Result<(), ClientError> {
+        self.pq_clear(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> ClientSession {
+        let mut db = Database::new("bank");
+        db.execute("CREATE TABLE clients (id INT, name TEXT)").unwrap();
+        db.execute("INSERT INTO clients VALUES (105, 'alice'), (106, 'bob'), (107, 'carol')")
+            .unwrap();
+        ClientSession::connect(db)
+    }
+
+    #[test]
+    fn pq_surface_walks_results() {
+        let mut s = session();
+        let h = s.pq_exec("SELECT * FROM clients WHERE id = 105").unwrap();
+        assert_eq!(s.pq_ntuples(h).unwrap(), 1);
+        assert_eq!(s.pq_nfields(h).unwrap(), 2);
+        assert_eq!(s.pq_getvalue(h, 0, 1).unwrap(), "alice");
+        // Out-of-range access returns "" like libpq.
+        assert_eq!(s.pq_getvalue(h, 5, 0).unwrap(), "");
+    }
+
+    #[test]
+    fn mysql_fetch_row_cursor_semantics() {
+        let mut s = session();
+        assert_eq!(s.mysql_query("SELECT name FROM clients ORDER BY id"), 0);
+        let h = s.mysql_store_result().unwrap();
+        let mut names = Vec::new();
+        while let Some(row) = s.mysql_fetch_row(h).unwrap() {
+            names.push(row[0].clone());
+        }
+        assert_eq!(names, vec!["alice", "bob", "carol"]);
+        // Cursor is exhausted.
+        assert_eq!(s.mysql_fetch_row(h).unwrap(), None);
+    }
+
+    #[test]
+    fn mysql_query_error_returns_one() {
+        let mut s = session();
+        assert_eq!(s.mysql_query("SELECT * FROM nope"), 1);
+        assert!(matches!(
+            s.mysql_store_result(),
+            Err(ClientError::NoPendingResult)
+        ));
+    }
+
+    #[test]
+    fn injection_changes_row_count_through_client() {
+        // End-to-end Fig. 2: concatenated input flips selectivity.
+        let mut s = session();
+        let account = "105";
+        let q = format!("SELECT * FROM clients where id='{account}';");
+        assert_eq!(s.mysql_query(&q), 0);
+        let h = s.mysql_store_result().unwrap();
+        assert_eq!(s.mysql_num_rows(h).unwrap(), 1);
+
+        let account = "1' OR '1'='1";
+        let q = format!("SELECT * FROM clients where id='{account}';");
+        assert_eq!(s.mysql_query(&q), 0);
+        let h = s.mysql_store_result().unwrap();
+        assert_eq!(s.mysql_num_rows(h).unwrap(), 3);
+    }
+
+    #[test]
+    fn prepared_statements_resist_injection() {
+        let mut s = session();
+        s.mysql_stmt_prepare("SELECT * FROM clients WHERE id = ?").unwrap();
+        s.mysql_stmt_execute(&["1' OR '1'='1".to_string()]).unwrap();
+        let h = s.mysql_store_result().unwrap();
+        assert_eq!(s.mysql_num_rows(h).unwrap(), 0);
+    }
+
+    #[test]
+    fn pq_clear_resets_result() {
+        let mut s = session();
+        let h = s.pq_exec("SELECT * FROM clients").unwrap();
+        s.pq_clear(h).unwrap();
+        assert_eq!(s.pq_ntuples(h).unwrap(), 0);
+    }
+
+    #[test]
+    fn command_results_have_zero_tuples() {
+        let mut s = session();
+        let h = s
+            .pq_exec("UPDATE clients SET name = 'x' WHERE id = 105")
+            .unwrap();
+        assert_eq!(s.pq_ntuples(h).unwrap(), 0);
+    }
+}

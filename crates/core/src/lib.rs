@@ -1,0 +1,43 @@
+//! # adprom-core
+//!
+//! AD-PROM proper: the Profile Constructor and Detection Engine from the
+//! ICDE 2020 paper, assembled over the analysis, HMM, ML and trace
+//! substrates.
+//!
+//! Training phase (§IV-C): [`constructor::build_profile`] takes the static
+//! [`Analysis`](adprom_analysis::Analysis) and the collected training
+//! traces, initializes an HMM from the pCTM ([`init`]) — with CTV → PCA →
+//! k-means state reduction for large programs — trains it with Baum–Welch
+//! under CSDS convergence, and selects a detection threshold by
+//! cross-validation ([`threshold`]).
+//!
+//! Detection phase (§IV-D): [`detect::DetectionEngine`] scores n-length
+//! call windows and raises the paper's four flags (Normal / Anomalous /
+//! DataLeak / OutOfContext); [`detect::OnlineDetector`] does the same
+//! streaming, as a [`CallSink`](adprom_trace::CallSink).
+//!
+//! Baselines (§V): [`baselines::build_cmarkov`] (static init, no data-flow
+//! labels, no caller tracking) and [`baselines::build_rand_hmm`] (random
+//! init). Metrics for the evaluation harnesses live in [`metrics`].
+
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod baselines;
+pub mod constructor;
+pub mod detect;
+pub mod extensions;
+pub mod init;
+pub mod metrics;
+pub mod profile;
+pub mod threshold;
+
+pub use alphabet::{Alphabet, UNKNOWN};
+pub use baselines::{build_cmarkov, build_rand_hmm, strip_ctm, strip_label, strip_trace};
+pub use constructor::{build_profile, trace_windows, BuildReport, ConstructorConfig};
+pub use detect::{Alert, DetectionEngine, Flag, OnlineDetector};
+pub use extensions::{ExtensionAlert, ExtensionKind, FileLabelMonitor, QuerySignatureMonitor};
+pub use init::{build_ctvs, init_from_pctm, InitConfig, InitializedModel};
+pub use metrics::{fn_rate_at_fp, roc_curve, Confusion, RocPoint};
+pub use profile::{Profile, ProfileIoError};
+pub use threshold::{select_threshold, threshold_sweep, AdaptiveThreshold};

@@ -1,0 +1,245 @@
+//! Accuracy metrics (§V-D): confusion matrices and the FP/FN/precision/
+//! recall/accuracy definitions the paper evaluates with.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A binary confusion matrix over sequence classifications.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Anomalous sequences correctly flagged.
+    pub tp: usize,
+    /// Normal sequences correctly passed.
+    pub tn: usize,
+    /// Normal sequences incorrectly flagged.
+    pub fp: usize,
+    /// Anomalous sequences missed.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Records one classification outcome.
+    pub fn record(&mut self, truly_anomalous: bool, flagged: bool) {
+        match (truly_anomalous, flagged) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total sequences.
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// FP rate = FP / (FP + TN).
+    pub fn fp_rate(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// FN rate = FN / (FN + TP).
+    pub fn fn_rate(&self) -> f64 {
+        ratio(self.fn_, self.fn_ + self.tp)
+    }
+
+    /// Precision = TP / (TP + FP).
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall = TP / (TP + FN).
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Accuracy = (TP + TN) / total.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Merges another confusion matrix into this one.
+    pub fn merge(&mut self, other: &Confusion) {
+        self.tp += other.tp;
+        self.tn += other.tn;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for Confusion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TP={} TN={} FP={} FN={} | Rec={:.2} Prec={:.2} Acc={:.4}",
+            self.tp,
+            self.tn,
+            self.fp,
+            self.fn_,
+            self.recall(),
+            self.precision(),
+            self.accuracy()
+        )
+    }
+}
+
+/// One point on a Fig. 10-style curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Threshold producing this point.
+    pub threshold: f64,
+    /// False-positive rate at this threshold.
+    pub fp_rate: f64,
+    /// False-negative rate at this threshold.
+    pub fn_rate: f64,
+}
+
+/// Builds an FP-rate → FN-rate curve by sweeping thresholds over the score
+/// distributions of normal and anomalous windows (lower score = more
+/// anomalous). Points are sorted by FP rate.
+pub fn roc_curve(normal_scores: &[f64], anomalous_scores: &[f64], steps: usize) -> Vec<RocPoint> {
+    let mut all: Vec<f64> = normal_scores
+        .iter()
+        .chain(anomalous_scores)
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
+    if all.is_empty() {
+        return Vec::new();
+    }
+    all.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let lo = all[0] - 1.0;
+    let hi = all[all.len() - 1] + 1.0;
+    let steps = steps.max(2);
+    let mut points: Vec<RocPoint> = (0..=steps)
+        .map(|i| {
+            let t = lo + (hi - lo) * i as f64 / steps as f64;
+            let fp = normal_scores
+                .iter()
+                .filter(|&&s| !s.is_finite() || s < t)
+                .count();
+            let fnn = anomalous_scores
+                .iter()
+                .filter(|&&s| s.is_finite() && s >= t)
+                .count();
+            RocPoint {
+                threshold: t,
+                fp_rate: fp as f64 / normal_scores.len().max(1) as f64,
+                fn_rate: fnn as f64 / anomalous_scores.len().max(1) as f64,
+            }
+        })
+        .collect();
+    points.sort_by(|a, b| {
+        a.fp_rate
+            .partial_cmp(&b.fp_rate)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    points
+}
+
+/// FN rate interpolated at a target FP rate — how Fig. 10 compares systems
+/// "under the same FP rates".
+pub fn fn_rate_at_fp(points: &[RocPoint], target_fp: f64) -> f64 {
+    let mut best: Option<&RocPoint> = None;
+    for p in points {
+        if p.fp_rate <= target_fp {
+            best = match best {
+                None => Some(p),
+                Some(b) if p.fp_rate > b.fp_rate => Some(p),
+                Some(b) if (p.fp_rate - b.fp_rate).abs() < 1e-12 && p.fn_rate < b.fn_rate => {
+                    Some(p)
+                }
+                other => other,
+            };
+        }
+    }
+    best.map(|p| p.fn_rate).unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matches_table_vii_shape() {
+        // App1 row of Table VII: 1245 sequences, TP=91, TN=1148, FP=6, FN=0.
+        let c = Confusion {
+            tp: 91,
+            tn: 1148,
+            fp: 6,
+            fn_: 0,
+        };
+        assert_eq!(c.total(), 1245);
+        assert!((c.recall() - 1.0).abs() < 1e-12);
+        assert!((c.precision() - 0.938).abs() < 0.01);
+        assert!((c.accuracy() - 0.9952).abs() < 0.0005);
+    }
+
+    #[test]
+    fn record_routes_outcomes() {
+        let mut c = Confusion::default();
+        c.record(true, true);
+        c.record(true, false);
+        c.record(false, true);
+        c.record(false, false);
+        assert_eq!((c.tp, c.fn_, c.fp, c.tn), (1, 1, 1, 1));
+        assert_eq!(c.fp_rate(), 0.5);
+        assert_eq!(c.fn_rate(), 0.5);
+    }
+
+    #[test]
+    fn roc_curve_separable_scores_reach_zero_zero() {
+        // Perfectly separable: normals ≫ anomalies.
+        let normal: Vec<f64> = (0..50).map(|i| -10.0 - i as f64 * 0.01).collect();
+        let anomalous: Vec<f64> = (0..50).map(|i| -100.0 - i as f64 * 0.01).collect();
+        let pts = roc_curve(&normal, &anomalous, 100);
+        // Some threshold achieves FP=0 and FN=0.
+        assert!(pts
+            .iter()
+            .any(|p| p.fp_rate == 0.0 && p.fn_rate == 0.0));
+    }
+
+    #[test]
+    fn fn_rate_at_fp_picks_closest_below() {
+        let pts = vec![
+            RocPoint {
+                threshold: -30.0,
+                fp_rate: 0.0,
+                fn_rate: 0.4,
+            },
+            RocPoint {
+                threshold: -20.0,
+                fp_rate: 0.05,
+                fn_rate: 0.1,
+            },
+            RocPoint {
+                threshold: -10.0,
+                fp_rate: 0.2,
+                fn_rate: 0.0,
+            },
+        ];
+        assert_eq!(fn_rate_at_fp(&pts, 0.1), 0.1);
+        assert_eq!(fn_rate_at_fp(&pts, 0.0), 0.4);
+        assert_eq!(fn_rate_at_fp(&pts, 0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Confusion {
+            tp: 1,
+            tn: 2,
+            fp: 3,
+            fn_: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.total(), 20);
+    }
+}

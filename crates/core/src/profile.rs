@@ -1,0 +1,148 @@
+//! Application profiles: the artifact the training phase produces and the
+//! detection phase consumes, plus JSON (de)serialization (the paper reports
+//! an averaged on-disk profile size of ~31 kB).
+
+use crate::alphabet::Alphabet;
+use adprom_hmm::Hmm;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::Path;
+
+/// A trained application profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Application name.
+    pub app_name: String,
+    /// The observation alphabet (labels ∪ `<unk>`).
+    pub alphabet: Alphabet,
+    /// The trained model λ.
+    pub hmm: Hmm,
+    /// Window length n (paper: 15).
+    pub window: usize,
+    /// Log-likelihood threshold: windows scoring below are flagged.
+    pub threshold: f64,
+    /// Callers observed per call name in training — the out-of-context
+    /// check ("a library call issued from a function that usually does not
+    /// issue such a call").
+    pub call_callers: BTreeMap<String, BTreeSet<String>>,
+    /// Labels of DDG-labeled output statements (`*_Q<bid>`): their presence
+    /// in an anomalous window upgrades the flag to DataLeak.
+    pub labeled_outputs: Vec<String>,
+}
+
+/// Profile persistence errors.
+#[derive(Debug)]
+pub enum ProfileIoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Serialization failure.
+    Serde(serde_json::Error),
+}
+
+impl fmt::Display for ProfileIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileIoError::Io(e) => write!(f, "io error: {e}"),
+            ProfileIoError::Serde(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileIoError {}
+
+impl Profile {
+    /// Serializes the profile to JSON.
+    pub fn to_json(&self) -> Result<String, ProfileIoError> {
+        serde_json::to_string(self).map_err(ProfileIoError::Serde)
+    }
+
+    /// Deserializes a profile from JSON.
+    pub fn from_json(json: &str) -> Result<Profile, ProfileIoError> {
+        let mut p: Profile = serde_json::from_str(json).map_err(ProfileIoError::Serde)?;
+        p.alphabet.rebuild_index();
+        Ok(p)
+    }
+
+    /// Writes the profile to a file.
+    pub fn save(&self, path: &Path) -> Result<(), ProfileIoError> {
+        std::fs::write(path, self.to_json()?).map_err(ProfileIoError::Io)
+    }
+
+    /// Loads a profile from a file.
+    pub fn load(path: &Path) -> Result<Profile, ProfileIoError> {
+        let json = std::fs::read_to_string(path).map_err(ProfileIoError::Io)?;
+        Profile::from_json(&json)
+    }
+
+    /// Serialized size in bytes (the §V-C "profile size" figure).
+    pub fn serialized_size(&self) -> usize {
+        self.to_json().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// True when `caller` was never seen issuing `name` during training.
+    /// Unknown call names are not out-of-context by themselves (they are
+    /// caught by the `<unk>` likelihood path instead).
+    pub fn is_out_of_context(&self, name: &str, caller: &str) -> bool {
+        match self.call_callers.get(name) {
+            Some(callers) => !callers.contains(caller),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> Profile {
+        let alphabet = Alphabet::new(vec!["printf".to_string(), "PQexec".to_string()]);
+        let hmm = Hmm::uniform(alphabet.len(), alphabet.len());
+        let mut call_callers = BTreeMap::new();
+        call_callers.insert(
+            "printf".to_string(),
+            ["main".to_string()].into_iter().collect::<BTreeSet<_>>(),
+        );
+        Profile {
+            app_name: "demo".into(),
+            alphabet,
+            hmm,
+            window: 15,
+            threshold: -30.0,
+            call_callers,
+            labeled_outputs: vec!["printf_Q6".to_string()],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let p = sample_profile();
+        let json = p.to_json().unwrap();
+        let q = Profile::from_json(&json).unwrap();
+        assert_eq!(p, q);
+        // Index usable after reload.
+        assert_eq!(q.alphabet.encode("printf"), 0);
+    }
+
+    #[test]
+    fn save_and_load() {
+        let p = sample_profile();
+        let dir = std::env::temp_dir().join("adprom-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.profile.json");
+        p.save(&path).unwrap();
+        let q = Profile::load(&path).unwrap();
+        assert_eq!(p, q);
+        assert!(p.serialized_size() > 100);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn out_of_context_logic() {
+        let p = sample_profile();
+        assert!(!p.is_out_of_context("printf", "main"));
+        assert!(p.is_out_of_context("printf", "helper"));
+        // Unknown names are handled by <unk> scoring, not context.
+        assert!(!p.is_out_of_context("evil", "main"));
+    }
+}

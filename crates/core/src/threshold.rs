@@ -1,0 +1,162 @@
+//! Threshold selection (§IV-D).
+//!
+//! "One simple method is to perform cross validation during the training
+//! phase using a set of predefined thresholds" — [`select_threshold`] scores
+//! the normal training windows fold-by-fold and places the threshold at a
+//! low quantile of the normal score distribution minus a safety margin.
+//! [`AdaptiveThreshold`] implements the second method the paper cites: the
+//! security administrator can relax or tighten the detector over time to
+//! track legitimate behaviour drift.
+
+use adprom_hmm::{log_likelihood, Hmm};
+
+/// Selects the detection threshold via k-fold scoring of normal windows.
+/// Returns `(threshold, mean_normal_score)`.
+pub fn select_threshold(
+    hmm: &Hmm,
+    windows: &[Vec<usize>],
+    folds: usize,
+    quantile: f64,
+    margin: f64,
+) -> (f64, f64) {
+    if windows.is_empty() {
+        return (-1e3, 0.0);
+    }
+    let folds = folds.clamp(1, windows.len());
+    let mut scores: Vec<f64> = Vec::with_capacity(windows.len());
+    // Fold-wise evaluation: each fold is scored as the held-out set (with a
+    // shared model, this equals scoring everything once, but the fold
+    // structure is kept so per-fold statistics are reportable).
+    for fold in 0..folds {
+        for (i, w) in windows.iter().enumerate() {
+            if i % folds == fold {
+                let ll = log_likelihood(hmm, w);
+                scores.push(if ll.is_finite() { ll } else { -1e6 });
+            }
+        }
+    }
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+    let idx = ((scores.len() as f64) * quantile) as usize;
+    let base = scores[idx.min(scores.len() - 1)];
+    (base - margin, mean)
+}
+
+/// Sweeps a set of candidate thresholds over normal and anomalous scores,
+/// reporting `(threshold, fp_rate, fn_rate)` per candidate — the Fig. 10
+/// curves are built from this.
+pub fn threshold_sweep(
+    normal_scores: &[f64],
+    anomalous_scores: &[f64],
+    candidates: &[f64],
+) -> Vec<(f64, f64, f64)> {
+    candidates
+        .iter()
+        .map(|&t| {
+            let fp = normal_scores.iter().filter(|&&s| s < t).count();
+            let fnn = anomalous_scores.iter().filter(|&&s| s >= t).count();
+            (
+                t,
+                fp as f64 / normal_scores.len().max(1) as f64,
+                fnn as f64 / anomalous_scores.len().max(1) as f64,
+            )
+        })
+        .collect()
+}
+
+/// An adaptive threshold the security admin can tune over time (§IV-D's
+/// second method, after \[29\]): exponential response to observed FP
+/// pressure, bounded by a floor and ceiling.
+#[derive(Debug, Clone)]
+pub struct AdaptiveThreshold {
+    current: f64,
+    floor: f64,
+    ceiling: f64,
+    /// Per-adjustment step size in log-likelihood units.
+    step: f64,
+}
+
+impl AdaptiveThreshold {
+    /// Creates an adaptive threshold starting at `initial`, constrained to
+    /// `[floor, ceiling]`.
+    pub fn new(initial: f64, floor: f64, ceiling: f64, step: f64) -> AdaptiveThreshold {
+        AdaptiveThreshold {
+            current: initial.clamp(floor, ceiling),
+            floor,
+            ceiling,
+            step,
+        }
+    }
+
+    /// The active threshold.
+    pub fn value(&self) -> f64 {
+        self.current
+    }
+
+    /// Admin reports a false positive: relax (lower) the threshold.
+    pub fn report_false_positive(&mut self) {
+        self.current = (self.current - self.step).max(self.floor);
+    }
+
+    /// Admin reports a missed attack: tighten (raise) the threshold.
+    pub fn report_false_negative(&mut self) {
+        self.current = (self.current + self.step).min(self.ceiling);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adprom_hmm::Hmm;
+
+    #[test]
+    fn threshold_sits_below_normal_scores() {
+        let hmm = Hmm::random(3, 4, 5);
+        let windows: Vec<Vec<usize>> = (0..40).map(|i| hmm.sample(10, i)).collect();
+        let (t, mean) = select_threshold(&hmm, &windows, 10, 0.0, 1.0);
+        // Threshold is at least 1.0 below the worst normal score.
+        let worst = windows
+            .iter()
+            .map(|w| adprom_hmm::log_likelihood(&hmm, w))
+            .fold(f64::INFINITY, f64::min);
+        assert!(t <= worst - 0.999);
+        assert!(mean >= worst);
+    }
+
+    #[test]
+    fn sweep_is_monotone() {
+        let normal = vec![-5.0, -6.0, -7.0, -8.0];
+        let anomalous = vec![-20.0, -25.0, -9.0];
+        let pts = threshold_sweep(&normal, &anomalous, &[-30.0, -10.0, -6.5, -1.0]);
+        // FP rate grows with the threshold, FN rate shrinks.
+        for pair in pts.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+            assert!(pair[0].2 >= pair[1].2);
+        }
+        // Extremes.
+        assert_eq!(pts[0].1, 0.0);
+        assert_eq!(pts[3].2, 0.0);
+    }
+
+    #[test]
+    fn adaptive_threshold_moves_within_bounds() {
+        let mut at = AdaptiveThreshold::new(-10.0, -20.0, -5.0, 2.0);
+        at.report_false_positive();
+        assert_eq!(at.value(), -12.0);
+        for _ in 0..10 {
+            at.report_false_positive();
+        }
+        assert_eq!(at.value(), -20.0);
+        for _ in 0..20 {
+            at.report_false_negative();
+        }
+        assert_eq!(at.value(), -5.0);
+    }
+
+    #[test]
+    fn empty_windows_yield_default() {
+        let hmm = Hmm::uniform(2, 2);
+        let (t, _) = select_threshold(&hmm, &[], 10, 0.01, 1.0);
+        assert!(t.is_finite());
+    }
+}

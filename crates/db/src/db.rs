@@ -1,0 +1,321 @@
+//! The database: a named collection of tables plus statement execution and
+//! prepared statements.
+
+use crate::error::DbError;
+use crate::exec::{exec_delete, exec_insert, exec_select, exec_update, QueryResult};
+use crate::schema::{Column, Schema};
+use crate::sql::{parse_sql, SqlStmt};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// An in-memory relational database.
+#[derive(Debug, Default)]
+pub struct Database {
+    name: String,
+    tables: HashMap<String, Table>,
+    prepared: HashMap<String, SqlStmt>,
+    /// Total statements executed — exposed for the benchmarks.
+    statements_executed: u64,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new(name: impl Into<String>) -> Database {
+        Database {
+            name: name.into(),
+            ..Database::default()
+        }
+    }
+
+    /// The database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of statements executed so far.
+    pub fn statements_executed(&self) -> u64 {
+        self.statements_executed
+    }
+
+    /// Table names in arbitrary order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&normalize(name))
+    }
+
+    /// Parses and executes one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        let stmt = parse_sql(sql)?;
+        self.execute_stmt(&stmt, &[])
+    }
+
+    /// Parses and executes one SQL statement with bound parameters.
+    pub fn execute_with_params(
+        &mut self,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<QueryResult, DbError> {
+        let stmt = parse_sql(sql)?;
+        self.execute_stmt(&stmt, params)
+    }
+
+    /// Registers a named prepared statement (libpq `PQprepare`).
+    pub fn prepare(&mut self, name: impl Into<String>, sql: &str) -> Result<(), DbError> {
+        let stmt = parse_sql(sql)?;
+        self.prepared.insert(name.into(), stmt);
+        Ok(())
+    }
+
+    /// Executes a previously prepared statement with bound parameters
+    /// (libpq `PQexecPrepared`).
+    pub fn execute_prepared(
+        &mut self,
+        name: &str,
+        params: &[Value],
+    ) -> Result<QueryResult, DbError> {
+        let stmt = self
+            .prepared
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::Unsupported(format!("no prepared statement `{name}`")))?;
+        self.execute_stmt(&stmt, params)
+    }
+
+    /// Executes a parsed statement.
+    pub fn execute_stmt(
+        &mut self,
+        stmt: &SqlStmt,
+        params: &[Value],
+    ) -> Result<QueryResult, DbError> {
+        self.statements_executed += 1;
+        match stmt {
+            SqlStmt::CreateTable { name, columns } => {
+                let key = normalize(name);
+                if self.tables.contains_key(&key) {
+                    return Err(DbError::TableExists(name.clone()));
+                }
+                let schema = Schema::new(
+                    columns
+                        .iter()
+                        .map(|(n, t)| Column {
+                            name: n.clone(),
+                            ty: *t,
+                        })
+                        .collect(),
+                )?;
+                self.tables.insert(key, Table::new(schema));
+                Ok(QueryResult::Ok)
+            }
+            SqlStmt::DropTable { name } => {
+                self.tables
+                    .remove(&normalize(name))
+                    .ok_or_else(|| DbError::UnknownTable(name.clone()))?;
+                Ok(QueryResult::Ok)
+            }
+            SqlStmt::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let t = self.table_mut(table)?;
+                let n = exec_insert(t, columns.as_deref(), rows, params)?;
+                Ok(QueryResult::Affected(n))
+            }
+            SqlStmt::Select {
+                projection,
+                table,
+                where_clause,
+                order_by,
+                limit,
+            } => {
+                let t = self.table_ref(table)?;
+                let rs = exec_select(
+                    t,
+                    projection,
+                    where_clause.as_ref(),
+                    order_by.as_ref(),
+                    *limit,
+                    params,
+                )?;
+                Ok(QueryResult::Rows(rs))
+            }
+            SqlStmt::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
+                let t = self.table_mut(table)?;
+                let n = exec_update(t, sets, where_clause.as_ref(), params)?;
+                Ok(QueryResult::Affected(n))
+            }
+            SqlStmt::Delete {
+                table,
+                where_clause,
+            } => {
+                let t = self.table_mut(table)?;
+                let n = exec_delete(t, where_clause.as_ref(), params)?;
+                Ok(QueryResult::Affected(n))
+            }
+        }
+    }
+
+    fn table_ref(&self, name: &str) -> Result<&Table, DbError> {
+        self.tables
+            .get(&normalize(name))
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
+        self.tables
+            .get_mut(&normalize(name))
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+}
+
+fn normalize(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new("test");
+        db.execute("CREATE TABLE clients (id INT, name TEXT, balance FLOAT)")
+            .unwrap();
+        db.execute(
+            "INSERT INTO clients VALUES (105, 'alice', 10.5), (106, 'bob', 20.0), (107, 'carol', 0.0)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_by_id_returns_one_row() {
+        let mut db = sample_db();
+        let result = db
+            .execute("SELECT * FROM clients where id='105'")
+            .unwrap();
+        assert_eq!(result.rows().unwrap().ntuples(), 1);
+    }
+
+    #[test]
+    fn tautology_injection_returns_all_rows() {
+        // Fig. 2: the injected tautology must flip selectivity from 1 to N.
+        let mut db = sample_db();
+        let result = db
+            .execute("SELECT * FROM clients where id='1' OR '1'='1'")
+            .unwrap();
+        assert_eq!(result.rows().unwrap().ntuples(), 3);
+    }
+
+    #[test]
+    fn prepared_statement_defeats_injection() {
+        // The same payload bound as a parameter matches nothing.
+        let mut db = sample_db();
+        db.prepare("get_client", "SELECT * FROM clients WHERE id = $1")
+            .unwrap();
+        let result = db
+            .execute_prepared("get_client", &[Value::Text("1' OR '1'='1".into())])
+            .unwrap();
+        assert_eq!(result.rows().unwrap().ntuples(), 0);
+        let result = db
+            .execute_prepared("get_client", &[Value::Text("105".into())])
+            .unwrap();
+        assert_eq!(result.rows().unwrap().ntuples(), 1);
+    }
+
+    #[test]
+    fn update_and_delete_affect_counts() {
+        let mut db = sample_db();
+        let r = db
+            .execute("UPDATE clients SET balance = balance + 5 WHERE balance < 15")
+            .unwrap();
+        assert_eq!(r, QueryResult::Affected(2));
+        let r = db.execute("DELETE FROM clients WHERE name LIKE 'b%'").unwrap();
+        assert_eq!(r, QueryResult::Affected(1));
+        assert_eq!(db.table("clients").unwrap().row_count(), 2);
+    }
+
+    #[test]
+    fn count_star_with_predicate() {
+        let mut db = sample_db();
+        let r = db
+            .execute("SELECT COUNT(*) FROM clients WHERE balance > 5")
+            .unwrap();
+        assert_eq!(r.rows().unwrap().get_value(0, 0).unwrap(), "2");
+    }
+
+    #[test]
+    fn aggregates_sum_avg_min_max() {
+        let mut db = sample_db();
+        let r = db
+            .execute("SELECT SUM(id), MIN(id), MAX(id), AVG(balance) FROM clients")
+            .unwrap();
+        let rs = r.rows().unwrap().clone();
+        assert_eq!(rs.get_value(0, 0).unwrap(), "318");
+        assert_eq!(rs.get_value(0, 1).unwrap(), "105");
+        assert_eq!(rs.get_value(0, 2).unwrap(), "107");
+        let avg: f64 = rs.get_value(0, 3).unwrap().parse().unwrap();
+        assert!((avg - 10.166_666).abs() < 1e-3);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let mut db = sample_db();
+        let r = db
+            .execute("SELECT name FROM clients ORDER BY balance DESC LIMIT 2")
+            .unwrap();
+        let rs = r.rows().unwrap().clone();
+        assert_eq!(rs.get_value(0, 0).unwrap(), "bob");
+        assert_eq!(rs.get_value(1, 0).unwrap(), "alice");
+    }
+
+    #[test]
+    fn errors_for_unknown_objects() {
+        let mut db = sample_db();
+        assert!(matches!(
+            db.execute("SELECT * FROM missing"),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            db.execute("SELECT nope FROM clients"),
+            Err(DbError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            db.execute("CREATE TABLE clients (id INT)"),
+            Err(DbError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let mut db = sample_db();
+        db.execute("INSERT INTO clients (id) VALUES (200)").unwrap();
+        let r = db
+            .execute("SELECT name FROM clients WHERE id = 200")
+            .unwrap();
+        assert_eq!(r.rows().unwrap().get_value(0, 0).unwrap(), "NULL");
+    }
+
+    #[test]
+    fn null_predicates() {
+        let mut db = sample_db();
+        db.execute("INSERT INTO clients (id) VALUES (200)").unwrap();
+        let r = db
+            .execute("SELECT COUNT(*) FROM clients WHERE name IS NULL")
+            .unwrap();
+        assert_eq!(r.rows().unwrap().get_value(0, 0).unwrap(), "1");
+        // NULL comparisons never match.
+        let r = db
+            .execute("SELECT COUNT(*) FROM clients WHERE name = 'x' OR balance IS NOT NULL")
+            .unwrap();
+        assert_eq!(r.rows().unwrap().get_value(0, 0).unwrap(), "3");
+    }
+}

@@ -1,0 +1,59 @@
+//! Database error type.
+
+use std::fmt;
+
+/// Errors produced by the database engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// SQL text failed to parse.
+    Syntax(String),
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// Table already exists.
+    TableExists(String),
+    /// Referenced column does not exist.
+    UnknownColumn(String),
+    /// Two columns share a name.
+    DuplicateColumn(String),
+    /// Row width does not match the schema.
+    ArityMismatch {
+        /// Schema width.
+        expected: usize,
+        /// Supplied width.
+        found: usize,
+    },
+    /// A value is not storable in its column.
+    TypeMismatch {
+        /// Target column.
+        column: String,
+        /// Rendered offending value.
+        value: String,
+    },
+    /// A prepared-statement parameter index is out of range.
+    MissingParam(usize),
+    /// Statement kind not usable in this context (e.g. executing DDL through
+    /// a row-returning API).
+    Unsupported(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Syntax(msg) => write!(f, "syntax error: {msg}"),
+            DbError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            DbError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            DbError::DuplicateColumn(c) => write!(f, "duplicate column `{c}`"),
+            DbError::ArityMismatch { expected, found } => {
+                write!(f, "expected {expected} values, found {found}")
+            }
+            DbError::TypeMismatch { column, value } => {
+                write!(f, "value `{value}` not valid for column `{column}`")
+            }
+            DbError::MissingParam(i) => write!(f, "missing parameter ${i}"),
+            DbError::Unsupported(what) => write!(f, "unsupported here: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}

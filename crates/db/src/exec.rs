@@ -1,0 +1,505 @@
+//! Statement execution: expression evaluation and the query engine.
+
+use crate::error::DbError;
+use crate::schema::Schema;
+use crate::sql::{Aggregate, ArithOp, CmpOp, Order, Projection, SqlExpr, SqlScalar, SqlStmt};
+use crate::table::Table;
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// The rows returned by a SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Number of tuples (libpq `PQntuples`).
+    pub fn ntuples(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of fields (libpq `PQnfields`).
+    pub fn nfields(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Field value rendered as text (libpq `PQgetvalue`); `None` when out of
+    /// range.
+    pub fn get_value(&self, row: usize, col: usize) -> Option<String> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(Value::render)
+    }
+}
+
+/// Outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// SELECT output.
+    Rows(ResultSet),
+    /// Row count affected by INSERT/UPDATE/DELETE.
+    Affected(usize),
+    /// DDL success.
+    Ok,
+}
+
+impl QueryResult {
+    /// The result set, if this was a SELECT.
+    pub fn rows(&self) -> Option<&ResultSet> {
+        match self {
+            QueryResult::Rows(rs) => Some(rs),
+            _ => None,
+        }
+    }
+}
+
+fn resolve_scalar(s: &SqlScalar, params: &[Value]) -> Result<Value, DbError> {
+    match s {
+        SqlScalar::Literal(v) => Ok(v.clone()),
+        SqlScalar::Param(i) => params
+            .get(i - 1)
+            .cloned()
+            .ok_or(DbError::MissingParam(*i)),
+    }
+}
+
+/// Evaluates a WHERE/SET expression against one row.
+pub fn eval_expr(
+    expr: &SqlExpr,
+    schema: &Schema,
+    row: &[Value],
+    params: &[Value],
+) -> Result<Value, DbError> {
+    match expr {
+        SqlExpr::Scalar(s) => resolve_scalar(s, params),
+        SqlExpr::Column(name) => {
+            let idx = schema.index_of(name)?;
+            Ok(row[idx].clone())
+        }
+        SqlExpr::Cmp(op, a, b) => {
+            let va = eval_expr(a, schema, row, params)?;
+            let vb = eval_expr(b, schema, row, params)?;
+            let out = match va.sql_cmp(&vb) {
+                None => Value::Null,
+                Some(ord) => Value::Int(i64::from(match op {
+                    CmpOp::Eq => ord == Ordering::Equal,
+                    CmpOp::Ne => ord != Ordering::Equal,
+                    CmpOp::Lt => ord == Ordering::Less,
+                    CmpOp::Le => ord != Ordering::Greater,
+                    CmpOp::Gt => ord == Ordering::Greater,
+                    CmpOp::Ge => ord != Ordering::Less,
+                })),
+            };
+            Ok(out)
+        }
+        SqlExpr::And(a, b) => {
+            let va = truthy(&eval_expr(a, schema, row, params)?);
+            // SQL three-valued logic: false AND x = false.
+            if va == Some(false) {
+                return Ok(Value::Int(0));
+            }
+            let vb = truthy(&eval_expr(b, schema, row, params)?);
+            Ok(match (va, vb) {
+                (Some(true), Some(true)) => Value::Int(1),
+                (_, Some(false)) => Value::Int(0),
+                _ => Value::Null,
+            })
+        }
+        SqlExpr::Or(a, b) => {
+            let va = truthy(&eval_expr(a, schema, row, params)?);
+            if va == Some(true) {
+                return Ok(Value::Int(1));
+            }
+            let vb = truthy(&eval_expr(b, schema, row, params)?);
+            Ok(match (va, vb) {
+                (_, Some(true)) => Value::Int(1),
+                (Some(false), Some(false)) => Value::Int(0),
+                _ => Value::Null,
+            })
+        }
+        SqlExpr::Not(a) => {
+            let va = truthy(&eval_expr(a, schema, row, params)?);
+            Ok(match va {
+                Some(v) => Value::Int(i64::from(!v)),
+                None => Value::Null,
+            })
+        }
+        SqlExpr::Like(a, pat) => {
+            let va = eval_expr(a, schema, row, params)?;
+            let vp = eval_expr(pat, schema, row, params)?;
+            match (va, vp) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (a, p) => Ok(Value::Int(i64::from(like_match(&a.render(), &p.render())))),
+            }
+        }
+        SqlExpr::IsNull(a, negated) => {
+            let va = eval_expr(a, schema, row, params)?;
+            Ok(Value::Int(i64::from(va.is_null() != *negated)))
+        }
+        SqlExpr::Arith(op, a, b) => {
+            let va = eval_expr(a, schema, row, params)?;
+            let vb = eval_expr(b, schema, row, params)?;
+            match (va.as_number(), vb.as_number()) {
+                // SQL convention: division by zero yields NULL.
+                (Some(_), Some(y)) if *op == ArithOp::Div && y == 0.0 => Ok(Value::Null),
+                (Some(x), Some(y)) => {
+                    let out = match op {
+                        ArithOp::Add => x + y,
+                        ArithOp::Sub => x - y,
+                        ArithOp::Mul => x * y,
+                        ArithOp::Div => x / y,
+                    };
+                    // Keep integer typing when both operands were integers
+                    // and the result is exact.
+                    if let (Value::Int(_), Value::Int(_)) = (&va, &vb) {
+                        if out.fract() == 0.0 && out.is_finite() {
+                            return Ok(Value::Int(out as i64));
+                        }
+                    }
+                    Ok(Value::Float(out))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+    }
+}
+
+fn truthy(v: &Value) -> Option<bool> {
+    match v {
+        Value::Null => None,
+        other => other.as_number().map(|n| n != 0.0).or(Some(false)),
+    }
+}
+
+/// SQL LIKE matching with `%` (any run) and `_` (any single char).
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[u8], p: &[u8]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some(b'%') => {
+                // Skip consecutive %.
+                let p = &p[1..];
+                (0..=t.len()).any(|i| rec(&t[i..], p))
+            }
+            Some(b'_') => !t.is_empty() && rec(&t[1..], &p[1..]),
+            Some(&c) => t.first() == Some(&c) && rec(&t[1..], &p[1..]),
+        }
+    }
+    rec(text.as_bytes(), pattern.as_bytes())
+}
+
+/// Executes a SELECT against one table.
+pub fn exec_select(
+    table: &Table,
+    projection: &Projection,
+    where_clause: Option<&SqlExpr>,
+    order_by: Option<&(String, Order)>,
+    limit: Option<usize>,
+    params: &[Value],
+) -> Result<ResultSet, DbError> {
+    let schema = table.schema();
+    let mut matched: Vec<&Vec<Value>> = Vec::new();
+    for row in table.rows() {
+        let keep = match where_clause {
+            None => true,
+            Some(w) => truthy(&eval_expr(w, schema, row, params)?) == Some(true),
+        };
+        if keep {
+            matched.push(row);
+        }
+    }
+
+    if let Some((col, dir)) = order_by {
+        let idx = schema.index_of(col)?;
+        matched.sort_by(|a, b| {
+            let ord = a[idx].sql_cmp(&b[idx]).unwrap_or(Ordering::Equal);
+            match dir {
+                Order::Asc => ord,
+                Order::Desc => ord.reverse(),
+            }
+        });
+    }
+
+    if let Some(n) = limit {
+        matched.truncate(n);
+    }
+
+    match projection {
+        Projection::Star => Ok(ResultSet {
+            columns: schema.columns().iter().map(|c| c.name.clone()).collect(),
+            rows: matched.into_iter().cloned().collect(),
+        }),
+        Projection::Columns(cols) => {
+            let idxs: Vec<usize> = cols
+                .iter()
+                .map(|c| schema.index_of(c))
+                .collect::<Result<_, _>>()?;
+            Ok(ResultSet {
+                columns: cols.clone(),
+                rows: matched
+                    .into_iter()
+                    .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+                    .collect(),
+            })
+        }
+        Projection::Aggregates(aggs) => {
+            let mut columns = Vec::new();
+            let mut row = Vec::new();
+            for agg in aggs {
+                let (name, value) = eval_aggregate(agg, schema, &matched)?;
+                columns.push(name);
+                row.push(value);
+            }
+            Ok(ResultSet {
+                columns,
+                rows: vec![row],
+            })
+        }
+    }
+}
+
+fn eval_aggregate(
+    agg: &Aggregate,
+    schema: &Schema,
+    rows: &[&Vec<Value>],
+) -> Result<(String, Value), DbError> {
+    let col_values = |col: &str| -> Result<Vec<Value>, DbError> {
+        let idx = schema.index_of(col)?;
+        Ok(rows
+            .iter()
+            .map(|r| r[idx].clone())
+            .filter(|v| !v.is_null())
+            .collect())
+    };
+    match agg {
+        Aggregate::CountStar => Ok(("count".into(), Value::Int(rows.len() as i64))),
+        Aggregate::Count(col) => Ok(("count".into(), Value::Int(col_values(col)?.len() as i64))),
+        Aggregate::Sum(col) => {
+            let vals = col_values(col)?;
+            if vals.is_empty() {
+                return Ok(("sum".into(), Value::Null));
+            }
+            let sum: f64 = vals.iter().filter_map(Value::as_number).sum();
+            Ok(("sum".into(), number_value(sum, &vals)))
+        }
+        Aggregate::Avg(col) => {
+            let vals = col_values(col)?;
+            if vals.is_empty() {
+                return Ok(("avg".into(), Value::Null));
+            }
+            let sum: f64 = vals.iter().filter_map(Value::as_number).sum();
+            Ok(("avg".into(), Value::Float(sum / vals.len() as f64)))
+        }
+        Aggregate::Min(col) => Ok(("min".into(), extremum(col_values(col)?, Ordering::Less))),
+        Aggregate::Max(col) => Ok(("max".into(), extremum(col_values(col)?, Ordering::Greater))),
+    }
+}
+
+fn number_value(x: f64, source: &[Value]) -> Value {
+    let all_int = source.iter().all(|v| matches!(v, Value::Int(_)));
+    if all_int && x.fract() == 0.0 && x.is_finite() {
+        Value::Int(x as i64)
+    } else {
+        Value::Float(x)
+    }
+}
+
+fn extremum(vals: Vec<Value>, want: Ordering) -> Value {
+    let mut best: Option<Value> = None;
+    for v in vals {
+        best = match best {
+            None => Some(v),
+            Some(b) => {
+                if v.sql_cmp(&b) == Some(want) {
+                    Some(v)
+                } else {
+                    Some(b)
+                }
+            }
+        };
+    }
+    best.unwrap_or(Value::Null)
+}
+
+/// Executes UPDATE; returns affected row count.
+pub fn exec_update(
+    table: &mut Table,
+    sets: &[(String, SqlExpr)],
+    where_clause: Option<&SqlExpr>,
+    params: &[Value],
+) -> Result<usize, DbError> {
+    let schema = table.schema().clone();
+    let set_idxs: Vec<(usize, &SqlExpr)> = sets
+        .iter()
+        .map(|(c, e)| Ok((schema.index_of(c)?, e)))
+        .collect::<Result<_, DbError>>()?;
+    let mut affected = 0;
+    for row in table.rows_mut() {
+        let keep = match where_clause {
+            None => true,
+            Some(w) => truthy(&eval_expr(w, &schema, row, params)?) == Some(true),
+        };
+        if keep {
+            // Evaluate all SETs against the pre-update row, then apply.
+            let mut new_vals = Vec::with_capacity(set_idxs.len());
+            for (idx, e) in &set_idxs {
+                let v = eval_expr(e, &schema, row, params)?;
+                let col = &schema.columns()[*idx];
+                if !col.ty.accepts(&v) {
+                    return Err(DbError::TypeMismatch {
+                        column: col.name.clone(),
+                        value: v.render(),
+                    });
+                }
+                new_vals.push((*idx, col.ty.coerce(v)));
+            }
+            for (idx, v) in new_vals {
+                row[idx] = v;
+            }
+            affected += 1;
+        }
+    }
+    Ok(affected)
+}
+
+/// Executes DELETE; returns affected row count.
+pub fn exec_delete(
+    table: &mut Table,
+    where_clause: Option<&SqlExpr>,
+    params: &[Value],
+) -> Result<usize, DbError> {
+    let schema = table.schema().clone();
+    let mut error = None;
+    let before = table.row_count();
+    table.rows_mut().retain(|row| {
+        if error.is_some() {
+            return true;
+        }
+        match where_clause {
+            None => false,
+            Some(w) => match eval_expr(w, &schema, row, params) {
+                Ok(v) => truthy(&v) != Some(true),
+                Err(e) => {
+                    error = Some(e);
+                    true
+                }
+            },
+        }
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(before - table.row_count()),
+    }
+}
+
+/// Binds INSERT rows and appends them; returns affected count.
+pub fn exec_insert(
+    table: &mut Table,
+    columns: Option<&[String]>,
+    rows: &[Vec<SqlScalar>],
+    params: &[Value],
+) -> Result<usize, DbError> {
+    let schema = table.schema().clone();
+    let mut count = 0;
+    for scalars in rows {
+        let values: Vec<Value> = scalars
+            .iter()
+            .map(|s| resolve_scalar(s, params))
+            .collect::<Result<_, _>>()?;
+        let full_row = match columns {
+            None => values,
+            Some(cols) => {
+                if cols.len() != values.len() {
+                    return Err(DbError::ArityMismatch {
+                        expected: cols.len(),
+                        found: values.len(),
+                    });
+                }
+                let mut row = vec![Value::Null; schema.len()];
+                for (c, v) in cols.iter().zip(values) {
+                    row[schema.index_of(c)?] = v;
+                }
+                row
+            }
+        };
+        table.insert(full_row)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Dispatches a parsed statement against a table-lookup callback. Used by
+/// [`Database::execute`](crate::Database::execute).
+pub fn returns_rows(stmt: &SqlStmt) -> bool {
+    stmt.returns_rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_edge_cases() {
+        use crate::schema::{schema, ColumnType};
+        use crate::table::Table;
+        let s = schema(&[("a", ColumnType::Int), ("b", ColumnType::Int)]);
+        let mut t = Table::new(s);
+        t.insert(vec![Value::Int(10), Value::Int(0)]).unwrap();
+        // Division by zero yields NULL (SQL convention, never a panic), and
+        // NULL = 0 evaluates to NULL.
+        let stmt = crate::sql::parse_sql("SELECT * FROM t WHERE a / b = 0").unwrap();
+        if let crate::sql::SqlStmt::Select { where_clause, .. } = stmt {
+            let w = where_clause.unwrap();
+            let v = eval_expr(&w, t.schema(), &t.rows()[0], &[]).unwrap();
+            assert_eq!(v, Value::Null);
+        } else {
+            panic!("expected select");
+        }
+    }
+
+    #[test]
+    fn select_limit_zero_returns_nothing() {
+        use crate::schema::{schema, ColumnType};
+        use crate::table::Table;
+        let s = schema(&[("a", ColumnType::Int)]);
+        let mut t = Table::new(s);
+        t.insert(vec![Value::Int(1)]).unwrap();
+        let rs = exec_select(&t, &Projection::Star, None, None, Some(0), &[]).unwrap();
+        assert_eq!(rs.ntuples(), 0);
+    }
+
+    #[test]
+    fn order_by_text_is_lexicographic() {
+        use crate::schema::{schema, ColumnType};
+        use crate::table::Table;
+        let s = schema(&[("n", ColumnType::Text)]);
+        let mut t = Table::new(s);
+        for v in ["pear", "apple", "plum"] {
+            t.insert(vec![Value::Text(v.into())]).unwrap();
+        }
+        let rs = exec_select(
+            &t,
+            &Projection::Star,
+            None,
+            Some(&("n".to_string(), Order::Asc)),
+            None,
+            &[],
+        )
+        .unwrap();
+        let names: Vec<String> = rs.rows.iter().map(|r| r[0].render()).collect();
+        assert_eq!(names, vec!["apple", "pear", "plum"]);
+    }
+
+    #[test]
+    fn like_match_wildcards() {
+        assert!(like_match("hello", "h%o"));
+        assert!(like_match("hello", "_ello"));
+        assert!(!like_match("hello", "h_o"));
+        assert!(like_match("", "%"));
+        assert!(like_match("abc", "%"));
+        assert!(!like_match("abc", "a_"));
+        assert!(like_match("a%b", "a%b"));
+    }
+}

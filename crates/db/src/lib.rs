@@ -1,0 +1,31 @@
+//! # adprom-db
+//!
+//! An in-memory relational database engine: the substrate standing in for
+//! the PostgreSQL / MySQL servers the AD-PROM paper's client applications
+//! talk to. Queries really parse and execute, so *query selectivity drives
+//! result-set size* — the signal that turns the paper's SQL-injection and
+//! query-modification attacks into observable call-sequence changes.
+//!
+//! Supported SQL: `CREATE TABLE`, `DROP TABLE`, `INSERT`, `SELECT`
+//! (column/`*`/aggregate projections, `WHERE`, `ORDER BY`, `LIMIT`),
+//! `UPDATE`, `DELETE`, and named prepared statements with `$n`/`?`
+//! parameters.
+
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod schema;
+pub mod signature;
+pub mod sql;
+pub mod table;
+pub mod value;
+
+pub use db::Database;
+pub use error::DbError;
+pub use exec::{QueryResult, ResultSet};
+pub use schema::{schema, Column, ColumnType, Schema};
+pub use signature::{query_signature, stmt_signature};
+pub use table::Table;
+pub use value::Value;

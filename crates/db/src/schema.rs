@@ -1,0 +1,168 @@
+//! Table schemas.
+
+use crate::error::DbError;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit integer (`INT`, `INTEGER`, `BIGINT`).
+    Int,
+    /// 64-bit float (`FLOAT`, `REAL`, `DOUBLE`, `DECIMAL`).
+    Float,
+    /// Text (`TEXT`, `VARCHAR(..)`, `CHAR(..)`).
+    Text,
+}
+
+impl ColumnType {
+    /// True if `value` is storable in a column of this type (NULL always is;
+    /// Int widens into Float).
+    pub fn accepts(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_))
+                | (ColumnType::Text, Value::Text(_))
+        )
+    }
+
+    /// Coerces a storable value into the column representation.
+    pub fn coerce(self, value: Value) -> Value {
+        match (self, value) {
+            (ColumnType::Float, Value::Int(v)) => Value::Float(v as f64),
+            (_, v) => v,
+        }
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+/// An ordered set of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema; column names must be unique (case-insensitive).
+    pub fn new(columns: Vec<Column>) -> Result<Schema, DbError> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i]
+                .iter()
+                .any(|p| p.name.eq_ignore_ascii_case(&c.name))
+            {
+                return Err(DbError::DuplicateColumn(c.name.clone()));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// The columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Result<usize, DbError> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| DbError::UnknownColumn(name.to_string()))
+    }
+
+    /// Validates and coerces a full row for insertion.
+    pub fn check_row(&self, row: Vec<Value>) -> Result<Vec<Value>, DbError> {
+        if row.len() != self.columns.len() {
+            return Err(DbError::ArityMismatch {
+                expected: self.columns.len(),
+                found: row.len(),
+            });
+        }
+        row.into_iter()
+            .zip(&self.columns)
+            .map(|(v, c)| {
+                if c.ty.accepts(&v) {
+                    Ok(c.ty.coerce(v))
+                } else {
+                    Err(DbError::TypeMismatch {
+                        column: c.name.clone(),
+                        value: v.render(),
+                    })
+                }
+            })
+            .collect()
+    }
+}
+
+/// Convenience macro-free schema construction helper.
+pub fn schema(cols: &[(&str, ColumnType)]) -> Schema {
+    Schema::new(
+        cols.iter()
+            .map(|(n, t)| Column {
+                name: (*n).to_string(),
+                ty: *t,
+            })
+            .collect(),
+    )
+    .expect("static schema must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = Schema::new(vec![
+            Column {
+                name: "id".into(),
+                ty: ColumnType::Int,
+            },
+            Column {
+                name: "ID".into(),
+                ty: ColumnType::Text,
+            },
+        ])
+        .unwrap_err();
+        assert!(matches!(err, DbError::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn check_row_coerces_int_to_float() {
+        let s = schema(&[("x", ColumnType::Float)]);
+        let row = s.check_row(vec![Value::Int(2)]).unwrap();
+        assert_eq!(row, vec![Value::Float(2.0)]);
+    }
+
+    #[test]
+    fn check_row_rejects_wrong_type() {
+        let s = schema(&[("x", ColumnType::Int)]);
+        assert!(s.check_row(vec![Value::Text("no".into())]).is_err());
+    }
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let s = schema(&[("Name", ColumnType::Text)]);
+        assert_eq!(s.index_of("name").unwrap(), 0);
+        assert!(s.index_of("missing").is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Query signatures (fingerprints) — the §VII mitigation for the
+//! selectivity-mimicry evasion.
+//!
+//! The paper notes that an attacker who knows only call sequences are
+//! profiled "can issue new queries with similar selectivity to avoid
+//! changing the call sequences", and that "recording queries signatures
+//! along with library calls can mitigate this case". A signature is the
+//! statement skeleton with every literal and parameter replaced by `?`:
+//! two queries share a signature iff they differ only in constants.
+
+use crate::sql::{
+    Aggregate, Order, Projection, SqlExpr, SqlScalar, SqlStmt,
+};
+
+/// Computes the signature of a SQL statement text. Unparseable statements
+/// get a token-level fallback so the collector never fails on attacker
+/// input.
+pub fn query_signature(sql: &str) -> String {
+    match crate::sql::parse_sql(sql) {
+        Ok(stmt) => stmt_signature(&stmt),
+        Err(_) => fallback_signature(sql),
+    }
+}
+
+/// Signature of a parsed statement.
+pub fn stmt_signature(stmt: &SqlStmt) -> String {
+    match stmt {
+        SqlStmt::CreateTable { name, columns } => {
+            format!("CREATE TABLE {}({})", low(name), columns.len())
+        }
+        SqlStmt::DropTable { name } => format!("DROP TABLE {}", low(name)),
+        SqlStmt::Insert {
+            table,
+            columns,
+            rows,
+        } => {
+            let cols = match columns {
+                None => "*".to_string(),
+                Some(cols) => cols
+                    .iter()
+                    .map(|c| low(c))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            };
+            format!(
+                "INSERT {} ({cols}) VALUES {}x{}",
+                low(table),
+                rows.first().map_or(0, Vec::len),
+                rows.len()
+            )
+        }
+        SqlStmt::Select {
+            projection,
+            table,
+            where_clause,
+            order_by,
+            limit,
+        } => {
+            let mut out = format!(
+                "SELECT {} FROM {}",
+                projection_signature(projection),
+                low(table)
+            );
+            if let Some(w) = where_clause {
+                out.push_str(" WHERE ");
+                out.push_str(&expr_signature(w));
+            }
+            if let Some((col, dir)) = order_by {
+                out.push_str(" ORDER BY ");
+                out.push_str(&low(col));
+                out.push_str(match dir {
+                    Order::Asc => " ASC",
+                    Order::Desc => " DESC",
+                });
+            }
+            if limit.is_some() {
+                out.push_str(" LIMIT ?");
+            }
+            out
+        }
+        SqlStmt::Update {
+            table,
+            sets,
+            where_clause,
+        } => {
+            let cols: Vec<String> = sets
+                .iter()
+                .map(|(c, e)| format!("{}={}", low(c), expr_signature(e)))
+                .collect();
+            let mut out = format!("UPDATE {} SET {}", low(table), cols.join(","));
+            if let Some(w) = where_clause {
+                out.push_str(" WHERE ");
+                out.push_str(&expr_signature(w));
+            }
+            out
+        }
+        SqlStmt::Delete {
+            table,
+            where_clause,
+        } => {
+            let mut out = format!("DELETE FROM {}", low(table));
+            if let Some(w) = where_clause {
+                out.push_str(" WHERE ");
+                out.push_str(&expr_signature(w));
+            }
+            out
+        }
+    }
+}
+
+fn projection_signature(p: &Projection) -> String {
+    match p {
+        Projection::Star => "*".to_string(),
+        Projection::Columns(cols) => cols
+            .iter()
+            .map(|c| low(c))
+            .collect::<Vec<_>>()
+            .join(","),
+        Projection::Aggregates(aggs) => aggs
+            .iter()
+            .map(|a| match a {
+                Aggregate::CountStar => "COUNT(*)".to_string(),
+                Aggregate::Count(c) => format!("COUNT({})", low(c)),
+                Aggregate::Sum(c) => format!("SUM({})", low(c)),
+                Aggregate::Avg(c) => format!("AVG({})", low(c)),
+                Aggregate::Min(c) => format!("MIN({})", low(c)),
+                Aggregate::Max(c) => format!("MAX({})", low(c)),
+            })
+            .collect::<Vec<_>>()
+            .join(","),
+    }
+}
+
+fn expr_signature(e: &SqlExpr) -> String {
+    match e {
+        SqlExpr::Scalar(SqlScalar::Literal(_)) | SqlExpr::Scalar(SqlScalar::Param(_)) => {
+            "?".to_string()
+        }
+        SqlExpr::Column(c) => low(c),
+        SqlExpr::Cmp(op, a, b) => {
+            let sym = match op {
+                crate::sql::CmpOp::Eq => "=",
+                crate::sql::CmpOp::Ne => "!=",
+                crate::sql::CmpOp::Lt => "<",
+                crate::sql::CmpOp::Le => "<=",
+                crate::sql::CmpOp::Gt => ">",
+                crate::sql::CmpOp::Ge => ">=",
+            };
+            format!("{}{}{}", expr_signature(a), sym, expr_signature(b))
+        }
+        SqlExpr::And(a, b) => format!("({} AND {})", expr_signature(a), expr_signature(b)),
+        SqlExpr::Or(a, b) => format!("({} OR {})", expr_signature(a), expr_signature(b)),
+        SqlExpr::Not(a) => format!("NOT {}", expr_signature(a)),
+        SqlExpr::Like(a, b) => format!("{} LIKE {}", expr_signature(a), expr_signature(b)),
+        SqlExpr::IsNull(a, negated) => format!(
+            "{} IS {}NULL",
+            expr_signature(a),
+            if *negated { "NOT " } else { "" }
+        ),
+        SqlExpr::Arith(op, a, b) => {
+            let sym = match op {
+                crate::sql::ArithOp::Add => "+",
+                crate::sql::ArithOp::Sub => "-",
+                crate::sql::ArithOp::Mul => "*",
+                crate::sql::ArithOp::Div => "/",
+            };
+            format!("{}{}{}", expr_signature(a), sym, expr_signature(b))
+        }
+    }
+}
+
+/// Token-level fallback: uppercase keywords, strip string/number literals.
+fn fallback_signature(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut chars = sql.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                // Skip the literal (with '' escapes).
+                loop {
+                    match chars.next() {
+                        None => break,
+                        Some('\'') => {
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+                out.push('?');
+            }
+            c if c.is_ascii_digit() => {
+                while chars.peek().is_some_and(|c| c.is_ascii_digit() || *c == '.') {
+                    chars.next();
+                }
+                out.push('?');
+            }
+            c if c.is_whitespace() => {
+                if !out.ends_with(' ') {
+                    out.push(' ');
+                }
+            }
+            c => out.push(c.to_ascii_lowercase()),
+        }
+    }
+    format!("~{}", out.trim())
+}
+
+fn low(s: &str) -> String {
+    s.to_ascii_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_do_not_affect_signature() {
+        let a = query_signature("SELECT * FROM clients WHERE id = 105");
+        let b = query_signature("SELECT * FROM clients WHERE id = 999");
+        assert_eq!(a, b);
+        assert_eq!(a, "SELECT * FROM clients WHERE id=?");
+    }
+
+    #[test]
+    fn structure_changes_signature() {
+        let point = query_signature("SELECT * FROM clients WHERE id = '105'");
+        let tautology = query_signature("SELECT * FROM clients WHERE id='1' OR '1'='1'");
+        assert_ne!(point, tautology, "the injected OR changes the skeleton");
+        assert!(tautology.contains("OR"));
+    }
+
+    #[test]
+    fn params_and_literals_look_alike() {
+        let lit = query_signature("SELECT name FROM t WHERE id = 5");
+        let param = query_signature("SELECT name FROM t WHERE id = $1");
+        assert_eq!(lit, param);
+    }
+
+    #[test]
+    fn case_is_normalized() {
+        assert_eq!(
+            query_signature("select * from Clients where ID = 1"),
+            query_signature("SELECT * FROM clients WHERE id = 2")
+        );
+    }
+
+    #[test]
+    fn fallback_handles_garbage() {
+        let sig = query_signature("SELEKT broken 'abc' 42");
+        assert!(sig.starts_with('~'));
+        assert!(!sig.contains("abc"));
+        assert!(!sig.contains("42"));
+    }
+
+    #[test]
+    fn update_and_delete_signatures() {
+        assert_eq!(
+            query_signature("UPDATE t SET a = 5 WHERE b > 2"),
+            query_signature("UPDATE t SET a = 9 WHERE b > 7")
+        );
+        assert_ne!(
+            query_signature("DELETE FROM t WHERE a = 1"),
+            query_signature("DELETE FROM t")
+        );
+    }
+}

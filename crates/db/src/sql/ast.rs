@@ -1,0 +1,190 @@
+//! SQL abstract syntax.
+
+use crate::schema::ColumnType;
+use crate::value::Value;
+
+/// A literal or prepared-statement parameter in SQL text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlScalar {
+    /// A constant value.
+    Literal(Value),
+    /// `$n` (1-based) or `?` (positional) placeholder.
+    Param(usize),
+}
+
+/// Scalar SQL expressions (WHERE clauses, SET values).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// Constant or placeholder.
+    Scalar(SqlScalar),
+    /// Column reference.
+    Column(String),
+    /// Comparison.
+    Cmp(CmpOp, Box<SqlExpr>, Box<SqlExpr>),
+    /// Logical AND.
+    And(Box<SqlExpr>, Box<SqlExpr>),
+    /// Logical OR.
+    Or(Box<SqlExpr>, Box<SqlExpr>),
+    /// Logical NOT.
+    Not(Box<SqlExpr>),
+    /// `expr LIKE 'pattern'` (`%`/`_` wildcards).
+    Like(Box<SqlExpr>, Box<SqlExpr>),
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull(Box<SqlExpr>, bool),
+    /// Arithmetic.
+    Arith(ArithOp, Box<SqlExpr>, Box<SqlExpr>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Aggregate functions in a projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `COUNT(col)` — non-NULL count.
+    Count(String),
+    /// `SUM(col)`.
+    Sum(String),
+    /// `AVG(col)`.
+    Avg(String),
+    /// `MIN(col)`.
+    Min(String),
+    /// `MAX(col)`.
+    Max(String),
+}
+
+/// The SELECT projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `SELECT *`.
+    Star,
+    /// `SELECT c1, c2, ...`.
+    Columns(Vec<String>),
+    /// `SELECT agg1, agg2, ...`.
+    Aggregates(Vec<Aggregate>),
+}
+
+/// ORDER BY direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Order {
+    Asc,
+    Desc,
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum SqlStmt {
+    /// `CREATE TABLE name (col type, ...)`.
+    CreateTable {
+        name: String,
+        columns: Vec<(String, ColumnType)>,
+    },
+    /// `DROP TABLE name`.
+    DropTable { name: String },
+    /// `INSERT INTO t [(cols)] VALUES (...), (...)`.
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<SqlScalar>>,
+    },
+    /// `SELECT ... FROM t [WHERE ...] [ORDER BY col [ASC|DESC]] [LIMIT n]`.
+    Select {
+        projection: Projection,
+        table: String,
+        where_clause: Option<SqlExpr>,
+        order_by: Option<(String, Order)>,
+        limit: Option<usize>,
+    },
+    /// `UPDATE t SET c = v, ... [WHERE ...]`.
+    Update {
+        table: String,
+        sets: Vec<(String, SqlExpr)>,
+        where_clause: Option<SqlExpr>,
+    },
+    /// `DELETE FROM t [WHERE ...]`.
+    Delete {
+        table: String,
+        where_clause: Option<SqlExpr>,
+    },
+}
+
+impl SqlStmt {
+    /// True for statements that return row sets.
+    pub fn returns_rows(&self) -> bool {
+        matches!(self, SqlStmt::Select { .. })
+    }
+
+    /// Number of distinct parameters (`$n` / `?`) the statement uses.
+    pub fn param_count(&self) -> usize {
+        let mut max = 0usize;
+        let mut on_scalar = |s: &SqlScalar| {
+            if let SqlScalar::Param(i) = s {
+                max = max.max(*i);
+            }
+        };
+        fn walk(e: &SqlExpr, f: &mut impl FnMut(&SqlScalar)) {
+            match e {
+                SqlExpr::Scalar(s) => f(s),
+                SqlExpr::Column(_) => {}
+                SqlExpr::Cmp(_, a, b)
+                | SqlExpr::And(a, b)
+                | SqlExpr::Or(a, b)
+                | SqlExpr::Like(a, b)
+                | SqlExpr::Arith(_, a, b) => {
+                    walk(a, f);
+                    walk(b, f);
+                }
+                SqlExpr::Not(a) | SqlExpr::IsNull(a, _) => walk(a, f),
+            }
+        }
+        match self {
+            SqlStmt::Insert { rows, .. } => {
+                for row in rows {
+                    for s in row {
+                        on_scalar(s);
+                    }
+                }
+            }
+            SqlStmt::Select { where_clause, .. } | SqlStmt::Delete { where_clause, .. } => {
+                if let Some(w) = where_clause {
+                    walk(w, &mut on_scalar);
+                }
+            }
+            SqlStmt::Update {
+                sets, where_clause, ..
+            } => {
+                for (_, e) in sets {
+                    walk(e, &mut on_scalar);
+                }
+                if let Some(w) = where_clause {
+                    walk(w, &mut on_scalar);
+                }
+            }
+            SqlStmt::CreateTable { .. } | SqlStmt::DropTable { .. } => {}
+        }
+        max
+    }
+}

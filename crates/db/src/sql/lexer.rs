@@ -1,0 +1,212 @@
+//! SQL tokenizer.
+//!
+//! Single-quoted strings with `''` escaping, numbers, identifiers/keywords,
+//! comparison operators, punctuation, and `$n`/`?` placeholders. Keywords are
+//! case-insensitive and surfaced uppercased.
+
+use crate::error::DbError;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlTok {
+    /// Keyword or identifier, uppercased keyword check done by the parser.
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// `$n` or `?` placeholder, holding the 1-based index (for `?` the lexer
+    /// assigns sequential indices).
+    Param(usize),
+    /// Operator / punctuation: one of `( ) , * = != <> < <= > >= + - / .`.
+    Punct(&'static str),
+}
+
+/// Tokenizes SQL text.
+pub fn lex_sql(src: &str) -> Result<Vec<SqlTok>, DbError> {
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut toks = Vec::new();
+    let mut next_positional = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(DbError::Syntax("unterminated string".into())),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push(SqlTok::Str(s));
+            }
+            '?' => {
+                toks.push(SqlTok::Param(next_positional));
+                next_positional += 1;
+                i += 1;
+            }
+            '$' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(DbError::Syntax("expected digits after `$`".into()));
+                }
+                let idx: usize = src[start..i]
+                    .parse()
+                    .map_err(|_| DbError::Syntax("bad parameter index".into()))?;
+                if idx == 0 {
+                    return Err(DbError::Syntax("parameter indices are 1-based".into()));
+                }
+                toks.push(SqlTok::Param(idx));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
+                {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let v: f64 = src[start..i]
+                        .parse()
+                        .map_err(|_| DbError::Syntax("bad float".into()))?;
+                    toks.push(SqlTok::Float(v));
+                } else {
+                    let v: i64 = src[start..i]
+                        .parse()
+                        .map_err(|_| DbError::Syntax("bad integer".into()))?;
+                    toks.push(SqlTok::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && {
+                    let c = bytes[i] as char;
+                    c.is_ascii_alphanumeric() || c == '_'
+                } {
+                    i += 1;
+                }
+                toks.push(SqlTok::Word(src[start..i].to_string()));
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                const TWOS: &[&str] = &["!=", "<>", "<=", ">="];
+                if let Some(p) = TWOS.iter().find(|p| **p == two) {
+                    // Normalize `<>` to `!=`.
+                    toks.push(SqlTok::Punct(if *p == "<>" { "!=" } else { p }));
+                    i += 2;
+                    continue;
+                }
+                const ONES: &[&str] = &["(", ")", ",", "*", "=", "<", ">", "+", "-", "/", ";", "."];
+                let one = &src[i..i + 1];
+                if let Some(p) = ONES.iter().find(|p| **p == one) {
+                    toks.push(SqlTok::Punct(p));
+                    i += 1;
+                } else {
+                    return Err(DbError::Syntax(format!("unexpected character `{c}`")));
+                }
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_simple_select() {
+        let toks = lex_sql("SELECT * FROM t WHERE id = 10").unwrap();
+        assert_eq!(toks.len(), 8);
+        assert_eq!(toks[0], SqlTok::Word("SELECT".into()));
+        assert_eq!(toks[7], SqlTok::Int(10));
+    }
+
+    #[test]
+    fn string_with_doubled_quote() {
+        let toks = lex_sql("SELECT * FROM t WHERE name = 'O''Brien'").unwrap();
+        assert!(toks.contains(&SqlTok::Str("O'Brien".into())));
+    }
+
+    #[test]
+    fn tautology_payload_lexes_into_three_strings() {
+        // `id='1' OR '1'='1'` — the injected payload must produce a
+        // comparison of two equal string literals.
+        let toks = lex_sql("id='1' OR '1'='1'").unwrap();
+        let strs: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                SqlTok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["1", "1", "1"]);
+    }
+
+    #[test]
+    fn positional_params_are_numbered() {
+        let toks = lex_sql("INSERT INTO t VALUES (?, ?, $5)").unwrap();
+        let params: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                SqlTok::Param(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(params, vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn neq_variants_normalize() {
+        let toks = lex_sql("a <> b != c").unwrap();
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                SqlTok::Punct(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!["!=", "!="]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex_sql("SELECT 'oops").is_err());
+    }
+}

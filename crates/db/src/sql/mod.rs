@@ -1,0 +1,15 @@
+//! SQL front-end: tokenizer, AST and parser for the supported subset.
+//!
+//! Supported statements: `CREATE TABLE`, `DROP TABLE`, `INSERT`, `SELECT`
+//! (projections, aggregates, `WHERE`, `ORDER BY`, `LIMIT`), `UPDATE`,
+//! `DELETE`. WHERE expressions support comparisons, `AND`/`OR`/`NOT`,
+//! `LIKE`, `IS [NOT] NULL`, arithmetic, and `$n`/`?` placeholders for
+//! prepared statements.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Aggregate, ArithOp, CmpOp, Order, Projection, SqlExpr, SqlScalar, SqlStmt};
+pub use lexer::{lex_sql, SqlTok};
+pub use parser::parse_sql;

@@ -1,0 +1,571 @@
+//! Recursive-descent SQL parser over [`SqlTok`] streams.
+
+use super::ast::{Aggregate, ArithOp, CmpOp, Order, Projection, SqlExpr, SqlScalar, SqlStmt};
+use super::lexer::{lex_sql, SqlTok};
+use crate::error::DbError;
+use crate::schema::ColumnType;
+use crate::value::Value;
+
+/// Parses one SQL statement (a trailing `;` is tolerated).
+pub fn parse_sql(src: &str) -> Result<SqlStmt, DbError> {
+    let toks = lex_sql(src)?;
+    let mut p = SqlParser { toks, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_punct(";");
+    if !p.at_end() {
+        return Err(DbError::Syntax(format!(
+            "trailing input after statement: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct SqlParser {
+    toks: Vec<SqlTok>,
+    pos: usize,
+}
+
+impl SqlParser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&SqlTok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<SqlTok> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(SqlTok::Word(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), DbError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(DbError::Syntax(format!(
+                "expected `{kw}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if let Some(SqlTok::Punct(q)) = self.peek() {
+            if *q == p {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), DbError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(DbError::Syntax(format!(
+                "expected `{p}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_word(&mut self) -> Result<String, DbError> {
+        match self.bump() {
+            Some(SqlTok::Word(w)) => Ok(w),
+            other => Err(DbError::Syntax(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<SqlStmt, DbError> {
+        if self.eat_kw("CREATE") {
+            return self.create_table();
+        }
+        if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            let name = self.expect_word()?;
+            return Ok(SqlStmt::DropTable { name });
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
+        if self.eat_kw("SELECT") {
+            return self.select();
+        }
+        if self.eat_kw("UPDATE") {
+            return self.update();
+        }
+        if self.eat_kw("DELETE") {
+            return self.delete();
+        }
+        Err(DbError::Syntax(format!(
+            "expected statement, found {:?}",
+            self.peek()
+        )))
+    }
+
+    fn column_type(&mut self) -> Result<ColumnType, DbError> {
+        let name = self.expect_word()?.to_ascii_uppercase();
+        let ty = match name.as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "SERIAL" => ColumnType::Int,
+            "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" => ColumnType::Float,
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" => ColumnType::Text,
+            other => return Err(DbError::Syntax(format!("unknown type `{other}`"))),
+        };
+        // Optional length/precision suffix: VARCHAR(40), DECIMAL(8,2).
+        if self.eat_punct("(") {
+            loop {
+                match self.bump() {
+                    Some(SqlTok::Int(_)) => {}
+                    other => {
+                        return Err(DbError::Syntax(format!(
+                            "expected length in type suffix, found {other:?}"
+                        )))
+                    }
+                }
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        Ok(ty)
+    }
+
+    fn create_table(&mut self) -> Result<SqlStmt, DbError> {
+        self.expect_kw("TABLE")?;
+        let name = self.expect_word()?;
+        self.expect_punct("(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.expect_word()?;
+            let ty = self.column_type()?;
+            // Ignore common column constraints.
+            while self.eat_kw("PRIMARY")
+                || self.eat_kw("KEY")
+                || self.eat_kw("NOT")
+                || self.eat_kw("NULL")
+                || self.eat_kw("UNIQUE")
+            {}
+            columns.push((col, ty));
+            if self.eat_punct(")") {
+                break;
+            }
+            self.expect_punct(",")?;
+        }
+        Ok(SqlStmt::CreateTable { name, columns })
+    }
+
+    fn insert(&mut self) -> Result<SqlStmt, DbError> {
+        self.expect_kw("INTO")?;
+        let table = self.expect_word()?;
+        let columns = if self.eat_punct("(") {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.expect_word()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_punct("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.scalar()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+            rows.push(row);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(SqlStmt::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn scalar(&mut self) -> Result<SqlScalar, DbError> {
+        let negative = self.eat_punct("-");
+        match self.bump() {
+            Some(SqlTok::Int(v)) => Ok(SqlScalar::Literal(Value::Int(if negative {
+                -v
+            } else {
+                v
+            }))),
+            Some(SqlTok::Float(v)) => Ok(SqlScalar::Literal(Value::Float(if negative {
+                -v
+            } else {
+                v
+            }))),
+            Some(SqlTok::Str(s)) if !negative => Ok(SqlScalar::Literal(Value::Text(s))),
+            Some(SqlTok::Param(i)) if !negative => Ok(SqlScalar::Param(i)),
+            Some(SqlTok::Word(w)) if w.eq_ignore_ascii_case("NULL") && !negative => {
+                Ok(SqlScalar::Literal(Value::Null))
+            }
+            other => Err(DbError::Syntax(format!("expected value, found {other:?}"))),
+        }
+    }
+
+    fn select(&mut self) -> Result<SqlStmt, DbError> {
+        let projection = self.projection()?;
+        self.expect_kw("FROM")?;
+        let table = self.expect_word()?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            let col = self.expect_word()?;
+            let dir = if self.eat_kw("DESC") {
+                Order::Desc
+            } else {
+                self.eat_kw("ASC");
+                Order::Asc
+            };
+            Some((col, dir))
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("LIMIT") {
+            match self.bump() {
+                Some(SqlTok::Int(v)) if v >= 0 => Some(v as usize),
+                other => {
+                    return Err(DbError::Syntax(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SqlStmt::Select {
+            projection,
+            table,
+            where_clause,
+            order_by,
+            limit,
+        })
+    }
+
+    fn projection(&mut self) -> Result<Projection, DbError> {
+        if self.eat_punct("*") {
+            return Ok(Projection::Star);
+        }
+        // Try aggregates first: WORD '(' ...
+        if let Some(SqlTok::Word(w)) = self.peek() {
+            let upper = w.to_ascii_uppercase();
+            let is_agg = matches!(upper.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX")
+                && self.toks.get(self.pos + 1) == Some(&SqlTok::Punct("("));
+            if is_agg {
+                let mut aggs = Vec::new();
+                loop {
+                    let name = self.expect_word()?.to_ascii_uppercase();
+                    self.expect_punct("(")?;
+                    let agg = if self.eat_punct("*") {
+                        if name != "COUNT" {
+                            return Err(DbError::Syntax(format!("{name}(*) is not valid")));
+                        }
+                        Aggregate::CountStar
+                    } else {
+                        let col = self.expect_word()?;
+                        match name.as_str() {
+                            "COUNT" => Aggregate::Count(col),
+                            "SUM" => Aggregate::Sum(col),
+                            "AVG" => Aggregate::Avg(col),
+                            "MIN" => Aggregate::Min(col),
+                            "MAX" => Aggregate::Max(col),
+                            _ => unreachable!("gated above"),
+                        }
+                    };
+                    self.expect_punct(")")?;
+                    aggs.push(agg);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                return Ok(Projection::Aggregates(aggs));
+            }
+        }
+        let mut cols = Vec::new();
+        loop {
+            cols.push(self.expect_word()?);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(Projection::Columns(cols))
+    }
+
+    fn update(&mut self) -> Result<SqlStmt, DbError> {
+        let table = self.expect_word()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.expect_word()?;
+            self.expect_punct("=")?;
+            sets.push((col, self.expr()?));
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(SqlStmt::Update {
+            table,
+            sets,
+            where_clause,
+        })
+    }
+
+    fn delete(&mut self) -> Result<SqlStmt, DbError> {
+        self.expect_kw("FROM")?;
+        let table = self.expect_word()?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(SqlStmt::Delete {
+            table,
+            where_clause,
+        })
+    }
+
+    // Expression grammar: or_expr > and_expr > not_expr > cmp > arith > atom.
+    fn expr(&mut self) -> Result<SqlExpr, DbError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = SqlExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr, DbError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = SqlExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr, DbError> {
+        if self.eat_kw("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(SqlExpr::Not(Box::new(inner)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<SqlExpr, DbError> {
+        let lhs = self.arith_expr()?;
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(SqlExpr::IsNull(Box::new(lhs), negated));
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = self.arith_expr()?;
+            return Ok(SqlExpr::Like(Box::new(lhs), Box::new(pattern)));
+        }
+        let op = if self.eat_punct("=") {
+            CmpOp::Eq
+        } else if self.eat_punct("!=") {
+            CmpOp::Ne
+        } else if self.eat_punct("<=") {
+            CmpOp::Le
+        } else if self.eat_punct(">=") {
+            CmpOp::Ge
+        } else if self.eat_punct("<") {
+            CmpOp::Lt
+        } else if self.eat_punct(">") {
+            CmpOp::Gt
+        } else {
+            return Ok(lhs);
+        };
+        let rhs = self.arith_expr()?;
+        Ok(SqlExpr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn arith_expr(&mut self) -> Result<SqlExpr, DbError> {
+        let mut lhs = self.term_expr()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                ArithOp::Add
+            } else if self.eat_punct("-") {
+                ArithOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.term_expr()?;
+            lhs = SqlExpr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn term_expr(&mut self) -> Result<SqlExpr, DbError> {
+        let mut lhs = self.atom()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                ArithOp::Mul
+            } else if self.eat_punct("/") {
+                ArithOp::Div
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.atom()?;
+            lhs = SqlExpr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn atom(&mut self) -> Result<SqlExpr, DbError> {
+        if self.eat_punct("(") {
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        match self.peek() {
+            Some(SqlTok::Int(_))
+            | Some(SqlTok::Float(_))
+            | Some(SqlTok::Str(_))
+            | Some(SqlTok::Param(_))
+            | Some(SqlTok::Punct("-")) => Ok(SqlExpr::Scalar(self.scalar()?)),
+            Some(SqlTok::Word(w)) if w.eq_ignore_ascii_case("NULL") => {
+                self.pos += 1;
+                Ok(SqlExpr::Scalar(SqlScalar::Literal(Value::Null)))
+            }
+            Some(SqlTok::Word(_)) => Ok(SqlExpr::Column(self.expect_word()?)),
+            other => Err(DbError::Syntax(format!(
+                "expected expression, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_select_star_where() {
+        let stmt = parse_sql("SELECT * FROM items WHERE ID = 10").unwrap();
+        match stmt {
+            SqlStmt::Select {
+                projection,
+                table,
+                where_clause,
+                ..
+            } => {
+                assert_eq!(projection, Projection::Star);
+                assert_eq!(table, "items");
+                assert!(where_clause.is_some());
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_tautology_injection() {
+        // Exactly the query produced by the Fig. 2 attack.
+        let stmt = parse_sql("SELECT * FROM clients where id='1' OR '1'='1';").unwrap();
+        match stmt {
+            SqlStmt::Select { where_clause, .. } => {
+                let w = where_clause.unwrap();
+                assert!(matches!(w, SqlExpr::Or(_, _)));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_count_star() {
+        let stmt =
+            parse_sql("SELECT COUNT(*) FROM employees WHERE yearlyIncome < 30000").unwrap();
+        match stmt {
+            SqlStmt::Select { projection, .. } => {
+                assert_eq!(projection, Projection::Aggregates(vec![Aggregate::CountStar]));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_insert_update_delete() {
+        parse_sql("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(40), w FLOAT)").unwrap();
+        parse_sql("INSERT INTO t (id, name) VALUES (1, 'a'), (2, 'b')").unwrap();
+        parse_sql("UPDATE t SET name = 'c', w = w + 1 WHERE id = 2").unwrap();
+        parse_sql("DELETE FROM t WHERE name LIKE 'a%'").unwrap();
+        parse_sql("DROP TABLE t").unwrap();
+    }
+
+    #[test]
+    fn parses_order_by_and_limit() {
+        let stmt = parse_sql("SELECT a, b FROM t ORDER BY a DESC LIMIT 5").unwrap();
+        match stmt {
+            SqlStmt::Select {
+                order_by, limit, ..
+            } => {
+                assert_eq!(order_by, Some(("a".into(), Order::Desc)));
+                assert_eq!(limit, Some(5));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_prepared_params() {
+        let stmt = parse_sql("SELECT * FROM clients WHERE id = $1").unwrap();
+        assert_eq!(stmt.param_count(), 1);
+        let stmt = parse_sql("INSERT INTO t VALUES (?, ?, ?)").unwrap();
+        assert_eq!(stmt.param_count(), 3);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_sql("SELECT * FROM t WHERE a = 1 extra junk").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_parse() {
+        parse_sql("SELECT * FROM t WHERE a > -5").unwrap();
+        parse_sql("INSERT INTO t VALUES (-1, -2.5)").unwrap();
+    }
+
+    #[test]
+    fn is_null_parses() {
+        let stmt = parse_sql("SELECT * FROM t WHERE a IS NOT NULL AND b IS NULL").unwrap();
+        assert!(matches!(stmt, SqlStmt::Select { .. }));
+    }
+}

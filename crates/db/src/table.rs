@@ -1,0 +1,66 @@
+//! Row storage.
+
+use crate::error::DbError;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A table: a schema plus row storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: Schema) -> Table {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The stored rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Mutable access for UPDATE/DELETE execution.
+    pub(crate) fn rows_mut(&mut self) -> &mut Vec<Vec<Value>> {
+        &mut self.rows
+    }
+
+    /// Validates, coerces and appends a row.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<(), DbError> {
+        let row = self.schema.check_row(row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{schema, ColumnType};
+
+    #[test]
+    fn insert_checks_schema() {
+        let mut t = Table::new(schema(&[("id", ColumnType::Int), ("n", ColumnType::Text)]));
+        t.insert(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+        assert!(t
+            .insert(vec![Value::Text("x".into()), Value::Text("a".into())])
+            .is_err());
+        assert_eq!(t.row_count(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Runtime values stored in tables and produced by queries.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// True if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Renders the value the way a client library would (libpq returns
+    /// strings for every field).
+    pub fn render(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => format!("{v}"),
+            Value::Text(s) => s.clone(),
+            Value::Null => "NULL".to_string(),
+        }
+    }
+
+    /// Numeric view of the value, coercing text that parses as a number —
+    /// mirroring MySQL's weak typing, which the tautology-injection
+    /// experiments depend on.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Text(s) => s.trim().parse::<f64>().ok(),
+            Value::Null => None,
+        }
+    }
+
+    /// SQL comparison. NULL compares as `None` (unknown); mixed numeric
+    /// types compare numerically; a number against numeric-looking text
+    /// compares numerically; otherwise text compares lexicographically.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(a.as_str().cmp(b.as_str())),
+            _ => {
+                let a = self.as_number()?;
+                let b = other.as_number()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// SQL equality (`None` when either side is NULL).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        assert_eq!(Value::Int(3).sql_cmp(&Value::Float(3.0)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::Text("10".into()).sql_cmp(&Value::Int(9)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn text_comparison_is_lexicographic() {
+        assert_eq!(
+            Value::Text("abc".into()).sql_cmp(&Value::Text("abd".into())),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn tautology_comparison_holds() {
+        // '1' = '1' must be true: this drives the Fig. 2 injection experiment.
+        assert_eq!(
+            Value::Text("1".into()).sql_eq(&Value::Text("1".into())),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn render_matches_client_expectations() {
+        assert_eq!(Value::Int(42).render(), "42");
+        assert_eq!(Value::Text("x".into()).render(), "x");
+        assert_eq!(Value::Null.render(), "NULL");
+    }
+}

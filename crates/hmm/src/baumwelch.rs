@@ -1,0 +1,361 @@
+//! The learning problem: multi-sequence Baum–Welch re-estimation with
+//! held-out convergence (§IV-C4, §V-B).
+//!
+//! AD-PROM trains the statically-initialized model on program traces and
+//! stops when the likelihood of a held-out *converge sub-dataset* (CSDS)
+//! stops improving — "the system stops the training with a converged model
+//! (λ) once it does not notice any improvement on the CSDS".
+
+use crate::forward::{backward, forward};
+use crate::model::{normalize, Hmm};
+
+/// Training configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Minimum improvement in mean held-out log-likelihood per iteration.
+    pub min_improvement: f64,
+    /// Additive smoothing floor applied after every re-estimation.
+    pub smoothing: f64,
+    /// Dirichlet pseudo-count mass (per row) anchoring re-estimation to the
+    /// *initial* model — MAP EM. For AD-PROM this is how the statically
+    /// computed pCTM keeps feasible-but-untrained paths alive: Baum–Welch
+    /// alone starves every transition the finite trace set missed, which is
+    /// exactly the false-positive failure mode the paper attributes to
+    /// purely learning-based models (§I). Zero disables the prior
+    /// (Rand-HMM trains with zero: it has no informed prior to keep).
+    pub prior_weight: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> TrainConfig {
+        TrainConfig {
+            max_iterations: 50,
+            min_improvement: 1e-4,
+            smoothing: 1e-6,
+            prior_weight: 2.0,
+        }
+    }
+}
+
+/// Training report.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Iterations actually run.
+    pub iterations: usize,
+    /// Mean held-out log-likelihood after each iteration.
+    pub holdout_curve: Vec<f64>,
+    /// True if training stopped because the CSDS score converged (as
+    /// opposed to hitting the iteration cap).
+    pub converged: bool,
+}
+
+/// Trains `hmm` in place on `train` sequences, using `holdout` (the CSDS)
+/// to decide when to stop. Empty sequences are ignored.
+pub fn train(
+    hmm: &mut Hmm,
+    train: &[Vec<usize>],
+    holdout: &[Vec<usize>],
+    config: &TrainConfig,
+) -> TrainReport {
+    let prior = if config.prior_weight > 0.0 {
+        Some((hmm.clone(), config.prior_weight))
+    } else {
+        None
+    };
+    let mut best_score = mean_log_likelihood(hmm, holdout);
+    let mut best_model = hmm.clone();
+    let mut curve = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        reestimate_with_prior(
+            hmm,
+            train,
+            config.smoothing,
+            prior.as_ref().map(|(p, w)| (p, *w)),
+        );
+        let score = mean_log_likelihood(hmm, holdout);
+        curve.push(score);
+        if score > best_score + config.min_improvement {
+            best_score = score;
+            best_model = hmm.clone();
+        } else {
+            // No improvement on the CSDS: keep the best model and stop.
+            *hmm = best_model.clone();
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        // Iteration cap: keep whichever model scored best.
+        if mean_log_likelihood(hmm, holdout) < best_score {
+            *hmm = best_model;
+        }
+    }
+    TrainReport {
+        iterations,
+        holdout_curve: curve,
+        converged,
+    }
+}
+
+/// Mean per-sequence log-likelihood over a set (`-inf`-safe: impossible
+/// sequences contribute a large negative penalty instead of poisoning the
+/// mean).
+pub fn mean_log_likelihood(hmm: &Hmm, seqs: &[Vec<usize>]) -> f64 {
+    if seqs.is_empty() {
+        return 0.0;
+    }
+    let penalty = -1e6;
+    let total: f64 = seqs
+        .iter()
+        .map(|s| {
+            let ll = crate::forward::log_likelihood(hmm, s);
+            if ll.is_finite() {
+                ll
+            } else {
+                penalty
+            }
+        })
+        .sum();
+    total / seqs.len() as f64
+}
+
+/// One Baum–Welch re-estimation step over all sequences.
+pub fn reestimate(hmm: &mut Hmm, seqs: &[Vec<usize>], smoothing: f64) {
+    reestimate_with_prior(hmm, seqs, smoothing, None);
+}
+
+/// One MAP-EM re-estimation step: expected counts plus `weight`
+/// pseudo-counts per row distributed according to `prior`.
+#[allow(clippy::needless_range_loop)] // dense N×N accumulators indexed in lock-step
+pub fn reestimate_with_prior(
+    hmm: &mut Hmm,
+    seqs: &[Vec<usize>],
+    smoothing: f64,
+    prior: Option<(&Hmm, f64)>,
+) {
+    let n = hmm.n_states();
+    let m = hmm.n_symbols();
+
+    let mut a_num = vec![vec![0.0f64; n]; n];
+    let mut a_den = vec![0.0f64; n];
+    let mut b_num = vec![vec![0.0f64; m]; n];
+    let mut b_den = vec![0.0f64; n];
+    let mut pi_acc = vec![0.0f64; n];
+    let mut used_sequences = 0usize;
+
+    if let Some((p, w)) = prior {
+        debug_assert_eq!(p.n_states(), n);
+        debug_assert_eq!(p.n_symbols(), m);
+        for i in 0..n {
+            for j in 0..n {
+                a_num[i][j] += w * p.a[i][j];
+            }
+            a_den[i] += w;
+            for k in 0..m {
+                b_num[i][k] += w * p.b[i][k];
+            }
+            b_den[i] += w;
+            // π pseudo-counts are folded in after the division by
+            // used_sequences, so scale them as one extra pseudo-sequence.
+        }
+    }
+
+    for obs in seqs {
+        let t_len = obs.len();
+        if t_len == 0 {
+            continue;
+        }
+        let fp = forward(hmm, obs);
+        if !fp.log_likelihood.is_finite() {
+            // Impossible under current parameters; smoothing at the end of
+            // the step gradually opens such paths.
+            continue;
+        }
+        used_sequences += 1;
+        let beta = backward(hmm, obs, &fp.scale);
+
+        // gamma_t(i) ∝ alpha_t(i) * beta_t(i); with Rabiner scaling the
+        // product needs dividing by c_t to be the true posterior.
+        let mut gamma = vec![0.0f64; n];
+        for t in 0..t_len {
+            for (i, g) in gamma.iter_mut().enumerate() {
+                *g = fp.alpha[t][i] * beta[t][i];
+            }
+            normalize(&mut gamma);
+            if t == 0 {
+                for i in 0..n {
+                    pi_acc[i] += gamma[i];
+                }
+            }
+            for i in 0..n {
+                b_num[i][obs[t]] += gamma[i];
+                b_den[i] += gamma[i];
+                if t + 1 < t_len {
+                    a_den[i] += gamma[i];
+                }
+            }
+        }
+
+        // xi_t(i,j) ∝ alpha_t(i) a_ij b_j(o_{t+1}) beta_{t+1}(j).
+        // Two O(N²) passes — the first computes the normalizer, the second
+        // adds xi/total straight into the accumulator — so no N×N buffer is
+        // materialized (at bash scale that buffer dominated training time).
+        let mut bb = vec![0.0f64; n];
+        for t in 0..t_len.saturating_sub(1) {
+            let next = obs[t + 1];
+            for j in 0..n {
+                bb[j] = hmm.b[j][next] * beta[t + 1][j];
+            }
+            let mut total = 0.0;
+            for i in 0..n {
+                let ai = fp.alpha[t][i];
+                if ai == 0.0 {
+                    continue;
+                }
+                let row = &hmm.a[i];
+                let mut acc = 0.0;
+                for j in 0..n {
+                    acc += row[j] * bb[j];
+                }
+                total += ai * acc;
+            }
+            if total > 0.0 {
+                let inv = 1.0 / total;
+                for i in 0..n {
+                    let ai = fp.alpha[t][i] * inv;
+                    if ai == 0.0 {
+                        continue;
+                    }
+                    let row = &hmm.a[i];
+                    let out = &mut a_num[i];
+                    for j in 0..n {
+                        out[j] += ai * row[j] * bb[j];
+                    }
+                }
+            }
+        }
+    }
+
+    if used_sequences == 0 {
+        // Nothing usable: just smooth to open up the model.
+        hmm.smooth(smoothing.max(1e-6));
+        return;
+    }
+
+    let pi_prior = prior;
+    for i in 0..n {
+        if a_den[i] > 0.0 {
+            for j in 0..n {
+                hmm.a[i][j] = a_num[i][j] / a_den[i];
+            }
+        }
+        if b_den[i] > 0.0 {
+            for k in 0..m {
+                hmm.b[i][k] = b_num[i][k] / b_den[i];
+            }
+        }
+        let (pi_num, pi_den) = match pi_prior {
+            Some((p, w)) => (pi_acc[i] + w * p.pi[i], used_sequences as f64 + w),
+            None => (pi_acc[i], used_sequences as f64),
+        };
+        hmm.pi[i] = pi_num / pi_den;
+    }
+    hmm.smooth(smoothing);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generating model for synthetic data.
+    fn teacher() -> Hmm {
+        Hmm::new(
+            vec![vec![0.85, 0.15], vec![0.25, 0.75]],
+            vec![vec![0.8, 0.15, 0.05], vec![0.05, 0.2, 0.75]],
+            vec![0.7, 0.3],
+        )
+        .unwrap()
+    }
+
+    fn dataset(n: usize, len: usize, seed: u64) -> Vec<Vec<usize>> {
+        let t = teacher();
+        (0..n).map(|i| t.sample(len, seed + i as u64)).collect()
+    }
+
+    #[test]
+    fn training_improves_heldout_likelihood() {
+        let train_set = dataset(60, 40, 100);
+        let holdout = dataset(15, 40, 900);
+        let mut hmm = Hmm::random(2, 3, 7);
+        let before = mean_log_likelihood(&hmm, &holdout);
+        let report = train(
+            &mut hmm,
+            &train_set,
+            &holdout,
+            &TrainConfig::default(),
+        );
+        let after = mean_log_likelihood(&hmm, &holdout);
+        assert!(after > before, "{after} <= {before}");
+        assert!(report.iterations >= 1);
+    }
+
+    #[test]
+    fn converges_and_stops_before_cap() {
+        let train_set = dataset(40, 30, 5);
+        let holdout = dataset(10, 30, 77);
+        let mut hmm = Hmm::random(2, 3, 9);
+        let report = train(
+            &mut hmm,
+            &train_set,
+            &holdout,
+            &TrainConfig {
+                max_iterations: 200,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(report.converged, "should converge well before 200 iters");
+        assert!(report.iterations < 200);
+    }
+
+    #[test]
+    fn reestimation_keeps_model_stochastic() {
+        let train_set = dataset(10, 20, 42);
+        let mut hmm = Hmm::random(3, 3, 21);
+        reestimate(&mut hmm, &train_set, 1e-6);
+        Hmm::new(hmm.a.clone(), hmm.b.clone(), hmm.pi.clone()).unwrap();
+    }
+
+    #[test]
+    fn trained_model_separates_anomalies() {
+        // Train on teacher output; score teacher sequences vs uniform noise.
+        let train_set = dataset(80, 25, 1000);
+        let holdout = dataset(20, 25, 2000);
+        let mut hmm = Hmm::random(2, 3, 3);
+        train(&mut hmm, &train_set, &holdout, &TrainConfig::default());
+
+        let normal = dataset(20, 25, 3000);
+        let normal_score = mean_log_likelihood(&hmm, &normal);
+        // Anomalous: symbol 1 is rare in *both* teacher states (0.15/0.2),
+        // so an all-1 run is far less likely than any teacher sample.
+        let anomalies: Vec<Vec<usize>> = (0..20).map(|_| vec![1; 25]).collect();
+        let anom_score = mean_log_likelihood(&hmm, &anomalies);
+        assert!(
+            normal_score > anom_score + 1.0,
+            "normal {normal_score} vs anomalous {anom_score}"
+        );
+    }
+
+    #[test]
+    fn empty_training_set_is_safe() {
+        let mut hmm = Hmm::random(2, 2, 1);
+        let report = train(&mut hmm, &[], &[], &TrainConfig::default());
+        assert!(report.iterations <= TrainConfig::default().max_iterations);
+        Hmm::new(hmm.a.clone(), hmm.b.clone(), hmm.pi.clone()).unwrap();
+    }
+}

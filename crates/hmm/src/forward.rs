@@ -1,0 +1,224 @@
+//! The evaluation problem: scaled forward/backward passes (Rabiner §V).
+//!
+//! The Detection Engine scores every n-length call sequence with
+//! `log P(cs | λ)` via the forward algorithm; scaling keeps the recursion
+//! stable for long sequences.
+
+use crate::model::Hmm;
+
+/// Output of the scaled forward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardPass {
+    /// Scaled forward variables, `alpha[t][i]`.
+    pub alpha: Vec<Vec<f64>>,
+    /// Per-step scale factors `c_t` (inverse of the column sums).
+    pub scale: Vec<f64>,
+    /// `log P(O | λ)`; `-inf` when the sequence is impossible.
+    pub log_likelihood: f64,
+}
+
+/// Runs the scaled forward algorithm. Panics in debug builds if symbols are
+/// out of range; callers validate with [`Hmm::check_observations`].
+#[allow(clippy::needless_range_loop)] // dense recursions index several arrays in lock-step
+pub fn forward(hmm: &Hmm, obs: &[usize]) -> ForwardPass {
+    let n = hmm.n_states();
+    let t_len = obs.len();
+    let mut alpha = vec![vec![0.0; n]; t_len];
+    let mut scale = vec![0.0; t_len];
+    let mut log_likelihood = 0.0f64;
+
+    if t_len == 0 {
+        return ForwardPass {
+            alpha,
+            scale,
+            log_likelihood: 0.0,
+        };
+    }
+
+    // t = 0
+    let mut sum = 0.0;
+    for i in 0..n {
+        alpha[0][i] = hmm.pi[i] * hmm.b[i][obs[0]];
+        sum += alpha[0][i];
+    }
+    if sum <= 0.0 {
+        return impossible(alpha, scale);
+    }
+    scale[0] = 1.0 / sum;
+    for v in &mut alpha[0] {
+        *v *= scale[0];
+    }
+    log_likelihood += sum.ln();
+
+    // t > 0
+    for t in 1..t_len {
+        let (prev, cur) = {
+            let (a, b) = alpha.split_at_mut(t);
+            (&a[t - 1], &mut b[0])
+        };
+        let mut sum = 0.0;
+        for j in 0..n {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += prev[i] * hmm.a[i][j];
+            }
+            cur[j] = acc * hmm.b[j][obs[t]];
+            sum += cur[j];
+        }
+        if sum <= 0.0 {
+            return impossible(alpha, scale);
+        }
+        scale[t] = 1.0 / sum;
+        for v in cur.iter_mut() {
+            *v *= scale[t];
+        }
+        log_likelihood += sum.ln();
+    }
+
+    ForwardPass {
+        alpha,
+        scale,
+        log_likelihood,
+    }
+}
+
+fn impossible(alpha: Vec<Vec<f64>>, scale: Vec<f64>) -> ForwardPass {
+    ForwardPass {
+        alpha,
+        scale,
+        log_likelihood: f64::NEG_INFINITY,
+    }
+}
+
+/// Convenience: `log P(O | λ)`.
+pub fn log_likelihood(hmm: &Hmm, obs: &[usize]) -> f64 {
+    forward(hmm, obs).log_likelihood
+}
+
+/// Per-symbol normalized log-likelihood, comparable across sequence lengths.
+pub fn normalized_log_likelihood(hmm: &Hmm, obs: &[usize]) -> f64 {
+    if obs.is_empty() {
+        return 0.0;
+    }
+    log_likelihood(hmm, obs) / obs.len() as f64
+}
+
+/// Runs the scaled backward pass using the forward pass's scale factors.
+/// Returns `beta[t][i]`.
+#[allow(clippy::needless_range_loop)] // dense recursions index several arrays in lock-step
+pub fn backward(hmm: &Hmm, obs: &[usize], scale: &[f64]) -> Vec<Vec<f64>> {
+    let n = hmm.n_states();
+    let t_len = obs.len();
+    let mut beta = vec![vec![0.0; n]; t_len];
+    if t_len == 0 {
+        return beta;
+    }
+    for i in 0..n {
+        beta[t_len - 1][i] = scale[t_len - 1];
+    }
+    for t in (0..t_len - 1).rev() {
+        let (head, tail) = beta.split_at_mut(t + 1);
+        let next = &tail[0];
+        let cur = &mut head[t];
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += hmm.a[i][j] * hmm.b[j][obs[t + 1]] * next[j];
+            }
+            cur[i] = acc * scale[t];
+        }
+    }
+    beta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-state, 2-symbol model with hand-computable likelihoods.
+    fn toy() -> Hmm {
+        Hmm::new(
+            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
+            vec![vec![0.9, 0.1], vec![0.2, 0.8]],
+            vec![0.6, 0.4],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_observation_matches_hand_computation() {
+        let hmm = toy();
+        // P(O=0) = 0.6*0.9 + 0.4*0.2 = 0.62
+        let ll = log_likelihood(&hmm, &[0]);
+        assert!((ll - 0.62f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_observations_match_enumeration() {
+        let hmm = toy();
+        // Enumerate all state paths for O = [0, 1].
+        let mut p = 0.0;
+        for s0 in 0..2 {
+            for s1 in 0..2 {
+                p += hmm.pi[s0] * hmm.b[s0][0] * hmm.a[s0][s1] * hmm.b[s1][1];
+            }
+        }
+        let ll = log_likelihood(&hmm, &[0, 1]);
+        assert!((ll - p.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impossible_sequence_is_neg_infinity() {
+        let hmm = Hmm::new(
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            vec![vec![1.0, 0.0], vec![1.0, 0.0]], // symbol 1 never emitted
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        assert_eq!(log_likelihood(&hmm, &[0, 1]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn scaling_handles_long_sequences() {
+        let hmm = toy();
+        let obs: Vec<usize> = (0..10_000).map(|i| i % 2).collect();
+        let ll = log_likelihood(&hmm, &obs);
+        assert!(ll.is_finite());
+        assert!(ll < 0.0);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn forward_backward_consistency() {
+        // Σ_i alpha_t(i) * beta_t(i) must be constant across t (equal to
+        // c_t-normalized likelihood) — a standard sanity identity.
+        let hmm = toy();
+        let obs = [0, 1, 1, 0, 1];
+        let fp = forward(&hmm, &obs);
+        let beta = backward(&hmm, &obs, &fp.scale);
+        let mut ref_val = None;
+        for t in 0..obs.len() {
+            let v: f64 = (0..2).map(|i| fp.alpha[t][i] * beta[t][i] / fp.scale[t]).sum();
+            match ref_val {
+                None => ref_val = Some(v),
+                Some(r) => assert!((v - r).abs() < 1e-9, "t={t}: {v} vs {r}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sequence_scores_zero() {
+        assert_eq!(log_likelihood(&toy(), &[]), 0.0);
+    }
+
+    #[test]
+    fn normalized_ll_comparable_across_lengths() {
+        let hmm = toy();
+        let short = hmm.sample(10, 3);
+        let long = hmm.sample(1000, 3);
+        let a = normalized_log_likelihood(&hmm, &short);
+        let b = normalized_log_likelihood(&hmm, &long);
+        // Same generating model: normalized scores are in the same ballpark.
+        assert!((a - b).abs() < 0.5, "{a} vs {b}");
+    }
+}

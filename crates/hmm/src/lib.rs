@@ -1,0 +1,26 @@
+//! # adprom-hmm
+//!
+//! Hidden Markov model library for AD-PROM: the substrate replacing the
+//! paper's Jahmm dependency. Implements the three classic HMM problems
+//! (§II):
+//!
+//! * **evaluation** — scaled forward algorithm ([`forward()`](forward::forward)), used by the
+//!   Detection Engine to compute `P(cs | λ)` for every call sequence;
+//! * **decoding** — [`viterbi()`](viterbi::viterbi);
+//! * **learning** — multi-sequence Baum–Welch ([`baumwelch`]) with held-out
+//!   (CSDS) convergence, used by the Profile Constructor.
+//!
+//! Models can be initialized randomly (the Rand-HMM baseline) or from the
+//! statically computed pCTM (done in `adprom-core`).
+
+#![warn(missing_docs)]
+
+pub mod baumwelch;
+pub mod forward;
+pub mod model;
+pub mod viterbi;
+
+pub use baumwelch::{mean_log_likelihood, reestimate, train, TrainConfig, TrainReport};
+pub use forward::{backward, forward, log_likelihood, normalized_log_likelihood, ForwardPass};
+pub use model::{normalize, Hmm, HmmError};
+pub use viterbi::viterbi;

@@ -1,0 +1,251 @@
+//! The hidden Markov model λ = (A, B, π) — §II of the paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A discrete-observation HMM with `n` hidden states and `m` symbols.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hmm {
+    /// Transition matrix A: `a[i][j] = P(S_{t+1}=j | S_t=i)`, rows sum to 1.
+    pub a: Vec<Vec<f64>>,
+    /// Emission matrix B: `b[i][k] = P(O_t=k | S_t=i)`, rows sum to 1.
+    pub b: Vec<Vec<f64>>,
+    /// Initial distribution π, sums to 1.
+    pub pi: Vec<f64>,
+}
+
+/// Errors for malformed models or observations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HmmError {
+    /// A row/π does not sum to ~1 or has negative entries.
+    NotStochastic(String),
+    /// Matrix dimensions disagree.
+    Shape(String),
+    /// An observation symbol is out of range.
+    BadSymbol {
+        /// Offending symbol.
+        symbol: usize,
+        /// Alphabet size.
+        alphabet: usize,
+    },
+}
+
+impl std::fmt::Display for HmmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HmmError::NotStochastic(what) => write!(f, "not stochastic: {what}"),
+            HmmError::Shape(what) => write!(f, "shape mismatch: {what}"),
+            HmmError::BadSymbol { symbol, alphabet } => {
+                write!(f, "symbol {symbol} outside alphabet of size {alphabet}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HmmError {}
+
+impl Hmm {
+    /// Number of hidden states N.
+    pub fn n_states(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Number of observation symbols M.
+    pub fn n_symbols(&self) -> usize {
+        self.b.first().map_or(0, Vec::len)
+    }
+
+    /// Builds a model from raw parts, validating shape and stochasticity.
+    pub fn new(a: Vec<Vec<f64>>, b: Vec<Vec<f64>>, pi: Vec<f64>) -> Result<Hmm, HmmError> {
+        let n = a.len();
+        if b.len() != n || pi.len() != n {
+            return Err(HmmError::Shape(format!(
+                "A has {n} rows, B has {}, pi has {}",
+                b.len(),
+                pi.len()
+            )));
+        }
+        let m = b.first().map_or(0, Vec::len);
+        for (i, row) in a.iter().enumerate() {
+            if row.len() != n {
+                return Err(HmmError::Shape(format!("A row {i} has {} cols", row.len())));
+            }
+            check_distribution(row, &format!("A row {i}"))?;
+        }
+        for (i, row) in b.iter().enumerate() {
+            if row.len() != m {
+                return Err(HmmError::Shape(format!("B row {i} has {} cols", row.len())));
+            }
+            check_distribution(row, &format!("B row {i}"))?;
+        }
+        check_distribution(&pi, "pi")?;
+        Ok(Hmm { a, b, pi })
+    }
+
+    /// Random initialization (the Rand-HMM baseline of §V-D): rows drawn
+    /// from a seeded uniform and normalized.
+    pub fn random(n: usize, m: usize, seed: u64) -> Hmm {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut row = |len: usize| -> Vec<f64> {
+            let mut r: Vec<f64> = (0..len).map(|_| rng.gen_range(0.1..1.0)).collect();
+            let s: f64 = r.iter().sum();
+            for v in &mut r {
+                *v /= s;
+            }
+            r
+        };
+        let a = (0..n).map(|_| row(n)).collect();
+        let b = (0..n).map(|_| row(m)).collect();
+        let pi = row(n);
+        Hmm { a, b, pi }
+    }
+
+    /// Uniform initialization.
+    pub fn uniform(n: usize, m: usize) -> Hmm {
+        Hmm {
+            a: vec![vec![1.0 / n as f64; n]; n],
+            b: vec![vec![1.0 / m as f64; m]; n],
+            pi: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// Validates observation symbols against the alphabet.
+    pub fn check_observations(&self, obs: &[usize]) -> Result<(), HmmError> {
+        let m = self.n_symbols();
+        for &o in obs {
+            if o >= m {
+                return Err(HmmError::BadSymbol {
+                    symbol: o,
+                    alphabet: m,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies an additive floor to every parameter and renormalizes —
+    /// prevents statically-impossible transitions from zeroing the
+    /// likelihood of dynamically-possible paths (loops, recursion).
+    pub fn smooth(&mut self, floor: f64) {
+        for row in self.a.iter_mut().chain(self.b.iter_mut()) {
+            for v in row.iter_mut() {
+                *v += floor;
+            }
+            normalize(row);
+        }
+        for v in self.pi.iter_mut() {
+            *v += floor;
+        }
+        normalize(&mut self.pi);
+    }
+
+    /// Samples an observation sequence of length `len` (used by tests and
+    /// synthetic workloads).
+    pub fn sample(&self, len: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(len);
+        let mut state = sample_index(&self.pi, &mut rng);
+        for _ in 0..len {
+            out.push(sample_index(&self.b[state], &mut rng));
+            state = sample_index(&self.a[state], &mut rng);
+        }
+        out
+    }
+}
+
+fn sample_index(dist: &[f64], rng: &mut StdRng) -> usize {
+    let x: f64 = rng.gen_range(0.0..1.0);
+    let mut acc = 0.0;
+    for (i, &p) in dist.iter().enumerate() {
+        acc += p;
+        if x < acc {
+            return i;
+        }
+    }
+    dist.len() - 1
+}
+
+fn check_distribution(row: &[f64], what: &str) -> Result<(), HmmError> {
+    if row.iter().any(|&v| v < 0.0 || !v.is_finite()) {
+        return Err(HmmError::NotStochastic(format!("{what} has bad entries")));
+    }
+    let s: f64 = row.iter().sum();
+    if (s - 1.0).abs() > 1e-6 {
+        return Err(HmmError::NotStochastic(format!("{what} sums to {s}")));
+    }
+    Ok(())
+}
+
+/// Normalizes a row in place (leaves an all-zero row uniform).
+pub fn normalize(row: &mut [f64]) {
+    let s: f64 = row.iter().sum();
+    if s > 0.0 {
+        for v in row.iter_mut() {
+            *v /= s;
+        }
+    } else if !row.is_empty() {
+        let u = 1.0 / row.len() as f64;
+        for v in row.iter_mut() {
+            *v = u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_model_is_stochastic() {
+        let hmm = Hmm::random(5, 7, 42);
+        Hmm::new(hmm.a.clone(), hmm.b.clone(), hmm.pi.clone()).unwrap();
+        assert_eq!(hmm.n_states(), 5);
+        assert_eq!(hmm.n_symbols(), 7);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        assert_eq!(Hmm::random(4, 4, 1), Hmm::random(4, 4, 1));
+        assert_ne!(Hmm::random(4, 4, 1), Hmm::random(4, 4, 2));
+    }
+
+    #[test]
+    fn new_rejects_bad_rows() {
+        let a = vec![vec![0.5, 0.4], vec![0.5, 0.5]]; // first row sums to .9
+        let b = vec![vec![1.0], vec![1.0]];
+        let pi = vec![0.5, 0.5];
+        assert!(matches!(
+            Hmm::new(a, b, pi),
+            Err(HmmError::NotStochastic(_))
+        ));
+    }
+
+    #[test]
+    fn smooth_removes_zeros() {
+        let mut hmm = Hmm {
+            a: vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            b: vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            pi: vec![1.0, 0.0],
+        };
+        hmm.smooth(1e-3);
+        assert!(hmm.a[0][1] > 0.0);
+        assert!((hmm.a[0].iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((hmm.pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_observations_bounds() {
+        let hmm = Hmm::uniform(2, 3);
+        assert!(hmm.check_observations(&[0, 1, 2]).is_ok());
+        assert!(hmm.check_observations(&[3]).is_err());
+    }
+
+    #[test]
+    fn sample_respects_alphabet() {
+        let hmm = Hmm::random(3, 5, 7);
+        let seq = hmm.sample(100, 9);
+        assert_eq!(seq.len(), 100);
+        assert!(seq.iter().all(|&o| o < 5));
+    }
+}

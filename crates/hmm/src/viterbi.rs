@@ -1,0 +1,86 @@
+//! The decoding problem: Viterbi in log space.
+
+use crate::model::Hmm;
+
+/// Most likely hidden-state path for `obs`, with its log probability.
+/// Returns an empty path for empty input.
+#[allow(clippy::needless_range_loop)] // dense recursions index several arrays in lock-step
+pub fn viterbi(hmm: &Hmm, obs: &[usize]) -> (Vec<usize>, f64) {
+    let n = hmm.n_states();
+    let t_len = obs.len();
+    if t_len == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let ln = |x: f64| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY };
+
+    let mut delta = vec![vec![f64::NEG_INFINITY; n]; t_len];
+    let mut psi = vec![vec![0usize; n]; t_len];
+    for i in 0..n {
+        delta[0][i] = ln(hmm.pi[i]) + ln(hmm.b[i][obs[0]]);
+    }
+    for t in 1..t_len {
+        for j in 0..n {
+            let mut best = f64::NEG_INFINITY;
+            let mut arg = 0usize;
+            for i in 0..n {
+                let v = delta[t - 1][i] + ln(hmm.a[i][j]);
+                if v > best {
+                    best = v;
+                    arg = i;
+                }
+            }
+            delta[t][j] = best + ln(hmm.b[j][obs[t]]);
+            psi[t][j] = arg;
+        }
+    }
+    let (mut state, mut best) = (0usize, f64::NEG_INFINITY);
+    for i in 0..n {
+        if delta[t_len - 1][i] > best {
+            best = delta[t_len - 1][i];
+            state = i;
+        }
+    }
+    let mut path = vec![0usize; t_len];
+    path[t_len - 1] = state;
+    for t in (1..t_len).rev() {
+        state = psi[t][state];
+        path[t - 1] = state;
+    }
+    (path, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_deterministic_chain() {
+        // State 0 emits only symbol 0, state 1 only symbol 1; chain flips.
+        let hmm = Hmm::new(
+            vec![vec![0.1, 0.9], vec![0.9, 0.1]],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let (path, lp) = viterbi(&hmm, &[0, 1, 0, 1]);
+        assert_eq!(path, vec![0, 1, 0, 1]);
+        assert!(lp.is_finite());
+    }
+
+    #[test]
+    fn viterbi_never_exceeds_total_likelihood() {
+        let hmm = Hmm::random(4, 5, 11);
+        let obs = hmm.sample(30, 13);
+        let (_, best_path_lp) = viterbi(&hmm, &obs);
+        let total = crate::forward::log_likelihood(&hmm, &obs);
+        assert!(best_path_lp <= total + 1e-9, "{best_path_lp} vs {total}");
+    }
+
+    #[test]
+    fn empty_input() {
+        let hmm = Hmm::uniform(2, 2);
+        let (path, lp) = viterbi(&hmm, &[]);
+        assert!(path.is_empty());
+        assert_eq!(lp, 0.0);
+    }
+}

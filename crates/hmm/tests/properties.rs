@@ -1,0 +1,117 @@
+//! Property tests: the scaled forward algorithm against brute-force
+//! enumeration, and distributional invariants of training.
+
+use adprom_hmm::{backward, forward, log_likelihood, reestimate, viterbi, Hmm};
+use proptest::prelude::*;
+
+/// An arbitrary small stochastic model.
+fn arb_hmm(max_n: usize, max_m: usize) -> impl Strategy<Value = Hmm> {
+    (1..=max_n, 1..=max_m, any::<u64>()).prop_map(|(n, m, seed)| Hmm::random(n, m, seed))
+}
+
+/// Brute-force P(O | λ) by summing over all state paths.
+fn enumerate_likelihood(hmm: &Hmm, obs: &[usize]) -> f64 {
+    let n = hmm.n_states();
+    let t_len = obs.len();
+    if t_len == 0 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let paths = n.pow(t_len as u32);
+    for code in 0..paths {
+        let mut c = code;
+        let mut path = Vec::with_capacity(t_len);
+        for _ in 0..t_len {
+            path.push(c % n);
+            c /= n;
+        }
+        let mut p = hmm.pi[path[0]] * hmm.b[path[0]][obs[0]];
+        for t in 1..t_len {
+            p *= hmm.a[path[t - 1]][path[t]] * hmm.b[path[t]][obs[t]];
+        }
+        total += p;
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// forward() must agree with full path enumeration on small models.
+    #[test]
+    fn forward_matches_enumeration(hmm in arb_hmm(3, 3), seed in any::<u64>(),
+                                   len in 1usize..6) {
+        let obs = hmm.sample(len, seed);
+        let exact = enumerate_likelihood(&hmm, &obs);
+        let ll = log_likelihood(&hmm, &obs);
+        prop_assert!((ll - exact.ln()).abs() < 1e-9,
+            "forward {ll} vs enumeration {}", exact.ln());
+    }
+
+    /// The Viterbi path probability never exceeds the total likelihood and
+    /// equals the max over enumerated paths.
+    #[test]
+    fn viterbi_is_argmax(hmm in arb_hmm(3, 3), seed in any::<u64>(), len in 1usize..5) {
+        let obs = hmm.sample(len, seed);
+        let (_, best_lp) = viterbi(&hmm, &obs);
+        // Enumerate for the max path probability.
+        let n = hmm.n_states();
+        let mut best = f64::NEG_INFINITY;
+        for code in 0..n.pow(len as u32) {
+            let mut c = code;
+            let mut path = Vec::with_capacity(len);
+            for _ in 0..len {
+                path.push(c % n);
+                c /= n;
+            }
+            let mut p = (hmm.pi[path[0]] * hmm.b[path[0]][obs[0]]).ln();
+            for t in 1..len {
+                p += (hmm.a[path[t - 1]][path[t]] * hmm.b[path[t]][obs[t]]).ln();
+            }
+            best = best.max(p);
+        }
+        prop_assert!((best_lp - best).abs() < 1e-9, "{best_lp} vs {best}");
+    }
+
+    /// Forward-backward posterior sums to 1 at every step.
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn posteriors_normalize(hmm in arb_hmm(4, 4), seed in any::<u64>(), len in 1usize..12) {
+        let obs = hmm.sample(len, seed);
+        let fp = forward(&hmm, &obs);
+        prop_assume!(fp.log_likelihood.is_finite());
+        let beta = backward(&hmm, &obs, &fp.scale);
+        for t in 0..len {
+            let mut gamma: Vec<f64> = (0..hmm.n_states())
+                .map(|i| fp.alpha[t][i] * beta[t][i])
+                .collect();
+            let s: f64 = gamma.iter().sum();
+            prop_assert!(s > 0.0);
+            for g in &mut gamma {
+                *g /= s;
+            }
+            let total: f64 = gamma.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// One re-estimation step keeps the model stochastic and never lowers
+    /// the training-set likelihood (the EM guarantee), up to numerical
+    /// noise from smoothing.
+    #[test]
+    fn reestimation_is_monotone(n in 1usize..4, model_seed in any::<u64>(),
+                                seed in any::<u64>()) {
+        // Model and teacher must share the alphabet (m = 4) so sampled
+        // symbols are always in range for the trainee.
+        let hmm = Hmm::random(n, 4, model_seed);
+        let teacher = Hmm::random(3, 4, seed ^ 0xFEED);
+        let data: Vec<Vec<usize>> = (0..20).map(|i| teacher.sample(12, seed ^ i)).collect();
+        let mut model = hmm;
+        let before: f64 = data.iter().map(|o| log_likelihood(&model, o)).sum();
+        prop_assume!(before.is_finite());
+        reestimate(&mut model, &data, 0.0);
+        Hmm::new(model.a.clone(), model.b.clone(), model.pi.clone()).expect("stochastic");
+        let after: f64 = data.iter().map(|o| log_likelihood(&model, o)).sum();
+        prop_assert!(after >= before - 1e-6, "EM decreased likelihood: {before} -> {after}");
+    }
+}

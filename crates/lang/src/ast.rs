@@ -1,0 +1,466 @@
+//! Abstract syntax tree for the AD-PROM application-program language.
+//!
+//! The language is a small C-like imperative language: programs are sets of
+//! functions; statements cover assignment, branching, loops and returns;
+//! expressions cover arithmetic, comparison, logical operators, indexing and
+//! calls. Calls are either *library calls* (the libc/libpq/libmysql surface
+//! that AD-PROM intercepts — see [`LibCall`]) or *user calls*
+//! to other functions in the program.
+//!
+//! Every call expression carries a unique [`CallSiteId`] assigned when the
+//! program is built. Call sites are the unit the static analyzer labels
+//! (`printf_Q<bid>`) and the unit the runtime collector reports.
+
+use crate::libcalls::LibCall;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one syntactic call site within a program.
+///
+/// Ids are unique program-wide and stable across analysis and execution, which
+/// is what lets the DDG labels computed statically be applied to events
+/// emitted dynamically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CallSiteId(pub u32);
+
+impl fmt::Display for CallSiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Surface syntax for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// The target of a call expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Callee {
+    /// An intercepted library call (libc / libpq / libmysql surface).
+    Library(LibCall),
+    /// A call to another function defined in the program.
+    User(String),
+}
+
+impl Callee {
+    /// Display name of the callee (library call name or function name).
+    pub fn name(&self) -> &str {
+        match self {
+            Callee::Library(lc) => lc.name(),
+            Callee::User(name) => name,
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Null literal (maps to SQL NULL / C NULL).
+    Null,
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Indexing, e.g. `row[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// A call. `site` uniquely identifies this call site program-wide; `line`
+    /// is the 1-based source line when the program came from the DSL parser
+    /// (0 for programmatically built programs).
+    Call {
+        site: CallSiteId,
+        callee: Callee,
+        args: Vec<Expr>,
+        line: u32,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience constructor for a string literal.
+    pub fn str(s: impl Into<String>) -> Expr {
+        Expr::Str(s.into())
+    }
+
+    /// True if this expression or any sub-expression contains a call.
+    pub fn contains_call(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Call { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Pre-order walk over this expression tree.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Binary(_, a, b) | Expr::Index(a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            Expr::Unary(_, a) => a.walk(f),
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Pre-order mutable walk over this expression tree.
+    pub fn walk_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
+        f(self);
+        match self {
+            Expr::Binary(_, a, b) | Expr::Index(a, b) => {
+                a.walk_mut(f);
+                b.walk_mut(f);
+            }
+            Expr::Unary(_, a) => a.walk_mut(f),
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.walk_mut(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Collect the free variables referenced by this expression.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut vars = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Var(v) = e {
+                if !vars.contains(v) {
+                    vars.push(v.clone());
+                }
+            }
+        });
+        vars
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Stmt {
+    /// `let x = e;` — declares (or shadows) a local variable.
+    Let(String, Expr),
+    /// `x = e;` — assignment to an existing variable.
+    Assign(String, Expr),
+    /// Expression evaluated for its side effect, e.g. a bare call.
+    Expr(Expr),
+    /// `if (c) { .. } else { .. }` — `else_branch` may be empty.
+    If {
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    },
+    /// `while (c) { .. }`.
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `for (init; cond; step) { .. }`.
+    For {
+        init: Box<Stmt>,
+        cond: Expr,
+        step: Box<Stmt>,
+        body: Vec<Stmt>,
+    },
+    /// `return e;` / `return;`.
+    Return(Option<Expr>),
+    /// `break;` — exits the innermost loop.
+    Break,
+    /// `continue;` — next iteration of the innermost loop.
+    Continue,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct Function {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Creates a function with the given name, parameters and body.
+    pub fn new(name: impl Into<String>, params: Vec<String>, body: Vec<Stmt>) -> Function {
+        Function {
+            name: name.into(),
+            params,
+            body,
+        }
+    }
+}
+
+/// A whole application program: a set of functions with `main` as entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct Program {
+    pub functions: Vec<Function>,
+    /// Next call-site id to hand out; kept on the program so mutators
+    /// (the attacks crate) can allocate fresh, non-colliding ids.
+    next_site: u32,
+}
+
+impl Program {
+    /// Name of the entry function.
+    pub const ENTRY: &'static str = "main";
+
+    /// Creates a program from parts. `next_site` must be larger than every
+    /// call-site id already present; use [`Program::recompute_next_site`]
+    /// when unsure.
+    pub fn new(functions: Vec<Function>, next_site: u32) -> Program {
+        Program {
+            functions,
+            next_site,
+        }
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a function mutably by name.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// The entry function (`main`), if present.
+    pub fn entry(&self) -> Option<&Function> {
+        self.function(Self::ENTRY)
+    }
+
+    /// Allocates a fresh call-site id.
+    pub fn fresh_site(&mut self) -> CallSiteId {
+        let id = CallSiteId(self.next_site);
+        self.next_site += 1;
+        id
+    }
+
+    /// Recomputes `next_site` as one past the maximum id present. Call after
+    /// splicing in statements built outside this program.
+    pub fn recompute_next_site(&mut self) {
+        let mut max = 0;
+        self.for_each_call(|site, _, _| max = max.max(site.0 + 1));
+        self.next_site = self.next_site.max(max);
+    }
+
+    /// Visits every call site in the program as `(site, callee, function
+    /// name)`, in function order then pre-order within each body.
+    pub fn for_each_call(&self, mut f: impl FnMut(CallSiteId, &Callee, &str)) {
+        for func in &self.functions {
+            for stmt in &func.body {
+                walk_stmt_calls(stmt, &mut |site, callee| f(site, callee, &func.name));
+            }
+        }
+    }
+
+    /// Total number of call sites in the program.
+    pub fn call_site_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_call(|_, _, _| n += 1);
+        n
+    }
+
+    /// Names of the distinct library calls used anywhere in the program.
+    pub fn library_calls_used(&self) -> Vec<LibCall> {
+        let mut out: Vec<LibCall> = Vec::new();
+        self.for_each_call(|_, callee, _| {
+            if let Callee::Library(lc) = callee {
+                if !out.contains(lc) {
+                    out.push(*lc);
+                }
+            }
+        });
+        out
+    }
+}
+
+fn walk_stmt_calls(stmt: &Stmt, f: &mut impl FnMut(CallSiteId, &Callee)) {
+    fn on_expr(e: &Expr, f: &mut impl FnMut(CallSiteId, &Callee)) {
+        e.walk(&mut |e| {
+            if let Expr::Call { site, callee, .. } = e {
+                f(*site, callee);
+            }
+        })
+    }
+    match stmt {
+        Stmt::Let(_, e) | Stmt::Assign(_, e) | Stmt::Expr(e) => on_expr(e, f),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            on_expr(cond, f);
+            for s in then_branch {
+                walk_stmt_calls(s, f);
+            }
+            for s in else_branch {
+                walk_stmt_calls(s, f);
+            }
+        }
+        Stmt::While { cond, body } => {
+            on_expr(cond, f);
+            for s in body {
+                walk_stmt_calls(s, f);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            walk_stmt_calls(init, f);
+            on_expr(cond, f);
+            walk_stmt_calls(step, f);
+            for s in body {
+                walk_stmt_calls(s, f);
+            }
+        }
+        Stmt::Return(Some(e)) => on_expr(e, f),
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(site: u32, lc: LibCall, args: Vec<Expr>) -> Expr {
+        Expr::Call {
+            site: CallSiteId(site),
+            callee: Callee::Library(lc),
+            args,
+            line: 0,
+        }
+    }
+
+    #[test]
+    fn for_each_call_visits_nested_sites() {
+        let body = vec![
+            Stmt::Let("x".into(), call(0, LibCall::Scanf, vec![])),
+            Stmt::If {
+                cond: Expr::Binary(
+                    BinOp::Gt,
+                    Box::new(Expr::var("x")),
+                    Box::new(Expr::Int(0)),
+                ),
+                then_branch: vec![Stmt::Expr(call(
+                    1,
+                    LibCall::Printf,
+                    vec![Expr::str("hi")],
+                ))],
+                else_branch: vec![],
+            },
+        ];
+        let prog = Program::new(vec![Function::new("main", vec![], body)], 2);
+        let mut seen = Vec::new();
+        prog.for_each_call(|site, callee, func| {
+            seen.push((site.0, callee.name().to_string(), func.to_string()));
+        });
+        assert_eq!(
+            seen,
+            vec![
+                (0, "scanf".to_string(), "main".to_string()),
+                (1, "printf".to_string(), "main".to_string())
+            ]
+        );
+        assert_eq!(prog.call_site_count(), 2);
+    }
+
+    #[test]
+    fn fresh_site_monotonic() {
+        let mut prog = Program::new(vec![], 5);
+        assert_eq!(prog.fresh_site(), CallSiteId(5));
+        assert_eq!(prog.fresh_site(), CallSiteId(6));
+    }
+
+    #[test]
+    fn contains_call_detects_deep_call() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Int(1)),
+            Box::new(call(0, LibCall::Rand, vec![])),
+        );
+        assert!(e.contains_call());
+        assert!(!Expr::Int(3).contains_call());
+    }
+
+    #[test]
+    fn free_vars_deduplicates() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::var("a")),
+            Box::new(Expr::Binary(
+                BinOp::Mul,
+                Box::new(Expr::var("a")),
+                Box::new(Expr::var("b")),
+            )),
+        );
+        assert_eq!(e.free_vars(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

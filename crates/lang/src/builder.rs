@@ -1,0 +1,181 @@
+//! Programmatic builder for constructing programs without going through the
+//! DSL parser. Used by the SIR-scale synthetic program generator and by the
+//! attack mutators, which need to fabricate statements with fresh call sites.
+
+use crate::ast::{BinOp, Callee, CallSiteId, Expr, Function, Program, Stmt};
+use crate::libcalls::LibCall;
+
+/// Builds a [`Program`], handing out sequential call-site ids.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    functions: Vec<Function>,
+    next_site: u32,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Allocates the next call-site id.
+    pub fn site(&mut self) -> CallSiteId {
+        let id = CallSiteId(self.next_site);
+        self.next_site += 1;
+        id
+    }
+
+    /// Builds a library-call expression with a fresh site id.
+    pub fn lib(&mut self, call: LibCall, args: Vec<Expr>) -> Expr {
+        Expr::Call {
+            site: self.site(),
+            callee: Callee::Library(call),
+            args,
+            line: 0,
+        }
+    }
+
+    /// Builds a user-call expression with a fresh site id.
+    pub fn user(&mut self, name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call {
+            site: self.site(),
+            callee: Callee::User(name.into()),
+            args,
+            line: 0,
+        }
+    }
+
+    /// Adds a function to the program.
+    pub fn function(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<&str>,
+        body: Vec<Stmt>,
+    ) -> &mut Self {
+        self.functions.push(Function::new(
+            name,
+            params.into_iter().map(str::to_string).collect(),
+            body,
+        ));
+        self
+    }
+
+    /// Finalizes the program.
+    pub fn build(self) -> Program {
+        Program::new(self.functions, self.next_site)
+    }
+}
+
+/// Shorthand expression constructors used across workloads and tests.
+pub mod dsl {
+    use super::*;
+
+    /// Integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Int(v)
+    }
+
+    /// String literal.
+    pub fn s(v: &str) -> Expr {
+        Expr::Str(v.to_string())
+    }
+
+    /// Variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// Binary operation.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// `a < b`.
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Lt, a, b)
+    }
+
+    /// `a == b`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Eq, a, b)
+    }
+
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Add, a, b)
+    }
+
+    /// `let name = value;`
+    pub fn let_(name: &str, value: Expr) -> Stmt {
+        Stmt::Let(name.to_string(), value)
+    }
+
+    /// `name = value;`
+    pub fn assign(name: &str, value: Expr) -> Stmt {
+        Stmt::Assign(name.to_string(), value)
+    }
+
+    /// Expression statement.
+    pub fn expr(e: Expr) -> Stmt {
+        Stmt::Expr(e)
+    }
+
+    /// `if (cond) { then } else { els }`.
+    pub fn if_(cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
+        Stmt::If {
+            cond,
+            then_branch: then,
+            else_branch: els,
+        }
+    }
+
+    /// `while (cond) { body }`.
+    pub fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::While { cond, body }
+    }
+
+    /// Canonical counting loop `for (let i = 0; i < n; i = i + 1) { body }`.
+    pub fn count_loop(i: &str, n: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::For {
+            init: Box::new(let_(i, int(0))),
+            cond: lt(var(i), n),
+            step: Box::new(assign(i, add(var(i), int(1)))),
+            body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dsl::*;
+    use super::*;
+    use crate::pretty::pretty_program;
+
+    #[test]
+    fn builder_produces_parseable_program() {
+        let mut b = ProgramBuilder::new();
+        let print = b.lib(LibCall::Printf, vec![s("%d"), var("i")]);
+        b.function(
+            "main",
+            vec![],
+            vec![count_loop("i", int(3), vec![expr(print)])],
+        );
+        let prog = b.build();
+        assert_eq!(prog.call_site_count(), 1);
+        let text = pretty_program(&prog);
+        let reparsed = crate::parser::parse_program(&text).unwrap();
+        assert_eq!(reparsed.call_site_count(), 1);
+    }
+
+    #[test]
+    fn site_ids_are_sequential_and_recorded() {
+        let mut b = ProgramBuilder::new();
+        let c0 = b.lib(LibCall::Puts, vec![s("a")]);
+        let c1 = b.lib(LibCall::Puts, vec![s("b")]);
+        b.function("main", vec![], vec![expr(c0), expr(c1)]);
+        let prog = b.build();
+        let mut ids = Vec::new();
+        prog.for_each_call(|site, _, _| ids.push(site.0));
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

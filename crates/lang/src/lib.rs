@@ -1,0 +1,35 @@
+//! # adprom-lang
+//!
+//! The application-program language used throughout the AD-PROM
+//! reproduction. The ICDE 2020 paper analyzes and instruments C client
+//! programs through Dyninst; this crate provides the equivalent substrate for
+//! a pure-Rust build: a small C-like imperative language with the libc /
+//! libpq / libmysqlclient call surface that AD-PROM intercepts.
+//!
+//! The crate provides:
+//!
+//! * the [`ast`] — programs, functions, statements, expressions and uniquely
+//!   identified call sites;
+//! * the [`libcalls`] surface with the source/sink/propagator classification
+//!   used by the data-dependency analysis;
+//! * a [`parser`] for a textual DSL (the workload applications are written in
+//!   it), and a [`pretty`]-printer that round-trips;
+//! * a programmatic [`builder`] used by the synthetic SIR-scale generator and
+//!   by the attack mutators;
+//! * a [`validate`](mod@validate) pass catching structural errors before analysis.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builder;
+pub mod libcalls;
+pub mod parser;
+pub mod pretty;
+pub mod validate;
+
+pub use ast::{BinOp, Callee, CallSiteId, Expr, Function, Program, Stmt, UnOp};
+pub use builder::ProgramBuilder;
+pub use libcalls::LibCall;
+pub use parser::{parse_program, ParseError};
+pub use pretty::pretty_program;
+pub use validate::{validate, validated, ValidateError};

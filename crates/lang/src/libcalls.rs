@@ -1,0 +1,258 @@
+//! The library-call surface intercepted by AD-PROM.
+//!
+//! This is the union of the libc, libpq (PostgreSQL) and libmysqlclient
+//! functions that appear in the paper's examples plus the usual supporting
+//! calls a small database client application needs. Each call is classified
+//! for the data-dependency analysis:
+//!
+//! * **DB sources** return targeted data (TD) retrieved from the database
+//!   (`PQexec`, `PQgetvalue`, `mysql_store_result`, `mysql_fetch_row`, …).
+//! * **Output sinks** transfer data out of the process (`printf`, `fprintf`,
+//!   `fwrite`, `write`, …) — exactly the list in §IV-A of the paper.
+//! * **Propagators** copy data between buffers (`strcpy`, `strcat`,
+//!   `sprintf`, …): taint on any source argument flows to the destination.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+macro_rules! libcalls {
+    ($( $variant:ident => $name:literal ),+ $(,)?) => {
+        /// A library call known to AD-PROM's collector and analyzer.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
+                 Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub enum LibCall {
+            $($variant),+
+        }
+
+        impl LibCall {
+            /// Canonical C-level name of the call (what traces record).
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(LibCall::$variant => $name),+
+                }
+            }
+
+            /// All known library calls.
+            pub const ALL: &'static [LibCall] = &[$(LibCall::$variant),+];
+
+            /// Resolves a canonical name back to a call.
+            pub fn from_name(name: &str) -> Option<LibCall> {
+                match name {
+                    $($name => Some(LibCall::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+libcalls! {
+    // --- libpq (PostgreSQL) ---
+    PQconnectdb => "PQconnectdb",
+    PQexec => "PQexec",
+    PQprepare => "PQprepare",
+    PQexecPrepared => "PQexecPrepared",
+    PQntuples => "PQntuples",
+    PQnfields => "PQnfields",
+    PQgetvalue => "PQgetvalue",
+    PQclear => "PQclear",
+    PQfinish => "PQfinish",
+    // --- libmysqlclient ---
+    MysqlInit => "mysql_init",
+    MysqlRealConnect => "mysql_real_connect",
+    MysqlQuery => "mysql_query",
+    MysqlStoreResult => "mysql_store_result",
+    MysqlFetchRow => "mysql_fetch_row",
+    MysqlNumRows => "mysql_num_rows",
+    MysqlNumFields => "mysql_num_fields",
+    MysqlFreeResult => "mysql_free_result",
+    MysqlClose => "mysql_close",
+    MysqlStmtPrepare => "mysql_stmt_prepare",
+    MysqlStmtExecute => "mysql_stmt_execute",
+    // --- stdio output ---
+    Printf => "printf",
+    Fprintf => "fprintf",
+    Sprintf => "sprintf",
+    Snprintf => "snprintf",
+    Puts => "puts",
+    Putchar => "putchar",
+    Fputc => "fputc",
+    Fputs => "fputs",
+    Write => "write",
+    Fwrite => "fwrite",
+    // --- stdio input ---
+    Scanf => "scanf",
+    Fscanf => "fscanf",
+    Gets => "gets",
+    Fgets => "fgets",
+    Getchar => "getchar",
+    // --- files ---
+    Fopen => "fopen",
+    Fclose => "fclose",
+    Fflush => "fflush",
+    Fread => "fread",
+    Remove => "remove",
+    // --- strings / conversion ---
+    Strcpy => "strcpy",
+    Strncpy => "strncpy",
+    Strcat => "strcat",
+    Strncat => "strncat",
+    Strcmp => "strcmp",
+    Strlen => "strlen",
+    Strstr => "strstr",
+    Atoi => "atoi",
+    Atof => "atof",
+    Memcpy => "memcpy",
+    Memset => "memset",
+    // --- misc libc ---
+    System => "system",
+    Exit => "exit",
+    Malloc => "malloc",
+    Free => "free",
+    Rand => "rand",
+    Srand => "srand",
+    Time => "time",
+    Getenv => "getenv",
+    Sleep => "sleep",
+    Abs => "abs",
+    Sqrt => "sqrt",
+}
+
+impl LibCall {
+    /// True if the call retrieves targeted data from the database. These are
+    /// the taint *sources* of the DDG.
+    pub fn is_db_source(self) -> bool {
+        matches!(
+            self,
+            LibCall::PQexec
+                | LibCall::PQexecPrepared
+                | LibCall::PQgetvalue
+                | LibCall::MysqlStoreResult
+                | LibCall::MysqlFetchRow
+        )
+    }
+
+    /// True if the call submits a query string to the database (used by the
+    /// collector to associate leaks with query sites).
+    pub fn is_query_submission(self) -> bool {
+        matches!(
+            self,
+            LibCall::PQexec
+                | LibCall::PQprepare
+                | LibCall::PQexecPrepared
+                | LibCall::MysqlQuery
+                | LibCall::MysqlStmtPrepare
+        )
+    }
+
+    /// True if the call is an output statement in the paper's sense (§IV-A):
+    /// a sink that may transfer the TD to the screen, a file, or a buffer
+    /// later written out.
+    pub fn is_output_sink(self) -> bool {
+        matches!(
+            self,
+            LibCall::Printf
+                | LibCall::Fprintf
+                | LibCall::Sprintf
+                | LibCall::Snprintf
+                | LibCall::Puts
+                | LibCall::Putchar
+                | LibCall::Fputc
+                | LibCall::Fputs
+                | LibCall::Write
+                | LibCall::Fwrite
+        )
+    }
+
+    /// For propagator calls, the index of the *destination* argument that
+    /// receives taint from the remaining arguments (`strcpy(dst, src)` etc.).
+    /// `None` for non-propagators.
+    pub fn propagates_to_arg(self) -> Option<usize> {
+        match self {
+            LibCall::Strcpy
+            | LibCall::Strncpy
+            | LibCall::Strcat
+            | LibCall::Strncat
+            | LibCall::Sprintf
+            | LibCall::Snprintf
+            | LibCall::Memcpy => Some(0),
+            _ => None,
+        }
+    }
+
+    /// True if the call returns user (stdin) input — sources for injection
+    /// attacks, but not DB taint.
+    pub fn is_user_input(self) -> bool {
+        matches!(
+            self,
+            LibCall::Scanf
+                | LibCall::Fscanf
+                | LibCall::Gets
+                | LibCall::Fgets
+                | LibCall::Getchar
+        )
+    }
+}
+
+impl fmt::Display for LibCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for LibCall {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<LibCall, ()> {
+        LibCall::from_name(s).ok_or(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for &lc in LibCall::ALL {
+            assert_eq!(LibCall::from_name(lc.name()), Some(lc), "{lc}");
+        }
+    }
+
+    #[test]
+    fn classification_matches_paper_lists() {
+        // §IV-A output statements.
+        for name in [
+            "printf", "fprintf", "sprintf", "snprintf", "fputc", "fputs", "write", "fwrite",
+        ] {
+            assert!(
+                LibCall::from_name(name).unwrap().is_output_sink(),
+                "{name} must be an output sink"
+            );
+        }
+        // §IV-B1 input statements that retrieve the TD.
+        assert!(LibCall::PQexec.is_db_source());
+        assert!(LibCall::MysqlFetchRow.is_db_source());
+        assert!(!LibCall::Printf.is_db_source());
+        assert!(!LibCall::MysqlQuery.is_db_source()); // returns status only
+        assert!(LibCall::MysqlQuery.is_query_submission());
+    }
+
+    #[test]
+    fn propagators_target_destination() {
+        assert_eq!(LibCall::Strcpy.propagates_to_arg(), Some(0));
+        assert_eq!(LibCall::Strcat.propagates_to_arg(), Some(0));
+        assert_eq!(LibCall::Printf.propagates_to_arg(), None);
+    }
+
+    #[test]
+    fn all_names_unique() {
+        let mut names: Vec<&str> = LibCall::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

@@ -1,0 +1,688 @@
+//! Recursive-descent parser for the application-program DSL.
+//!
+//! The surface syntax is a C-flavoured subset:
+//!
+//! ```text
+//! fn main() {
+//!     let conn = PQconnectdb("hospital");
+//!     let r = PQexec(conn, "SELECT * FROM patients");
+//!     let n = PQntuples(r);
+//!     let i = 0;
+//!     while (i < n) {
+//!         printf("%s", PQgetvalue(r, i, 0));
+//!         i = i + 1;
+//!     }
+//! }
+//! ```
+//!
+//! Identifiers that match a known [`LibCall`] name resolve to library calls;
+//! anything else resolves to a user-function call. Call sites are numbered in
+//! the order they are parsed.
+
+use crate::ast::{BinOp, Callee, Expr, Function, Program, Stmt, UnOp};
+use crate::libcalls::LibCall;
+use std::fmt;
+
+/// A parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct ParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses DSL source text into a [`Program`].
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        next_site: 0,
+    };
+    let mut functions = Vec::new();
+    while !parser.at_end() {
+        functions.push(parser.function()?);
+    }
+    Ok(Program::new(functions, parser.next_site))
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Punct(&'static str),
+    Kw(&'static str),
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Int(v) => format!("integer `{v}`"),
+            Tok::Float(v) => format!("float `{v}`"),
+            Tok::Str(_) => "string literal".to_string(),
+            Tok::Punct(p) => format!("`{p}`"),
+            Tok::Kw(k) => format!("keyword `{k}`"),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "fn", "let", "if", "else", "while", "for", "return", "break", "continue", "true", "false",
+    "null",
+];
+
+fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ParseError {
+                                line: start_line,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = bytes.get(i + 1).copied().ok_or(ParseError {
+                                line,
+                                message: "dangling escape".into(),
+                            })?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                other => other as char,
+                            });
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            if b == b'\n' {
+                                line += 1;
+                            }
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push((Tok::Str(s), start_line));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit());
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    let v = text.parse::<f64>().map_err(|_| ParseError {
+                        line,
+                        message: format!("bad float literal `{text}`"),
+                    })?;
+                    tokens.push((Tok::Float(v), line));
+                } else {
+                    let text = &src[start..i];
+                    let v = text.parse::<i64>().map_err(|_| ParseError {
+                        line,
+                        message: format!("bad integer literal `{text}`"),
+                    })?;
+                    tokens.push((Tok::Int(v), line));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && {
+                    let c = bytes[i] as char;
+                    c.is_ascii_alphanumeric() || c == '_'
+                } {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                if let Some(kw) = KEYWORDS.iter().find(|k| **k == word) {
+                    tokens.push((Tok::Kw(kw), line));
+                } else {
+                    tokens.push((Tok::Ident(word.to_string()), line));
+                }
+            }
+            _ => {
+                // Two-character operators first.
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let punct2 = ["==", "!=", "<=", ">=", "&&", "||"]
+                    .iter()
+                    .find(|p| **p == two);
+                if let Some(p) = punct2 {
+                    tokens.push((Tok::Punct(p), line));
+                    i += 2;
+                    continue;
+                }
+                let one = &src[i..i + 1];
+                const SINGLES: &[&str] = &[
+                    "(", ")", "{", "}", "[", "]", ",", ";", "+", "-", "*", "/", "%", "<", ">",
+                    "=", "!",
+                ];
+                if let Some(p) = SINGLES.iter().find(|p| **p == one) {
+                    tokens.push((Tok::Punct(p), line));
+                    i += 1;
+                } else {
+                    return Err(ParseError {
+                        line,
+                        message: format!("unexpected character `{c}`"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<(Tok, u32)>,
+    pos: usize,
+    next_site: u32,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek() == Some(&Tok::Punct(punct_static(p))) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            let found = self
+                .peek()
+                .map(|t| t.describe())
+                .unwrap_or_else(|| "end of input".into());
+            Err(self.error(format!("expected `{p}`, found {found}")))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Kw(k)) = self.peek() {
+            if *k == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => {
+                let found = other
+                    .map(|t| t.describe())
+                    .unwrap_or_else(|| "end of input".into());
+                Err(self.error(format!("expected identifier, found {found}")))
+            }
+        }
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        if !self.eat_kw("fn") {
+            return Err(self.error("expected `fn`"));
+        }
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                params.push(self.expect_ident()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Function::new(name, params, body))
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_end() {
+                return Err(self.error("unterminated block"));
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("let") {
+            let name = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Let(name, value));
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then_branch = self.block()?;
+            let else_branch = if self.eat_kw("else") {
+                if let Some(Tok::Kw("if")) = self.peek() {
+                    vec![self.statement()?]
+                } else {
+                    self.block()?
+                }
+            } else {
+                vec![]
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = Box::new(self.simple_stmt()?);
+            self.expect_punct(";")?;
+            let cond = self.expr()?;
+            self.expect_punct(";")?;
+            let step = Box::new(self.simple_stmt()?);
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            });
+        }
+        if self.eat_kw("return") {
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(Some(value)));
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        let stmt = self.simple_stmt()?;
+        self.expect_punct(";")?;
+        Ok(stmt)
+    }
+
+    /// Assignment / let / expression statement without the trailing `;` —
+    /// used inside `for (...)` headers and as the tail of `statement`.
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("let") {
+            let name = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            return Ok(Stmt::Let(name, value));
+        }
+        // Lookahead: `ident =` (but not `==`) is an assignment.
+        if let Some(Tok::Ident(name)) = self.peek().cloned() {
+            if self.tokens.get(self.pos + 1).map(|(t, _)| t) == Some(&Tok::Punct("=")) {
+                self.pos += 2;
+                let value = self.expr()?;
+                return Ok(Stmt::Assign(name, value));
+            }
+        }
+        Ok(Stmt::Expr(self.expr()?))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_punct("||") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_punct("&&") {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = if self.eat_punct("==") {
+            BinOp::Eq
+        } else if self.eat_punct("!=") {
+            BinOp::Ne
+        } else if self.eat_punct("<=") {
+            BinOp::Le
+        } else if self.eat_punct(">=") {
+            BinOp::Ge
+        } else if self.eat_punct("<") {
+            BinOp::Lt
+        } else if self.eat_punct(">") {
+            BinOp::Gt
+        } else {
+            return Ok(lhs);
+        };
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                BinOp::Add
+            } else if self.eat_punct("-") {
+                BinOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                BinOp::Mul
+            } else if self.eat_punct("/") {
+                BinOp::Div
+            } else if self.eat_punct("%") {
+                BinOp::Rem
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("-") {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(e)));
+        }
+        if self.eat_punct("!") {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(e)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary_expr()?;
+        while self.eat_punct("[") {
+            let idx = self.expr()?;
+            self.expect_punct("]")?;
+            e = Expr::Index(Box::new(e), Box::new(idx));
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Expr::Int(v)),
+            Some(Tok::Float(v)) => Ok(Expr::Float(v)),
+            Some(Tok::Str(s)) => Ok(Expr::Str(s)),
+            Some(Tok::Kw("true")) => Ok(Expr::Bool(true)),
+            Some(Tok::Kw("false")) => Ok(Expr::Bool(false)),
+            Some(Tok::Kw("null")) => Ok(Expr::Null),
+            Some(Tok::Punct("(")) => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    let callee = match LibCall::from_name(&name) {
+                        Some(lc) => Callee::Library(lc),
+                        None => Callee::User(name),
+                    };
+                    let site = crate::ast::CallSiteId(self.next_site);
+                    self.next_site += 1;
+                    Ok(Expr::Call {
+                        site,
+                        callee,
+                        args,
+                        line,
+                    })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => {
+                let found = other
+                    .map(|t| t.describe())
+                    .unwrap_or_else(|| "end of input".into());
+                Err(ParseError {
+                    line,
+                    message: format!("expected expression, found {found}"),
+                })
+            }
+        }
+    }
+}
+
+fn punct_static(p: &str) -> &'static str {
+    const ALL: &[&str] = &[
+        "(", ")", "{", "}", "[", "]", ",", ";", "+", "-", "*", "/", "%", "<", ">", "=", "!",
+        "==", "!=", "<=", ">=", "&&", "||",
+    ];
+    ALL.iter().find(|s| **s == p).copied().unwrap_or("?")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Callee;
+
+    #[test]
+    fn parses_minimal_main() {
+        let prog = parse_program("fn main() { printf(\"hi\"); }").unwrap();
+        assert_eq!(prog.functions.len(), 1);
+        assert_eq!(prog.call_site_count(), 1);
+    }
+
+    #[test]
+    fn resolves_library_vs_user_calls() {
+        let src = r#"
+            fn main() { helper(); PQexec(c, "SELECT 1"); }
+            fn helper() { }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let mut kinds = Vec::new();
+        prog.for_each_call(|_, callee, _| {
+            kinds.push(matches!(callee, Callee::Library(_)));
+        });
+        assert_eq!(kinds, vec![false, true]);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            fn main() {
+                let i = 0;
+                while (i < 10) {
+                    if (i % 2 == 0) { printf("%d", i); } else { puts("odd"); }
+                    i = i + 1;
+                }
+                for (let j = 0; j < 3; j = j + 1) { putchar(j); }
+                return;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.call_site_count(), 3);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let prog = parse_program(r#"fn main() { printf("a\nb\"c"); }"#).unwrap();
+        let f = prog.entry().unwrap();
+        if let Stmt::Expr(Expr::Call { args, .. }) = &f.body[0] {
+            assert_eq!(args[0], Expr::Str("a\nb\"c".into()));
+        } else {
+            panic!("expected call statement");
+        }
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_program("fn main() {\n let x = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = r#"
+            fn main() {
+                let c = scanf();
+                if (c == 1) { puts("a"); }
+                else if (c == 2) { puts("b"); }
+                else { puts("c"); }
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.call_site_count(), 4);
+    }
+
+    #[test]
+    fn call_sites_numbered_in_order() {
+        let prog =
+            parse_program("fn main() { puts(\"a\"); puts(\"b\"); puts(\"c\"); }").unwrap();
+        let mut ids = Vec::new();
+        prog.for_each_call(|s, _, _| ids.push(s.0));
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let prog = parse_program("// header\nfn main() { // trailing\n puts(\"x\"); }").unwrap();
+        assert_eq!(prog.call_site_count(), 1);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(parse_program("fn main() { printf(\"oops); }").is_err());
+    }
+
+    #[test]
+    fn tautology_literal_survives_lexing() {
+        // The SQL-injection payload from Fig. 2 must lex as a plain string.
+        let prog = parse_program(r#"fn main() { let inj = "1' OR '1'='1"; puts(inj); }"#).unwrap();
+        let f = prog.entry().unwrap();
+        assert_eq!(f.body[0], Stmt::Let("inj".into(), Expr::str("1' OR '1'='1")));
+    }
+}

@@ -1,0 +1,216 @@
+//! Pretty-printer for programs: renders the AST back to parseable DSL text.
+//!
+//! `parse(pretty(p))` yields a program structurally equal to `p` up to
+//! call-site renumbering; the round-trip is exercised by property tests.
+
+use crate::ast::{Callee, Expr, Function, Program, Stmt};
+use std::fmt::Write;
+
+/// Renders a whole program as DSL source text.
+pub fn pretty_program(prog: &Program) -> String {
+    let mut out = String::new();
+    for (i, f) in prog.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        pretty_function(f, &mut out);
+    }
+    out
+}
+
+/// Renders one function.
+pub fn pretty_function(f: &Function, out: &mut String) {
+    let _ = writeln!(out, "fn {}({}) {{", f.name, f.params.join(", "));
+    for stmt in &f.body {
+        pretty_stmt(stmt, 1, out);
+    }
+    out.push_str("}\n");
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn pretty_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match stmt {
+        Stmt::Let(name, e) => {
+            let _ = writeln!(out, "let {} = {};", name, pretty_expr(e));
+        }
+        Stmt::Assign(name, e) => {
+            let _ = writeln!(out, "{} = {};", name, pretty_expr(e));
+        }
+        Stmt::Expr(e) => {
+            let _ = writeln!(out, "{};", pretty_expr(e));
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let _ = writeln!(out, "if ({}) {{", pretty_expr(cond));
+            for s in then_branch {
+                pretty_stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            if else_branch.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for s in else_branch {
+                    pretty_stmt(s, level + 1, out);
+                }
+                indent(level, out);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", pretty_expr(cond));
+            for s in body {
+                pretty_stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            let _ = writeln!(
+                out,
+                "for ({}; {}; {}) {{",
+                pretty_simple_stmt(init),
+                pretty_expr(cond),
+                pretty_simple_stmt(step)
+            );
+            for s in body {
+                pretty_stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::Return(None) => out.push_str("return;\n"),
+        Stmt::Return(Some(e)) => {
+            let _ = writeln!(out, "return {};", pretty_expr(e));
+        }
+        Stmt::Break => out.push_str("break;\n"),
+        Stmt::Continue => out.push_str("continue;\n"),
+    }
+}
+
+fn pretty_simple_stmt(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Let(name, e) => format!("let {} = {}", name, pretty_expr(e)),
+        Stmt::Assign(name, e) => format!("{} = {}", name, pretty_expr(e)),
+        Stmt::Expr(e) => pretty_expr(e),
+        other => panic!("statement kind not allowed in for-header: {other:?}"),
+    }
+}
+
+/// Renders an expression (fully parenthesized where precedence is unclear).
+pub fn pretty_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Str(s) => {
+            let mut escaped = String::with_capacity(s.len() + 2);
+            escaped.push('"');
+            for c in s.chars() {
+                match c {
+                    '\n' => escaped.push_str("\\n"),
+                    '\t' => escaped.push_str("\\t"),
+                    '"' => escaped.push_str("\\\""),
+                    '\\' => escaped.push_str("\\\\"),
+                    other => escaped.push(other),
+                }
+            }
+            escaped.push('"');
+            escaped
+        }
+        Expr::Bool(v) => v.to_string(),
+        Expr::Null => "null".to_string(),
+        Expr::Var(name) => name.clone(),
+        Expr::Binary(op, a, b) => {
+            format!("({} {} {})", pretty_expr(a), op.symbol(), pretty_expr(b))
+        }
+        Expr::Unary(op, a) => {
+            let sym = match op {
+                crate::ast::UnOp::Neg => "-",
+                crate::ast::UnOp::Not => "!",
+            };
+            format!("({}{})", sym, pretty_expr(a))
+        }
+        Expr::Index(a, i) => format!("{}[{}]", pretty_expr(a), pretty_expr(i)),
+        Expr::Call { callee, args, .. } => {
+            let name = match callee {
+                Callee::Library(lc) => lc.name().to_string(),
+                Callee::User(n) => n.clone(),
+            };
+            let rendered: Vec<String> = args.iter().map(pretty_expr).collect();
+            format!("{}({})", name, rendered.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    /// Strips call-site ids so round-tripped programs compare structurally.
+    fn normalized(prog: &Program) -> String {
+        pretty_program(prog)
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let src = r#"
+fn main() {
+    let conn = PQconnectdb("db");
+    let r = PQexec(conn, "SELECT * FROM t WHERE a < 10");
+    let n = PQntuples(r);
+    for (let i = 0; i < n; i = i + 1) {
+        printf("%s", PQgetvalue(r, i, 0));
+    }
+    if (n == 0) {
+        puts("empty");
+    } else {
+        helper(n);
+    }
+}
+
+fn helper(n) {
+    while (n > 0) {
+        n = n - 1;
+        if (n % 2 == 0) { continue; }
+        putchar(n);
+    }
+    return n;
+}
+"#;
+        let p1 = parse_program(src).unwrap();
+        let text = normalized(&p1);
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(normalized(&p2), text, "pretty-print must be a fixpoint");
+        assert_eq!(p1.call_site_count(), p2.call_site_count());
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let src = "fn main() { printf(\"a\\n\\\"b\\\\c\"); }";
+        let p1 = parse_program(src).unwrap();
+        let p2 = parse_program(&pretty_program(&p1)).unwrap();
+        // Compare via the printer: source line numbers legitimately differ.
+        assert_eq!(pretty_program(&p1), pretty_program(&p2));
+    }
+}

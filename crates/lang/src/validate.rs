@@ -1,0 +1,229 @@
+//! Program validation: catches structural problems before analysis or
+//! execution — a missing `main`, calls to undefined functions, arity
+//! mismatches on user calls, duplicate function names, and duplicate
+//! call-site ids (which would corrupt the DDG labeling).
+
+use crate::ast::{Callee, Program};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ValidateError {
+    /// The program has no `main` function.
+    MissingMain,
+    /// Two functions share a name.
+    DuplicateFunction(String),
+    /// A user call references a function that does not exist.
+    UndefinedFunction { caller: String, callee: String },
+    /// A user call passes the wrong number of arguments.
+    ArityMismatch {
+        caller: String,
+        callee: String,
+        expected: usize,
+        found: usize,
+    },
+    /// Two call sites carry the same id.
+    DuplicateCallSite(u32),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::MissingMain => write!(f, "program has no `main` function"),
+            ValidateError::DuplicateFunction(name) => {
+                write!(f, "function `{name}` is defined more than once")
+            }
+            ValidateError::UndefinedFunction { caller, callee } => {
+                write!(f, "`{caller}` calls undefined function `{callee}`")
+            }
+            ValidateError::ArityMismatch {
+                caller,
+                callee,
+                expected,
+                found,
+            } => write!(
+                f,
+                "`{caller}` calls `{callee}` with {found} argument(s), expected {expected}"
+            ),
+            ValidateError::DuplicateCallSite(id) => {
+                write!(f, "call-site id s{id} appears more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validates a program, returning every problem found.
+pub fn validate(prog: &Program) -> Vec<ValidateError> {
+    let mut errors = Vec::new();
+
+    if prog.entry().is_none() {
+        errors.push(ValidateError::MissingMain);
+    }
+
+    let mut arities: HashMap<&str, usize> = HashMap::new();
+    for f in &prog.functions {
+        if arities.insert(&f.name, f.params.len()).is_some() {
+            errors.push(ValidateError::DuplicateFunction(f.name.clone()));
+        }
+    }
+
+    let mut seen_sites: HashSet<u32> = HashSet::new();
+    let mut site_errors: Vec<ValidateError> = Vec::new();
+    prog.for_each_call(|site, _, _| {
+        if !seen_sites.insert(site.0) {
+            site_errors.push(ValidateError::DuplicateCallSite(site.0));
+        }
+    });
+    errors.extend(site_errors);
+
+    for f in &prog.functions {
+        for stmt in &f.body {
+            check_stmt_calls(stmt, &f.name, &arities, &mut errors);
+        }
+    }
+
+    errors
+}
+
+/// Validates and returns the program, or the first error.
+pub fn validated(prog: Program) -> Result<Program, ValidateError> {
+    match validate(&prog).into_iter().next() {
+        None => Ok(prog),
+        Some(e) => Err(e),
+    }
+}
+
+fn check_stmt_calls(
+    stmt: &crate::ast::Stmt,
+    caller: &str,
+    arities: &HashMap<&str, usize>,
+    errors: &mut Vec<ValidateError>,
+) {
+    use crate::ast::Stmt;
+    fn on_expr(
+        e: &crate::ast::Expr,
+        caller: &str,
+        arities: &HashMap<&str, usize>,
+        errors: &mut Vec<ValidateError>,
+    ) {
+        e.walk(&mut |e| {
+            if let crate::ast::Expr::Call {
+                callee: Callee::User(name),
+                args,
+                ..
+            } = e
+            {
+                match arities.get(name.as_str()) {
+                    None => errors.push(ValidateError::UndefinedFunction {
+                        caller: caller.to_string(),
+                        callee: name.clone(),
+                    }),
+                    Some(&expected) if expected != args.len() => {
+                        errors.push(ValidateError::ArityMismatch {
+                            caller: caller.to_string(),
+                            callee: name.clone(),
+                            expected,
+                            found: args.len(),
+                        })
+                    }
+                    _ => {}
+                }
+            }
+        })
+    }
+    let on_expr = |e: &crate::ast::Expr, errors: &mut Vec<ValidateError>| {
+        on_expr(e, caller, arities, errors)
+    };
+    match stmt {
+        Stmt::Let(_, e) | Stmt::Assign(_, e) | Stmt::Expr(e) => on_expr(e, errors),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            on_expr(cond, errors);
+            for s in then_branch.iter().chain(else_branch) {
+                check_stmt_calls(s, caller, arities, errors);
+            }
+        }
+        Stmt::While { cond, body } => {
+            on_expr(cond, errors);
+            for s in body {
+                check_stmt_calls(s, caller, arities, errors);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            check_stmt_calls(init, caller, arities, errors);
+            on_expr(cond, errors);
+            check_stmt_calls(step, caller, arities, errors);
+            for s in body {
+                check_stmt_calls(s, caller, arities, errors);
+            }
+        }
+        Stmt::Return(Some(e)) => on_expr(e, errors),
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn valid_program_passes() {
+        let prog =
+            parse_program("fn main() { helper(1); }\nfn helper(x) { printf(\"%d\", x); }")
+                .unwrap();
+        assert!(validate(&prog).is_empty());
+    }
+
+    #[test]
+    fn missing_main_detected() {
+        let prog = parse_program("fn other() { }").unwrap();
+        assert!(validate(&prog).contains(&ValidateError::MissingMain));
+    }
+
+    #[test]
+    fn undefined_function_detected() {
+        let prog = parse_program("fn main() { nosuch(); }").unwrap();
+        assert_eq!(
+            validate(&prog),
+            vec![ValidateError::UndefinedFunction {
+                caller: "main".into(),
+                callee: "nosuch".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let prog = parse_program("fn main() { helper(1, 2); }\nfn helper(x) { }").unwrap();
+        assert_eq!(
+            validate(&prog),
+            vec![ValidateError::ArityMismatch {
+                caller: "main".into(),
+                callee: "helper".into(),
+                expected: 1,
+                found: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn duplicate_function_detected() {
+        let prog = parse_program("fn main() { }\nfn main() { }").unwrap();
+        assert!(validate(&prog)
+            .iter()
+            .any(|e| matches!(e, ValidateError::DuplicateFunction(_))));
+    }
+}

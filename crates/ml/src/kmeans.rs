@@ -1,0 +1,236 @@
+//! K-means clustering with k-means++ seeding.
+//!
+//! The Profile Constructor clusters PCA-reduced call-transition vectors so
+//! that "system calls that have similar CTVs belonging to the same cluster
+//! are associated with the same hidden state" (§IV-C4). The paper runs
+//! K-means with K = 0.3·n on bash (1366 → 455 states).
+
+use crate::matrix::{dist2, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// K-means result.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster centroids (k rows).
+    pub centroids: Matrix,
+    /// Cluster assignment per input row.
+    pub assignment: Vec<usize>,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+    /// Iterations until convergence.
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Number of clusters actually produced.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Members of each cluster.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.k()];
+        for (row, &c) in self.assignment.iter().enumerate() {
+            out[c].push(row);
+        }
+        out
+    }
+}
+
+/// Runs k-means++ with Lloyd iterations. `k` is clamped to the number of
+/// rows; `seed` makes the run deterministic.
+#[allow(clippy::needless_range_loop)] // rows index both `data` and `assignment`
+pub fn kmeans(data: &Matrix, k: usize, seed: u64, max_iters: usize) -> KMeans {
+    let n = data.rows();
+    let k = k.clamp(1, n.max(1));
+    if n == 0 {
+        return KMeans {
+            centroids: Matrix::zeros(0, data.cols()),
+            assignment: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centroids = plus_plus_seed(data, k, &mut rng);
+    let mut assignment = vec![0usize; n];
+    let mut iterations = 0;
+
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Assign.
+        let mut changed = false;
+        for r in 0..n {
+            let row = data.row(r);
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let d = dist2(row, centroids.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[r] != best {
+                assignment[r] = best;
+                changed = true;
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+        // Update.
+        let mut sums = Matrix::zeros(k, data.cols());
+        let mut counts = vec![0usize; k];
+        for r in 0..n {
+            let c = assignment[r];
+            counts[c] += 1;
+            for (j, v) in data.row(r).iter().enumerate() {
+                sums[(c, j)] += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the farthest point.
+                let far = farthest_point(data, &centroids, &mut rng);
+                for j in 0..data.cols() {
+                    sums[(c, j)] = data[(far, j)];
+                }
+                counts[c] = 1;
+            }
+            for j in 0..data.cols() {
+                centroids[(c, j)] = sums[(c, j)] / counts[c] as f64;
+            }
+        }
+    }
+
+    let inertia = (0..n)
+        .map(|r| dist2(data.row(r), centroids.row(assignment[r])))
+        .sum();
+    KMeans {
+        centroids,
+        assignment,
+        inertia,
+        iterations,
+    }
+}
+
+fn plus_plus_seed(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+    let n = data.rows();
+    let mut chosen: Vec<usize> = vec![rng.gen_range(0..n)];
+    while chosen.len() < k {
+        // Distance to nearest chosen centroid per point.
+        let d2: Vec<f64> = (0..n)
+            .map(|r| {
+                chosen
+                    .iter()
+                    .map(|&c| dist2(data.row(r), data.row(c)))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut x = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (r, &d) in d2.iter().enumerate() {
+                if x < d {
+                    pick = r;
+                    break;
+                }
+                x -= d;
+            }
+            pick
+        };
+        chosen.push(next);
+    }
+    let rows: Vec<Vec<f64>> = chosen.iter().map(|&r| data.row(r).to_vec()).collect();
+    Matrix::from_rows(&rows)
+}
+
+fn farthest_point(data: &Matrix, centroids: &Matrix, rng: &mut StdRng) -> usize {
+    let mut best = rng.gen_range(0..data.rows());
+    let mut best_d = -1.0f64;
+    for r in 0..data.rows() {
+        let d = (0..centroids.rows())
+            .map(|c| dist2(data.row(r), centroids.row(c)))
+            .fold(f64::INFINITY, f64::min);
+        if d > best_d {
+            best_d = d;
+            best = r;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let j = i as f64 * 0.01;
+            rows.push(vec![0.0 + j, 0.0 - j]);
+            rows.push(vec![10.0 - j, 10.0 + j]);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = two_blobs();
+        let km = kmeans(&data, 2, 42, 100);
+        assert_eq!(km.k(), 2);
+        // All even rows (blob A) share a cluster; odd rows the other.
+        let a = km.assignment[0];
+        for r in (0..data.rows()).step_by(2) {
+            assert_eq!(km.assignment[r], a);
+        }
+        for r in (1..data.rows()).step_by(2) {
+            assert_ne!(km.assignment[r], a);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = two_blobs();
+        let a = kmeans(&data, 3, 7, 100);
+        let b = kmeans(&data, 3, 7, 100);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn k_clamped_to_rows() {
+        let data = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let km = kmeans(&data, 10, 1, 50);
+        assert!(km.k() <= 2);
+    }
+
+    #[test]
+    fn clusters_partition_rows() {
+        let data = two_blobs();
+        let km = kmeans(&data, 4, 3, 100);
+        let total: usize = km.clusters().iter().map(Vec::len).sum();
+        assert_eq!(total, data.rows());
+    }
+
+    #[test]
+    fn singleton_input() {
+        let data = Matrix::from_rows(&[vec![5.0, 5.0]]);
+        let km = kmeans(&data, 3, 1, 10);
+        assert_eq!(km.assignment, vec![0]);
+        assert!(km.inertia < 1e-12);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia() {
+        let data = two_blobs();
+        let k2 = kmeans(&data, 2, 5, 200).inertia;
+        let k8 = kmeans(&data, 8, 5, 200).inertia;
+        assert!(k8 <= k2 + 1e-9, "k8 {k8} vs k2 {k2}");
+    }
+}

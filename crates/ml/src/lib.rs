@@ -1,0 +1,18 @@
+//! # adprom-ml
+//!
+//! The dimension-reduction substrate of AD-PROM (§IV-C4): a small dense
+//! [`matrix`] type, [`pca`] via cyclic Jacobi eigendecomposition, and
+//! [`kmeans()`](kmeans::kmeans) with k-means++ seeding. The Profile Constructor uses PCA to
+//! compress sparse call-transition vectors and k-means to merge similar
+//! calls into shared hidden states when a program has more than ~900
+//! states.
+
+#![warn(missing_docs)]
+
+pub mod kmeans;
+pub mod matrix;
+pub mod pca;
+
+pub use kmeans::{kmeans, KMeans};
+pub use matrix::{dist2, Matrix};
+pub use pca::{jacobi_eigen, Pca};

@@ -1,0 +1,364 @@
+//! Principal component analysis via cyclic Jacobi eigendecomposition.
+//!
+//! The Profile Constructor uses PCA to shrink the sparse call-transition
+//! vectors (CTVs) before k-means clustering (§IV-C4), cutting training time
+//! for programs with many hidden states.
+
+use crate::matrix::Matrix;
+
+/// A fitted PCA transform.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Column means of the training data (subtracted before projection).
+    pub means: Vec<f64>,
+    /// Principal components (rows), ordered by decreasing eigenvalue.
+    pub components: Matrix,
+    /// Eigenvalues (variances along each component), decreasing.
+    pub eigenvalues: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA keeping enough components to explain `variance_keep`
+    /// (0 < v ≤ 1) of the total variance, with at least one component.
+    pub fn fit(data: &Matrix, variance_keep: f64) -> Pca {
+        assert!(
+            variance_keep > 0.0 && variance_keep <= 1.0,
+            "variance_keep in (0,1]"
+        );
+        let cov = data.covariance();
+        let (eigenvalues, eigenvectors) = jacobi_eigen(&cov, 200, 1e-12);
+        // Sort by decreasing eigenvalue.
+        let mut order: Vec<usize> = (0..eigenvalues.len()).collect();
+        order.sort_by(|&a, &b| {
+            eigenvalues[b]
+                .partial_cmp(&eigenvalues[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let total: f64 = eigenvalues.iter().map(|v| v.max(0.0)).sum();
+        let mut kept = Vec::new();
+        let mut acc = 0.0;
+        for &i in &order {
+            kept.push(i);
+            acc += eigenvalues[i].max(0.0);
+            if total > 0.0 && acc / total >= variance_keep {
+                break;
+            }
+        }
+        if kept.is_empty() {
+            kept.push(0);
+        }
+        let mut components = Matrix::zeros(kept.len(), cov.cols());
+        for (r, &i) in kept.iter().enumerate() {
+            for c in 0..cov.cols() {
+                components[(r, c)] = eigenvectors[(c, i)];
+            }
+        }
+        Pca {
+            means: data.column_means(),
+            eigenvalues: kept.iter().map(|&i| eigenvalues[i]).collect(),
+            components,
+        }
+    }
+
+    /// Number of retained components.
+    pub fn n_components(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Projects data rows into the component space.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(data.rows(), self.n_components());
+        for r in 0..data.rows() {
+            for k in 0..self.n_components() {
+                let mut acc = 0.0;
+                for c in 0..data.cols() {
+                    acc += (data[(r, c)] - self.means[c]) * self.components[(k, c)];
+                }
+                out[(r, k)] = acc;
+            }
+        }
+        out
+    }
+}
+
+impl Pca {
+    /// Fits a truncated PCA via subspace (block power) iteration — the
+    /// large-input path: exact Jacobi on a d×d covariance is O(d³), which
+    /// at bash scale (CTVs of dimension 2·1366) is prohibitive. The
+    /// covariance is never materialized; each iteration multiplies the
+    /// centered data matrix and its transpose against the current basis,
+    /// O(rows·dims·k).
+    pub fn fit_truncated(data: &Matrix, k: usize, iterations: usize, seed: u64) -> Pca {
+        let rows = data.rows();
+        let dims = data.cols();
+        let k = k.clamp(1, dims.min(rows.max(1)));
+        let means = data.column_means();
+
+        // Deterministic pseudo-random initial basis (xorshift — no rand
+        // dependency in this crate's hot path beyond what k-means uses).
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut basis: Vec<Vec<f64>> = (0..k)
+            .map(|_| (0..dims).map(|_| next()).collect())
+            .collect();
+        orthonormalize(&mut basis);
+
+        // y = X_cᵀ (X_c q), with X_c the centered data.
+        let apply = |q: &[f64]| -> Vec<f64> {
+            let mut projected = vec![0.0f64; rows];
+            for (r, p) in projected.iter_mut().enumerate() {
+                let row = data.row(r);
+                let mut acc = 0.0;
+                for (c, &qc) in q.iter().enumerate() {
+                    acc += (row[c] - means[c]) * qc;
+                }
+                *p = acc;
+            }
+            let mut out = vec![0.0f64; dims];
+            for (r, &p) in projected.iter().enumerate() {
+                if p == 0.0 {
+                    continue;
+                }
+                let row = data.row(r);
+                for (c, o) in out.iter_mut().enumerate() {
+                    *o += (row[c] - means[c]) * p;
+                }
+            }
+            out
+        };
+
+        let denom = if rows > 1 { (rows - 1) as f64 } else { 1.0 };
+        let mut eigenvalues = vec![0.0f64; k];
+        for _ in 0..iterations.max(1) {
+            let mut new_basis: Vec<Vec<f64>> = basis.iter().map(|q| apply(q)).collect();
+            for (v, e) in new_basis.iter().zip(eigenvalues.iter_mut()) {
+                let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                *e = norm / denom;
+            }
+            orthonormalize(&mut new_basis);
+            basis = new_basis;
+        }
+
+        // Order by decreasing Rayleigh quotient estimate.
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| {
+            eigenvalues[b]
+                .partial_cmp(&eigenvalues[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut components = Matrix::zeros(k, dims);
+        for (r, &i) in order.iter().enumerate() {
+            for c in 0..dims {
+                components[(r, c)] = basis[i][c];
+            }
+        }
+        Pca {
+            means,
+            eigenvalues: order.iter().map(|&i| eigenvalues[i]).collect(),
+            components,
+        }
+    }
+}
+
+/// In-place modified Gram–Schmidt; zero vectors are replaced by unit axes.
+fn orthonormalize(vectors: &mut [Vec<f64>]) {
+    let dims = vectors.first().map_or(0, Vec::len);
+    for i in 0..vectors.len() {
+        for j in 0..i {
+            let dot: f64 = vectors[i]
+                .iter()
+                .zip(&vectors[j])
+                .map(|(a, b)| a * b)
+                .sum();
+            let (head, tail) = vectors.split_at_mut(i);
+            for (a, b) in tail[0].iter_mut().zip(&head[j]) {
+                *a -= dot * b;
+            }
+        }
+        let norm: f64 = vectors[i].iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for x in vectors[i].iter_mut() {
+                *x /= norm;
+            }
+        } else if dims > 0 {
+            for (c, x) in vectors[i].iter_mut().enumerate() {
+                *x = if c == i % dims { 1.0 } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Jacobi eigendecomposition of a symmetric matrix. Returns (eigenvalues,
+/// eigenvector matrix with eigenvectors in columns).
+pub fn jacobi_eigen(sym: &Matrix, max_sweeps: usize, tol: f64) -> (Vec<f64>, Matrix) {
+    let n = sym.rows();
+    assert_eq!(n, sym.cols(), "matrix must be square");
+    let mut a = sym.clone();
+    let mut v = Matrix::identity(n);
+
+    for _ in 0..max_sweeps {
+        let Some((p, q, max_off)) = a.max_off_diagonal() else {
+            break;
+        };
+        if max_off < tol {
+            break;
+        }
+        let app = a[(p, p)];
+        let aqq = a[(q, q)];
+        let apq = a[(p, q)];
+        // Rotation angle.
+        let theta = 0.5 * (aqq - app) / apq;
+        let t = if theta >= 0.0 {
+            1.0 / (theta + (1.0 + theta * theta).sqrt())
+        } else {
+            -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+        };
+        let c = 1.0 / (1.0 + t * t).sqrt();
+        let s = t * c;
+
+        // Apply rotation to A (both sides) and accumulate in V.
+        for k in 0..n {
+            let akp = a[(k, p)];
+            let akq = a[(k, q)];
+            a[(k, p)] = c * akp - s * akq;
+            a[(k, q)] = s * akp + c * akq;
+        }
+        for k in 0..n {
+            let apk = a[(p, k)];
+            let aqk = a[(q, k)];
+            a[(p, k)] = c * apk - s * aqk;
+            a[(q, k)] = s * apk + c * aqk;
+        }
+        for k in 0..n {
+            let vkp = v[(k, p)];
+            let vkq = v[(k, q)];
+            v[(k, p)] = c * vkp - s * vkq;
+            v[(k, q)] = s * vkp + c * vkq;
+        }
+    }
+    let eigenvalues: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+    (eigenvalues, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_diagonalizes_known_matrix() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let (mut vals, _) = jacobi_eigen(&m, 100, 1e-14);
+        vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!((vals[0] - 3.0).abs() < 1e-9);
+        assert!((vals[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_satisfy_definition() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
+        let (vals, vecs) = jacobi_eigen(&m, 200, 1e-14);
+        for i in 0..3 {
+            // ‖A·v − λ·v‖ ≈ 0.
+            for r in 0..3 {
+                let av: f64 = (0..3).map(|c| m[(r, c)] * vecs[(c, i)]).sum();
+                assert!((av - vals[i] * vecs[(r, i)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Points along y = 2x with small noise: first component dominates.
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                vec![x, 2.0 * x + if i % 2 == 0 { 0.01 } else { -0.01 }]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&data, 0.99);
+        assert_eq!(pca.n_components(), 1);
+        // Component direction ∝ (1, 2)/√5.
+        let c = pca.components.row(0);
+        let ratio = (c[1] / c[0]).abs();
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn pca_transform_reduces_dimension() {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let x = i as f64;
+                vec![x, -x, 2.0 * x, 0.5]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&data, 0.95);
+        let reduced = pca.transform(&data);
+        assert!(pca.n_components() < 4);
+        assert_eq!(reduced.rows(), 30);
+        assert_eq!(reduced.cols(), pca.n_components());
+    }
+
+    #[test]
+    fn truncated_pca_matches_jacobi_on_small_data() {
+        // Dominant direction of a two-column correlated set.
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let x = i as f64 / 7.0;
+                vec![x, 2.0 * x + if i % 2 == 0 { 0.02 } else { -0.02 }, 0.5]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let exact = Pca::fit(&data, 0.999);
+        let trunc = Pca::fit_truncated(&data, 2, 30, 42);
+        // First components agree up to sign.
+        let e = exact.components.row(0);
+        let t = trunc.components.row(0);
+        let dot: f64 = e.iter().zip(t).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() > 0.999, "|cos| = {}", dot.abs());
+        // Leading eigenvalue estimates agree within a few percent.
+        let rel = (exact.eigenvalues[0] - trunc.eigenvalues[0]).abs() / exact.eigenvalues[0];
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn truncated_pca_components_are_orthonormal() {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| (0..10).map(|j| ((i * 7 + j * 3) % 13) as f64).collect())
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let pca = Pca::fit_truncated(&data, 4, 20, 7);
+        for i in 0..4 {
+            for j in 0..4 {
+                let dot: f64 = pca
+                    .components
+                    .row(i)
+                    .iter()
+                    .zip(pca.components.row(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-9, "({i},{j}) dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn pca_keep_all_variance() {
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let data = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&data, 1.0);
+        assert_eq!(pca.n_components(), 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! The Calls Collector (§IV-B2): receives every library call the program
+//! issues at run time, along with the caller function.
+//!
+//! The AD-PROM collector deliberately records *only the (labeled) call name
+//! and the caller* — "unlike ltrace, we only collect the names of the
+//! library calls without their arguments" (§V-C) — which is where the
+//! Table VI overhead win comes from. The heavyweight baseline lives in
+//! [`crate::ltrace`].
+
+use adprom_lang::{CallSiteId, LibCall};
+
+/// One intercepted library call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallEvent {
+    /// Observation name — the raw call name, or the DDG label
+    /// (`printf_Q6`) when the site was labeled by the Analyzer.
+    pub name: String,
+    /// The underlying library call.
+    pub call: LibCall,
+    /// The function that issued the call.
+    pub caller: String,
+    /// The call site.
+    pub site: CallSiteId,
+    /// Optional extension payload (§VII mitigations): the normalized query
+    /// signature for query-submission calls, the file path for file writes,
+    /// or the command line for `system` — attached only when the
+    /// interpreter runs with `extended_events`.
+    pub detail: Option<String>,
+}
+
+/// Receives call events during execution. During the training phase a sink
+/// accumulates whole program traces; during detection it feeds n-length
+/// windows to the Detection Engine.
+pub trait CallSink {
+    /// Called for every intercepted library call, in program order.
+    fn on_call(&mut self, event: CallEvent);
+}
+
+/// The production Calls Collector: stores event names (and callers) only.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    events: Vec<CallEvent>,
+}
+
+impl TraceCollector {
+    /// Creates an empty collector.
+    pub fn new() -> TraceCollector {
+        TraceCollector::default()
+    }
+
+    /// The collected events.
+    pub fn events(&self) -> &[CallEvent] {
+        &self.events
+    }
+
+    /// The observation-name sequence of the trace.
+    pub fn names(&self) -> Vec<String> {
+        self.events.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Consumes the collector, returning its events.
+    pub fn into_events(self) -> Vec<CallEvent> {
+        self.events
+    }
+
+    /// Number of collected events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl CallSink for TraceCollector {
+    fn on_call(&mut self, event: CallEvent) {
+        self.events.push(event);
+    }
+}
+
+/// A sink that discards everything (baseline for overhead measurements:
+/// running the program "uninstrumented").
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl CallSink for NullSink {
+    fn on_call(&mut self, _event: CallEvent) {}
+}
+
+/// Splits a trace into overlapping n-length windows — the unit the
+/// Detection Engine scores ("the sequence includes the last call and the
+/// n−1 past calls", §IV-D). Traces shorter than `n` yield a single,
+/// shorter window.
+pub fn sliding_windows(names: &[String], n: usize) -> Vec<Vec<String>> {
+    assert!(n > 0, "window length must be positive");
+    if names.is_empty() {
+        return Vec::new();
+    }
+    if names.len() <= n {
+        return vec![names.to_vec()];
+    }
+    names.windows(n).map(<[String]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn windows_overlap() {
+        let t = names(&["a", "b", "c", "d"]);
+        let w = sliding_windows(&t, 2);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], names(&["a", "b"]));
+        assert_eq!(w[2], names(&["c", "d"]));
+    }
+
+    #[test]
+    fn short_trace_yields_single_window() {
+        let t = names(&["a", "b"]);
+        let w = sliding_windows(&t, 15);
+        assert_eq!(w, vec![names(&["a", "b"])]);
+    }
+
+    #[test]
+    fn empty_trace_yields_nothing() {
+        assert!(sliding_windows(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn collector_accumulates_in_order() {
+        let mut c = TraceCollector::new();
+        for (i, name) in ["printf", "PQexec"].iter().enumerate() {
+            c.on_call(CallEvent {
+                name: (*name).to_string(),
+                call: LibCall::Printf,
+                caller: "main".into(),
+                site: CallSiteId(i as u32),
+                detail: None,
+            });
+        }
+        assert_eq!(c.names(), names(&["printf", "PQexec"]));
+        assert_eq!(c.len(), 2);
+    }
+}

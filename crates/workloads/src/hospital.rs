@@ -1,0 +1,318 @@
+//! `App_h` — the mini hospital client application (CA-dataset, Table III).
+//! PostgreSQL-flavoured: talks to the DB through the libpq surface.
+//!
+//! A menu-driven client: list patients, look one up, admit/discharge,
+//! billing report (written to a file — a legitimate labeled output), and
+//! ward statistics. Query results flow to `printf`/`fprintf` sites that the
+//! DDG labels, giving the app its DB-dependent behaviour profile.
+
+use crate::workload::{TestCase, Workload};
+use adprom_db::Database;
+use adprom_lang::parse_program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The application source (DSL).
+pub const SOURCE: &str = r##"
+fn main() {
+    let conn = PQconnectdb("hospital");
+    let running = 1;
+    while (running) {
+        print_menu();
+        let choice = atoi(scanf());
+        if (choice == 1) {
+            list_patients(conn);
+        } else if (choice == 2) {
+            let pid = scanf();
+            find_patient(conn, pid);
+        } else if (choice == 3) {
+            let pid = scanf();
+            let ward = scanf();
+            admit_patient(conn, pid, ward);
+        } else if (choice == 4) {
+            let pid = scanf();
+            discharge_patient(conn, pid);
+        } else if (choice == 5) {
+            billing_report(conn);
+        } else if (choice == 6) {
+            ward_statistics(conn);
+        } else if (choice == 7) {
+            let name = scanf();
+            let age = scanf();
+            register_patient(conn, name, age);
+        } else if (choice == 8) {
+            let pid = scanf();
+            patient_chart(conn, pid);
+        } else if (choice == 9) {
+            discharge_summary(conn);
+        } else {
+            puts("Goodbye.");
+            running = 0;
+        }
+    }
+    PQfinish(conn);
+}
+
+fn print_menu() {
+    puts("--- Hospital Client ---");
+    puts("1) List patients");
+    puts("2) Find patient");
+    puts("3) Admit patient");
+    puts("4) Discharge patient");
+    puts("5) Billing report");
+    puts("6) Ward statistics");
+    puts("7) Register patient");
+    puts("8) Patient chart");
+    puts("9) Discharge summary");
+    puts("0) Quit");
+}
+
+fn list_patients(conn) {
+    let r = PQexec(conn, "SELECT id, name, age FROM patients ORDER BY id");
+    let n = PQntuples(r);
+    printf("%d patients\n", n);
+    for (let i = 0; i < n; i = i + 1) {
+        let id = PQgetvalue(r, i, 0);
+        let name = PQgetvalue(r, i, 1);
+        printf("#%s %s\n", id, name);
+    }
+    PQclear(r);
+}
+
+fn find_patient(conn, pid) {
+    PQprepare(conn, "by_id", "SELECT name, age, ward FROM patients WHERE id = $1");
+    let r = PQexecPrepared(conn, "by_id", pid);
+    let n = PQntuples(r);
+    if (n == 0) {
+        puts("No such patient.");
+    } else {
+        let name = PQgetvalue(r, 0, 0);
+        let age = PQgetvalue(r, 0, 1);
+        let ward = PQgetvalue(r, 0, 2);
+        printf("name=%s age=%s ward=%s\n", name, age, ward);
+    }
+    PQclear(r);
+}
+
+fn admit_patient(conn, pid, ward) {
+    let q = "UPDATE patients SET ward = '";
+    strcat(q, ward);
+    strcat(q, "' WHERE id = ");
+    strcat(q, pid);
+    let r = PQexec(conn, q);
+    PQclear(r);
+    let check = PQexec(conn, "SELECT COUNT(*) FROM patients WHERE ward != 'none'");
+    let admitted = PQgetvalue(check, 0, 0);
+    printf("admitted now: %s\n", admitted);
+    PQclear(check);
+}
+
+fn discharge_patient(conn, pid) {
+    let q = "UPDATE patients SET ward = 'none' WHERE id = ";
+    strcat(q, pid);
+    let r = PQexec(conn, q);
+    PQclear(r);
+    puts("Discharged.");
+}
+
+fn billing_report(conn) {
+    let f = fopen("billing.txt", "w");
+    let r = PQexec(conn, "SELECT id, name, balance FROM patients WHERE balance > 0 ORDER BY balance DESC");
+    let n = PQntuples(r);
+    fprintf(f, "outstanding balances: %d\n", n);
+    for (let i = 0; i < n; i = i + 1) {
+        let name = PQgetvalue(r, i, 1);
+        let balance = PQgetvalue(r, i, 2);
+        fprintf(f, "%s owes %s\n", name, balance);
+    }
+    PQclear(r);
+    fclose(f);
+    puts("Report written.");
+}
+
+fn ward_statistics(conn) {
+    let total = PQexec(conn, "SELECT COUNT(*) FROM patients");
+    let all = PQgetvalue(total, 0, 0);
+    PQclear(total);
+    let icu = PQexec(conn, "SELECT COUNT(*) FROM patients WHERE ward = 'icu'");
+    let in_icu = PQgetvalue(icu, 0, 0);
+    PQclear(icu);
+    let pct = atoi(in_icu) * 100 / atoi(all);
+    if (pct > 50) {
+        printf("ICU load high: %d%%\n", pct);
+    } else {
+        printf("ICU load normal: %d%%\n", pct);
+    }
+    let avg = PQexec(conn, "SELECT AVG(age) FROM patients WHERE ward != 'none'");
+    printf("mean admitted age: %s\n", PQgetvalue(avg, 0, 0));
+    PQclear(avg);
+}
+
+fn register_patient(conn, name, age) {
+    let q = "INSERT INTO patients (id, name, age, ward, balance) VALUES (";
+    let id = rand() % 9000 + 1000;
+    sprintf(q, "INSERT INTO patients (id, name, age, ward, balance) VALUES (%d, '%s', %s, 'none', 0)", id, name, age);
+    let r = PQexec(conn, q);
+    PQclear(r);
+    printf("registered %s as #%d\n", name, id);
+}
+
+fn patient_chart(conn, pid) {
+    PQprepare(conn, "chart", "SELECT name, age, ward, balance FROM patients WHERE id = $1");
+    let r = PQexecPrepared(conn, "chart", pid);
+    if (PQntuples(r) == 0) {
+        puts("no chart");
+        PQclear(r);
+        return;
+    }
+    let name = PQgetvalue(r, 0, 0);
+    let age = PQgetvalue(r, 0, 1);
+    let ward = PQgetvalue(r, 0, 2);
+    let balance = PQgetvalue(r, 0, 3);
+    printf("PATIENT  %s\n", name);
+    printf("AGE      %s\n", age);
+    printf("WARD     %s\n", ward);
+    printf("BALANCE  %s\n", balance);
+    if (atoi(age) > 65) {
+        printf("NOTE: geriatric protocol for %s\n", name);
+    }
+    PQclear(r);
+}
+
+fn discharge_summary(conn) {
+    let f = fopen("discharges.txt", "w");
+    let r = PQexec(conn, "SELECT name, age, ward FROM patients WHERE ward = 'recovery' ORDER BY name");
+    let n = PQntuples(r);
+    fprintf(f, "%d in recovery\n", n);
+    for (let i = 0; i < n; i = i + 1) {
+        let name = PQgetvalue(r, i, 0);
+        let age = PQgetvalue(r, i, 1);
+        fprintf(f, "ready: %s\n", name);
+        if (atoi(age) > 70) {
+            fprintf(f, "  follow-up visit for %s\n", name);
+        }
+    }
+    PQclear(r);
+    fclose(f);
+    puts("summary written");
+}
+"##;
+
+/// Seeds the hospital database.
+pub fn make_db() -> Database {
+    let mut db = Database::new("hospital");
+    db.execute(
+        "CREATE TABLE patients (id INT, name TEXT, age INT, ward TEXT, balance FLOAT)",
+    )
+    .expect("schema");
+    let names = [
+        "ada", "grace", "alan", "edsger", "barbara", "donald", "john", "leslie", "tony",
+        "dennis", "ken", "bjarne", "guido", "james", "brendan", "linus",
+    ];
+    let wards = ["none", "icu", "surgery", "recovery"];
+    for (i, name) in names.iter().enumerate() {
+        let id = 100 + i as i64;
+        let age = 25 + ((i * 7) % 50) as i64;
+        let ward = wards[i % wards.len()];
+        let balance = ((i * 137) % 900) as f64;
+        db.execute(&format!(
+            "INSERT INTO patients VALUES ({id}, '{name}', {age}, '{ward}', {balance})"
+        ))
+        .expect("seed row");
+    }
+    db
+}
+
+/// Generates the test-case suite (Table III: 63 cases for App_h).
+pub fn test_cases(count: usize, seed: u64) -> Vec<TestCase> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cases = Vec::with_capacity(count);
+    for c in 0..count {
+        let mut inputs: Vec<String> = Vec::new();
+        let actions = rng.gen_range(1..=6);
+        for _ in 0..actions {
+            let choice = rng.gen_range(1..=9u32);
+            inputs.push(choice.to_string());
+            match choice {
+                2 | 8 => inputs.push((100 + rng.gen_range(0..20)).to_string()),
+                3 => {
+                    inputs.push((100 + rng.gen_range(0..16)).to_string());
+                    inputs.push(["icu", "surgery", "recovery"][rng.gen_range(0..3)].to_string());
+                }
+                4 => inputs.push((100 + rng.gen_range(0..16)).to_string()),
+                7 => {
+                    inputs.push(format!("newpatient{c}"));
+                    inputs.push(rng.gen_range(18..90).to_string());
+                }
+                _ => {}
+            }
+        }
+        inputs.push("0".to_string());
+        cases.push(TestCase::new(format!("h{c:03}"), inputs));
+    }
+    cases
+}
+
+/// Builds the full App_h workload.
+pub fn workload(case_count: usize, seed: u64) -> Workload {
+    Workload {
+        name: "App_h".into(),
+        dbms: "PostgreSQL",
+        program: parse_program(SOURCE).expect("App_h source parses"),
+        make_db,
+        test_cases: test_cases(case_count, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adprom_analysis::analyze;
+    use adprom_lang::validate;
+    use std::collections::HashMap;
+
+    #[test]
+    fn source_parses_and_validates() {
+        let prog = parse_program(SOURCE).unwrap();
+        assert!(validate(&prog).is_empty(), "{:?}", validate(&prog));
+    }
+
+    #[test]
+    fn analysis_labels_data_leaking_outputs() {
+        let prog = parse_program(SOURCE).unwrap();
+        let analysis = analyze(&prog);
+        let labeled: Vec<&String> = analysis
+            .site_labels
+            .values()
+            .filter(|l| l.contains("_Q"))
+            .collect();
+        // Patient names/balances flow to printf and fprintf sites.
+        assert!(labeled.len() >= 5, "labeled: {labeled:?}");
+        assert!(labeled.iter().any(|l| l.starts_with("fprintf_Q")));
+    }
+
+    #[test]
+    fn runs_all_test_cases() {
+        let w = workload(10, 42);
+        let traces = w.collect_traces(&HashMap::new());
+        assert_eq!(traces.len(), 10);
+        assert!(traces.iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn listing_twice_gives_longer_trace_than_quitting() {
+        let w = workload(0, 0);
+        let quit = w.run_case(&TestCase::new("q", vec!["0".into()]), &HashMap::new());
+        let list = w.run_case(
+            &TestCase::new("l", vec!["1".into(), "1".into(), "0".into()]),
+            &HashMap::new(),
+        );
+        assert!(list.len() > quit.len() + 10);
+    }
+
+    #[test]
+    fn test_cases_are_deterministic() {
+        assert_eq!(test_cases(5, 9), test_cases(5, 9));
+        assert_ne!(test_cases(5, 9), test_cases(5, 10));
+    }
+}

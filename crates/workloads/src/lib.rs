@@ -1,0 +1,23 @@
+//! # adprom-workloads
+//!
+//! The evaluation workloads of the AD-PROM paper:
+//!
+//! * the **CA-dataset** (Table III) — three real-shaped database client
+//!   applications written in the DSL: [`hospital`] (`App_h`, PostgreSQL),
+//!   [`banking`] (`App_b`, MySQL, containing the Fig. 2 SQL-injection
+//!   vulnerability) and [`supermarket`] (`App_s`, MySQL) — each with a
+//!   seeded database and a generated test-case suite;
+//! * the **SIR-dataset substitution** (Table IV) — [`sir`], a seeded
+//!   generator producing programs at grep/gzip/sed/bash scale (App4
+//!   crosses the 900-state clustering threshold like bash's 1366 states).
+
+#![warn(missing_docs)]
+
+pub mod banking;
+pub mod hospital;
+pub mod sir;
+pub mod supermarket;
+pub mod workload;
+
+pub use sir::{app1_spec, app2_spec, app3_spec, app4_spec, SirSpec};
+pub use workload::{TestCase, Workload};

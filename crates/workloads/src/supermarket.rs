@@ -1,0 +1,386 @@
+//! `App_s` — the supermarket management system (CA-dataset, Table III).
+//! MySQL-flavoured. Covers inventory browsing, pricing, sales with
+//! receipts, restocking, low-stock alerts and revenue summaries.
+
+use crate::workload::{TestCase, Workload};
+use adprom_db::Database;
+use adprom_lang::parse_program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The application source (DSL).
+pub const SOURCE: &str = r##"
+fn main() {
+    let conn = mysql_init(0);
+    mysql_real_connect(conn, "supermarket");
+    let running = 1;
+    while (running) {
+        menu();
+        let choice = atoi(scanf());
+        if (choice == 1) {
+            browse(conn);
+        } else if (choice == 2) {
+            price_check(conn);
+        } else if (choice == 3) {
+            sell(conn);
+        } else if (choice == 4) {
+            restock(conn);
+        } else if (choice == 5) {
+            low_stock(conn);
+        } else if (choice == 6) {
+            revenue(conn);
+        } else if (choice == 7) {
+            price_update(conn);
+        } else if (choice == 8) {
+            category_report(conn);
+        } else if (choice == 9) {
+            inventory_audit(conn);
+        } else if (choice == 10) {
+            best_sellers(conn);
+        } else if (choice == 11) {
+            price_labels(conn);
+        } else if (choice == 12) {
+            margin_report(conn);
+        } else if (choice == 13) {
+            shelf_report(conn);
+        } else if (choice == 14) {
+            reorder_list(conn);
+        } else {
+            puts("closing register");
+            running = 0;
+        }
+    }
+    mysql_close(conn);
+}
+
+fn menu() {
+    puts("*** supermarket ***");
+    puts("1) browse  2) price  3) sell  4) restock");
+    puts("5) low stock  6) revenue  7) reprice  8) category report");
+    puts("9) audit  10) best sellers  11) labels  12) margins  13) shelf  14) reorder  0) quit");
+}
+
+fn browse(conn) {
+    mysql_query(conn, "SELECT sku, name, price FROM items ORDER BY sku");
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    while (row != null) {
+        printf("[%s] %s $%s\n", row[0], row[1], row[2]);
+        row = mysql_fetch_row(result);
+    }
+    mysql_free_result(result);
+}
+
+fn price_check(conn) {
+    let sku = scanf();
+    mysql_stmt_prepare(conn, "SELECT name, price FROM items WHERE sku = ?");
+    mysql_stmt_execute(conn, sku);
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    if (row == null) {
+        puts("unknown sku");
+    } else {
+        printf("%s costs %s\n", row[0], row[1]);
+    }
+    mysql_free_result(result);
+}
+
+fn sell(conn) {
+    let sku = scanf();
+    let qty = scanf();
+    mysql_stmt_prepare(conn, "SELECT name, price, stock FROM items WHERE sku = ?");
+    mysql_stmt_execute(conn, sku);
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    mysql_free_result(result);
+    if (row == null) {
+        puts("unknown sku");
+        return;
+    }
+    let stock = atoi(row[2]);
+    let wanted = atoi(qty);
+    if (stock < wanted) {
+        printf("only %d left\n", stock);
+        return;
+    }
+    mysql_stmt_prepare(conn, "UPDATE items SET stock = stock - ? WHERE sku = ?");
+    mysql_stmt_execute(conn, qty, sku);
+    let total = atof(row[1]) * wanted;
+    receipt(row[0], qty, total);
+    record_sale(conn, sku, qty, total);
+}
+
+fn receipt(name, qty, total) {
+    let f = fopen("receipt.txt", "a");
+    fprintf(f, "%s x%s = %f\n", name, qty, total);
+    fclose(f);
+    printf("sold %s x%s\n", name, qty);
+}
+
+fn record_sale(conn, sku, qty, total) {
+    let q = "";
+    sprintf(q, "INSERT INTO sales (sku, qty, total) VALUES (%s, %s, %f)", sku, qty, total);
+    mysql_query(conn, q);
+}
+
+fn restock(conn) {
+    let sku = scanf();
+    let qty = scanf();
+    mysql_stmt_prepare(conn, "UPDATE items SET stock = stock + ? WHERE sku = ?");
+    mysql_stmt_execute(conn, qty, sku);
+    printf("restocked %s by %s\n", sku, qty);
+}
+
+fn low_stock(conn) {
+    mysql_query(conn, "SELECT sku, name, stock FROM items WHERE stock < 10 ORDER BY stock");
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    let count = 0;
+    while (row != null) {
+        printf("LOW: %s (%s left)\n", row[1], row[2]);
+        count = count + 1;
+        row = mysql_fetch_row(result);
+    }
+    mysql_free_result(result);
+    if (count == 0) {
+        puts("stock levels healthy");
+    }
+}
+
+fn revenue(conn) {
+    mysql_query(conn, "SELECT SUM(total), COUNT(*) FROM sales");
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    printf("revenue %s over %s sales\n", row[0], row[1]);
+    mysql_free_result(result);
+}
+
+fn price_update(conn) {
+    let sku = scanf();
+    let price = scanf();
+    mysql_stmt_prepare(conn, "UPDATE items SET price = ? WHERE sku = ?");
+    mysql_stmt_execute(conn, price, sku);
+    puts("price updated");
+}
+
+fn category_report(conn) {
+    mysql_query(conn, "SELECT name, price, stock FROM items WHERE price > 5 ORDER BY price DESC");
+    let result = mysql_store_result(conn);
+    let f = fopen("category.txt", "w");
+    let row = mysql_fetch_row(result);
+    while (row != null) {
+        fprintf(f, "%s,%s,%s\n", row[0], row[1], row[2]);
+        row = mysql_fetch_row(result);
+    }
+    fclose(f);
+    mysql_free_result(result);
+    puts("category report done");
+}
+
+fn inventory_audit(conn) {
+    mysql_query(conn, "SELECT sku, name, price, stock FROM items ORDER BY sku");
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    let units = 0;
+    let value = 0.0;
+    while (row != null) {
+        printf("sku %s\n", row[0]);
+        printf("  name  %s\n", row[1]);
+        printf("  price %s\n", row[2]);
+        printf("  stock %s\n", row[3]);
+        units = units + atoi(row[3]);
+        value = value + atof(row[2]) * atoi(row[3]);
+        row = mysql_fetch_row(result);
+    }
+    mysql_free_result(result);
+    printf("total units %d\n", units);
+    printf("stock value %f\n", value);
+}
+
+fn best_sellers(conn) {
+    mysql_query(conn, "SELECT sku, qty, total FROM sales ORDER BY total DESC LIMIT 3");
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    let rank = 1;
+    while (row != null) {
+        printf("#%d sku=%s\n", rank, row[0]);
+        printf("   qty=%s revenue=%s\n", row[1], row[2]);
+        rank = rank + 1;
+        row = mysql_fetch_row(result);
+    }
+    mysql_free_result(result);
+    if (rank == 1) {
+        puts("no sales yet");
+    }
+}
+
+fn price_labels(conn) {
+    let f = fopen("labels.txt", "w");
+    mysql_query(conn, "SELECT name, price FROM items ORDER BY name");
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    while (row != null) {
+        fprintf(f, "== %s ==\n", row[0]);
+        fprintf(f, "   $%s\n", row[1]);
+        if (atof(row[1]) > 10) {
+            fprintf(f, "   PREMIUM\n");
+        } else {
+            fprintf(f, "   EVERYDAY\n");
+        }
+        row = mysql_fetch_row(result);
+    }
+    mysql_free_result(result);
+    fclose(f);
+    puts("labels printed");
+}
+
+fn margin_report(conn) {
+    mysql_query(conn, "SELECT AVG(price), MIN(price), MAX(price) FROM items");
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    mysql_free_result(result);
+    printf("avg price %s\n", row[0]);
+    printf("min price %s\n", row[1]);
+    printf("max price %s\n", row[2]);
+    let spread = atof(row[2]) - atof(row[1]);
+    printf("spread    %f\n", spread);
+}
+
+fn shelf_report(conn) {
+    let f = fopen("shelf.txt", "w");
+    mysql_query(conn, "SELECT sku, name, stock FROM items WHERE stock > 0 ORDER BY stock DESC");
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    let shelf = 1;
+    while (row != null) {
+        fprintf(f, "shelf %d: %s\n", shelf, row[1]);
+        fprintf(f, "  facings %s\n", row[2]);
+        if (atoi(row[2]) > 30) {
+            fprintf(f, "  overstocked: %s\n", row[0]);
+        }
+        shelf = shelf + 1;
+        row = mysql_fetch_row(result);
+    }
+    mysql_free_result(result);
+    fclose(f);
+    printf("%d shelves planned\n", shelf - 1);
+}
+
+fn reorder_list(conn) {
+    mysql_query(conn, "SELECT sku, name, stock FROM items WHERE stock < 15 ORDER BY stock");
+    let result = mysql_store_result(conn);
+    let row = mysql_fetch_row(result);
+    while (row != null) {
+        printf("reorder %s\n", row[1]);
+        printf("  sku %s current %s\n", row[0], row[2]);
+        row = mysql_fetch_row(result);
+    }
+    mysql_free_result(result);
+    puts("reorder list done");
+}
+"##;
+
+/// Seeds the supermarket database.
+pub fn make_db() -> Database {
+    let mut db = Database::new("supermarket");
+    db.execute("CREATE TABLE items (sku INT, name TEXT, price FLOAT, stock INT)")
+        .expect("schema");
+    db.execute("CREATE TABLE sales (sku INT, qty INT, total FLOAT)")
+        .expect("schema");
+    let products = [
+        ("rice", 3.5, 40),
+        ("beans", 2.2, 8),
+        ("milk", 1.8, 25),
+        ("bread", 2.0, 12),
+        ("cheese", 7.5, 6),
+        ("coffee", 11.0, 30),
+        ("tea", 6.0, 18),
+        ("sugar", 1.5, 50),
+        ("olive oil", 14.0, 5),
+        ("pasta", 2.8, 33),
+    ];
+    for (i, (name, price, stock)) in products.iter().enumerate() {
+        db.execute(&format!(
+            "INSERT INTO items VALUES ({}, '{name}', {price}, {stock})",
+            500 + i as i64
+        ))
+        .expect("seed");
+    }
+    db.execute("INSERT INTO sales VALUES (500, 2, 7.0)").expect("seed");
+    db
+}
+
+/// Generates the test-case suite (Table III: 36 cases for App_s).
+pub fn test_cases(count: usize, seed: u64) -> Vec<TestCase> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cases = Vec::with_capacity(count);
+    for c in 0..count {
+        let mut inputs = Vec::new();
+        for _ in 0..rng.gen_range(1..=5) {
+            let choice = rng.gen_range(1..=14u32);
+            inputs.push(choice.to_string());
+            match choice {
+                2 => inputs.push((500 + rng.gen_range(0..10)).to_string()),
+                3 | 4 => {
+                    inputs.push((500 + rng.gen_range(0..10)).to_string());
+                    inputs.push(rng.gen_range(1..6).to_string());
+                }
+                7 => {
+                    inputs.push((500 + rng.gen_range(0..10)).to_string());
+                    inputs.push(format!("{}.5", rng.gen_range(1..20)));
+                }
+                _ => {}
+            }
+        }
+        inputs.push("0".to_string());
+        cases.push(TestCase::new(format!("s{c:03}"), inputs));
+    }
+    cases
+}
+
+/// Builds the full App_s workload.
+pub fn workload(case_count: usize, seed: u64) -> Workload {
+    Workload {
+        name: "App_s".into(),
+        dbms: "MySQL",
+        program: parse_program(SOURCE).expect("App_s source parses"),
+        make_db,
+        test_cases: test_cases(case_count, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adprom_lang::validate;
+    use std::collections::HashMap;
+
+    #[test]
+    fn source_parses_and_validates() {
+        let prog = parse_program(SOURCE).unwrap();
+        assert!(validate(&prog).is_empty(), "{:?}", validate(&prog));
+    }
+
+    #[test]
+    fn selling_depletes_stock_and_writes_receipt() {
+        let w = workload(0, 0);
+        let case = TestCase::new(
+            "sale",
+            vec![
+                "3".into(),
+                "504".into(), // cheese, stock 6
+                "2".into(),
+                "0".into(),
+            ],
+        );
+        let trace = w.run_case(&case, &HashMap::new());
+        assert!(trace.iter().any(|e| e.name == "fprintf"));
+    }
+
+    #[test]
+    fn runs_all_test_cases() {
+        let w = workload(8, 3);
+        let traces = w.collect_traces(&HashMap::new());
+        assert_eq!(traces.len(), 8);
+    }
+}

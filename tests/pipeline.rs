@@ -1,0 +1,174 @@
+//! End-to-end integration: training on each CA-dataset application, then
+//! verifying normal runs pass and each §V-C attack is flagged.
+
+use adprom::analysis::{analyze, Analysis};
+use adprom::attacks::{
+    attack1_insert_similar_print, attack2_new_call_in_function, attack3_reuse_print,
+    attack4_binary_patch,
+};
+use adprom::core::{build_profile, ConstructorConfig, DetectionEngine, Flag, Profile};
+use adprom::trace::CallEvent;
+use adprom::workloads::{banking, hospital, supermarket, Workload};
+
+/// Light training config keeping test runtime reasonable.
+fn test_config() -> ConstructorConfig {
+    let mut config = ConstructorConfig::default();
+    config.train.max_iterations = 12;
+    config
+}
+
+fn train(workload: &Workload, name: &str) -> (Analysis, Profile) {
+    let analysis = analyze(&workload.program);
+    let traces = workload.collect_traces(&analysis.site_labels);
+    let (profile, _) = build_profile(name, &analysis, &traces, &test_config());
+    (analysis, profile)
+}
+
+/// Runs the attacked program over the workload's cases, returning the
+/// worst verdict. Mirrors deployment: the detection-phase instrumenter
+/// re-analyzes the *modified* binary for labels, while the profile was
+/// built from the original.
+fn attacked_verdict(
+    original: &Workload,
+    attacked_program: adprom::lang::Program,
+    profile: &Profile,
+) -> Flag {
+    let attacked = Workload {
+        name: original.name.clone(),
+        dbms: original.dbms,
+        program: attacked_program,
+        make_db: original.make_db,
+        test_cases: original.test_cases.clone(),
+    };
+    let attacked_analysis = analyze(&attacked.program);
+    let engine = DetectionEngine::new(profile);
+    let mut worst = Flag::Normal;
+    for case in attacked.test_cases.iter().take(20) {
+        let trace = attacked.run_case(case, &attacked_analysis.site_labels);
+        worst = worst.max(engine.verdict(&trace));
+        if worst == Flag::OutOfContext {
+            break;
+        }
+    }
+    worst
+}
+
+fn normal_alarm_rate(workload: &Workload, analysis: &Analysis, profile: &Profile) -> f64 {
+    let engine = DetectionEngine::new(profile);
+    let mut windows = 0usize;
+    let mut alarms = 0usize;
+    for case in workload.test_cases.iter().take(15) {
+        let trace = workload.run_case(case, &analysis.site_labels);
+        for alert in engine.scan(&trace) {
+            windows += 1;
+            if alert.is_alarm() {
+                alarms += 1;
+            }
+        }
+    }
+    alarms as f64 / windows.max(1) as f64
+}
+
+#[test]
+fn hospital_profile_accepts_normal_and_flags_attacks() {
+    let workload = hospital::workload(25, 1);
+    let (analysis, profile) = train(&workload, "App_h");
+
+    let fp = normal_alarm_rate(&workload, &analysis, &profile);
+    assert!(fp < 0.05, "false-positive window rate too high: {fp}");
+
+    let a1 = attack1_insert_similar_print(&workload.program).expect("attack 1 applies");
+    assert_ne!(
+        attacked_verdict(&workload, a1.program, &profile),
+        Flag::Normal,
+        "attack 1 must be detected"
+    );
+
+    let a2 = attack2_new_call_in_function(&workload.program, "SELECT * FROM patients")
+        .expect("attack 2 applies");
+    let verdict = attacked_verdict(&workload, a2.program, &profile);
+    assert_eq!(
+        verdict,
+        Flag::OutOfContext,
+        "attack 2 inserts a call in a function that never issued it"
+    );
+}
+
+#[test]
+fn banking_attacks_detected_including_injection() {
+    let workload = banking::workload(30, 2);
+    let (analysis, profile) = train(&workload, "App_b");
+    let engine = DetectionEngine::new(&profile);
+
+    // Attack 5: the Fig. 2 tautology injection — pure input, same binary.
+    let attack_trace = workload.run_case(&banking::injection_case(), &analysis.site_labels);
+    let verdict = engine.verdict(&attack_trace);
+    assert_ne!(verdict, Flag::Normal, "injection must be flagged");
+
+    // A benign lookup through the same vulnerable path stays normal.
+    let benign = adprom::workloads::TestCase::new(
+        "benign-lookup",
+        vec!["1".into(), "105".into(), "0".into()],
+    );
+    let benign_trace = workload.run_case(&benign, &analysis.site_labels);
+    assert_eq!(engine.verdict(&benign_trace), Flag::Normal);
+
+    // Attack 3: reuse of an existing print.
+    let a3 = attack3_reuse_print(&workload.program).expect("attack 3 applies");
+    assert_ne!(
+        attacked_verdict(&workload, a3.program, &profile),
+        Flag::Normal,
+        "attack 3 must be detected"
+    );
+}
+
+#[test]
+fn supermarket_binary_patch_detected() {
+    let workload = supermarket::workload(25, 3);
+    let (_, profile) = train(&workload, "App_s");
+
+    let a4 =
+        attack4_binary_patch(&workload.program, "SELECT * FROM items").expect("attack 4 applies");
+    assert_ne!(
+        attacked_verdict(&workload, a4.program, &profile),
+        Flag::Normal,
+        "attack 4 (binary patch) must be detected"
+    );
+}
+
+#[test]
+fn profiles_round_trip_through_disk() {
+    let workload = banking::workload(10, 4);
+    let (analysis, profile) = train(&workload, "App_b");
+
+    let dir = std::env::temp_dir().join("adprom-pipeline-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("app_b.profile.json");
+    profile.save(&path).unwrap();
+    let reloaded = Profile::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // A reloaded profile classifies identically.
+    let engine_a = DetectionEngine::new(&profile);
+    let engine_b = DetectionEngine::new(&reloaded);
+    let trace: Vec<CallEvent> =
+        workload.run_case(&workload.test_cases[0], &analysis.site_labels);
+    assert_eq!(engine_a.verdict(&trace), engine_b.verdict(&trace));
+}
+
+#[test]
+fn alert_connects_leak_to_source_block() {
+    // The DataLeak alert must carry the `_Q<bid>` label (the "connected to
+    // source" property of Table V).
+    let workload = banking::workload(30, 5);
+    let (analysis, profile) = train(&workload, "App_b");
+    let engine = DetectionEngine::new(&profile);
+    let attack_trace = workload.run_case(&banking::injection_case(), &analysis.site_labels);
+    let leak_alerts: Vec<_> = engine
+        .scan(&attack_trace)
+        .into_iter()
+        .filter(|a| a.flag == Flag::DataLeak)
+        .collect();
+    assert!(!leak_alerts.is_empty(), "injection produces DataLeak alerts");
+    assert!(leak_alerts[0].detail.contains("_Q"));
+}

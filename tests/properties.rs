@@ -1,0 +1,161 @@
+//! Property-based tests over the core invariants, driven by proptest.
+
+use adprom::analysis::{analyze, CallLabel};
+use adprom::core::{strip_label, Alphabet};
+use adprom::db::{Database, Value};
+use adprom::hmm::{log_likelihood, Hmm};
+use adprom::lang::{parse_program, pretty_program};
+use adprom::trace::sliding_windows;
+use adprom::workloads::sir::{generate_program, SirSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = SirSpec> {
+    (1usize..6, 1usize..5, 0usize..4, 0.0f64..1.0, any::<u64>()).prop_map(
+        |(funcs, labeled, plain, branch, seed)| SirSpec {
+            name: "prop".into(),
+            n_functions: funcs,
+            labeled_sites_per_function: labeled,
+            plain_calls_per_function: plain,
+            branch_prob: branch,
+            seed,
+            test_cases: 0,
+            inputs_per_case: 0,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The three pCTM properties the paper states (§IV-C3) hold for every
+    /// generated program: ε row sums to 1, ε′ column sums to 1, and flow is
+    /// conserved at every call.
+    #[test]
+    fn pctm_invariants_hold_for_generated_programs(spec in arb_spec()) {
+        let prog = generate_program(&spec);
+        let analysis = analyze(&prog);
+        let pctm = &analysis.pctm;
+        prop_assert!((pctm.entry_row_sum() - 1.0).abs() < 1e-6,
+            "entry row sum {}", pctm.entry_row_sum());
+        prop_assert!((pctm.exit_col_sum() - 1.0).abs() < 1e-6,
+            "exit col sum {}", pctm.exit_col_sum());
+        for label in pctm.labels().to_vec() {
+            if !label.is_virtual() {
+                prop_assert!(pctm.flow_imbalance(&label) < 1e-6,
+                    "imbalance at {label}");
+            }
+        }
+        // Aggregation removed every user label.
+        prop_assert!(pctm.user_labels().is_empty());
+    }
+
+    /// Pretty-printing is a fixpoint: parse(pretty(p)) pretty-prints
+    /// identically.
+    #[test]
+    fn pretty_print_round_trips(spec in arb_spec()) {
+        let prog = generate_program(&spec);
+        let text = pretty_program(&prog);
+        let reparsed = parse_program(&text).expect("generated programs re-parse");
+        prop_assert_eq!(pretty_program(&reparsed), text);
+    }
+
+    /// All sliding windows have length min(n, len) and cover the trace.
+    #[test]
+    fn sliding_windows_cover(names in prop::collection::vec("[a-z]{1,6}", 0..80),
+                             n in 1usize..20) {
+        let names: Vec<String> = names;
+        let windows = sliding_windows(&names, n);
+        if names.is_empty() {
+            prop_assert!(windows.is_empty());
+        } else if names.len() <= n {
+            prop_assert_eq!(windows.len(), 1);
+            prop_assert_eq!(&windows[0], &names);
+        } else {
+            prop_assert_eq!(windows.len(), names.len() - n + 1);
+            prop_assert!(windows.iter().all(|w| w.len() == n));
+            // First and last elements covered.
+            prop_assert_eq!(&windows[0][0], &names[0]);
+            prop_assert_eq!(
+                windows.last().unwrap().last().unwrap(),
+                names.last().unwrap()
+            );
+        }
+    }
+
+    /// Alphabet encoding round-trips for in-vocabulary labels and maps
+    /// everything else to <unk>.
+    #[test]
+    fn alphabet_encode_decode(labels in prop::collection::vec("[a-zA-Z_]{1,10}", 1..30),
+                              probe in "[a-zA-Z_]{1,10}") {
+        let alphabet = Alphabet::new(labels.clone());
+        for l in &labels {
+            prop_assert_eq!(alphabet.decode(alphabet.encode(l)), l.as_str());
+        }
+        let id = alphabet.encode(&probe);
+        if labels.contains(&probe) {
+            prop_assert!(id < alphabet.unknown());
+        } else {
+            prop_assert_eq!(id, alphabet.unknown());
+        }
+    }
+
+    /// strip_label removes exactly the `_Q<digits>` decoration.
+    #[test]
+    fn strip_label_is_idempotent(base in "[a-z]{1,8}", bid in 0u32..10000) {
+        let labeled = format!("{base}_Q{bid}");
+        prop_assert_eq!(strip_label(&labeled), base.as_str());
+        prop_assert_eq!(strip_label(strip_label(&labeled)), base.as_str());
+        prop_assert_eq!(strip_label(&base), base.as_str());
+    }
+
+    /// Random (seeded) HMMs are valid and forward log-likelihoods of valid
+    /// sequences are finite and ≤ 0 in expectation terms.
+    #[test]
+    fn random_hmm_scores_are_finite(n in 1usize..8, m in 1usize..8,
+                                    seed in any::<u64>(), len in 1usize..40) {
+        let hmm = Hmm::random(n, m, seed);
+        Hmm::new(hmm.a.clone(), hmm.b.clone(), hmm.pi.clone()).expect("stochastic");
+        let obs = hmm.sample(len, seed ^ 0x5EED);
+        let ll = log_likelihood(&hmm, &obs);
+        prop_assert!(ll.is_finite());
+        prop_assert!(ll <= 1e-9, "log-likelihood {ll} must be non-positive");
+    }
+
+    /// LIKE pattern matching agrees with a regex-free oracle on simple
+    /// wildcardless patterns, and `%` always matches when pattern == "%".
+    #[test]
+    fn sql_like_semantics(text in "[a-c]{0,8}") {
+        let mut db = Database::new("p");
+        db.execute("CREATE TABLE t (s TEXT)").unwrap();
+        db.execute_with_params("INSERT INTO t VALUES ($1)", &[Value::Text(text.clone())])
+            .unwrap();
+        // Exact pattern ⇔ equality.
+        let r = db
+            .execute_with_params("SELECT COUNT(*) FROM t WHERE s LIKE $1",
+                                 &[Value::Text(text.clone())])
+            .unwrap();
+        assert_eq!(r.rows().unwrap().get_value(0, 0).unwrap(), "1");
+        // Universal pattern.
+        let r = db
+            .execute("SELECT COUNT(*) FROM t WHERE s LIKE '%'")
+            .unwrap();
+        assert_eq!(r.rows().unwrap().get_value(0, 0).unwrap(), "1");
+    }
+
+    /// Every Lib label the analyzer produces strips back to a known library
+    /// call name.
+    #[test]
+    fn analyzer_labels_strip_to_known_calls(spec in arb_spec()) {
+        let prog = generate_program(&spec);
+        let analysis = analyze(&prog);
+        for label in analysis.pctm.labels() {
+            if let CallLabel::Lib(name) = label {
+                let base = strip_label(name);
+                prop_assert!(
+                    adprom::lang::LibCall::from_name(base).is_some(),
+                    "label {name} does not strip to a library call"
+                );
+            }
+        }
+    }
+}
