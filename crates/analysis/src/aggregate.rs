@@ -244,8 +244,9 @@ mod tests {
     #[test]
     fn inline_empty_callee_is_transparent() {
         // Case 4: helper makes no calls, so puts→printf survives through it.
-        let ctm =
-            pctm_of("fn main() { puts(\"a\"); helper(); printf(\"b\"); }\nfn helper() { let x = 1; }");
+        let ctm = pctm_of(
+            "fn main() { puts(\"a\"); helper(); printf(\"b\"); }\nfn helper() { let x = 1; }",
+        );
         assert!((ctm.get(&lib("puts"), &lib("printf")) - 1.0).abs() < 1e-12);
         assert_pctm_properties(&ctm);
     }

@@ -11,7 +11,7 @@ use crate::cfg::{build_cfg, Cfg};
 use crate::ctm::{build_ctm, Ctm};
 use crate::ddg::{analyze_ddg, Ddg};
 use crate::forecast::{forecast, Forecast};
-use adprom_lang::{Callee, CallSiteId, Program};
+use adprom_lang::{CallSiteId, Callee, Program};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -240,8 +240,7 @@ mod tests {
         assert_eq!(labels1.len(), 1);
         assert_eq!(labels2.len(), 2);
         // The new site's label differs from the original's.
-        let new_labels: Vec<&String> =
-            labels2.iter().filter(|l| !labels1.contains(l)).collect();
+        let new_labels: Vec<&String> = labels2.iter().filter(|l| !labels1.contains(l)).collect();
         assert!(!new_labels.is_empty());
     }
 

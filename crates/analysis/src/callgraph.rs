@@ -32,9 +32,7 @@ impl CallGraph {
         let mut callees = vec![Vec::new(); functions.len()];
         prog.for_each_call(|_, callee, caller| {
             if let Callee::User(name) = callee {
-                if let (Some(&ci), Some(&fi)) =
-                    (index.get(caller), index.get(name.as_str()))
-                {
+                if let (Some(&ci), Some(&fi)) = (index.get(caller), index.get(name.as_str())) {
                     if !callees[ci].contains(&fi) {
                         callees[ci].push(fi);
                     }
@@ -153,10 +151,9 @@ mod tests {
 
     #[test]
     fn builds_simple_cg() {
-        let prog = parse_program(
-            "fn main() { a(); b(); }\nfn a() { b(); }\nfn b() { puts(\"x\"); }",
-        )
-        .unwrap();
+        let prog =
+            parse_program("fn main() { a(); b(); }\nfn a() { b(); }\nfn b() { puts(\"x\"); }")
+                .unwrap();
         let cg = CallGraph::build(&prog);
         let main = cg.id_of("main").unwrap();
         let a = cg.id_of("a").unwrap();
@@ -168,18 +165,10 @@ mod tests {
 
     #[test]
     fn reverse_topo_puts_callees_first() {
-        let prog = parse_program(
-            "fn main() { a(); }\nfn a() { b(); }\nfn b() { }",
-        )
-        .unwrap();
+        let prog = parse_program("fn main() { a(); }\nfn a() { b(); }\nfn b() { }").unwrap();
         let cg = CallGraph::build(&prog);
         let order = cg.reverse_topological();
-        let pos = |name: &str| {
-            order
-                .iter()
-                .position(|&f| cg.functions[f] == name)
-                .unwrap()
-        };
+        let pos = |name: &str| order.iter().position(|&f| cg.functions[f] == name).unwrap();
         assert!(pos("b") < pos("a"));
         assert!(pos("a") < pos("main"));
     }
@@ -194,10 +183,7 @@ mod tests {
 
     #[test]
     fn mutual_recursion_detected() {
-        let prog = parse_program(
-            "fn main() { a(); }\nfn a() { b(); }\nfn b() { a(); }",
-        )
-        .unwrap();
+        let prog = parse_program("fn main() { a(); }\nfn a() { b(); }\nfn b() { a(); }").unwrap();
         let cg = CallGraph::build(&prog);
         assert_eq!(cg.recursive_callees("a"), vec!["b".to_string()]);
         assert_eq!(cg.recursive_callees("b"), vec!["a".to_string()]);

@@ -15,7 +15,7 @@
 //!
 //! Node 0 is the virtual entry ε and node 1 the virtual exit ε′.
 
-use adprom_lang::{Callee, CallSiteId, Expr, Function, Stmt};
+use adprom_lang::{CallSiteId, Callee, Expr, Function, Stmt};
 
 /// Index of a CFG node.
 pub type NodeId = usize;
@@ -112,7 +112,16 @@ pub fn build_cfg(func: &Function, skip_recursive_callees: &[String]) -> Cfg {
     let mut b = CfgBuilder {
         cfg: Cfg {
             func: func.name.clone(),
-            nodes: vec![Node { id: ENTRY, call: None }, Node { id: EXIT, call: None }],
+            nodes: vec![
+                Node {
+                    id: ENTRY,
+                    call: None,
+                },
+                Node {
+                    id: EXIT,
+                    call: None,
+                },
+            ],
             succ: vec![Vec::new(), Vec::new()],
         },
         skip: skip_recursive_callees,
@@ -153,10 +162,7 @@ impl CfgBuilder<'_> {
             }
             Expr::Unary(_, a) => self.lower_expr_calls(a, cur),
             Expr::Call {
-                site,
-                callee,
-                args,
-                ..
+                site, callee, args, ..
             } => {
                 for a in args {
                     cur = self.lower_expr_calls(a, cur);
@@ -272,8 +278,11 @@ impl CfgBuilder<'_> {
                     self.edge(branch, after);
                     loop_exits.push(after);
                     if let Some(b_end) = self.lower_block(body, body_entry, loop_exits) {
-                        let s_end =
-                            self.lower_block(std::slice::from_ref(step.as_ref()), b_end, loop_exits);
+                        let s_end = self.lower_block(
+                            std::slice::from_ref(step.as_ref()),
+                            b_end,
+                            loop_exits,
+                        );
                         if let Some(s_end) = s_end {
                             self.edge(s_end, after);
                         }
@@ -311,10 +320,7 @@ mod tests {
     #[test]
     fn nested_call_linearized_before_outer() {
         // printf("%s", PQgetvalue(..)) must produce PQgetvalue -> printf.
-        let cfg = cfg_of(
-            "fn main() { printf(\"%s\", PQgetvalue(r, 0, 0)); }",
-            "main",
-        );
+        let cfg = cfg_of("fn main() { printf(\"%s\", PQgetvalue(r, 0, 0)); }", "main");
         let calls: Vec<_> = cfg.call_nodes().collect();
         assert_eq!(calls.len(), 2);
         assert_eq!(calls[0].call.as_ref().unwrap().callee.name(), "PQgetvalue");
@@ -352,10 +358,7 @@ mod tests {
 
     #[test]
     fn return_connects_to_exit() {
-        let cfg = cfg_of(
-            "fn main() { if (x) { return; } puts(\"after\"); }",
-            "main",
-        );
+        let cfg = cfg_of("fn main() { if (x) { return; } puts(\"after\"); }", "main");
         assert_eq!(cfg.topo_order().len(), cfg.nodes.len());
         let pred = cfg.predecessors();
         assert!(!pred[EXIT].is_empty());

@@ -15,7 +15,7 @@
 
 use crate::cfg::{Cfg, ENTRY, EXIT};
 use crate::forecast::Forecast;
-use adprom_lang::{Callee, CallSiteId};
+use adprom_lang::{CallSiteId, Callee};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -221,11 +221,7 @@ impl Ctm {
 ///
 /// `site_labels` maps library call sites to their observation names
 /// (DDG-labeled sites carry `_Q<bid>` suffixes).
-pub fn build_ctm(
-    cfg: &Cfg,
-    forecast: &Forecast,
-    site_labels: &HashMap<CallSiteId, String>,
-) -> Ctm {
+pub fn build_ctm(cfg: &Cfg, forecast: &Forecast, site_labels: &HashMap<CallSiteId, String>) -> Ctm {
     let mut ctm = Ctm::new();
     let node_label = |id: usize| -> Option<CallLabel> {
         let node = &cfg.nodes[id];
@@ -332,9 +328,7 @@ mod tests {
     #[test]
     fn branch_splits_probability() {
         // if (x) { puts } else { printf } — each reached with 0.5.
-        let ctm = ctm_of(
-            "fn main() { if (x) { puts(\"a\"); } else { printf(\"b\"); } }",
-        );
+        let ctm = ctm_of("fn main() { if (x) { puts(\"a\"); } else { printf(\"b\"); } }");
         assert!((ctm.get(&CallLabel::Entry, &lib("puts")) - 0.5).abs() < 1e-12);
         assert!((ctm.get(&CallLabel::Entry, &lib("printf")) - 0.5).abs() < 1e-12);
         assert!((ctm.get(&lib("puts"), &CallLabel::Exit) - 0.5).abs() < 1e-12);
@@ -357,8 +351,14 @@ mod tests {
             }
             "#,
         );
-        assert!((ctm.entry_row_sum() - 1.0).abs() < 1e-9, "entry row sums to 1");
-        assert!((ctm.exit_col_sum() - 1.0).abs() < 1e-9, "exit col sums to 1");
+        assert!(
+            (ctm.entry_row_sum() - 1.0).abs() < 1e-9,
+            "entry row sums to 1"
+        );
+        assert!(
+            (ctm.exit_col_sum() - 1.0).abs() < 1e-9,
+            "exit col sums to 1"
+        );
         for l in ctm.labels().to_vec() {
             if !l.is_virtual() {
                 assert!(ctm.flow_imbalance(&l) < 1e-9, "flow conserved at {l}");
@@ -416,9 +416,7 @@ mod tests {
     #[test]
     fn diamond_sums_multiple_callfree_paths() {
         // if with empty branches: two call-free paths between the calls.
-        let ctm = ctm_of(
-            "fn main() { puts(\"pre\"); if (x) { } else { } puts(\"post\"); }",
-        );
+        let ctm = ctm_of("fn main() { puts(\"pre\"); if (x) { } else { } puts(\"post\"); }");
         // Both paths are call-free, so the transition keeps full mass.
         assert!((ctm.get(&lib("puts"), &lib("puts")) - 1.0).abs() < 1e-12);
     }

@@ -16,7 +16,7 @@
 //! The result is the set of *output call sites whose arguments may carry the
 //! TD* — exactly the sites the Analyzer labels `name_Q<bid>`.
 
-use adprom_lang::{Callee, CallSiteId, Expr, LibCall, Program, Stmt};
+use adprom_lang::{CallSiteId, Callee, Expr, LibCall, Program, Stmt};
 use std::collections::{HashMap, HashSet};
 
 /// Result of the taint analysis.
@@ -116,9 +116,7 @@ impl State {
     }
 
     fn var_tainted(&self, func: &str, var: &str) -> bool {
-        self.vars
-            .get(func)
-            .is_some_and(|set| set.contains(var))
+        self.vars.get(func).is_some_and(|set| set.contains(var))
     }
 }
 
@@ -135,10 +133,7 @@ fn expr_taint(e: &Expr, func: &str, state: &mut State, prog: &Program) -> bool {
         }
         Expr::Unary(_, a) => expr_taint(a, func, state, prog),
         Expr::Call {
-            site,
-            callee,
-            args,
-            ..
+            site, callee, args, ..
         } => {
             let arg_taints: Vec<bool> = args
                 .iter()
@@ -149,10 +144,8 @@ fn expr_taint(e: &Expr, func: &str, state: &mut State, prog: &Program) -> bool {
                 Callee::Library(lc) => {
                     // Propagators move taint into their destination buffer.
                     if let Some(dst) = lc.propagates_to_arg() {
-                        let source_tainted = arg_taints
-                            .iter()
-                            .enumerate()
-                            .any(|(i, &t)| i != dst && t);
+                        let source_tainted =
+                            arg_taints.iter().enumerate().any(|(i, &t)| i != dst && t);
                         if source_tainted {
                             if let Some(Expr::Var(v)) = args.get(dst) {
                                 state.taint_var(func, v);
@@ -164,8 +157,7 @@ fn expr_taint(e: &Expr, func: &str, state: &mut State, prog: &Program) -> bool {
                         state.sinks.insert(*site);
                     }
                     // Sources return the TD.
-                    lc.is_db_source()
-                        || (taint_through_handle(*lc) && any_arg_tainted)
+                    lc.is_db_source() || (taint_through_handle(*lc) && any_arg_tainted)
                 }
                 Callee::User(name) => {
                     // Propagate taint into callee parameters.

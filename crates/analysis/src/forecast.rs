@@ -81,9 +81,7 @@ mod tests {
 
     #[test]
     fn if_halves_reachability() {
-        let (cfg, f) = forecast_of(
-            "fn main() { if (x) { puts(\"a\"); } else { puts(\"b\"); } }",
-        );
+        let (cfg, f) = forecast_of("fn main() { if (x) { puts(\"a\"); } else { puts(\"b\"); } }");
         // Each branch call node has reachability 0.5.
         for node in cfg.call_nodes() {
             assert!((f.reach[node.id] - 0.5).abs() < 1e-12, "node {}", node.id);
@@ -94,9 +92,7 @@ mod tests {
 
     #[test]
     fn nested_branches_quarter_reachability() {
-        let (cfg, f) = forecast_of(
-            "fn main() { if (x) { if (y) { puts(\"deep\"); } } }",
-        );
+        let (cfg, f) = forecast_of("fn main() { if (x) { if (y) { puts(\"deep\"); } } }");
         let call = cfg.call_nodes().next().unwrap();
         assert!((f.reach[call.id] - 0.25).abs() < 1e-12);
         assert!((f.reach[EXIT] - 1.0).abs() < 1e-12);
@@ -125,9 +121,7 @@ mod tests {
 
     #[test]
     fn conditional_probability_is_uniform() {
-        let (cfg, f) = forecast_of(
-            "fn main() { if (x) { puts(\"a\"); } else { puts(\"b\"); } }",
-        );
+        let (cfg, f) = forecast_of("fn main() { if (x) { puts(\"a\"); } else { puts(\"b\"); } }");
         let branch = (0..cfg.nodes.len())
             .find(|&i| cfg.out_degree(i) == 2)
             .unwrap();

@@ -94,7 +94,10 @@ fn check_program(src: &str, runs: usize, tolerance: f64) {
         })
         .sum::<f64>()
         / runs as f64;
-    assert!((entry_sim - 1.0).abs() < 1e-9, "exactly one first event per run");
+    assert!(
+        (entry_sim - 1.0).abs() < 1e-9,
+        "exactly one first event per run"
+    );
     let _ = CallLabel::Entry; // keep the import meaningful
 }
 
@@ -235,6 +238,12 @@ fn repeated_callee_is_a_bounded_approximation() {
             max_dev = max_dev.max((expected - observed).abs());
         }
     }
-    assert!(max_dev > 0.01, "this fixture is supposed to exercise the approximation");
-    assert!(max_dev < 0.10, "approximation error must stay bounded: {max_dev}");
+    assert!(
+        max_dev > 0.01,
+        "this fixture is supposed to exercise the approximation"
+    );
+    assert!(
+        max_dev < 0.10,
+        "approximation error must stay bounded: {max_dev}"
+    );
 }

@@ -61,14 +61,18 @@ pub fn attack2_new_call_in_function(prog: &Program, query: &str) -> Option<Attac
         .iter()
         .find(|f| f.name != "main" && !function_has_output_sink(f) && !f.body.is_empty())
         .or_else(|| {
-            out.functions
-                .iter()
-                .find(|f| f.name != "main" && !function_calls(f, LibCall::Printf) && !f.body.is_empty())
+            out.functions.iter().find(|f| {
+                f.name != "main" && !function_calls(f, LibCall::Printf) && !f.body.is_empty()
+            })
         })?
         .name
         .clone();
 
-    let exec = call_expr(&mut out, LibCall::PQexec, vec![Expr::var("conn"), Expr::str(query)]);
+    let exec = call_expr(
+        &mut out,
+        LibCall::PQexec,
+        vec![Expr::var("conn"), Expr::str(query)],
+    );
     let getv = call_expr(
         &mut out,
         LibCall::PQgetvalue,
@@ -138,7 +142,11 @@ pub fn attack4_binary_patch(prog: &Program, query: &str) -> Option<AttackOutcome
         LibCall::Fopen,
         vec![Expr::str("exfil.dat"), Expr::str("a")],
     );
-    let exec = call_expr(&mut out, LibCall::PQexec, vec![Expr::var("conn"), Expr::str(query)]);
+    let exec = call_expr(
+        &mut out,
+        LibCall::PQexec,
+        vec![Expr::var("conn"), Expr::str(query)],
+    );
     let getv = call_expr(
         &mut out,
         LibCall::PQgetvalue,
@@ -147,7 +155,12 @@ pub fn attack4_binary_patch(prog: &Program, query: &str) -> Option<AttackOutcome
     let dump = call_expr(
         &mut out,
         LibCall::Fwrite,
-        vec![Expr::var("__pv"), Expr::Int(1), Expr::Int(64), Expr::var("__pf")],
+        vec![
+            Expr::var("__pv"),
+            Expr::Int(1),
+            Expr::Int(64),
+            Expr::var("__pf"),
+        ],
     );
     let func = out.function_mut(&target).expect("target exists");
     let at = 1.min(func.body.len());
@@ -430,10 +443,7 @@ fn resolve_print_path<'a>(
     let ((i, kind), rest) = path.split_first()?;
     let stmt = body.get_mut(*i)?;
     match (kind, stmt) {
-        (
-            SubBody::Here,
-            Stmt::Expr(Expr::Call { args, .. }),
-        ) => Some(args),
+        (SubBody::Here, Stmt::Expr(Expr::Call { args, .. })) => Some(args),
         (SubBody::Then, Stmt::If { then_branch, .. }) => resolve_print_path(then_branch, rest),
         (SubBody::Else, Stmt::If { else_branch, .. }) => resolve_print_path(else_branch, rest),
         (SubBody::Loop, Stmt::While { body, .. }) | (SubBody::Loop, Stmt::For { body, .. }) => {
@@ -501,10 +511,7 @@ mod tests {
         assert_eq!(outcome.target_function, "report");
         assert!(validate(&outcome.program).is_empty());
         // Same number of call sites: nothing inserted, only args changed.
-        assert_eq!(
-            outcome.program.call_site_count(),
-            prog.call_site_count()
-        );
+        assert_eq!(outcome.program.call_site_count(), prog.call_site_count());
         assert!(outcome.description.contains('r'));
     }
 

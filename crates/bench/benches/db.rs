@@ -34,9 +34,7 @@ fn bench_queries(c: &mut Criterion) {
     c.bench_function("select_tautology_1k_rows", |b| {
         b.iter(|| {
             let r = db
-                .execute(black_box(
-                    "SELECT * FROM clients where id='1' OR '1'='1'",
-                ))
+                .execute(black_box("SELECT * FROM clients where id='1' OR '1'='1'"))
                 .unwrap();
             black_box(r.rows().unwrap().ntuples())
         })
@@ -51,7 +49,8 @@ fn bench_queries(c: &mut Criterion) {
             black_box(r.rows().unwrap().get_value(0, 0))
         })
     });
-    db.prepare("by_id", "SELECT * FROM clients WHERE id = $1").unwrap();
+    db.prepare("by_id", "SELECT * FROM clients WHERE id = $1")
+        .unwrap();
     c.bench_function("prepared_point_lookup", |b| {
         b.iter(|| {
             let r = db

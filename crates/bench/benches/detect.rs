@@ -2,7 +2,7 @@
 //! whole-trace scanning (what the online monitor pays per library call).
 
 use adprom_analysis::analyze;
-use adprom_core::{build_profile, ConstructorConfig, DetectionEngine};
+use adprom_core::{build_profile, BatchDetector, ConstructorConfig, DetectionEngine, ScoringMode};
 use adprom_workloads::hospital;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -16,8 +16,7 @@ fn bench_detection(c: &mut Criterion) {
     let (profile, _) = build_profile("App_h", &analysis, &traces, &config);
     let engine = DetectionEngine::new(&profile);
     let trace = &traces[0];
-    let window: Vec<adprom_trace::CallEvent> =
-        trace.iter().take(profile.window).cloned().collect();
+    let window: Vec<adprom_trace::CallEvent> = trace.iter().take(profile.window).cloned().collect();
 
     c.bench_function("classify_window15", |b| {
         b.iter(|| black_box(engine.classify(black_box(&window)).flag))
@@ -33,5 +32,36 @@ fn bench_detection(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_detection);
+/// Batch throughput: a serial engine loop vs the parallel BatchDetector in
+/// both scoring modes over the same multi-session batch.
+fn bench_batch(c: &mut Criterion) {
+    let workload = hospital::workload(15, 9);
+    let analysis = analyze(&workload.program);
+    let traces = workload.collect_traces(&analysis.site_labels);
+    let mut config = ConstructorConfig::default();
+    config.train.max_iterations = 6;
+    let (profile, _) = build_profile("App_h", &analysis, &traces, &config);
+    let engine = DetectionEngine::new(&profile);
+    let batch = traces;
+    let events: usize = batch.iter().map(Vec::len).sum();
+
+    let mut group = c.benchmark_group(format!("batch_{}traces_{}events", batch.len(), events));
+    group.bench_function("serial_exact", |b| {
+        b.iter(|| {
+            let alerts: usize = batch.iter().map(|t| engine.scan(t).len()).sum();
+            black_box(alerts)
+        })
+    });
+    let exact = BatchDetector::new(&profile);
+    group.bench_function("parallel_exact", |b| {
+        b.iter(|| black_box(exact.detect_batch(black_box(&batch)).len()))
+    });
+    let incremental = BatchDetector::new(&profile).with_mode(ScoringMode::Incremental);
+    group.bench_function("parallel_incremental", |b| {
+        b.iter(|| black_box(incremental.detect_batch(black_box(&batch)).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection, bench_batch);
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! detection cost) and one Baum–Welch re-estimation step (the training
 //! cost unit behind Table VIII and the clustering ablation).
 
-use adprom_hmm::{forward, reestimate, viterbi, Hmm};
+use adprom_hmm::{forward, reestimate, scan_scores, viterbi, Hmm};
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -13,6 +13,36 @@ fn bench_forward(c: &mut Criterion) {
         let obs = hmm.sample(15, 7);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(forward(&hmm, black_box(&obs)).log_likelihood))
+        });
+    }
+    group.finish();
+}
+
+/// Full per-window forward recompute vs the incremental SlidingForward
+/// scorer over the same 15-length windows of one long trace — the
+/// O(n·N²) vs O(N²) per-event comparison behind the batched pipeline.
+fn bench_sliding(c: &mut Criterion) {
+    const WINDOW: usize = 15;
+    const TRACE_LEN: usize = 512;
+    let mut group = c.benchmark_group("window_scan_t512_w15");
+    for &n in &[16usize, 64] {
+        let mut hmm = Hmm::random(n, n, 42);
+        hmm.smooth(1e-4);
+        let obs = hmm.sample(TRACE_LEN, 7);
+        group.bench_with_input(BenchmarkId::new("full_recompute", n), &n, |b, _| {
+            b.iter(|| {
+                let total: f64 = obs
+                    .windows(WINDOW)
+                    .map(|w| forward(&hmm, w).log_likelihood)
+                    .sum();
+                black_box(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                let total: f64 = scan_scores(&hmm, &obs, WINDOW).iter().sum();
+                black_box(total)
+            })
         });
     }
     group.finish();
@@ -46,5 +76,11 @@ fn bench_reestimate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_forward, bench_viterbi, bench_reestimate);
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_sliding,
+    bench_viterbi,
+    bench_reestimate
+);
 criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Batched-detection throughput harness: events/sec for the serial
+//! full-recompute scan (the baseline detection path) vs the parallel
+//! batch pipeline in both scoring modes, written to `BENCH_detect.json`
+//! at the workspace root. Run with:
+//!
+//! ```text
+//! cargo run --release -p adprom-bench --bin bench_detect
+//! ```
+
+use adprom_analysis::analyze;
+use adprom_core::{build_profile, BatchDetector, ConstructorConfig, DetectionEngine, ScoringMode};
+use adprom_trace::CallEvent;
+use adprom_workloads::hospital;
+use std::time::Instant;
+
+/// Best-run throughput: repeats `run` until ~1.5 s of measurement or 12
+/// runs, whichever first, and reports events/sec of the fastest run (the
+/// least-noise estimator on a shared machine).
+fn throughput(events: usize, run: &dyn Fn() -> usize) -> (f64, usize) {
+    let alerts = run(); // warm-up (also primes allocator and caches)
+    let mut best = f64::INFINITY;
+    let budget = Instant::now();
+    let mut runs = 0;
+    while runs < 12 && budget.elapsed().as_secs_f64() < 1.5 {
+        let start = Instant::now();
+        let got = run();
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(got, alerts, "non-deterministic alert count");
+        best = best.min(secs);
+        runs += 1;
+    }
+    (events as f64 / best, alerts)
+}
+
+fn main() {
+    // The CA hospital application at a batch size that models a busy
+    // monitoring interval: many independent sessions, window n = 15.
+    let workload = hospital::workload(48, 9);
+    let analysis = analyze(&workload.program);
+    let traces = workload.collect_traces(&analysis.site_labels);
+    let mut config = ConstructorConfig::default();
+    config.train.max_iterations = 6;
+    let (profile, _) = build_profile("App_hospital", &analysis, &traces, &config);
+
+    let batch: Vec<Vec<CallEvent>> = traces;
+    let n_traces = batch.len();
+    let events: usize = batch.iter().map(Vec::len).sum();
+    let threads = rayon::current_num_threads();
+
+    let engine = DetectionEngine::new(&profile);
+    let (serial_eps, serial_alerts) = throughput(events, &|| {
+        batch.iter().map(|t| engine.scan(t).len()).sum::<usize>()
+    });
+
+    let exact = BatchDetector::new(&profile);
+    let (par_exact_eps, par_exact_alerts) = throughput(events, &|| {
+        exact
+            .detect_batch(&batch)
+            .iter()
+            .map(|r| r.alerts.len())
+            .sum::<usize>()
+    });
+
+    let incremental = BatchDetector::new(&profile).with_mode(ScoringMode::Incremental);
+    let (par_inc_eps, par_inc_alerts) = throughput(events, &|| {
+        incremental
+            .detect_batch(&batch)
+            .iter()
+            .map(|r| r.alerts.len())
+            .sum::<usize>()
+    });
+
+    // Determinism spot-checks, not just counts: exact mode must reproduce
+    // the serial alerts verbatim; incremental must agree on the windows.
+    let serial_reports: Vec<_> = batch.iter().map(|t| engine.scan(t)).collect();
+    let exact_reports = exact.detect_batch(&batch);
+    let exact_identical = serial_reports
+        .iter()
+        .zip(&exact_reports)
+        .all(|(s, p)| s == &p.alerts);
+    assert!(
+        exact_identical,
+        "parallel exact output diverged from serial"
+    );
+    assert_eq!(serial_alerts, par_exact_alerts);
+    assert_eq!(serial_alerts, par_inc_alerts);
+
+    let speedup_exact = par_exact_eps / serial_eps;
+    let speedup_inc = par_inc_eps / serial_eps;
+
+    println!(
+        "== Batched detection throughput (window n = {}) ==",
+        profile.window
+    );
+    println!("batch: {n_traces} traces, {events} events, {threads} worker thread(s)");
+    println!("serial full-recompute     : {serial_eps:>12.0} events/sec");
+    println!("parallel exact-windows    : {par_exact_eps:>12.0} events/sec  ({speedup_exact:.2}x)");
+    println!("parallel incremental      : {par_inc_eps:>12.0} events/sec  ({speedup_inc:.2}x)");
+    println!("exact output identical to serial: {exact_identical}");
+
+    let json = format!(
+        "{{\n  \"workload\": \"hospital\",\n  \"traces\": {n_traces},\n  \
+         \"events\": {events},\n  \"window\": {window},\n  \"threads\": {threads},\n  \
+         \"alerts\": {serial_alerts},\n  \
+         \"serial_exact_events_per_sec\": {serial_eps:.0},\n  \
+         \"parallel_exact_events_per_sec\": {par_exact_eps:.0},\n  \
+         \"parallel_incremental_events_per_sec\": {par_inc_eps:.0},\n  \
+         \"speedup_parallel_exact\": {speedup_exact:.2},\n  \
+         \"speedup_parallel_incremental\": {speedup_inc:.2},\n  \
+         \"exact_output_identical_to_serial\": {exact_identical}\n}}\n",
+        window = profile.window,
+    );
+    std::fs::write("BENCH_detect.json", &json).expect("write BENCH_detect.json");
+    println!("\nwrote BENCH_detect.json");
+}

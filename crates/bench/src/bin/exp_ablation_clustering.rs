@@ -8,9 +8,7 @@
 
 use adprom_attacks::a_s1;
 use adprom_bench::{cap_traces, print_table};
-use adprom_core::{
-    fn_rate_at_fp, init_from_pctm, roc_curve, Alphabet, InitConfig,
-};
+use adprom_core::{fn_rate_at_fp, init_from_pctm, roc_curve, Alphabet, InitConfig};
 use adprom_hmm::reestimate;
 use adprom_workloads::sir;
 use std::time::Instant;

@@ -60,7 +60,10 @@ fn main() {
     print!("{}", analysis.pctm.render_table("pCTM"));
 
     println!("\npCTM properties (§IV-C3):");
-    println!("  (1) entry row sum  = {:.6}", analysis.pctm.entry_row_sum());
+    println!(
+        "  (1) entry row sum  = {:.6}",
+        analysis.pctm.entry_row_sum()
+    );
     println!("  (2) exit col sum   = {:.6}", analysis.pctm.exit_col_sum());
     let max_imbalance = analysis
         .pctm

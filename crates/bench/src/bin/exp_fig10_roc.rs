@@ -13,8 +13,8 @@
 use adprom_attacks::a_s1;
 use adprom_bench::{cap_traces, print_table};
 use adprom_core::{
-    build_profile, build_rand_hmm, fn_rate_at_fp, roc_curve, ConstructorConfig,
-    DetectionEngine, Profile,
+    build_profile, build_rand_hmm, fn_rate_at_fp, roc_curve, ConstructorConfig, DetectionEngine,
+    Profile,
 };
 use adprom_workloads::sir;
 

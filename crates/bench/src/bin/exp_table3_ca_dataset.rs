@@ -27,7 +27,13 @@ fn main() {
     }
     print_table(
         "CA-dataset",
-        &["Client App", "#states", "DBMS", "#test cases", "#sequences (n=15)"],
+        &[
+            "Client App",
+            "#states",
+            "DBMS",
+            "#test cases",
+            "#sequences (n=15)",
+        ],
         &rows,
     );
     println!(

@@ -32,7 +32,13 @@ fn main() {
     }
     print_table(
         "SIR-dataset (synthetic)",
-        &["App", "#Test Cases", "Site Coverage", "#states", "Traces (n=15 windows)"],
+        &[
+            "App",
+            "#Test Cases",
+            "Site Coverage",
+            "#states",
+            "Traces (n=15 windows)",
+        ],
         &rows,
     );
     println!(

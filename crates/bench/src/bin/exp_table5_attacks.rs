@@ -23,7 +23,10 @@ fn main() {
     let traces = workload.collect_traces(&analysis.site_labels);
     let config = ConstructorConfig::default();
 
-    println!("training AD-PROM profile on App_b ({} traces)...", traces.len());
+    println!(
+        "training AD-PROM profile on App_b ({} traces)...",
+        traces.len()
+    );
     let (adprom_profile, _) = build_profile("App_b", &analysis, &traces, &config);
     println!("training CMarkov profile (no DDG labels, no caller tracking)...");
     let (cmarkov_profile, _) = build_cmarkov("App_b", &analysis, &traces, &config);
@@ -76,7 +79,11 @@ fn main() {
             render(adprom_flag, connected),
         ]);
     }
-    print_table("AD-PROM vs CMarkov", &["Attack", "CMarkov", "AD-PROM"], &rows);
+    print_table(
+        "AD-PROM vs CMarkov",
+        &["Attack", "CMarkov", "AD-PROM"],
+        &rows,
+    );
     println!(
         "\npaper: CMarkov misses attacks 1 and 3; AD-PROM detects all five and \
          connects each to the data source"
@@ -108,11 +115,10 @@ fn run_attack(
             adprom_flag = v;
         }
         if !connected {
-            connected = adprom_engine
-                .scan(&labeled)
-                .iter()
-                .any(|a| (a.flag == Flag::DataLeak && a.detail.contains("_Q"))
-                    || a.flag == Flag::OutOfContext);
+            connected = adprom_engine.scan(&labeled).iter().any(|a| {
+                (a.flag == Flag::DataLeak && a.detail.contains("_Q"))
+                    || a.flag == Flag::OutOfContext
+            });
         }
         // CMarkov's collector sees raw names only.
         cmarkov_flag = cmarkov_flag.max(cmarkov_engine.verdict(&strip_trace(&labeled)));

@@ -132,7 +132,12 @@ fn main() {
     }
     print_table(
         "Calls Collector vs ltrace (seconds, best of 7)",
-        &["Test case", "ltrace", "Calls Collector", "Overhead Decrease"],
+        &[
+            "Test case",
+            "ltrace",
+            "Calls Collector",
+            "Overhead Decrease",
+        ],
         &rows,
     );
     let avg: f64 = decreases.iter().sum::<f64>() / decreases.len() as f64;

@@ -31,7 +31,11 @@ fn main() {
         eprintln!("[{}] training on {} traces...", spec.name, traces.len());
         let start = std::time::Instant::now();
         let (profile, _) = build_profile(&spec.name, &analysis, &traces, &config);
-        eprintln!("[{}] trained in {:.1}s", spec.name, start.elapsed().as_secs_f64());
+        eprintln!(
+            "[{}] trained in {:.1}s",
+            spec.name,
+            start.elapsed().as_secs_f64()
+        );
         let engine = DetectionEngine::new(&profile);
 
         // Evaluation set: held-out normal windows, ~7% of which receive an
@@ -73,7 +77,9 @@ fn main() {
     }
     print_table(
         "Confusion matrix of the programs' models",
-        &["App", "#seq.", "TP", "TN", "FP", "FN", "Rec.", "Prec.", "Acc."],
+        &[
+            "App", "#seq.", "TP", "TN", "FP", "FN", "Rec.", "Prec.", "Acc.",
+        ],
         &rows,
     );
     println!(

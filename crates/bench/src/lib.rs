@@ -87,11 +87,7 @@ pub fn site_coverage(workload: &Workload, traces: &[Vec<CallEvent>]) -> f64 {
             lib_sites += 1;
         }
     });
-    let seen: HashSet<u32> = traces
-        .iter()
-        .flatten()
-        .map(|e| e.site.0)
-        .collect();
+    let seen: HashSet<u32> = traces.iter().flatten().map(|e| e.site.0).collect();
     let _ = total;
     seen.len() as f64 / lib_sites.max(1) as f64
 }
@@ -132,11 +128,19 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// Caps the total number of windows used for training by truncating the
 /// trace list (keeps experiment wall-clock bounded at App4 scale; the cap
 /// is reported by the harnesses that use it).
-pub fn cap_traces(traces: Vec<Vec<CallEvent>>, window: usize, max_windows: usize) -> Vec<Vec<CallEvent>> {
+pub fn cap_traces(
+    traces: Vec<Vec<CallEvent>>,
+    window: usize,
+    max_windows: usize,
+) -> Vec<Vec<CallEvent>> {
     let mut out = Vec::new();
     let mut windows = 0usize;
     for t in traces {
-        let w = if t.len() <= window { 1 } else { t.len() - window + 1 };
+        let w = if t.len() <= window {
+            1
+        } else {
+            t.len() - window + 1
+        };
         if windows + w > max_windows && !out.is_empty() {
             break;
         }

@@ -147,12 +147,13 @@ impl ClientSession {
 
     /// `PQgetvalue`: field as text; empty string when out of range (libpq
     /// returns "" rather than failing).
-    pub fn pq_getvalue(&self, h: ResultHandle, row: usize, col: usize) -> Result<String, ClientError> {
-        Ok(self
-            .stored(h)?
-            .rows
-            .get_value(row, col)
-            .unwrap_or_default())
+    pub fn pq_getvalue(
+        &self,
+        h: ResultHandle,
+        row: usize,
+        col: usize,
+    ) -> Result<String, ClientError> {
+        Ok(self.stored(h)?.rows.get_value(row, col).unwrap_or_default())
     }
 
     /// `PQclear`: drop a stored result (handle becomes a stub; libpq-style
@@ -250,7 +251,8 @@ mod tests {
 
     fn session() -> ClientSession {
         let mut db = Database::new("bank");
-        db.execute("CREATE TABLE clients (id INT, name TEXT)").unwrap();
+        db.execute("CREATE TABLE clients (id INT, name TEXT)")
+            .unwrap();
         db.execute("INSERT INTO clients VALUES (105, 'alice'), (106, 'bob'), (107, 'carol')")
             .unwrap();
         ClientSession::connect(db)
@@ -311,7 +313,8 @@ mod tests {
     #[test]
     fn prepared_statements_resist_injection() {
         let mut s = session();
-        s.mysql_stmt_prepare("SELECT * FROM clients WHERE id = ?").unwrap();
+        s.mysql_stmt_prepare("SELECT * FROM clients WHERE id = ?")
+            .unwrap();
         s.mysql_stmt_execute(&["1' OR '1'='1".to_string()]).unwrap();
         let h = s.mysql_store_result().unwrap();
         assert_eq!(s.mysql_num_rows(h).unwrap(), 0);

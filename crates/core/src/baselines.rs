@@ -25,9 +25,7 @@ use std::collections::BTreeMap;
 /// `_Q<digits>` suffix pass through unchanged.
 pub fn strip_label(name: &str) -> &str {
     if let Some(pos) = name.rfind("_Q") {
-        if name[pos + 2..].chars().all(|c| c.is_ascii_digit())
-            && !name[pos + 2..].is_empty()
-        {
+        if name[pos + 2..].chars().all(|c| c.is_ascii_digit()) && !name[pos + 2..].is_empty() {
             return &name[..pos];
         }
     }
@@ -236,7 +234,7 @@ mod tests {
             1.0
         );
         assert_eq!(stripped.dim(), 3); // ε, ε', printf
-        // Invariants survive merging.
+                                       // Invariants survive merging.
         assert!((stripped.entry_row_sum() - 1.0).abs() < 1e-12);
         assert!((stripped.exit_col_sum() - 1.0).abs() < 1e-12);
     }

@@ -112,7 +112,19 @@ impl<'p> DetectionEngine<'p> {
     pub fn classify(&self, events: &[CallEvent]) -> Alert {
         let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
         let ll = self.score(&names);
+        self.classify_scored(events, names, ll)
+    }
 
+    /// Classifies a window whose log-likelihood was computed externally —
+    /// the hook the incremental batch pipeline uses to reuse the flag
+    /// logic with [`adprom_hmm::SlidingForward`] scores instead of a full
+    /// per-window forward pass.
+    pub fn classify_with_ll(&self, events: &[CallEvent], log_likelihood: f64) -> Alert {
+        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
+        self.classify_scored(events, names, log_likelihood)
+    }
+
+    fn classify_scored(&self, events: &[CallEvent], names: Vec<String>, ll: f64) -> Alert {
         // Out-of-context check first (§V-C flag 1): structural, independent
         // of the likelihood.
         for e in events {
@@ -258,11 +270,7 @@ mod tests {
 
     /// A profile whose model strongly expects the cycle a→b→c.
     fn cyclic_profile() -> Profile {
-        let alphabet = Alphabet::new(vec![
-            "a".to_string(),
-            "b".to_string(),
-            "c_Q7".to_string(),
-        ]);
+        let alphabet = Alphabet::new(vec!["a".to_string(), "b".to_string(), "c_Q7".to_string()]);
         let m = alphabet.len();
         let mut a = vec![vec![0.001; m]; m];
         a[0][1] = 1.0;
@@ -274,11 +282,7 @@ mod tests {
             row[i] = 1.0;
         }
         let pi = vec![1.0; m];
-        let mut hmm = Hmm {
-            a,
-            b,
-            pi,
-        };
+        let mut hmm = Hmm::from_rows(a, b, pi);
         hmm.smooth(1e-4);
         let mut call_callers: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         for name in ["a", "b", "c_Q7"] {
@@ -329,11 +333,7 @@ mod tests {
     fn unlikely_order_without_label_is_anomalous() {
         let profile = cyclic_profile();
         let engine = DetectionEngine::new(&profile);
-        let events = vec![
-            event("b", "main"),
-            event("a", "main"),
-            event("a", "main"),
-        ];
+        let events = vec![event("b", "main"), event("a", "main"), event("a", "main")];
         let alert = engine.classify(&events);
         assert_eq!(alert.flag, Flag::Anomalous, "ll={}", alert.log_likelihood);
     }
@@ -377,6 +377,32 @@ mod tests {
         // Windows start once 3 events arrived: 4 windows total.
         assert_eq!(online.alerts().len(), 4);
         assert!(online.alarms().is_empty());
+    }
+
+    #[test]
+    fn classify_with_ll_matches_classify_given_same_score() {
+        let profile = cyclic_profile();
+        let engine = DetectionEngine::new(&profile);
+        for window in [
+            vec![
+                event("a", "main"),
+                event("b", "main"),
+                event("c_Q7", "main"),
+            ],
+            vec![event("b", "main"), event("a", "main"), event("a", "main")],
+            vec![
+                event("a", "main"),
+                event("b", "attacker_function"),
+                event("c_Q7", "main"),
+            ],
+        ] {
+            let names: Vec<String> = window.iter().map(|e| e.name.clone()).collect();
+            let ll = engine.score(&names);
+            assert_eq!(
+                engine.classify(&window),
+                engine.classify_with_ll(&window, ll)
+            );
+        }
     }
 
     #[test]

@@ -168,11 +168,7 @@ pub fn init_from_pctm(pctm: &Ctm, alphabet: &Alphabet, config: &InitConfig) -> I
         }
     }
 
-    let mut hmm = Hmm {
-        a: normalize_rows(a),
-        b: normalize_rows(b),
-        pi: normalize_vec(pi),
-    };
+    let mut hmm = Hmm::from_rows(normalize_rows(a), normalize_rows(b), normalize_vec(pi));
     hmm.smooth(config.smoothing);
 
     InitializedModel {
@@ -210,9 +206,8 @@ mod tests {
 
     #[test]
     fn one_to_one_init_prefers_static_transitions() {
-        let (pctm, alphabet) = setup(
-            "fn main() { PQexec(c, \"SELECT 1\"); PQntuples(r); printf(\"%d\", n); }",
-        );
+        let (pctm, alphabet) =
+            setup("fn main() { PQexec(c, \"SELECT 1\"); PQntuples(r); printf(\"%d\", n); }");
         let init = init_from_pctm(&pctm, &alphabet, &InitConfig::default());
         assert!(!init.reduced);
         assert_eq!(init.hmm.n_states(), alphabet.len());
@@ -220,31 +215,21 @@ mod tests {
         let s_exec = alphabet.encode("PQexec");
         let s_nt = alphabet.encode("PQntuples");
         let s_pf = alphabet.encode("printf");
-        assert!(init.hmm.a[s_exec][s_nt] > 0.9);
-        assert!(init.hmm.a[s_nt][s_pf] > 0.9);
-        assert!(init.hmm.a[s_exec][s_pf] < 0.05);
+        assert!(init.hmm.a(s_exec, s_nt) > 0.9);
+        assert!(init.hmm.a(s_nt, s_pf) > 0.9);
+        assert!(init.hmm.a(s_exec, s_pf) < 0.05);
         // Emissions are near-one-hot.
-        assert!(init.hmm.b[s_exec][s_exec] > 0.99);
+        assert!(init.hmm.b(s_exec, s_exec) > 0.99);
     }
 
     #[test]
     fn model_is_stochastic_and_smoothed() {
-        let (pctm, alphabet) = setup(
-            "fn main() { if (x) { puts(\"a\"); } else { printf(\"b\"); } putchar(1); }",
-        );
+        let (pctm, alphabet) =
+            setup("fn main() { if (x) { puts(\"a\"); } else { printf(\"b\"); } putchar(1); }");
         let init = init_from_pctm(&pctm, &alphabet, &InitConfig::default());
-        Hmm::new(
-            init.hmm.a.clone(),
-            init.hmm.b.clone(),
-            init.hmm.pi.clone(),
-        )
-        .unwrap();
+        init.hmm.validate().unwrap();
         // Smoothing left no exact zeros.
-        assert!(init
-            .hmm
-            .a
-            .iter()
-            .all(|row| row.iter().all(|&v| v > 0.0)));
+        assert!(init.hmm.a_rows().all(|row| row.iter().all(|&v| v > 0.0)));
     }
 
     #[test]
@@ -292,7 +277,7 @@ mod tests {
         };
         let init = init_from_pctm(&pctm, &alphabet, &config);
         // Rows of B are distributions.
-        for row in &init.hmm.b {
+        for row in init.hmm.b_rows() {
             assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
     }

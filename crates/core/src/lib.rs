@@ -14,7 +14,11 @@
 //! Detection phase (§IV-D): [`detect::DetectionEngine`] scores n-length
 //! call windows and raises the paper's four flags (Normal / Anomalous /
 //! DataLeak / OutOfContext); [`detect::OnlineDetector`] does the same
-//! streaming, as a [`CallSink`](adprom_trace::CallSink).
+//! streaming, as a [`CallSink`](adprom_trace::CallSink). For monitoring
+//! many sessions at once, [`parallel::BatchDetector`] fans independent
+//! traces across a thread pool (deterministic, input-order output) and can
+//! score windows incrementally via
+//! [`SlidingForward`](adprom_hmm::SlidingForward).
 //!
 //! Baselines (§V): [`baselines::build_cmarkov`] (static init, no data-flow
 //! labels, no caller tracking) and [`baselines::build_rand_hmm`] (random
@@ -29,6 +33,7 @@ pub mod detect;
 pub mod extensions;
 pub mod init;
 pub mod metrics;
+pub mod parallel;
 pub mod profile;
 pub mod threshold;
 
@@ -39,5 +44,6 @@ pub use detect::{Alert, DetectionEngine, Flag, OnlineDetector};
 pub use extensions::{ExtensionAlert, ExtensionKind, FileLabelMonitor, QuerySignatureMonitor};
 pub use init::{build_ctvs, init_from_pctm, InitConfig, InitializedModel};
 pub use metrics::{fn_rate_at_fp, roc_curve, Confusion, RocPoint};
+pub use parallel::{BatchDetector, ScoringMode, TraceReport};
 pub use profile::{Profile, ProfileIoError};
 pub use threshold::{select_threshold, threshold_sweep, AdaptiveThreshold};

@@ -202,9 +202,7 @@ mod tests {
         let anomalous: Vec<f64> = (0..50).map(|i| -100.0 - i as f64 * 0.01).collect();
         let pts = roc_curve(&normal, &anomalous, 100);
         // Some threshold achieves FP=0 and FN=0.
-        assert!(pts
-            .iter()
-            .any(|p| p.fp_rate == 0.0 && p.fn_rate == 0.0));
+        assert!(pts.iter().any(|p| p.fp_rate == 0.0 && p.fn_rate == 0.0));
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! Parallel batched detection: fan independent session traces out across a
+//! thread pool and return per-trace alerts in deterministic input order.
+//!
+//! The paper evaluates AD-PROM monitoring a live application serving many
+//! connections; each session's call stream is scored independently (windows
+//! never span sessions), so batches parallelize embarrassingly. The
+//! determinism guarantee: [`BatchDetector::detect_batch`] returns reports
+//! in the exact order the traces were passed in, and in
+//! [`ScoringMode::ExactWindows`] each report's alerts are *identical* —
+//! field for field, including floating-point scores — to what a serial
+//! `DetectionEngine::scan` loop over the same traces produces, regardless
+//! of thread count or scheduling. Parallelism only changes wall-clock
+//! time, never output.
+//!
+//! [`ScoringMode::Incremental`] swaps the per-window forward recompute for
+//! [`SlidingForward`] (O(N²) per event instead of O(n·N²)); scores then
+//! use the conditional window semantics documented in
+//! [`adprom_hmm::sliding`]. Still deterministic — the incremental scorer
+//! runs a fixed recurrence per trace — but not bit-identical to
+//! `ExactWindows`, because the window likelihood is conditioned on the
+//! session's history rather than restarted from π.
+
+use crate::detect::{Alert, DetectionEngine, Flag};
+use crate::profile::Profile;
+use adprom_hmm::SlidingForward;
+use adprom_trace::CallEvent;
+use rayon::prelude::*;
+
+/// How a [`BatchDetector`] scores windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringMode {
+    /// A full scaled-forward pass per window (exactly
+    /// [`DetectionEngine::scan`]): output is byte-identical to the serial
+    /// engine loop.
+    #[default]
+    ExactWindows,
+    /// Incremental [`SlidingForward`] scoring: one O(N²) update per event.
+    /// Deterministic, but windows are scored conditionally on session
+    /// history (see [`adprom_hmm::sliding`]).
+    Incremental,
+}
+
+/// Scoring outcome for one trace of a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Position of the trace in the input batch.
+    pub index: usize,
+    /// One alert per window, in window order.
+    pub alerts: Vec<Alert>,
+    /// Highest-severity flag over the trace.
+    pub verdict: Flag,
+}
+
+impl TraceReport {
+    /// Non-normal alerts only.
+    pub fn alarms(&self) -> impl Iterator<Item = &Alert> {
+        self.alerts.iter().filter(|a| a.is_alarm())
+    }
+}
+
+/// Scores batches of independent session traces in parallel.
+#[derive(Debug, Clone)]
+pub struct BatchDetector<'p> {
+    profile: &'p Profile,
+    threshold: f64,
+    mode: ScoringMode,
+}
+
+impl<'p> BatchDetector<'p> {
+    /// Creates a batch detector in [`ScoringMode::ExactWindows`].
+    pub fn new(profile: &'p Profile) -> BatchDetector<'p> {
+        BatchDetector {
+            profile,
+            threshold: profile.threshold,
+            mode: ScoringMode::ExactWindows,
+        }
+    }
+
+    /// Selects the scoring mode.
+    pub fn with_mode(mut self, mode: ScoringMode) -> BatchDetector<'p> {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the detection threshold (defaults to the profile's).
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold;
+    }
+
+    /// The active scoring mode.
+    pub fn mode(&self) -> ScoringMode {
+        self.mode
+    }
+
+    /// Scores every trace of the batch across the rayon thread pool.
+    /// Reports come back in input order with `report.index == i`; see the
+    /// module docs for the determinism guarantee.
+    pub fn detect_batch(&self, traces: &[Vec<CallEvent>]) -> Vec<TraceReport> {
+        let alerts_per_trace: Vec<Vec<Alert>> = traces
+            .par_iter()
+            .map(|trace| self.scan_trace(trace))
+            .collect();
+        alerts_per_trace
+            .into_iter()
+            .enumerate()
+            .map(|(index, alerts)| {
+                let verdict = alerts.iter().map(|a| a.flag).max().unwrap_or(Flag::Normal);
+                TraceReport {
+                    index,
+                    alerts,
+                    verdict,
+                }
+            })
+            .collect()
+    }
+
+    /// Highest-severity flag per trace, in input order.
+    pub fn verdicts(&self, traces: &[Vec<CallEvent>]) -> Vec<Flag> {
+        self.detect_batch(traces)
+            .into_iter()
+            .map(|r| r.verdict)
+            .collect()
+    }
+
+    /// Scores a single trace with the configured mode (the unit of work
+    /// each pool thread runs).
+    pub fn scan_trace(&self, events: &[CallEvent]) -> Vec<Alert> {
+        let mut engine = DetectionEngine::new(self.profile);
+        engine.set_threshold(self.threshold);
+        match self.mode {
+            ScoringMode::ExactWindows => engine.scan(events),
+            ScoringMode::Incremental => self.scan_incremental(&engine, events),
+        }
+    }
+
+    /// Incremental scan: one sliding scorer per trace, one alert per
+    /// window, same window set as [`DetectionEngine::scan`].
+    ///
+    /// Per-event facts — symbol encoding, the out-of-context check, the
+    /// `_Q` label test — are computed once per trace instead of once per
+    /// window, so the per-window cost is the O(N²) alpha update plus alert
+    /// construction, not n map lookups.
+    fn scan_incremental(&self, engine: &DetectionEngine<'_>, events: &[CallEvent]) -> Vec<Alert> {
+        let n = self.profile.window;
+        if events.is_empty() {
+            return Vec::new();
+        }
+        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
+        let encoded = self.profile.alphabet.encode_seq(&names);
+        let out_of_context: Vec<bool> = events
+            .iter()
+            .map(|e| self.profile.is_out_of_context(&e.name, &e.caller))
+            .collect();
+        let labeled: Vec<bool> = names.iter().map(|name| name.contains("_Q")).collect();
+        // Prefix counts make "any flagged event in the window?" O(1).
+        let prefix = |flags: &[bool]| -> Vec<u32> {
+            let mut acc = Vec::with_capacity(flags.len() + 1);
+            acc.push(0u32);
+            for &f in flags {
+                acc.push(acc.last().unwrap() + u32::from(f));
+            }
+            acc
+        };
+        let ooc_prefix = prefix(&out_of_context);
+        let labeled_prefix = prefix(&labeled);
+        let threshold = engine.threshold();
+
+        let mut sliding = SlidingForward::new(&self.profile.hmm, n);
+        let mut alerts = Vec::with_capacity(events.len().saturating_sub(n) + 1);
+        let mut emit = |start: usize, end: usize, ll: f64| {
+            // Same flag precedence as DetectionEngine::classify, driven by
+            // the precomputed per-event facts.
+            let window = names[start..end].to_vec();
+            if ooc_prefix[end] > ooc_prefix[start] {
+                let t = (start..end).find(|&t| out_of_context[t]).expect("counted");
+                alerts.push(Alert {
+                    flag: Flag::OutOfContext,
+                    log_likelihood: ll,
+                    threshold,
+                    window,
+                    detail: format!(
+                        "call `{}` issued by `{}`, which never issued it in training",
+                        events[t].name, events[t].caller
+                    ),
+                });
+            } else if ll < threshold {
+                if labeled_prefix[end] > labeled_prefix[start] {
+                    let t = (start..end).find(|&t| labeled[t]).expect("counted");
+                    let leak = &names[t];
+                    alerts.push(Alert {
+                        flag: Flag::DataLeak,
+                        log_likelihood: ll,
+                        threshold,
+                        detail: format!(
+                            "anomalous sequence contains labeled output `{leak}` \
+                             (block {}): targeted data from the DB reached an output statement",
+                            leak.rsplit("_Q").next().unwrap_or("?")
+                        ),
+                        window,
+                    });
+                } else {
+                    alerts.push(Alert {
+                        flag: Flag::Anomalous,
+                        log_likelihood: ll,
+                        threshold,
+                        window,
+                        detail: "sequence probability below threshold".to_string(),
+                    });
+                }
+            } else {
+                alerts.push(Alert {
+                    flag: Flag::Normal,
+                    log_likelihood: ll,
+                    threshold,
+                    window,
+                    detail: String::new(),
+                });
+            }
+        };
+
+        if events.len() <= n {
+            let mut score = 0.0;
+            for &symbol in &encoded {
+                score = sliding.push(symbol);
+            }
+            emit(0, events.len(), score);
+            return alerts;
+        }
+        for (t, &symbol) in encoded.iter().enumerate() {
+            let score = sliding.push(symbol);
+            if t + 1 >= n {
+                emit(t + 1 - n, t + 1, score);
+            }
+        }
+        alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use adprom_hmm::Hmm;
+    use adprom_lang::{CallSiteId, LibCall};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn event(name: &str, caller: &str) -> CallEvent {
+        CallEvent {
+            name: name.to_string(),
+            call: LibCall::Printf,
+            caller: caller.to_string(),
+            site: CallSiteId(0),
+            detail: None,
+        }
+    }
+
+    /// Same cyclic a→b→c profile the detect tests use.
+    fn cyclic_profile() -> Profile {
+        let alphabet = Alphabet::new(vec!["a".to_string(), "b".to_string(), "c_Q7".to_string()]);
+        let m = alphabet.len();
+        let mut a = vec![vec![0.001; m]; m];
+        a[0][1] = 1.0;
+        a[1][2] = 1.0;
+        a[2][0] = 1.0;
+        a[3][3] = 1.0;
+        let mut b = vec![vec![0.001; m]; m];
+        for (i, row) in b.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        let pi = vec![1.0; m];
+        let mut hmm = Hmm::from_rows(a, b, pi);
+        hmm.smooth(1e-4);
+        let mut call_callers: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for name in ["a", "b", "c_Q7"] {
+            call_callers
+                .entry(name.to_string())
+                .or_default()
+                .insert("main".to_string());
+        }
+        Profile {
+            app_name: "cyclic".into(),
+            alphabet,
+            hmm,
+            window: 3,
+            threshold: -5.0,
+            call_callers,
+            labeled_outputs: vec!["c_Q7".to_string()],
+        }
+    }
+
+    fn trace_of(names: &[&str]) -> Vec<CallEvent> {
+        names.iter().map(|n| event(n, "main")).collect()
+    }
+
+    fn mixed_batch() -> Vec<Vec<CallEvent>> {
+        vec![
+            trace_of(&["a", "b", "c_Q7", "a", "b", "c_Q7"]), // normal
+            trace_of(&["b", "a", "a", "b", "a"]),            // anomalous
+            trace_of(&["a", "evil_exfil", "c_Q7"]),          // data leak
+            Vec::new(),                                      // empty
+            trace_of(&["a", "b"]),                           // shorter than window
+            vec![
+                event("a", "main"),
+                event("b", "attacker_function"), // out of context
+                event("c_Q7", "main"),
+            ],
+        ]
+    }
+
+    #[test]
+    fn exact_mode_is_identical_to_serial_engine_loop() {
+        let profile = cyclic_profile();
+        let batch = mixed_batch();
+        let detector = BatchDetector::new(&profile);
+        let reports = detector.detect_batch(&batch);
+
+        let engine = DetectionEngine::new(&profile);
+        for (i, trace) in batch.iter().enumerate() {
+            assert_eq!(reports[i].index, i);
+            assert_eq!(reports[i].alerts, engine.scan(trace), "trace {i}");
+            assert_eq!(reports[i].verdict, engine.verdict(trace), "trace {i}");
+        }
+    }
+
+    #[test]
+    fn verdicts_cover_all_flags_in_input_order() {
+        let profile = cyclic_profile();
+        let verdicts = BatchDetector::new(&profile).verdicts(&mixed_batch());
+        assert_eq!(verdicts[0], Flag::Normal);
+        assert_eq!(verdicts[1], Flag::Anomalous);
+        assert_eq!(verdicts[2], Flag::DataLeak);
+        assert_eq!(verdicts[3], Flag::Normal); // empty trace: nothing to score
+        assert_eq!(verdicts[5], Flag::OutOfContext);
+    }
+
+    #[test]
+    fn incremental_mode_agrees_on_flags_for_separated_traces() {
+        // Incremental scores are conditional, so compare flags (the
+        // detection outcome), not raw numbers, on traces whose normal and
+        // attack likelihoods are far from the threshold.
+        let profile = cyclic_profile();
+        let batch = mixed_batch();
+        let exact = BatchDetector::new(&profile).verdicts(&batch);
+        let incremental = BatchDetector::new(&profile)
+            .with_mode(ScoringMode::Incremental)
+            .verdicts(&batch);
+        assert_eq!(exact, incremental);
+    }
+
+    #[test]
+    fn incremental_window_set_matches_exact_mode() {
+        let profile = cyclic_profile();
+        let batch = mixed_batch();
+        let exact = BatchDetector::new(&profile).detect_batch(&batch);
+        let incremental = BatchDetector::new(&profile)
+            .with_mode(ScoringMode::Incremental)
+            .detect_batch(&batch);
+        for (e, inc) in exact.iter().zip(&incremental) {
+            assert_eq!(e.alerts.len(), inc.alerts.len(), "trace {}", e.index);
+            for (ae, ai) in e.alerts.iter().zip(&inc.alerts) {
+                assert_eq!(ae.window, ai.window);
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_override_propagates_to_workers() {
+        let profile = cyclic_profile();
+        let mut detector = BatchDetector::new(&profile);
+        detector.set_threshold(0.0); // everything scores below 0
+        let verdicts = detector.verdicts(&[trace_of(&["a", "b", "c_Q7"])]);
+        assert_ne!(verdicts[0], Flag::Normal);
+    }
+
+    #[test]
+    fn large_batch_keeps_input_order() {
+        let profile = cyclic_profile();
+        let detector = BatchDetector::new(&profile);
+        // Alternate normal / anomalous traces; order must survive the pool.
+        let batch: Vec<Vec<CallEvent>> = (0..64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    trace_of(&["a", "b", "c_Q7"])
+                } else {
+                    trace_of(&["b", "a", "a"])
+                }
+            })
+            .collect();
+        let reports = detector.detect_batch(&batch);
+        assert_eq!(reports.len(), 64);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.index, i);
+            let expected = if i % 2 == 0 {
+                Flag::Normal
+            } else {
+                Flag::Anomalous
+            };
+            assert_eq!(r.verdict, expected, "trace {i}");
+        }
+    }
+}

@@ -199,9 +199,7 @@ mod tests {
     #[test]
     fn select_by_id_returns_one_row() {
         let mut db = sample_db();
-        let result = db
-            .execute("SELECT * FROM clients where id='105'")
-            .unwrap();
+        let result = db.execute("SELECT * FROM clients where id='105'").unwrap();
         assert_eq!(result.rows().unwrap().ntuples(), 1);
     }
 
@@ -238,7 +236,9 @@ mod tests {
             .execute("UPDATE clients SET balance = balance + 5 WHERE balance < 15")
             .unwrap();
         assert_eq!(r, QueryResult::Affected(2));
-        let r = db.execute("DELETE FROM clients WHERE name LIKE 'b%'").unwrap();
+        let r = db
+            .execute("DELETE FROM clients WHERE name LIKE 'b%'")
+            .unwrap();
         assert_eq!(r, QueryResult::Affected(1));
         assert_eq!(db.table("clients").unwrap().row_count(), 2);
     }

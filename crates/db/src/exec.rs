@@ -30,7 +30,10 @@ impl ResultSet {
     /// Field value rendered as text (libpq `PQgetvalue`); `None` when out of
     /// range.
     pub fn get_value(&self, row: usize, col: usize) -> Option<String> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(Value::render)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(Value::render)
     }
 }
 
@@ -58,10 +61,7 @@ impl QueryResult {
 fn resolve_scalar(s: &SqlScalar, params: &[Value]) -> Result<Value, DbError> {
     match s {
         SqlScalar::Literal(v) => Ok(v.clone()),
-        SqlScalar::Param(i) => params
-            .get(i - 1)
-            .cloned()
-            .ok_or(DbError::MissingParam(*i)),
+        SqlScalar::Param(i) => params.get(i - 1).cloned().ok_or(DbError::MissingParam(*i)),
     }
 }
 

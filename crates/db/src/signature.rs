@@ -8,9 +8,7 @@
 //! statement skeleton with every literal and parameter replaced by `?`:
 //! two queries share a signature iff they differ only in constants.
 
-use crate::sql::{
-    Aggregate, Order, Projection, SqlExpr, SqlScalar, SqlStmt,
-};
+use crate::sql::{Aggregate, Order, Projection, SqlExpr, SqlScalar, SqlStmt};
 
 /// Computes the signature of a SQL statement text. Unparseable statements
 /// get a token-level fallback so the collector never fails on attacker
@@ -36,11 +34,7 @@ pub fn stmt_signature(stmt: &SqlStmt) -> String {
         } => {
             let cols = match columns {
                 None => "*".to_string(),
-                Some(cols) => cols
-                    .iter()
-                    .map(|c| low(c))
-                    .collect::<Vec<_>>()
-                    .join(","),
+                Some(cols) => cols.iter().map(|c| low(c)).collect::<Vec<_>>().join(","),
             };
             format!(
                 "INSERT {} ({cols}) VALUES {}x{}",
@@ -111,11 +105,7 @@ pub fn stmt_signature(stmt: &SqlStmt) -> String {
 fn projection_signature(p: &Projection) -> String {
     match p {
         Projection::Star => "*".to_string(),
-        Projection::Columns(cols) => cols
-            .iter()
-            .map(|c| low(c))
-            .collect::<Vec<_>>()
-            .join(","),
+        Projection::Columns(cols) => cols.iter().map(|c| low(c)).collect::<Vec<_>>().join(","),
         Projection::Aggregates(aggs) => aggs
             .iter()
             .map(|a| match a {
@@ -193,7 +183,10 @@ fn fallback_signature(sql: &str) -> String {
                 out.push('?');
             }
             c if c.is_ascii_digit() => {
-                while chars.peek().is_some_and(|c| c.is_ascii_digit() || *c == '.') {
+                while chars
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_digit() || *c == '.')
+                {
                     chars.next();
                 }
                 out.push('?');

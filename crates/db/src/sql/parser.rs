@@ -511,11 +511,13 @@ mod tests {
 
     #[test]
     fn parses_count_star() {
-        let stmt =
-            parse_sql("SELECT COUNT(*) FROM employees WHERE yearlyIncome < 30000").unwrap();
+        let stmt = parse_sql("SELECT COUNT(*) FROM employees WHERE yearlyIncome < 30000").unwrap();
         match stmt {
             SqlStmt::Select { projection, .. } => {
-                assert_eq!(projection, Projection::Aggregates(vec![Aggregate::CountStar]));
+                assert_eq!(
+                    projection,
+                    Projection::Aggregates(vec![Aggregate::CountStar])
+                );
             }
             other => panic!("wrong statement {other:?}"),
         }

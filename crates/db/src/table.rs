@@ -56,7 +56,8 @@ mod tests {
     #[test]
     fn insert_checks_schema() {
         let mut t = Table::new(schema(&[("id", ColumnType::Int), ("n", ColumnType::Text)]));
-        t.insert(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Text("a".into())])
+            .unwrap();
         assert!(t.insert(vec![Value::Int(1)]).is_err());
         assert!(t
             .insert(vec![Value::Text("x".into()), Value::Text("a".into())])

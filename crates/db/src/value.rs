@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn cross_type_numeric_comparison() {
-        assert_eq!(Value::Int(3).sql_cmp(&Value::Float(3.0)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::Int(3).sql_cmp(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
         assert_eq!(
             Value::Text("10".into()).sql_cmp(&Value::Int(9)),
             Some(Ordering::Greater)

@@ -153,12 +153,12 @@ pub fn reestimate_with_prior(
         debug_assert_eq!(p.n_states(), n);
         debug_assert_eq!(p.n_symbols(), m);
         for i in 0..n {
-            for j in 0..n {
-                a_num[i][j] += w * p.a[i][j];
+            for (acc, &prior_a) in a_num[i].iter_mut().zip(p.a_row(i)) {
+                *acc += w * prior_a;
             }
             a_den[i] += w;
-            for k in 0..m {
-                b_num[i][k] += w * p.b[i][k];
+            for (acc, &prior_b) in b_num[i].iter_mut().zip(p.b_row(i)) {
+                *acc += w * prior_b;
             }
             b_den[i] += w;
             // π pseudo-counts are folded in after the division by
@@ -210,7 +210,7 @@ pub fn reestimate_with_prior(
         for t in 0..t_len.saturating_sub(1) {
             let next = obs[t + 1];
             for j in 0..n {
-                bb[j] = hmm.b[j][next] * beta[t + 1][j];
+                bb[j] = hmm.b(j, next) * beta[t + 1][j];
             }
             let mut total = 0.0;
             for i in 0..n {
@@ -218,7 +218,7 @@ pub fn reestimate_with_prior(
                 if ai == 0.0 {
                     continue;
                 }
-                let row = &hmm.a[i];
+                let row = hmm.a_row(i);
                 let mut acc = 0.0;
                 for j in 0..n {
                     acc += row[j] * bb[j];
@@ -232,7 +232,7 @@ pub fn reestimate_with_prior(
                     if ai == 0.0 {
                         continue;
                     }
-                    let row = &hmm.a[i];
+                    let row = hmm.a_row(i);
                     let out = &mut a_num[i];
                     for j in 0..n {
                         out[j] += ai * row[j] * bb[j];
@@ -251,13 +251,15 @@ pub fn reestimate_with_prior(
     let pi_prior = prior;
     for i in 0..n {
         if a_den[i] > 0.0 {
-            for j in 0..n {
-                hmm.a[i][j] = a_num[i][j] / a_den[i];
+            let inv = 1.0 / a_den[i];
+            for (dst, &num) in hmm.a_row_mut(i).iter_mut().zip(&a_num[i]) {
+                *dst = num * inv;
             }
         }
         if b_den[i] > 0.0 {
-            for k in 0..m {
-                hmm.b[i][k] = b_num[i][k] / b_den[i];
+            let inv = 1.0 / b_den[i];
+            for (dst, &num) in hmm.b_row_mut(i).iter_mut().zip(&b_num[i]) {
+                *dst = num * inv;
             }
         }
         let (pi_num, pi_den) = match pi_prior {
@@ -294,12 +296,7 @@ mod tests {
         let holdout = dataset(15, 40, 900);
         let mut hmm = Hmm::random(2, 3, 7);
         let before = mean_log_likelihood(&hmm, &holdout);
-        let report = train(
-            &mut hmm,
-            &train_set,
-            &holdout,
-            &TrainConfig::default(),
-        );
+        let report = train(&mut hmm, &train_set, &holdout, &TrainConfig::default());
         let after = mean_log_likelihood(&hmm, &holdout);
         assert!(after > before, "{after} <= {before}");
         assert!(report.iterations >= 1);
@@ -328,7 +325,7 @@ mod tests {
         let train_set = dataset(10, 20, 42);
         let mut hmm = Hmm::random(3, 3, 21);
         reestimate(&mut hmm, &train_set, 1e-6);
-        Hmm::new(hmm.a.clone(), hmm.b.clone(), hmm.pi.clone()).unwrap();
+        hmm.validate().unwrap();
     }
 
     #[test]
@@ -356,6 +353,6 @@ mod tests {
         let mut hmm = Hmm::random(2, 2, 1);
         let report = train(&mut hmm, &[], &[], &TrainConfig::default());
         assert!(report.iterations <= TrainConfig::default().max_iterations);
-        Hmm::new(hmm.a.clone(), hmm.b.clone(), hmm.pi.clone()).unwrap();
+        hmm.validate().unwrap();
     }
 }

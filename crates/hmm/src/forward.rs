@@ -38,7 +38,7 @@ pub fn forward(hmm: &Hmm, obs: &[usize]) -> ForwardPass {
     // t = 0
     let mut sum = 0.0;
     for i in 0..n {
-        alpha[0][i] = hmm.pi[i] * hmm.b[i][obs[0]];
+        alpha[0][i] = hmm.pi[i] * hmm.b(i, obs[0]);
         sum += alpha[0][i];
     }
     if sum <= 0.0 {
@@ -50,20 +50,27 @@ pub fn forward(hmm: &Hmm, obs: &[usize]) -> ForwardPass {
     }
     log_likelihood += sum.ln();
 
-    // t > 0
+    // t > 0. Accumulating with i outermost walks A row-by-row, which is
+    // sequential in the flat row-major layout.
     for t in 1..t_len {
         let (prev, cur) = {
             let (a, b) = alpha.split_at_mut(t);
             (&a[t - 1], &mut b[0])
         };
-        let mut sum = 0.0;
-        for j in 0..n {
-            let mut acc = 0.0;
-            for i in 0..n {
-                acc += prev[i] * hmm.a[i][j];
+        for i in 0..n {
+            let prev_i = prev[i];
+            if prev_i == 0.0 {
+                continue;
             }
-            cur[j] = acc * hmm.b[j][obs[t]];
-            sum += cur[j];
+            let row = hmm.a_row(i);
+            for (c, &a_ij) in cur.iter_mut().zip(row) {
+                *c += prev_i * a_ij;
+            }
+        }
+        let mut sum = 0.0;
+        for (j, c) in cur.iter_mut().enumerate() {
+            *c *= hmm.b(j, obs[t]);
+            sum += *c;
         }
         if sum <= 0.0 {
             return impossible(alpha, scale);
@@ -116,14 +123,21 @@ pub fn backward(hmm: &Hmm, obs: &[usize], scale: &[f64]) -> Vec<Vec<f64>> {
     for i in 0..n {
         beta[t_len - 1][i] = scale[t_len - 1];
     }
+    // Hoisting b_j(o_{t+1})·beta_{t+1}(j) out of the i-loop leaves the
+    // inner product a pure row sweep over A.
+    let mut bb = vec![0.0; n];
     for t in (0..t_len - 1).rev() {
         let (head, tail) = beta.split_at_mut(t + 1);
         let next = &tail[0];
         let cur = &mut head[t];
+        for j in 0..n {
+            bb[j] = hmm.b(j, obs[t + 1]) * next[j];
+        }
         for i in 0..n {
+            let row = hmm.a_row(i);
             let mut acc = 0.0;
-            for j in 0..n {
-                acc += hmm.a[i][j] * hmm.b[j][obs[t + 1]] * next[j];
+            for (a_ij, b_beta) in row.iter().zip(&bb) {
+                acc += a_ij * b_beta;
             }
             cur[i] = acc * scale[t];
         }
@@ -160,7 +174,7 @@ mod tests {
         let mut p = 0.0;
         for s0 in 0..2 {
             for s1 in 0..2 {
-                p += hmm.pi[s0] * hmm.b[s0][0] * hmm.a[s0][s1] * hmm.b[s1][1];
+                p += hmm.pi[s0] * hmm.b(s0, 0) * hmm.a(s0, s1) * hmm.b(s1, 1);
             }
         }
         let ll = log_likelihood(&hmm, &[0, 1]);
@@ -198,7 +212,9 @@ mod tests {
         let beta = backward(&hmm, &obs, &fp.scale);
         let mut ref_val = None;
         for t in 0..obs.len() {
-            let v: f64 = (0..2).map(|i| fp.alpha[t][i] * beta[t][i] / fp.scale[t]).sum();
+            let v: f64 = (0..2)
+                .map(|i| fp.alpha[t][i] * beta[t][i] / fp.scale[t])
+                .sum();
             match ref_val {
                 None => ref_val = Some(v),
                 Some(r) => assert!((v - r).abs() < 1e-9, "t={t}: {v} vs {r}"),

@@ -10,6 +10,10 @@
 //! * **learning** — multi-sequence Baum–Welch ([`baumwelch`]) with held-out
 //!   (CSDS) convergence, used by the Profile Constructor.
 //!
+//! For monitoring at scale, [`sliding`] provides [`SlidingForward`]: an
+//! incremental scorer that advances an n-length detection window by one
+//! event in O(N²) instead of recomputing the whole window.
+//!
 //! Models can be initialized randomly (the Rand-HMM baseline) or from the
 //! statically computed pCTM (done in `adprom-core`).
 
@@ -18,9 +22,11 @@
 pub mod baumwelch;
 pub mod forward;
 pub mod model;
+pub mod sliding;
 pub mod viterbi;
 
 pub use baumwelch::{mean_log_likelihood, reestimate, train, TrainConfig, TrainReport};
 pub use forward::{backward, forward, log_likelihood, normalized_log_likelihood, ForwardPass};
 pub use model::{normalize, Hmm, HmmError};
+pub use sliding::{scan_scores, SlidingForward};
 pub use viterbi::viterbi;

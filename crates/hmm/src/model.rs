@@ -1,16 +1,29 @@
 //! The hidden Markov model λ = (A, B, π) — §II of the paper.
+//!
+//! A and B are stored as contiguous row-major buffers (`a[i * n + j]`,
+//! `b[i * m + k]`) rather than nested `Vec<Vec<f64>>`: the forward
+//! recursion sweeps whole rows every step, and one flat allocation keeps
+//! those sweeps on consecutive cache lines. All access goes through the
+//! row/cell accessors; the JSON form remains nested rows for readability
+//! and compatibility with previously saved profiles.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use serde::{de_field, Content, DeError, Deserialize, Serialize};
 
 /// A discrete-observation HMM with `n` hidden states and `m` symbols.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Hmm {
-    /// Transition matrix A: `a[i][j] = P(S_{t+1}=j | S_t=i)`, rows sum to 1.
-    pub a: Vec<Vec<f64>>,
-    /// Emission matrix B: `b[i][k] = P(O_t=k | S_t=i)`, rows sum to 1.
-    pub b: Vec<Vec<f64>>,
+    /// Number of hidden states.
+    n: usize,
+    /// Number of observation symbols.
+    m: usize,
+    /// Transition matrix A, row-major `n × n`:
+    /// `a[i * n + j] = P(S_{t+1}=j | S_t=i)`, rows sum to 1.
+    a: Vec<f64>,
+    /// Emission matrix B, row-major `n × m`:
+    /// `b[i * m + k] = P(O_t=k | S_t=i)`, rows sum to 1.
+    b: Vec<f64>,
     /// Initial distribution π, sums to 1.
     pub pi: Vec<f64>,
 }
@@ -47,17 +60,86 @@ impl std::error::Error for HmmError {}
 
 impl Hmm {
     /// Number of hidden states N.
+    #[inline]
     pub fn n_states(&self) -> usize {
-        self.a.len()
+        self.n
     }
 
     /// Number of observation symbols M.
+    #[inline]
     pub fn n_symbols(&self) -> usize {
-        self.b.first().map_or(0, Vec::len)
+        self.m
     }
 
-    /// Builds a model from raw parts, validating shape and stochasticity.
+    /// Transition probability `P(S_{t+1}=j | S_t=i)`.
+    #[inline]
+    pub fn a(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.n + j]
+    }
+
+    /// Emission probability `P(O_t=k | S_t=i)`.
+    #[inline]
+    pub fn b(&self, i: usize, k: usize) -> f64 {
+        self.b[i * self.m + k]
+    }
+
+    /// Row `i` of A: the outgoing transition distribution of state `i`.
+    #[inline]
+    pub fn a_row(&self, i: usize) -> &[f64] {
+        &self.a[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Row `i` of B: the emission distribution of state `i`.
+    #[inline]
+    pub fn b_row(&self, i: usize) -> &[f64] {
+        &self.b[i * self.m..(i + 1) * self.m]
+    }
+
+    /// Mutable row `i` of A. Callers must keep the row stochastic (or
+    /// renormalize afterwards, e.g. via [`Hmm::smooth`]).
+    #[inline]
+    pub fn a_row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.a[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Mutable row `i` of B. Same stochasticity caveat as [`Hmm::a_row_mut`].
+    #[inline]
+    pub fn b_row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.b[i * self.m..(i + 1) * self.m]
+    }
+
+    /// All rows of A, in state order.
+    pub fn a_rows(&self) -> impl Iterator<Item = &[f64]> {
+        (0..self.n).map(|i| self.a_row(i))
+    }
+
+    /// All rows of B, in state order.
+    pub fn b_rows(&self) -> impl Iterator<Item = &[f64]> {
+        (0..self.n).map(|i| self.b_row(i))
+    }
+
+    /// Builds a model from nested rows, validating shape and stochasticity.
     pub fn new(a: Vec<Vec<f64>>, b: Vec<Vec<f64>>, pi: Vec<f64>) -> Result<Hmm, HmmError> {
+        let hmm = Hmm::try_from_rows(a, b, pi)?;
+        hmm.validate()?;
+        Ok(hmm)
+    }
+
+    /// Builds a model from nested rows with shape checks only — for callers
+    /// that construct intentionally non-normalized parameters and fix them
+    /// up afterwards (e.g. raw count accumulation followed by
+    /// [`Hmm::smooth`]). Panics on ragged input; see [`Hmm::try_from_rows`]
+    /// for the fallible form.
+    pub fn from_rows(a: Vec<Vec<f64>>, b: Vec<Vec<f64>>, pi: Vec<f64>) -> Hmm {
+        Hmm::try_from_rows(a, b, pi).expect("consistent HMM dimensions")
+    }
+
+    /// Fallible [`Hmm::from_rows`]: shape checks, no stochasticity check.
+    pub fn try_from_rows(
+        a: Vec<Vec<f64>>,
+        b: Vec<Vec<f64>>,
+        pi: Vec<f64>,
+    ) -> Result<Hmm, HmmError> {
         let n = a.len();
         if b.len() != n || pi.len() != n {
             return Err(HmmError::Shape(format!(
@@ -67,52 +149,75 @@ impl Hmm {
             )));
         }
         let m = b.first().map_or(0, Vec::len);
-        for (i, row) in a.iter().enumerate() {
+        let mut a_flat = Vec::with_capacity(n * n);
+        for (i, row) in a.into_iter().enumerate() {
             if row.len() != n {
                 return Err(HmmError::Shape(format!("A row {i} has {} cols", row.len())));
             }
-            check_distribution(row, &format!("A row {i}"))?;
+            a_flat.extend_from_slice(&row);
         }
-        for (i, row) in b.iter().enumerate() {
+        let mut b_flat = Vec::with_capacity(n * m);
+        for (i, row) in b.into_iter().enumerate() {
             if row.len() != m {
                 return Err(HmmError::Shape(format!("B row {i} has {} cols", row.len())));
             }
+            b_flat.extend_from_slice(&row);
+        }
+        Ok(Hmm {
+            n,
+            m,
+            a: a_flat,
+            b: b_flat,
+            pi,
+        })
+    }
+
+    /// Checks that every row of A and B and π are probability
+    /// distributions.
+    pub fn validate(&self) -> Result<(), HmmError> {
+        for (i, row) in self.a_rows().enumerate() {
+            check_distribution(row, &format!("A row {i}"))?;
+        }
+        for (i, row) in self.b_rows().enumerate() {
             check_distribution(row, &format!("B row {i}"))?;
         }
-        check_distribution(&pi, "pi")?;
-        Ok(Hmm { a, b, pi })
+        check_distribution(&self.pi, "pi")
     }
 
     /// Random initialization (the Rand-HMM baseline of §V-D): rows drawn
     /// from a seeded uniform and normalized.
     pub fn random(n: usize, m: usize, seed: u64) -> Hmm {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut row = |len: usize| -> Vec<f64> {
-            let mut r: Vec<f64> = (0..len).map(|_| rng.gen_range(0.1..1.0)).collect();
-            let s: f64 = r.iter().sum();
-            for v in &mut r {
-                *v /= s;
-            }
-            r
+        let mut fill = |buf: &mut Vec<f64>, width: usize| {
+            let start = buf.len();
+            buf.extend((0..width).map(|_| rng.gen_range(0.1..1.0)));
+            normalize(&mut buf[start..]);
         };
-        let a = (0..n).map(|_| row(n)).collect();
-        let b = (0..n).map(|_| row(m)).collect();
-        let pi = row(n);
-        Hmm { a, b, pi }
+        let mut a = Vec::with_capacity(n * n);
+        let mut b = Vec::with_capacity(n * m);
+        for _ in 0..n {
+            fill(&mut a, n);
+            fill(&mut b, m);
+        }
+        let mut pi = Vec::with_capacity(n);
+        fill(&mut pi, n);
+        Hmm { n, m, a, b, pi }
     }
 
     /// Uniform initialization.
     pub fn uniform(n: usize, m: usize) -> Hmm {
         Hmm {
-            a: vec![vec![1.0 / n as f64; n]; n],
-            b: vec![vec![1.0 / m as f64; m]; n],
+            n,
+            m,
+            a: vec![1.0 / n as f64; n * n],
+            b: vec![1.0 / m as f64; n * m],
             pi: vec![1.0 / n as f64; n],
         }
     }
 
     /// Validates observation symbols against the alphabet.
     pub fn check_observations(&self, obs: &[usize]) -> Result<(), HmmError> {
-        let m = self.n_symbols();
+        let m = self.m;
         for &o in obs {
             if o >= m {
                 return Err(HmmError::BadSymbol {
@@ -128,12 +233,20 @@ impl Hmm {
     /// prevents statically-impossible transitions from zeroing the
     /// likelihood of dynamically-possible paths (loops, recursion).
     pub fn smooth(&mut self, floor: f64) {
-        for row in self.a.iter_mut().chain(self.b.iter_mut()) {
-            for v in row.iter_mut() {
-                *v += floor;
+        let (n, m) = (self.n, self.m);
+        let rows = |buf: &mut Vec<f64>, width: usize| {
+            if width == 0 {
+                return;
             }
-            normalize(row);
-        }
+            for row in buf.chunks_mut(width) {
+                for v in row.iter_mut() {
+                    *v += floor;
+                }
+                normalize(row);
+            }
+        };
+        rows(&mut self.a, n);
+        rows(&mut self.b, m);
         for v in self.pi.iter_mut() {
             *v += floor;
         }
@@ -147,10 +260,41 @@ impl Hmm {
         let mut out = Vec::with_capacity(len);
         let mut state = sample_index(&self.pi, &mut rng);
         for _ in 0..len {
-            out.push(sample_index(&self.b[state], &mut rng));
-            state = sample_index(&self.a[state], &mut rng);
+            out.push(sample_index(self.b_row(state), &mut rng));
+            state = sample_index(self.a_row(state), &mut rng);
         }
         out
+    }
+}
+
+/// JSON keeps the human-readable nested-row layout (`a` and `b` as arrays
+/// of rows) independent of the flat in-memory representation, so saved
+/// profiles stay diffable and round-trip across storage changes.
+impl Serialize for Hmm {
+    fn serialize(&self) -> Content {
+        let nested = |rows: &mut dyn Iterator<Item = &[f64]>| {
+            Content::Seq(
+                rows.map(|row| Content::Seq(row.iter().map(|&v| Content::F64(v)).collect()))
+                    .collect(),
+            )
+        };
+        Content::Map(vec![
+            (Content::Str("a".into()), nested(&mut self.a_rows())),
+            (Content::Str("b".into()), nested(&mut self.b_rows())),
+            (Content::Str("pi".into()), self.pi.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Hmm {
+    fn deserialize(v: &Content) -> Result<Hmm, DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| DeError(format!("Hmm: expected map, got {}", v.kind())))?;
+        let a: Vec<Vec<f64>> = de_field(map, "a")?;
+        let b: Vec<Vec<f64>> = de_field(map, "b")?;
+        let pi: Vec<f64> = de_field(map, "pi")?;
+        Hmm::try_from_rows(a, b, pi).map_err(|e| DeError(format!("Hmm: {e}")))
     }
 }
 
@@ -199,7 +343,7 @@ mod tests {
     #[test]
     fn random_model_is_stochastic() {
         let hmm = Hmm::random(5, 7, 42);
-        Hmm::new(hmm.a.clone(), hmm.b.clone(), hmm.pi.clone()).unwrap();
+        hmm.validate().unwrap();
         assert_eq!(hmm.n_states(), 5);
         assert_eq!(hmm.n_symbols(), 7);
     }
@@ -222,15 +366,43 @@ mod tests {
     }
 
     #[test]
+    fn from_rows_rejects_ragged_shapes() {
+        let a = vec![vec![1.0, 0.0], vec![1.0]]; // ragged A
+        let b = vec![vec![1.0], vec![1.0]];
+        let pi = vec![0.5, 0.5];
+        assert!(matches!(
+            Hmm::try_from_rows(a, b, pi),
+            Err(HmmError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn accessors_agree_with_row_major_layout() {
+        let hmm = Hmm::new(
+            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
+            vec![vec![0.9, 0.1, 0.0], vec![0.2, 0.3, 0.5]],
+            vec![0.6, 0.4],
+        )
+        .unwrap();
+        assert_eq!(hmm.a(0, 1), 0.3);
+        assert_eq!(hmm.a(1, 0), 0.4);
+        assert_eq!(hmm.b(1, 2), 0.5);
+        assert_eq!(hmm.a_row(1), &[0.4, 0.6]);
+        assert_eq!(hmm.b_row(0), &[0.9, 0.1, 0.0]);
+        assert_eq!(hmm.a_rows().count(), 2);
+        assert_eq!(hmm.b_rows().nth(1).unwrap(), &[0.2, 0.3, 0.5]);
+    }
+
+    #[test]
     fn smooth_removes_zeros() {
-        let mut hmm = Hmm {
-            a: vec![vec![1.0, 0.0], vec![0.0, 1.0]],
-            b: vec![vec![1.0, 0.0], vec![0.0, 1.0]],
-            pi: vec![1.0, 0.0],
-        };
+        let mut hmm = Hmm::from_rows(
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            vec![1.0, 0.0],
+        );
         hmm.smooth(1e-3);
-        assert!(hmm.a[0][1] > 0.0);
-        assert!((hmm.a[0].iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(hmm.a(0, 1) > 0.0);
+        assert!((hmm.a_row(0).iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!((hmm.pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
 
@@ -247,5 +419,15 @@ mod tests {
         let seq = hmm.sample(100, 9);
         assert_eq!(seq.len(), 100);
         assert!(seq.iter().all(|&o| o < 5));
+    }
+
+    #[test]
+    fn json_round_trips_with_nested_rows() {
+        let hmm = Hmm::random(3, 4, 11);
+        let json = serde_json::to_string(&hmm).unwrap();
+        // Nested-row layout: `a` opens as an array of arrays.
+        assert!(json.contains("\"a\":[["), "json: {json}");
+        let back: Hmm = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, hmm);
     }
 }

@@ -1,0 +1,316 @@
+//! Incremental sliding-window forward scoring.
+//!
+//! The Detection Engine scores every n-length call window. Recomputing the
+//! scaled forward pass per window costs O(n·N²) per event; over a T-event
+//! trace that is O(T·n·N²) — the dominant monitoring cost the paper's
+//! overhead tables measure. [`SlidingForward`] brings the per-event cost to
+//! O(N²) by maintaining one running scaled alpha vector and a ring buffer
+//! of per-event log contributions.
+//!
+//! # Recurrence
+//!
+//! Rabiner's scaled forward pass factors the log-likelihood of a prefix
+//! into per-event terms: processing event `t` turns the scaled alpha
+//! vector `α̂_{t-1}` into unnormalized `ᾱ_t(j) = Σ_i α̂_{t-1}(i)·a_ij·b_j(o_t)`,
+//! and with `c_t = Σ_j ᾱ_t(j)`,
+//!
+//! ```text
+//! log P(o_r..o_e | λ) = Σ_{t=r..e} ln c_t        (chain anchored at r)
+//! ```
+//!
+//! The ring keeps the last `n` values of `ln c_t`; the score of the window
+//! ending at `e` is the sum of the ring — by the telescoping identity this
+//! equals `log P(o_r..o_e | λ) − log P(o_r..o_{s-1} | λ)` for window start
+//! `s`, i.e. the log-probability of the window's events *conditioned on
+//! the chain's history* since the anchor `r`. This conditional semantics
+//! is what makes O(N²) advancement possible at all: the π-anchored
+//! per-window score `log P(o_s..o_e | λ)` depends on `s` through the
+//! whole alpha recursion and cannot be maintained by any fixed set of
+//! per-event state vectors.
+//!
+//! # Impossible prefixes
+//!
+//! When an event has zero probability given the chain (`c_t = 0`), the
+//! telescoping chain breaks. [`SlidingForward::push`] then performs the
+//! exact-recompute fallback: it re-anchors — restarting the chain at the
+//! offending event from π exactly as a fresh [`crate::forward`] pass
+//! would — and records `-inf` as the event's contribution only if the
+//! event is impossible even as a sequence start. Any window containing a
+//! `-inf` contribution scores `-inf`, matching what a full per-window
+//! recompute would report for a window containing an impossible event.
+//! Models smoothed with [`crate::Hmm::smooth`] (as AD-PROM profiles are)
+//! never hit this path; the anchor then stays at event 0 forever.
+
+use crate::model::Hmm;
+
+/// Incremental scaled-forward scorer over a sliding window.
+///
+/// Feed events one at a time with [`push`](SlidingForward::push); after
+/// each push, [`score`](SlidingForward::score) is the log-likelihood of
+/// the current window (the last ≤ `window` events) under the conditional
+/// semantics documented at the module level.
+#[derive(Debug, Clone)]
+pub struct SlidingForward<'a> {
+    hmm: &'a Hmm,
+    window: usize,
+    /// Scaled alpha after the most recent event (empty before any event or
+    /// right after a dead re-anchor).
+    alpha: Vec<f64>,
+    scratch: Vec<f64>,
+    /// Ring of per-event `ln c_t` contributions; slot `t % window` holds
+    /// event `t`'s term.
+    ring: Vec<f64>,
+    /// Events pushed so far.
+    seen: usize,
+    /// Absolute index of the event the current chain is anchored at.
+    anchor: usize,
+    /// True while the chain has no live alpha (before the first event, or
+    /// after an event that was impossible even from π).
+    dead: bool,
+}
+
+impl<'a> SlidingForward<'a> {
+    /// Creates a scorer for `window`-length windows. Panics if `window`
+    /// is 0.
+    pub fn new(hmm: &'a Hmm, window: usize) -> SlidingForward<'a> {
+        assert!(window > 0, "window length must be positive");
+        let n = hmm.n_states();
+        SlidingForward {
+            hmm,
+            window,
+            alpha: vec![0.0; n],
+            scratch: vec![0.0; n],
+            ring: Vec::with_capacity(window),
+            seen: 0,
+            anchor: 0,
+            dead: true,
+        }
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of events pushed so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Absolute index of the event the current forward chain starts at.
+    /// Stays 0 for smoothed (zero-free) models; advances only through the
+    /// impossible-prefix fallback.
+    pub fn anchor(&self) -> usize {
+        self.anchor
+    }
+
+    /// Advances the window by one event (O(N²)) and returns the score of
+    /// the window now ending at this event — equal to [`score`]
+    /// (SlidingForward::score).
+    pub fn push(&mut self, symbol: usize) -> f64 {
+        let n = self.hmm.n_states();
+        let mut c = 0.0;
+        if !self.dead {
+            // One forward step from the running alpha: i-outer accumulation
+            // walks A row-by-row through the flat row-major storage.
+            self.scratch.iter_mut().for_each(|v| *v = 0.0);
+            for i in 0..n {
+                let alpha_i = self.alpha[i];
+                if alpha_i == 0.0 {
+                    continue;
+                }
+                let row = self.hmm.a_row(i);
+                for (acc, &a_ij) in self.scratch.iter_mut().zip(row) {
+                    *acc += alpha_i * a_ij;
+                }
+            }
+            for (j, acc) in self.scratch.iter_mut().enumerate() {
+                *acc *= self.hmm.b(j, symbol);
+                c += *acc;
+            }
+        }
+        if self.dead || c <= 0.0 {
+            // Exact-recompute fallback: restart the chain at this event
+            // from π, exactly as a fresh forward pass over obs[t..] would.
+            c = 0.0;
+            for (j, acc) in self.scratch.iter_mut().enumerate() {
+                *acc = self.hmm.pi[j] * self.hmm.b(j, symbol);
+                c += *acc;
+            }
+            self.anchor = self.seen;
+            self.dead = c <= 0.0;
+        }
+        let contribution = if c > 0.0 {
+            let inv = 1.0 / c;
+            for (dst, &src) in self.alpha.iter_mut().zip(self.scratch.iter()) {
+                *dst = src * inv;
+            }
+            c.ln()
+        } else {
+            // Impossible even as a sequence start: symbol unreachable from
+            // π. The next event re-anchors again.
+            f64::NEG_INFINITY
+        };
+        if self.ring.len() < self.window {
+            self.ring.push(contribution);
+        } else {
+            self.ring[self.seen % self.window] = contribution;
+        }
+        self.seen += 1;
+        self.score()
+    }
+
+    /// Log-likelihood of the current window: the sum of the retained
+    /// per-event contributions (the last `min(seen, window)` events).
+    /// Returns 0.0 before any event — matching `forward(hmm, &[])`.
+    pub fn score(&self) -> f64 {
+        self.ring.iter().sum()
+    }
+
+    /// Clears all state, ready for a new trace.
+    pub fn reset(&mut self) {
+        self.alpha.iter_mut().for_each(|v| *v = 0.0);
+        self.ring.clear();
+        self.seen = 0;
+        self.anchor = 0;
+        self.dead = true;
+    }
+}
+
+/// Scores every sliding window of `obs` incrementally, returning one score
+/// per window (the same window set as [`crate::forward`]-per-window
+/// scanning: `len − n + 1` windows for `len > n`, one window otherwise,
+/// none for an empty trace).
+pub fn scan_scores(hmm: &Hmm, obs: &[usize], window: usize) -> Vec<f64> {
+    if obs.is_empty() {
+        return Vec::new();
+    }
+    let mut sliding = SlidingForward::new(hmm, window);
+    let mut scores = Vec::with_capacity(obs.len().saturating_sub(window) + 1);
+    for (t, &symbol) in obs.iter().enumerate() {
+        let score = sliding.push(symbol);
+        // Emit once per full window; a short trace emits its single
+        // (partial) window at the end.
+        if t + 1 >= window {
+            scores.push(score);
+        }
+    }
+    if scores.is_empty() {
+        scores.push(sliding.score());
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::{forward, log_likelihood};
+
+    fn smoothed(n: usize, m: usize, seed: u64) -> Hmm {
+        let mut hmm = Hmm::random(n, m, seed);
+        hmm.smooth(1e-4);
+        hmm
+    }
+
+    #[test]
+    fn matches_prefix_difference_identity() {
+        let hmm = smoothed(4, 5, 3);
+        let obs = hmm.sample(200, 9);
+        let window = 15;
+        let mut sliding = SlidingForward::new(&hmm, window);
+        for (t, &symbol) in obs.iter().enumerate() {
+            let score = sliding.push(symbol);
+            assert_eq!(sliding.anchor(), 0, "smoothed model never re-anchors");
+            let start = (t + 1).saturating_sub(window);
+            let expected = log_likelihood(&hmm, &obs[..=t]) - log_likelihood(&hmm, &obs[..start]);
+            assert!(
+                (score - expected).abs() < 1e-9,
+                "t={t}: incremental {score} vs prefix-difference {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn short_window_equals_full_forward() {
+        // Until the first window fills, the score IS the π-anchored full
+        // forward log-likelihood of everything seen.
+        let hmm = smoothed(3, 4, 7);
+        let obs = hmm.sample(10, 2);
+        let mut sliding = SlidingForward::new(&hmm, 15);
+        for (t, &symbol) in obs.iter().enumerate() {
+            let score = sliding.push(symbol);
+            let exact = forward(&hmm, &obs[..=t]).log_likelihood;
+            assert!((score - exact).abs() < 1e-9, "t={t}: {score} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn impossible_event_reanchors_deterministically() {
+        // State/symbol structure where symbol 2 is unreachable after
+        // symbol 0 but fine from π.
+        let hmm = Hmm::new(
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            vec![vec![1.0, 0.0, 0.0], vec![0.0, 0.5, 0.5]],
+            vec![0.5, 0.5],
+        )
+        .unwrap();
+        let mut sliding = SlidingForward::new(&hmm, 4);
+        sliding.push(0); // chain in state 0
+        assert_eq!(sliding.anchor(), 0);
+        let score = sliding.push(2); // impossible after 0 → re-anchor from π
+        assert_eq!(sliding.anchor(), 1);
+        assert!(
+            score.is_finite(),
+            "re-anchored window stays finite: {score}"
+        );
+        // The re-anchored contribution equals a fresh forward start.
+        let fresh = forward(&hmm, &[2]).log_likelihood;
+        let window_sum = forward(&hmm, &[0]).log_likelihood + fresh;
+        assert!((score - window_sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symbol_impossible_from_pi_scores_neg_infinity() {
+        let hmm = Hmm::new(
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            vec![vec![1.0, 0.0], vec![1.0, 0.0]], // symbol 1 never emitted
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let mut sliding = SlidingForward::new(&hmm, 3);
+        sliding.push(0);
+        assert_eq!(sliding.push(1), f64::NEG_INFINITY);
+        // The dead event ages out of the window after 3 more pushes.
+        sliding.push(0);
+        assert_eq!(sliding.score(), f64::NEG_INFINITY);
+        sliding.push(0);
+        assert_eq!(sliding.score(), f64::NEG_INFINITY);
+        sliding.push(0);
+        assert!(sliding.score().is_finite());
+    }
+
+    #[test]
+    fn scan_scores_window_count_matches_scan_contract() {
+        let hmm = smoothed(3, 4, 1);
+        let obs = hmm.sample(40, 5);
+        assert_eq!(scan_scores(&hmm, &obs, 15).len(), 40 - 15 + 1);
+        assert_eq!(scan_scores(&hmm, &obs[..10], 15).len(), 1);
+        assert_eq!(scan_scores(&hmm, &[], 15).len(), 0);
+        // Short trace: the single score is the exact full-trace likelihood.
+        let exact = log_likelihood(&hmm, &obs[..10]);
+        assert!((scan_scores(&hmm, &obs[..10], 15)[0] - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let hmm = smoothed(3, 4, 8);
+        let obs = hmm.sample(30, 6);
+        let mut sliding = SlidingForward::new(&hmm, 5);
+        let first: Vec<f64> = obs.iter().map(|&s| sliding.push(s)).collect();
+        sliding.reset();
+        assert_eq!(sliding.seen(), 0);
+        assert_eq!(sliding.score(), 0.0);
+        let second: Vec<f64> = obs.iter().map(|&s| sliding.push(s)).collect();
+        assert_eq!(first, second, "push streams are deterministic");
+    }
+}

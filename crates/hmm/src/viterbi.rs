@@ -16,21 +16,32 @@ pub fn viterbi(hmm: &Hmm, obs: &[usize]) -> (Vec<usize>, f64) {
     let mut delta = vec![vec![f64::NEG_INFINITY; n]; t_len];
     let mut psi = vec![vec![0usize; n]; t_len];
     for i in 0..n {
-        delta[0][i] = ln(hmm.pi[i]) + ln(hmm.b[i][obs[0]]);
+        delta[0][i] = ln(hmm.pi[i]) + ln(hmm.b(i, obs[0]));
     }
+    // Maximizing with i outermost walks A row-by-row (sequential in the
+    // flat row-major layout), tracking the running best per destination j.
     for t in 1..t_len {
-        for j in 0..n {
-            let mut best = f64::NEG_INFINITY;
-            let mut arg = 0usize;
-            for i in 0..n {
-                let v = delta[t - 1][i] + ln(hmm.a[i][j]);
-                if v > best {
-                    best = v;
-                    arg = i;
+        let (prev, cur) = {
+            let (head, tail) = delta.split_at_mut(t);
+            (&head[t - 1], &mut tail[0])
+        };
+        let arg = &mut psi[t];
+        for i in 0..n {
+            let d = prev[i];
+            if d == f64::NEG_INFINITY {
+                continue;
+            }
+            let row = hmm.a_row(i);
+            for j in 0..n {
+                let v = d + ln(row[j]);
+                if v > cur[j] {
+                    cur[j] = v;
+                    arg[j] = i;
                 }
             }
-            delta[t][j] = best + ln(hmm.b[j][obs[t]]);
-            psi[t][j] = arg;
+        }
+        for j in 0..n {
+            cur[j] += ln(hmm.b(j, obs[t]));
         }
     }
     let (mut state, mut best) = (0usize, f64::NEG_INFINITY);

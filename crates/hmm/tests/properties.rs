@@ -1,7 +1,9 @@
 //! Property tests: the scaled forward algorithm against brute-force
 //! enumeration, and distributional invariants of training.
 
-use adprom_hmm::{backward, forward, log_likelihood, reestimate, viterbi, Hmm};
+use adprom_hmm::{
+    backward, forward, log_likelihood, reestimate, scan_scores, viterbi, Hmm, SlidingForward,
+};
 use proptest::prelude::*;
 
 /// An arbitrary small stochastic model.
@@ -25,9 +27,9 @@ fn enumerate_likelihood(hmm: &Hmm, obs: &[usize]) -> f64 {
             path.push(c % n);
             c /= n;
         }
-        let mut p = hmm.pi[path[0]] * hmm.b[path[0]][obs[0]];
+        let mut p = hmm.pi[path[0]] * hmm.b(path[0], obs[0]);
         for t in 1..t_len {
-            p *= hmm.a[path[t - 1]][path[t]] * hmm.b[path[t]][obs[t]];
+            p *= hmm.a(path[t - 1], path[t]) * hmm.b(path[t], obs[t]);
         }
         total += p;
     }
@@ -64,9 +66,9 @@ proptest! {
                 path.push(c % n);
                 c /= n;
             }
-            let mut p = (hmm.pi[path[0]] * hmm.b[path[0]][obs[0]]).ln();
+            let mut p = (hmm.pi[path[0]] * hmm.b(path[0], obs[0])).ln();
             for t in 1..len {
-                p += (hmm.a[path[t - 1]][path[t]] * hmm.b[path[t]][obs[t]]).ln();
+                p += (hmm.a(path[t - 1], path[t]) * hmm.b(path[t], obs[t])).ln();
             }
             best = best.max(p);
         }
@@ -110,8 +112,80 @@ proptest! {
         let before: f64 = data.iter().map(|o| log_likelihood(&model, o)).sum();
         prop_assume!(before.is_finite());
         reestimate(&mut model, &data, 0.0);
-        Hmm::new(model.a.clone(), model.b.clone(), model.pi.clone()).expect("stochastic");
+        model.validate().expect("stochastic");
         let after: f64 = data.iter().map(|o| log_likelihood(&model, o)).sum();
         prop_assert!(after >= before - 1e-6, "EM decreased likelihood: {before} -> {after}");
     }
+
+    /// The incremental sliding-window score matches a full forward()
+    /// recompute via the prefix-difference identity, anchored at the
+    /// scorer's own re-anchor point so the check is exact even for
+    /// unsmoothed models that hit the impossible-prefix fallback.
+    #[test]
+    fn sliding_forward_matches_full_recompute(
+        hmm in arb_hmm(5, 5), seed in any::<u64>(),
+        len in 1usize..60, window in 1usize..20,
+    ) {
+        let obs = hmm.sample(len, seed);
+        let mut sliding = SlidingForward::new(&hmm, window);
+        for (t, &symbol) in obs.iter().enumerate() {
+            let score = sliding.push(symbol);
+            let start = (t + 1).saturating_sub(window);
+            let anchor = sliding.anchor();
+            // Window score == ll(obs[anchor..=t]) − ll(obs[anchor..start])
+            // by telescoping; for smoothed/no-zero models anchor == 0 and
+            // this is exactly the π-anchored prefix difference.
+            let head = log_likelihood(&hmm, &obs[anchor..=t]);
+            let tail = if start > anchor {
+                log_likelihood(&hmm, &obs[anchor..start])
+            } else {
+                0.0
+            };
+            let expected = head - tail;
+            if expected.is_finite() {
+                prop_assert!(
+                    (score - expected).abs() < 1e-9,
+                    "t={t} anchor={anchor}: incremental {score} vs recompute {expected}"
+                );
+            } else {
+                prop_assert!(score == f64::NEG_INFINITY || !sliding_window_covers_anchor(anchor, start),
+                    "t={t}: recompute -inf but incremental {score}");
+            }
+        }
+    }
+
+    /// scan_scores emits one score per sliding window (the scan contract)
+    /// and each equals the conditional prefix difference computed by two
+    /// full forward() passes on smoothed (zero-free, never re-anchoring)
+    /// models.
+    #[test]
+    fn scan_scores_matches_prefix_differences(
+        n in 1usize..5, m in 1usize..5, model_seed in any::<u64>(),
+        seed in any::<u64>(), len in 1usize..50, window in 1usize..16,
+    ) {
+        let mut hmm = Hmm::random(n, m, model_seed);
+        hmm.smooth(1e-4);
+        let obs = hmm.sample(len, seed);
+        let incremental = scan_scores(&hmm, &obs, window);
+        let expected: Vec<f64> = if obs.len() <= window {
+            vec![log_likelihood(&hmm, &obs)]
+        } else {
+            (0..=obs.len() - window)
+                .map(|s| {
+                    log_likelihood(&hmm, &obs[..s + window]) - log_likelihood(&hmm, &obs[..s])
+                })
+                .collect()
+        };
+        prop_assert_eq!(incremental.len(), expected.len());
+        for (i, (got, want)) in incremental.iter().zip(&expected).enumerate() {
+            prop_assert!((got - want).abs() < 1e-9,
+                "window {i}: incremental {got} vs full forward recompute {want}");
+        }
+    }
+}
+
+/// True when the window start has passed the re-anchor point, i.e. the
+/// ring no longer holds any pre-anchor contribution.
+fn sliding_window_covers_anchor(anchor: usize, start: usize) -> bool {
+    start >= anchor
 }

@@ -404,16 +404,8 @@ mod tests {
         let body = vec![
             Stmt::Let("x".into(), call(0, LibCall::Scanf, vec![])),
             Stmt::If {
-                cond: Expr::Binary(
-                    BinOp::Gt,
-                    Box::new(Expr::var("x")),
-                    Box::new(Expr::Int(0)),
-                ),
-                then_branch: vec![Stmt::Expr(call(
-                    1,
-                    LibCall::Printf,
-                    vec![Expr::str("hi")],
-                ))],
+                cond: Expr::Binary(BinOp::Gt, Box::new(Expr::var("x")), Box::new(Expr::Int(0))),
+                then_branch: vec![Stmt::Expr(call(1, LibCall::Printf, vec![Expr::str("hi")]))],
                 else_branch: vec![],
             },
         ];

@@ -2,7 +2,7 @@
 //! DSL parser. Used by the SIR-scale synthetic program generator and by the
 //! attack mutators, which need to fabricate statements with fresh call sites.
 
-use crate::ast::{BinOp, Callee, CallSiteId, Expr, Function, Program, Stmt};
+use crate::ast::{BinOp, CallSiteId, Callee, Expr, Function, Program, Stmt};
 use crate::libcalls::LibCall;
 
 /// Builds a [`Program`], handing out sequential call-site ids.

@@ -27,7 +27,7 @@ pub mod parser;
 pub mod pretty;
 pub mod validate;
 
-pub use ast::{BinOp, Callee, CallSiteId, Expr, Function, Program, Stmt, UnOp};
+pub use ast::{BinOp, CallSiteId, Callee, Expr, Function, Program, Stmt, UnOp};
 pub use builder::ProgramBuilder;
 pub use libcalls::LibCall;
 pub use parser::{parse_program, ParseError};

@@ -187,11 +187,7 @@ impl LibCall {
     pub fn is_user_input(self) -> bool {
         matches!(
             self,
-            LibCall::Scanf
-                | LibCall::Fscanf
-                | LibCall::Gets
-                | LibCall::Fgets
-                | LibCall::Getchar
+            LibCall::Scanf | LibCall::Fscanf | LibCall::Gets | LibCall::Fgets | LibCall::Getchar
         )
     }
 }

@@ -203,8 +203,8 @@ fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
                 }
                 let one = &src[i..i + 1];
                 const SINGLES: &[&str] = &[
-                    "(", ")", "{", "}", "[", "]", ",", ";", "+", "-", "*", "/", "%", "<", ">",
-                    "=", "!",
+                    "(", ")", "{", "}", "[", "]", ",", ";", "+", "-", "*", "/", "%", "<", ">", "=",
+                    "!",
                 ];
                 if let Some(p) = SINGLES.iter().find(|p| **p == one) {
                     tokens.push((Tok::Punct(p), line));
@@ -578,8 +578,8 @@ impl Parser {
 
 fn punct_static(p: &str) -> &'static str {
     const ALL: &[&str] = &[
-        "(", ")", "{", "}", "[", "]", ",", ";", "+", "-", "*", "/", "%", "<", ">", "=", "!",
-        "==", "!=", "<=", ">=", "&&", "||",
+        "(", ")", "{", "}", "[", "]", ",", ";", "+", "-", "*", "/", "%", "<", ">", "=", "!", "==",
+        "!=", "<=", ">=", "&&", "||",
     ];
     ALL.iter().find(|s| **s == p).copied().unwrap_or("?")
 }
@@ -660,8 +660,7 @@ mod tests {
 
     #[test]
     fn call_sites_numbered_in_order() {
-        let prog =
-            parse_program("fn main() { puts(\"a\"); puts(\"b\"); puts(\"c\"); }").unwrap();
+        let prog = parse_program("fn main() { puts(\"a\"); puts(\"b\"); puts(\"c\"); }").unwrap();
         let mut ids = Vec::new();
         prog.for_each_call(|s, _, _| ids.push(s.0));
         assert_eq!(ids, vec![0, 1, 2]);
@@ -683,6 +682,9 @@ mod tests {
         // The SQL-injection payload from Fig. 2 must lex as a plain string.
         let prog = parse_program(r#"fn main() { let inj = "1' OR '1'='1"; puts(inj); }"#).unwrap();
         let f = prog.entry().unwrap();
-        assert_eq!(f.body[0], Stmt::Let("inj".into(), Expr::str("1' OR '1'='1")));
+        assert_eq!(
+            f.body[0],
+            Stmt::Let("inj".into(), Expr::str("1' OR '1'='1"))
+        );
     }
 }

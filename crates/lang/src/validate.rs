@@ -135,9 +135,8 @@ fn check_stmt_calls(
             }
         })
     }
-    let on_expr = |e: &crate::ast::Expr, errors: &mut Vec<ValidateError>| {
-        on_expr(e, caller, arities, errors)
-    };
+    let on_expr =
+        |e: &crate::ast::Expr, errors: &mut Vec<ValidateError>| on_expr(e, caller, arities, errors);
     match stmt {
         Stmt::Let(_, e) | Stmt::Assign(_, e) | Stmt::Expr(e) => on_expr(e, errors),
         Stmt::If {
@@ -182,8 +181,7 @@ mod tests {
     #[test]
     fn valid_program_passes() {
         let prog =
-            parse_program("fn main() { helper(1); }\nfn helper(x) { printf(\"%d\", x); }")
-                .unwrap();
+            parse_program("fn main() { helper(1); }\nfn helper(x) { printf(\"%d\", x); }").unwrap();
         assert!(validate(&prog).is_empty());
     }
 

@@ -170,11 +170,7 @@ fn orthonormalize(vectors: &mut [Vec<f64>]) {
     let dims = vectors.first().map_or(0, Vec::len);
     for i in 0..vectors.len() {
         for j in 0..i {
-            let dot: f64 = vectors[i]
-                .iter()
-                .zip(&vectors[j])
-                .map(|(a, b)| a * b)
-                .sum();
+            let dot: f64 = vectors[i].iter().zip(&vectors[j]).map(|(a, b)| a * b).sum();
             let (head, tail) = vectors.split_at_mut(i);
             for (a, b) in tail[0].iter_mut().zip(&head[j]) {
                 *a -= dot * b;

@@ -1,0 +1,159 @@
+//! Batching collector: groups call events from many concurrent sessions
+//! into per-session traces for the batched detection pipeline.
+//!
+//! The paper's deployment monitors an application serving many users; each
+//! connection produces its own call stream, and windows never span
+//! sessions. [`BatchCollector`] keeps one trace per session key (in
+//! first-seen order, so downstream batch results are deterministic) and
+//! hands the whole batch to `adprom-core`'s parallel `BatchDetector`.
+
+use crate::collector::{CallEvent, CallSink};
+use std::collections::BTreeMap;
+
+/// Collects events from multiple sessions into separate traces.
+#[derive(Debug, Default, Clone)]
+pub struct BatchCollector {
+    /// Session key → index into `traces`.
+    index: BTreeMap<String, usize>,
+    /// First-seen-order session keys, parallel to `traces`.
+    sessions: Vec<String>,
+    traces: Vec<Vec<CallEvent>>,
+}
+
+impl BatchCollector {
+    /// Creates an empty collector.
+    pub fn new() -> BatchCollector {
+        BatchCollector::default()
+    }
+
+    /// Appends an event to `session`'s trace, creating the trace on first
+    /// sight of the key.
+    pub fn record(&mut self, session: &str, event: CallEvent) {
+        let idx = match self.index.get(session) {
+            Some(&i) => i,
+            None => {
+                let i = self.traces.len();
+                self.index.insert(session.to_string(), i);
+                self.sessions.push(session.to_string());
+                self.traces.push(Vec::new());
+                i
+            }
+        };
+        self.traces[idx].push(event);
+    }
+
+    /// Session keys in first-seen order.
+    pub fn sessions(&self) -> &[String] {
+        &self.sessions
+    }
+
+    /// The trace collected for `session`, if any.
+    pub fn trace(&self, session: &str) -> Option<&[CallEvent]> {
+        self.index.get(session).map(|&i| self.traces[i].as_slice())
+    }
+
+    /// All traces in first-seen session order.
+    pub fn traces(&self) -> &[Vec<CallEvent>] {
+        &self.traces
+    }
+
+    /// Number of sessions seen.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True when no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Total events across all sessions.
+    pub fn total_events(&self) -> usize {
+        self.traces.iter().map(Vec::len).sum()
+    }
+
+    /// Consumes the collector, returning `(session keys, traces)` in
+    /// first-seen order — the batch fed to the parallel detector.
+    pub fn into_batch(self) -> (Vec<String>, Vec<Vec<CallEvent>>) {
+        (self.sessions, self.traces)
+    }
+
+    /// A [`CallSink`] adapter that records every call under `session` —
+    /// plug it into the interpreter to trace one connection of a
+    /// multi-session run.
+    pub fn sink(&mut self, session: &str) -> SessionSink<'_> {
+        SessionSink {
+            collector: self,
+            session: session.to_string(),
+        }
+    }
+}
+
+/// A [`CallSink`] view of one session of a [`BatchCollector`].
+#[derive(Debug)]
+pub struct SessionSink<'c> {
+    collector: &'c mut BatchCollector,
+    session: String,
+}
+
+impl CallSink for SessionSink<'_> {
+    fn on_call(&mut self, event: CallEvent) {
+        self.collector.record(&self.session, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adprom_lang::{CallSiteId, LibCall};
+
+    fn event(name: &str) -> CallEvent {
+        CallEvent {
+            name: name.to_string(),
+            call: LibCall::Printf,
+            caller: "main".to_string(),
+            site: CallSiteId(0),
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn sessions_keep_first_seen_order_and_separate_traces() {
+        let mut batch = BatchCollector::new();
+        batch.record("s2", event("a"));
+        batch.record("s1", event("b"));
+        batch.record("s2", event("c"));
+        assert_eq!(batch.sessions(), &["s2".to_string(), "s1".to_string()]);
+        assert_eq!(batch.trace("s2").unwrap().len(), 2);
+        assert_eq!(batch.trace("s1").unwrap().len(), 1);
+        assert_eq!(batch.trace("nope"), None);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.total_events(), 3);
+        let (sessions, traces) = batch.into_batch();
+        assert_eq!(sessions.len(), traces.len());
+        assert_eq!(traces[0][1].name, "c");
+    }
+
+    #[test]
+    fn session_sink_routes_calls() {
+        let mut batch = BatchCollector::new();
+        {
+            let mut sink = batch.sink("conn-1");
+            sink.on_call(event("x"));
+            sink.on_call(event("y"));
+        }
+        {
+            let mut sink = batch.sink("conn-2");
+            sink.on_call(event("z"));
+        }
+        assert_eq!(batch.trace("conn-1").unwrap().len(), 2);
+        assert_eq!(batch.trace("conn-2").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_collector() {
+        let batch = BatchCollector::new();
+        assert!(batch.is_empty());
+        assert_eq!(batch.total_events(), 0);
+    }
+}

@@ -15,7 +15,7 @@
 use crate::collector::{CallEvent, CallSink};
 use crate::value::RtValue;
 use adprom_client::ClientSession;
-use adprom_lang::{BinOp, Callee, CallSiteId, Expr, Function, LibCall, Program, Stmt, UnOp};
+use adprom_lang::{BinOp, CallSiteId, Callee, Expr, Function, LibCall, Program, Stmt, UnOp};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -284,12 +284,7 @@ impl Interp<'_> {
         }
     }
 
-    fn eval(
-        &mut self,
-        e: &Expr,
-        caller: &str,
-        frame: &mut Frame,
-    ) -> Result<Evaled, RuntimeError> {
+    fn eval(&mut self, e: &Expr, caller: &str, frame: &mut Frame) -> Result<Evaled, RuntimeError> {
         self.tick()?;
         let v = match e {
             Expr::Int(v) => RtValue::Int(*v),
@@ -352,10 +347,7 @@ impl Interp<'_> {
                 }
             }
             Expr::Call {
-                site,
-                callee,
-                args,
-                ..
+                site, callee, args, ..
             } => {
                 // Evaluate arguments first (their nested calls are emitted
                 // before this one, matching the trace order of native code).
@@ -600,7 +592,11 @@ impl Interp<'_> {
             }
             LibCall::Sprintf | LibCall::Snprintf => {
                 // sprintf(dst, fmt, ...) — snprintf has a size arg we ignore.
-                let (fmt_idx, rest_idx) = if lc == LibCall::Snprintf { (2, 3) } else { (1, 2) };
+                let (fmt_idx, rest_idx) = if lc == LibCall::Snprintf {
+                    (2, 3)
+                } else {
+                    (1, 2)
+                };
                 let text = format_printf(&str_arg(fmt_idx), &args[rest_idx.min(args.len())..]);
                 self.store_into(arg_exprs.first(), RtValue::Str(text.clone()), frame);
                 RtValue::Str(text)
@@ -645,9 +641,7 @@ impl Interp<'_> {
                 self.rng_state ^= self.rng_state >> 12;
                 self.rng_state ^= self.rng_state << 25;
                 self.rng_state ^= self.rng_state >> 27;
-                RtValue::Int(
-                    ((self.rng_state.wrapping_mul(0x2545F4914F6CDD1D)) >> 33) as i64,
-                )
+                RtValue::Int(((self.rng_state.wrapping_mul(0x2545F4914F6CDD1D)) >> 33) as i64)
             }
             LibCall::Srand => {
                 self.rng_state = arg(0).as_int().unwrap_or(0) as u64 | 1;
@@ -838,17 +832,11 @@ pub fn format_printf(fmt: &str, args: &[RtValue]) -> String {
                 out.push_str(&arg_iter.next().map(RtValue::render).unwrap_or_default())
             }
             Some('d') | Some('i') => {
-                let v = arg_iter
-                    .next()
-                    .and_then(RtValue::as_int)
-                    .unwrap_or(0);
+                let v = arg_iter.next().and_then(RtValue::as_int).unwrap_or(0);
                 out.push_str(&v.to_string());
             }
             Some('f') => {
-                let v = arg_iter
-                    .next()
-                    .and_then(RtValue::as_number)
-                    .unwrap_or(0.0);
+                let v = arg_iter.next().and_then(RtValue::as_number).unwrap_or(0.0);
                 out.push_str(&format!("{v:.6}"));
             }
             Some(other) => {
@@ -870,7 +858,8 @@ mod tests {
 
     fn session_with_items() -> ClientSession {
         let mut db = Database::new("shop");
-        db.execute("CREATE TABLE items (ID INT, name TEXT)").unwrap();
+        db.execute("CREATE TABLE items (ID INT, name TEXT)")
+            .unwrap();
         db.execute(
             "INSERT INTO items VALUES (10, 'apple'), (11, 'pear'), (12, 'plum'), (13, 'fig')",
         )
@@ -974,10 +963,7 @@ mod tests {
 
     #[test]
     fn caller_is_recorded() {
-        let prog = parse_program(
-            "fn main() { helper(); }\nfn helper() { puts(\"x\"); }",
-        )
-        .unwrap();
+        let prog = parse_program("fn main() { helper(); }\nfn helper() { puts(\"x\"); }").unwrap();
         let mut session = session_with_items();
         let mut collector = TraceCollector::new();
         run_program(
@@ -1074,11 +1060,14 @@ mod tests {
     #[test]
     fn printf_formatting() {
         assert_eq!(
-            format_printf("%s has %d items (%f%%)", &[
-                RtValue::Str("cart".into()),
-                RtValue::Int(3),
-                RtValue::Float(99.5)
-            ]),
+            format_printf(
+                "%s has %d items (%f%%)",
+                &[
+                    RtValue::Str("cart".into()),
+                    RtValue::Int(3),
+                    RtValue::Float(99.5)
+                ]
+            ),
             "cart has 3 items (99.500000%)"
         );
         assert_eq!(format_printf("100%%", &[]), "100%");

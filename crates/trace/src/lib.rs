@@ -9,11 +9,13 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod collector;
 pub mod interp;
 pub mod ltrace;
 pub mod value;
 
+pub use batch::{BatchCollector, SessionSink};
 pub use collector::{sliding_windows, CallEvent, CallSink, NullSink, TraceCollector};
 pub use interp::{format_printf, run_program, ExecConfig, ExecOutcome, RuntimeError};
 pub use ltrace::LtraceCollector;

@@ -116,10 +116,7 @@ mod tests {
 
     #[test]
     fn addr2line_resolves_to_enclosing_symbol() {
-        let lt = LtraceCollector::new(
-            &["a".to_string(), "b".to_string()],
-            2,
-        );
+        let lt = LtraceCollector::new(&["a".to_string(), "b".to_string()], 2);
         // Symbols at 0x400000 (a) and 0x400040 (b).
         assert_eq!(lt.addr2line(0x400000), "a");
         assert_eq!(lt.addr2line(0x40003F), "a");

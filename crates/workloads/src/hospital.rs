@@ -201,13 +201,11 @@ fn discharge_summary(conn) {
 /// Seeds the hospital database.
 pub fn make_db() -> Database {
     let mut db = Database::new("hospital");
-    db.execute(
-        "CREATE TABLE patients (id INT, name TEXT, age INT, ward TEXT, balance FLOAT)",
-    )
-    .expect("schema");
+    db.execute("CREATE TABLE patients (id INT, name TEXT, age INT, ward TEXT, balance FLOAT)")
+        .expect("schema");
     let names = [
-        "ada", "grace", "alan", "edsger", "barbara", "donald", "john", "leslie", "tony",
-        "dennis", "ken", "bjarne", "guido", "james", "brendan", "linus",
+        "ada", "grace", "alan", "edsger", "barbara", "donald", "john", "leslie", "tony", "dennis",
+        "ken", "bjarne", "guido", "james", "brendan", "linus",
     ];
     let wards = ["none", "icu", "surgery", "recovery"];
     for (i, name) in names.iter().enumerate() {

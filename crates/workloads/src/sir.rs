@@ -129,10 +129,7 @@ pub fn generate_program(spec: &SirSpec) -> Program {
         let query = format!("SELECT v FROM data WHERE id <= {}", 1 + (fi % 7));
         let ex = b.lib(LibCall::PQexec, vec![var("conn"), s(&query)]);
         body.push(let_("r", ex));
-        let gv = b.lib(
-            LibCall::PQgetvalue,
-            vec![var("r"), int(0), int(0)],
-        );
+        let gv = b.lib(LibCall::PQgetvalue, vec![var("r"), int(0), int(0)]);
         body.push(let_("v", gv));
 
         // Interleave plain calls and labeled output sites.
@@ -220,7 +217,8 @@ fn plain_stmt(b: &mut ProgramBuilder, rng: &mut StdRng) -> Vec<Stmt> {
 /// Seeds the database the synthetic apps query.
 pub fn make_db() -> Database {
     let mut db = Database::new("sirdb");
-    db.execute("CREATE TABLE data (id INT, v TEXT)").expect("schema");
+    db.execute("CREATE TABLE data (id INT, v TEXT)")
+        .expect("schema");
     for i in 0..8i64 {
         db.execute(&format!("INSERT INTO data VALUES ({i}, 'val{i}')"))
             .expect("seed");
@@ -320,8 +318,7 @@ mod tests {
         let traces = w.collect_traces(&analysis.site_labels);
         assert_eq!(traces.len(), spec.test_cases);
         // Cases explore different paths: traces differ.
-        let lens: std::collections::HashSet<usize> =
-            traces.iter().map(Vec::len).collect();
+        let lens: std::collections::HashSet<usize> = traces.iter().map(Vec::len).collect();
         assert!(lens.len() > 1, "all traces identical length: {lens:?}");
         let _ = HashMap::<u32, u32>::new();
     }

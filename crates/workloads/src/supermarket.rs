@@ -306,7 +306,8 @@ pub fn make_db() -> Database {
         ))
         .expect("seed");
     }
-    db.execute("INSERT INTO sales VALUES (500, 2, 7.0)").expect("seed");
+    db.execute("INSERT INTO sales VALUES (500, 2, 7.0)")
+        .expect("seed");
     db
 }
 

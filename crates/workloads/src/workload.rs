@@ -78,10 +78,7 @@ impl Workload {
     }
 
     /// Runs every test case, returning one trace per case.
-    pub fn collect_traces(
-        &self,
-        site_labels: &HashMap<CallSiteId, String>,
-    ) -> Vec<Vec<CallEvent>> {
+    pub fn collect_traces(&self, site_labels: &HashMap<CallSiteId, String>) -> Vec<Vec<CallEvent>> {
         self.test_cases
             .iter()
             .map(|c| self.run_case(c, site_labels))
@@ -98,10 +95,7 @@ mod tests {
         Workload {
             name: "tiny".into(),
             dbms: "PostgreSQL",
-            program: parse_program(
-                "fn main() { let x = scanf(); printf(\"%s\", x); }",
-            )
-            .unwrap(),
+            program: parse_program("fn main() { let x = scanf(); printf(\"%s\", x); }").unwrap(),
             make_db: || Database::new("tiny"),
             test_cases: vec![
                 TestCase::new("one", vec!["1".into()]),

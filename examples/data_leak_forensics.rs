@@ -13,9 +13,7 @@
 
 use adprom::analysis::analyze;
 use adprom::attacks::attack3_reuse_print;
-use adprom::core::{
-    build_cmarkov, build_profile, ConstructorConfig, DetectionEngine, Flag,
-};
+use adprom::core::{build_cmarkov, build_profile, ConstructorConfig, DetectionEngine, Flag};
 use adprom::workloads::{banking, Workload};
 
 fn main() {

@@ -51,15 +51,13 @@ fn main() {
             collector.into_events()
         })
         .collect();
-    let (profile, _) = build_profile(
-        "App_b",
-        &analysis,
-        &traces,
-        &ConstructorConfig::default(),
-    );
+    let (profile, _) = build_profile("App_b", &analysis, &traces, &ConstructorConfig::default());
     let engine = DetectionEngine::new(&profile);
     let signatures = QuerySignatureMonitor::learn(&traces);
-    println!("learned {} query signatures from training", signatures.len());
+    println!(
+        "learned {} query signatures from training",
+        signatures.len()
+    );
 
     // `105' AND '1'='1` returns exactly one row — same call sequence as a
     // benign lookup.
@@ -125,7 +123,10 @@ fn main() {
         files.labeled_files().collect::<Vec<_>>()
     );
     for a in files.alerts() {
-        println!("ALERT [{:?}] `{}` touched a labeled file: {}", a.kind, a.call, a.subject);
+        println!(
+            "ALERT [{:?}] `{}` touched a labeled file: {}",
+            a.kind, a.call, a.subject
+        );
     }
     assert_eq!(files.alerts().len(), 1);
     println!("\nDone: both §VII evasions are caught by the extension monitors.");

@@ -20,12 +20,8 @@ fn main() {
     let workload = supermarket::workload(30, 5);
     let analysis = analyze(&workload.program);
     let traces = workload.collect_traces(&analysis.site_labels);
-    let (profile, report) = build_profile(
-        "App_s",
-        &analysis,
-        &traces,
-        &ConstructorConfig::default(),
-    );
+    let (profile, report) =
+        build_profile("App_s", &analysis, &traces, &ConstructorConfig::default());
     println!(
         "profile ready: {} states, {} symbols, threshold {:.2}\n",
         profile.hmm.n_states(),
@@ -36,12 +32,10 @@ fn main() {
 
     // A cash-register session streamed through the detector: browse, two
     // sales, a restock, then the register closes.
-    let inputs: Vec<String> = [
-        "1", "3", "500", "2", "3", "505", "1", "4", "501", "9", "0",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
+    let inputs: Vec<String> = ["1", "3", "500", "2", "3", "505", "1", "4", "501", "9", "0"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
 
     let mut detector = OnlineDetector::new(profile);
     let mut session = ClientSession::connect((workload.make_db)());
@@ -57,7 +51,10 @@ fn main() {
 
     let windows = detector.alerts().len();
     let alarms = detector.alarms();
-    println!("streamed session: {windows} windows scored, {} alarm(s)", alarms.len());
+    println!(
+        "streamed session: {windows} windows scored, {} alarm(s)",
+        alarms.len()
+    );
     for a in alarms.iter().take(3) {
         println!("  [{}] ll={:.2} {}", a.flag, a.log_likelihood, a.detail);
     }

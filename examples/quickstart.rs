@@ -31,18 +31,17 @@ fn main() {
             .count()
     );
 
-    println!("[2/4] collecting traces from {} test cases", workload.test_cases.len());
+    println!(
+        "[2/4] collecting traces from {} test cases",
+        workload.test_cases.len()
+    );
     let traces = workload.collect_traces(&analysis.site_labels);
     let calls: usize = traces.iter().map(Vec::len).sum();
     println!("      {calls} library calls intercepted");
 
     println!("[3/4] building the profile (pCTM-initialized HMM + Baum-Welch)");
-    let (profile, report) = build_profile(
-        "App_h",
-        &analysis,
-        &traces,
-        &ConstructorConfig::default(),
-    );
+    let (profile, report) =
+        build_profile("App_h", &analysis, &traces, &ConstructorConfig::default());
     println!(
         "      {} windows ({} CSDS), {} hidden states, threshold {:.2}, profile {} bytes",
         report.total_windows,
@@ -63,11 +62,14 @@ fn main() {
         .into_iter()
         .filter(|a| a.is_alarm())
         .count();
-    println!("      normal run: {alarms} alarm(s) over {} calls", normal.len());
+    println!(
+        "      normal run: {alarms} alarm(s) over {} calls",
+        normal.len()
+    );
 
     // Attacked binary: clone a print into the opposite branch (attack 1).
-    let attack = attack1_insert_similar_print(&workload.program)
-        .expect("App_h has a branch print to clone");
+    let attack =
+        attack1_insert_similar_print(&workload.program).expect("App_h has a branch print to clone");
     println!("\n      {}", attack.description);
     // The detection-phase instrumenter re-analyzes the *running* binary.
     let attacked_analysis = analyze(&attack.program);

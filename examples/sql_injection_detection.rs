@@ -18,19 +18,16 @@ fn main() {
     let workload = banking::workload(40, 11);
     let analysis = analyze(&workload.program);
     let traces = workload.collect_traces(&analysis.site_labels);
-    let (profile, _) = build_profile(
-        "App_b",
-        &analysis,
-        &traces,
-        &ConstructorConfig::default(),
-    );
+    let (profile, _) = build_profile("App_b", &analysis, &traces, &ConstructorConfig::default());
     let engine = DetectionEngine::new(&profile);
 
     // A benign lookup of account 105.
     let benign = TestCase::new("benign", vec!["1".into(), "105".into(), "0".into()]);
     let benign_trace = workload.run_case(&benign, &analysis.site_labels);
     let fetches = |t: &[adprom::trace::CallEvent]| {
-        t.iter().filter(|e| e.name.starts_with("mysql_fetch_row")).count()
+        t.iter()
+            .filter(|e| e.name.starts_with("mysql_fetch_row"))
+            .count()
     };
     println!(
         "benign lookup:   {:3} calls, {:2} fetch_row, verdict {}",

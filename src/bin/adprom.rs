@@ -34,7 +34,9 @@ fn main() -> ExitCode {
         Some("detect") => cmd_detect(&args[1..]),
         Some("signature") => cmd_signature(&args[1..]),
         _ => {
-            eprintln!("usage: adprom <analyze|train|detect|signature> ... (see --help in the README)");
+            eprintln!(
+                "usage: adprom <analyze|train|detect|signature> ... (see --help in the README)"
+            );
             return ExitCode::from(2);
         }
     };
@@ -74,7 +76,9 @@ fn load_db(path: Option<&String>) -> Result<Database, String> {
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
 }
 
 fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a String> {
@@ -111,7 +115,10 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         .values()
         .filter(|l| l.contains("_Q"))
         .collect();
-    println!("observation labels: {}", analysis.observation_labels().len());
+    println!(
+        "observation labels: {}",
+        analysis.observation_labels().len()
+    );
     println!("DDG-labeled output sites: {}", labeled.len());
     for l in labeled {
         println!("  {l}");
@@ -195,10 +202,7 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
     let profile_path =
         flag_value(args, "--profile").ok_or("detect: missing --profile <profile.json>")?;
     let db_path = flag_value(args, "--db");
-    let inputs: Vec<String> = flag_values(args, "--input")
-        .into_iter()
-        .cloned()
-        .collect();
+    let inputs: Vec<String> = flag_values(args, "--input").into_iter().cloned().collect();
 
     let prog = load_program(path)?;
     // Detection-time instrumentation: labels come from the *current* binary.

@@ -20,7 +20,11 @@ fn extended_config() -> ExecConfig {
 }
 
 /// Runs a case with extended events enabled.
-fn run_extended(workload: &Workload, case: &TestCase, labels: &std::collections::HashMap<adprom::lang::CallSiteId, String>) -> Vec<adprom::trace::CallEvent> {
+fn run_extended(
+    workload: &Workload,
+    case: &TestCase,
+    labels: &std::collections::HashMap<adprom::lang::CallSiteId, String>,
+) -> Vec<adprom::trace::CallEvent> {
     let mut session = ClientSession::connect((workload.make_db)());
     let mut collector = TraceCollector::new();
     run_program(
@@ -103,8 +107,10 @@ fn file_label_monitor_catches_file_then_network_exfiltration() {
     let analysis = analyze(&prog);
 
     let mut db = adprom::db::Database::new("h");
-    db.execute("CREATE TABLE patients (id INT, name TEXT)").unwrap();
-    db.execute("INSERT INTO patients VALUES (1, 'ada')").unwrap();
+    db.execute("CREATE TABLE patients (id INT, name TEXT)")
+        .unwrap();
+    db.execute("INSERT INTO patients VALUES (1, 'ada')")
+        .unwrap();
     let mut session = ClientSession::connect(db);
     let mut collector = TraceCollector::new();
     run_program(
@@ -119,7 +125,10 @@ fn file_label_monitor_catches_file_then_network_exfiltration() {
 
     let mut monitor = FileLabelMonitor::new();
     let raised = monitor.scan(collector.events());
-    assert_eq!(raised, 1, "the curl-out of the labeled dump must be flagged");
+    assert_eq!(
+        raised, 1,
+        "the curl-out of the labeled dump must be flagged"
+    );
     assert_eq!(monitor.alerts()[0].kind, ExtensionKind::LabeledFileAction);
     assert!(monitor.alerts()[0].subject.contains("dump.txt"));
 }

@@ -151,8 +151,7 @@ fn profiles_round_trip_through_disk() {
     // A reloaded profile classifies identically.
     let engine_a = DetectionEngine::new(&profile);
     let engine_b = DetectionEngine::new(&reloaded);
-    let trace: Vec<CallEvent> =
-        workload.run_case(&workload.test_cases[0], &analysis.site_labels);
+    let trace: Vec<CallEvent> = workload.run_case(&workload.test_cases[0], &analysis.site_labels);
     assert_eq!(engine_a.verdict(&trace), engine_b.verdict(&trace));
 }
 
@@ -169,6 +168,9 @@ fn alert_connects_leak_to_source_block() {
         .into_iter()
         .filter(|a| a.flag == Flag::DataLeak)
         .collect();
-    assert!(!leak_alerts.is_empty(), "injection produces DataLeak alerts");
+    assert!(
+        !leak_alerts.is_empty(),
+        "injection produces DataLeak alerts"
+    );
     assert!(leak_alerts[0].detail.contains("_Q"));
 }

@@ -1,13 +1,14 @@
 //! Property-based tests over the core invariants, driven by proptest.
 
 use adprom::analysis::{analyze, CallLabel};
-use adprom::core::{strip_label, Alphabet};
+use adprom::core::{strip_label, Alphabet, BatchDetector, DetectionEngine, Profile, ScoringMode};
 use adprom::db::{Database, Value};
 use adprom::hmm::{log_likelihood, Hmm};
-use adprom::lang::{parse_program, pretty_program};
-use adprom::trace::sliding_windows;
+use adprom::lang::{parse_program, pretty_program, CallSiteId, LibCall};
+use adprom::trace::{sliding_windows, CallEvent};
 use adprom::workloads::sir::{generate_program, SirSpec};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 fn arb_spec() -> impl Strategy<Value = SirSpec> {
     (1usize..6, 1usize..5, 0usize..4, 0.0f64..1.0, any::<u64>()).prop_map(
@@ -114,7 +115,7 @@ proptest! {
     fn random_hmm_scores_are_finite(n in 1usize..8, m in 1usize..8,
                                     seed in any::<u64>(), len in 1usize..40) {
         let hmm = Hmm::random(n, m, seed);
-        Hmm::new(hmm.a.clone(), hmm.b.clone(), hmm.pi.clone()).expect("stochastic");
+        hmm.validate().expect("stochastic");
         let obs = hmm.sample(len, seed ^ 0x5EED);
         let ll = log_likelihood(&hmm, &obs);
         prop_assert!(ll.is_finite());
@@ -140,6 +141,71 @@ proptest! {
             .execute("SELECT COUNT(*) FROM t WHERE s LIKE '%'")
             .unwrap();
         assert_eq!(r.rows().unwrap().get_value(0, 0).unwrap(), "1");
+    }
+
+    /// The parallel batch detector in ExactWindows mode is byte-identical
+    /// to a serial DetectionEngine loop: same alerts (including exact
+    /// floating-point scores), same order, for arbitrary batches against
+    /// arbitrary profiles.
+    #[test]
+    fn batch_detector_matches_serial_engine(
+        seed in any::<u64>(),
+        window in 1usize..6,
+        threshold in -60.0f64..0.0,
+        traces in prop::collection::vec(prop::collection::vec(0usize..6, 0..30), 0..12),
+    ) {
+        // Two names are outside the profile alphabet (score via <unk>),
+        // two carry data-flow labels (exercise the DataLeak upgrade).
+        let names = ["a", "b", "c_Q7", "d", "evil", "x_Q2"];
+        let alphabet = Alphabet::new(vec![
+            "a".to_string(), "b".to_string(), "c_Q7".to_string(), "d".to_string(),
+        ]);
+        let mut hmm = Hmm::random(alphabet.len(), alphabet.len(), seed);
+        hmm.smooth(1e-4);
+        let profile = Profile {
+            app_name: "prop".into(),
+            alphabet,
+            hmm,
+            window,
+            threshold,
+            call_callers: BTreeMap::new(),
+            labeled_outputs: vec!["c_Q7".to_string(), "x_Q2".to_string()],
+        };
+        let batch: Vec<Vec<CallEvent>> = traces
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .map(|&i| CallEvent {
+                        name: names[i].to_string(),
+                        call: LibCall::Printf,
+                        caller: "main".to_string(),
+                        site: CallSiteId(0),
+                        detail: None,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let reports = BatchDetector::new(&profile).detect_batch(&batch);
+        let engine = DetectionEngine::new(&profile);
+        prop_assert_eq!(reports.len(), batch.len());
+        for (i, trace) in batch.iter().enumerate() {
+            prop_assert_eq!(reports[i].index, i);
+            let serial = engine.scan(trace);
+            prop_assert_eq!(&reports[i].alerts, &serial, "trace {}", i);
+            // Debug formatting round-trips every f64 digit: equal strings
+            // mean bit-identical scores, not approximately-equal ones.
+            prop_assert_eq!(format!("{:?}", reports[i].alerts), format!("{serial:?}"));
+        }
+
+        // Incremental mode must agree on the window partitioning even
+        // though its scores are conditional.
+        let incremental = BatchDetector::new(&profile)
+            .with_mode(ScoringMode::Incremental)
+            .detect_batch(&batch);
+        for (e, inc) in reports.iter().zip(&incremental) {
+            prop_assert_eq!(e.alerts.len(), inc.alerts.len());
+        }
     }
 
     /// Every Lib label the analyzer produces strips back to a known library

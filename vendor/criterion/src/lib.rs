@@ -1,0 +1,390 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a small wall-clock benchmark harness exposing the subset of
+//! criterion's API that the bench targets use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Compared to upstream there is no statistical analysis, plotting, or
+//! baseline storage: each benchmark is calibrated to a target measurement
+//! time, run in timed batches, and reported as the best observed ns/iter
+//! (the minimum is the most noise-robust point estimate on shared runners).
+//!
+//! CLI flags understood (all others are ignored so cargo's pass-through
+//! flags never break the harness): a positional benchmark-name filter,
+//! `--profile-time <secs>` (sets measurement time per benchmark, used by
+//! the CI smoke job), `--measurement-time <secs>`, `--test` (run each
+//! routine once, no timing), `--bench`, `--quiet`, `--verbose`, `--noplot`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimisation barrier.
+pub use std::hint::black_box;
+
+/// How much setup output `iter_batched` keeps alive at once. The stand-in
+/// runs one setup per timed call regardless; the variants exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// Identifier for a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id with both a function name and a parameter value.
+    pub fn new<P: fmt::Display>(function: impl Into<String>, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id carrying only a parameter value (the group name supplies context).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: &str) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{group}/{f}/{p}"),
+            (Some(f), None) => format!("{group}/{f}"),
+            (None, Some(p)) => format!("{group}/{p}"),
+            (None, None) => group.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(function),
+            parameter: None,
+        }
+    }
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    measurement_time: Duration,
+    test_mode: bool,
+    /// Best observed ns/iter, filled in by `iter`/`iter_batched`.
+    best_ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, calibrating batch size to the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.best_ns_per_iter = Some(0.0);
+            return;
+        }
+        // Calibration: grow the batch until one batch takes >= ~1ms, so
+        // Instant overhead is negligible relative to the measured work.
+        let mut batch: u64 = 1;
+        let batch_floor = Duration::from_millis(1);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= batch_floor || batch >= 1 << 30 {
+                break;
+            }
+            batch = if elapsed.is_zero() {
+                batch.saturating_mul(16)
+            } else {
+                // Aim directly for the floor with headroom.
+                let scale = batch_floor.as_nanos() as f64 / elapsed.as_nanos() as f64;
+                (batch as f64 * scale.clamp(2.0, 16.0)) as u64
+            };
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        let mut best = f64::INFINITY;
+        let mut measured = false;
+        while !measured || Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+            measured = true;
+        }
+        self.best_ns_per_iter = Some(best);
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.best_ns_per_iter = Some(0.0);
+            return;
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        let mut best = f64::INFINITY;
+        let mut measured = false;
+        while !measured || Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let ns = start.elapsed().as_nanos() as f64;
+            if ns < best {
+                best = ns;
+            }
+            measured = true;
+        }
+        self.best_ns_per_iter = Some(best);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} \u{00b5}s", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    filter: Option<String>,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            filter: None,
+            measurement_time: Duration::from_millis(400),
+            test_mode: false,
+        }
+    }
+}
+
+/// The benchmark manager: owns CLI settings, runs and reports benchmarks.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Applies the process CLI arguments (filter, `--profile-time`, ...).
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--profile-time" | "--measurement-time" | "--warm-up-time" => {
+                    if let Some(v) = args.next() {
+                        if let Ok(secs) = v.parse::<f64>() {
+                            if arg != "--warm-up-time" {
+                                self.settings.measurement_time = Duration::from_secs_f64(secs);
+                            }
+                        }
+                    }
+                }
+                "--sample-size" | "--save-baseline" | "--baseline" | "--load-baseline"
+                | "--color" | "--output-format" => {
+                    args.next();
+                }
+                "--test" => self.settings.test_mode = true,
+                s if s.starts_with('-') => {}
+                s => self.settings.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Overrides the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Criterion {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.settings.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            measurement_time: self.settings.measurement_time,
+            test_mode: self.settings.test_mode,
+            best_ns_per_iter: None,
+        };
+        f(&mut bencher);
+        match bencher.best_ns_per_iter {
+            Some(_) if self.settings.test_mode => println!("{id}: ok (test mode)"),
+            Some(ns) => println!("{id:<48} time: [{}]", format_ns(ns)),
+            None => println!("{id}: no measurement recorded"),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in is time-bounded, not
+    /// sample-count-bounded.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the measurement window for this group (and onward).
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.settings.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = id.render(&self.name);
+        self.criterion.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into().render(&self.name);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(5));
+        c
+    }
+
+    #[test]
+    fn bench_function_records_time() {
+        let mut c = quick();
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+    }
+
+    #[test]
+    fn group_with_input_and_batched() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        for n in [4usize, 8] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter_batched(
+                    || vec![1u64; n],
+                    |v| v.iter().sum::<u64>(),
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+        group.finish();
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::from_parameter(32).render("fw"), "fw/32");
+        assert_eq!(BenchmarkId::new("f", "p").render("g"), "g/f/p");
+        assert_eq!(BenchmarkId::from("f").render("g"), "g/f");
+    }
+}

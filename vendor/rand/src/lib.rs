@@ -1,0 +1,305 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal, deterministic implementation of the slice of the
+//! `rand` 0.8 API that AD-PROM uses: `StdRng` (seeded via
+//! [`SeedableRng::seed_from_u64`]), [`Rng::gen_range`] over integer and
+//! float ranges, [`Rng::gen_bool`], and [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — statistically
+//! solid for simulation workloads and fully deterministic per seed, which is
+//! all the test suites and synthetic workloads require. The value streams
+//! differ from upstream `rand`'s `StdRng` (ChaCha12); nothing in this
+//! repository depends on the upstream streams.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (always available, unlike
+    /// upstream where it is provided by the trait for every seed size).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// High-level sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open or inclusive
+    /// integer ranges, half-open float ranges). Panics on empty ranges.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform sampling from a range type, mirroring `rand::distributions`'s
+/// `SampleRange` entry point.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased integer sampling in `[0, bound)` via Lemire's method.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "empty sampling bound");
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(bound as u128);
+        let low = m as u64;
+        if low >= bound || low >= bound.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Types uniformly sampleable from a range. The blanket [`SampleRange`]
+/// impls below hang off this trait (one impl per range *shape*, not per
+/// element type) so `gen_range(0..12)` pins `T` to the range's element
+/// type during inference — matching upstream `rand`'s behaviour for
+/// untyped integer literals.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws from `[low, high)` (`inclusive == false`) or `[low, high]`.
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: $ty,
+                high: $ty,
+                inclusive: bool,
+            ) -> $ty {
+                if inclusive {
+                    assert!(low <= high, "gen_range: empty range");
+                    let span = (high as i128 - low as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        // Whole-domain u64/i64 range: every value is valid.
+                        return rng.next_u64() as $ty;
+                    }
+                    (low as i128 + uniform_below(rng, span as u64) as i128) as $ty
+                } else {
+                    assert!(low < high, "gen_range: empty range");
+                    let span = (high as i128 - low as i128) as u64;
+                    (low as i128 + uniform_below(rng, span) as i128) as $ty
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64, inclusive: bool) -> f64 {
+        if inclusive {
+            assert!(low <= high, "gen_range: empty range");
+        } else {
+            assert!(low < high, "gen_range: empty range");
+        }
+        low + unit_f64(rng.next_u64()) * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, low: f32, high: f32, inclusive: bool) -> f32 {
+        if inclusive {
+            assert!(low <= high, "gen_range: empty range");
+        } else {
+            assert!(low < high, "gen_range: empty range");
+        }
+        low + (unit_f64(rng.next_u64()) as f32) * (high - low)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_in(rng, low, high, true)
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zeros from any seed, but keep the guard explicit.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers (`SliceRandom`).
+pub mod seq {
+    use super::{uniform_below, Rng};
+
+    /// Shuffling and random selection on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle, in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly chosen reference, `None` on an empty slice.
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u32> = (0..8).map(|_| a.gen_range(0..1000u32)).collect();
+        let vb: Vec<u32> = (0..8).map(|_| b.gen_range(0..1000u32)).collect();
+        let vc: Vec<u32> = (0..8).map(|_| c.gen_range(0..1000u32)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..2000 {
+            let x = rng.gen_range(3..9);
+            assert!((3..9).contains(&x));
+            let y = rng.gen_range(1..=6u32);
+            assert!((1..=6).contains(&y));
+            let f = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let n: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements staying sorted is ~impossible");
+    }
+}

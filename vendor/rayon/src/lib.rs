@@ -1,0 +1,273 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a small data-parallelism layer with the subset of rayon's API
+//! that the detection pipeline uses: `slice.par_iter()` /
+//! `vec.into_par_iter()` followed by `.map(...).collect::<Vec<_>>()` or
+//! `.for_each(...)`, plus [`current_num_threads`].
+//!
+//! Instead of a global work-stealing pool, items are split into
+//! `current_num_threads()` contiguous chunks and executed on scoped OS
+//! threads ([`std::thread::scope`]), which is a good fit for the pipeline's
+//! coarse-grained, similarly-sized session tasks. Two properties the
+//! detection code relies on hold by construction:
+//!
+//! * **Order preservation** — `collect` writes each result into the slot
+//!   of its input index, so output order equals input order regardless of
+//!   thread interleaving.
+//! * **Single-thread degradation** — with one available core (or one item)
+//!   the work runs inline on the caller's thread with no spawn overhead.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Order-preserving parallel map over `items`.
+fn par_map_slice<'a, T, O, F>(items: &'a [T], f: &F) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&'a T) -> O + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<O>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (out_chunk, in_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("parallel worker filled every slot"))
+        .collect()
+}
+
+/// Parallel iterator over `&[T]`, produced by
+/// [`IntoParallelRefIterator::par_iter`].
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item through `f` in parallel.
+    pub fn map<O, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        O: Send,
+        F: Fn(&'a T) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on each item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        par_map_slice(self.items, &f);
+    }
+
+    /// Accepted for API compatibility; chunking is already coarse.
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Lazily mapped parallel iterator; consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, O, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&'a T) -> O + Sync,
+{
+    /// Runs the map in parallel and gathers results in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        par_map_slice(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Conversion to a borrowing parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: 'a;
+    /// Yields a parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over owned items, produced by
+/// [`IntoParallelIterator::into_par_iter`].
+pub struct ParIntoIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIntoIter<T> {
+    /// Maps each owned item through `f` in parallel.
+    pub fn map<O, F>(self, f: F) -> ParIntoMap<T, F>
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        ParIntoMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on each owned item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        self.map(f).collect::<Vec<()>>();
+    }
+}
+
+/// Lazily mapped owned parallel iterator; consumed by
+/// [`ParIntoMap::collect`].
+pub struct ParIntoMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, O, F> ParIntoMap<T, F>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    /// Runs the map in parallel and gathers results in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n);
+        let f = &self.f;
+        if threads <= 1 {
+            return self.items.into_iter().map(f).collect();
+        }
+        let mut items: Vec<Option<T>> = self.items.into_iter().map(Some).collect();
+        let mut out: Vec<Option<O>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (out_chunk, in_chunk) in out.chunks_mut(chunk).zip(items.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                        *slot = Some(f(item.take().expect("item consumed once")));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("parallel worker filled every slot"))
+            .collect()
+    }
+}
+
+/// Conversion to an owning parallel iterator (`.into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// Owned item type.
+    type Item: Send;
+    /// Yields a parallel iterator over owned items.
+    fn into_par_iter(self) -> ParIntoIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIntoIter<T> {
+        ParIntoIter { items: self }
+    }
+}
+
+/// The glob-import surface, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn into_par_iter_preserves_order() {
+        let input: Vec<String> = (0..257).map(|i| format!("s{i}")).collect();
+        let out: Vec<usize> = input.clone().into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out, input.iter().map(|s| s.len()).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        let input: Vec<u64> = (1..=100).collect();
+        input.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = vec![7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn current_num_threads_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,570 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a small serialization framework that keeps the parts of serde's
+//! surface that AD-PROM relies on: the `Serialize` / `Deserialize` traits,
+//! the same-named derive macros (re-exported from the vendored
+//! `serde_derive`), and enough of the data model for `serde_json` to render
+//! and parse it.
+//!
+//! Instead of serde's visitor architecture, values pass through a
+//! self-describing intermediate [`Content`] tree (the same strategy serde
+//! itself uses internally for untagged enums). Derived impls convert between
+//! the user's type and `Content`; `serde_json` converts between `Content`
+//! and text. Formats match serde's defaults: structs become maps, unit enum
+//! variants become strings, data-carrying variants become externally tagged
+//! single-entry maps.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+/// The self-describing intermediate value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Map (insertion-ordered key/value pairs).
+    Map(Vec<(Content, Content)>),
+}
+
+/// Deserialization error: a human-readable path/expectation message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> DeError {
+        DeError(m.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Content`] data model.
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn serialize(&self) -> Content;
+}
+
+/// Deserialization from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from the data model.
+    fn deserialize(v: &Content) -> Result<Self, DeError>;
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by derive-generated code (public, hidden from docs).
+// ---------------------------------------------------------------------------
+
+/// Looks up a struct field by name and deserializes it.
+#[doc(hidden)]
+pub fn de_field<T: Deserialize>(map: &[(Content, Content)], name: &str) -> Result<T, DeError> {
+    for (k, v) in map {
+        if k.as_str() == Some(name) {
+            return T::deserialize(v).map_err(|e| DeError(format!("field `{name}`: {e}")));
+        }
+    }
+    Err(DeError(format!("missing field `{name}`")))
+}
+
+/// Deserializes element `idx` of a sequence.
+#[doc(hidden)]
+pub fn de_element<T: Deserialize>(seq: &[Content], idx: usize) -> Result<T, DeError> {
+    match seq.get(idx) {
+        Some(v) => T::deserialize(v).map_err(|e| DeError(format!("element {idx}: {e}"))),
+        None => Err(DeError(format!(
+            "sequence too short: no element {idx} (len {})",
+            seq.len()
+        ))),
+    }
+}
+
+/// Extracts the `(variant_name, payload)` of an externally tagged enum
+/// value: either a bare string (unit variant) or a single-entry map.
+#[doc(hidden)]
+pub fn de_variant(v: &Content) -> Result<(&str, Option<&Content>), DeError> {
+    match v {
+        Content::Str(s) => Ok((s, None)),
+        Content::Map(m) if m.len() == 1 => match &m[0].0 {
+            Content::Str(tag) => Ok((tag, Some(&m[0].1))),
+            other => Err(DeError(format!(
+                "enum tag must be a string, found {}",
+                other.kind()
+            ))),
+        },
+        other => Err(DeError(format!(
+            "expected enum (string or single-entry map), found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn int_from(v: &Content) -> Option<i128> {
+    match v {
+        Content::I64(n) => Some(*n as i128),
+        Content::U64(n) => Some(*n as i128),
+        // Accept floats with integral values (JSON writers may emit 1.0).
+        Content::F64(f) if f.fract() == 0.0 && f.abs() < 2e18 => Some(*f as i128),
+        _ => None,
+    }
+}
+
+macro_rules! impl_int {
+    ($($ty:ty => $variant:ident as $conv:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Content {
+                Content::$variant(*self as $conv)
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(v: &Content) -> Result<Self, DeError> {
+                let n = int_from(v)
+                    .ok_or_else(|| DeError(format!("expected integer, found {}", v.kind())))?;
+                <$ty>::try_from(n)
+                    .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_int!(
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64
+);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::F64(f) => Ok(*f),
+            Content::I64(n) => Ok(*n as f64),
+            Content::U64(n) => Ok(*n as f64),
+            // serde_json renders non-finite floats as null; mirror its
+            // leniency in the other direction.
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError(format!("expected float, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError(format!("expected char, found {}", v.kind())))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError(format!("expected single char, found {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+fn ser_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>) -> Content {
+    Content::Seq(items.map(Serialize::serialize).collect())
+}
+
+fn de_seq<T: Deserialize, C: FromIterator<T>>(v: &Content) -> Result<C, DeError> {
+    let seq = v
+        .as_seq()
+        .ok_or_else(|| DeError(format!("expected sequence, found {}", v.kind())))?;
+    seq.iter().map(T::deserialize).collect()
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        ser_seq(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        de_seq(v)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        ser_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self) -> Content {
+        ser_seq(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        de_seq(v)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Content {
+        ser_seq(self.iter())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        de_seq(v)
+    }
+}
+
+impl<T: Serialize + Eq + Hash, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn serialize(&self) -> Content {
+        ser_seq(self.iter())
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        de_seq(v)
+    }
+}
+
+/// Map keys must render as JSON strings; strings pass through and integers
+/// are stringified, matching `serde_json`'s behavior.
+fn key_content<K: Serialize>(k: &K) -> Content {
+    match k.serialize() {
+        s @ Content::Str(_) => s,
+        Content::I64(n) => Content::Str(n.to_string()),
+        Content::U64(n) => Content::Str(n.to_string()),
+        other => other,
+    }
+}
+
+fn key_from<K: Deserialize>(k: &Content) -> Result<K, DeError> {
+    if let Ok(key) = K::deserialize(k) {
+        return Ok(key);
+    }
+    // Integer keys arrive as strings from JSON; retry through a parse.
+    if let Some(s) = k.as_str() {
+        if let Ok(n) = s.parse::<i64>() {
+            return K::deserialize(&Content::I64(n));
+        }
+        if let Ok(n) = s.parse::<u64>() {
+            return K::deserialize(&Content::U64(n));
+        }
+    }
+    Err(DeError(format!("unusable map key {k:?}")))
+}
+
+fn ser_map<'a, K, V>(entries: impl Iterator<Item = (&'a K, &'a V)>) -> Content
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+{
+    Content::Map(
+        entries
+            .map(|(k, v)| (key_content(k), v.serialize()))
+            .collect(),
+    )
+}
+
+fn de_map<K, V, C>(v: &Content) -> Result<C, DeError>
+where
+    K: Deserialize,
+    V: Deserialize,
+    C: FromIterator<(K, V)>,
+{
+    let map = v
+        .as_map()
+        .ok_or_else(|| DeError(format!("expected map, found {}", v.kind())))?;
+    map.iter()
+        .map(|(k, val)| Ok((key_from(k)?, V::deserialize(val)?)))
+        .collect()
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Content {
+        ser_map(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        de_map::<K, V, _>(v)
+    }
+}
+
+impl<K, V, S> Serialize for HashMap<K, V, S>
+where
+    K: Serialize + Eq + Hash,
+    V: Serialize,
+    S: BuildHasher,
+{
+    fn serialize(&self) -> Content {
+        ser_map(self.iter())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        de_map::<K, V, _>(v)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Content) -> Result<Self, DeError> {
+                let seq = v.as_seq()
+                    .ok_or_else(|| DeError(format!("expected tuple, found {}", v.kind())))?;
+                Ok(($(de_element::<$name>(seq, $idx)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Null => Ok(()),
+            other => Err(DeError(format!("expected null, found {}", other.kind()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::deserialize(&42i64.serialize()), Ok(42));
+        assert_eq!(usize::deserialize(&7usize.serialize()), Ok(7));
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()), Ok(v));
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), vec![1.0f64, 2.0]);
+        assert_eq!(
+            BTreeMap::<String, Vec<f64>>::deserialize(&m.serialize()),
+            Ok(m)
+        );
+        let s: BTreeSet<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(BTreeSet::<String>::deserialize(&s.serialize()), Ok(s));
+    }
+
+    #[test]
+    fn option_and_nesting() {
+        let x: Option<Vec<Option<u8>>> = Some(vec![Some(1), None]);
+        assert_eq!(
+            Option::<Vec<Option<u8>>>::deserialize(&x.serialize()),
+            Ok(x)
+        );
+        assert_eq!(Option::<u8>::deserialize(&Content::Null), Ok(None));
+    }
+
+    #[test]
+    fn signed_range_checks() {
+        assert!(u8::deserialize(&Content::I64(300)).is_err());
+        assert!(u32::deserialize(&Content::I64(-1)).is_err());
+        assert_eq!(u64::deserialize(&Content::U64(u64::MAX)), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let m = Content::Map(vec![(Content::Str("a".into()), Content::I64(1))]);
+        let err = de_field::<i64>(m.as_map().unwrap(), "b").unwrap_err();
+        assert!(err.0.contains("missing field `b`"));
+    }
+}

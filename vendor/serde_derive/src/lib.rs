@@ -1,0 +1,491 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` stand-in's [`Content`] data model. Because the
+//! offline environment has neither `syn` nor `quote`, the item is parsed
+//! directly from the `proc_macro` token stream and the impls are emitted as
+//! source text.
+//!
+//! Supported shapes — everything this workspace derives on:
+//!
+//! * structs with named fields (honoring `#[serde(skip)]`),
+//! * tuple and unit structs,
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, like serde's default).
+//!
+//! Generics, lifetimes, and other `#[serde(...)]` attributes are rejected
+//! with a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match dir {
+                Direction::Serialize => gen_serialize(&item),
+                Direction::Deserialize => gen_deserialize(&item),
+            };
+            code.parse()
+                .expect("serde_derive: generated code must parse")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named-field struct: `(field_name, skip)` pairs.
+    Struct(Vec<(String, bool)>),
+    /// Tuple struct with the given arity.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the `[...]` group
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde derive: expected type name".into()),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive stand-in: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::Struct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                shape: Shape::Unit,
+            }),
+            _ => Err(format!(
+                "serde derive: unsupported struct body for `{name}`"
+            )),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())?),
+            }),
+            _ => Err(format!("serde derive: expected enum body for `{name}`")),
+        },
+        other => Err(format!("serde derive: unsupported item kind `{other}`")),
+    }
+}
+
+/// Consumes leading attributes, returning whether one was `#[serde(skip)]`.
+/// Rejects any other `#[serde(...)]` attribute.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> Result<bool, String> {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    let arg = match inner.get(1) {
+                        Some(TokenTree::Group(args)) => args.stream().to_string(),
+                        _ => String::new(),
+                    };
+                    if arg.trim() == "skip" {
+                        skip = true;
+                    } else {
+                        return Err(format!(
+                            "serde derive stand-in: unsupported attribute #[serde({arg})]"
+                        ));
+                    }
+                }
+            }
+            *i += 1;
+        }
+    }
+    Ok(skip)
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advances past a type (or any token run) until a comma at angle-bracket
+/// depth zero, leaving `i` on the comma or at the end.
+fn skip_until_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<(String, bool)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut i)?;
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => {
+                return Err(format!(
+                    "serde derive: expected field name, found `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde derive: expected `:` after field `{name}`")),
+        }
+        skip_until_top_level_comma(&tokens, &mut i);
+        i += 1; // past the comma (or end)
+        fields.push((name, skip));
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_until_top_level_comma(&tokens, &mut i);
+        count += 1;
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i)?;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => {
+                return Err(format!(
+                    "serde derive: expected variant name, found `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                let fields = parse_named_fields(g.stream())?;
+                VariantKind::Struct(fields.into_iter().map(|(n, _)| n).collect())
+            }
+            _ => VariantKind::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err("serde derive stand-in: explicit discriminants unsupported".into())
+            }
+            Some(other) => {
+                return Err(format!(
+                    "serde derive: unexpected token `{other}` after variant `{name}`"
+                ))
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from(
+                "let mut __m: ::std::vec::Vec<(::serde::Content, ::serde::Content)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for (f, skip) in fields {
+                if *skip {
+                    continue;
+                }
+                s.push_str(&format!(
+                    "__m.push((::serde::Content::Str({f:?}.to_string()), \
+                     ::serde::Serialize::serialize(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Content::Map(__m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str({vn:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Content::Map(::std::vec![\
+                             (::serde::Content::Str({vn:?}.to_string()), {payload})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut entries = String::new();
+                        for f in fields {
+                            entries.push_str(&format!(
+                                "(::serde::Content::Str({f:?}.to_string()), \
+                                 ::serde::Serialize::serialize({f})), "
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(::std::vec![\
+                             (::serde::Content::Str({vn:?}.to_string()), \
+                             ::serde::Content::Map(::std::vec![{entries}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for (f, skip) in fields {
+                if *skip {
+                    inits.push_str(&format!("{f}: ::std::default::Default::default(),\n"));
+                } else {
+                    inits.push_str(&format!("{f}: ::serde::de_field(__map, {f:?})?,\n"));
+                }
+            }
+            format!(
+                "let __map = __v.as_map().ok_or_else(|| ::serde::DeError(\
+                 ::std::format!(\"expected map for struct {name}, found {{}}\", __v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Shape::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::de_element(__seq, {i})?"))
+                .collect();
+            format!(
+                "let __seq = __v.as_seq().ok_or_else(|| ::serde::DeError(\
+                 ::std::format!(\"expected sequence for {name}, found {{}}\", __v.kind())))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let payload_bind = format!(
+                            "let __p = __payload.ok_or_else(|| ::serde::DeError(\
+                             ::std::format!(\"variant {name}::{vn} expects data\")))?;"
+                        );
+                        if *arity == 1 {
+                            arms.push_str(&format!(
+                                "{vn:?} => {{ {payload_bind} \
+                                 ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::deserialize(__p)?)) }}\n"
+                            ));
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::de_element(__seq, {i})?"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "{vn:?} => {{ {payload_bind} \
+                                 let __seq = __p.as_seq().ok_or_else(|| ::serde::DeError(\
+                                 ::std::format!(\"variant {name}::{vn} expects a sequence\")))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn}({})) }}\n",
+                                items.join(", ")
+                            ));
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!("{f}: ::serde::de_field(__map, {f:?})?,\n"));
+                        }
+                        arms.push_str(&format!(
+                            "{vn:?} => {{ let __p = __payload.ok_or_else(|| ::serde::DeError(\
+                             ::std::format!(\"variant {name}::{vn} expects data\")))?;\n\
+                             let __map = __p.as_map().ok_or_else(|| ::serde::DeError(\
+                             ::std::format!(\"variant {name}::{vn} expects a map\")))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}}) }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let (__tag, __payload) = ::serde::de_variant(__v)?;\n\
+                 match __tag {{\n{arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__v: &::serde::Content) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
