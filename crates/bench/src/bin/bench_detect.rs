@@ -6,22 +6,34 @@
 //! ```text
 //! cargo run --release -p adprom-bench --bin bench_detect
 //! ```
+//!
+//! Flags:
+//!
+//! * `--metrics-out <path>` — dump the full pipeline metrics snapshot
+//!   (training, detection, batch, and sliding-scorer accounting) as JSON.
+//! * `--smoke` — small workload and short measurement budget, for CI.
 
 use adprom_analysis::analyze;
 use adprom_core::{build_profile, BatchDetector, ConstructorConfig, DetectionEngine, ScoringMode};
+use adprom_obs::Registry;
 use adprom_trace::CallEvent;
 use adprom_workloads::hospital;
 use std::time::Instant;
 
-/// Best-run throughput: repeats `run` until ~1.5 s of measurement or 12
-/// runs, whichever first, and reports events/sec of the fastest run (the
-/// least-noise estimator on a shared machine).
-fn throughput(events: usize, run: &dyn Fn() -> usize) -> (f64, usize) {
+/// Best-run throughput: repeats `run` until the measurement budget is
+/// spent and reports events/sec of the fastest run (the least-noise
+/// estimator on a shared machine).
+fn throughput(
+    events: usize,
+    max_runs: usize,
+    budget_secs: f64,
+    run: &dyn Fn() -> usize,
+) -> (f64, usize) {
     let alerts = run(); // warm-up (also primes allocator and caches)
     let mut best = f64::INFINITY;
     let budget = Instant::now();
     let mut runs = 0;
-    while runs < 12 && budget.elapsed().as_secs_f64() < 1.5 {
+    while runs < max_runs && budget.elapsed().as_secs_f64() < budget_secs {
         let start = Instant::now();
         let got = run();
         let secs = start.elapsed().as_secs_f64();
@@ -33,13 +45,37 @@ fn throughput(events: usize, run: &dyn Fn() -> usize) -> (f64, usize) {
 }
 
 fn main() {
+    let mut metrics_out: Option<String> = None;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics-out" => {
+                metrics_out = Some(args.next().expect("--metrics-out requires a path"));
+            }
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_detect [--smoke] [--metrics-out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (cases, max_iterations, max_runs, budget_secs) = if smoke {
+        (12, 3, 2, 0.3)
+    } else {
+        (48, 6, 12, 1.5)
+    };
+
     // The CA hospital application at a batch size that models a busy
     // monitoring interval: many independent sessions, window n = 15.
-    let workload = hospital::workload(48, 9);
+    let registry = Registry::new();
+    let workload = hospital::workload(cases, 9);
     let analysis = analyze(&workload.program);
     let traces = workload.collect_traces(&analysis.site_labels);
     let mut config = ConstructorConfig::default();
-    config.train.max_iterations = 6;
+    config.train.max_iterations = max_iterations;
+    config.registry = registry.clone();
     let (profile, _) = build_profile("App_hospital", &analysis, &traces, &config);
 
     let batch: Vec<Vec<CallEvent>> = traces;
@@ -47,13 +83,13 @@ fn main() {
     let events: usize = batch.iter().map(Vec::len).sum();
     let threads = rayon::current_num_threads();
 
-    let engine = DetectionEngine::new(&profile);
-    let (serial_eps, serial_alerts) = throughput(events, &|| {
+    let engine = DetectionEngine::new(&profile).with_registry(&registry);
+    let (serial_eps, serial_alerts) = throughput(events, max_runs, budget_secs, &|| {
         batch.iter().map(|t| engine.scan(t).len()).sum::<usize>()
     });
 
-    let exact = BatchDetector::new(&profile);
-    let (par_exact_eps, par_exact_alerts) = throughput(events, &|| {
+    let exact = BatchDetector::new(&profile).with_registry(&registry);
+    let (par_exact_eps, par_exact_alerts) = throughput(events, max_runs, budget_secs, &|| {
         exact
             .detect_batch(&batch)
             .iter()
@@ -61,8 +97,10 @@ fn main() {
             .sum::<usize>()
     });
 
-    let incremental = BatchDetector::new(&profile).with_mode(ScoringMode::Incremental);
-    let (par_inc_eps, par_inc_alerts) = throughput(events, &|| {
+    let incremental = BatchDetector::new(&profile)
+        .with_registry(&registry)
+        .with_mode(ScoringMode::Incremental);
+    let (par_inc_eps, par_inc_alerts) = throughput(events, max_runs, budget_secs, &|| {
         incremental
             .detect_batch(&batch)
             .iter()
@@ -98,6 +136,28 @@ fn main() {
     println!("parallel incremental      : {par_inc_eps:>12.0} events/sec  ({speedup_inc:.2}x)");
     println!("exact output identical to serial: {exact_identical}");
 
+    let snapshot = registry.snapshot();
+    println!("\n== Pipeline metrics ==");
+    println!(
+        "windows scored {}  (normal {}, anomalous {}, data-leak {}, out-of-context {})",
+        snapshot.counter("detect.windows_scored").unwrap_or(0),
+        snapshot.counter("detect.flags.normal").unwrap_or(0),
+        snapshot.counter("detect.flags.anomalous").unwrap_or(0),
+        snapshot.counter("detect.flags.data_leak").unwrap_or(0),
+        snapshot.counter("detect.flags.out_of_context").unwrap_or(0),
+    );
+    if let Some(h) = snapshot.histograms.get("batch.trace_ns") {
+        println!(
+            "per-trace latency: p50 {:.0}ns p90 {:.0}ns p99 {:.0}ns max {}ns ({} traces)",
+            h.p50, h.p90, h.p99, h.max, h.count
+        );
+    }
+    println!(
+        "sliding scorer: {} pushes, {} re-anchors",
+        snapshot.counter("sliding.pushes").unwrap_or(0),
+        snapshot.counter("sliding.reanchors").unwrap_or(0),
+    );
+
     let json = format!(
         "{{\n  \"workload\": \"hospital\",\n  \"traces\": {n_traces},\n  \
          \"events\": {events},\n  \"window\": {window},\n  \"threads\": {threads},\n  \
@@ -112,4 +172,9 @@ fn main() {
     );
     std::fs::write("BENCH_detect.json", &json).expect("write BENCH_detect.json");
     println!("\nwrote BENCH_detect.json");
+
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, snapshot.to_json()).expect("write metrics snapshot");
+        println!("wrote metrics snapshot to {path}");
+    }
 }

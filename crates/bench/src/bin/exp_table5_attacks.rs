@@ -4,6 +4,10 @@
 //! unchanged — only block ids / data-flow labels distinguish them) and
 //! cannot connect any detection to the data source; AD-PROM detects all
 //! five and connects each to its source.
+//!
+//! The AD-PROM engine runs with the structured audit log attached: every
+//! non-Normal window lands in the trail as a JSONL record tagged with the
+//! attack's session id, printed after the table.
 
 use adprom_analysis::analyze;
 use adprom_attacks::{
@@ -14,7 +18,9 @@ use adprom_bench::print_table;
 use adprom_core::{
     build_cmarkov, build_profile, strip_trace, ConstructorConfig, DetectionEngine, Flag,
 };
+use adprom_obs::{AuditLog, MemoryAuditSink};
 use adprom_workloads::{banking, Workload};
+use std::sync::Arc;
 
 fn main() {
     println!("== Table V: AD-PROM vs CMarkov ==");
@@ -31,45 +37,56 @@ fn main() {
     println!("training CMarkov profile (no DDG labels, no caller tracking)...");
     let (cmarkov_profile, _) = build_cmarkov("App_b", &analysis, &traces, &config);
 
-    let adprom_engine = DetectionEngine::new(&adprom_profile);
+    let sink = Arc::new(MemoryAuditSink::new());
+    let audit = Arc::new(AuditLog::new(sink.clone()));
+    let mut adprom_engine = DetectionEngine::new(&adprom_profile).with_audit(audit);
     let cmarkov_engine = DetectionEngine::new(&cmarkov_profile);
 
     // Collect each attack's modified program (attack 5 is a malicious
     // input on the unmodified binary).
-    let attacks: Vec<(&str, Option<adprom_lang::Program>)> = vec![
+    let attacks: Vec<(&str, &str, Option<adprom_lang::Program>)> = vec![
         (
             "Attack 1 (similar print, other branch)",
+            "attack-1",
             attack1_insert_similar_print(&workload.program).map(|a| a.program),
         ),
         (
             "Attack 2 (new call in other function)",
+            "attack-2",
             attack2_new_call_in_function(&workload.program, "SELECT * FROM clients")
                 .map(|a| a.program),
         ),
         (
             "Attack 3 (reuse existing print)",
+            "attack-3",
             attack3_reuse_print(&workload.program).map(|a| a.program),
         ),
         (
             "Attack 4 (binary patch to file)",
+            "attack-4",
             attack4_binary_patch(&workload.program, "SELECT * FROM clients").map(|a| a.program),
         ),
-        ("Attack 5 (SQL injection input)", None),
+        ("Attack 5 (SQL injection input)", "attack-5", None),
     ];
 
     let mut rows = Vec::new();
-    for (name, program) in attacks {
+    for (name, session, program) in attacks {
+        adprom_engine.set_session(session);
         let (adprom_flag, cmarkov_flag, connected) = match program {
             Some(program) => run_attack(&workload, program, &adprom_engine, &cmarkov_engine),
             None => {
                 // Attack 5: malicious input on the original binary.
                 let trace = workload.run_case(&banking::injection_case(), &analysis.site_labels);
-                let a = adprom_engine.verdict(&trace);
-                let c = cmarkov_engine.verdict(&strip_trace(&trace));
-                let connected = adprom_engine
-                    .scan(&trace)
+                let alerts = adprom_engine.scan(&trace);
+                let a = alerts
+                    .iter()
+                    .map(|al| al.flag)
+                    .max()
+                    .unwrap_or(Flag::Normal);
+                let connected = alerts
                     .iter()
                     .any(|al| al.flag == Flag::DataLeak && al.detail.contains("_Q"));
+                let c = cmarkov_engine.verdict(&strip_trace(&trace));
                 (a, c, connected)
             }
         };
@@ -88,6 +105,21 @@ fn main() {
         "\npaper: CMarkov misses attacks 1 and 3; AD-PROM detects all five and \
          connects each to the data source"
     );
+
+    // The structured trail behind the table: one sequence-numbered JSONL
+    // record per non-Normal window, tagged with the attack session.
+    let records = sink.records();
+    println!("\n== Alert audit trail ({} records) ==", records.len());
+    for session in ["attack-1", "attack-2", "attack-3", "attack-4", "attack-5"] {
+        let per_attack: Vec<_> = records.iter().filter(|r| r.session == session).collect();
+        println!("-- {session}: {} records", per_attack.len());
+        for record in per_attack.iter().take(3) {
+            println!("{}", record.to_jsonl());
+        }
+        if per_attack.len() > 3 {
+            println!("... ({} more)", per_attack.len() - 3);
+        }
+    }
 }
 
 fn run_attack(
@@ -110,15 +142,19 @@ fn run_attack(
     let mut connected = false;
     for case in attacked.test_cases.iter().take(40) {
         let labeled = attacked.run_case(case, &attacked_analysis.site_labels);
-        let v = adprom_engine.verdict(&labeled);
-        if v > adprom_flag {
-            adprom_flag = v;
-        }
-        if !connected {
-            connected = adprom_engine.scan(&labeled).iter().any(|a| {
-                (a.flag == Flag::DataLeak && a.detail.contains("_Q"))
-                    || a.flag == Flag::OutOfContext
-            });
+        // One scan per case: it yields the verdict, the source connection,
+        // and (via the attached audit log) the JSONL trail in one pass.
+        let alerts = adprom_engine.scan(&labeled);
+        for alert in &alerts {
+            if alert.flag > adprom_flag {
+                adprom_flag = alert.flag;
+            }
+            if !connected
+                && ((alert.flag == Flag::DataLeak && alert.detail.contains("_Q"))
+                    || alert.flag == Flag::OutOfContext)
+            {
+                connected = true;
+            }
         }
         // CMarkov's collector sees raw names only.
         cmarkov_flag = cmarkov_flag.max(cmarkov_engine.verdict(&strip_trace(&labeled)));

@@ -13,6 +13,7 @@ use crate::profile::Profile;
 use crate::threshold::select_threshold;
 use adprom_analysis::Analysis;
 use adprom_hmm::{train, TrainConfig, TrainReport};
+use adprom_obs::Registry;
 use adprom_trace::{sliding_windows, CallEvent};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -38,6 +39,10 @@ pub struct ConstructorConfig {
     pub threshold_margin: f64,
     /// Shuffling seed for the dataset partition.
     pub seed: u64,
+    /// Metrics registry for training telemetry (`train.*`). Defaults to
+    /// the disabled registry, so construction stays uninstrumented unless
+    /// a live one is provided.
+    pub registry: Registry,
 }
 
 impl Default for ConstructorConfig {
@@ -54,6 +59,7 @@ impl Default for ConstructorConfig {
             // nat under a 1.0 margin) while attacks score >10 nats lower.
             threshold_margin: 1.5,
             seed: 0xADB0,
+            registry: Registry::default(),
         }
     }
 }
@@ -77,6 +83,27 @@ pub struct BuildReport {
     pub threshold: f64,
     /// Mean normal-window log-likelihood on the validation folds.
     pub mean_normal_score: f64,
+}
+
+/// Records Baum–Welch telemetry: iteration count, convergence, and the
+/// per-iteration improvement of the held-out (CSDS) log-likelihood.
+/// Improvements are histogrammed in micro-nats (`Δll × 10⁶`, floored at
+/// 0) because histograms store integer samples.
+fn record_train_telemetry(registry: &Registry, report: &TrainReport) {
+    if !registry.is_enabled() {
+        return;
+    }
+    registry
+        .counter("train.iterations")
+        .add(report.iterations as u64);
+    registry
+        .gauge("train.converged")
+        .set(i64::from(report.converged));
+    let delta = registry.histogram("train.holdout_ll_delta_micronats");
+    for pair in report.holdout_curve.windows(2) {
+        let improvement = ((pair[1] - pair[0]) * 1e6).max(0.0);
+        delta.record(improvement as u64);
+    }
 }
 
 /// Builds windows (label sequences) from raw traces.
@@ -122,7 +149,13 @@ pub fn build_profile(
     // Initialize from the pCTM and train with CSDS-based convergence.
     let init: InitializedModel = init_from_pctm(&analysis.pctm, &alphabet, &config.init);
     let mut hmm = init.hmm;
+    let train_ns = config.registry.histogram("train.baumwelch_ns");
+    let timer = train_ns.is_enabled().then(std::time::Instant::now);
     let train_report = train(&mut hmm, train_set, csds, &config.train);
+    if let Some(start) = timer {
+        train_ns.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    record_train_telemetry(&config.registry, &train_report);
 
     // Threshold via k-fold cross-validation over the training windows.
     let (threshold, mean_normal_score) = select_threshold(
@@ -269,6 +302,28 @@ mod tests {
             .map(|t| if t.len() <= 4 { 1 } else { t.len() - 3 })
             .sum();
         assert_eq!(windows.len(), expected);
+    }
+
+    #[test]
+    fn training_telemetry_lands_in_registry() {
+        let (analysis, traces) = collect_traces(10);
+        let registry = Registry::new();
+        let mut config = ConstructorConfig::default();
+        config.train.max_iterations = 5;
+        config.registry = registry.clone();
+        let (_, report) = build_profile("demo", &analysis, &traces, &config);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("train.iterations"),
+            Some(report.train_report.iterations as u64)
+        );
+        assert_eq!(snap.histograms["train.baumwelch_ns"].count, 1);
+        // One improvement sample per consecutive holdout-curve pair.
+        let expected = report.train_report.holdout_curve.len().saturating_sub(1) as u64;
+        assert_eq!(
+            snap.histograms["train.holdout_ll_delta_micronats"].count,
+            expected
+        );
     }
 
     #[test]

@@ -13,11 +13,15 @@
 //! 4. **Normal** — everything else.
 
 use crate::profile::Profile;
+use crate::telemetry::{audit_record_from_alert, DetectMetrics};
 use adprom_hmm::log_likelihood;
+use adprom_obs::{AuditLog, Registry};
 use adprom_trace::{CallEvent, CallSink};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Detection flags (§V-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -31,6 +35,38 @@ pub enum Flag {
     DataLeak,
     /// A call issued from a caller never seen issuing it.
     OutOfContext,
+}
+
+impl Flag {
+    /// The pure flag-precedence rule (§V-C), shared by every scoring path
+    /// — [`DetectionEngine::classify`], the incremental batch scanner, and
+    /// anything else that already knows the per-window facts:
+    ///
+    /// 1. `out_of_context` wins outright (structural, likelihood-blind);
+    /// 2. below-threshold windows are [`Flag::DataLeak`] when a
+    ///    DDG-labeled output call is present, else [`Flag::Anomalous`];
+    /// 3. everything else is [`Flag::Normal`].
+    ///
+    /// `ll = NaN` never compares below the threshold, so an undefined
+    /// score degrades to Normal rather than a spurious alarm.
+    pub fn classify(
+        ll: f64,
+        threshold: f64,
+        has_labeled_output: bool,
+        out_of_context: bool,
+    ) -> Flag {
+        if out_of_context {
+            Flag::OutOfContext
+        } else if ll < threshold {
+            if has_labeled_output {
+                Flag::DataLeak
+            } else {
+                Flag::Anomalous
+            }
+        } else {
+            Flag::Normal
+        }
+    }
 }
 
 impl fmt::Display for Flag {
@@ -76,15 +112,50 @@ pub struct DetectionEngine<'p> {
     /// via [`DetectionEngine::set_threshold`], e.g. from an adaptive
     /// controller).
     threshold: f64,
+    /// Metric handles (no-ops unless [`DetectionEngine::with_registry`] /
+    /// [`DetectionEngine::with_metrics`] installed live ones).
+    metrics: DetectMetrics,
+    /// Audit log for non-Normal detections, if any.
+    audit: Option<Arc<AuditLog>>,
+    /// Session id stamped on audit records (empty when unknown).
+    session: String,
 }
 
 impl<'p> DetectionEngine<'p> {
-    /// Creates an engine over a profile.
+    /// Creates an engine over a profile. Instrumentation starts disabled.
     pub fn new(profile: &'p Profile) -> DetectionEngine<'p> {
         DetectionEngine {
             profile,
             threshold: profile.threshold,
+            metrics: DetectMetrics::disabled(),
+            audit: None,
+            session: String::new(),
         }
+    }
+
+    /// Registers metric handles against `registry` (window counts, flag
+    /// counters, score latency).
+    pub fn with_registry(self, registry: &Registry) -> DetectionEngine<'p> {
+        self.with_metrics(DetectMetrics::from_registry(registry))
+    }
+
+    /// Installs pre-fetched metric handles — the zero-registration-lock
+    /// path batch workers use.
+    pub fn with_metrics(mut self, metrics: DetectMetrics) -> DetectionEngine<'p> {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Routes every non-Normal detection to `audit` as a JSONL-ready
+    /// [`adprom_obs::AuditRecord`].
+    pub fn with_audit(mut self, audit: Arc<AuditLog>) -> DetectionEngine<'p> {
+        self.audit = Some(audit);
+        self
+    }
+
+    /// Sets the session id stamped on audit records.
+    pub fn set_session(&mut self, session: &str) {
+        self.session = session.to_string();
     }
 
     /// The profile in use.
@@ -111,7 +182,16 @@ impl<'p> DetectionEngine<'p> {
     /// Classifies one window of events.
     pub fn classify(&self, events: &[CallEvent]) -> Alert {
         let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
+        // Only read the clock when a live histogram will receive the
+        // sample — disabled instrumentation must not cost two syscalls
+        // per window.
+        let timer = self.metrics.score_ns.is_enabled().then(Instant::now);
         let ll = self.score(&names);
+        if let Some(start) = timer {
+            self.metrics
+                .score_ns
+                .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
         self.classify_scored(events, names, ll)
     }
 
@@ -125,55 +205,55 @@ impl<'p> DetectionEngine<'p> {
     }
 
     fn classify_scored(&self, events: &[CallEvent], names: Vec<String>, ll: f64) -> Alert {
-        // Out-of-context check first (§V-C flag 1): structural, independent
-        // of the likelihood.
-        for e in events {
-            if self.profile.is_out_of_context(&e.name, &e.caller) {
-                return Alert {
-                    flag: Flag::OutOfContext,
-                    log_likelihood: ll,
-                    threshold: self.threshold,
-                    window: names,
-                    detail: format!(
-                        "call `{}` issued by `{}`, which never issued it in training",
-                        e.name, e.caller
-                    ),
-                };
+        // Per-window facts first, then the shared precedence rule
+        // ([`Flag::classify`]) decides the flag.
+        let ooc = events
+            .iter()
+            .find(|e| self.profile.is_out_of_context(&e.name, &e.caller));
+        let leak = names.iter().find(|n| n.contains("_Q"));
+        let flag = Flag::classify(ll, self.threshold, leak.is_some(), ooc.is_some());
+        let detail = match flag {
+            Flag::OutOfContext => {
+                let e = ooc.expect("flag requires an out-of-context event");
+                format!(
+                    "call `{}` issued by `{}`, which never issued it in training",
+                    e.name, e.caller
+                )
             }
-        }
-
-        let anomalous = ll < self.threshold;
-        if anomalous {
-            // A labeled output call in the window connects the anomaly to
-            // the data source.
-            if let Some(leak) = names.iter().find(|n| n.contains("_Q")) {
-                return Alert {
-                    flag: Flag::DataLeak,
-                    log_likelihood: ll,
-                    threshold: self.threshold,
-                    detail: format!(
-                        "anomalous sequence contains labeled output `{leak}` \
-                         (block {}): targeted data from the DB reached an output statement",
-                        leak.rsplit("_Q").next().unwrap_or("?")
-                    ),
-                    window: names,
-                };
+            Flag::DataLeak => {
+                let leak = leak.expect("flag requires a labeled output");
+                format!(
+                    "anomalous sequence contains labeled output `{leak}` \
+                     (block {}): targeted data from the DB reached an output statement",
+                    leak.rsplit("_Q").next().unwrap_or("?")
+                )
             }
-            return Alert {
-                flag: Flag::Anomalous,
-                log_likelihood: ll,
-                threshold: self.threshold,
-                window: names,
-                detail: "sequence probability below threshold".to_string(),
-            };
-        }
-        Alert {
-            flag: Flag::Normal,
+            Flag::Anomalous => "sequence probability below threshold".to_string(),
+            Flag::Normal => String::new(),
+        };
+        self.observe(Alert {
+            flag,
             log_likelihood: ll,
             threshold: self.threshold,
             window: names,
-            detail: String::new(),
+            detail,
+        })
+    }
+
+    /// Feeds a finished alert through the instrumentation — the window
+    /// counter, its flag-kind counter, and (for non-Normal alerts) the
+    /// audit log — and returns it unchanged. Every classify path ends
+    /// here; scoring paths that build alerts themselves (the incremental
+    /// batch scanner) call it directly.
+    pub fn observe(&self, alert: Alert) -> Alert {
+        self.metrics.windows_scored.inc();
+        self.metrics.flag_counter(alert.flag).inc();
+        if alert.is_alarm() {
+            if let Some(audit) = &self.audit {
+                audit.record(audit_record_from_alert(&alert, &self.session));
+            }
         }
+        alert
     }
 
     /// Scans a whole trace with sliding windows; returns one alert per
@@ -403,6 +483,117 @@ mod tests {
                 engine.classify_with_ll(&window, ll)
             );
         }
+    }
+
+    #[test]
+    fn flag_classify_covers_every_fact_combination() {
+        let th = -5.0;
+        // out_of_context wins outright, whatever the score or labels say.
+        for ll in [-100.0, th, 0.0, f64::NEG_INFINITY, f64::NAN] {
+            for labeled in [false, true] {
+                assert_eq!(
+                    Flag::classify(ll, th, labeled, true),
+                    Flag::OutOfContext,
+                    "ll={ll} labeled={labeled}"
+                );
+            }
+        }
+        // Below threshold: a labeled output upgrades Anomalous → DataLeak.
+        for ll in [-100.0, -5.000001, f64::NEG_INFINITY] {
+            assert_eq!(
+                Flag::classify(ll, th, true, false),
+                Flag::DataLeak,
+                "ll={ll}"
+            );
+            assert_eq!(
+                Flag::classify(ll, th, false, false),
+                Flag::Anomalous,
+                "ll={ll}"
+            );
+        }
+        // At or above threshold: Normal, labels notwithstanding.
+        for ll in [th, -1.0, 0.0, f64::INFINITY] {
+            for labeled in [false, true] {
+                assert_eq!(
+                    Flag::classify(ll, th, labeled, false),
+                    Flag::Normal,
+                    "ll={ll} labeled={labeled}"
+                );
+            }
+        }
+        // An undefined score never alarms.
+        assert_eq!(Flag::classify(f64::NAN, th, true, false), Flag::Normal);
+        assert_eq!(Flag::classify(f64::NAN, th, false, false), Flag::Normal);
+    }
+
+    #[test]
+    fn flag_classify_agrees_with_classify_scored() {
+        let profile = cyclic_profile();
+        let engine = DetectionEngine::new(&profile);
+        for window in [
+            vec![
+                event("a", "main"),
+                event("b", "main"),
+                event("c_Q7", "main"),
+            ],
+            vec![event("b", "main"), event("a", "main"), event("a", "main")],
+            vec![
+                event("a", "main"),
+                event("evil_exfil", "main"),
+                event("c_Q7", "main"),
+            ],
+            vec![
+                event("a", "main"),
+                event("b", "attacker_function"),
+                event("c_Q7", "main"),
+            ],
+        ] {
+            let alert = engine.classify(&window);
+            let has_label = window.iter().any(|e| e.name.contains("_Q"));
+            let ooc = window
+                .iter()
+                .any(|e| profile.is_out_of_context(&e.name, &e.caller));
+            assert_eq!(
+                alert.flag,
+                Flag::classify(alert.log_likelihood, engine.threshold(), has_label, ooc)
+            );
+        }
+    }
+
+    #[test]
+    fn engine_metrics_and_audit_capture_detections() {
+        use adprom_obs::{AuditLog, AuditSink, MemoryAuditSink};
+        let profile = cyclic_profile();
+        let registry = Registry::new();
+        let sink = Arc::new(MemoryAuditSink::new());
+        let audit = Arc::new(AuditLog::new(Arc::clone(&sink) as Arc<dyn AuditSink>));
+        let mut engine = DetectionEngine::new(&profile)
+            .with_registry(&registry)
+            .with_audit(audit);
+        engine.set_session("conn-1");
+        engine.classify(&[
+            event("a", "main"),
+            event("b", "main"),
+            event("c_Q7", "main"),
+        ]);
+        engine.classify(&[
+            event("a", "main"),
+            event("evil_exfil", "main"),
+            event("c_Q7", "main"),
+        ]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("detect.windows_scored"), Some(2));
+        assert_eq!(snap.counter("detect.flags.normal"), Some(1));
+        assert_eq!(snap.counter("detect.flags.data_leak"), Some(1));
+        assert_eq!(snap.histograms["detect.score_ns"].count, 2);
+        // Only the non-Normal detection reached the audit trail, with the
+        // session id and leak label attached.
+        let records = sink.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].session, "conn-1");
+        assert_eq!(records[0].flag, "DATA-LEAK");
+        assert_eq!(records[0].label.as_deref(), Some("c_Q7"));
+        assert_eq!(records[0].bid.as_deref(), Some("7"));
     }
 
     #[test]

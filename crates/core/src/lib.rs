@@ -35,6 +35,7 @@ pub mod init;
 pub mod metrics;
 pub mod parallel;
 pub mod profile;
+pub mod telemetry;
 pub mod threshold;
 
 pub use alphabet::{Alphabet, UNKNOWN};
@@ -46,4 +47,5 @@ pub use init::{build_ctvs, init_from_pctm, InitConfig, InitializedModel};
 pub use metrics::{fn_rate_at_fp, roc_curve, Confusion, RocPoint};
 pub use parallel::{BatchDetector, ScoringMode, TraceReport};
 pub use profile::{Profile, ProfileIoError};
+pub use telemetry::{audit_record_from_alert, BatchMetrics, DetectMetrics};
 pub use threshold::{select_threshold, threshold_sweep, AdaptiveThreshold};

@@ -22,9 +22,13 @@
 
 use crate::detect::{Alert, DetectionEngine, Flag};
 use crate::profile::Profile;
+use crate::telemetry::{BatchMetrics, DetectMetrics};
 use adprom_hmm::SlidingForward;
+use adprom_obs::{AuditLog, Registry};
 use adprom_trace::CallEvent;
 use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// How a [`BatchDetector`] scores windows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,6 +49,11 @@ pub enum ScoringMode {
 pub struct TraceReport {
     /// Position of the trace in the input batch.
     pub index: usize,
+    /// Session (connection) id the trace came from —
+    /// [`BatchDetector::detect_sessions`] carries it end-to-end into the
+    /// report and every audit record; `None` for anonymous
+    /// [`BatchDetector::detect_batch`] traces.
+    pub session: Option<String>,
     /// One alert per window, in window order.
     pub alerts: Vec<Alert>,
     /// Highest-severity flag over the trace.
@@ -64,21 +73,46 @@ pub struct BatchDetector<'p> {
     profile: &'p Profile,
     threshold: f64,
     mode: ScoringMode,
+    /// Window/flag handles, cloned into every worker's engine.
+    detect_metrics: DetectMetrics,
+    /// Batch-level handles: per-trace latency, task counts, mode and
+    /// sliding-scorer accounting.
+    metrics: BatchMetrics,
+    /// Audit log shared by every worker (sequence numbers stay global).
+    audit: Option<Arc<AuditLog>>,
 }
 
 impl<'p> BatchDetector<'p> {
-    /// Creates a batch detector in [`ScoringMode::ExactWindows`].
+    /// Creates a batch detector in [`ScoringMode::ExactWindows`] with
+    /// instrumentation disabled.
     pub fn new(profile: &'p Profile) -> BatchDetector<'p> {
         BatchDetector {
             profile,
             threshold: profile.threshold,
             mode: ScoringMode::ExactWindows,
+            detect_metrics: DetectMetrics::disabled(),
+            metrics: BatchMetrics::disabled(),
+            audit: None,
         }
     }
 
     /// Selects the scoring mode.
     pub fn with_mode(mut self, mode: ScoringMode) -> BatchDetector<'p> {
         self.mode = mode;
+        self
+    }
+
+    /// Registers metric handles against `registry` — once, here; the rayon
+    /// workers only touch the shared atomics.
+    pub fn with_registry(mut self, registry: &Registry) -> BatchDetector<'p> {
+        self.detect_metrics = DetectMetrics::from_registry(registry);
+        self.metrics = BatchMetrics::from_registry(registry);
+        self
+    }
+
+    /// Routes every non-Normal detection from every worker to `audit`.
+    pub fn with_audit(mut self, audit: Arc<AuditLog>) -> BatchDetector<'p> {
+        self.audit = Some(audit);
         self
     }
 
@@ -96,22 +130,56 @@ impl<'p> BatchDetector<'p> {
     /// Reports come back in input order with `report.index == i`; see the
     /// module docs for the determinism guarantee.
     pub fn detect_batch(&self, traces: &[Vec<CallEvent>]) -> Vec<TraceReport> {
+        self.metrics.batches.inc();
+        self.metrics.tasks_spawned.add(traces.len() as u64);
         let alerts_per_trace: Vec<Vec<Alert>> = traces
             .par_iter()
-            .map(|trace| self.scan_trace(trace))
+            .map(|trace| self.scan_session_trace("", trace))
             .collect();
         alerts_per_trace
             .into_iter()
             .enumerate()
-            .map(|(index, alerts)| {
-                let verdict = alerts.iter().map(|a| a.flag).max().unwrap_or(Flag::Normal);
-                TraceReport {
-                    index,
-                    alerts,
-                    verdict,
-                }
-            })
+            .map(|(index, alerts)| Self::report(index, None, alerts))
             .collect()
+    }
+
+    /// Like [`detect_batch`](BatchDetector::detect_batch), but each trace
+    /// carries its session id — stamped on every audit record its windows
+    /// raise and returned in [`TraceReport::session`]. `sessions` and
+    /// `traces` must be parallel slices (as
+    /// [`adprom_trace::BatchCollector::into_batch`] produces).
+    pub fn detect_sessions(
+        &self,
+        sessions: &[String],
+        traces: &[Vec<CallEvent>],
+    ) -> Vec<TraceReport> {
+        assert_eq!(
+            sessions.len(),
+            traces.len(),
+            "one session id per trace required"
+        );
+        self.metrics.batches.inc();
+        self.metrics.tasks_spawned.add(traces.len() as u64);
+        let indices: Vec<usize> = (0..traces.len()).collect();
+        let alerts_per_trace: Vec<Vec<Alert>> = indices
+            .par_iter()
+            .map(|&i| self.scan_session_trace(&sessions[i], &traces[i]))
+            .collect();
+        alerts_per_trace
+            .into_iter()
+            .enumerate()
+            .map(|(index, alerts)| Self::report(index, Some(sessions[index].clone()), alerts))
+            .collect()
+    }
+
+    fn report(index: usize, session: Option<String>, alerts: Vec<Alert>) -> TraceReport {
+        let verdict = alerts.iter().map(|a| a.flag).max().unwrap_or(Flag::Normal);
+        TraceReport {
+            index,
+            session,
+            alerts,
+            verdict,
+        }
     }
 
     /// Highest-severity flag per trace, in input order.
@@ -125,12 +193,32 @@ impl<'p> BatchDetector<'p> {
     /// Scores a single trace with the configured mode (the unit of work
     /// each pool thread runs).
     pub fn scan_trace(&self, events: &[CallEvent]) -> Vec<Alert> {
-        let mut engine = DetectionEngine::new(self.profile);
-        engine.set_threshold(self.threshold);
+        self.scan_session_trace("", events)
+    }
+
+    fn scan_session_trace(&self, session: &str, events: &[CallEvent]) -> Vec<Alert> {
+        let timer = self.metrics.trace_ns.is_enabled().then(Instant::now);
         match self.mode {
+            ScoringMode::ExactWindows => self.metrics.mode_exact.inc(),
+            ScoringMode::Incremental => self.metrics.mode_incremental.inc(),
+        }
+        let mut engine =
+            DetectionEngine::new(self.profile).with_metrics(self.detect_metrics.clone());
+        if let Some(audit) = &self.audit {
+            engine = engine.with_audit(Arc::clone(audit));
+        }
+        engine.set_session(session);
+        engine.set_threshold(self.threshold);
+        let alerts = match self.mode {
             ScoringMode::ExactWindows => engine.scan(events),
             ScoringMode::Incremental => self.scan_incremental(&engine, events),
+        };
+        if let Some(start) = timer {
+            self.metrics
+                .trace_ns
+                .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
+        alerts
     }
 
     /// Incremental scan: one sliding scorer per trace, one alert per
@@ -168,54 +256,40 @@ impl<'p> BatchDetector<'p> {
         let mut sliding = SlidingForward::new(&self.profile.hmm, n);
         let mut alerts = Vec::with_capacity(events.len().saturating_sub(n) + 1);
         let mut emit = |start: usize, end: usize, ll: f64| {
-            // Same flag precedence as DetectionEngine::classify, driven by
+            // The shared precedence rule ([`Flag::classify`]), driven by
             // the precomputed per-event facts.
             let window = names[start..end].to_vec();
-            if ooc_prefix[end] > ooc_prefix[start] {
-                let t = (start..end).find(|&t| out_of_context[t]).expect("counted");
-                alerts.push(Alert {
-                    flag: Flag::OutOfContext,
-                    log_likelihood: ll,
-                    threshold,
-                    window,
-                    detail: format!(
+            let ooc = (ooc_prefix[end] > ooc_prefix[start])
+                .then(|| (start..end).find(|&t| out_of_context[t]).expect("counted"));
+            let leak = (labeled_prefix[end] > labeled_prefix[start])
+                .then(|| (start..end).find(|&t| labeled[t]).expect("counted"));
+            let flag = Flag::classify(ll, threshold, leak.is_some(), ooc.is_some());
+            let detail = match flag {
+                Flag::OutOfContext => {
+                    let t = ooc.expect("flag requires an out-of-context event");
+                    format!(
                         "call `{}` issued by `{}`, which never issued it in training",
                         events[t].name, events[t].caller
-                    ),
-                });
-            } else if ll < threshold {
-                if labeled_prefix[end] > labeled_prefix[start] {
-                    let t = (start..end).find(|&t| labeled[t]).expect("counted");
-                    let leak = &names[t];
-                    alerts.push(Alert {
-                        flag: Flag::DataLeak,
-                        log_likelihood: ll,
-                        threshold,
-                        detail: format!(
-                            "anomalous sequence contains labeled output `{leak}` \
-                             (block {}): targeted data from the DB reached an output statement",
-                            leak.rsplit("_Q").next().unwrap_or("?")
-                        ),
-                        window,
-                    });
-                } else {
-                    alerts.push(Alert {
-                        flag: Flag::Anomalous,
-                        log_likelihood: ll,
-                        threshold,
-                        window,
-                        detail: "sequence probability below threshold".to_string(),
-                    });
+                    )
                 }
-            } else {
-                alerts.push(Alert {
-                    flag: Flag::Normal,
-                    log_likelihood: ll,
-                    threshold,
-                    window,
-                    detail: String::new(),
-                });
-            }
+                Flag::DataLeak => {
+                    let leak = &names[leak.expect("flag requires a labeled output")];
+                    format!(
+                        "anomalous sequence contains labeled output `{leak}` \
+                         (block {}): targeted data from the DB reached an output statement",
+                        leak.rsplit("_Q").next().unwrap_or("?")
+                    )
+                }
+                Flag::Anomalous => "sequence probability below threshold".to_string(),
+                Flag::Normal => String::new(),
+            };
+            alerts.push(engine.observe(Alert {
+                flag,
+                log_likelihood: ll,
+                threshold,
+                window,
+                detail,
+            }));
         };
 
         if events.len() <= n {
@@ -224,14 +298,20 @@ impl<'p> BatchDetector<'p> {
                 score = sliding.push(symbol);
             }
             emit(0, events.len(), score);
-            return alerts;
-        }
-        for (t, &symbol) in encoded.iter().enumerate() {
-            let score = sliding.push(symbol);
-            if t + 1 >= n {
-                emit(t + 1 - n, t + 1, score);
+        } else {
+            for (t, &symbol) in encoded.iter().enumerate() {
+                let score = sliding.push(symbol);
+                if t + 1 >= n {
+                    emit(t + 1 - n, t + 1, score);
+                }
             }
         }
+        // Surface the sliding scorer's accounting (acceptance metric:
+        // `sliding.reanchors` — 0 for smoothed profiles).
+        self.metrics.sliding_pushes.add(sliding.stats().pushes);
+        self.metrics
+            .sliding_reanchors
+            .add(sliding.stats().reanchors);
         alerts
     }
 }
@@ -370,6 +450,88 @@ mod tests {
         detector.set_threshold(0.0); // everything scores below 0
         let verdicts = detector.verdicts(&[trace_of(&["a", "b", "c_Q7"])]);
         assert_ne!(verdicts[0], Flag::Normal);
+    }
+
+    #[test]
+    fn detect_sessions_carries_session_ids_end_to_end() {
+        use adprom_obs::{AuditLog, AuditSink, MemoryAuditSink};
+        let profile = cyclic_profile();
+        let registry = Registry::new();
+        let sink = Arc::new(MemoryAuditSink::new());
+        let audit = Arc::new(AuditLog::new(Arc::clone(&sink) as Arc<dyn AuditSink>));
+        let detector = BatchDetector::new(&profile)
+            .with_registry(&registry)
+            .with_audit(audit);
+        let sessions: Vec<String> = vec!["conn-0".into(), "conn-1".into(), "conn-2".into()];
+        let batch = vec![
+            trace_of(&["a", "b", "c_Q7"]),          // normal
+            trace_of(&["b", "a", "a"]),             // anomalous
+            trace_of(&["a", "evil_exfil", "c_Q7"]), // data leak
+        ];
+        let reports = detector.detect_sessions(&sessions, &batch);
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(report.index, i);
+            assert_eq!(report.session.as_deref(), Some(sessions[i].as_str()));
+        }
+        assert_eq!(reports[2].verdict, Flag::DataLeak);
+        // Audit records carry the originating session, not just an index.
+        let records = sink.records();
+        assert_eq!(records.len(), 2);
+        let mut audited_sessions: Vec<String> = records.iter().map(|r| r.session.clone()).collect();
+        audited_sessions.sort();
+        assert_eq!(audited_sessions, vec!["conn-1", "conn-2"]);
+        // Anonymous batches leave the session empty.
+        let anonymous = detector.detect_batch(&batch);
+        assert!(anonymous.iter().all(|r| r.session.is_none()));
+    }
+
+    #[test]
+    fn batch_metrics_account_for_tasks_modes_and_reanchors() {
+        let profile = cyclic_profile();
+        let registry = Registry::new();
+        let batch = mixed_batch();
+        let exact = BatchDetector::new(&profile).with_registry(&registry);
+        exact.detect_batch(&batch);
+        let incremental = BatchDetector::new(&profile)
+            .with_registry(&registry)
+            .with_mode(ScoringMode::Incremental);
+        incremental.detect_batch(&batch);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("batch.batches"), Some(2));
+        assert_eq!(
+            snap.counter("batch.tasks_spawned"),
+            Some(2 * batch.len() as u64)
+        );
+        assert_eq!(
+            snap.counter("batch.mode.exact_windows"),
+            Some(batch.len() as u64)
+        );
+        assert_eq!(
+            snap.counter("batch.mode.incremental"),
+            Some(batch.len() as u64)
+        );
+        assert_eq!(
+            snap.histograms["batch.trace_ns"].count,
+            2 * batch.len() as u64
+        );
+        // The incremental pass fed every non-empty trace's events through
+        // a sliding scorer; the smoothed cyclic profile never re-anchors.
+        let total_events: u64 = batch.iter().map(|t| t.len() as u64).sum();
+        assert_eq!(snap.counter("sliding.pushes"), Some(total_events));
+        assert_eq!(snap.counter("sliding.reanchors"), Some(0));
+        // Both passes scored every window and counted every flag kind.
+        let windows = snap.counter("detect.windows_scored").unwrap();
+        let flags: u64 = [
+            "detect.flags.normal",
+            "detect.flags.anomalous",
+            "detect.flags.data_leak",
+            "detect.flags.out_of_context",
+        ]
+        .iter()
+        .map(|n| snap.counter(n).unwrap())
+        .sum();
+        assert!(windows > 0);
+        assert_eq!(windows, flags);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Pipeline instrumentation: pre-fetched metric handles for the hot
+//! detection paths, and the Alert → audit-record bridge.
+//!
+//! Handles are acquired once (taking the registry's registration lock) and
+//! cloned freely afterwards — clones share the underlying atomics, so a
+//! [`BatchDetector`](crate::parallel::BatchDetector) can hand one set of
+//! handles to every rayon worker. Everything defaults to the disabled
+//! (no-op) state: a [`DetectionEngine`](crate::detect::DetectionEngine)
+//! built without [`with_registry`](crate::detect::DetectionEngine::with_registry)
+//! pays a single branch per update.
+
+use crate::detect::{Alert, Flag};
+use adprom_obs::{AuditRecord, Counter, Histogram, Registry};
+
+/// Metric handles for [`DetectionEngine`](crate::detect::DetectionEngine):
+/// one counter per flag kind, the total window count, and the score
+/// latency histogram.
+#[derive(Debug, Clone, Default)]
+pub struct DetectMetrics {
+    /// `detect.windows_scored` — every window classified.
+    pub windows_scored: Counter,
+    /// `detect.flags.normal`.
+    pub flags_normal: Counter,
+    /// `detect.flags.anomalous`.
+    pub flags_anomalous: Counter,
+    /// `detect.flags.data_leak`.
+    pub flags_data_leak: Counter,
+    /// `detect.flags.out_of_context`.
+    pub flags_out_of_context: Counter,
+    /// `detect.score_ns` — wall-clock nanoseconds of the per-window
+    /// forward scoring pass (exact mode only; incremental scoring is
+    /// per-event, timed at trace granularity by [`BatchMetrics`]).
+    pub score_ns: Histogram,
+}
+
+impl DetectMetrics {
+    /// All-no-op handles (the default).
+    pub fn disabled() -> DetectMetrics {
+        DetectMetrics::default()
+    }
+
+    /// Registers every handle against `registry`. Call once, outside the
+    /// scoring loop.
+    pub fn from_registry(registry: &Registry) -> DetectMetrics {
+        DetectMetrics {
+            windows_scored: registry.counter("detect.windows_scored"),
+            flags_normal: registry.counter("detect.flags.normal"),
+            flags_anomalous: registry.counter("detect.flags.anomalous"),
+            flags_data_leak: registry.counter("detect.flags.data_leak"),
+            flags_out_of_context: registry.counter("detect.flags.out_of_context"),
+            score_ns: registry.histogram("detect.score_ns"),
+        }
+    }
+
+    /// The counter for one flag kind.
+    pub fn flag_counter(&self, flag: Flag) -> &Counter {
+        match flag {
+            Flag::Normal => &self.flags_normal,
+            Flag::Anomalous => &self.flags_anomalous,
+            Flag::DataLeak => &self.flags_data_leak,
+            Flag::OutOfContext => &self.flags_out_of_context,
+        }
+    }
+}
+
+/// Metric handles for [`BatchDetector`](crate::parallel::BatchDetector):
+/// per-trace latency, rayon task accounting, scoring-mode counters, and
+/// the [`SlidingForward`](adprom_hmm::SlidingForward) re-anchor totals
+/// surfaced from [`adprom_hmm::SlidingStats`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchMetrics {
+    /// `batch.batches` — `detect_batch` / `detect_sessions` invocations.
+    pub batches: Counter,
+    /// `batch.tasks_spawned` — traces fanned out to the rayon pool.
+    pub tasks_spawned: Counter,
+    /// `batch.trace_ns` — wall-clock nanoseconds to score one trace.
+    pub trace_ns: Histogram,
+    /// `batch.mode.exact_windows` — traces scored with the full
+    /// per-window forward recompute.
+    pub mode_exact: Counter,
+    /// `batch.mode.incremental` — traces scored with the sliding scorer.
+    pub mode_incremental: Counter,
+    /// `sliding.pushes` — events fed through sliding scorers.
+    pub sliding_pushes: Counter,
+    /// `sliding.reanchors` — exact-recompute fallbacks the sliding
+    /// scorers took (0 for smoothed profiles).
+    pub sliding_reanchors: Counter,
+}
+
+impl BatchMetrics {
+    /// All-no-op handles (the default).
+    pub fn disabled() -> BatchMetrics {
+        BatchMetrics::default()
+    }
+
+    /// Registers every handle against `registry`.
+    pub fn from_registry(registry: &Registry) -> BatchMetrics {
+        BatchMetrics {
+            batches: registry.counter("batch.batches"),
+            tasks_spawned: registry.counter("batch.tasks_spawned"),
+            trace_ns: registry.histogram("batch.trace_ns"),
+            mode_exact: registry.counter("batch.mode.exact_windows"),
+            mode_incremental: registry.counter("batch.mode.incremental"),
+            sliding_pushes: registry.counter("sliding.pushes"),
+            sliding_reanchors: registry.counter("sliding.reanchors"),
+        }
+    }
+}
+
+/// Converts a (non-Normal) alert into an audit record for `session`. The
+/// sequence number is assigned later by
+/// [`AuditLog::record`](adprom_obs::AuditLog::record). For DataLeak alerts
+/// the DDG label and block id are lifted from the window, connecting the
+/// alert back to its data source.
+pub fn audit_record_from_alert(alert: &Alert, session: &str) -> AuditRecord {
+    let label = if alert.flag == Flag::DataLeak {
+        alert.window.iter().find(|n| n.contains("_Q")).cloned()
+    } else {
+        None
+    };
+    let bid = label
+        .as_deref()
+        .and_then(|l| l.rsplit("_Q").next())
+        .map(str::to_string);
+    AuditRecord {
+        seq: 0,
+        session: session.to_string(),
+        flag: alert.flag.to_string(),
+        window: alert.window.clone(),
+        log_likelihood: alert.log_likelihood,
+        threshold: alert.threshold,
+        detail: alert.detail.clone(),
+        label,
+        bid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(flag: Flag, window: &[&str]) -> Alert {
+        Alert {
+            flag,
+            log_likelihood: -42.0,
+            threshold: -30.0,
+            window: window.iter().map(|s| s.to_string()).collect(),
+            detail: "detail".to_string(),
+        }
+    }
+
+    #[test]
+    fn leak_alert_carries_label_and_bid() {
+        let record =
+            audit_record_from_alert(&alert(Flag::DataLeak, &["PQexec", "printf_Q6"]), "conn-3");
+        assert_eq!(record.session, "conn-3");
+        assert_eq!(record.flag, "DATA-LEAK");
+        assert_eq!(record.label.as_deref(), Some("printf_Q6"));
+        assert_eq!(record.bid.as_deref(), Some("6"));
+    }
+
+    #[test]
+    fn non_leak_alert_has_no_label() {
+        let record = audit_record_from_alert(&alert(Flag::Anomalous, &["a", "b"]), "");
+        assert_eq!(record.flag, "ANOMALOUS");
+        assert_eq!(record.label, None);
+        assert_eq!(record.bid, None);
+    }
+
+    #[test]
+    fn flag_counters_are_distinct() {
+        let registry = Registry::new();
+        let metrics = DetectMetrics::from_registry(&registry);
+        metrics.flag_counter(Flag::DataLeak).inc();
+        metrics.flag_counter(Flag::Normal).add(2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("detect.flags.data_leak"), Some(1));
+        assert_eq!(snap.counter("detect.flags.normal"), Some(2));
+        assert_eq!(snap.counter("detect.flags.anomalous"), Some(0));
+    }
+
+    #[test]
+    fn disabled_metrics_discard_updates() {
+        let metrics = DetectMetrics::disabled();
+        metrics.windows_scored.inc();
+        assert_eq!(metrics.windows_scored.get(), 0);
+        assert!(!metrics.score_ns.is_enabled());
+        let batch = BatchMetrics::disabled();
+        batch.sliding_reanchors.add(5);
+        assert_eq!(batch.sliding_reanchors.get(), 0);
+    }
+}

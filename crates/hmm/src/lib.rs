@@ -28,5 +28,5 @@ pub mod viterbi;
 pub use baumwelch::{mean_log_likelihood, reestimate, train, TrainConfig, TrainReport};
 pub use forward::{backward, forward, log_likelihood, normalized_log_likelihood, ForwardPass};
 pub use model::{normalize, Hmm, HmmError};
-pub use sliding::{scan_scores, SlidingForward};
+pub use sliding::{scan_scores, SlidingForward, SlidingStats};
 pub use viterbi::viterbi;

@@ -43,6 +43,19 @@
 
 use crate::model::Hmm;
 
+/// Accounting for one [`SlidingForward`]'s lifetime — the observability
+/// hook the batch pipeline surfaces as `sliding.reanchors` /
+/// `sliding.pushes` metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlidingStats {
+    /// Events pushed since construction (or the last [`SlidingForward::reset`]).
+    pub pushes: u64,
+    /// Exact-recompute fallbacks taken: the chain hit a zero-probability
+    /// prefix and restarted from π. The initial anchoring of a fresh (or
+    /// reset) scorer does not count — smoothed models report 0 forever.
+    pub reanchors: u64,
+}
+
 /// Incremental scaled-forward scorer over a sliding window.
 ///
 /// Feed events one at a time with [`push`](SlidingForward::push); after
@@ -67,6 +80,8 @@ pub struct SlidingForward<'a> {
     /// True while the chain has no live alpha (before the first event, or
     /// after an event that was impossible even from π).
     dead: bool,
+    /// Lifetime accounting (pushes, re-anchor fallbacks).
+    stats: SlidingStats,
 }
 
 impl<'a> SlidingForward<'a> {
@@ -84,6 +99,7 @@ impl<'a> SlidingForward<'a> {
             seen: 0,
             anchor: 0,
             dead: true,
+            stats: SlidingStats::default(),
         }
     }
 
@@ -102,6 +118,13 @@ impl<'a> SlidingForward<'a> {
     /// impossible-prefix fallback.
     pub fn anchor(&self) -> usize {
         self.anchor
+    }
+
+    /// Lifetime accounting: events pushed and re-anchor (exact-recompute)
+    /// fallbacks taken. Smoothed models never re-anchor, so
+    /// `stats().reanchors` stays 0 on the production profile path.
+    pub fn stats(&self) -> SlidingStats {
+        self.stats
     }
 
     /// Advances the window by one event (O(N²)) and returns the score of
@@ -132,6 +155,10 @@ impl<'a> SlidingForward<'a> {
         if self.dead || c <= 0.0 {
             // Exact-recompute fallback: restart the chain at this event
             // from π, exactly as a fresh forward pass over obs[t..] would.
+            // Every restart except the initial anchoring is a re-anchor.
+            if self.seen > 0 {
+                self.stats.reanchors += 1;
+            }
             c = 0.0;
             for (j, acc) in self.scratch.iter_mut().enumerate() {
                 *acc = self.hmm.pi[j] * self.hmm.b(j, symbol);
@@ -157,6 +184,7 @@ impl<'a> SlidingForward<'a> {
             self.ring[self.seen % self.window] = contribution;
         }
         self.seen += 1;
+        self.stats.pushes += 1;
         self.score()
     }
 
@@ -174,6 +202,7 @@ impl<'a> SlidingForward<'a> {
         self.seen = 0;
         self.anchor = 0;
         self.dead = true;
+        self.stats = SlidingStats::default();
     }
 }
 
@@ -259,6 +288,8 @@ mod tests {
         assert_eq!(sliding.anchor(), 0);
         let score = sliding.push(2); // impossible after 0 → re-anchor from π
         assert_eq!(sliding.anchor(), 1);
+        assert_eq!(sliding.stats().reanchors, 1);
+        assert_eq!(sliding.stats().pushes, 2);
         assert!(
             score.is_finite(),
             "re-anchored window stays finite: {score}"
@@ -310,6 +341,7 @@ mod tests {
         sliding.reset();
         assert_eq!(sliding.seen(), 0);
         assert_eq!(sliding.score(), 0.0);
+        assert_eq!(sliding.stats(), SlidingStats::default());
         let second: Vec<f64> = obs.iter().map(|&s| sliding.push(s)).collect();
         assert_eq!(first, second, "push streams are deterministic");
     }

@@ -11,6 +11,43 @@ fn arb_hmm(max_n: usize, max_m: usize) -> impl Strategy<Value = Hmm> {
     (1..=max_n, 1..=max_m, any::<u64>()).prop_map(|(n, m, seed)| Hmm::random(n, m, seed))
 }
 
+/// Uniform distribution over the `true` entries of `mask`; a one-hot row
+/// at `fallback` when the mask is empty (rows must stay stochastic).
+fn uniform_over(mask: &[bool], fallback: usize) -> Vec<f64> {
+    let support = mask.iter().filter(|&&x| x).count();
+    if support == 0 {
+        let mut row = vec![0.0; mask.len()];
+        row[fallback] = 1.0;
+        return row;
+    }
+    mask.iter()
+        .map(|&x| if x { 1.0 / support as f64 } else { 0.0 })
+        .collect()
+}
+
+/// A model full of structural zeros: every transition and emission row is
+/// uniform over a random support set. These models routinely assign zero
+/// probability to sampled-from-elsewhere event streams, which is exactly
+/// what exercises the sliding scorer's re-anchor fallback.
+fn arb_sparse_hmm(n: usize, m: usize) -> impl Strategy<Value = Hmm> {
+    let trans = prop::collection::vec(prop::collection::vec(any::<bool>(), n..n + 1), n..n + 1);
+    let emit = prop::collection::vec(prop::collection::vec(any::<bool>(), m..m + 1), n..n + 1);
+    (trans, emit).prop_map(move |(tmask, emask)| {
+        let a: Vec<Vec<f64>> = tmask
+            .iter()
+            .enumerate()
+            .map(|(i, row)| uniform_over(row, i))
+            .collect();
+        let b: Vec<Vec<f64>> = emask
+            .iter()
+            .enumerate()
+            .map(|(i, row)| uniform_over(row, i % m))
+            .collect();
+        let pi = vec![1.0 / n as f64; n];
+        Hmm::new(a, b, pi).expect("rows are stochastic by construction")
+    })
+}
+
 /// Brute-force P(O | λ) by summing over all state paths.
 fn enumerate_likelihood(hmm: &Hmm, obs: &[usize]) -> f64 {
     let n = hmm.n_states();
@@ -152,6 +189,64 @@ proptest! {
                     "t={t}: recompute -inf but incremental {score}");
             }
         }
+    }
+
+    /// `SlidingForward::stats()` re-anchor accounting: the counter equals
+    /// the number of exact recomputes (restarts from π) actually
+    /// performed, counted independently by replaying the stream with
+    /// fresh full forward() passes. Sparse models + uniform random event
+    /// streams force zero-probability prefixes constantly.
+    #[test]
+    fn sliding_stats_count_exact_recomputes(
+        hmm in arb_sparse_hmm(3, 4),
+        obs in prop::collection::vec(0usize..4, 1..48),
+        window in 1usize..8,
+    ) {
+        let mut sliding = SlidingForward::new(&hmm, window);
+        let mut expected_reanchors = 0u64;
+        let mut anchor = 0usize;
+        let mut dead = true;
+        for (t, &symbol) in obs.iter().enumerate() {
+            // Oracle: an exact recompute happens whenever the live chain
+            // assigns this event zero probability — decided with a full
+            // forward pass from the current anchor, never by peeking at
+            // the incremental scorer's internals.
+            let chain_continues = !dead && log_likelihood(&hmm, &obs[anchor..=t]).is_finite();
+            if !chain_continues {
+                if t > 0 {
+                    expected_reanchors += 1;
+                }
+                anchor = t;
+                dead = !log_likelihood(&hmm, &obs[t..=t]).is_finite();
+            }
+            sliding.push(symbol);
+            prop_assert_eq!(sliding.anchor(), anchor, "anchor diverged at t={}", t);
+            prop_assert_eq!(
+                sliding.stats().reanchors, expected_reanchors,
+                "re-anchor count diverged at t={}: scorer {} vs oracle {}",
+                t, sliding.stats().reanchors, expected_reanchors
+            );
+        }
+        prop_assert_eq!(sliding.stats().pushes, obs.len() as u64);
+        sliding.reset();
+        prop_assert_eq!(sliding.stats(), adprom_hmm::SlidingStats::default());
+    }
+
+    /// Smoothed (zero-free) models never take the fallback: re-anchor
+    /// count stays 0 however long the stream runs.
+    #[test]
+    fn smoothed_models_never_reanchor(
+        hmm in arb_hmm(4, 5), seed in any::<u64>(), len in 1usize..80,
+    ) {
+        let mut smoothed = hmm;
+        smoothed.smooth(1e-4);
+        let obs = smoothed.sample(len, seed);
+        let mut sliding = SlidingForward::new(&smoothed, 6);
+        for &symbol in &obs {
+            sliding.push(symbol);
+        }
+        prop_assert_eq!(sliding.stats().reanchors, 0u64);
+        prop_assert_eq!(sliding.stats().pushes, len as u64);
     }
 
     /// scan_scores emits one score per sliding window (the scan contract)

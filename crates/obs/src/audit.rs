@@ -1,0 +1,258 @@
+//! Structured alert audit log.
+//!
+//! Every non-Normal detection serializes to one JSONL line — an
+//! [`AuditRecord`] — through a pluggable [`AuditSink`]. Records are
+//! sequence-numbered (not timestamped, so replays are byte-stable),
+//! carry the session id, flag, window, score and threshold, and — for
+//! DataLeak alerts — the DDG label and block id (`bid`) connecting the
+//! alert to its data source, as the paper's §V-C alerts do.
+//!
+//! [`AuditLog`] assigns the sequence numbers; sinks decide persistence:
+//! [`NullAuditSink`] (off), [`MemoryAuditSink`] (tests and report
+//! printing), [`JsonlAuditSink`] (any `io::Write`, one line per record).
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One audit-trail entry: a replayable, attributable alert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    /// Monotonic sequence number, assigned by [`AuditLog`].
+    pub seq: u64,
+    /// Session (connection) the window came from; empty when unknown.
+    pub session: String,
+    /// Flag name as the engine renders it (`DATA-LEAK`, `ANOMALOUS`,
+    /// `OUT-OF-CONTEXT`).
+    pub flag: String,
+    /// The call names of the flagged window.
+    pub window: Vec<String>,
+    /// `log P(window | λ)`.
+    pub log_likelihood: f64,
+    /// Threshold in force when the window was scored.
+    pub threshold: f64,
+    /// Human-readable detail from the engine.
+    pub detail: String,
+    /// The DDG-labeled output call (`printf_Q6`) for DataLeak alerts.
+    pub label: Option<String>,
+    /// The DDG block id parsed from the label (`6` for `printf_Q6`) —
+    /// the pointer back to the data source.
+    pub bid: Option<String>,
+}
+
+impl AuditRecord {
+    /// Serializes to one compact JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("audit record serializes")
+    }
+
+    /// Parses a record back from a JSONL line.
+    pub fn from_jsonl(line: &str) -> Result<AuditRecord, serde_json::Error> {
+        serde_json::from_str(line.trim())
+    }
+}
+
+/// Receives sequence-numbered audit records.
+pub trait AuditSink: Send + Sync {
+    /// Called once per non-Normal detection.
+    fn append(&self, record: &AuditRecord);
+}
+
+/// Discards every record.
+#[derive(Debug, Default)]
+pub struct NullAuditSink;
+
+impl AuditSink for NullAuditSink {
+    fn append(&self, _record: &AuditRecord) {}
+}
+
+/// Accumulates records in memory (tests, report printing).
+#[derive(Debug, Default)]
+pub struct MemoryAuditSink {
+    records: Mutex<Vec<AuditRecord>>,
+}
+
+impl MemoryAuditSink {
+    /// An empty sink.
+    pub fn new() -> MemoryAuditSink {
+        MemoryAuditSink::default()
+    }
+
+    /// All records appended so far, in order.
+    pub fn records(&self) -> Vec<AuditRecord> {
+        self.records.lock().expect("audit sink poisoned").clone()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("audit sink poisoned").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl AuditSink for MemoryAuditSink {
+    fn append(&self, record: &AuditRecord) {
+        self.records
+            .lock()
+            .expect("audit sink poisoned")
+            .push(record.clone());
+    }
+}
+
+/// Streams records as JSONL to any writer (a file, a pipe, a Vec).
+#[derive(Debug)]
+pub struct JsonlAuditSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlAuditSink<W> {
+    /// Wraps a writer; each record becomes one `\n`-terminated line.
+    pub fn new(writer: W) -> JsonlAuditSink<W> {
+        JsonlAuditSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Unwraps the writer (flushing is the caller's business).
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner().expect("audit writer poisoned")
+    }
+}
+
+impl<W: Write + Send> AuditSink for JsonlAuditSink<W> {
+    fn append(&self, record: &AuditRecord) {
+        let mut writer = self.writer.lock().expect("audit writer poisoned");
+        // Audit writes are best-effort: a full disk must not take the
+        // detector down with it.
+        let _ = writeln!(writer, "{}", record.to_jsonl());
+    }
+}
+
+/// The audit log: assigns sequence numbers and fans records to a sink.
+pub struct AuditLog {
+    seq: AtomicU64,
+    sink: Arc<dyn AuditSink>,
+}
+
+impl std::fmt::Debug for AuditLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditLog")
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl AuditLog {
+    /// A log writing through `sink`.
+    pub fn new(sink: Arc<dyn AuditSink>) -> AuditLog {
+        AuditLog {
+            seq: AtomicU64::new(0),
+            sink,
+        }
+    }
+
+    /// A log that discards everything (sequence numbers still advance).
+    pub fn disabled() -> AuditLog {
+        AuditLog::new(Arc::new(NullAuditSink))
+    }
+
+    /// Stamps `record` with the next sequence number, appends it, and
+    /// returns the assigned number.
+    pub fn record(&self, mut record: AuditRecord) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        record.seq = seq;
+        self.sink.append(&record);
+        seq
+    }
+
+    /// Records issued so far.
+    pub fn len(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// True before the first record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leak_record() -> AuditRecord {
+        AuditRecord {
+            seq: 0,
+            session: "conn-7".into(),
+            flag: "DATA-LEAK".into(),
+            window: vec!["PQexec".into(), "printf_Q6".into()],
+            log_likelihood: -42.5,
+            threshold: -30.0,
+            detail: "anomalous sequence contains labeled output `printf_Q6`".into(),
+            label: Some("printf_Q6".into()),
+            bid: Some("6".into()),
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_jsonl() {
+        let record = leak_record();
+        let line = record.to_jsonl();
+        assert!(!line.contains('\n'));
+        let parsed = AuditRecord::from_jsonl(&line).unwrap();
+        assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn none_fields_round_trip() {
+        let mut record = leak_record();
+        record.label = None;
+        record.bid = None;
+        record.flag = "ANOMALOUS".into();
+        let parsed = AuditRecord::from_jsonl(&record.to_jsonl()).unwrap();
+        assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn audit_log_assigns_monotonic_sequence_numbers() {
+        let sink = Arc::new(MemoryAuditSink::new());
+        let log = AuditLog::new(Arc::clone(&sink) as Arc<dyn AuditSink>);
+        assert!(log.is_empty());
+        for _ in 0..3 {
+            log.record(leak_record());
+        }
+        let records = sink.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let sink = JsonlAuditSink::new(Vec::new());
+        sink.append(&leak_record());
+        sink.append(&leak_record());
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let parsed = AuditRecord::from_jsonl(lines[0]).unwrap();
+        assert_eq!(parsed.flag, "DATA-LEAK");
+        assert_eq!(parsed.bid.as_deref(), Some("6"));
+    }
+
+    #[test]
+    fn disabled_log_still_counts() {
+        let log = AuditLog::disabled();
+        log.record(leak_record());
+        assert_eq!(log.len(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # adprom-obs
+//!
+//! Observability layer for the AD-PROM reproduction. The paper's system
+//! runs *online* next to a production database (§IV-D); this crate makes
+//! that operation inspectable without a debugger:
+//!
+//! * [`registry`] — a lock-cheap metrics [`Registry`]: monotonic
+//!   [`Counter`]s, [`Gauge`]s, and log-bucketed [`Histogram`]s with
+//!   p50/p90/p99/max summaries. Handles are plain atomics behind a
+//!   `Clone + Send + Sync` registry with no global state;
+//!   [`Registry::disabled`] short-circuits every update to one branch so
+//!   instrumentation can stay in hot loops. Snapshots render as JSON
+//!   ([`MetricsSnapshot`]) or Prometheus-style text exposition.
+//! * [`span`] — a tracing facade: [`Span::enter`] records a stage's
+//!   wall-clock duration into a histogram, nests via [`Span::child`],
+//!   and reports through a pluggable [`SpanSink`] (null / in-memory ring
+//!   / stderr pretty-printer).
+//! * [`audit`] — the structured alert audit log: every non-Normal
+//!   detection becomes a sequence-numbered [`AuditRecord`] (session,
+//!   flag, window, score, threshold, DDG label + block id) written as
+//!   JSONL through an [`AuditSink`], so alerts are replayable and
+//!   attributable to their data source.
+//!
+//! No external dependencies beyond the workspace's vendored
+//! `serde`/`serde_json`: everything is `std` atomics and mutexes.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod registry;
+pub mod span;
+
+pub use audit::{AuditLog, AuditRecord, AuditSink, JsonlAuditSink, MemoryAuditSink, NullAuditSink};
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use span::{NullSpanSink, RingSink, Span, SpanEvent, SpanSink, StderrSink, Tracer};

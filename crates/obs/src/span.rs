@@ -1,0 +1,304 @@
+//! Lightweight span/event tracing facade.
+//!
+//! A [`Tracer`] couples a metrics [`Registry`] with a pluggable
+//! [`SpanSink`]. [`Span::enter`] (or [`Tracer::enter`]) opens a stage;
+//! when the guard drops, the stage's wall-clock duration lands in the
+//! registry histogram `span.<path>` and the sink receives a
+//! [`SpanEvent`]. Spans nest through [`Span::child`], which extends the
+//! path (`detect/score`) and the depth.
+//!
+//! Sinks: [`NullSpanSink`] (production default — histograms only),
+//! [`RingSink`] (bounded in-memory buffer for tests), [`StderrSink`]
+//! (indented pretty-printer for interactive debugging).
+
+use crate::registry::{Histogram, Registry};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One closed span, as delivered to a [`SpanSink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// `/`-joined stage path, e.g. `detect/score`.
+    pub path: String,
+    /// Wall-clock duration in nanoseconds.
+    pub nanos: u64,
+    /// Nesting depth (0 for root spans).
+    pub depth: usize,
+}
+
+/// Receives closed spans.
+pub trait SpanSink: Send + Sync {
+    /// Called once per span, when the guard drops.
+    fn on_close(&self, event: &SpanEvent);
+}
+
+/// Discards every span (durations still reach the registry).
+#[derive(Debug, Default)]
+pub struct NullSpanSink;
+
+impl SpanSink for NullSpanSink {
+    fn on_close(&self, _event: &SpanEvent) {}
+}
+
+/// Keeps the last `capacity` spans in memory — the deterministic test
+/// sink.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<SpanEvent>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.events
+            .lock()
+            .expect("ring sink poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("ring sink poisoned").len()
+    }
+
+    /// True when no span has closed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SpanSink for RingSink {
+    fn on_close(&self, event: &SpanEvent) {
+        let mut events = self.events.lock().expect("ring sink poisoned");
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event.clone());
+    }
+}
+
+/// Pretty-prints closed spans to stderr, indented by depth.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl SpanSink for StderrSink {
+    fn on_close(&self, event: &SpanEvent) {
+        let indent = "  ".repeat(event.depth);
+        let micros = event.nanos as f64 / 1e3;
+        eprintln!("{indent}[span] {} {micros:.1}µs", event.path);
+    }
+}
+
+/// Span factory: a registry for durations plus a sink for events.
+#[derive(Clone)]
+pub struct Tracer {
+    registry: Registry,
+    sink: Arc<dyn SpanSink>,
+    enabled: bool,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer recording into `registry` and reporting to `sink`.
+    pub fn new(registry: Registry, sink: Arc<dyn SpanSink>) -> Tracer {
+        Tracer {
+            registry,
+            sink,
+            enabled: true,
+        }
+    }
+
+    /// A tracer with histograms only (null sink).
+    pub fn with_registry(registry: Registry) -> Tracer {
+        Tracer::new(registry, Arc::new(NullSpanSink))
+    }
+
+    /// The inert tracer: spans cost one branch and never read the clock.
+    pub fn disabled() -> Tracer {
+        Tracer {
+            registry: Registry::disabled(),
+            sink: Arc::new(NullSpanSink),
+            enabled: false,
+        }
+    }
+
+    /// True unless constructed with [`Tracer::disabled`].
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The registry spans record into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Opens a root span for `stage`.
+    pub fn enter(&self, stage: &str) -> Span<'_> {
+        Span::open(self, stage.to_string(), 0)
+    }
+}
+
+/// An open stage; records on drop.
+#[derive(Debug)]
+pub struct Span<'t> {
+    tracer: &'t Tracer,
+    path: String,
+    depth: usize,
+    start: Option<Instant>,
+    histogram: Histogram,
+}
+
+impl<'t> Span<'t> {
+    /// Opens a root span for `stage` — the free-function spelling of
+    /// [`Tracer::enter`].
+    pub fn enter(tracer: &'t Tracer, stage: &str) -> Span<'t> {
+        tracer.enter(stage)
+    }
+
+    fn open(tracer: &'t Tracer, path: String, depth: usize) -> Span<'t> {
+        let (start, histogram) = if tracer.enabled {
+            let histogram = tracer.registry.histogram(&format!("span.{path}"));
+            (Some(Instant::now()), histogram)
+        } else {
+            (None, Histogram::noop())
+        };
+        Span {
+            tracer,
+            path,
+            depth,
+            start,
+            histogram,
+        }
+    }
+
+    /// Opens a nested span: path `parent/stage`, depth + 1.
+    pub fn child(&self, stage: &str) -> Span<'t> {
+        Span::open(
+            self.tracer,
+            format!("{}/{stage}", self.path),
+            self.depth + 1,
+        )
+    }
+
+    /// The span's `/`-joined path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Nanoseconds since the span opened (0 when the tracer is disabled).
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.start.map_or(0, |s| {
+            u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.histogram.record(nanos);
+            self.tracer.sink.on_close(&SpanEvent {
+                path: std::mem::take(&mut self.path),
+                nanos,
+                depth: self.depth,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_histogram_and_sink() {
+        let registry = Registry::new();
+        let ring = Arc::new(RingSink::new(8));
+        let tracer = Tracer::new(registry.clone(), ring.clone() as Arc<dyn SpanSink>);
+        {
+            let _span = tracer.enter("score");
+        }
+        assert_eq!(registry.histogram("span.score").count(), 1);
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].path, "score");
+        assert_eq!(events[0].depth, 0);
+    }
+
+    #[test]
+    fn nesting_extends_path_and_depth() {
+        let registry = Registry::new();
+        let ring = Arc::new(RingSink::new(8));
+        let tracer = Tracer::new(registry.clone(), ring.clone() as Arc<dyn SpanSink>);
+        {
+            let outer = tracer.enter("detect");
+            {
+                let _inner = outer.child("score");
+            }
+        }
+        // Children close before parents.
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].path, "detect/score");
+        assert_eq!(events[0].depth, 1);
+        assert_eq!(events[1].path, "detect");
+        assert_eq!(events[1].depth, 0);
+        assert_eq!(registry.histogram("span.detect/score").count(), 1);
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        let span = tracer.enter("anything");
+        assert_eq!(span.elapsed_nanos(), 0);
+        drop(span);
+        assert_eq!(tracer.registry().snapshot(), Default::default());
+    }
+
+    #[test]
+    fn ring_sink_evicts_oldest() {
+        let ring = RingSink::new(2);
+        for i in 0..4 {
+            ring.on_close(&SpanEvent {
+                path: format!("s{i}"),
+                nanos: i,
+                depth: 0,
+            });
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].path, "s2");
+        assert_eq!(events[1].path, "s3");
+    }
+
+    #[test]
+    fn span_enter_free_function_matches_tracer_enter() {
+        let registry = Registry::new();
+        let tracer = Tracer::with_registry(registry.clone());
+        {
+            let _span = Span::enter(&tracer, "stage");
+        }
+        assert_eq!(registry.histogram("span.stage").count(), 1);
+    }
+}

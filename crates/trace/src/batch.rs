@@ -8,6 +8,7 @@
 //! hands the whole batch to `adprom-core`'s parallel `BatchDetector`.
 
 use crate::collector::{CallEvent, CallSink};
+use adprom_obs::{Counter, Gauge, Registry};
 use std::collections::BTreeMap;
 
 /// Collects events from multiple sessions into separate traces.
@@ -18,12 +19,32 @@ pub struct BatchCollector {
     /// First-seen-order session keys, parallel to `traces`.
     sessions: Vec<String>,
     traces: Vec<Vec<CallEvent>>,
+    /// `trace.events_ingested`.
+    ingested: Counter,
+    /// `trace.sessions_opened` — first sight of a session key.
+    opened: Counter,
+    /// `trace.sessions_closed` — sessions handed off via
+    /// [`BatchCollector::into_batch`].
+    closed: Counter,
+    /// `trace.sessions_open` — currently collecting.
+    open_gauge: Gauge,
 }
 
 impl BatchCollector {
-    /// Creates an empty collector.
+    /// Creates an empty collector. Instrumentation starts disabled.
     pub fn new() -> BatchCollector {
         BatchCollector::default()
+    }
+
+    /// Counts ingested events and opened/closed sessions against
+    /// `registry` (`trace.events_ingested`, `trace.sessions_opened`,
+    /// `trace.sessions_closed`, and the `trace.sessions_open` gauge).
+    pub fn with_registry(mut self, registry: &Registry) -> BatchCollector {
+        self.ingested = registry.counter("trace.events_ingested");
+        self.opened = registry.counter("trace.sessions_opened");
+        self.closed = registry.counter("trace.sessions_closed");
+        self.open_gauge = registry.gauge("trace.sessions_open");
+        self
     }
 
     /// Appends an event to `session`'s trace, creating the trace on first
@@ -36,9 +57,12 @@ impl BatchCollector {
                 self.index.insert(session.to_string(), i);
                 self.sessions.push(session.to_string());
                 self.traces.push(Vec::new());
+                self.opened.inc();
+                self.open_gauge.add(1);
                 i
             }
         };
+        self.ingested.inc();
         self.traces[idx].push(event);
     }
 
@@ -73,8 +97,11 @@ impl BatchCollector {
     }
 
     /// Consumes the collector, returning `(session keys, traces)` in
-    /// first-seen order — the batch fed to the parallel detector.
+    /// first-seen order — the batch fed to the parallel detector. Every
+    /// open session counts as closed.
     pub fn into_batch(self) -> (Vec<String>, Vec<Vec<CallEvent>>) {
+        self.closed.add(self.sessions.len() as u64);
+        self.open_gauge.add(-(self.sessions.len() as i64));
         (self.sessions, self.traces)
     }
 
@@ -148,6 +175,25 @@ mod tests {
         }
         assert_eq!(batch.trace("conn-1").unwrap().len(), 2);
         assert_eq!(batch.trace("conn-2").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn registry_counts_events_and_session_lifecycle() {
+        use adprom_obs::Registry;
+        let registry = Registry::new();
+        let mut batch = BatchCollector::new().with_registry(&registry);
+        batch.record("s1", event("a"));
+        batch.record("s2", event("b"));
+        batch.record("s1", event("c"));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("trace.events_ingested"), Some(3));
+        assert_eq!(snap.counter("trace.sessions_opened"), Some(2));
+        assert_eq!(snap.counter("trace.sessions_closed"), Some(0));
+        assert_eq!(snap.gauges["trace.sessions_open"], 2);
+        let _ = batch.into_batch();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("trace.sessions_closed"), Some(2));
+        assert_eq!(snap.gauges["trace.sessions_open"], 0);
     }
 
     #[test]

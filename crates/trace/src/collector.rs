@@ -8,6 +8,7 @@
 //! [`crate::ltrace`].
 
 use adprom_lang::{CallSiteId, LibCall};
+use adprom_obs::{Counter, Registry};
 
 /// One intercepted library call.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,12 +41,22 @@ pub trait CallSink {
 #[derive(Debug, Default)]
 pub struct TraceCollector {
     events: Vec<CallEvent>,
+    /// `trace.events_ingested` (no-op unless
+    /// [`TraceCollector::with_registry`] installed a live registry).
+    ingested: Counter,
 }
 
 impl TraceCollector {
-    /// Creates an empty collector.
+    /// Creates an empty collector. Instrumentation starts disabled.
     pub fn new() -> TraceCollector {
         TraceCollector::default()
+    }
+
+    /// Counts every ingested event against `registry`'s
+    /// `trace.events_ingested`.
+    pub fn with_registry(mut self, registry: &Registry) -> TraceCollector {
+        self.ingested = registry.counter("trace.events_ingested");
+        self
     }
 
     /// The collected events.
@@ -76,6 +87,7 @@ impl TraceCollector {
 
 impl CallSink for TraceCollector {
     fn on_call(&mut self, event: CallEvent) {
+        self.ingested.inc();
         self.events.push(event);
     }
 }

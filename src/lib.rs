@@ -14,6 +14,7 @@
 //! | [`ml`] | matrix, PCA (Jacobi), k-means++ |
 //! | [`trace`] | interpreter runtime, Calls Collector, ltrace simulator |
 //! | [`core`] | Profile Constructor, Detection Engine, baselines, metrics |
+//! | [`obs`] | metrics registry, span tracing, structured alert audit log |
 //! | [`attacks`] | the §V-C attacks and A-S1/2/3 synthetic anomalies |
 //! | [`workloads`] | App_h / App_b / App_s and the SIR-scale generator |
 //!
@@ -46,5 +47,6 @@ pub use adprom_db as db;
 pub use adprom_hmm as hmm;
 pub use adprom_lang as lang;
 pub use adprom_ml as ml;
+pub use adprom_obs as obs;
 pub use adprom_trace as trace;
 pub use adprom_workloads as workloads;

@@ -1,0 +1,104 @@
+//! End-to-end observability: on the banking attack workload, every
+//! non-Normal detection must land in the structured audit log as a JSONL
+//! record that round-trips through serde and reproduces the engine's flag,
+//! and the metrics registry must account for every window scored.
+
+use adprom::analysis::analyze;
+use adprom::core::{build_profile, BatchDetector, ConstructorConfig, DetectionEngine, Flag};
+use adprom::obs::{AuditLog, AuditRecord, MemoryAuditSink, MetricsSnapshot, Registry};
+use adprom::workloads::banking;
+use std::sync::Arc;
+
+#[test]
+fn banking_attack_audit_records_roundtrip_and_reproduce_flags() {
+    let workload = banking::workload(30, 2);
+    let analysis = analyze(&workload.program);
+    let traces = workload.collect_traces(&analysis.site_labels);
+
+    let registry = Registry::new();
+    let mut config = ConstructorConfig::default();
+    config.train.max_iterations = 12;
+    config.registry = registry.clone();
+    let (profile, _) = build_profile("App_b", &analysis, &traces, &config);
+
+    let sink = Arc::new(MemoryAuditSink::new());
+    let audit = Arc::new(AuditLog::new(sink.clone()));
+    let mut engine = DetectionEngine::new(&profile)
+        .with_registry(&registry)
+        .with_audit(audit);
+    engine.set_session("teller-7");
+
+    // The Fig. 2 tautology injection: pure input, unmodified binary.
+    let attack_trace = workload.run_case(&banking::injection_case(), &analysis.site_labels);
+    let alerts = engine.scan(&attack_trace);
+    let alarms: Vec<_> = alerts.iter().filter(|a| a.is_alarm()).collect();
+    assert!(
+        alarms.iter().any(|a| a.flag == Flag::DataLeak),
+        "the injection must produce at least one DATA-LEAK window"
+    );
+
+    // One audit record per non-Normal detection, in scan order, with
+    // sequence numbers assigned by the log.
+    let records = sink.records();
+    assert_eq!(records.len(), alarms.len());
+    for (i, (record, alert)) in records.iter().zip(&alarms).enumerate() {
+        assert_eq!(record.seq, i as u64);
+        assert_eq!(record.session, "teller-7");
+        assert_eq!(record.flag, alert.flag.to_string(), "flag reproduced");
+        assert_eq!(record.window, alert.window);
+        assert_eq!(record.log_likelihood, alert.log_likelihood);
+        assert_eq!(record.threshold, alert.threshold);
+        if alert.flag == Flag::DataLeak {
+            let label = record.label.as_deref().expect("leak records carry a label");
+            assert!(label.contains("_Q"));
+            let bid = record
+                .bid
+                .as_deref()
+                .expect("leak records carry a block id");
+            assert!(label.ends_with(bid));
+        }
+
+        // Serde round-trip: the JSONL line re-parses to the same record.
+        let line = record.to_jsonl();
+        let parsed = AuditRecord::from_jsonl(&line).expect("audit JSONL parses");
+        assert_eq!(&parsed, record);
+    }
+
+    // The registry accounted for training and for every window scored.
+    let snap = registry.snapshot();
+    let scored = snap.counter("detect.windows_scored").unwrap();
+    assert_eq!(scored, alerts.len() as u64);
+    let by_flag: u64 = [
+        "detect.flags.normal",
+        "detect.flags.anomalous",
+        "detect.flags.data_leak",
+        "detect.flags.out_of_context",
+    ]
+    .iter()
+    .map(|name| snap.counter(name).unwrap())
+    .sum();
+    assert_eq!(by_flag, scored);
+    assert_eq!(
+        snap.counter("detect.flags.data_leak").unwrap(),
+        alarms.iter().filter(|a| a.flag == Flag::DataLeak).count() as u64
+    );
+    assert!(snap.counter("train.iterations").unwrap() >= 1);
+    assert_eq!(snap.histograms["detect.score_ns"].count, scored);
+
+    // The snapshot itself round-trips through its JSON exposition.
+    let reparsed = MetricsSnapshot::from_json(&snap.to_json()).expect("snapshot JSON parses");
+    assert_eq!(reparsed.counters, snap.counters);
+
+    // Same workload through the batched path: session ids flow into the
+    // reports and into a fresh audit trail.
+    let batch_sink = Arc::new(MemoryAuditSink::new());
+    let detector =
+        BatchDetector::new(&profile).with_audit(Arc::new(AuditLog::new(batch_sink.clone())));
+    let sessions = vec!["teller-7".to_string()];
+    let reports = detector.detect_sessions(&sessions, &[attack_trace]);
+    assert_eq!(reports[0].session.as_deref(), Some("teller-7"));
+    assert_ne!(reports[0].verdict, Flag::Normal);
+    let batch_records = batch_sink.records();
+    assert_eq!(batch_records.len(), records.len());
+    assert!(batch_records.iter().all(|r| r.session == "teller-7"));
+}
