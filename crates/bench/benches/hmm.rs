@@ -2,9 +2,23 @@
 //! detection cost) and one Baum–Welch re-estimation step (the training
 //! cost unit behind Table VIII and the clustering ablation).
 
-use adprom_hmm::{forward, reestimate, scan_scores, viterbi, Hmm};
+use adprom_hmm::{
+    forward, log_likelihood, log_likelihood_sparse, reestimate, scan_scores, train, viterbi, Hmm,
+    SparseConfig, SparseTransitions, TrainConfig,
+};
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
+
+/// A model with the sparse structure trained AD-PROM profiles have: most of
+/// each transition row sits at a shared background floor, a handful of
+/// entries carry the mass. `flatten_floor` folds the sub-threshold entries
+/// of the random matrix to their row mean, which is exactly the bitwise
+/// structure the CSR builder exploits at `epsilon = 0`.
+fn sparse_structured_hmm(n: usize, seed: u64) -> Hmm {
+    let mut hmm = Hmm::random(n, n, seed);
+    hmm.flatten_floor(1.2 / n as f64);
+    hmm
+}
 
 fn bench_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("forward_window15");
@@ -76,11 +90,74 @@ fn bench_reestimate(c: &mut Criterion) {
     group.finish();
 }
 
+/// Dense full-recompute scoring vs the sparse CSR kernel on the same
+/// 15-length windows — the per-window detection cost the `--sparse` path
+/// of `bench_detect` exercises end-to-end.
+fn bench_sparse_vs_dense(c: &mut Criterion) {
+    const WINDOW: usize = 15;
+    const TRACE_LEN: usize = 512;
+    let mut group = c.benchmark_group("sparse_vs_dense_w15");
+    for &n in &[16usize, 64] {
+        let hmm = sparse_structured_hmm(n, 42);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let obs = hmm.sample(TRACE_LEN, 7);
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| {
+                let total: f64 = obs.windows(WINDOW).map(|w| log_likelihood(&hmm, w)).sum();
+                black_box(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", n), &n, |b, _| {
+            b.iter(|| {
+                let total: f64 = obs
+                    .windows(WINDOW)
+                    .map(|w| log_likelihood_sparse(&hmm, &sp, w))
+                    .sum();
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Serial vs parallel Baum–Welch E-step over per-trace sufficient
+/// statistics. On a single-core host the parallel path measures pure
+/// overhead; on a multi-core host it shows the E-step fan-out.
+fn bench_bw_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bw_parallel");
+    group.sample_size(10);
+    let n = 32usize;
+    let teacher = sparse_structured_hmm(n, 3);
+    let windows: Vec<Vec<usize>> = (0..200).map(|i| teacher.sample(15, i)).collect();
+    let holdout: Vec<Vec<usize>> = (200..240).map(|i| teacher.sample(15, i)).collect();
+    for parallel in [false, true] {
+        let label = if parallel { "parallel" } else { "serial" };
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || Hmm::random(n, n, 11),
+                |mut hmm| {
+                    let config = TrainConfig {
+                        max_iterations: 3,
+                        parallel,
+                        ..TrainConfig::default()
+                    };
+                    let report = train(&mut hmm, &windows, &holdout, &config);
+                    black_box((hmm.pi[0], report.iterations))
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_forward,
     bench_sliding,
     bench_viterbi,
-    bench_reestimate
+    bench_reestimate,
+    bench_sparse_vs_dense,
+    bench_bw_parallel
 );
 criterion_main!(benches);

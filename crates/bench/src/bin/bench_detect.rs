@@ -1,7 +1,9 @@
 //! Batched-detection throughput harness: events/sec for the serial
-//! full-recompute scan (the baseline detection path) vs the parallel
-//! batch pipeline in both scoring modes, written to `BENCH_detect.json`
-//! at the workspace root. Run with:
+//! full-recompute scan (the baseline detection path) vs the sparse CSR
+//! scoring kernel and the parallel batch pipeline in both scoring modes,
+//! plus serial-vs-parallel Baum–Welch training wall-clock. Results are
+//! appended to the `BENCH_detect.json` history (a JSON array, one entry
+//! per run) at the workspace root. Run with:
 //!
 //! ```text
 //! cargo run --release -p adprom-bench --bin bench_detect
@@ -9,12 +11,22 @@
 //!
 //! Flags:
 //!
+//! * `--sparse` — score through the exact sparse CSR kernel (ε = 0, no
+//!   beam); the profile is built with `flatten_epsilon = 1e-4` so the
+//!   trained model decomposes sparsely, and the run *asserts* that alert
+//!   counts and per-window flags match the dense kernel exactly.
+//! * `--beam` — sparse kernel plus mass-threshold beam pruning of α
+//!   (approximate scores, bounded error).
 //! * `--metrics-out <path>` — dump the full pipeline metrics snapshot
-//!   (training, detection, batch, and sliding-scorer accounting) as JSON.
+//!   (training, detection, batch, kernel and sliding-scorer accounting).
 //! * `--smoke` — small workload and short measurement budget, for CI.
 
 use adprom_analysis::analyze;
-use adprom_core::{build_profile, BatchDetector, ConstructorConfig, DetectionEngine, ScoringMode};
+use adprom_core::{
+    build_profile, init_from_pctm, trace_windows, Alert, BatchDetector, ConstructorConfig,
+    DetectionEngine, Flag, KernelConfig, ScoringMode,
+};
+use adprom_hmm::{train, BeamConfig, Hmm, SparseConfig};
 use adprom_obs::Registry;
 use adprom_trace::CallEvent;
 use adprom_workloads::hospital;
@@ -44,9 +56,56 @@ fn throughput(
     (events as f64 / best, alerts)
 }
 
+/// Flag counts over a batch of per-trace alert lists, in severity order
+/// (normal, anomalous, data-leak, out-of-context).
+fn flag_partition(reports: &[Vec<Alert>]) -> [usize; 4] {
+    let mut counts = [0usize; 4];
+    for alert in reports.iter().flatten() {
+        let idx = match alert.flag {
+            Flag::Normal => 0,
+            Flag::Anomalous => 1,
+            Flag::DataLeak => 2,
+            Flag::OutOfContext => 3,
+        };
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// Appends `entry` to the `BENCH_detect.json` history array, migrating
+/// the legacy single-object format (the whole file was one run) by
+/// wrapping it as the first element.
+fn append_history(path: &str, entry: &str) {
+    let history = match std::fs::read_to_string(path) {
+        Ok(old) => {
+            let old = old.trim();
+            if let Some(stripped) = old.strip_prefix('[') {
+                let inner = stripped
+                    .strip_suffix(']')
+                    .unwrap_or(stripped)
+                    .trim()
+                    .trim_end_matches(',');
+                if inner.is_empty() {
+                    format!("[\n{entry}\n]\n")
+                } else {
+                    format!("[\n{inner},\n{entry}\n]\n")
+                }
+            } else if old.starts_with('{') {
+                format!("[\n{old},\n{entry}\n]\n")
+            } else {
+                format!("[\n{entry}\n]\n")
+            }
+        }
+        Err(_) => format!("[\n{entry}\n]\n"),
+    };
+    std::fs::write(path, &history).expect("write BENCH_detect.json");
+}
+
 fn main() {
     let mut metrics_out: Option<String> = None;
     let mut smoke = false;
+    let mut sparse = false;
+    let mut beam = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -54,9 +113,13 @@ fn main() {
                 metrics_out = Some(args.next().expect("--metrics-out requires a path"));
             }
             "--smoke" => smoke = true,
+            "--sparse" => sparse = true,
+            "--beam" => beam = true,
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_detect [--smoke] [--metrics-out <path>]");
+                eprintln!(
+                    "usage: bench_detect [--smoke] [--sparse] [--beam] [--metrics-out <path>]"
+                );
                 std::process::exit(2);
             }
         }
@@ -65,6 +128,31 @@ fn main() {
         (12, 3, 2, 0.3)
     } else {
         (48, 6, 12, 1.5)
+    };
+    let kernel_mode = if beam {
+        "beam"
+    } else if sparse {
+        "sparse"
+    } else {
+        "dense"
+    };
+    let kernel_config = if beam {
+        // Mass-threshold pruning only: states carrying < 1e-6 combined
+        // scaled-α mass are dropped, so the score error (tracked by the
+        // gap-bound gauge) stays far below the 1.5-nat threshold margin.
+        KernelConfig::Beam {
+            sparse: SparseConfig::default(),
+            beam: BeamConfig {
+                top_k: None,
+                mass_epsilon: 1e-6,
+            },
+        }
+    } else if sparse {
+        KernelConfig::Sparse {
+            sparse: SparseConfig::default(),
+        }
+    } else {
+        KernelConfig::Dense
     };
 
     // The CA hospital application at a batch size that models a busy
@@ -76,19 +164,67 @@ fn main() {
     let mut config = ConstructorConfig::default();
     config.train.max_iterations = max_iterations;
     config.registry = registry.clone();
+    if sparse || beam {
+        // Collapse Baum–Welch's floor dust back to a bit-exact per-row
+        // background so the CSR decomposition is sparse (and, at ε = 0,
+        // exact) on the trained model.
+        config.flatten_epsilon = 1e-4;
+    }
     let (profile, _) = build_profile("App_hospital", &analysis, &traces, &config);
 
     let batch: Vec<Vec<CallEvent>> = traces;
     let n_traces = batch.len();
     let events: usize = batch.iter().map(Vec::len).sum();
-    let threads = rayon::current_num_threads();
 
-    let engine = DetectionEngine::new(&profile).with_registry(&registry);
+    // Serial dense baseline: the paper's per-window full forward pass.
+    let dense_engine = DetectionEngine::new(&profile).with_registry(&registry);
     let (serial_eps, serial_alerts) = throughput(events, max_runs, budget_secs, &|| {
-        batch.iter().map(|t| engine.scan(t).len()).sum::<usize>()
+        batch
+            .iter()
+            .map(|t| dense_engine.scan(t).len())
+            .sum::<usize>()
     });
 
-    let exact = BatchDetector::new(&profile).with_registry(&registry);
+    // Serial kernel path (sparse CSR / beam), when one is selected.
+    let kernel_engine = DetectionEngine::new(&profile)
+        .with_registry(&registry)
+        .with_kernel(kernel_config);
+    let kernel_serial: Option<(f64, usize)> = (sparse || beam).then(|| {
+        throughput(events, max_runs, budget_secs, &|| {
+            batch
+                .iter()
+                .map(|t| kernel_engine.scan(t).len())
+                .sum::<usize>()
+        })
+    });
+
+    // Exactness gate (ε = 0, no beam): the sparse kernel must reproduce
+    // the dense run's alerts window for window — counts, flags and the
+    // flag partition. Beam runs report the comparison without asserting
+    // (their scores are intentionally approximate).
+    let kernel_flags_match_dense: Option<bool> = (sparse || beam).then(|| {
+        let dense_reports: Vec<Vec<Alert>> = batch.iter().map(|t| dense_engine.scan(t)).collect();
+        let kernel_reports: Vec<Vec<Alert>> = batch.iter().map(|t| kernel_engine.scan(t)).collect();
+        let dense_flags: Vec<Flag> = dense_reports.iter().flatten().map(|a| a.flag).collect();
+        let kernel_flags: Vec<Flag> = kernel_reports.iter().flatten().map(|a| a.flag).collect();
+        let matches = dense_flags == kernel_flags
+            && flag_partition(&dense_reports) == flag_partition(&kernel_reports);
+        if sparse && !beam {
+            assert!(
+                matches,
+                "sparse kernel flag partition diverged from dense: {:?} vs {:?}",
+                flag_partition(&kernel_reports),
+                flag_partition(&dense_reports),
+            );
+        }
+        matches
+    });
+
+    let exact = BatchDetector::new(&profile)
+        .with_registry(&registry)
+        .with_kernel(kernel_config);
+    // Record the pool size actually in force, not an assumed core count.
+    let threads = exact.threads();
     let (par_exact_eps, par_exact_alerts) = throughput(events, max_runs, budget_secs, &|| {
         exact
             .detect_batch(&batch)
@@ -99,6 +235,7 @@ fn main() {
 
     let incremental = BatchDetector::new(&profile)
         .with_registry(&registry)
+        .with_kernel(kernel_config)
         .with_mode(ScoringMode::Incremental);
     let (par_inc_eps, par_inc_alerts) = throughput(events, max_runs, budget_secs, &|| {
         incremental
@@ -108,9 +245,15 @@ fn main() {
             .sum::<usize>()
     });
 
-    // Determinism spot-checks, not just counts: exact mode must reproduce
-    // the serial alerts verbatim; incremental must agree on the windows.
-    let serial_reports: Vec<_> = batch.iter().map(|t| engine.scan(t)).collect();
+    // Determinism spot-checks, not just counts: the parallel exact mode
+    // must reproduce the same-kernel serial alerts verbatim; incremental
+    // must agree on the alert counts.
+    let ref_engine = if sparse || beam {
+        &kernel_engine
+    } else {
+        &dense_engine
+    };
+    let serial_reports: Vec<_> = batch.iter().map(|t| ref_engine.scan(t)).collect();
     let exact_reports = exact.detect_batch(&batch);
     let exact_identical = serial_reports
         .iter()
@@ -126,15 +269,63 @@ fn main() {
     let speedup_exact = par_exact_eps / serial_eps;
     let speedup_inc = par_inc_eps / serial_eps;
 
+    // Baum–Welch E-step: serial vs rayon-parallel wall-clock from the same
+    // initial model, and bit-identity of the trained parameters (the
+    // per-trace statistics are folded in input order, so thread count must
+    // not change a single bit of A, B or π).
+    let windows_enc: Vec<Vec<usize>> = trace_windows(&batch, config.window)
+        .iter()
+        .map(|w| profile.alphabet.encode_seq(w))
+        .collect();
+    let csds_len = windows_enc.len() / 5;
+    let (csds, train_set) = windows_enc.split_at(csds_len);
+    let init = init_from_pctm(&analysis.pctm, &profile.alphabet, &config.init);
+    let bw_runs = if smoke { 1 } else { 3 };
+    let time_train = |parallel: bool| -> (f64, Hmm) {
+        let mut train_config = config.train;
+        train_config.parallel = parallel;
+        let mut best = f64::INFINITY;
+        let mut trained = init.hmm.clone();
+        for _ in 0..bw_runs {
+            let mut hmm = init.hmm.clone();
+            let start = Instant::now();
+            train(&mut hmm, train_set, csds, &train_config);
+            best = best.min(start.elapsed().as_secs_f64());
+            trained = hmm;
+        }
+        (best, trained)
+    };
+    let (bw_serial_secs, bw_serial_model) = time_train(false);
+    let (bw_parallel_secs, bw_parallel_model) = time_train(true);
+    let bw_bit_identical = bw_serial_model == bw_parallel_model;
+    assert!(bw_bit_identical, "parallel Baum-Welch diverged from serial");
+    let bw_speedup = bw_serial_secs / bw_parallel_secs;
+
     println!(
-        "== Batched detection throughput (window n = {}) ==",
+        "== Batched detection throughput (window n = {}, kernel = {kernel_mode}) ==",
         profile.window
     );
     println!("batch: {n_traces} traces, {events} events, {threads} worker thread(s)");
-    println!("serial full-recompute     : {serial_eps:>12.0} events/sec");
-    println!("parallel exact-windows    : {par_exact_eps:>12.0} events/sec  ({speedup_exact:.2}x)");
-    println!("parallel incremental      : {par_inc_eps:>12.0} events/sec  ({speedup_inc:.2}x)");
+    println!("serial dense full-recompute : {serial_eps:>12.0} events/sec");
+    if let Some((kernel_eps, _)) = kernel_serial {
+        println!(
+            "serial {kernel_mode:<6} kernel       : {kernel_eps:>12.0} events/sec  ({:.2}x dense)",
+            kernel_eps / serial_eps
+        );
+    }
+    println!(
+        "parallel exact-windows      : {par_exact_eps:>12.0} events/sec  ({speedup_exact:.2}x)"
+    );
+    println!("parallel incremental        : {par_inc_eps:>12.0} events/sec  ({speedup_inc:.2}x)");
     println!("exact output identical to serial: {exact_identical}");
+    if let Some(matches) = kernel_flags_match_dense {
+        println!("{kernel_mode} flags match dense: {matches}");
+    }
+    println!(
+        "Baum-Welch ({} windows): serial {bw_serial_secs:.3}s, parallel {bw_parallel_secs:.3}s \
+         ({bw_speedup:.2}x on {threads} thread(s)), bit-identical: {bw_bit_identical}",
+        windows_enc.len()
+    );
 
     let snapshot = registry.snapshot();
     println!("\n== Pipeline metrics ==");
@@ -146,6 +337,23 @@ fn main() {
         snapshot.counter("detect.flags.data_leak").unwrap_or(0),
         snapshot.counter("detect.flags.out_of_context").unwrap_or(0),
     );
+    println!(
+        "flagged windows by kernel: dense {}, sparse {}, beam {}",
+        snapshot.counter("detect.kernel.dense").unwrap_or(0),
+        snapshot.counter("detect.kernel.sparse").unwrap_or(0),
+        snapshot.counter("detect.kernel.beam").unwrap_or(0),
+    );
+    if beam {
+        println!(
+            "beam: {} windows pruned, worst gap bound {} micro-nats",
+            snapshot.counter("beam.windows_pruned").unwrap_or(0),
+            snapshot
+                .gauges
+                .get("beam.gap_bound_micronats_max")
+                .copied()
+                .unwrap_or(0),
+        );
+    }
     if let Some(h) = snapshot.histograms.get("batch.trace_ns") {
         println!(
             "per-trace latency: p50 {:.0}ns p90 {:.0}ns p99 {:.0}ns max {}ns ({} traces)",
@@ -158,20 +366,44 @@ fn main() {
         snapshot.counter("sliding.reanchors").unwrap_or(0),
     );
 
-    let json = format!(
-        "{{\n  \"workload\": \"hospital\",\n  \"traces\": {n_traces},\n  \
-         \"events\": {events},\n  \"window\": {window},\n  \"threads\": {threads},\n  \
-         \"alerts\": {serial_alerts},\n  \
-         \"serial_exact_events_per_sec\": {serial_eps:.0},\n  \
-         \"parallel_exact_events_per_sec\": {par_exact_eps:.0},\n  \
-         \"parallel_incremental_events_per_sec\": {par_inc_eps:.0},\n  \
-         \"speedup_parallel_exact\": {speedup_exact:.2},\n  \
-         \"speedup_parallel_incremental\": {speedup_inc:.2},\n  \
-         \"exact_output_identical_to_serial\": {exact_identical}\n}}\n",
+    let kernel_fields = kernel_serial
+        .map(|(kernel_eps, _)| {
+            format!(
+                "    \"sparse_exact_events_per_sec\": {kernel_eps:.0},\n    \
+                 \"speedup_sparse_exact\": {:.2},\n    \
+                 \"sparse_flags_match_dense\": {},\n",
+                kernel_eps / serial_eps,
+                kernel_flags_match_dense.unwrap_or(false),
+            )
+        })
+        .unwrap_or_default();
+    let partition = flag_partition(&serial_reports);
+    let entry = format!(
+        "  {{\n    \"workload\": \"hospital\",\n    \"smoke\": {smoke},\n    \
+         \"traces\": {n_traces},\n    \"events\": {events},\n    \
+         \"window\": {window},\n    \"threads\": {threads},\n    \
+         \"kernel\": \"{kernel_mode}\",\n    \"alerts\": {serial_alerts},\n    \
+         \"flag_partition\": [{}, {}, {}, {}],\n    \
+         \"serial_exact_events_per_sec\": {serial_eps:.0},\n{kernel_fields}    \
+         \"parallel_exact_events_per_sec\": {par_exact_eps:.0},\n    \
+         \"parallel_incremental_events_per_sec\": {par_inc_eps:.0},\n    \
+         \"speedup_parallel_exact\": {speedup_exact:.2},\n    \
+         \"speedup_parallel_incremental\": {speedup_inc:.2},\n    \
+         \"exact_output_identical_to_serial\": {exact_identical},\n    \
+         \"bw_windows\": {bw_windows},\n    \
+         \"bw_serial_secs\": {bw_serial_secs:.4},\n    \
+         \"bw_parallel_secs\": {bw_parallel_secs:.4},\n    \
+         \"bw_speedup_parallel\": {bw_speedup:.2},\n    \
+         \"bw_parallel_bit_identical\": {bw_bit_identical}\n  }}",
+        partition[0],
+        partition[1],
+        partition[2],
+        partition[3],
         window = profile.window,
+        bw_windows = windows_enc.len(),
     );
-    std::fs::write("BENCH_detect.json", &json).expect("write BENCH_detect.json");
-    println!("\nwrote BENCH_detect.json");
+    append_history("BENCH_detect.json", &entry);
+    println!("\nappended run to BENCH_detect.json");
 
     if let Some(path) = metrics_out {
         std::fs::write(&path, snapshot.to_json()).expect("write metrics snapshot");

@@ -39,6 +39,14 @@ pub struct ConstructorConfig {
     pub threshold_margin: f64,
     /// Shuffling seed for the dataset partition.
     pub seed: u64,
+    /// After training, transition entries below this value are flattened
+    /// to their per-row mean ([`adprom_hmm::Hmm::flatten_floor`]), so the
+    /// sparse scoring kernel sees a bit-exact per-row background again
+    /// (Baum–Welch perturbs the smoothing floor by per-entry dust).
+    /// `0.0` (the default) disables flattening — the trained model is
+    /// untouched. The threshold is selected from the *flattened* model, so
+    /// detection and thresholding always see the same distribution.
+    pub flatten_epsilon: f64,
     /// Metrics registry for training telemetry (`train.*`). Defaults to
     /// the disabled registry, so construction stays uninstrumented unless
     /// a live one is provided.
@@ -59,6 +67,7 @@ impl Default for ConstructorConfig {
             // nat under a 1.0 margin) while attacks score >10 nats lower.
             threshold_margin: 1.5,
             seed: 0xADB0,
+            flatten_epsilon: 0.0,
             registry: Registry::default(),
         }
     }
@@ -156,6 +165,28 @@ pub fn build_profile(
         train_ns.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
     record_train_telemetry(&config.registry, &train_report);
+    if config.registry.is_enabled() {
+        // The E-step's effective parallelism (1 = serial).
+        let threads = if config.train.parallel {
+            rayon::current_num_threads()
+        } else {
+            1
+        };
+        config
+            .registry
+            .gauge("train.estep_threads")
+            .set(threads as i64);
+    }
+    // Restore the bit-exact per-row background the sparse kernel exploits
+    // (training dusts the smoothing floor). Must happen *before* threshold
+    // selection so the threshold matches the model detection scores.
+    if config.flatten_epsilon > 0.0 {
+        let flattened = hmm.flatten_floor(config.flatten_epsilon);
+        config
+            .registry
+            .gauge("train.flattened_entries")
+            .set(flattened as i64);
+    }
 
     // Threshold via k-fold cross-validation over the training windows.
     let (threshold, mean_normal_score) = select_threshold(
@@ -324,6 +355,40 @@ mod tests {
             snap.histograms["train.holdout_ll_delta_micronats"].count,
             expected
         );
+        // The E-step parallelism in force is recorded (≥ 1 thread).
+        assert!(snap.gauges["train.estep_threads"] >= 1);
+    }
+
+    #[test]
+    fn flatten_epsilon_restores_sparse_structure_after_training() {
+        use adprom_hmm::{SparseConfig, SparseTransitions};
+        let (analysis, traces) = collect_traces(12);
+        let registry = Registry::new();
+        let mut config = ConstructorConfig::default();
+        config.train.max_iterations = 3;
+        config.flatten_epsilon = 1e-4;
+        config.registry = registry.clone();
+        let (profile, report) = build_profile("demo", &analysis, &traces, &config);
+        let snap = registry.snapshot();
+        // Training dusts the smoothing floor; flattening collapsed it back.
+        assert!(snap.gauges["train.flattened_entries"] > 0);
+        // The flattened model decomposes sparsely at ε = 0: the CSR kernel
+        // stores only genuine call-graph transitions, not the floor.
+        let sp = SparseTransitions::from_hmm(&profile.hmm, &SparseConfig::default());
+        let n = profile.hmm.n_states();
+        assert!(
+            sp.stats().nnz < n * n,
+            "nnz = {} of {}",
+            sp.stats().nnz,
+            n * n
+        );
+        // The threshold was selected from the flattened model, so normal
+        // windows still clear it.
+        assert!(report.threshold.is_finite());
+        let names: Vec<String> = traces[0].iter().map(|e| e.name.clone()).collect();
+        let w = &sliding_windows(&names, profile.window)[0];
+        let ll = adprom_hmm::log_likelihood(&profile.hmm, &profile.alphabet.encode_seq(w));
+        assert!(ll > profile.threshold, "{ll} vs {}", profile.threshold);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 
 use crate::profile::Profile;
 use crate::telemetry::{audit_record_from_alert, DetectMetrics};
-use adprom_hmm::log_likelihood;
+use adprom_hmm::{
+    forward_beam, log_likelihood, log_likelihood_sparse, BeamConfig, SparseConfig,
+    SparseTransitions,
+};
 use adprom_obs::{AuditLog, Registry};
 use adprom_trace::{CallEvent, CallSink};
 use serde::{Deserialize, Serialize};
@@ -81,6 +84,87 @@ impl fmt::Display for Flag {
     }
 }
 
+/// Which scoring kernel a [`DetectionEngine`] (or
+/// [`BatchDetector`](crate::parallel::BatchDetector)) runs per window.
+///
+/// `Sparse` with `epsilon = 0` and `Beam` off is *exact*: on smoothed
+/// profiles it produces bit-identical log-likelihoods to `Dense` in
+/// O(nnz + N) per event instead of O(N²) (see [`adprom_hmm::sparse`]).
+/// `Beam` additionally prunes the α vector per step — scores become lower
+/// bounds on the exact value, with the per-window gap bounded by the
+/// `beam.gap_bound_micronats_max` gauge.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum KernelConfig {
+    /// The dense O(N²)-per-event forward pass (the default).
+    #[default]
+    Dense,
+    /// The sparse CSR kernel — exact at `epsilon = 0` on smoothed models.
+    Sparse {
+        /// CSR construction parameters (fold epsilon, density cutoff).
+        sparse: SparseConfig,
+    },
+    /// The sparse kernel plus beam pruning of α: approximate scores with a
+    /// tracked, sound error bound.
+    Beam {
+        /// CSR construction parameters.
+        sparse: SparseConfig,
+        /// Pruning policy (top-k and/or mass threshold).
+        beam: BeamConfig,
+    },
+}
+
+impl KernelConfig {
+    /// Short name for metrics and audit records: `dense`, `sparse`, or
+    /// `beam`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelConfig::Dense => "dense",
+            KernelConfig::Sparse { .. } => "sparse",
+            KernelConfig::Beam { .. } => "beam",
+        }
+    }
+}
+
+/// A [`KernelConfig`] resolved against a concrete profile: the CSR
+/// decomposition is built once and shared (`Arc`) by every scorer using
+/// it — batch workers clone the handle, not the matrix.
+#[derive(Debug, Clone, Default)]
+pub(crate) enum KernelState {
+    /// Dense forward pass.
+    #[default]
+    Dense,
+    /// Exact sparse scoring through a shared CSR kernel.
+    Sparse(Arc<SparseTransitions>),
+    /// Sparse scoring with beam pruning.
+    Beam(Arc<SparseTransitions>, BeamConfig),
+}
+
+impl KernelState {
+    /// Builds the state for `config`, constructing the CSR kernel from
+    /// `profile`'s transition matrix when one is needed.
+    pub(crate) fn build(config: KernelConfig, profile: &Profile) -> KernelState {
+        match config {
+            KernelConfig::Dense => KernelState::Dense,
+            KernelConfig::Sparse { sparse } => {
+                KernelState::Sparse(Arc::new(SparseTransitions::from_hmm(&profile.hmm, &sparse)))
+            }
+            KernelConfig::Beam { sparse, beam } => KernelState::Beam(
+                Arc::new(SparseTransitions::from_hmm(&profile.hmm, &sparse)),
+                beam,
+            ),
+        }
+    }
+
+    /// Short name for metrics and audit records.
+    pub(crate) fn label(&self) -> &'static str {
+        match self {
+            KernelState::Dense => "dense",
+            KernelState::Sparse(_) => "sparse",
+            KernelState::Beam(..) => "beam",
+        }
+    }
+}
+
 /// An alert raised for one window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Alert {
@@ -119,6 +203,8 @@ pub struct DetectionEngine<'p> {
     audit: Option<Arc<AuditLog>>,
     /// Session id stamped on audit records (empty when unknown).
     session: String,
+    /// Scoring kernel resolved against the profile (dense by default).
+    kernel: KernelState,
 }
 
 impl<'p> DetectionEngine<'p> {
@@ -130,7 +216,25 @@ impl<'p> DetectionEngine<'p> {
             metrics: DetectMetrics::disabled(),
             audit: None,
             session: String::new(),
+            kernel: KernelState::Dense,
         }
+    }
+
+    /// Selects the scoring kernel, building the CSR decomposition from the
+    /// profile when `config` needs one. With [`KernelConfig::Sparse`] at
+    /// `epsilon = 0` the engine's scores (and therefore its alerts) are
+    /// bit-identical to the dense default on smoothed profiles.
+    pub fn with_kernel(self, config: KernelConfig) -> DetectionEngine<'p> {
+        let state = KernelState::build(config, self.profile);
+        self.with_kernel_state(state)
+    }
+
+    /// Installs an already-resolved kernel — the path
+    /// [`BatchDetector`](crate::parallel::BatchDetector) uses to share one
+    /// CSR matrix across every worker instead of rebuilding it per trace.
+    pub(crate) fn with_kernel_state(mut self, state: KernelState) -> DetectionEngine<'p> {
+        self.kernel = state;
+        self
     }
 
     /// Registers metric handles against `registry` (window counts, flag
@@ -173,10 +277,43 @@ impl<'p> DetectionEngine<'p> {
         self.threshold
     }
 
-    /// `log P(window | λ)` for a window of call names.
+    /// Short name of the active scoring kernel (`dense`, `sparse`, or
+    /// `beam`) — stamped on audit records.
+    pub fn kernel_label(&self) -> &'static str {
+        self.kernel.label()
+    }
+
+    /// `log P(window | λ)` for a window of call names, computed by the
+    /// configured kernel. Beam-pruned scores are lower bounds; the worst
+    /// per-window gap feeds the `beam.gap_bound_micronats_max` gauge.
     pub fn score(&self, names: &[String]) -> f64 {
         let encoded = self.profile.alphabet.encode_seq(names);
-        log_likelihood(&self.profile.hmm, &encoded)
+        self.score_encoded(&encoded)
+    }
+
+    /// [`DetectionEngine::score`] for an already-encoded window — the trace
+    /// scanner encodes each trace once and scores slices of it, so the
+    /// per-window cost is only the forward recursion itself.
+    fn score_encoded(&self, encoded: &[usize]) -> f64 {
+        match &self.kernel {
+            KernelState::Dense => log_likelihood(&self.profile.hmm, encoded),
+            KernelState::Sparse(sp) => log_likelihood_sparse(&self.profile.hmm, sp, encoded),
+            KernelState::Beam(sp, beam) => {
+                let run = forward_beam(&self.profile.hmm, sp, encoded, beam);
+                if run.pruned_states > 0 {
+                    self.metrics.beam_windows_pruned.inc();
+                }
+                // The gauge is integral micro-nats; an infinite bound
+                // (pruning starved the chain) saturates it.
+                let micronats = if run.gap_bound.is_finite() {
+                    (run.gap_bound * 1e6).ceil() as i64
+                } else {
+                    i64::MAX
+                };
+                self.metrics.beam_gap_bound_max.record_max(micronats);
+                run.pass.log_likelihood
+            }
+        }
     }
 
     /// Classifies one window of events.
@@ -212,25 +349,7 @@ impl<'p> DetectionEngine<'p> {
             .find(|e| self.profile.is_out_of_context(&e.name, &e.caller));
         let leak = names.iter().find(|n| n.contains("_Q"));
         let flag = Flag::classify(ll, self.threshold, leak.is_some(), ooc.is_some());
-        let detail = match flag {
-            Flag::OutOfContext => {
-                let e = ooc.expect("flag requires an out-of-context event");
-                format!(
-                    "call `{}` issued by `{}`, which never issued it in training",
-                    e.name, e.caller
-                )
-            }
-            Flag::DataLeak => {
-                let leak = leak.expect("flag requires a labeled output");
-                format!(
-                    "anomalous sequence contains labeled output `{leak}` \
-                     (block {}): targeted data from the DB reached an output statement",
-                    leak.rsplit("_Q").next().unwrap_or("?")
-                )
-            }
-            Flag::Anomalous => "sequence probability below threshold".to_string(),
-            Flag::Normal => String::new(),
-        };
+        let detail = alert_detail(flag, ooc, leak);
         self.observe(Alert {
             flag,
             log_likelihood: ll,
@@ -249,8 +368,20 @@ impl<'p> DetectionEngine<'p> {
         self.metrics.windows_scored.inc();
         self.metrics.flag_counter(alert.flag).inc();
         if alert.is_alarm() {
+            // Attribute every flagged window to the kernel that scored it
+            // — beam scores are approximate, so forensics must be able to
+            // tell which path raised an alarm.
+            match &self.kernel {
+                KernelState::Dense => self.metrics.kernel_dense.inc(),
+                KernelState::Sparse(_) => self.metrics.kernel_sparse.inc(),
+                KernelState::Beam(..) => self.metrics.kernel_beam.inc(),
+            }
             if let Some(audit) = &self.audit {
-                audit.record(audit_record_from_alert(&alert, &self.session));
+                audit.record(audit_record_from_alert(
+                    &alert,
+                    &self.session,
+                    self.kernel.label(),
+                ));
             }
         }
         alert
@@ -258,6 +389,11 @@ impl<'p> DetectionEngine<'p> {
 
     /// Scans a whole trace with sliding windows; returns one alert per
     /// window.
+    ///
+    /// Per-trace facts are computed once up front — the symbol encoding,
+    /// out-of-context verdicts, and labeled-output (`_Q`) markers — so the
+    /// per-window work is one forward recursion plus the flag decision.
+    /// Alerts are identical to classifying each window independently.
     pub fn scan(&self, events: &[CallEvent]) -> Vec<Alert> {
         let n = self.profile.window;
         if events.is_empty() {
@@ -266,7 +402,36 @@ impl<'p> DetectionEngine<'p> {
         if events.len() <= n {
             return vec![self.classify(events)];
         }
-        events.windows(n).map(|w| self.classify(w)).collect()
+        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
+        let encoded = self.profile.alphabet.encode_seq(&names);
+        let ooc: Vec<bool> = events
+            .iter()
+            .map(|e| self.profile.is_out_of_context(&e.name, &e.caller))
+            .collect();
+        let labeled: Vec<bool> = names.iter().map(|name| name.contains("_Q")).collect();
+        let mut alerts = Vec::with_capacity(events.len() - n + 1);
+        for start in 0..=events.len() - n {
+            let end = start + n;
+            let timer = self.metrics.score_ns.is_enabled().then(Instant::now);
+            let ll = self.score_encoded(&encoded[start..end]);
+            if let Some(t0) = timer {
+                self.metrics
+                    .score_ns
+                    .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+            let ooc_event = (start..end).find(|&t| ooc[t]).map(|t| &events[t]);
+            let leak_name = (start..end).find(|&t| labeled[t]).map(|t| &names[t]);
+            let flag = Flag::classify(ll, self.threshold, leak_name.is_some(), ooc_event.is_some());
+            let detail = alert_detail(flag, ooc_event, leak_name);
+            alerts.push(self.observe(Alert {
+                flag,
+                log_likelihood: ll,
+                threshold: self.threshold,
+                window: names[start..end].to_vec(),
+                detail,
+            }));
+        }
+        alerts
     }
 
     /// Highest-severity flag over a whole trace (severity order:
@@ -277,6 +442,31 @@ impl<'p> DetectionEngine<'p> {
             .map(|a| a.flag)
             .max()
             .unwrap_or(Flag::Normal)
+    }
+}
+
+/// Human-readable explanation for an alert, from the window facts that
+/// decided its flag. Shared by the single-window and whole-trace paths so
+/// their wording is identical.
+fn alert_detail(flag: Flag, ooc: Option<&CallEvent>, leak: Option<&String>) -> String {
+    match flag {
+        Flag::OutOfContext => {
+            let e = ooc.expect("flag requires an out-of-context event");
+            format!(
+                "call `{}` issued by `{}`, which never issued it in training",
+                e.name, e.caller
+            )
+        }
+        Flag::DataLeak => {
+            let leak = leak.expect("flag requires a labeled output");
+            format!(
+                "anomalous sequence contains labeled output `{leak}` \
+                 (block {}): targeted data from the DB reached an output statement",
+                leak.rsplit("_Q").next().unwrap_or("?")
+            )
+        }
+        Flag::Anomalous => "sequence probability below threshold".to_string(),
+        Flag::Normal => String::new(),
     }
 }
 
@@ -592,8 +782,80 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].session, "conn-1");
         assert_eq!(records[0].flag, "DATA-LEAK");
+        assert_eq!(records[0].kernel, "dense");
         assert_eq!(records[0].label.as_deref(), Some("c_Q7"));
         assert_eq!(records[0].bid.as_deref(), Some("7"));
+        // The flagged window is attributed to the kernel that scored it.
+        assert_eq!(snap.counter("detect.kernel.dense"), Some(1));
+        assert_eq!(snap.counter("detect.kernel.sparse"), Some(0));
+    }
+
+    #[test]
+    fn sparse_kernel_produces_equivalent_alerts() {
+        // ε = 0, no beam: the sparse path computes the same quantity as
+        // dense (summation order differs, so scores agree to 1e-9 rather
+        // than bitwise) — flags, windows and details must be identical.
+        let profile = cyclic_profile();
+        let dense = DetectionEngine::new(&profile);
+        let sparse = DetectionEngine::new(&profile).with_kernel(KernelConfig::Sparse {
+            sparse: SparseConfig::default(),
+        });
+        assert_eq!(sparse.kernel_label(), "sparse");
+        let trace: Vec<CallEvent> = [
+            "a",
+            "b",
+            "c_Q7",
+            "a",
+            "evil_exfil",
+            "c_Q7",
+            "b",
+            "a",
+            "a",
+            "b",
+        ]
+        .iter()
+        .map(|n| event(n, "main"))
+        .collect();
+        let dense_alerts = dense.scan(&trace);
+        let sparse_alerts = sparse.scan(&trace);
+        assert_eq!(dense_alerts.len(), sparse_alerts.len());
+        for (d, s) in dense_alerts.iter().zip(&sparse_alerts) {
+            assert_eq!(d.flag, s.flag);
+            assert_eq!(d.window, s.window);
+            assert_eq!(d.detail, s.detail);
+            assert!((d.log_likelihood - s.log_likelihood).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn beam_kernel_stamps_metrics_and_audit_records() {
+        use adprom_obs::{AuditLog, AuditSink, MemoryAuditSink};
+        let profile = cyclic_profile();
+        let registry = Registry::new();
+        let sink = Arc::new(MemoryAuditSink::new());
+        let audit = Arc::new(AuditLog::new(Arc::clone(&sink) as Arc<dyn AuditSink>));
+        let engine = DetectionEngine::new(&profile)
+            .with_registry(&registry)
+            .with_audit(audit)
+            .with_kernel(KernelConfig::Beam {
+                sparse: SparseConfig::default(),
+                beam: BeamConfig {
+                    top_k: Some(2),
+                    mass_epsilon: 0.0,
+                },
+            });
+        assert_eq!(engine.kernel_label(), "beam");
+        let alert = engine.classify(&[event("b", "main"), event("a", "main"), event("a", "main")]);
+        assert!(alert.is_alarm());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("detect.kernel.beam"), Some(1));
+        // 4 alphabet symbols, top-2 beam: every step prunes states, and
+        // the bound gauge records the worst per-window gap.
+        assert_eq!(snap.counter("beam.windows_pruned"), Some(1));
+        assert!(snap.gauges["beam.gap_bound_micronats_max"] >= 0);
+        let records = sink.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].kernel, "beam");
     }
 
     #[test]

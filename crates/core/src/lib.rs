@@ -41,7 +41,7 @@ pub mod threshold;
 pub use alphabet::{Alphabet, UNKNOWN};
 pub use baselines::{build_cmarkov, build_rand_hmm, strip_ctm, strip_label, strip_trace};
 pub use constructor::{build_profile, trace_windows, BuildReport, ConstructorConfig};
-pub use detect::{Alert, DetectionEngine, Flag, OnlineDetector};
+pub use detect::{Alert, DetectionEngine, Flag, KernelConfig, OnlineDetector};
 pub use extensions::{ExtensionAlert, ExtensionKind, FileLabelMonitor, QuerySignatureMonitor};
 pub use init::{build_ctvs, init_from_pctm, InitConfig, InitializedModel};
 pub use metrics::{fn_rate_at_fp, roc_curve, Confusion, RocPoint};

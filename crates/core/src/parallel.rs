@@ -20,13 +20,14 @@
 //! `ExactWindows`, because the window likelihood is conditioned on the
 //! session's history rather than restarted from π.
 
-use crate::detect::{Alert, DetectionEngine, Flag};
+use crate::detect::{Alert, DetectionEngine, Flag, KernelConfig, KernelState};
 use crate::profile::Profile;
 use crate::telemetry::{BatchMetrics, DetectMetrics};
 use adprom_hmm::SlidingForward;
 use adprom_obs::{AuditLog, Registry};
 use adprom_trace::CallEvent;
 use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -80,6 +81,12 @@ pub struct BatchDetector<'p> {
     metrics: BatchMetrics,
     /// Audit log shared by every worker (sequence numbers stay global).
     audit: Option<Arc<AuditLog>>,
+    /// Scoring kernel resolved once against the profile; workers clone the
+    /// shared CSR handle, never rebuild the matrix.
+    kernel: KernelState,
+    /// Explicitly sized thread pool, if any — otherwise rayon's default
+    /// (machine cores, overridable via `RAYON_NUM_THREADS`).
+    pool: Option<ThreadPool>,
 }
 
 impl<'p> BatchDetector<'p> {
@@ -93,6 +100,8 @@ impl<'p> BatchDetector<'p> {
             detect_metrics: DetectMetrics::disabled(),
             metrics: BatchMetrics::disabled(),
             audit: None,
+            kernel: KernelState::Dense,
+            pool: None,
         }
     }
 
@@ -100,6 +109,47 @@ impl<'p> BatchDetector<'p> {
     pub fn with_mode(mut self, mode: ScoringMode) -> BatchDetector<'p> {
         self.mode = mode;
         self
+    }
+
+    /// Selects the scoring kernel. The CSR decomposition (when the config
+    /// needs one) is built *here*, once, and shared by every worker engine
+    /// through an `Arc` — parallelism does not repeat the O(N²) build.
+    ///
+    /// In [`ScoringMode::Incremental`] the sliding scorers pick the kernel
+    /// up too: sparse propagation per event, plus per-step beam pruning
+    /// for [`KernelConfig::Beam`].
+    pub fn with_kernel(mut self, config: KernelConfig) -> BatchDetector<'p> {
+        self.kernel = KernelState::build(config, self.profile);
+        self
+    }
+
+    /// Sizes the detector's own rayon pool to exactly `threads` workers
+    /// (0 restores the default pool). [`BatchDetector::threads`] reports
+    /// the count actually in force — what benchmarks must record instead
+    /// of assuming the machine's core count.
+    pub fn with_threads(mut self, threads: usize) -> BatchDetector<'p> {
+        self.pool = (threads > 0).then(|| {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool builds")
+        });
+        self
+    }
+
+    /// Number of worker threads batch calls will actually use: the
+    /// explicit pool's size if [`BatchDetector::with_threads`] set one,
+    /// else rayon's current default.
+    pub fn threads(&self) -> usize {
+        self.pool
+            .as_ref()
+            .map_or_else(rayon::current_num_threads, ThreadPool::current_num_threads)
+    }
+
+    /// Short name of the active scoring kernel (`dense`, `sparse`,
+    /// `beam`).
+    pub fn kernel_label(&self) -> &'static str {
+        self.kernel.label()
     }
 
     /// Registers metric handles against `registry` — once, here; the rayon
@@ -132,10 +182,12 @@ impl<'p> BatchDetector<'p> {
     pub fn detect_batch(&self, traces: &[Vec<CallEvent>]) -> Vec<TraceReport> {
         self.metrics.batches.inc();
         self.metrics.tasks_spawned.add(traces.len() as u64);
-        let alerts_per_trace: Vec<Vec<Alert>> = traces
-            .par_iter()
-            .map(|trace| self.scan_session_trace("", trace))
-            .collect();
+        let alerts_per_trace: Vec<Vec<Alert>> = self.run(|| {
+            traces
+                .par_iter()
+                .map(|trace| self.scan_session_trace("", trace))
+                .collect()
+        });
         alerts_per_trace
             .into_iter()
             .enumerate()
@@ -161,15 +213,26 @@ impl<'p> BatchDetector<'p> {
         self.metrics.batches.inc();
         self.metrics.tasks_spawned.add(traces.len() as u64);
         let indices: Vec<usize> = (0..traces.len()).collect();
-        let alerts_per_trace: Vec<Vec<Alert>> = indices
-            .par_iter()
-            .map(|&i| self.scan_session_trace(&sessions[i], &traces[i]))
-            .collect();
+        let alerts_per_trace: Vec<Vec<Alert>> = self.run(|| {
+            indices
+                .par_iter()
+                .map(|&i| self.scan_session_trace(&sessions[i], &traces[i]))
+                .collect()
+        });
         alerts_per_trace
             .into_iter()
             .enumerate()
             .map(|(index, alerts)| Self::report(index, Some(sessions[index].clone()), alerts))
             .collect()
+    }
+
+    /// Runs `op` inside the explicit pool when one is configured, so its
+    /// thread count governs every nested parallel iterator.
+    fn run<R>(&self, op: impl FnOnce() -> R) -> R {
+        match &self.pool {
+            Some(pool) => pool.install(op),
+            None => op(),
+        }
     }
 
     fn report(index: usize, session: Option<String>, alerts: Vec<Alert>) -> TraceReport {
@@ -202,8 +265,9 @@ impl<'p> BatchDetector<'p> {
             ScoringMode::ExactWindows => self.metrics.mode_exact.inc(),
             ScoringMode::Incremental => self.metrics.mode_incremental.inc(),
         }
-        let mut engine =
-            DetectionEngine::new(self.profile).with_metrics(self.detect_metrics.clone());
+        let mut engine = DetectionEngine::new(self.profile)
+            .with_metrics(self.detect_metrics.clone())
+            .with_kernel_state(self.kernel.clone());
         if let Some(audit) = &self.audit {
             engine = engine.with_audit(Arc::clone(audit));
         }
@@ -254,6 +318,13 @@ impl<'p> BatchDetector<'p> {
         let threshold = engine.threshold();
 
         let mut sliding = SlidingForward::new(&self.profile.hmm, n);
+        // The batch kernel carries into the per-event scorer: sparse
+        // propagation, plus per-step beam pruning for beam configs.
+        match &self.kernel {
+            KernelState::Dense => {}
+            KernelState::Sparse(sp) => sliding = sliding.with_kernel(sp),
+            KernelState::Beam(sp, beam) => sliding = sliding.with_kernel(sp).with_beam(*beam),
+        }
         let mut alerts = Vec::with_capacity(events.len().saturating_sub(n) + 1);
         let mut emit = |start: usize, end: usize, ll: f64| {
             // The shared precedence rule ([`Flag::classify`]), driven by
@@ -312,6 +383,18 @@ impl<'p> BatchDetector<'p> {
         self.metrics
             .sliding_reanchors
             .add(sliding.stats().reanchors);
+        if matches!(self.kernel, KernelState::Beam(..)) {
+            // `gap_bound` bounds the score error of *every* window this
+            // trace produced, so it feeds the same running-max gauge the
+            // exact engine uses.
+            let bound = sliding.gap_bound();
+            let micronats = if bound.is_finite() {
+                (bound * 1e6).ceil() as i64
+            } else {
+                i64::MAX
+            };
+            self.detect_metrics.beam_gap_bound_max.record_max(micronats);
+        }
         alerts
     }
 }
@@ -532,6 +615,76 @@ mod tests {
         .sum();
         assert!(windows > 0);
         assert_eq!(windows, flags);
+    }
+
+    #[test]
+    fn sparse_kernel_batch_matches_dense_flags_in_both_modes() {
+        use adprom_hmm::SparseConfig;
+        let profile = cyclic_profile();
+        let batch = mixed_batch();
+        let kernel = KernelConfig::Sparse {
+            sparse: SparseConfig::default(),
+        };
+        for mode in [ScoringMode::ExactWindows, ScoringMode::Incremental] {
+            let dense = BatchDetector::new(&profile)
+                .with_mode(mode)
+                .detect_batch(&batch);
+            let detector = BatchDetector::new(&profile)
+                .with_mode(mode)
+                .with_kernel(kernel);
+            assert_eq!(detector.kernel_label(), "sparse");
+            let sparse = detector.detect_batch(&batch);
+            for (d, s) in dense.iter().zip(&sparse) {
+                assert_eq!(d.verdict, s.verdict, "trace {} ({mode:?})", d.index);
+                assert_eq!(d.alerts.len(), s.alerts.len());
+                for (da, sa) in d.alerts.iter().zip(&s.alerts) {
+                    assert_eq!(da.flag, sa.flag);
+                    assert_eq!(da.window, sa.window);
+                    assert!((da.log_likelihood - sa.log_likelihood).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beam_kernel_batch_bounds_feed_the_gap_gauge() {
+        use adprom_hmm::{BeamConfig, SparseConfig};
+        let profile = cyclic_profile();
+        let registry = Registry::new();
+        let detector = BatchDetector::new(&profile)
+            .with_registry(&registry)
+            .with_mode(ScoringMode::Incremental)
+            .with_kernel(KernelConfig::Beam {
+                sparse: SparseConfig::default(),
+                beam: BeamConfig {
+                    top_k: Some(2),
+                    mass_epsilon: 0.0,
+                },
+            });
+        assert_eq!(detector.kernel_label(), "beam");
+        let reports = detector.detect_batch(&mixed_batch());
+        assert_eq!(reports.len(), 6);
+        let snap = registry.snapshot();
+        // Top-2 pruning on a 4-symbol alphabet pruned states somewhere,
+        // and the per-trace error bound reached the running-max gauge.
+        assert!(snap.gauges["beam.gap_bound_micronats_max"] >= 0);
+    }
+
+    #[test]
+    fn explicit_thread_pool_governs_reported_threads() {
+        let profile = cyclic_profile();
+        let detector = BatchDetector::new(&profile).with_threads(4);
+        assert_eq!(detector.threads(), 4);
+        // Output is independent of the pool size.
+        let default_pool = BatchDetector::new(&profile);
+        let batch = mixed_batch();
+        assert_eq!(
+            detector.detect_batch(&batch),
+            default_pool.detect_batch(&batch)
+        );
+        // 0 restores the default.
+        let restored = BatchDetector::new(&profile).with_threads(4).with_threads(0);
+        assert_eq!(restored.threads(), rayon::current_num_threads());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! pays a single branch per update.
 
 use crate::detect::{Alert, Flag};
-use adprom_obs::{AuditRecord, Counter, Histogram, Registry};
+use adprom_obs::{AuditRecord, Counter, Gauge, Histogram, Registry};
 
 /// Metric handles for [`DetectionEngine`](crate::detect::DetectionEngine):
 /// one counter per flag kind, the total window count, and the score
@@ -31,6 +31,22 @@ pub struct DetectMetrics {
     /// forward scoring pass (exact mode only; incremental scoring is
     /// per-event, timed at trace granularity by [`BatchMetrics`]).
     pub score_ns: Histogram,
+    /// `detect.kernel.dense` — flagged windows scored by the dense O(N²)
+    /// kernel.
+    pub kernel_dense: Counter,
+    /// `detect.kernel.sparse` — flagged windows scored by the exact sparse
+    /// CSR kernel.
+    pub kernel_sparse: Counter,
+    /// `detect.kernel.beam` — flagged windows scored with beam pruning
+    /// (scores approximate, bounded by `beam.gap_bound_micronats_max`).
+    pub kernel_beam: Counter,
+    /// `beam.windows_pruned` — beam-scored windows where at least one
+    /// state was pruned from α.
+    pub beam_windows_pruned: Counter,
+    /// `beam.gap_bound_micronats_max` — running maximum of the per-window
+    /// log-likelihood error bound, in micro-nats (the bound is a small
+    /// f64; gauges are integral, so it is scaled by 1e6 and rounded up).
+    pub beam_gap_bound_max: Gauge,
 }
 
 impl DetectMetrics {
@@ -49,6 +65,11 @@ impl DetectMetrics {
             flags_data_leak: registry.counter("detect.flags.data_leak"),
             flags_out_of_context: registry.counter("detect.flags.out_of_context"),
             score_ns: registry.histogram("detect.score_ns"),
+            kernel_dense: registry.counter("detect.kernel.dense"),
+            kernel_sparse: registry.counter("detect.kernel.sparse"),
+            kernel_beam: registry.counter("detect.kernel.beam"),
+            beam_windows_pruned: registry.counter("beam.windows_pruned"),
+            beam_gap_bound_max: registry.gauge("beam.gap_bound_micronats_max"),
         }
     }
 
@@ -107,12 +128,13 @@ impl BatchMetrics {
     }
 }
 
-/// Converts a (non-Normal) alert into an audit record for `session`. The
-/// sequence number is assigned later by
-/// [`AuditLog::record`](adprom_obs::AuditLog::record). For DataLeak alerts
-/// the DDG label and block id are lifted from the window, connecting the
-/// alert back to its data source.
-pub fn audit_record_from_alert(alert: &Alert, session: &str) -> AuditRecord {
+/// Converts a (non-Normal) alert into an audit record for `session`,
+/// stamped with the scoring `kernel` that produced the window's score
+/// (`dense`, `sparse`, or `beam`). The sequence number is assigned later
+/// by [`AuditLog::record`](adprom_obs::AuditLog::record). For DataLeak
+/// alerts the DDG label and block id are lifted from the window,
+/// connecting the alert back to its data source.
+pub fn audit_record_from_alert(alert: &Alert, session: &str, kernel: &str) -> AuditRecord {
     let label = if alert.flag == Flag::DataLeak {
         alert.window.iter().find(|n| n.contains("_Q")).cloned()
     } else {
@@ -130,6 +152,7 @@ pub fn audit_record_from_alert(alert: &Alert, session: &str) -> AuditRecord {
         log_likelihood: alert.log_likelihood,
         threshold: alert.threshold,
         detail: alert.detail.clone(),
+        kernel: kernel.to_string(),
         label,
         bid,
     }
@@ -151,18 +174,23 @@ mod tests {
 
     #[test]
     fn leak_alert_carries_label_and_bid() {
-        let record =
-            audit_record_from_alert(&alert(Flag::DataLeak, &["PQexec", "printf_Q6"]), "conn-3");
+        let record = audit_record_from_alert(
+            &alert(Flag::DataLeak, &["PQexec", "printf_Q6"]),
+            "conn-3",
+            "sparse",
+        );
         assert_eq!(record.session, "conn-3");
         assert_eq!(record.flag, "DATA-LEAK");
+        assert_eq!(record.kernel, "sparse");
         assert_eq!(record.label.as_deref(), Some("printf_Q6"));
         assert_eq!(record.bid.as_deref(), Some("6"));
     }
 
     #[test]
     fn non_leak_alert_has_no_label() {
-        let record = audit_record_from_alert(&alert(Flag::Anomalous, &["a", "b"]), "");
+        let record = audit_record_from_alert(&alert(Flag::Anomalous, &["a", "b"]), "", "dense");
         assert_eq!(record.flag, "ANOMALOUS");
+        assert_eq!(record.kernel, "dense");
         assert_eq!(record.label, None);
         assert_eq!(record.bid, None);
     }

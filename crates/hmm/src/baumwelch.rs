@@ -6,8 +6,10 @@
 //! stops improving — "the system stops the training with a converged model
 //! (λ) once it does not notice any improvement on the CSDS".
 
-use crate::forward::{backward, forward};
+use crate::forward::{backward, forward, ForwardPass};
 use crate::model::{normalize, Hmm};
+use crate::sparse::{backward_sparse, forward_sparse, SparseConfig, SparseTransitions};
+use rayon::prelude::*;
 
 /// Training configuration.
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +28,18 @@ pub struct TrainConfig {
     /// purely learning-based models (§I). Zero disables the prior
     /// (Rand-HMM trains with zero: it has no informed prior to keep).
     pub prior_weight: f64,
+    /// Fan the E-step out over traces with rayon. Each trace produces its
+    /// own sufficient statistics which are folded in input order, so the
+    /// result is bit-identical to the serial path regardless of thread
+    /// count (see `fold_sequence_stats`).
+    pub parallel: bool,
+    /// Route E-step forward/backward/ξ inner loops through the CSR kernel
+    /// ([`SparseTransitions`], rebuilt from the model each iteration).
+    /// Equivalent to the dense path up to FP reassociation (~1e-12); the
+    /// ξ numerator's background term stays dense for smoothed rows, so the
+    /// win is a constant factor (~the forward/backward/normalizer share)
+    /// rather than full O(nnz) unless the model has true zero rows.
+    pub sparse: bool,
 }
 
 impl Default for TrainConfig {
@@ -35,6 +49,8 @@ impl Default for TrainConfig {
             min_improvement: 1e-4,
             smoothing: 1e-6,
             prior_weight: 2.0,
+            parallel: true,
+            sparse: false,
         }
     }
 }
@@ -72,12 +88,7 @@ pub fn train(
 
     for _ in 0..config.max_iterations {
         iterations += 1;
-        reestimate_with_prior(
-            hmm,
-            train,
-            config.smoothing,
-            prior.as_ref().map(|(p, w)| (p, *w)),
-        );
+        reestimate_with_config(hmm, train, prior.as_ref().map(|(p, w)| (p, *w)), config);
         let score = mean_log_likelihood(hmm, holdout);
         curve.push(score);
         if score > best_score + config.min_improvement {
@@ -131,114 +142,258 @@ pub fn reestimate(hmm: &mut Hmm, seqs: &[Vec<usize>], smoothing: f64) {
 }
 
 /// One MAP-EM re-estimation step: expected counts plus `weight`
-/// pseudo-counts per row distributed according to `prior`.
-#[allow(clippy::needless_range_loop)] // dense N×N accumulators indexed in lock-step
+/// pseudo-counts per row distributed according to `prior`. Serial, dense —
+/// equivalent to [`reestimate_with_config`] with `parallel`/`sparse` off.
 pub fn reestimate_with_prior(
     hmm: &mut Hmm,
     seqs: &[Vec<usize>],
     smoothing: f64,
     prior: Option<(&Hmm, f64)>,
 ) {
+    let config = TrainConfig {
+        smoothing,
+        parallel: false,
+        sparse: false,
+        ..TrainConfig::default()
+    };
+    reestimate_with_config(hmm, seqs, prior, &config);
+}
+
+/// Per-sequence E-step sufficient statistics, flat row-major. One trace's
+/// expected counts are computed independently of every other trace — the
+/// unit of work the parallel E-step fans out.
+struct SequenceStats {
+    /// Expected transition counts, `a_num[i*n + j]`.
+    a_num: Vec<f64>,
+    /// Transition denominators `Σ_{t<T} γ_t(i)`.
+    a_den: Vec<f64>,
+    /// Expected emission counts, `b_num[i*m + k]`.
+    b_num: Vec<f64>,
+    /// Emission denominators `Σ_t γ_t(i)`.
+    b_den: Vec<f64>,
+    /// `γ_0(i)` — the π accumulator contribution.
+    pi_acc: Vec<f64>,
+}
+
+impl SequenceStats {
+    fn zeros(n: usize, m: usize) -> SequenceStats {
+        SequenceStats {
+            a_num: vec![0.0; n * n],
+            a_den: vec![0.0; n],
+            b_num: vec![0.0; n * m],
+            b_den: vec![0.0; n],
+            pi_acc: vec![0.0; n],
+        }
+    }
+
+    /// Element-wise accumulate. Folding per-sequence statistics into the
+    /// global accumulator strictly in input order gives one fixed FP
+    /// summation grouping — the serial and parallel E-steps share it, so
+    /// their trained models are bit-identical by construction.
+    fn fold(&mut self, other: &SequenceStats) {
+        let add = |dst: &mut [f64], src: &[f64]| {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        };
+        add(&mut self.a_num, &other.a_num);
+        add(&mut self.a_den, &other.a_den);
+        add(&mut self.b_num, &other.b_num);
+        add(&mut self.b_den, &other.b_den);
+        add(&mut self.pi_acc, &other.pi_acc);
+    }
+}
+
+/// Caps how many per-sequence statistics blocks are materialized at once
+/// (each is O(N²) memory). Identical for the serial and parallel paths so
+/// the fold grouping — and therefore the trained model — never depends on
+/// the execution mode.
+const ESTEP_BATCH: usize = 32;
+
+/// Expected counts for one trace under the current model, or `None` if the
+/// trace is empty or impossible (smoothing at the end of the step
+/// gradually opens such paths).
+fn sequence_stats(
+    hmm: &Hmm,
+    sparse: Option<&SparseTransitions>,
+    obs: &[usize],
+) -> Option<SequenceStats> {
     let n = hmm.n_states();
     let m = hmm.n_symbols();
+    let t_len = obs.len();
+    if t_len == 0 {
+        return None;
+    }
+    let fp: ForwardPass = match sparse {
+        Some(sp) => forward_sparse(hmm, sp, obs),
+        None => forward(hmm, obs),
+    };
+    if !fp.log_likelihood.is_finite() {
+        return None;
+    }
+    let beta = match sparse {
+        Some(sp) => backward_sparse(hmm, sp, obs, &fp.scale),
+        None => backward(hmm, obs, &fp.scale),
+    };
+    let mut stats = SequenceStats::zeros(n, m);
 
-    let mut a_num = vec![vec![0.0f64; n]; n];
-    let mut a_den = vec![0.0f64; n];
-    let mut b_num = vec![vec![0.0f64; m]; n];
-    let mut b_den = vec![0.0f64; n];
-    let mut pi_acc = vec![0.0f64; n];
+    // gamma_t(i) ∝ alpha_t(i) * beta_t(i); with Rabiner scaling the
+    // product needs dividing by c_t to be the true posterior.
+    let mut gamma = vec![0.0f64; n];
+    for t in 0..t_len {
+        for (i, g) in gamma.iter_mut().enumerate() {
+            *g = fp.alpha[t][i] * beta[t][i];
+        }
+        normalize(&mut gamma);
+        if t == 0 {
+            stats.pi_acc.copy_from_slice(&gamma);
+        }
+        for (i, &g) in gamma.iter().enumerate() {
+            stats.b_num[i * m + obs[t]] += g;
+            stats.b_den[i] += g;
+            if t + 1 < t_len {
+                stats.a_den[i] += g;
+            }
+        }
+    }
+
+    // xi_t(i,j) ∝ alpha_t(i) a_ij b_j(o_{t+1}) beta_{t+1}(j).
+    // Two passes per t — normalizer, then scatter straight into the
+    // accumulator — so no N×N buffer is materialized per step. The sparse
+    // kernel computes the normalizer in O(nnz + N) via the row identity
+    // Σ_j a_ij·bb_j = c_i·Σbb + Σ_nnz d_ij·bb_j; the scatter splits into
+    // an O(nnz) deviation part plus a dense background row-axpy (only for
+    // rows with a non-zero background — true-zero rows stay O(nnz)).
+    let mut bb = vec![0.0f64; n];
+    for t in 0..t_len.saturating_sub(1) {
+        let next = obs[t + 1];
+        for (j, b) in bb.iter_mut().enumerate() {
+            *b = hmm.b(j, next) * beta[t + 1][j];
+        }
+        match sparse {
+            Some(sp) => {
+                let bb_sum: f64 = bb.iter().sum();
+                let mut total = 0.0;
+                for (i, &ai) in fp.alpha[t].iter().enumerate() {
+                    if ai == 0.0 {
+                        continue;
+                    }
+                    let (cols, _, devs) = sp.row(i);
+                    let mut acc = sp.background(i) * bb_sum;
+                    for (c, d) in cols.iter().zip(devs) {
+                        acc += d * bb[*c as usize];
+                    }
+                    total += ai * acc;
+                }
+                if total > 0.0 {
+                    let inv = 1.0 / total;
+                    for (i, &alpha_i) in fp.alpha[t].iter().enumerate() {
+                        let ai = alpha_i * inv;
+                        if ai == 0.0 {
+                            continue;
+                        }
+                        let out = &mut stats.a_num[i * n..(i + 1) * n];
+                        let bg = sp.background(i);
+                        if bg > 0.0 {
+                            let w = ai * bg;
+                            for (o, &bbj) in out.iter_mut().zip(&bb) {
+                                *o += w * bbj;
+                            }
+                        }
+                        let (cols, _, devs) = sp.row(i);
+                        for (c, d) in cols.iter().zip(devs) {
+                            let j = *c as usize;
+                            out[j] += ai * d * bb[j];
+                        }
+                    }
+                }
+            }
+            None => {
+                let mut total = 0.0;
+                for (i, &ai) in fp.alpha[t].iter().enumerate() {
+                    if ai == 0.0 {
+                        continue;
+                    }
+                    let row = hmm.a_row(i);
+                    let mut acc = 0.0;
+                    for (a_ij, b_beta) in row.iter().zip(&bb) {
+                        acc += a_ij * b_beta;
+                    }
+                    total += ai * acc;
+                }
+                if total > 0.0 {
+                    let inv = 1.0 / total;
+                    for (i, &alpha_i) in fp.alpha[t].iter().enumerate() {
+                        let ai = alpha_i * inv;
+                        if ai == 0.0 {
+                            continue;
+                        }
+                        let row = hmm.a_row(i);
+                        let out = &mut stats.a_num[i * n..(i + 1) * n];
+                        for ((o, &a_ij), &bbj) in out.iter_mut().zip(row).zip(&bb) {
+                            *o += ai * a_ij * bbj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Some(stats)
+}
+
+/// One MAP-EM re-estimation step honoring the config's `parallel` and
+/// `sparse` switches. The parallel path is bit-identical to the serial
+/// path (per-trace statistics folded in input order, same batching); the
+/// sparse path matches dense up to FP reassociation.
+pub fn reestimate_with_config(
+    hmm: &mut Hmm,
+    seqs: &[Vec<usize>],
+    prior: Option<(&Hmm, f64)>,
+    config: &TrainConfig,
+) {
+    let n = hmm.n_states();
+    let m = hmm.n_symbols();
+    let smoothing = config.smoothing;
+    let sparse = config
+        .sparse
+        .then(|| SparseTransitions::from_hmm(hmm, &SparseConfig::default()));
+    let sp = sparse.as_ref();
+
+    let mut acc = SequenceStats::zeros(n, m);
     let mut used_sequences = 0usize;
 
     if let Some((p, w)) = prior {
         debug_assert_eq!(p.n_states(), n);
         debug_assert_eq!(p.n_symbols(), m);
         for i in 0..n {
-            for (acc, &prior_a) in a_num[i].iter_mut().zip(p.a_row(i)) {
-                *acc += w * prior_a;
+            for (a, &prior_a) in acc.a_num[i * n..(i + 1) * n].iter_mut().zip(p.a_row(i)) {
+                *a += w * prior_a;
             }
-            a_den[i] += w;
-            for (acc, &prior_b) in b_num[i].iter_mut().zip(p.b_row(i)) {
-                *acc += w * prior_b;
+            acc.a_den[i] += w;
+            for (b, &prior_b) in acc.b_num[i * m..(i + 1) * m].iter_mut().zip(p.b_row(i)) {
+                *b += w * prior_b;
             }
-            b_den[i] += w;
+            acc.b_den[i] += w;
             // π pseudo-counts are folded in after the division by
             // used_sequences, so scale them as one extra pseudo-sequence.
         }
     }
 
-    for obs in seqs {
-        let t_len = obs.len();
-        if t_len == 0 {
-            continue;
-        }
-        let fp = forward(hmm, obs);
-        if !fp.log_likelihood.is_finite() {
-            // Impossible under current parameters; smoothing at the end of
-            // the step gradually opens such paths.
-            continue;
-        }
-        used_sequences += 1;
-        let beta = backward(hmm, obs, &fp.scale);
-
-        // gamma_t(i) ∝ alpha_t(i) * beta_t(i); with Rabiner scaling the
-        // product needs dividing by c_t to be the true posterior.
-        let mut gamma = vec![0.0f64; n];
-        for t in 0..t_len {
-            for (i, g) in gamma.iter_mut().enumerate() {
-                *g = fp.alpha[t][i] * beta[t][i];
-            }
-            normalize(&mut gamma);
-            if t == 0 {
-                for i in 0..n {
-                    pi_acc[i] += gamma[i];
-                }
-            }
-            for i in 0..n {
-                b_num[i][obs[t]] += gamma[i];
-                b_den[i] += gamma[i];
-                if t + 1 < t_len {
-                    a_den[i] += gamma[i];
-                }
-            }
-        }
-
-        // xi_t(i,j) ∝ alpha_t(i) a_ij b_j(o_{t+1}) beta_{t+1}(j).
-        // Two O(N²) passes — the first computes the normalizer, the second
-        // adds xi/total straight into the accumulator — so no N×N buffer is
-        // materialized (at bash scale that buffer dominated training time).
-        let mut bb = vec![0.0f64; n];
-        for t in 0..t_len.saturating_sub(1) {
-            let next = obs[t + 1];
-            for j in 0..n {
-                bb[j] = hmm.b(j, next) * beta[t + 1][j];
-            }
-            let mut total = 0.0;
-            for i in 0..n {
-                let ai = fp.alpha[t][i];
-                if ai == 0.0 {
-                    continue;
-                }
-                let row = hmm.a_row(i);
-                let mut acc = 0.0;
-                for j in 0..n {
-                    acc += row[j] * bb[j];
-                }
-                total += ai * acc;
-            }
-            if total > 0.0 {
-                let inv = 1.0 / total;
-                for i in 0..n {
-                    let ai = fp.alpha[t][i] * inv;
-                    if ai == 0.0 {
-                        continue;
-                    }
-                    let row = hmm.a_row(i);
-                    let out = &mut a_num[i];
-                    for j in 0..n {
-                        out[j] += ai * row[j] * bb[j];
-                    }
-                }
-            }
+    for batch in seqs.chunks(ESTEP_BATCH) {
+        let locals: Vec<Option<SequenceStats>> = if config.parallel {
+            batch
+                .par_iter()
+                .map(|obs| sequence_stats(hmm, sp, obs))
+                .collect()
+        } else {
+            batch
+                .iter()
+                .map(|obs| sequence_stats(hmm, sp, obs))
+                .collect()
+        };
+        for stats in locals.into_iter().flatten() {
+            used_sequences += 1;
+            acc.fold(&stats);
         }
     }
 
@@ -248,23 +403,30 @@ pub fn reestimate_with_prior(
         return;
     }
 
-    let pi_prior = prior;
     for i in 0..n {
-        if a_den[i] > 0.0 {
-            let inv = 1.0 / a_den[i];
-            for (dst, &num) in hmm.a_row_mut(i).iter_mut().zip(&a_num[i]) {
+        if acc.a_den[i] > 0.0 {
+            let inv = 1.0 / acc.a_den[i];
+            for (dst, &num) in hmm
+                .a_row_mut(i)
+                .iter_mut()
+                .zip(&acc.a_num[i * n..(i + 1) * n])
+            {
                 *dst = num * inv;
             }
         }
-        if b_den[i] > 0.0 {
-            let inv = 1.0 / b_den[i];
-            for (dst, &num) in hmm.b_row_mut(i).iter_mut().zip(&b_num[i]) {
+        if acc.b_den[i] > 0.0 {
+            let inv = 1.0 / acc.b_den[i];
+            for (dst, &num) in hmm
+                .b_row_mut(i)
+                .iter_mut()
+                .zip(&acc.b_num[i * m..(i + 1) * m])
+            {
                 *dst = num * inv;
             }
         }
-        let (pi_num, pi_den) = match pi_prior {
-            Some((p, w)) => (pi_acc[i] + w * p.pi[i], used_sequences as f64 + w),
-            None => (pi_acc[i], used_sequences as f64),
+        let (pi_num, pi_den) = match prior {
+            Some((p, w)) => (acc.pi_acc[i] + w * p.pi[i], used_sequences as f64 + w),
+            None => (acc.pi_acc[i], used_sequences as f64),
         };
         hmm.pi[i] = pi_num / pi_den;
     }
@@ -346,6 +508,125 @@ mod tests {
             normal_score > anom_score + 1.0,
             "normal {normal_score} vs anomalous {anom_score}"
         );
+    }
+
+    #[test]
+    fn parallel_estep_is_bit_identical_to_serial() {
+        let train_set = dataset(70, 30, 400);
+        let prior = {
+            let mut h = Hmm::random(3, 3, 55);
+            h.smooth(1e-4);
+            h
+        };
+        let mut serial = prior.clone();
+        let mut parallel = prior.clone();
+        let base = TrainConfig::default();
+        reestimate_with_config(
+            &mut serial,
+            &train_set,
+            Some((&prior, 2.0)),
+            &TrainConfig {
+                parallel: false,
+                ..base
+            },
+        );
+        reestimate_with_config(
+            &mut parallel,
+            &train_set,
+            Some((&prior, 2.0)),
+            &TrainConfig {
+                parallel: true,
+                ..base
+            },
+        );
+        // Bit-identical, not just close: same fold order by construction.
+        assert_eq!(
+            serial.a_rows().collect::<Vec<_>>(),
+            parallel.a_rows().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            serial.b_rows().collect::<Vec<_>>(),
+            parallel.b_rows().collect::<Vec<_>>()
+        );
+        assert_eq!(serial.pi, parallel.pi);
+    }
+
+    #[test]
+    fn parallel_train_is_bit_identical_to_serial() {
+        let train_set = dataset(40, 25, 77);
+        let holdout = dataset(10, 25, 177);
+        let mut init = Hmm::random(2, 3, 5);
+        init.smooth(1e-4);
+        let mut serial = init.clone();
+        let mut parallel = init.clone();
+        let base = TrainConfig {
+            max_iterations: 5,
+            ..TrainConfig::default()
+        };
+        train(
+            &mut serial,
+            &train_set,
+            &holdout,
+            &TrainConfig {
+                parallel: false,
+                ..base
+            },
+        );
+        train(
+            &mut parallel,
+            &train_set,
+            &holdout,
+            &TrainConfig {
+                parallel: true,
+                ..base
+            },
+        );
+        assert_eq!(
+            serial.a_rows().collect::<Vec<_>>(),
+            parallel.a_rows().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            serial.b_rows().collect::<Vec<_>>(),
+            parallel.b_rows().collect::<Vec<_>>()
+        );
+        assert_eq!(serial.pi, parallel.pi);
+    }
+
+    #[test]
+    fn sparse_estep_matches_dense_within_tolerance() {
+        let train_set = dataset(30, 25, 800);
+        let mut init = Hmm::random(3, 3, 31);
+        init.smooth(1e-4);
+        let prior = init.clone();
+        let mut dense = init.clone();
+        let mut sparse = init.clone();
+        let base = TrainConfig {
+            parallel: false,
+            ..TrainConfig::default()
+        };
+        reestimate_with_config(&mut dense, &train_set, Some((&prior, 2.0)), &base);
+        reestimate_with_config(
+            &mut sparse,
+            &train_set,
+            Some((&prior, 2.0)),
+            &TrainConfig {
+                sparse: true,
+                ..base
+            },
+        );
+        for (dr, sr) in dense.a_rows().zip(sparse.a_rows()) {
+            for (d, s) in dr.iter().zip(sr) {
+                assert!((d - s).abs() < 1e-9, "{d} vs {s}");
+            }
+        }
+        for (dr, sr) in dense.b_rows().zip(sparse.b_rows()) {
+            for (d, s) in dr.iter().zip(sr) {
+                assert!((d - s).abs() < 1e-9);
+            }
+        }
+        for (d, s) in dense.pi.iter().zip(&sparse.pi) {
+            assert!((d - s).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //!
 //! For monitoring at scale, [`sliding`] provides [`SlidingForward`]: an
 //! incremental scorer that advances an n-length detection window by one
-//! event in O(N²) instead of recomputing the whole window.
+//! event in O(N²) instead of recomputing the whole window, and [`sparse`]
+//! provides [`SparseTransitions`]: a CSR transition kernel that drops the
+//! per-event constant to O(nnz + N) — exactly for smoothed pCTM models via
+//! the background + deviation decomposition — plus optional beam pruning
+//! with a sound log-likelihood error bound.
 //!
 //! Models can be initialized randomly (the Rand-HMM baseline) or from the
 //! statically computed pCTM (done in `adprom-core`).
@@ -23,10 +27,17 @@ pub mod baumwelch;
 pub mod forward;
 pub mod model;
 pub mod sliding;
+pub mod sparse;
 pub mod viterbi;
 
-pub use baumwelch::{mean_log_likelihood, reestimate, train, TrainConfig, TrainReport};
+pub use baumwelch::{
+    mean_log_likelihood, reestimate, reestimate_with_config, train, TrainConfig, TrainReport,
+};
 pub use forward::{backward, forward, log_likelihood, normalized_log_likelihood, ForwardPass};
 pub use model::{normalize, Hmm, HmmError};
 pub use sliding::{scan_scores, SlidingForward, SlidingStats};
+pub use sparse::{
+    backward_sparse, forward_beam, forward_sparse, log_likelihood_sparse, viterbi_sparse,
+    BeamConfig, BeamForward, SparseConfig, SparseStats, SparseTransitions,
+};
 pub use viterbi::viterbi;

@@ -253,6 +253,46 @@ impl Hmm {
         normalize(&mut self.pi);
     }
 
+    /// Flattens sub-`threshold` transition probabilities to a shared
+    /// per-row floor (the mean of the flattened set, so each row's sum is
+    /// preserved) and returns how many entries were flattened.
+    ///
+    /// Baum–Welch perturbs every smoothed floor entry by a slightly
+    /// different amount of expected-count dust, which destroys the
+    /// bit-identical background that [`crate::sparse::SparseTransitions`]
+    /// exploits for exact O(nnz) scoring. Profiles flatten once after
+    /// training: entries below `threshold` carry no trained signal (they
+    /// exist only because of smoothing), and equalizing them restores the
+    /// background + deviation structure without touching real transitions.
+    /// A zero `threshold` is a no-op.
+    pub fn flatten_floor(&mut self, threshold: f64) -> usize {
+        if threshold <= 0.0 || self.n == 0 {
+            return 0;
+        }
+        let mut flattened = 0usize;
+        let n = self.n;
+        for row in self.a.chunks_mut(n) {
+            let (mut sum, mut count) = (0.0f64, 0usize);
+            for v in row.iter() {
+                if *v < threshold {
+                    sum += *v;
+                    count += 1;
+                }
+            }
+            if count < 2 {
+                continue;
+            }
+            let floor = sum / count as f64;
+            for v in row.iter_mut() {
+                if *v < threshold {
+                    *v = floor;
+                }
+            }
+            flattened += count;
+        }
+        flattened
+    }
+
     /// Samples an observation sequence of length `len` (used by tests and
     /// synthetic workloads).
     pub fn sample(&self, len: usize, seed: u64) -> Vec<usize> {

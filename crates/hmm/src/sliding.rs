@@ -42,6 +42,7 @@
 //! never hit this path; the anchor then stays at event 0 forever.
 
 use crate::model::Hmm;
+use crate::sparse::{prune_alpha, BeamConfig, SparseTransitions};
 
 /// Accounting for one [`SlidingForward`]'s lifetime — the observability
 /// hook the batch pipeline surfaces as `sliding.reanchors` /
@@ -54,6 +55,9 @@ pub struct SlidingStats {
     /// prefix and restarted from π. The initial anchoring of a fresh (or
     /// reset) scorer does not count — smoothed models report 0 forever.
     pub reanchors: u64,
+    /// α entries zeroed by beam pruning ([`SlidingForward::with_beam`]);
+    /// 0 unless a beam is configured.
+    pub pruned_states: u64,
 }
 
 /// Incremental scaled-forward scorer over a sliding window.
@@ -82,6 +86,24 @@ pub struct SlidingForward<'a> {
     dead: bool,
     /// Lifetime accounting (pushes, re-anchor fallbacks).
     stats: SlidingStats,
+    /// Optional CSR kernel: the O(N²) propagation step becomes O(nnz + N).
+    kernel: Option<&'a SparseTransitions>,
+    /// Optional beam pruning of the running α vector.
+    beam: Option<BeamConfig>,
+    /// `Ê` of the beam error recursion for the current chain (see
+    /// [`crate::sparse::forward_beam`]).
+    beam_err: f64,
+    /// Running max of `ln(1 + Ê)` over the current chain. A window score
+    /// is a difference of two prefix log-likelihoods, each underestimated
+    /// by at most the chain's peak — so the peak (not the current value,
+    /// which can shrink) bounds the window error in either direction.
+    beam_peak: f64,
+    /// Mass pruned at the previous push.
+    beam_pruned_prev: f64,
+    /// Accumulated peaks of chains already closed by a re-anchor.
+    beam_gap_base: f64,
+    /// Scratch index buffer for beam selection.
+    beam_order: Vec<usize>,
 }
 
 impl<'a> SlidingForward<'a> {
@@ -100,7 +122,51 @@ impl<'a> SlidingForward<'a> {
             anchor: 0,
             dead: true,
             stats: SlidingStats::default(),
+            kernel: None,
+            beam: None,
+            beam_err: 0.0,
+            beam_peak: 0.0,
+            beam_pruned_prev: 0.0,
+            beam_gap_base: 0.0,
+            beam_order: Vec::new(),
         }
+    }
+
+    /// Routes the propagation step through a CSR kernel (O(nnz + N) per
+    /// push instead of O(N²)). The kernel must be built from the same
+    /// model; with `epsilon = 0` scores match the dense path to FP
+    /// reassociation.
+    pub fn with_kernel(mut self, kernel: &'a SparseTransitions) -> SlidingForward<'a> {
+        assert_eq!(
+            kernel.n_states(),
+            self.hmm.n_states(),
+            "kernel built for a different model"
+        );
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Enables beam pruning of the running α vector. Requires a kernel
+    /// ([`with_kernel`](SlidingForward::with_kernel)); the cumulative
+    /// score underestimate is bounded by
+    /// [`gap_bound`](SlidingForward::gap_bound).
+    pub fn with_beam(mut self, beam: BeamConfig) -> SlidingForward<'a> {
+        assert!(
+            self.kernel.is_some(),
+            "beam pruning requires a sparse kernel"
+        );
+        self.beam = Some(beam);
+        self
+    }
+
+    /// Sound bound on the beam-induced window-score error so far:
+    /// `|score_exact − score_pruned| ≤ gap_bound()` for every window
+    /// emitted up to now. Per chain this is the running peak of
+    /// `ln(1 + Ê)` (a window score subtracts two prefix log-likelihoods,
+    /// each of which the beam underestimates by at most the peak), summed
+    /// across re-anchored chains. 0.0 without a beam.
+    pub fn gap_bound(&self) -> f64 {
+        self.beam_gap_base + self.beam_peak
     }
 
     /// The configured window length.
@@ -134,28 +200,53 @@ impl<'a> SlidingForward<'a> {
         let n = self.hmm.n_states();
         let mut c = 0.0;
         if !self.dead {
-            // One forward step from the running alpha: i-outer accumulation
-            // walks A row-by-row through the flat row-major storage.
-            self.scratch.iter_mut().for_each(|v| *v = 0.0);
-            for i in 0..n {
-                let alpha_i = self.alpha[i];
-                if alpha_i == 0.0 {
-                    continue;
-                }
-                let row = self.hmm.a_row(i);
-                for (acc, &a_ij) in self.scratch.iter_mut().zip(row) {
-                    *acc += alpha_i * a_ij;
+            // One forward step from the running alpha: either the CSR
+            // kernel's background-broadcast + deviation-scatter, or the
+            // dense i-outer accumulation that walks A row-by-row through
+            // the flat row-major storage.
+            match self.kernel {
+                Some(sp) => sp.propagate(&self.alpha, &mut self.scratch),
+                None => {
+                    self.scratch.iter_mut().for_each(|v| *v = 0.0);
+                    for i in 0..n {
+                        let alpha_i = self.alpha[i];
+                        if alpha_i == 0.0 {
+                            continue;
+                        }
+                        let row = self.hmm.a_row(i);
+                        for (acc, &a_ij) in self.scratch.iter_mut().zip(row) {
+                            *acc += alpha_i * a_ij;
+                        }
+                    }
                 }
             }
+            let mut bmax = 0.0f64;
             for (j, acc) in self.scratch.iter_mut().enumerate() {
-                *acc *= self.hmm.b(j, symbol);
+                let b = self.hmm.b(j, symbol);
+                bmax = bmax.max(b);
+                *acc *= b;
                 c += *acc;
+            }
+            // Beam error recursion, in the live chain's scaled units:
+            // Ê ← (Ê + p_prev) · bmax / c (see crate::sparse's module docs).
+            if self.beam.is_some() && c > 0.0 {
+                self.beam_err = (self.beam_err + self.beam_pruned_prev) * bmax / c;
+                self.beam_peak = self.beam_peak.max(self.beam_err.ln_1p());
             }
         }
         if self.dead || c <= 0.0 {
             // Exact-recompute fallback: restart the chain at this event
             // from π, exactly as a fresh forward pass over obs[t..] would.
             // Every restart except the initial anchoring is a re-anchor.
+            // A restarted chain carries no beam error, but ring slots from
+            // the closed chain may still be in scope — fold its bound into
+            // the cumulative base so gap_bound() stays an upper bound.
+            if self.beam.is_some() {
+                self.beam_gap_base += self.beam_peak;
+                self.beam_err = 0.0;
+                self.beam_peak = 0.0;
+                self.beam_pruned_prev = 0.0;
+            }
             if self.seen > 0 {
                 self.stats.reanchors += 1;
             }
@@ -171,6 +262,11 @@ impl<'a> SlidingForward<'a> {
             let inv = 1.0 / c;
             for (dst, &src) in self.alpha.iter_mut().zip(self.scratch.iter()) {
                 *dst = src * inv;
+            }
+            if let Some(beam) = self.beam {
+                let (pm, pc) = prune_alpha(&mut self.alpha, &mut self.beam_order, &beam);
+                self.beam_pruned_prev = pm;
+                self.stats.pruned_states += pc as u64;
             }
             c.ln()
         } else {
@@ -195,7 +291,8 @@ impl<'a> SlidingForward<'a> {
         self.ring.iter().sum()
     }
 
-    /// Clears all state, ready for a new trace.
+    /// Clears all state (keeping the kernel/beam configuration), ready for
+    /// a new trace.
     pub fn reset(&mut self) {
         self.alpha.iter_mut().for_each(|v| *v = 0.0);
         self.ring.clear();
@@ -203,6 +300,10 @@ impl<'a> SlidingForward<'a> {
         self.anchor = 0;
         self.dead = true;
         self.stats = SlidingStats::default();
+        self.beam_err = 0.0;
+        self.beam_peak = 0.0;
+        self.beam_pruned_prev = 0.0;
+        self.beam_gap_base = 0.0;
     }
 }
 
@@ -330,6 +431,48 @@ mod tests {
         // Short trace: the single score is the exact full-trace likelihood.
         let exact = log_likelihood(&hmm, &obs[..10]);
         assert!((scan_scores(&hmm, &obs[..10], 15)[0] - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_push_stream_matches_dense() {
+        use crate::sparse::{SparseConfig, SparseTransitions};
+        let hmm = smoothed(6, 5, 12);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let obs = hmm.sample(120, 4);
+        let mut dense = SlidingForward::new(&hmm, 15);
+        let mut sparse = SlidingForward::new(&hmm, 15).with_kernel(&sp);
+        for &s in &obs {
+            let d = dense.push(s);
+            let k = sparse.push(s);
+            assert!((d - k).abs() < 1e-9, "{d} vs {k}");
+        }
+        assert_eq!(sparse.gap_bound(), 0.0, "no beam, no gap");
+    }
+
+    #[test]
+    fn beam_scores_lower_bounded_by_gap() {
+        use crate::sparse::{BeamConfig, SparseConfig, SparseTransitions};
+        let hmm = smoothed(10, 6, 21);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let obs = hmm.sample(100, 8);
+        let mut exact = SlidingForward::new(&hmm, 15).with_kernel(&sp);
+        let mut pruned = SlidingForward::new(&hmm, 15)
+            .with_kernel(&sp)
+            .with_beam(BeamConfig {
+                top_k: Some(3),
+                mass_epsilon: 0.02,
+            });
+        for &s in &obs {
+            let e = exact.push(s);
+            let p = pruned.push(s);
+            let gap = e - p;
+            assert!(
+                gap.abs() <= pruned.gap_bound() + 1e-9,
+                "window gap {gap} exceeds bound {}",
+                pruned.gap_bound()
+            );
+        }
+        assert!(pruned.stats().pruned_states > 0);
     }
 
     #[test]

@@ -1,0 +1,993 @@
+//! Sparse transition kernel: CSR scoring for structurally sparse models.
+//!
+//! AD-PROM's HMM is initialized from the pCTM, whose rows follow call-graph
+//! edges — most of an N×N transition matrix carries no trained signal, yet
+//! the dense forward/Viterbi/Baum–Welch recursions walk every row in full
+//! (O(N²) per event). This module drops the per-event cost to O(nnz + N).
+//!
+//! # Background + deviation decomposition
+//!
+//! [`Hmm::smooth`] (applied by the Profile Constructor and after every
+//! re-estimation step) maps every originally-zero entry of a row to the
+//! *same* floor value `floor / s` — so a smoothed row is
+//!
+//! ```text
+//! a_ij = c_i + d_ij        with  d_ij ≥ 0, non-zero only on graph edges
+//! ```
+//!
+//! where `c_i` is the row's **background** (its minimum) and `d_ij` its
+//! per-edge **deviation**. The forward step then factors exactly:
+//!
+//! ```text
+//! (αᵀA)_j = Σ_i α_i·d_ij  +  Σ_i α_i·c_i
+//!            └─ CSR scatter ─┘   └─ scalar broadcast ─┘
+//! ```
+//!
+//! one O(nnz) scatter plus one O(N) broadcast — **exact** (no epsilon
+//! needed) even though the smoothed matrix is dense in storage. Rows whose
+//! minimum is a true zero degenerate to plain CSR; rows that are genuinely
+//! dense (deviation density above [`SparseConfig::max_density`]) fall back
+//! to storing every entry with a zero background, so the kernel never
+//! performs worse than the dense sweep by more than the O(N) broadcast.
+//!
+//! With [`SparseConfig::epsilon`] > 0, entries within `epsilon` of the row
+//! minimum are folded into the background (set to the fold set's mean,
+//! preserving the row sum); the resulting model differs from the original
+//! by at most [`SparseStats::max_fold_deviation`] per entry. `epsilon = 0`
+//! keeps the kernel an exact reparametrization of the input matrix.
+//!
+//! # Beam pruning
+//!
+//! [`forward_beam`] additionally zeroes low-mass α entries after every
+//! scaling step (top-k and/or mass-threshold), and tracks a **sound upper
+//! bound** on the log-likelihood it may have lost. With scaled error mass
+//! `Ê_t` (exact-minus-pruned α, in the pruned chain's units) and pruned
+//! mass `p_t` at step `t`:
+//!
+//! ```text
+//! Ê_{t+1} ≤ (Ê_t + p_t) · max_j b_j(o_{t+1}) / c_{t+1}
+//! log P_exact − log P_pruned ≤ ln(1 + Ê_T)
+//! ```
+//!
+//! The bound follows from entrywise monotonicity of the forward recursion
+//! (row-stochastic A, non-negative α): pruning only removes mass, and a
+//! removed state can re-inject at most `bmax/c` of its mass per step. The
+//! naive bound `−Σ ln(1 − p_t)` is *not* sound — a pruned state may be the
+//! sole emitter of a later symbol — which is why the recursion carries
+//! `bmax` explicitly.
+
+use crate::forward::ForwardPass;
+use crate::model::Hmm;
+
+/// Construction parameters for [`SparseTransitions`].
+#[derive(Debug, Clone, Copy)]
+pub struct SparseConfig {
+    /// Entries within `epsilon` of their row's minimum are folded into the
+    /// row background (replaced by the fold set's mean). `0.0` (the
+    /// default) folds only exact duplicates of the minimum — the kernel is
+    /// then an exact reparametrization of the matrix.
+    pub epsilon: f64,
+    /// Rows whose deviation density `nnz/n` exceeds this threshold are
+    /// stored dense (every entry explicit, background 0) so the scatter
+    /// never degenerates into a slower-than-dense gather.
+    pub max_density: f64,
+}
+
+impl Default for SparseConfig {
+    fn default() -> SparseConfig {
+        SparseConfig {
+            epsilon: 0.0,
+            max_density: 0.75,
+        }
+    }
+}
+
+/// Construction accounting for a [`SparseTransitions`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseStats {
+    /// Stored (deviation) entries across all rows.
+    pub nnz: usize,
+    /// Rows stored dense because their deviation density exceeded
+    /// [`SparseConfig::max_density`].
+    pub dense_rows: usize,
+    /// `nnz / n²` — the fraction of the matrix the scatter kernels touch.
+    pub density: f64,
+    /// Largest `|a_ij − background_i|` folded into a background. `0.0`
+    /// when built with `epsilon = 0`; otherwise bounds the per-entry
+    /// perturbation of the represented matrix.
+    pub max_fold_deviation: f64,
+}
+
+/// CSR view of an [`Hmm`] transition matrix under the background +
+/// deviation decomposition (see the module docs). Borrow-free: safe to
+/// share across worker threads behind an `Arc`.
+#[derive(Debug, Clone)]
+pub struct SparseTransitions {
+    n: usize,
+    /// CSR row pointers into `col`/`val`/`dev`/`log_val` (length `n + 1`).
+    row_start: Vec<usize>,
+    /// Destination state of each stored entry.
+    col: Vec<u32>,
+    /// Full transition probability `a_ij` of each stored entry.
+    val: Vec<f64>,
+    /// Deviation `a_ij − background_i` of each stored entry.
+    dev: Vec<f64>,
+    /// `ln a_ij` of each stored entry (for Viterbi).
+    log_val: Vec<f64>,
+    /// Per-row background `c_i` (the folded minimum; 0 for dense rows and
+    /// rows whose minimum is a true zero).
+    background: Vec<f64>,
+    /// `ln c_i` (`-inf` where the background is zero).
+    log_background: Vec<f64>,
+    /// Transposed (CSC) column pointers into `trow`/`tdev` (length `n + 1`).
+    /// Within a column, sources are stored in ascending row order. Dense
+    /// fallback rows are excluded — they live in `dense_idx`/`dense_val`.
+    tcol_start: Vec<usize>,
+    /// Source state of each transposed entry.
+    trow: Vec<u32>,
+    /// Deviation of each transposed entry (same values as `dev`, reordered).
+    tdev: Vec<f64>,
+    /// Row indices of dense fallback rows.
+    dense_idx: Vec<u32>,
+    /// Full `n`-wide rows of each dense fallback row, concatenated, so the
+    /// forward gather can apply them as contiguous (vectorizable) axpys
+    /// instead of `n` scattered CSC entries each.
+    dense_val: Vec<f64>,
+    /// Emission matrix transposed to symbol-major (`bt[k * n + j] =
+    /// b(j, k)`), so the per-event emission multiply reads one contiguous
+    /// slice instead of `n` loads strided by the alphabet size.
+    bt: Vec<f64>,
+    stats: SparseStats,
+}
+
+impl SparseTransitions {
+    /// Builds the CSR decomposition of `hmm`'s transition matrix.
+    pub fn from_hmm(hmm: &Hmm, config: &SparseConfig) -> SparseTransitions {
+        let n = hmm.n_states();
+        let mut row_start = Vec::with_capacity(n + 1);
+        let mut col = Vec::new();
+        let mut val = Vec::new();
+        let mut dev = Vec::new();
+        let mut log_val = Vec::new();
+        let mut background = Vec::with_capacity(n);
+        let mut log_background = Vec::with_capacity(n);
+        let mut dense_rows = 0usize;
+        let mut dense_idx = Vec::new();
+        let mut dense_val = Vec::new();
+        let mut max_fold = 0.0f64;
+        let ln = |x: f64| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY };
+
+        row_start.push(0);
+        for i in 0..n {
+            let row = hmm.a_row(i);
+            let min = row.iter().cloned().fold(f64::INFINITY, f64::min);
+            // Fold set: entries within epsilon of the row minimum. Its mean
+            // becomes the background, preserving the row sum; with
+            // epsilon = 0 every member equals `min` bitwise, so the mean is
+            // taken as `min` itself (no FP round-trip).
+            let cutoff = min + config.epsilon;
+            let folded: Vec<usize> = (0..n).filter(|&j| row[j] <= cutoff).collect();
+            let stored = n - folded.len();
+            if stored as f64 > config.max_density * n as f64 {
+                // Dense fallback: background 0, every entry explicit.
+                dense_rows += 1;
+                dense_idx.push(i as u32);
+                dense_val.extend_from_slice(row);
+                background.push(0.0);
+                log_background.push(f64::NEG_INFINITY);
+                for (j, &a_ij) in row.iter().enumerate() {
+                    col.push(j as u32);
+                    val.push(a_ij);
+                    dev.push(a_ij);
+                    log_val.push(ln(a_ij));
+                }
+            } else {
+                let bg = if config.epsilon == 0.0 || folded.len() <= 1 {
+                    min
+                } else {
+                    let sum: f64 = folded.iter().map(|&j| row[j]).sum();
+                    sum / folded.len() as f64
+                };
+                for &j in &folded {
+                    max_fold = max_fold.max((row[j] - bg).abs());
+                }
+                background.push(bg);
+                log_background.push(ln(bg));
+                for (j, &a_ij) in row.iter().enumerate() {
+                    if a_ij > cutoff {
+                        col.push(j as u32);
+                        val.push(a_ij);
+                        dev.push(a_ij - bg);
+                        log_val.push(ln(a_ij));
+                    }
+                }
+            }
+            row_start.push(col.len());
+        }
+        let nnz = col.len();
+        // Transpose the sparse rows to CSC for the forward gather (dense
+        // fallback rows are applied as contiguous axpys instead). Scanning
+        // rows in ascending order keeps each column's sources ascending.
+        let mut is_dense = vec![false; n];
+        for &i in &dense_idx {
+            is_dense[i as usize] = true;
+        }
+        let mut tcol_start = vec![0usize; n + 1];
+        for i in 0..n {
+            if is_dense[i] {
+                continue;
+            }
+            for k in row_start[i]..row_start[i + 1] {
+                tcol_start[col[k] as usize + 1] += 1;
+            }
+        }
+        for j in 0..n {
+            tcol_start[j + 1] += tcol_start[j];
+        }
+        let mut trow = vec![0u32; tcol_start[n]];
+        let mut tdev = vec![0.0f64; tcol_start[n]];
+        let mut cursor = tcol_start.clone();
+        for i in 0..n {
+            if is_dense[i] {
+                continue;
+            }
+            for k in row_start[i]..row_start[i + 1] {
+                let slot = cursor[col[k] as usize];
+                trow[slot] = i as u32;
+                tdev[slot] = dev[k];
+                cursor[col[k] as usize] += 1;
+            }
+        }
+        let m = hmm.n_symbols();
+        let mut bt = vec![0.0f64; m * n];
+        for (k, chunk) in bt.chunks_exact_mut(n).enumerate() {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = hmm.b(j, k);
+            }
+        }
+        let stats = SparseStats {
+            nnz,
+            dense_rows,
+            density: if n == 0 {
+                0.0
+            } else {
+                nnz as f64 / (n * n) as f64
+            },
+            max_fold_deviation: max_fold,
+        };
+        SparseTransitions {
+            n,
+            row_start,
+            col,
+            val,
+            dev,
+            log_val,
+            background,
+            log_background,
+            tcol_start,
+            trow,
+            tdev,
+            dense_idx,
+            dense_val,
+            bt,
+            stats,
+        }
+    }
+
+    /// Symbol-major emission column: `emission_col(k)[j] == b(j, k)`.
+    #[inline]
+    pub fn emission_col(&self, symbol: usize) -> &[f64] {
+        &self.bt[symbol * self.n..(symbol + 1) * self.n]
+    }
+
+    /// Number of states (rows).
+    pub fn n_states(&self) -> usize {
+        self.n
+    }
+
+    /// Construction accounting (nnz, density, dense fallbacks, fold error).
+    pub fn stats(&self) -> SparseStats {
+        self.stats
+    }
+
+    /// Row `i`'s background value `c_i`.
+    #[inline]
+    pub fn background(&self, i: usize) -> f64 {
+        self.background[i]
+    }
+
+    /// Row `i`'s stored entries as `(columns, full values, deviations)`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64], &[f64]) {
+        let (s, e) = (self.row_start[i], self.row_start[i + 1]);
+        (&self.col[s..e], &self.val[s..e], &self.dev[s..e])
+    }
+
+    /// `out[j] = Σ_i alpha[i] · a(i,j)` — the forward propagation step,
+    /// O(nnz + N) via background broadcast + transposed deviation gather.
+    ///
+    /// Implemented as a CSC gather over the sparse rows (per-destination
+    /// accumulation in a register, no read-modify-write traffic on `out`)
+    /// followed by one contiguous axpy per dense fallback row — those rows
+    /// would otherwise contribute `n` scattered entries each, and as
+    /// contiguous slices the compiler can vectorize them.
+    pub fn propagate(&self, alpha: &[f64], out: &mut [f64]) {
+        let mut base = 0.0;
+        for (a, bg) in alpha.iter().zip(&self.background) {
+            base += a * bg;
+        }
+        for (j, o) in out.iter_mut().enumerate() {
+            let (s, e) = (self.tcol_start[j], self.tcol_start[j + 1]);
+            let mut acc = base;
+            for (i, d) in self.trow[s..e].iter().zip(&self.tdev[s..e]) {
+                acc += alpha[*i as usize] * d;
+            }
+            *o = acc;
+        }
+        let n = self.n;
+        for (k, &i) in self.dense_idx.iter().enumerate() {
+            let a = alpha[i as usize];
+            for (o, v) in out.iter_mut().zip(&self.dense_val[k * n..(k + 1) * n]) {
+                *o += a * v;
+            }
+        }
+    }
+
+    /// `out[i] = Σ_j a(i,j) · x[j]` — the backward gather step,
+    /// O(nnz + N) via the row-sum identity `Σ_j a_ij·x_j = c_i·Σx + Σ d·x`.
+    pub fn back_apply(&self, x: &[f64], out: &mut [f64]) {
+        let total: f64 = x.iter().sum();
+        for (i, o) in out.iter_mut().enumerate() {
+            let (s, e) = (self.row_start[i], self.row_start[i + 1]);
+            let mut acc = self.background[i] * total;
+            for (c, d) in self.col[s..e].iter().zip(&self.dev[s..e]) {
+                acc += d * x[*c as usize];
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Scaled forward pass through the sparse kernel; numerically equivalent
+/// to [`crate::forward::forward`] (same scaling, same impossible-sequence
+/// handling) with per-event cost O(nnz + N) instead of O(N²).
+pub fn forward_sparse(hmm: &Hmm, sp: &SparseTransitions, obs: &[usize]) -> ForwardPass {
+    debug_assert_eq!(hmm.n_states(), sp.n_states());
+    let n = hmm.n_states();
+    let t_len = obs.len();
+    let mut alpha = vec![vec![0.0; n]; t_len];
+    let mut scale = vec![0.0; t_len];
+    let mut log_likelihood = 0.0f64;
+    if t_len == 0 {
+        return ForwardPass {
+            alpha,
+            scale,
+            log_likelihood,
+        };
+    }
+
+    let mut sum = 0.0;
+    let bcol = sp.emission_col(obs[0]);
+    for i in 0..n {
+        alpha[0][i] = hmm.pi[i] * bcol[i];
+        sum += alpha[0][i];
+    }
+    if sum <= 0.0 {
+        return impossible(alpha, scale);
+    }
+    scale[0] = 1.0 / sum;
+    for v in &mut alpha[0] {
+        *v *= scale[0];
+    }
+    log_likelihood += sum.ln();
+
+    for t in 1..t_len {
+        let (prev, cur) = {
+            let (a, b) = alpha.split_at_mut(t);
+            (&a[t - 1], &mut b[0])
+        };
+        sp.propagate(prev, cur);
+        let mut sum = 0.0;
+        let bcol = sp.emission_col(obs[t]);
+        for (c, b) in cur.iter_mut().zip(bcol) {
+            *c *= b;
+            sum += *c;
+        }
+        if sum <= 0.0 {
+            return impossible(alpha, scale);
+        }
+        scale[t] = 1.0 / sum;
+        for v in cur.iter_mut() {
+            *v *= scale[t];
+        }
+        log_likelihood += sum.ln();
+    }
+    ForwardPass {
+        alpha,
+        scale,
+        log_likelihood,
+    }
+}
+
+fn impossible(alpha: Vec<Vec<f64>>, scale: Vec<f64>) -> ForwardPass {
+    ForwardPass {
+        alpha,
+        scale,
+        log_likelihood: f64::NEG_INFINITY,
+    }
+}
+
+/// Scaled backward pass through the sparse kernel; the counterpart of
+/// [`crate::forward::backward`].
+pub fn backward_sparse(
+    hmm: &Hmm,
+    sp: &SparseTransitions,
+    obs: &[usize],
+    scale: &[f64],
+) -> Vec<Vec<f64>> {
+    debug_assert_eq!(hmm.n_states(), sp.n_states());
+    let n = hmm.n_states();
+    let t_len = obs.len();
+    let mut beta = vec![vec![0.0; n]; t_len];
+    if t_len == 0 {
+        return beta;
+    }
+    beta[t_len - 1].fill(scale[t_len - 1]);
+    let mut bb = vec![0.0; n];
+    for t in (0..t_len - 1).rev() {
+        let (head, tail) = beta.split_at_mut(t + 1);
+        let next = &tail[0];
+        let cur = &mut head[t];
+        for (j, b) in bb.iter_mut().enumerate() {
+            *b = hmm.b(j, obs[t + 1]) * next[j];
+        }
+        sp.back_apply(&bb, cur);
+        for v in cur.iter_mut() {
+            *v *= scale[t];
+        }
+    }
+    beta
+}
+
+/// `log P(O | λ)` through the sparse kernel, without materializing the α
+/// matrix: the recursion only ever reads the previous step, so scoring
+/// keeps two rolling n-vectors instead of allocating `T` rows. The
+/// arithmetic is the exact op-for-op sequence of [`forward_sparse`], so
+/// the returned value is bit-identical to
+/// `forward_sparse(..).log_likelihood` — this is the detection hot path
+/// (one call per window), where the allocation savings are worth as much
+/// as the O(nnz) propagation.
+pub fn log_likelihood_sparse(hmm: &Hmm, sp: &SparseTransitions, obs: &[usize]) -> f64 {
+    debug_assert_eq!(hmm.n_states(), sp.n_states());
+    let n = hmm.n_states();
+    if obs.is_empty() {
+        return 0.0;
+    }
+    let mut prev = vec![0.0; n];
+    let mut cur = vec![0.0; n];
+    let mut log_likelihood = 0.0f64;
+
+    let mut sum = 0.0;
+    let bcol = sp.emission_col(obs[0]);
+    for ((p, pi), b) in prev.iter_mut().zip(&hmm.pi).zip(bcol) {
+        *p = pi * b;
+        sum += *p;
+    }
+    if sum <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let scale = 1.0 / sum;
+    for v in &mut prev {
+        *v *= scale;
+    }
+    log_likelihood += sum.ln();
+
+    for &symbol in &obs[1..] {
+        sp.propagate(&prev, &mut cur);
+        let mut sum = 0.0;
+        let bcol = sp.emission_col(symbol);
+        for (c, b) in cur.iter_mut().zip(bcol) {
+            *c *= b;
+            sum += *c;
+        }
+        if sum <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let scale = 1.0 / sum;
+        for v in cur.iter_mut() {
+            *v *= scale;
+        }
+        log_likelihood += sum.ln();
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    log_likelihood
+}
+
+/// Most likely hidden-state path through the sparse kernel, with its log
+/// probability. The log-probability matches [`crate::viterbi::viterbi`]
+/// (up to FP reassociation); the path may differ where candidates tie.
+///
+/// Per step, every destination `j` starts from the best *background*
+/// candidate `max_i(δ_i + ln c_i)` — a valid lower bound for all sources
+/// because `a_ij ≥ c_i` — and stored entries (where `a_ij > c_i`) override
+/// it, so the max over all N² candidates is found in O(nnz + N).
+pub fn viterbi_sparse(hmm: &Hmm, sp: &SparseTransitions, obs: &[usize]) -> (Vec<usize>, f64) {
+    debug_assert_eq!(hmm.n_states(), sp.n_states());
+    let n = hmm.n_states();
+    let t_len = obs.len();
+    if t_len == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let ln = |x: f64| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY };
+
+    let mut delta = vec![vec![f64::NEG_INFINITY; n]; t_len];
+    let mut psi = vec![vec![0usize; n]; t_len];
+    for (i, d) in delta[0].iter_mut().enumerate() {
+        *d = ln(hmm.pi[i]) + ln(hmm.b(i, obs[0]));
+    }
+    for t in 1..t_len {
+        let (prev, cur) = {
+            let (head, tail) = delta.split_at_mut(t);
+            (&head[t - 1], &mut tail[0])
+        };
+        let arg = &mut psi[t];
+        // Best background candidate over all sources.
+        let (mut bg_best, mut bg_arg) = (f64::NEG_INFINITY, 0usize);
+        for (i, &d) in prev.iter().enumerate() {
+            let v = d + sp.log_background[i];
+            if v > bg_best {
+                bg_best = v;
+                bg_arg = i;
+            }
+        }
+        for j in 0..n {
+            cur[j] = bg_best;
+            arg[j] = bg_arg;
+        }
+        // Stored entries override where the true transition beats the
+        // background floor.
+        for (i, &d) in prev.iter().enumerate() {
+            if d == f64::NEG_INFINITY {
+                continue;
+            }
+            let (s, e) = (sp.row_start[i], sp.row_start[i + 1]);
+            for (c, lv) in sp.col[s..e].iter().zip(&sp.log_val[s..e]) {
+                let v = d + lv;
+                let j = *c as usize;
+                if v > cur[j] {
+                    cur[j] = v;
+                    arg[j] = i;
+                }
+            }
+        }
+        for (j, c) in cur.iter_mut().enumerate() {
+            *c += ln(hmm.b(j, obs[t]));
+        }
+    }
+    let (mut state, mut best) = (0usize, f64::NEG_INFINITY);
+    for (i, &d) in delta[t_len - 1].iter().enumerate() {
+        if d > best {
+            best = d;
+            state = i;
+        }
+    }
+    let mut path = vec![0usize; t_len];
+    path[t_len - 1] = state;
+    for t in (1..t_len).rev() {
+        state = psi[t][state];
+        path[t - 1] = state;
+    }
+    (path, best)
+}
+
+/// Beam-pruning policy for [`forward_beam`] and
+/// [`crate::sliding::SlidingForward::with_beam`]. Both constraints apply
+/// when both are set; the default prunes nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct BeamConfig {
+    /// Keep at most this many states per step (None = unlimited).
+    pub top_k: Option<usize>,
+    /// Drop the smallest states whose combined scaled-α mass stays below
+    /// this fraction (0.0 = keep everything).
+    pub mass_epsilon: f64,
+}
+
+impl Default for BeamConfig {
+    fn default() -> BeamConfig {
+        BeamConfig {
+            top_k: None,
+            mass_epsilon: 0.0,
+        }
+    }
+}
+
+impl BeamConfig {
+    /// True if this configuration can ever prune a state.
+    pub fn is_active(&self) -> bool {
+        self.top_k.is_some() || self.mass_epsilon > 0.0
+    }
+}
+
+/// Zeroes the α entries outside the beam; returns `(pruned mass, pruned
+/// count)`. `alpha` must be scaled (sum ≈ 1). Ties break by state index
+/// for determinism.
+pub(crate) fn prune_alpha(
+    alpha: &mut [f64],
+    order: &mut Vec<usize>,
+    config: &BeamConfig,
+) -> (f64, usize) {
+    let n = alpha.len();
+    let cap = config.top_k.unwrap_or(n).clamp(1, n);
+    order.clear();
+    order.extend(0..n);
+    order.sort_unstable_by(|&x, &y| {
+        alpha[y]
+            .partial_cmp(&alpha[x])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(x.cmp(&y))
+    });
+    let keep_mass = 1.0 - config.mass_epsilon;
+    let mut kept = 0.0;
+    let mut k = 0;
+    while k < cap && (kept < keep_mass || k == 0) {
+        kept += alpha[order[k]];
+        k += 1;
+    }
+    let mut pruned_mass = 0.0;
+    let mut pruned = 0usize;
+    for &i in &order[k..] {
+        if alpha[i] > 0.0 {
+            pruned_mass += alpha[i];
+            pruned += 1;
+        }
+        alpha[i] = 0.0;
+    }
+    (pruned_mass, pruned)
+}
+
+/// Result of a beam-pruned forward pass.
+#[derive(Debug, Clone)]
+pub struct BeamForward {
+    /// The (approximate) scaled forward pass. `log_likelihood` never
+    /// exceeds the exact value.
+    pub pass: ForwardPass,
+    /// Sound upper bound on `log P_exact − log P_pruned` (see the module
+    /// docs); `+inf` if pruning made the sequence impossible.
+    pub gap_bound: f64,
+    /// States zeroed across all steps.
+    pub pruned_states: u64,
+}
+
+/// Beam-pruned scaled forward pass: after every scaling step the α vector
+/// is pruned per `beam`, and the recursion tracks a sound bound on the
+/// log-likelihood underestimate.
+pub fn forward_beam(
+    hmm: &Hmm,
+    sp: &SparseTransitions,
+    obs: &[usize],
+    beam: &BeamConfig,
+) -> BeamForward {
+    debug_assert_eq!(hmm.n_states(), sp.n_states());
+    let n = hmm.n_states();
+    let t_len = obs.len();
+    let mut alpha = vec![vec![0.0; n]; t_len];
+    let mut scale = vec![0.0; t_len];
+    let mut log_likelihood = 0.0f64;
+    let mut err = 0.0f64; // Ê_t: scaled exact-minus-pruned mass bound
+    let mut pruned_states = 0u64;
+    let mut order = Vec::with_capacity(n);
+
+    if t_len == 0 {
+        return BeamForward {
+            pass: ForwardPass {
+                alpha,
+                scale,
+                log_likelihood,
+            },
+            gap_bound: 0.0,
+            pruned_states: 0,
+        };
+    }
+
+    let mut sum = 0.0;
+    for (i, a) in alpha[0].iter_mut().enumerate() {
+        *a = hmm.pi[i] * hmm.b(i, obs[0]);
+        sum += *a;
+    }
+    if sum <= 0.0 {
+        return BeamForward {
+            pass: impossible(alpha, scale),
+            gap_bound: 0.0,
+            pruned_states: 0,
+        };
+    }
+    scale[0] = 1.0 / sum;
+    for v in &mut alpha[0] {
+        *v *= scale[0];
+    }
+    log_likelihood += sum.ln();
+    let (pm, pc) = prune_alpha(&mut alpha[0], &mut order, beam);
+    // p_t: mass pruned at the previous step of the recursion.
+    let mut pruned_prev = pm;
+    pruned_states += pc as u64;
+
+    for t in 1..t_len {
+        let (prev, cur) = {
+            let (a, b) = alpha.split_at_mut(t);
+            (&a[t - 1], &mut b[0])
+        };
+        sp.propagate(prev, cur);
+        let mut sum = 0.0;
+        let mut bmax = 0.0f64;
+        for (j, c) in cur.iter_mut().enumerate() {
+            let b = hmm.b(j, obs[t]);
+            bmax = bmax.max(b);
+            *c *= b;
+            sum += *c;
+        }
+        if sum <= 0.0 {
+            // Pruning starved the chain (the exact pass may have survived):
+            // the bound is vacuous from here on.
+            return BeamForward {
+                pass: impossible(alpha, scale),
+                gap_bound: f64::INFINITY,
+                pruned_states,
+            };
+        }
+        scale[t] = 1.0 / sum;
+        for v in cur.iter_mut() {
+            *v *= scale[t];
+        }
+        log_likelihood += sum.ln();
+        // Ê_{t} ≤ (Ê_{t-1} + p_{t-1}) · bmax_t / c_t, with c_t = sum.
+        err = (err + pruned_prev) * bmax / sum;
+        let (pm, pc) = prune_alpha(cur, &mut order, beam);
+        pruned_prev = pm;
+        pruned_states += pc as u64;
+    }
+
+    BeamForward {
+        pass: ForwardPass {
+            alpha,
+            scale,
+            log_likelihood,
+        },
+        gap_bound: err.ln_1p(),
+        pruned_states,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::{backward, forward, log_likelihood};
+    use crate::viterbi::viterbi;
+
+    fn smoothed(n: usize, m: usize, seed: u64) -> Hmm {
+        let mut hmm = Hmm::random(n, m, seed);
+        hmm.smooth(1e-4);
+        hmm
+    }
+
+    /// A structurally sparse smoothed model: banded transitions + floor.
+    fn banded(n: usize, m: usize) -> Hmm {
+        let mut a = vec![vec![0.0; n]; n];
+        for (i, row) in a.iter_mut().enumerate() {
+            row[(i + 1) % n] = 0.7;
+            row[(i + 2) % n] = 0.3;
+        }
+        let b = vec![vec![1.0 / m as f64; m]; n];
+        let pi = vec![1.0 / n as f64; n];
+        let mut hmm = Hmm::new(a, b, pi).unwrap();
+        hmm.smooth(1e-5);
+        hmm
+    }
+
+    #[test]
+    fn smoothed_rows_share_an_exact_background() {
+        // The decomposition's premise: smooth() maps all originally-zero
+        // entries of a row to bit-identical values.
+        let hmm = banded(16, 4);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let stats = sp.stats();
+        assert_eq!(stats.dense_rows, 0);
+        assert_eq!(stats.nnz, 16 * 2, "two deviations per banded row");
+        assert_eq!(stats.max_fold_deviation, 0.0);
+    }
+
+    #[test]
+    fn propagate_matches_dense_row_sweep() {
+        let hmm = smoothed(8, 5, 3);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let alpha: Vec<f64> = (0..8).map(|i| (i + 1) as f64 / 36.0).collect();
+        let mut sparse_out = vec![0.0; 8];
+        sp.propagate(&alpha, &mut sparse_out);
+        for (j, got) in sparse_out.iter().enumerate() {
+            let dense: f64 = (0..8).map(|i| alpha[i] * hmm.a(i, j)).sum();
+            assert!((got - dense).abs() < 1e-12);
+        }
+        let mut back = vec![0.0; 8];
+        sp.back_apply(&alpha, &mut back);
+        for (i, got) in back.iter().enumerate() {
+            let dense: f64 = (0..8).map(|j| hmm.a(i, j) * alpha[j]).sum();
+            assert!((got - dense).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn forward_sparse_matches_dense() {
+        for seed in 0..5 {
+            let hmm = smoothed(6, 4, seed);
+            let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+            let obs = hmm.sample(80, seed + 100);
+            let d = forward(&hmm, &obs);
+            let s = forward_sparse(&hmm, &sp, &obs);
+            assert!((d.log_likelihood - s.log_likelihood).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rolling_score_is_bit_identical_to_forward_sparse() {
+        for seed in 0..5 {
+            let hmm = smoothed(6, 4, seed);
+            let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+            let obs = hmm.sample(60, seed + 300);
+            // Same op sequence, no α matrix: values must agree bitwise.
+            assert_eq!(
+                log_likelihood_sparse(&hmm, &sp, &obs),
+                forward_sparse(&hmm, &sp, &obs).log_likelihood,
+            );
+        }
+        // Empty and impossible sequences mirror the full pass too.
+        let hmm = smoothed(4, 3, 9);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        assert_eq!(log_likelihood_sparse(&hmm, &sp, &[]), 0.0);
+    }
+
+    #[test]
+    fn backward_sparse_matches_dense() {
+        let hmm = banded(10, 3);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let obs = hmm.sample(40, 7);
+        let fp = forward(&hmm, &obs);
+        let bd = backward(&hmm, &obs, &fp.scale);
+        let bs = backward_sparse(&hmm, &sp, &obs, &fp.scale);
+        for t in 0..obs.len() {
+            for i in 0..10 {
+                assert!((bd[t][i] - bs[t][i]).abs() < 1e-9, "t={t} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn true_zero_rows_have_zero_background() {
+        // Unsmoothed structural zeros: the kernel degenerates to plain CSR
+        // and stays exact, including the -inf impossible path.
+        let hmm = Hmm::new(
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            vec![vec![1.0, 0.0], vec![1.0, 0.0]],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        assert_eq!(sp.background(0), 0.0);
+        assert_eq!(log_likelihood_sparse(&hmm, &sp, &[0, 1]), f64::NEG_INFINITY);
+        assert!(log_likelihood_sparse(&hmm, &sp, &[0, 0]).is_finite());
+    }
+
+    #[test]
+    fn dense_fallback_rows_stay_exact() {
+        // A random (unsmoothed) model has all-distinct rows: every row
+        // trips the density threshold and falls back to dense storage.
+        let hmm = Hmm::random(6, 4, 11);
+        let sp = SparseTransitions::from_hmm(
+            &hmm,
+            &SparseConfig {
+                epsilon: 0.0,
+                max_density: 0.3,
+            },
+        );
+        assert_eq!(sp.stats().dense_rows, 6);
+        let obs = hmm.sample(30, 5);
+        let d = log_likelihood(&hmm, &obs);
+        let s = log_likelihood_sparse(&hmm, &sp, &obs);
+        assert!((d - s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_folding_bounds_perturbation() {
+        let hmm = smoothed(8, 4, 9);
+        let eps = 1e-3;
+        let sp = SparseTransitions::from_hmm(
+            &hmm,
+            &SparseConfig {
+                epsilon: eps,
+                max_density: 1.0,
+            },
+        );
+        assert!(sp.stats().max_fold_deviation <= eps);
+        // Rows still sum to 1 under the folded representation: the
+        // background applies to all n columns, stored entries add their
+        // deviation on top.
+        for i in 0..8 {
+            let (_, _, devs) = sp.row(i);
+            let sum: f64 = devs.iter().sum::<f64>() + sp.background(i) * 8.0;
+            assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn viterbi_sparse_matches_dense_logprob() {
+        for seed in 0..5 {
+            let hmm = smoothed(6, 4, seed + 40);
+            let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+            let obs = hmm.sample(30, seed);
+            let (pd, ld) = viterbi(&hmm, &obs);
+            let (ps, ls) = viterbi_sparse(&hmm, &sp, &obs);
+            assert!((ld - ls).abs() < 1e-9, "seed {seed}: {ld} vs {ls}");
+            // The returned path must actually achieve the returned score.
+            let mut lp = hmm.pi[ps[0]].ln() + hmm.b(ps[0], obs[0]).ln();
+            for t in 1..obs.len() {
+                lp += hmm.a(ps[t - 1], ps[t]).ln() + hmm.b(ps[t], obs[t]).ln();
+            }
+            assert!((lp - ls).abs() < 1e-9);
+            let _ = pd;
+        }
+    }
+
+    #[test]
+    fn beam_noop_config_matches_exact() {
+        let hmm = smoothed(5, 4, 2);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let obs = hmm.sample(50, 3);
+        let bf = forward_beam(&hmm, &sp, &obs, &BeamConfig::default());
+        let exact = log_likelihood(&hmm, &obs);
+        assert!((bf.pass.log_likelihood - exact).abs() < 1e-9);
+        assert_eq!(bf.pruned_states, 0);
+        assert!(bf.gap_bound.abs() < 1e-12);
+    }
+
+    #[test]
+    fn beam_bound_is_sound() {
+        for seed in 0..10 {
+            let hmm = smoothed(12, 6, seed);
+            let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+            let obs = hmm.sample(60, seed + 7);
+            let exact = log_likelihood(&hmm, &obs);
+            let bf = forward_beam(
+                &hmm,
+                &sp,
+                &obs,
+                &BeamConfig {
+                    top_k: Some(4),
+                    mass_epsilon: 0.05,
+                },
+            );
+            let gap = exact - bf.pass.log_likelihood;
+            assert!(gap >= -1e-9, "pruned LL may never exceed exact: {gap}");
+            assert!(
+                gap <= bf.gap_bound + 1e-9,
+                "seed {seed}: observed gap {gap} exceeds bound {}",
+                bf.gap_bound
+            );
+            assert!(bf.pruned_states > 0);
+        }
+    }
+
+    #[test]
+    fn prune_keeps_mass_and_cap() {
+        let mut alpha = vec![0.4, 0.3, 0.2, 0.05, 0.05];
+        let mut order = Vec::new();
+        let (pm, pc) = prune_alpha(
+            &mut alpha,
+            &mut order,
+            &BeamConfig {
+                top_k: Some(3),
+                mass_epsilon: 0.0,
+            },
+        );
+        assert_eq!(pc, 2);
+        assert!((pm - 0.1).abs() < 1e-12);
+        assert_eq!(alpha, vec![0.4, 0.3, 0.2, 0.0, 0.0]);
+    }
+}

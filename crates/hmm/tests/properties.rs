@@ -2,7 +2,9 @@
 //! enumeration, and distributional invariants of training.
 
 use adprom_hmm::{
-    backward, forward, log_likelihood, reestimate, scan_scores, viterbi, Hmm, SlidingForward,
+    backward, forward, forward_beam, forward_sparse, log_likelihood, log_likelihood_sparse,
+    reestimate, reestimate_with_config, scan_scores, train, viterbi, viterbi_sparse, BeamConfig,
+    Hmm, SlidingForward, SparseConfig, SparseTransitions, TrainConfig,
 };
 use proptest::prelude::*;
 
@@ -276,6 +278,127 @@ proptest! {
             prop_assert!((got - want).abs() < 1e-9,
                 "window {i}: incremental {got} vs full forward recompute {want}");
         }
+    }
+
+    /// The sparse CSR kernel scores every sequence within 1e-9 of the dense
+    /// forward pass — on smoothed models (background decomposition active)
+    /// and unsmoothed random ones (dense-fallback rows active).
+    #[test]
+    fn sparse_forward_matches_dense(
+        hmm in arb_hmm(6, 5), seed in any::<u64>(), len in 1usize..30,
+        smooth in any::<bool>(),
+    ) {
+        let mut hmm = hmm;
+        if smooth {
+            hmm.smooth(1e-4);
+        }
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let obs = hmm.sample(len, seed);
+        let dense = log_likelihood(&hmm, &obs);
+        let rolling = log_likelihood_sparse(&hmm, &sp, &obs);
+        let full = forward_sparse(&hmm, &sp, &obs).log_likelihood;
+        prop_assert_eq!(rolling, full, "rolling scorer must be bit-identical to forward_sparse");
+        if dense.is_finite() {
+            prop_assert!((rolling - dense).abs() < 1e-9,
+                "sparse {rolling} vs dense {dense}");
+        } else {
+            prop_assert_eq!(rolling, f64::NEG_INFINITY);
+        }
+    }
+
+    /// The sparse Viterbi recursion finds a path of the same log
+    /// probability as the dense one.
+    #[test]
+    fn sparse_viterbi_matches_dense(
+        hmm in arb_hmm(5, 4), seed in any::<u64>(), len in 1usize..15,
+    ) {
+        let mut hmm = hmm;
+        hmm.smooth(1e-4);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let obs = hmm.sample(len, seed);
+        let (_, dense_lp) = viterbi(&hmm, &obs);
+        let (path, sparse_lp) = viterbi_sparse(&hmm, &sp, &obs);
+        prop_assert_eq!(path.len(), obs.len());
+        prop_assert!((sparse_lp - dense_lp).abs() < 1e-9,
+            "sparse viterbi {sparse_lp} vs dense {dense_lp}");
+    }
+
+    /// One sparse-kernel re-estimation step lands within 1e-9 of the dense
+    /// step, parameter by parameter.
+    #[test]
+    fn sparse_reestimation_matches_dense(
+        n in 2usize..5, model_seed in any::<u64>(), seed in any::<u64>(),
+    ) {
+        let mut dense_model = Hmm::random(n, 4, model_seed);
+        dense_model.smooth(1e-4);
+        let mut sparse_model = dense_model.clone();
+        let teacher = Hmm::random(3, 4, seed ^ 0xBEEF);
+        let data: Vec<Vec<usize>> = (0..12).map(|i| teacher.sample(10, seed ^ i)).collect();
+        let dense_cfg = TrainConfig { parallel: false, sparse: false, ..TrainConfig::default() };
+        let sparse_cfg = TrainConfig { parallel: false, sparse: true, ..TrainConfig::default() };
+        reestimate_with_config(&mut dense_model, &data, None, &dense_cfg);
+        reestimate_with_config(&mut sparse_model, &data, None, &sparse_cfg);
+        for i in 0..n {
+            prop_assert!((dense_model.pi[i] - sparse_model.pi[i]).abs() < 1e-9);
+            for j in 0..n {
+                prop_assert!((dense_model.a(i, j) - sparse_model.a(i, j)).abs() < 1e-9,
+                    "a({i},{j}): dense {} vs sparse {}", dense_model.a(i, j), sparse_model.a(i, j));
+            }
+            for k in 0..4 {
+                prop_assert!((dense_model.b(i, k) - sparse_model.b(i, k)).abs() < 1e-9,
+                    "b({i},{k}): dense {} vs sparse {}", dense_model.b(i, k), sparse_model.b(i, k));
+            }
+        }
+    }
+
+    /// Beam pruning's reported error bound is sound: the exact
+    /// log-likelihood exceeds the beam score by at most `gap_bound`.
+    #[test]
+    fn beam_gap_bound_is_sound(
+        hmm in arb_hmm(6, 5), seed in any::<u64>(), len in 1usize..25,
+        top_k in 1usize..4,
+    ) {
+        let mut hmm = hmm;
+        hmm.smooth(1e-4);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let obs = hmm.sample(len, seed);
+        let exact = log_likelihood(&hmm, &obs);
+        let beam = BeamConfig { top_k: Some(top_k), mass_epsilon: 0.0 };
+        let run = forward_beam(&hmm, &sp, &obs, &beam);
+        let approx = run.pass.log_likelihood;
+        prop_assert!(approx <= exact + 1e-9,
+            "beam score {approx} exceeds exact {exact}");
+        if run.gap_bound.is_finite() {
+            let gap = exact - approx;
+            prop_assert!(gap <= run.gap_bound + 1e-9,
+                "observed gap {gap} exceeds reported bound {}", run.gap_bound);
+        }
+    }
+
+    /// Parallel Baum–Welch training is bit-identical to serial training —
+    /// same model, same report, however the traces are batched.
+    #[test]
+    fn parallel_training_is_bit_identical(
+        n in 2usize..5, model_seed in any::<u64>(), seed in any::<u64>(),
+        n_seqs in 1usize..40,
+    ) {
+        let init = {
+            let mut h = Hmm::random(n, 4, model_seed);
+            h.smooth(1e-4);
+            h
+        };
+        let teacher = Hmm::random(3, 4, seed ^ 0xACE);
+        let data: Vec<Vec<usize>> = (0..n_seqs as u64).map(|i| teacher.sample(8, seed ^ i)).collect();
+        let holdout: Vec<Vec<usize>> = (0..4u64).map(|i| teacher.sample(8, seed ^ (100 + i))).collect();
+        let mut serial_model = init.clone();
+        let mut parallel_model = init;
+        let serial_cfg = TrainConfig { max_iterations: 3, parallel: false, ..TrainConfig::default() };
+        let parallel_cfg = TrainConfig { max_iterations: 3, parallel: true, ..TrainConfig::default() };
+        let serial_report = train(&mut serial_model, &data, &holdout, &serial_cfg);
+        let parallel_report = train(&mut parallel_model, &data, &holdout, &parallel_cfg);
+        prop_assert_eq!(serial_report.iterations, parallel_report.iterations);
+        prop_assert!(serial_model == parallel_model,
+            "parallel E-step diverged from serial");
     }
 }
 

@@ -34,6 +34,10 @@ pub struct AuditRecord {
     pub threshold: f64,
     /// Human-readable detail from the engine.
     pub detail: String,
+    /// Scoring kernel that produced `log_likelihood` (`dense`, `sparse`,
+    /// or `beam`) — beam-pruned scores are approximate, so forensics need
+    /// to know which path flagged the window.
+    pub kernel: String,
     /// The DDG-labeled output call (`printf_Q6`) for DataLeak alerts.
     pub label: Option<String>,
     /// The DDG block id parsed from the label (`6` for `printf_Q6`) —
@@ -194,6 +198,7 @@ mod tests {
             log_likelihood: -42.5,
             threshold: -30.0,
             detail: "anomalous sequence contains labeled output `printf_Q6`".into(),
+            kernel: "dense".into(),
             label: Some("printf_Q6".into()),
             bid: Some("6".into()),
         }

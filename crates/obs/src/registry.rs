@@ -86,6 +86,16 @@ impl Gauge {
         }
     }
 
+    /// Raises the gauge to `value` if it is below it — a running maximum
+    /// (e.g. the worst beam-pruning error bound seen so far). Lowering
+    /// requires [`Gauge::set`].
+    #[inline]
+    pub fn record_max(&self, value: i64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
     /// Current value (0 for disabled handles).
     pub fn get(&self) -> i64 {
         self.0
@@ -465,6 +475,17 @@ mod tests {
         assert_eq!(g.get(), 2);
         g.set(10);
         assert_eq!(registry.snapshot().gauges["sessions.open"], 10);
+    }
+
+    #[test]
+    fn gauge_record_max_is_a_running_maximum() {
+        let registry = Registry::new();
+        let g = registry.gauge("beam.gap");
+        g.record_max(5);
+        g.record_max(3); // below the max: ignored
+        assert_eq!(g.get(), 5);
+        g.record_max(9);
+        assert_eq!(g.get(), 9);
     }
 
     #[test]

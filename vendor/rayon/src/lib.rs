@@ -4,7 +4,9 @@
 //! vendors a small data-parallelism layer with the subset of rayon's API
 //! that the detection pipeline uses: `slice.par_iter()` /
 //! `vec.into_par_iter()` followed by `.map(...).collect::<Vec<_>>()` or
-//! `.for_each(...)`, plus [`current_num_threads`].
+//! `.for_each(...)`, plus [`current_num_threads`] and explicit pool
+//! sizing via `RAYON_NUM_THREADS` or
+//! [`ThreadPoolBuilder`]/[`ThreadPool::install`].
 //!
 //! Instead of a global work-stealing pool, items are split into
 //! `current_num_threads()` contiguous chunks and executed on scoped OS
@@ -18,13 +20,106 @@
 //! * **Single-thread degradation** — with one available core (or one item)
 //!   the work runs inline on the caller's thread with no spawn overhead.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
-/// Number of worker threads a parallel operation will use.
+thread_local! {
+    /// Per-thread pool-size override installed by [`ThreadPool::install`]
+    /// (0 = no override). Parallel operations size themselves on the
+    /// calling thread, so a thread-local is all `install` needs.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// `RAYON_NUM_THREADS` from the environment (real rayon's global-pool
+/// sizing knob), read once; 0 or unparsable means "no override".
+fn env_num_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Number of worker threads a parallel operation will use: an enclosing
+/// [`ThreadPool::install`] wins, then `RAYON_NUM_THREADS`, then the
+/// machine's available parallelism.
 pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    let env = env_num_threads();
+    if env > 0 {
+        return env;
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Builder for [`ThreadPool`], mirroring rayon's `ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with no explicit thread count (the pool will use
+    /// [`current_num_threads`]'s environment/machine default).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool's thread count (0 keeps the default).
+    pub fn num_threads(mut self, num_threads: usize) -> ThreadPoolBuilder {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool. Infallible in this stand-in (threads are scoped
+    /// per operation, not reserved up front), but returns `Result` for
+    /// rayon API compatibility.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        let threads = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A sized scope for parallel operations. The stand-in has no resident
+/// workers: [`ThreadPool::install`] pins [`current_num_threads`] for the
+/// duration of the closure, and each parallel operation inside it spawns
+/// that many scoped threads.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's thread count governing every parallel
+    /// operation started from the calling thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
 }
 
 /// Order-preserving parallel map over `items`.
@@ -269,5 +364,30 @@ mod tests {
     #[test]
     fn current_num_threads_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let (inside, after) = {
+            let inside = pool.install(super::current_num_threads);
+            (inside, super::current_num_threads())
+        };
+        assert_eq!(inside, 3);
+        assert_ne!(after, 0);
+        // Parallel work inside install still preserves order with the
+        // overridden chunking.
+        let doubled: Vec<u64> = pool.install(|| {
+            (0..100u64)
+                .collect::<Vec<_>>()
+                .par_iter()
+                .map(|&x| x * 2)
+                .collect()
+        });
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
     }
 }
