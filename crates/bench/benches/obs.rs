@@ -5,7 +5,11 @@
 //! compare `scan_trace/*` here against each other to audit it.
 
 use adprom_analysis::analyze;
-use adprom_core::{build_profile, ConstructorConfig, DetectionEngine};
+use adprom_core::resilience::sites;
+use adprom_core::{
+    build_profile, BatchDetector, ConstructorConfig, DetectionEngine, FailPoint, FaultKind,
+    FaultPlan, Trigger,
+};
 use adprom_obs::Registry;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -55,5 +59,53 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scan_overhead, bench_primitives);
+/// Resilience overhead: the guarded per-trace path (`catch_unwind`, fail
+/// points, retry bookkeeping) vs the plain engine scan. The §11 contract:
+/// disabled fail points cost one branch, so `scan_guarded` must track
+/// `scan_plain` within noise.
+fn bench_resilience_overhead(c: &mut Criterion) {
+    let workload = adprom_workloads::hospital::workload(15, 9);
+    let analysis = analyze(&workload.program);
+    let traces = workload.collect_traces(&analysis.site_labels);
+    let mut config = ConstructorConfig::default();
+    config.train.max_iterations = 6;
+    let (profile, _) = build_profile("App_h", &analysis, &traces, &config);
+    let trace = &traces[0];
+
+    let mut group = c.benchmark_group("resilience");
+    let plain = DetectionEngine::new(&profile);
+    group.bench_function("scan_plain", |b| {
+        b.iter(|| black_box(plain.scan(black_box(trace)).len()))
+    });
+    let guarded = BatchDetector::new(&profile);
+    group.bench_function("scan_guarded", |b| {
+        b.iter(|| black_box(guarded.scan_trace(black_box(trace)).len()))
+    });
+
+    // The raw fail-point primitive: disabled is one branch; armed (but
+    // never firing for this key) takes the site's trigger lock.
+    let disabled = FailPoint::disabled();
+    let injector = FaultPlan::new(7)
+        .inject(
+            sites::WORKER_PANIC,
+            FaultKind::SlowScore { millis: 0 },
+            Trigger::OnceForKeys([u64::MAX].into()),
+        )
+        .arm();
+    let armed = injector.point(sites::WORKER_PANIC);
+    group.bench_function("failpoint_disabled", |b| {
+        b.iter(|| black_box(disabled.fire(black_box(3))))
+    });
+    group.bench_function("failpoint_armed_miss", |b| {
+        b.iter(|| black_box(armed.fire(black_box(3))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scan_overhead,
+    bench_primitives,
+    bench_resilience_overhead
+);
 criterion_main!(benches);

@@ -20,15 +20,22 @@
 //! * `--metrics-out <path>` — dump the full pipeline metrics snapshot
 //!   (training, detection, batch, kernel and sliding-scorer accounting).
 //! * `--smoke` — small workload and short measurement budget, for CI.
+//! * `--faults` — after the throughput runs, replay the batch under a
+//!   deterministic fault plan (corrupt + truncated ingest, injected
+//!   worker panics, a slow score) and *assert* that every non-quarantined
+//!   trace gets the same verdict as a fault-free run over the same
+//!   screened input.
 
 use adprom_analysis::analyze;
+use adprom_core::resilience::sites;
 use adprom_core::{
-    build_profile, init_from_pctm, trace_windows, Alert, BatchDetector, ConstructorConfig,
-    DetectionEngine, Flag, KernelConfig, ScoringMode,
+    apply_ingest_faults, build_profile, init_from_pctm, trace_windows, Alert, BatchDetector,
+    ConstructorConfig, DetectionEngine, FaultKind, FaultPlan, Flag, Health, HealthMonitor,
+    KernelConfig, ScoringMode, TraceStatus, Trigger,
 };
 use adprom_hmm::{train, BeamConfig, Hmm, SparseConfig};
 use adprom_obs::Registry;
-use adprom_trace::CallEvent;
+use adprom_trace::{CallEvent, TraceValidator};
 use adprom_workloads::hospital;
 use std::time::Instant;
 
@@ -106,6 +113,7 @@ fn main() {
     let mut smoke = false;
     let mut sparse = false;
     let mut beam = false;
+    let mut faults = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -115,10 +123,12 @@ fn main() {
             "--smoke" => smoke = true,
             "--sparse" => sparse = true,
             "--beam" => beam = true,
+            "--faults" => faults = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: bench_detect [--smoke] [--sparse] [--beam] [--metrics-out <path>]"
+                    "usage: bench_detect [--smoke] [--sparse] [--beam] [--faults] \
+                     [--metrics-out <path>]"
                 );
                 std::process::exit(2);
             }
@@ -301,6 +311,104 @@ fn main() {
     assert!(bw_bit_identical, "parallel Baum-Welch diverged from serial");
     let bw_speedup = bw_serial_secs / bw_parallel_secs;
 
+    // Fault-injection gate: replay the batch under a deterministic fault
+    // plan and require that resilience machinery never changes a verdict
+    // on a trace it kept.
+    let fault_fields = if faults {
+        // Injected panics are expected; keep their backtraces out of the
+        // bench output.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("fault-injected"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+
+        let fault_registry = Registry::new();
+        let health = HealthMonitor::with_registry(&fault_registry);
+        let injector = FaultPlan::new(42)
+            .inject(
+                sites::INGEST_CORRUPT,
+                FaultKind::CorruptEvent,
+                Trigger::OnceForKeys([1u64].into()),
+            )
+            .inject(
+                sites::INGEST_TRUNCATE,
+                FaultKind::TruncateTrace,
+                Trigger::OnceForKeys([2u64].into()),
+            )
+            .inject(
+                sites::WORKER_PANIC,
+                FaultKind::Panic,
+                Trigger::OnceForKeys([0u64, 4].into()),
+            )
+            .inject(
+                sites::SLOW_SCORE,
+                FaultKind::SlowScore { millis: 2 },
+                Trigger::OnceForKeys([3u64].into()),
+            )
+            .arm();
+
+        let mut faulty = batch.clone();
+        let injected_ingest = apply_ingest_faults(&injector, &mut faulty);
+        let sessions: Vec<String> = (0..faulty.len()).map(|i| format!("conn-{i}")).collect();
+        let screened = TraceValidator::new()
+            .with_registry(&fault_registry)
+            .screen(&sessions, &faulty);
+        let quarantined = screened.quarantined.len();
+        assert_eq!(quarantined, 1, "exactly the corrupt trace is quarantined");
+
+        // Fault-free reference over the same screened input.
+        let clean = BatchDetector::new(&profile)
+            .with_kernel(kernel_config)
+            .detect_batch(&screened.traces);
+        let guarded = BatchDetector::new(&profile)
+            .with_kernel(kernel_config)
+            .with_registry(&fault_registry)
+            .with_health(health.clone())
+            .with_faults(&injector);
+        let reports = guarded.detect_batch(&screened.traces);
+        let recovered = reports
+            .iter()
+            .filter(|r| matches!(r.status, TraceStatus::Recovered(_)))
+            .count();
+        let verdicts_match = clean
+            .iter()
+            .zip(&reports)
+            .all(|(c, f)| c.alerts == f.alerts && c.verdict == f.verdict);
+        assert!(
+            verdicts_match,
+            "fault-injected run changed a kept trace's verdict"
+        );
+        assert_eq!(recovered as u64, injector.injected(sites::WORKER_PANIC));
+        assert_eq!(health.state(), Health::Degraded);
+
+        println!("== Fault injection ==");
+        println!(
+            "ingest faults applied: {injected_ingest} ({quarantined} corrupt quarantined, \
+             truncated traces kept)"
+        );
+        println!(
+            "worker panics injected: {}, recovered: {recovered}, verdicts match \
+             fault-free run: {verdicts_match}, health: {}",
+            injector.injected(sites::WORKER_PANIC),
+            health.state()
+        );
+        format!(
+            "    \"fault_injection\": true,\n    \
+             \"fault_ingest_applied\": {injected_ingest},\n    \
+             \"fault_quarantined\": {quarantined},\n    \
+             \"fault_panics_recovered\": {recovered},\n    \
+             \"fault_verdicts_match_clean\": {verdicts_match},\n"
+        )
+    } else {
+        String::new()
+    };
+
     println!(
         "== Batched detection throughput (window n = {}, kernel = {kernel_mode}) ==",
         profile.window
@@ -384,7 +492,7 @@ fn main() {
          \"window\": {window},\n    \"threads\": {threads},\n    \
          \"kernel\": \"{kernel_mode}\",\n    \"alerts\": {serial_alerts},\n    \
          \"flag_partition\": [{}, {}, {}, {}],\n    \
-         \"serial_exact_events_per_sec\": {serial_eps:.0},\n{kernel_fields}    \
+         \"serial_exact_events_per_sec\": {serial_eps:.0},\n{kernel_fields}{fault_fields}    \
          \"parallel_exact_events_per_sec\": {par_exact_eps:.0},\n    \
          \"parallel_incremental_events_per_sec\": {par_inc_eps:.0},\n    \
          \"speedup_parallel_exact\": {speedup_exact:.2},\n    \

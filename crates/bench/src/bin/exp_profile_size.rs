@@ -13,7 +13,10 @@ fn main() {
     let mut count = 0usize;
     for workload in ca_apps() {
         let trained = train_app(&workload, &config);
-        let size = trained.profile.serialized_size();
+        let size = trained
+            .profile
+            .serialized_size()
+            .expect("profile serializes");
         total += size;
         count += 1;
         rows.push(vec![

@@ -155,6 +155,29 @@ impl KernelState {
         }
     }
 
+    /// [`KernelState::build`] with CSR validation: the profile's model is
+    /// checked (finite, row-stochastic) before building, and the built
+    /// decomposition self-checks its structure. `Err` carries the reason;
+    /// resilience-aware callers ([`crate::parallel::BatchDetector`])
+    /// downgrade to the dense kernel instead of scoring through a corrupt
+    /// CSR — and since validation failure means the sparse kernel was
+    /// never built, the degraded mode *is* the dense kernel, bit-exactly.
+    pub(crate) fn build_validated(
+        config: KernelConfig,
+        profile: &Profile,
+    ) -> Result<KernelState, adprom_hmm::HmmError> {
+        match config {
+            KernelConfig::Dense => Ok(KernelState::Dense),
+            KernelConfig::Sparse { sparse } => Ok(KernelState::Sparse(Arc::new(
+                SparseTransitions::try_from_hmm(&profile.hmm, &sparse)?,
+            ))),
+            KernelConfig::Beam { sparse, beam } => Ok(KernelState::Beam(
+                Arc::new(SparseTransitions::try_from_hmm(&profile.hmm, &sparse)?),
+                beam,
+            )),
+        }
+    }
+
     /// Short name for metrics and audit records.
     pub(crate) fn label(&self) -> &'static str {
         match self {

@@ -35,6 +35,7 @@ pub mod init;
 pub mod metrics;
 pub mod parallel;
 pub mod profile;
+pub mod resilience;
 pub mod telemetry;
 pub mod threshold;
 
@@ -45,7 +46,11 @@ pub use detect::{Alert, DetectionEngine, Flag, KernelConfig, OnlineDetector};
 pub use extensions::{ExtensionAlert, ExtensionKind, FileLabelMonitor, QuerySignatureMonitor};
 pub use init::{build_ctvs, init_from_pctm, InitConfig, InitializedModel};
 pub use metrics::{fn_rate_at_fp, roc_curve, Confusion, RocPoint};
-pub use parallel::{BatchDetector, ScoringMode, TraceReport};
-pub use profile::{Profile, ProfileIoError};
-pub use telemetry::{audit_record_from_alert, BatchMetrics, DetectMetrics};
+pub use parallel::{BatchDetector, ScoringMode, TraceReport, TraceStatus};
+pub use profile::{LoadPolicy, Profile, ProfileDefect, ProfileIoError};
+pub use resilience::{
+    apply_ingest_faults, FailPoint, FaultInjector, FaultKind, FaultPlan, FaultyWriter, Health,
+    HealthMonitor, RetryPolicy, Trigger,
+};
+pub use telemetry::{audit_record_from_alert, BatchMetrics, DetectMetrics, ResilienceMetrics};
 pub use threshold::{select_threshold, threshold_sweep, AdaptiveThreshold};

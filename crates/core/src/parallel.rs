@@ -22,12 +22,15 @@
 
 use crate::detect::{Alert, DetectionEngine, Flag, KernelConfig, KernelState};
 use crate::profile::Profile;
-use crate::telemetry::{BatchMetrics, DetectMetrics};
+use crate::resilience::{sites, FailPoint, FaultInjector, FaultKind, HealthMonitor, RetryPolicy};
+use crate::telemetry::{BatchMetrics, DetectMetrics, ResilienceMetrics};
 use adprom_hmm::SlidingForward;
 use adprom_obs::{AuditLog, Registry};
 use adprom_trace::CallEvent;
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -45,6 +48,20 @@ pub enum ScoringMode {
     Incremental,
 }
 
+/// How a trace's scoring pass concluded.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TraceStatus {
+    /// Scored on the first attempt.
+    #[default]
+    Ok,
+    /// Scored after this many retries of a panicked attempt (the alerts
+    /// are from a clean pass and fully trustworthy).
+    Recovered(u32),
+    /// Every attempt panicked; no alerts were produced. Carries the panic
+    /// message of the final attempt. The pipeline's health is `Failed`.
+    Failed(String),
+}
+
 /// Scoring outcome for one trace of a batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceReport {
@@ -59,6 +76,8 @@ pub struct TraceReport {
     pub alerts: Vec<Alert>,
     /// Highest-severity flag over the trace.
     pub verdict: Flag,
+    /// Whether scoring succeeded, recovered, or failed.
+    pub status: TraceStatus,
 }
 
 impl TraceReport {
@@ -87,6 +106,23 @@ pub struct BatchDetector<'p> {
     /// Explicitly sized thread pool, if any — otherwise rayon's default
     /// (machine cores, overridable via `RAYON_NUM_THREADS`).
     pool: Option<ThreadPool>,
+    /// Per-trace panic isolation / retry / watchdog policy.
+    retry: RetryPolicy,
+    /// Panic, retry, watchdog, and kernel-fallback counters.
+    res_metrics: ResilienceMetrics,
+    /// The Healthy/Degraded/Failed state machine workers report into.
+    health: HealthMonitor,
+    /// Fail point: panic a worker before it scores a trace (keyed by
+    /// trace index). Disabled unless armed by
+    /// [`BatchDetector::with_faults`] — a single branch per trace.
+    fault_panic: FailPoint,
+    /// Fail point: delay a worker's scoring pass.
+    fault_slow: FailPoint,
+    /// Why the requested sparse/beam kernel was downgraded to dense, if
+    /// CSR validation refused it.
+    kernel_fallback: Option<String>,
+    /// The downgrade is surfaced (metric + health) once, on first use.
+    fallback_reported: Arc<AtomicBool>,
 }
 
 impl<'p> BatchDetector<'p> {
@@ -102,6 +138,13 @@ impl<'p> BatchDetector<'p> {
             audit: None,
             kernel: KernelState::Dense,
             pool: None,
+            retry: RetryPolicy::default(),
+            res_metrics: ResilienceMetrics::disabled(),
+            health: HealthMonitor::new(),
+            fault_panic: FailPoint::disabled(),
+            fault_slow: FailPoint::disabled(),
+            kernel_fallback: None,
+            fallback_reported: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -118,8 +161,61 @@ impl<'p> BatchDetector<'p> {
     /// In [`ScoringMode::Incremental`] the sliding scorers pick the kernel
     /// up too: sparse propagation per event, plus per-step beam pruning
     /// for [`KernelConfig::Beam`].
+    ///
+    /// The build is validated: if the profile's model fails CSR
+    /// validation (non-finite entries, rows drifted from stochasticity),
+    /// the detector **degrades to the dense kernel** instead of scoring
+    /// through a corrupt decomposition. The downgrade is surfaced on
+    /// first use through `resilience.kernel_fallbacks` and the health
+    /// state ([`BatchDetector::kernel_fallback`] carries the reason) —
+    /// and because the sparse kernel was never built, degraded-mode
+    /// output is bit-identical to a dense-kernel run.
     pub fn with_kernel(mut self, config: KernelConfig) -> BatchDetector<'p> {
-        self.kernel = KernelState::build(config, self.profile);
+        match KernelState::build_validated(config, self.profile) {
+            Ok(kernel) => {
+                self.kernel = kernel;
+                self.kernel_fallback = None;
+            }
+            Err(reason) => {
+                self.kernel = KernelState::Dense;
+                self.kernel_fallback = Some(format!(
+                    "{} kernel refused by CSR validation, using dense: {reason}",
+                    config.label()
+                ));
+                self.fallback_reported = Arc::new(AtomicBool::new(false));
+            }
+        }
+        self
+    }
+
+    /// Why the requested kernel was downgraded to dense (`None` when the
+    /// requested kernel is in force).
+    pub fn kernel_fallback(&self) -> Option<&str> {
+        self.kernel_fallback.as_deref()
+    }
+
+    /// Replaces the per-trace retry/watchdog policy (default: 2 retries,
+    /// 5 ms backoff, no watchdog).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> BatchDetector<'p> {
+        self.retry = retry;
+        self
+    }
+
+    /// Shares a health monitor: workers raise it to Degraded on absorbed
+    /// faults (retries, watchdog trips, kernel downgrades) and Failed
+    /// when a trace cannot be scored.
+    pub fn with_health(mut self, health: HealthMonitor) -> BatchDetector<'p> {
+        self.health = health;
+        self
+    }
+
+    /// Arms the detector's fail points ([`sites::WORKER_PANIC`],
+    /// [`sites::SLOW_SCORE`]) from an injected fault schedule. Production
+    /// detectors never call this; the handles stay disabled and each
+    /// probe is a single branch.
+    pub fn with_faults(mut self, injector: &FaultInjector) -> BatchDetector<'p> {
+        self.fault_panic = injector.point(sites::WORKER_PANIC);
+        self.fault_slow = injector.point(sites::SLOW_SCORE);
         self
     }
 
@@ -157,6 +253,7 @@ impl<'p> BatchDetector<'p> {
     pub fn with_registry(mut self, registry: &Registry) -> BatchDetector<'p> {
         self.detect_metrics = DetectMetrics::from_registry(registry);
         self.metrics = BatchMetrics::from_registry(registry);
+        self.res_metrics = ResilienceMetrics::from_registry(registry);
         self
     }
 
@@ -180,18 +277,20 @@ impl<'p> BatchDetector<'p> {
     /// Reports come back in input order with `report.index == i`; see the
     /// module docs for the determinism guarantee.
     pub fn detect_batch(&self, traces: &[Vec<CallEvent>]) -> Vec<TraceReport> {
+        self.prelude();
         self.metrics.batches.inc();
         self.metrics.tasks_spawned.add(traces.len() as u64);
-        let alerts_per_trace: Vec<Vec<Alert>> = self.run(|| {
-            traces
+        let indices: Vec<usize> = (0..traces.len()).collect();
+        let outcomes: Vec<(Vec<Alert>, TraceStatus)> = self.run(|| {
+            indices
                 .par_iter()
-                .map(|trace| self.scan_session_trace("", trace))
+                .map(|&i| self.scan_trace_guarded(i, "", &traces[i]))
                 .collect()
         });
-        alerts_per_trace
+        outcomes
             .into_iter()
             .enumerate()
-            .map(|(index, alerts)| Self::report(index, None, alerts))
+            .map(|(index, (alerts, status))| Self::report(index, None, alerts, status))
             .collect()
     }
 
@@ -210,20 +309,35 @@ impl<'p> BatchDetector<'p> {
             traces.len(),
             "one session id per trace required"
         );
+        self.prelude();
         self.metrics.batches.inc();
         self.metrics.tasks_spawned.add(traces.len() as u64);
         let indices: Vec<usize> = (0..traces.len()).collect();
-        let alerts_per_trace: Vec<Vec<Alert>> = self.run(|| {
+        let outcomes: Vec<(Vec<Alert>, TraceStatus)> = self.run(|| {
             indices
                 .par_iter()
-                .map(|&i| self.scan_session_trace(&sessions[i], &traces[i]))
+                .map(|&i| self.scan_trace_guarded(i, &sessions[i], &traces[i]))
                 .collect()
         });
-        alerts_per_trace
+        outcomes
             .into_iter()
             .enumerate()
-            .map(|(index, alerts)| Self::report(index, Some(sessions[index].clone()), alerts))
+            .map(|(index, (alerts, status))| {
+                Self::report(index, Some(sessions[index].clone()), alerts, status)
+            })
             .collect()
+    }
+
+    /// Surfaces a kernel downgrade (metric + health) once, when the
+    /// detector first scores — after every builder has run, so the order
+    /// of `with_kernel` / `with_registry` / `with_health` cannot drop it.
+    fn prelude(&self) {
+        if let Some(reason) = &self.kernel_fallback {
+            if !self.fallback_reported.swap(true, Ordering::Relaxed) {
+                self.res_metrics.kernel_fallbacks.inc();
+                self.health.degrade(reason);
+            }
+        }
     }
 
     /// Runs `op` inside the explicit pool when one is configured, so its
@@ -235,13 +349,19 @@ impl<'p> BatchDetector<'p> {
         }
     }
 
-    fn report(index: usize, session: Option<String>, alerts: Vec<Alert>) -> TraceReport {
+    fn report(
+        index: usize,
+        session: Option<String>,
+        alerts: Vec<Alert>,
+        status: TraceStatus,
+    ) -> TraceReport {
         let verdict = alerts.iter().map(|a| a.flag).max().unwrap_or(Flag::Normal);
         TraceReport {
             index,
             session,
             alerts,
             verdict,
+            status,
         }
     }
 
@@ -254,16 +374,82 @@ impl<'p> BatchDetector<'p> {
     }
 
     /// Scores a single trace with the configured mode (the unit of work
-    /// each pool thread runs).
+    /// each pool thread runs), under the same panic isolation as batch
+    /// calls. A trace that fails every retry yields no alerts.
     pub fn scan_trace(&self, events: &[CallEvent]) -> Vec<Alert> {
-        self.scan_session_trace("", events)
+        self.prelude();
+        self.scan_trace_guarded(0, "", events).0
     }
 
-    fn scan_session_trace(&self, session: &str, events: &[CallEvent]) -> Vec<Alert> {
-        let timer = self.metrics.trace_ns.is_enabled().then(Instant::now);
+    /// One trace, end to end: panic isolation (`catch_unwind` around the
+    /// scoring pass), bounded retry with exponential backoff, and the
+    /// watchdog elapsed check. `index` keys the fail points, so an
+    /// injected fault schedule replays identically at any thread count.
+    fn scan_trace_guarded(
+        &self,
+        index: usize,
+        session: &str,
+        events: &[CallEvent],
+    ) -> (Vec<Alert>, TraceStatus) {
+        // Mode accounting is per trace, not per attempt: retries must not
+        // inflate the batch counters the observability tests pin.
         match self.mode {
             ScoringMode::ExactWindows => self.metrics.mode_exact.inc(),
             ScoringMode::Incremental => self.metrics.mode_incremental.inc(),
+        }
+        let mut attempts = 0u32;
+        loop {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.scan_attempt(index, session, events)
+            }));
+            match outcome {
+                Ok(alerts) => {
+                    let status = if attempts == 0 {
+                        TraceStatus::Ok
+                    } else {
+                        self.res_metrics.traces_recovered.inc();
+                        self.health.degrade(&format!(
+                            "trace {index} recovered after {attempts} retr{}",
+                            if attempts == 1 { "y" } else { "ies" }
+                        ));
+                        TraceStatus::Recovered(attempts)
+                    };
+                    return (alerts, status);
+                }
+                Err(payload) => {
+                    self.res_metrics.worker_panics.inc();
+                    let message = panic_message(payload.as_ref());
+                    if attempts >= self.retry.max_retries {
+                        self.res_metrics.traces_failed.inc();
+                        self.health.fail(&format!(
+                            "trace {index} unrecoverable after {} attempt(s): {message}",
+                            attempts + 1
+                        ));
+                        return (Vec::new(), TraceStatus::Failed(message));
+                    }
+                    attempts += 1;
+                    self.res_metrics.trace_retries.inc();
+                    let backoff = self.retry.backoff * 2u32.saturating_pow(attempts - 1);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One scoring attempt (what `catch_unwind` wraps).
+    fn scan_attempt(&self, index: usize, session: &str, events: &[CallEvent]) -> Vec<Alert> {
+        if matches!(self.fault_panic.fire(index as u64), Some(FaultKind::Panic)) {
+            panic!(
+                "fault-injected panic at {} (trace {index})",
+                sites::WORKER_PANIC
+            );
+        }
+        let timer = (self.metrics.trace_ns.is_enabled() || self.retry.watchdog.is_some())
+            .then(Instant::now);
+        if let Some(FaultKind::SlowScore { millis }) = self.fault_slow.fire(index as u64) {
+            std::thread::sleep(std::time::Duration::from_millis(millis));
         }
         let mut engine = DetectionEngine::new(self.profile)
             .with_metrics(self.detect_metrics.clone())
@@ -278,9 +464,23 @@ impl<'p> BatchDetector<'p> {
             ScoringMode::Incremental => self.scan_incremental(&engine, events),
         };
         if let Some(start) = timer {
-            self.metrics
-                .trace_ns
-                .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            let elapsed = start.elapsed();
+            if self.metrics.trace_ns.is_enabled() {
+                self.metrics
+                    .trace_ns
+                    .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+            }
+            // The watchdog is a post-hoc budget check — a worker cannot be
+            // interrupted mid-score, but a stuck/slow trace is recorded
+            // and degrades health so operators see it.
+            if let Some(budget) = self.retry.watchdog {
+                if elapsed > budget {
+                    self.res_metrics.watchdog_trips.inc();
+                    self.health.degrade(&format!(
+                        "trace {index} exceeded watchdog budget ({elapsed:?} > {budget:?})"
+                    ));
+                }
+            }
         }
         alerts
     }
@@ -396,6 +596,17 @@ impl<'p> BatchDetector<'p> {
             self.detect_metrics.beam_gap_bound_max.record_max(micronats);
         }
         alerts
+    }
+}
+
+/// Best-effort rendering of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -685,6 +896,207 @@ mod tests {
         // 0 restores the default.
         let restored = BatchDetector::new(&profile).with_threads(4).with_threads(0);
         assert_eq!(restored.threads(), rayon::current_num_threads());
+    }
+
+    /// Silences the default panic hook for fault-injected panics (they
+    /// are expected; their backtraces would drown the test output).
+    fn quiet_injected_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.contains("fault-injected"));
+                if !injected {
+                    default(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn injected_worker_panic_recovers_and_matches_fault_free_run() {
+        use crate::resilience::{sites, FaultKind, FaultPlan, Health, HealthMonitor, Trigger};
+        quiet_injected_panics();
+        let profile = cyclic_profile();
+        let batch = mixed_batch();
+        let clean = BatchDetector::new(&profile).detect_batch(&batch);
+
+        let registry = Registry::new();
+        let health = HealthMonitor::with_registry(&registry);
+        let injector = FaultPlan::new(11)
+            .inject(
+                sites::WORKER_PANIC,
+                FaultKind::Panic,
+                Trigger::OnceForKeys([1u64, 4].into()),
+            )
+            .arm();
+        let detector = BatchDetector::new(&profile)
+            .with_registry(&registry)
+            .with_health(health.clone())
+            .with_faults(&injector);
+        let reports = detector.detect_batch(&batch);
+
+        assert_eq!(injector.injected(sites::WORKER_PANIC), 2);
+        for (c, r) in clean.iter().zip(&reports) {
+            assert_eq!(c.alerts, r.alerts, "trace {}", c.index);
+            assert_eq!(c.verdict, r.verdict, "trace {}", c.index);
+        }
+        assert_eq!(reports[0].status, TraceStatus::Ok);
+        assert_eq!(reports[1].status, TraceStatus::Recovered(1));
+        assert_eq!(reports[4].status, TraceStatus::Recovered(1));
+        assert_eq!(health.state(), Health::Degraded);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("resilience.worker_panics"), Some(2));
+        assert_eq!(snap.counter("resilience.trace_retries"), Some(2));
+        assert_eq!(snap.counter("resilience.traces_recovered"), Some(2));
+        assert_eq!(snap.counter("resilience.traces_failed"), Some(0));
+        assert_eq!(snap.gauge("health.state"), Some(1));
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_trace_but_not_the_batch() {
+        use crate::resilience::{
+            sites, FaultKind, FaultPlan, Health, HealthMonitor, RetryPolicy, Trigger,
+        };
+        quiet_injected_panics();
+        let profile = cyclic_profile();
+        let batch = mixed_batch();
+        let health = HealthMonitor::new();
+        // Always-firing panic on trace 2: retries cannot save it.
+        let injector = FaultPlan::new(3)
+            .inject(sites::WORKER_PANIC, FaultKind::Panic, Trigger::Always)
+            .arm();
+        let detector = BatchDetector::new(&profile)
+            .with_health(health.clone())
+            .with_retry(RetryPolicy {
+                max_retries: 1,
+                backoff: std::time::Duration::ZERO,
+                watchdog: None,
+            })
+            .with_faults(&injector);
+        let reports = detector.detect_batch(&batch[..2]);
+        for report in &reports {
+            assert!(matches!(report.status, TraceStatus::Failed(_)));
+            assert!(report.alerts.is_empty());
+            assert_eq!(report.verdict, Flag::Normal);
+        }
+        assert_eq!(health.state(), Health::Failed);
+        assert!(health.reasons().iter().any(|r| r.contains("unrecoverable")));
+    }
+
+    #[test]
+    fn poisoned_profile_downgrades_kernel_to_dense() {
+        use crate::resilience::{Health, HealthMonitor};
+        use adprom_hmm::SparseConfig;
+        let mut profile = cyclic_profile();
+        // Break row-stochasticity (finite, so scores stay comparable) —
+        // enough for CSR validation to refuse the sparse build.
+        profile.hmm.a_row_mut(0)[0] += 0.25;
+        let batch = vec![trace_of(&["a", "b", "c_Q7"])];
+
+        let registry = Registry::new();
+        let health = HealthMonitor::with_registry(&registry);
+        let detector = BatchDetector::new(&profile)
+            .with_kernel(KernelConfig::Sparse {
+                sparse: SparseConfig::default(),
+            })
+            .with_registry(&registry)
+            .with_health(health.clone());
+        assert_eq!(detector.kernel_label(), "dense", "downgraded");
+        assert!(detector.kernel_fallback().unwrap().contains("sparse"));
+
+        // Degraded mode is bit-identical to an explicit dense run.
+        let dense = BatchDetector::new(&profile).detect_batch(&batch);
+        let degraded = detector.detect_batch(&batch);
+        assert_eq!(dense[0].alerts, degraded[0].alerts);
+
+        // Surfaced once, at first use, regardless of builder order.
+        detector.detect_batch(&batch);
+        assert_eq!(health.state(), Health::Degraded);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("resilience.kernel_fallbacks"), Some(1));
+
+        // A healthy profile keeps the requested kernel.
+        let healthy = cyclic_profile();
+        let ok = BatchDetector::new(&healthy).with_kernel(KernelConfig::Sparse {
+            sparse: SparseConfig::default(),
+        });
+        assert_eq!(ok.kernel_label(), "sparse");
+        assert_eq!(ok.kernel_fallback(), None);
+    }
+
+    #[test]
+    fn watchdog_trips_on_injected_slow_score() {
+        use crate::resilience::{
+            sites, FaultKind, FaultPlan, Health, HealthMonitor, RetryPolicy, Trigger,
+        };
+        let profile = cyclic_profile();
+        let registry = Registry::new();
+        let health = HealthMonitor::new();
+        let injector = FaultPlan::new(9)
+            .inject(
+                sites::SLOW_SCORE,
+                FaultKind::SlowScore { millis: 20 },
+                Trigger::OnceForKeys([0u64].into()),
+            )
+            .arm();
+        let detector = BatchDetector::new(&profile)
+            .with_registry(&registry)
+            .with_health(health.clone())
+            .with_retry(RetryPolicy {
+                max_retries: 0,
+                backoff: std::time::Duration::ZERO,
+                watchdog: Some(std::time::Duration::from_millis(5)),
+            })
+            .with_faults(&injector);
+        let reports = detector.detect_batch(&[trace_of(&["a", "b", "c_Q7"])]);
+        // Slow, not wrong: the verdict stands, health says degraded.
+        assert_eq!(reports[0].status, TraceStatus::Ok);
+        assert_eq!(reports[0].verdict, Flag::Normal);
+        assert_eq!(health.state(), Health::Degraded);
+        assert_eq!(
+            registry.snapshot().counter("resilience.watchdog_trips"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn fault_schedule_is_independent_of_thread_count() {
+        use crate::resilience::{sites, FaultKind, FaultPlan, Trigger};
+        quiet_injected_panics();
+        let profile = cyclic_profile();
+        let batch: Vec<Vec<CallEvent>> = (0..32)
+            .map(|i| {
+                if i % 2 == 0 {
+                    trace_of(&["a", "b", "c_Q7"])
+                } else {
+                    trace_of(&["b", "a", "a"])
+                }
+            })
+            .collect();
+        let run = |threads: usize| -> Vec<TraceReport> {
+            let injector = FaultPlan::new(77)
+                .inject(
+                    sites::WORKER_PANIC,
+                    FaultKind::Panic,
+                    Trigger::OnceForKeys([3u64, 17, 30].into()),
+                )
+                .arm();
+            BatchDetector::new(&profile)
+                .with_threads(threads)
+                .with_faults(&injector)
+                .detect_batch(&batch)
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(serial, run(threads), "{threads} threads");
+        }
+        assert_eq!(serial[3].status, TraceStatus::Recovered(1));
+        assert_eq!(serial[17].status, TraceStatus::Recovered(1));
+        assert_eq!(serial[30].status, TraceStatus::Recovered(1));
     }
 
     #[test]

@@ -1,13 +1,36 @@
 //! Application profiles: the artifact the training phase produces and the
 //! detection phase consumes, plus JSON (de)serialization (the paper reports
 //! an averaged on-disk profile size of ~31 kB).
+//!
+//! # On-disk format
+//!
+//! [`Profile::save`] writes a versioned, checksummed envelope:
+//!
+//! ```text
+//! ADPROM-PROFILE v1 len=<payload bytes> crc32=<8 hex digits>
+//! {…profile JSON…}
+//! ```
+//!
+//! [`Profile::load`] verifies the header, length, and CRC-32 before
+//! parsing, then semantically validates the profile
+//! ([`Profile::validate`]: row-stochastic A/B/π within tolerance, finite
+//! entries, HMM dimensions matching the alphabet) — a poisoned profile is
+//! refused instead of silently scoring garbage. Legacy files (raw JSON,
+//! as written before the envelope existed) still load, and go through the
+//! same validation. [`LoadPolicy::Repair`] additionally renormalizes rows
+//! that drifted slightly (≤ 1e-3) from stochasticity, e.g. through a
+//! lossy serialization round-trip.
+//!
+//! Writes go through a temp file + rename so a crash mid-save never
+//! leaves a half-written profile at the target path, and every I/O error
+//! carries the offending path.
 
 use crate::alphabet::Alphabet;
-use adprom_hmm::Hmm;
+use adprom_hmm::{normalize, Hmm};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A trained application profile.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,53 +54,238 @@ pub struct Profile {
     pub labeled_outputs: Vec<String>,
 }
 
+/// Why a profile failed semantic validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileDefect {
+    /// HMM dimensions do not match each other or the alphabet.
+    Dims(String),
+    /// A row of A/B or π is not a probability distribution.
+    NotStochastic(String),
+    /// The detection window is zero.
+    BadWindow,
+    /// The threshold is NaN or infinite.
+    BadThreshold,
+}
+
+impl fmt::Display for ProfileDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileDefect::Dims(what) => write!(f, "dimension mismatch: {what}"),
+            ProfileDefect::NotStochastic(what) => write!(f, "not stochastic: {what}"),
+            ProfileDefect::BadWindow => write!(f, "window length is 0"),
+            ProfileDefect::BadThreshold => write!(f, "threshold is not finite"),
+        }
+    }
+}
+
 /// Profile persistence errors.
 #[derive(Debug)]
 pub enum ProfileIoError {
-    /// Filesystem failure.
-    Io(std::io::Error),
+    /// Filesystem failure, with the offending path.
+    Io {
+        /// The file being read or written.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
     /// Serialization failure.
     Serde(serde_json::Error),
+    /// The envelope checksum does not match the payload (bit rot or a
+    /// torn write).
+    Checksum {
+        /// The file that failed verification.
+        path: PathBuf,
+        /// CRC-32 the header claims.
+        expected: u32,
+        /// CRC-32 of the payload as read.
+        actual: u32,
+    },
+    /// The envelope header is malformed or of an unsupported version.
+    Header {
+        /// The file with the bad header.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The profile parsed but failed semantic validation.
+    Invalid(ProfileDefect),
 }
 
 impl fmt::Display for ProfileIoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ProfileIoError::Io(e) => write!(f, "io error: {e}"),
+            ProfileIoError::Io { path, source } => {
+                write!(f, "io error on {}: {source}", path.display())
+            }
             ProfileIoError::Serde(e) => write!(f, "serialization error: {e}"),
+            ProfileIoError::Checksum {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in {}: header {expected:08x}, payload {actual:08x}",
+                path.display()
+            ),
+            ProfileIoError::Header { path, detail } => {
+                write!(f, "bad profile envelope in {}: {detail}", path.display())
+            }
+            ProfileIoError::Invalid(defect) => write!(f, "invalid profile: {defect}"),
         }
     }
 }
 
 impl std::error::Error for ProfileIoError {}
 
+/// How [`Profile::load_with`] treats semantic defects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadPolicy {
+    /// Any defect refuses the profile (the default; what
+    /// [`Profile::load`] does).
+    Strict,
+    /// Rows of A/B/π whose sums drifted by at most 1e-3 are renormalized;
+    /// anything worse (non-finite entries, bigger drift, dimension
+    /// mismatches) still refuses.
+    Repair,
+}
+
+/// Envelope magic + version (the whole first token must match).
+const ENVELOPE_MAGIC: &str = "ADPROM-PROFILE";
+const ENVELOPE_VERSION: u32 = 1;
+/// Largest per-row drift [`LoadPolicy::Repair`] will renormalize away.
+const REPAIR_TOLERANCE: f64 = 1e-3;
+
 impl Profile {
-    /// Serializes the profile to JSON.
+    /// Serializes the profile to JSON (the envelope payload).
     pub fn to_json(&self) -> Result<String, ProfileIoError> {
         serde_json::to_string(self).map_err(ProfileIoError::Serde)
     }
 
-    /// Deserializes a profile from JSON.
+    /// Deserializes a profile from JSON. Parse-only: callers that accept
+    /// untrusted bytes should follow with [`Profile::validate`] (as
+    /// [`Profile::load`] does).
     pub fn from_json(json: &str) -> Result<Profile, ProfileIoError> {
         let mut p: Profile = serde_json::from_str(json).map_err(ProfileIoError::Serde)?;
         p.alphabet.rebuild_index();
         Ok(p)
     }
 
-    /// Writes the profile to a file.
+    /// Writes the profile to `path` as a versioned, CRC-checked envelope,
+    /// via a temp file + rename so a crash never leaves a torn profile.
     pub fn save(&self, path: &Path) -> Result<(), ProfileIoError> {
-        std::fs::write(path, self.to_json()?).map_err(ProfileIoError::Io)
+        let payload = self.to_json()?;
+        let envelope = format!(
+            "{ENVELOPE_MAGIC} v{ENVELOPE_VERSION} len={} crc32={:08x}\n{payload}",
+            payload.len(),
+            adprom_obs::crc32(payload.as_bytes()),
+        );
+        let io_err = |source| ProfileIoError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, envelope).map_err(|source| ProfileIoError::Io {
+            path: tmp.clone(),
+            source,
+        })?;
+        std::fs::rename(&tmp, path).map_err(io_err)
     }
 
-    /// Loads a profile from a file.
+    /// Loads and strictly validates a profile (envelope or legacy raw
+    /// JSON).
     pub fn load(path: &Path) -> Result<Profile, ProfileIoError> {
-        let json = std::fs::read_to_string(path).map_err(ProfileIoError::Io)?;
-        Profile::from_json(&json)
+        Profile::load_with(path, LoadPolicy::Strict)
     }
 
-    /// Serialized size in bytes (the §V-C "profile size" figure).
-    pub fn serialized_size(&self) -> usize {
-        self.to_json().map(|s| s.len()).unwrap_or(0)
+    /// [`Profile::load`] with an explicit defect policy.
+    pub fn load_with(path: &Path, policy: LoadPolicy) -> Result<Profile, ProfileIoError> {
+        let data = std::fs::read_to_string(path).map_err(|source| ProfileIoError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let payload = if let Some(rest) = data.strip_prefix(ENVELOPE_MAGIC) {
+            parse_envelope(path, rest)?
+        } else {
+            // Legacy profiles are raw JSON with no header.
+            data.as_str()
+        };
+        let mut profile = Profile::from_json(payload)?;
+        match profile.validate() {
+            Ok(()) => Ok(profile),
+            Err(defect) if policy == LoadPolicy::Repair => {
+                profile.repair().map_err(ProfileIoError::Invalid)?;
+                let _ = defect;
+                Ok(profile)
+            }
+            Err(defect) => Err(ProfileIoError::Invalid(defect)),
+        }
+    }
+
+    /// Semantic validation: finite threshold, non-zero window, HMM
+    /// dimensions matching the alphabet, and row-stochastic A/B/π within
+    /// the model tolerance (1e-6).
+    pub fn validate(&self) -> Result<(), ProfileDefect> {
+        if self.window == 0 {
+            return Err(ProfileDefect::BadWindow);
+        }
+        if !self.threshold.is_finite() {
+            return Err(ProfileDefect::BadThreshold);
+        }
+        if self.hmm.n_states() == 0 {
+            return Err(ProfileDefect::Dims("HMM has 0 states".into()));
+        }
+        if self.hmm.n_symbols() != self.alphabet.len() {
+            return Err(ProfileDefect::Dims(format!(
+                "HMM emits {} symbols but the alphabet has {}",
+                self.hmm.n_symbols(),
+                self.alphabet.len()
+            )));
+        }
+        self.hmm.validate().map_err(|e| match e {
+            adprom_hmm::HmmError::NotStochastic(what) => ProfileDefect::NotStochastic(what),
+            other => ProfileDefect::Dims(other.to_string()),
+        })
+    }
+
+    /// Renormalizes rows of A/B/π whose sums drifted by at most 1e-3;
+    /// refuses (returning the defect) on non-finite entries, negative
+    /// entries, larger drift, or dimension mismatches. Returns the labels
+    /// of the rows repaired.
+    pub fn repair(&mut self) -> Result<Vec<String>, ProfileDefect> {
+        if self.window == 0 {
+            return Err(ProfileDefect::BadWindow);
+        }
+        if !self.threshold.is_finite() {
+            return Err(ProfileDefect::BadThreshold);
+        }
+        if self.hmm.n_states() == 0 || self.hmm.n_symbols() != self.alphabet.len() {
+            return Err(ProfileDefect::Dims("dimensions beyond repair".into()));
+        }
+        let n = self.hmm.n_states();
+        let mut repaired = Vec::new();
+        for i in 0..n {
+            if let Some(label) = repair_row(self.hmm.a_row_mut(i), &format!("A row {i}"))? {
+                repaired.push(label);
+            }
+        }
+        for i in 0..n {
+            if let Some(label) = repair_row(self.hmm.b_row_mut(i), &format!("B row {i}"))? {
+                repaired.push(label);
+            }
+        }
+        if let Some(label) = repair_row(&mut self.hmm.pi, "pi")? {
+            repaired.push(label);
+        }
+        // Whatever repair did must leave a valid profile.
+        self.validate()?;
+        Ok(repaired)
+    }
+
+    /// Serialized (envelope payload) size in bytes — the §V-C "profile
+    /// size" figure. Errors if the profile fails to serialize instead of
+    /// silently reporting 0.
+    pub fn serialized_size(&self) -> Result<usize, ProfileIoError> {
+        self.to_json().map(|s| s.len())
     }
 
     /// True when `caller` was never seen issuing `name` during training.
@@ -89,6 +297,74 @@ impl Profile {
             None => false,
         }
     }
+}
+
+/// Renormalizes one distribution if it drifted within tolerance. Returns
+/// `Ok(Some(label))` when repaired, `Ok(None)` when already valid.
+fn repair_row(row: &mut [f64], label: &str) -> Result<Option<String>, ProfileDefect> {
+    if row.iter().any(|&v| !v.is_finite() || v < 0.0) {
+        return Err(ProfileDefect::NotStochastic(format!(
+            "{label} has non-finite or negative entries"
+        )));
+    }
+    let sum: f64 = row.iter().sum();
+    if (sum - 1.0).abs() <= 1e-6 {
+        return Ok(None);
+    }
+    if (sum - 1.0).abs() > REPAIR_TOLERANCE || sum <= 0.0 {
+        return Err(ProfileDefect::NotStochastic(format!(
+            "{label} sums to {sum}, beyond repair tolerance"
+        )));
+    }
+    normalize(row);
+    Ok(Some(label.to_string()))
+}
+
+/// Parses `rest` (everything after the magic) and returns the payload
+/// slice after verifying version, length, and CRC.
+fn parse_envelope<'a>(path: &Path, rest: &'a str) -> Result<&'a str, ProfileIoError> {
+    let header_err = |detail: String| ProfileIoError::Header {
+        path: path.to_path_buf(),
+        detail,
+    };
+    let nl = rest
+        .find('\n')
+        .ok_or_else(|| header_err("missing header line terminator".into()))?;
+    let (header, payload) = (&rest[..nl], &rest[nl + 1..]);
+    let mut version = None;
+    let mut len = None;
+    let mut crc = None;
+    for token in header.split_whitespace() {
+        if let Some(v) = token.strip_prefix('v') {
+            version = v.parse::<u32>().ok();
+        } else if let Some(v) = token.strip_prefix("len=") {
+            len = v.parse::<usize>().ok();
+        } else if let Some(v) = token.strip_prefix("crc32=") {
+            crc = u32::from_str_radix(v, 16).ok();
+        }
+    }
+    match version {
+        Some(ENVELOPE_VERSION) => {}
+        Some(v) => return Err(header_err(format!("unsupported version {v}"))),
+        None => return Err(header_err("missing or malformed version".into())),
+    }
+    let len = len.ok_or_else(|| header_err("missing or malformed len".into()))?;
+    let expected = crc.ok_or_else(|| header_err("missing or malformed crc32".into()))?;
+    if payload.len() != len {
+        return Err(header_err(format!(
+            "payload is {} bytes, header says {len}",
+            payload.len()
+        )));
+    }
+    let actual = adprom_obs::crc32(payload.as_bytes());
+    if actual != expected {
+        return Err(ProfileIoError::Checksum {
+            path: path.to_path_buf(),
+            expected,
+            actual,
+        });
+    }
+    Ok(payload)
 }
 
 #[cfg(test)]
@@ -114,6 +390,14 @@ mod tests {
         }
     }
 
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("adprom-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
     #[test]
     fn json_round_trip() {
         let p = sample_profile();
@@ -127,14 +411,119 @@ mod tests {
     #[test]
     fn save_and_load() {
         let p = sample_profile();
-        let dir = std::env::temp_dir().join("adprom-profile-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("demo.profile.json");
+        let path = temp_path("demo.profile.json");
         p.save(&path).unwrap();
         let q = Profile::load(&path).unwrap();
         assert_eq!(p, q);
-        assert!(p.serialized_size() > 100);
+        assert!(p.serialized_size().unwrap() > 100);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn saved_files_carry_a_checked_envelope() {
+        let p = sample_profile();
+        let path = temp_path("envelope.profile.json");
+        p.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("ADPROM-PROFILE v1 len="), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn legacy_raw_json_profiles_still_load() {
+        let p = sample_profile();
+        let path = temp_path("legacy.profile.json");
+        std::fs::write(&path, p.to_json().unwrap()).unwrap();
+        let q = Profile::load(&path).unwrap();
+        assert_eq!(p, q);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupted_payload_is_refused_with_checksum_error() {
+        let p = sample_profile();
+        let path = temp_path("bitrot.profile.json");
+        p.save(&path).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        let victim = data.len() - 10;
+        data[victim] ^= 0x01;
+        std::fs::write(&path, &data).unwrap();
+        match Profile::load(&path) {
+            Err(ProfileIoError::Checksum { path: p, .. }) => {
+                assert!(p.to_string_lossy().contains("bitrot"))
+            }
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn tampered_header_is_refused() {
+        let p = sample_profile();
+        let path = temp_path("header.profile.json");
+        p.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let bad = text.replacen("v1", "v9", 1);
+        std::fs::write(&path, bad).unwrap();
+        assert!(matches!(
+            Profile::load(&path),
+            Err(ProfileIoError::Header { .. })
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn io_errors_carry_the_offending_path() {
+        let missing = Path::new("/nonexistent-adprom/profile.json");
+        match Profile::load(missing) {
+            Err(ProfileIoError::Io { path, .. }) => assert_eq!(path, missing),
+            other => panic!("expected io error, got {other:?}"),
+        }
+        let err = Profile::load(missing).unwrap_err().to_string();
+        assert!(err.contains("/nonexistent-adprom/profile.json"), "{err}");
+    }
+
+    #[test]
+    fn semantically_poisoned_profiles_are_refused() {
+        let mut p = sample_profile();
+        p.hmm.a_row_mut(0)[0] = f64::NAN;
+        let path = temp_path("poisoned.profile.json");
+        // Bypass save-time checks by writing the raw JSON directly.
+        std::fs::write(&path, p.to_json().unwrap()).unwrap();
+        assert!(matches!(
+            Profile::load(&path),
+            Err(ProfileIoError::Invalid(ProfileDefect::NotStochastic(_)))
+        ));
+        std::fs::remove_file(path).ok();
+
+        let mut p = sample_profile();
+        p.window = 0;
+        assert_eq!(p.validate(), Err(ProfileDefect::BadWindow));
+        let mut p = sample_profile();
+        p.threshold = f64::INFINITY;
+        assert_eq!(p.validate(), Err(ProfileDefect::BadThreshold));
+    }
+
+    #[test]
+    fn repair_renormalizes_small_drift_only() {
+        let mut p = sample_profile();
+        let row = p.hmm.a_row_mut(0);
+        row[0] += 5e-4; // within repair tolerance, beyond validation
+        assert!(p.validate().is_err());
+        let path = temp_path("drift.profile.json");
+        std::fs::write(&path, p.to_json().unwrap()).unwrap();
+        assert!(matches!(
+            Profile::load(&path),
+            Err(ProfileIoError::Invalid(_))
+        ));
+        let repaired = Profile::load_with(&path, LoadPolicy::Repair).unwrap();
+        assert!(repaired.validate().is_ok());
+        std::fs::remove_file(path).ok();
+
+        // Big drift is beyond repair.
+        let mut p = sample_profile();
+        p.hmm.a_row_mut(0)[0] += 0.5;
+        assert!(p.repair().is_err());
     }
 
     #[test]

@@ -128,6 +128,50 @@ impl BatchMetrics {
     }
 }
 
+/// Metric handles for the resilience layer of
+/// [`BatchDetector`](crate::parallel::BatchDetector): panic isolation,
+/// retries, the watchdog, and kernel downgrades. The `health.state` gauge
+/// itself is owned by [`HealthMonitor`](crate::resilience::HealthMonitor).
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceMetrics {
+    /// `resilience.worker_panics` — scoring attempts that panicked and
+    /// were caught.
+    pub worker_panics: Counter,
+    /// `resilience.trace_retries` — re-attempts after a caught panic.
+    pub trace_retries: Counter,
+    /// `resilience.traces_recovered` — traces that succeeded on a retry.
+    pub traces_recovered: Counter,
+    /// `resilience.traces_failed` — traces abandoned after exhausting
+    /// retries (no verdict produced).
+    pub traces_failed: Counter,
+    /// `resilience.watchdog_trips` — traces whose scoring exceeded the
+    /// [`RetryPolicy::watchdog`](crate::resilience::RetryPolicy::watchdog)
+    /// budget.
+    pub watchdog_trips: Counter,
+    /// `resilience.kernel_fallbacks` — sparse/beam kernels refused by CSR
+    /// validation and downgraded to dense.
+    pub kernel_fallbacks: Counter,
+}
+
+impl ResilienceMetrics {
+    /// All-no-op handles (the default).
+    pub fn disabled() -> ResilienceMetrics {
+        ResilienceMetrics::default()
+    }
+
+    /// Registers every handle against `registry`.
+    pub fn from_registry(registry: &Registry) -> ResilienceMetrics {
+        ResilienceMetrics {
+            worker_panics: registry.counter("resilience.worker_panics"),
+            trace_retries: registry.counter("resilience.trace_retries"),
+            traces_recovered: registry.counter("resilience.traces_recovered"),
+            traces_failed: registry.counter("resilience.traces_failed"),
+            watchdog_trips: registry.counter("resilience.watchdog_trips"),
+            kernel_fallbacks: registry.counter("resilience.kernel_fallbacks"),
+        }
+    }
+}
+
 /// Converts a (non-Normal) alert into an audit record for `session`,
 /// stamped with the scoring `kernel` that produced the window's score
 /// (`dense`, `sparse`, or `beam`). The sequence number is assigned later

@@ -274,6 +274,85 @@ impl SparseTransitions {
         }
     }
 
+    /// Validated construction: checks that `hmm` is well-formed (finite,
+    /// non-negative, row-stochastic A/B/π within the model tolerance)
+    /// *before* building, then self-checks the CSR structure it produced
+    /// (monotone row pointers, in-range columns, reconstructed row sums).
+    ///
+    /// [`from_hmm`](SparseTransitions::from_hmm) performs no validation —
+    /// a poisoned matrix (NaN rows, sums far from 1) silently yields a
+    /// kernel that scores garbage. Resilience-aware callers (the
+    /// `BatchDetector` degraded-mode fallback) use this entry point and
+    /// downgrade to the dense kernel on `Err`.
+    pub fn try_from_hmm(
+        hmm: &Hmm,
+        config: &SparseConfig,
+    ) -> Result<SparseTransitions, crate::HmmError> {
+        use crate::HmmError;
+        hmm.validate()?;
+        if hmm.n_states() == 0 || hmm.n_symbols() == 0 {
+            return Err(HmmError::Shape(format!(
+                "degenerate model: {} states, {} symbols",
+                hmm.n_states(),
+                hmm.n_symbols()
+            )));
+        }
+        if !(config.epsilon.is_finite() && config.epsilon >= 0.0) {
+            return Err(HmmError::Shape(format!(
+                "sparse epsilon {} is not a finite non-negative number",
+                config.epsilon
+            )));
+        }
+        let sparse = SparseTransitions::from_hmm(hmm, config);
+        sparse.self_check()?;
+        Ok(sparse)
+    }
+
+    /// Structural invariants of the CSR decomposition: row pointers
+    /// monotone and bounded, column indices in range, and every row's
+    /// represented sum `background·(n − nnz_row) + Σ stored` within
+    /// `epsilon`-fold tolerance of 1.
+    fn self_check(&self) -> Result<(), crate::HmmError> {
+        use crate::HmmError;
+        let n = self.n;
+        if self.row_start.len() != n + 1 || *self.row_start.last().unwrap_or(&0) != self.col.len() {
+            return Err(HmmError::Shape("CSR row pointers inconsistent".into()));
+        }
+        let mut dense = vec![false; n];
+        for &i in &self.dense_idx {
+            if i as usize >= n {
+                return Err(HmmError::Shape(format!("dense row index {i} out of range")));
+            }
+            dense[i as usize] = true;
+        }
+        for (i, &is_dense) in dense.iter().enumerate() {
+            let (s, e) = (self.row_start[i], self.row_start[i + 1]);
+            if s > e || e > self.col.len() {
+                return Err(HmmError::Shape(format!(
+                    "row {i} pointers [{s}, {e}) invalid"
+                )));
+            }
+            if self.col[s..e].iter().any(|&j| j as usize >= n) {
+                return Err(HmmError::Shape(format!("row {i} has out-of-range column")));
+            }
+            let stored: f64 = self.val[s..e].iter().sum();
+            let sum = if is_dense {
+                stored
+            } else {
+                stored + self.background[i] * (n - (e - s)) as f64
+            };
+            // Folding preserves row sums up to accumulated rounding; the
+            // model itself is validated to 1e-6, so give the
+            // reconstruction one extra order of headroom.
+            if !sum.is_finite() || (sum - 1.0).abs() > 1e-5 {
+                return Err(HmmError::NotStochastic(format!(
+                    "CSR row {i} reconstructs to {sum}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Symbol-major emission column: `emission_col(k)[j] == b(j, k)`.
     #[inline]
     pub fn emission_col(&self, symbol: usize) -> &[f64] {
@@ -793,6 +872,45 @@ mod tests {
         assert_eq!(stats.dense_rows, 0);
         assert_eq!(stats.nnz, 16 * 2, "two deviations per banded row");
         assert_eq!(stats.max_fold_deviation, 0.0);
+    }
+
+    #[test]
+    fn try_from_hmm_accepts_valid_and_matches_unchecked_build() {
+        let hmm = smoothed(8, 5, 7);
+        let checked = SparseTransitions::try_from_hmm(&hmm, &SparseConfig::default()).unwrap();
+        let unchecked = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        assert_eq!(checked.stats(), unchecked.stats());
+        assert_eq!(checked.row(3), unchecked.row(3));
+    }
+
+    #[test]
+    fn try_from_hmm_rejects_poisoned_models() {
+        let config = SparseConfig::default();
+        // NaN entry.
+        let mut hmm = smoothed(6, 4, 1);
+        hmm.a_row_mut(2)[3] = f64::NAN;
+        assert!(matches!(
+            SparseTransitions::try_from_hmm(&hmm, &config),
+            Err(crate::HmmError::NotStochastic(_))
+        ));
+        // Row sum far from 1.
+        let mut hmm = smoothed(6, 4, 2);
+        hmm.a_row_mut(0)[0] += 0.5;
+        assert!(SparseTransitions::try_from_hmm(&hmm, &config).is_err());
+        // Negative emission.
+        let mut hmm = smoothed(6, 4, 3);
+        hmm.b_row_mut(1)[0] = -0.25;
+        assert!(SparseTransitions::try_from_hmm(&hmm, &config).is_err());
+        // Bad config.
+        let hmm = smoothed(6, 4, 4);
+        assert!(SparseTransitions::try_from_hmm(
+            &hmm,
+            &SparseConfig {
+                epsilon: f64::NAN,
+                max_density: 0.75
+            }
+        )
+        .is_err());
     }
 
     #[test]

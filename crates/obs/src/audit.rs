@@ -9,10 +9,14 @@
 //!
 //! [`AuditLog`] assigns the sequence numbers; sinks decide persistence:
 //! [`NullAuditSink`] (off), [`MemoryAuditSink`] (tests and report
-//! printing), [`JsonlAuditSink`] (any `io::Write`, one line per record).
+//! printing), [`JsonlAuditSink`] (any `io::Write`, one line per record),
+//! [`DurableAuditSink`] (crash-safe length-prefixed + CRC-checked JSONL
+//! file with torn-tail recovery and size-based rotation).
 
 use serde::{Deserialize, Serialize};
-use std::io::Write;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -134,6 +138,299 @@ impl<W: Write + Send> AuditSink for JsonlAuditSink<W> {
         // Audit writes are best-effort: a full disk must not take the
         // detector down with it.
         let _ = writeln!(writer, "{}", record.to_jsonl());
+    }
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over `bytes`.
+///
+/// Table-driven, built lazily once; no external dependencies. Used by the
+/// durable audit log and by profile envelopes to detect torn writes and
+/// bit rot before corrupt state reaches the detector.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Configuration for [`DurableAuditSink`]: when to rotate and how many
+/// rotated files to keep.
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// Rotate once the active file exceeds this many bytes (post-append
+    /// check, so one record may overshoot). Default 1 MiB.
+    pub max_file_bytes: u64,
+    /// Rotated files kept as `<path>.1` (newest) … `<path>.<keep>`
+    /// (oldest); older rotations are deleted. Default 3.
+    pub keep: usize,
+}
+
+impl Default for WalConfig {
+    fn default() -> WalConfig {
+        WalConfig {
+            max_file_bytes: 1 << 20,
+            keep: 3,
+        }
+    }
+}
+
+/// What [`DurableAuditSink::open`]'s recovery scan found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records in the valid prefix (all preserved).
+    pub valid_records: u64,
+    /// Bytes of torn/corrupt tail truncated away.
+    pub truncated_bytes: u64,
+    /// True when a torn tail was detected (and truncated).
+    pub torn: bool,
+}
+
+/// Byte length of the `llllllll cccccccc ` frame prefix: 8 hex digits of
+/// payload length, a space, 8 hex digits of CRC-32, a space.
+const FRAME_PREFIX: usize = 18;
+
+/// Frames one JSONL payload as a length-prefixed, CRC-checked line.
+fn frame_record(json: &str) -> String {
+    format!(
+        "{:08x} {:08x} {}\n",
+        json.len(),
+        crc32(json.as_bytes()),
+        json
+    )
+}
+
+/// Validates one framed line (without its trailing `\n`). Returns the
+/// payload on success.
+fn unframe_line(line: &str) -> Option<&str> {
+    let bytes = line.as_bytes();
+    if bytes.len() < FRAME_PREFIX || bytes[8] != b' ' || bytes[17] != b' ' {
+        return None;
+    }
+    let len = u32::from_str_radix(&line[0..8], 16).ok()? as usize;
+    let crc = u32::from_str_radix(&line[9..17], 16).ok()?;
+    let payload = &line[FRAME_PREFIX..];
+    if payload.len() != len || crc32(payload.as_bytes()) != crc {
+        return None;
+    }
+    Some(payload)
+}
+
+/// A crash-safe on-disk audit sink.
+///
+/// Each record is written as one line: an 8-hex-digit payload length, an
+/// 8-hex-digit CRC-32 of the payload, then the JSONL payload. On
+/// [`open`](DurableAuditSink::open) a sequential recovery scan validates
+/// the file front-to-back and truncates at the first frame that is short,
+/// fails its CRC, or is missing its terminating newline — a torn tail
+/// from a crash mid-write can therefore never corrupt later reads, and no
+/// record before the tear is lost. Files rotate at
+/// [`WalConfig::max_file_bytes`] to `<path>.1`, `<path>.2`, ….
+///
+/// Appends are best-effort, matching [`JsonlAuditSink`]: I/O errors are
+/// counted ([`write_errors`](DurableAuditSink::write_errors)) rather than
+/// propagated, so a full disk degrades auditing without taking the
+/// detector down.
+#[derive(Debug)]
+pub struct DurableAuditSink {
+    path: PathBuf,
+    config: WalConfig,
+    state: Mutex<DurableState>,
+    write_errors: AtomicU64,
+    rotations: AtomicU64,
+}
+
+#[derive(Debug)]
+struct DurableState {
+    writer: BufWriter<File>,
+    bytes: u64,
+}
+
+impl DurableAuditSink {
+    /// Opens (creating if absent) the audit file at `path` with default
+    /// rotation config, after running the recovery scan.
+    pub fn open(path: &Path) -> std::io::Result<(DurableAuditSink, RecoveryReport)> {
+        DurableAuditSink::open_with(path, WalConfig::default())
+    }
+
+    /// [`open`](DurableAuditSink::open) with explicit [`WalConfig`].
+    pub fn open_with(
+        path: &Path,
+        config: WalConfig,
+    ) -> std::io::Result<(DurableAuditSink, RecoveryReport)> {
+        let report = DurableAuditSink::recover(path)?;
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let bytes = file.metadata()?.len();
+        let sink = DurableAuditSink {
+            path: path.to_path_buf(),
+            config,
+            state: Mutex::new(DurableState {
+                writer: BufWriter::new(file),
+                bytes,
+            }),
+            write_errors: AtomicU64::new(0),
+            rotations: AtomicU64::new(0),
+        };
+        Ok((sink, report))
+    }
+
+    /// The recovery scan: walks the frames front-to-back and truncates the
+    /// file at the first invalid one. Returns what it found; a missing
+    /// file is an empty, un-torn log.
+    pub fn recover(path: &Path) -> std::io::Result<RecoveryReport> {
+        let data = match std::fs::read(path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(RecoveryReport::default())
+            }
+            Err(e) => return Err(e),
+        };
+        let (valid_records, valid_bytes) = scan_valid_prefix(&data);
+        if valid_bytes < data.len() {
+            let file = OpenOptions::new().write(true).open(path)?;
+            file.set_len(valid_bytes as u64)?;
+            Ok(RecoveryReport {
+                valid_records,
+                truncated_bytes: (data.len() - valid_bytes) as u64,
+                torn: true,
+            })
+        } else {
+            Ok(RecoveryReport {
+                valid_records,
+                truncated_bytes: 0,
+                torn: false,
+            })
+        }
+    }
+
+    /// Reads every valid record from an audit file (stops at the first
+    /// invalid frame without modifying the file).
+    pub fn read_records(path: &Path) -> std::io::Result<Vec<AuditRecord>> {
+        let data = std::fs::read(path)?;
+        let text = String::from_utf8_lossy(&data);
+        let mut records = Vec::new();
+        for line in text.lines() {
+            let Some(payload) = unframe_line(line) else {
+                break;
+            };
+            let Ok(record) = AuditRecord::from_jsonl(payload) else {
+                break;
+            };
+            records.push(record);
+        }
+        Ok(records)
+    }
+
+    /// Appends that failed with an I/O error (the records were dropped).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Size-based rotations performed so far.
+    pub fn rotations(&self) -> u64 {
+        self.rotations.load(Ordering::Relaxed)
+    }
+
+    /// The active file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn rotate(&self, state: &mut DurableState) -> std::io::Result<()> {
+        state.writer.flush()?;
+        if self.config.keep > 0 {
+            let _ = std::fs::remove_file(rotated_path(&self.path, self.config.keep));
+        }
+        for i in (1..self.config.keep).rev() {
+            let from = rotated_path(&self.path, i);
+            let to = rotated_path(&self.path, i + 1);
+            if from.exists() {
+                std::fs::rename(&from, &to)?;
+            }
+        }
+        if self.config.keep > 0 {
+            std::fs::rename(&self.path, rotated_path(&self.path, 1))?;
+        } else {
+            std::fs::remove_file(&self.path)?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        state.writer = BufWriter::new(file);
+        state.bytes = 0;
+        self.rotations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// `<path>.N` rotation name (`audit.jsonl` → `audit.jsonl.1`).
+fn rotated_path(path: &Path, n: usize) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".{n}"));
+    PathBuf::from(os)
+}
+
+/// Returns `(records, bytes)` of the longest valid frame prefix of `data`.
+fn scan_valid_prefix(data: &[u8]) -> (u64, usize) {
+    let mut offset = 0usize;
+    let mut records = 0u64;
+    while offset < data.len() {
+        let rest = &data[offset..];
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            break; // no terminating newline: torn final frame
+        };
+        let Ok(line) = std::str::from_utf8(&rest[..nl]) else {
+            break;
+        };
+        if unframe_line(line).is_none() {
+            break;
+        }
+        offset += nl + 1;
+        records += 1;
+    }
+    (records, offset)
+}
+
+impl AuditSink for DurableAuditSink {
+    fn append(&self, record: &AuditRecord) {
+        let framed = frame_record(&record.to_jsonl());
+        let mut state = self.state.lock().expect("audit state poisoned");
+        // Best-effort, like JsonlAuditSink — but each frame is flushed so
+        // a crash can tear at most the final record, which the recovery
+        // scan then truncates.
+        let ok = state
+            .writer
+            .write_all(framed.as_bytes())
+            .and_then(|()| state.writer.flush())
+            .is_ok();
+        if !ok {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        state.bytes += framed.len() as u64;
+        if state.bytes > self.config.max_file_bytes {
+            if let Err(_e) = self.rotate(&mut state) {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -259,5 +556,152 @@ mod tests {
         let log = AuditLog::disabled();
         log.record(leak_record());
         assert_eq!(log.len(), 1);
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("adprom-audit-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        for i in 1..=8 {
+            let _ = std::fs::remove_file(super::rotated_path(&path, i));
+        }
+        path
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn durable_sink_round_trips_records() {
+        let path = temp_path("roundtrip.wal");
+        let (sink, report) = DurableAuditSink::open(&path).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        let log = AuditLog::new(Arc::new(sink));
+        for _ in 0..5 {
+            log.record(leak_record());
+        }
+        let records = DurableAuditSink::read_records(&path).unwrap();
+        assert_eq!(records.len(), 5);
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(records[0].bid.as_deref(), Some("6"));
+    }
+
+    #[test]
+    fn recovery_truncates_torn_tail_preserving_prefix() {
+        let path = temp_path("torn.wal");
+        {
+            let (sink, _) = DurableAuditSink::open(&path).unwrap();
+            for _ in 0..3 {
+                sink.append(&leak_record());
+            }
+        }
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        // Simulate a crash mid-write: a frame prefix with half a payload
+        // and no newline.
+        let mut data = std::fs::read(&path).unwrap();
+        data.extend_from_slice(b"000000ff deadbeef {\"seq\":99,\"ses");
+        std::fs::write(&path, &data).unwrap();
+
+        let (_sink, report) = DurableAuditSink::open(&path).unwrap();
+        assert!(report.torn);
+        assert_eq!(report.valid_records, 3);
+        assert!(report.truncated_bytes > 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        assert_eq!(DurableAuditSink::read_records(&path).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn recovery_truncates_at_corrupt_middle_record() {
+        let path = temp_path("corrupt.wal");
+        {
+            let (sink, _) = DurableAuditSink::open(&path).unwrap();
+            for _ in 0..4 {
+                sink.append(&leak_record());
+            }
+        }
+        // Flip one payload byte in the third frame: its CRC no longer
+        // matches, so recovery keeps only the first two records (the rest
+        // of the file is untrusted once framing is broken).
+        let mut data = std::fs::read(&path).unwrap();
+        let frame_len = data.len() / 4;
+        let victim = 2 * frame_len + super::FRAME_PREFIX + 4;
+        data[victim] ^= 0x20;
+        std::fs::write(&path, &data).unwrap();
+
+        let (_sink, report) = DurableAuditSink::open(&path).unwrap();
+        assert!(report.torn);
+        assert_eq!(report.valid_records, 2);
+        assert_eq!(DurableAuditSink::read_records(&path).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn appends_after_recovery_continue_the_log() {
+        let path = temp_path("continue.wal");
+        {
+            let (sink, _) = DurableAuditSink::open(&path).unwrap();
+            sink.append(&leak_record());
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        data.extend_from_slice(b"garbage tail");
+        std::fs::write(&path, &data).unwrap();
+        {
+            let (sink, report) = DurableAuditSink::open(&path).unwrap();
+            assert!(report.torn);
+            sink.append(&leak_record());
+        }
+        assert_eq!(DurableAuditSink::read_records(&path).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rotation_keeps_bounded_history() {
+        let path = temp_path("rotate.wal");
+        let config = WalConfig {
+            max_file_bytes: 1, // rotate after every record
+            keep: 2,
+        };
+        let (sink, _) = DurableAuditSink::open_with(&path, config).unwrap();
+        for _ in 0..5 {
+            sink.append(&leak_record());
+        }
+        assert_eq!(sink.rotations(), 5);
+        assert_eq!(sink.write_errors(), 0);
+        // Active file is empty (just rotated); .1 and .2 hold one record
+        // each; .3 was deleted.
+        assert_eq!(DurableAuditSink::read_records(&path).unwrap().len(), 0);
+        for i in 1..=2 {
+            let records = DurableAuditSink::read_records(&super::rotated_path(&path, i)).unwrap();
+            assert_eq!(records.len(), 1, "rotation .{i}");
+        }
+        assert!(!super::rotated_path(&path, 3).exists());
+    }
+
+    #[test]
+    fn frame_rejects_tampered_length_and_crc() {
+        let json = leak_record().to_jsonl();
+        let framed = super::frame_record(&json);
+        let line = framed.trim_end_matches('\n');
+        assert!(super::unframe_line(line).is_some());
+        // Wrong length.
+        let mut bad = line.to_string();
+        bad.replace_range(0..8, "00000001");
+        assert!(super::unframe_line(&bad).is_none());
+        // Wrong CRC.
+        let mut bad = line.to_string();
+        bad.replace_range(9..17, "00000000");
+        assert!(super::unframe_line(&bad).is_none());
+        // Truncated payload.
+        assert!(super::unframe_line(&line[..line.len() - 1]).is_none());
     }
 }

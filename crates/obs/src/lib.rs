@@ -19,7 +19,9 @@
 //!   detection becomes a sequence-numbered [`AuditRecord`] (session,
 //!   flag, window, score, threshold, DDG label + block id) written as
 //!   JSONL through an [`AuditSink`], so alerts are replayable and
-//!   attributable to their data source.
+//!   attributable to their data source. [`DurableAuditSink`] makes the
+//!   trail crash-safe: length-prefixed + CRC-checked frames, a recovery
+//!   scan that truncates torn tails on reopen, size-based rotation.
 //!
 //! No external dependencies beyond the workspace's vendored
 //! `serde`/`serde_json`: everything is `std` atomics and mutexes.
@@ -30,6 +32,9 @@ pub mod audit;
 pub mod registry;
 pub mod span;
 
-pub use audit::{AuditLog, AuditRecord, AuditSink, JsonlAuditSink, MemoryAuditSink, NullAuditSink};
+pub use audit::{
+    crc32, AuditLog, AuditRecord, AuditSink, DurableAuditSink, JsonlAuditSink, MemoryAuditSink,
+    NullAuditSink, RecoveryReport, WalConfig,
+};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use span::{NullSpanSink, RingSink, Span, SpanEvent, SpanSink, StderrSink, Tracer};

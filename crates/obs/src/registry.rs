@@ -296,6 +296,11 @@ impl MetricsSnapshot {
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.get(name).copied()
     }
+
+    /// Value of a gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
 }
 
 #[derive(Debug, Default)]

@@ -13,10 +13,14 @@ pub mod batch;
 pub mod collector;
 pub mod interp;
 pub mod ltrace;
+pub mod validate;
 pub mod value;
 
 pub use batch::{BatchCollector, SessionSink};
 pub use collector::{sliding_windows, CallEvent, CallSink, NullSink, TraceCollector};
 pub use interp::{format_printf, run_program, ExecConfig, ExecOutcome, RuntimeError};
 pub use ltrace::LtraceCollector;
+pub use validate::{
+    check_event, EventDefect, QuarantinedTrace, ScreenedBatch, TraceValidator, ValidationPolicy,
+};
 pub use value::RtValue;

@@ -48,7 +48,7 @@ fn main() {
         report.csds_windows,
         profile.hmm.n_states(),
         profile.threshold,
-        profile.serialized_size()
+        profile.serialized_size().expect("profile serializes")
     );
 
     // ---- Detection phase -------------------------------------------------

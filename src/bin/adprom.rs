@@ -190,9 +190,12 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     profile
         .save(Path::new(out_path))
         .map_err(|e| format!("writing {out_path}: {e}"))?;
+    let size = profile
+        .serialized_size()
+        .map_err(|e| format!("sizing profile: {e}"))?;
     println!(
         "profile written to {out_path} ({:.1} kB)",
-        profile.serialized_size() as f64 / 1024.0
+        size as f64 / 1024.0
     );
     Ok(())
 }

@@ -1,0 +1,288 @@
+//! Fault-tolerance end-to-end: the banking workload monitored under a
+//! deterministic [`FaultPlan`] (a corrupt ingested trace, injected worker
+//! panics, a torn audit tail) must quarantine exactly the corrupt trace and
+//! produce verdicts identical to a fault-free run for everything else, and
+//! audit recovery must preserve every record written before the tear.
+
+use adprom::analysis::analyze;
+use adprom::core::resilience::sites;
+use adprom::core::{
+    build_profile, BatchDetector, ConstructorConfig, FaultKind, FaultPlan, Health, HealthMonitor,
+    KernelConfig, Profile, TraceStatus, Trigger,
+};
+use adprom::hmm::{Hmm, SparseConfig};
+use adprom::obs::{AuditLog, AuditRecord, AuditSink, DurableAuditSink, Registry};
+use adprom::trace::TraceValidator;
+use adprom::workloads::banking;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Injected panics are expected; keep their backtraces out of the output.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("fault-injected"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join("adprom-resilience-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!(
+        "{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The cyclic a→b→c toy profile the unit tests use — cheap enough for
+/// proptest to save/load hundreds of times.
+fn tiny_profile() -> Profile {
+    use adprom::core::Alphabet;
+    let alphabet = Alphabet::new(vec!["a".to_string(), "b".to_string(), "c_Q7".to_string()]);
+    let m = alphabet.len();
+    let mut a = vec![vec![0.001; m]; m];
+    a[0][1] = 1.0;
+    a[1][2] = 1.0;
+    a[2][0] = 1.0;
+    a[3][3] = 1.0;
+    let mut b = vec![vec![0.001; m]; m];
+    for (i, row) in b.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    let pi = vec![1.0; m];
+    let mut hmm = Hmm::from_rows(a, b, pi);
+    hmm.smooth(1e-4);
+    let mut call_callers: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for name in ["a", "b", "c_Q7"] {
+        call_callers
+            .entry(name.to_string())
+            .or_default()
+            .insert("main".to_string());
+    }
+    Profile {
+        app_name: "cyclic".into(),
+        alphabet,
+        hmm,
+        window: 3,
+        threshold: -5.0,
+        call_callers,
+        labeled_outputs: vec!["c_Q7".to_string()],
+    }
+}
+
+#[test]
+fn banking_under_faults_matches_fault_free_run() {
+    quiet_injected_panics();
+    let workload = banking::workload(30, 2);
+    let analysis = analyze(&workload.program);
+    let traces = workload.collect_traces(&analysis.site_labels);
+    let mut config = ConstructorConfig::default();
+    config.train.max_iterations = 12;
+    let (profile, _) = build_profile("App_b", &analysis, &traces, &config);
+
+    // The monitored batch: every test case plus the Fig. 2 injection.
+    let mut batch: Vec<_> = workload
+        .test_cases
+        .iter()
+        .map(|case| workload.run_case(case, &analysis.site_labels))
+        .collect();
+    batch.push(workload.run_case(&banking::injection_case(), &analysis.site_labels));
+    let sessions: Vec<String> = (0..batch.len()).map(|i| format!("conn-{i}")).collect();
+
+    // Fault-free baseline, serial reference order.
+    let baseline = BatchDetector::new(&profile).detect_sessions(&sessions, &batch);
+
+    // ---- Fault run -------------------------------------------------------
+    let registry = Registry::new();
+    let health = HealthMonitor::with_registry(&registry);
+    let injector = FaultPlan::new(42)
+        .inject(
+            sites::INGEST_CORRUPT,
+            FaultKind::CorruptEvent,
+            Trigger::OnceForKeys([2u64].into()),
+        )
+        .inject(
+            sites::WORKER_PANIC,
+            FaultKind::Panic,
+            Trigger::OnceForKeys([0u64, 3].into()),
+        )
+        .arm();
+
+    // Ingest hardening: the corrupt trace is quarantined, not scored.
+    let mut faulty = batch.clone();
+    let applied = adprom::core::apply_ingest_faults(&injector, &mut faulty);
+    assert_eq!(applied, 1, "exactly one trace corrupted");
+    let screened = TraceValidator::new()
+        .with_registry(&registry)
+        .screen(&sessions, &faulty);
+    assert_eq!(screened.quarantined.len(), 1);
+    assert_eq!(screened.quarantined[0].index, 2);
+    assert!(!screened.kept_indices.contains(&2));
+
+    // Crash-safe audit behind the detector.
+    let wal = temp_path("audit");
+    let (sink, report) = DurableAuditSink::open(&wal).expect("open WAL");
+    assert_eq!(report.valid_records, 0);
+    let audit = Arc::new(AuditLog::new(Arc::new(sink)));
+
+    let detector = BatchDetector::new(&profile)
+        .with_registry(&registry)
+        .with_health(health.clone())
+        .with_audit(Arc::clone(&audit))
+        .with_faults(&injector);
+    let reports = detector.detect_sessions(&screened.sessions, &screened.traces);
+
+    // Both injected panics were retried and recovered.
+    assert_eq!(injector.injected(sites::WORKER_PANIC), 2);
+    assert_eq!(reports[0].status, TraceStatus::Recovered(1));
+    assert_eq!(reports[3].status, TraceStatus::Recovered(1));
+    assert_eq!(health.state(), Health::Degraded);
+
+    // Every non-quarantined trace gets the verdict of the fault-free run.
+    assert_eq!(reports.len(), screened.kept_indices.len());
+    for (report, &orig) in reports.iter().zip(&screened.kept_indices) {
+        assert_eq!(report.alerts, baseline[orig].alerts, "trace {orig}");
+        assert_eq!(report.verdict, baseline[orig].verdict, "trace {orig}");
+    }
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("ingest.traces_quarantined"), Some(1));
+    assert_eq!(snap.counter("resilience.traces_recovered"), Some(2));
+    assert_eq!(snap.counter("resilience.traces_failed"), Some(0));
+    assert_eq!(snap.gauge("health.state"), Some(1));
+
+    // ---- Torn-tail recovery ----------------------------------------------
+    // A crash mid-write leaves a partial frame; reopening must truncate it
+    // and lose nothing written before the tear.
+    let before = DurableAuditSink::read_records(&wal).expect("read WAL");
+    assert!(
+        !before.is_empty(),
+        "the injection case must have produced audit records"
+    );
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&wal)
+        .expect("append garbage");
+    file.write_all(b"0000001a deadbeef {\"torn").expect("tear");
+    drop(file);
+
+    let (reopened, report) = DurableAuditSink::open(&wal).expect("reopen WAL");
+    assert!(report.torn, "tear detected");
+    assert!(report.truncated_bytes > 0);
+    assert_eq!(report.valid_records, before.len() as u64);
+    drop(reopened);
+    assert_eq!(
+        DurableAuditSink::read_records(&wal).expect("reread"),
+        before
+    );
+}
+
+#[test]
+fn degraded_mode_dense_fallback_is_bit_identical_to_dense() {
+    // Break row-stochasticity (finite drift, so scoring still works):
+    // CSR validation must refuse the sparse build and fall back.
+    let mut profile = tiny_profile();
+    profile.hmm.a_row_mut(0)[0] += 0.25;
+    let event = |name: &str| adprom::trace::CallEvent {
+        name: name.to_string(),
+        call: adprom::lang::LibCall::Printf,
+        caller: "main".to_string(),
+        site: adprom::lang::CallSiteId(0),
+        detail: None,
+    };
+    let batch = vec![
+        vec![event("a"), event("b"), event("c_Q7"), event("a")],
+        vec![event("b"), event("b"), event("a")],
+    ];
+
+    let degraded = BatchDetector::new(&profile).with_kernel(KernelConfig::Sparse {
+        sparse: SparseConfig::default(),
+    });
+    assert_eq!(degraded.kernel_label(), "dense");
+    let reason = degraded.kernel_fallback().expect("downgrade surfaced");
+    assert!(reason.contains("dense"), "{reason}");
+
+    let dense = BatchDetector::new(&profile);
+    assert_eq!(dense.detect_batch(&batch), degraded.detect_batch(&batch));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single corrupted byte of a saved profile must be rejected at
+    /// load time — the envelope CRC (or header/JSON parse) catches it.
+    /// Never a panic, never a silently-corrupt profile.
+    #[test]
+    fn profile_load_rejects_any_single_byte_corruption(
+        pos in 0usize..4096,
+        flip in 1u8..=255,
+    ) {
+        let path = temp_path("profile");
+        tiny_profile().save(&path).expect("save profile");
+        let mut bytes = std::fs::read(&path).expect("read profile");
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        std::fs::write(&path, &bytes).expect("rewrite profile");
+        prop_assert!(Profile::load(&path).is_err(), "byte {pos} ^ {flip:#x} accepted");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Any single corrupted byte of the audit WAL must leave recovery with
+    /// a clean prefix of the original records: the reader never panics,
+    /// never yields a record that was not written, and every record before
+    /// the corrupted frame survives.
+    #[test]
+    fn audit_recovery_yields_clean_prefix_under_any_byte_corruption(
+        pos in 0usize..8192,
+        flip in 1u8..=255,
+    ) {
+        let path = temp_path("wal");
+        let (sink, _) = DurableAuditSink::open(&path).expect("open WAL");
+        let originals: Vec<AuditRecord> = (0..4)
+            .map(|i| AuditRecord {
+                seq: i,
+                session: format!("conn-{i}"),
+                flag: "ANOMALOUS".to_string(),
+                window: vec!["a".to_string(), "b".to_string()],
+                log_likelihood: -12.5 - i as f64,
+                threshold: -5.0,
+                detail: "prop".to_string(),
+                kernel: "dense".to_string(),
+                label: None,
+                bid: None,
+            })
+            .collect();
+        for record in &originals {
+            sink.append(record);
+        }
+        drop(sink);
+
+        let mut bytes = std::fs::read(&path).expect("read WAL");
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        std::fs::write(&path, &bytes).expect("rewrite WAL");
+
+        let report = DurableAuditSink::recover(&path).expect("recover");
+        prop_assert!(report.valid_records < originals.len() as u64,
+            "corruption at byte {pos} went undetected");
+        let survivors = DurableAuditSink::read_records(&path).expect("read back");
+        prop_assert_eq!(survivors.len() as u64, report.valid_records);
+        prop_assert_eq!(&survivors[..], &originals[..survivors.len()]);
+        let _ = std::fs::remove_file(&path);
+    }
+}
