@@ -25,18 +25,26 @@
 //!   worker panics, a slow score) and *assert* that every non-quarantined
 //!   trace gets the same verdict as a fault-free run over the same
 //!   screened input.
+//! * `--multiapp` — interleave 3 applications × 64 sessions each
+//!   (banking, supermarket, hospital) into one stream through a
+//!   `ProfileRegistry` + `MonitorRuntime` (incremental mode, sparse
+//!   kernel), *assert* every session's verdict matches a per-app serial
+//!   scan of its de-interleaved trace, and record multiplexed throughput
+//!   against the per-app batched incremental path over the same workload.
 
 use adprom_analysis::analyze;
 use adprom_core::resilience::sites;
 use adprom_core::{
     apply_ingest_faults, build_profile, init_from_pctm, trace_windows, Alert, BatchDetector,
     ConstructorConfig, DetectionEngine, FaultKind, FaultPlan, Flag, Health, HealthMonitor,
-    KernelConfig, ScoringMode, TraceStatus, Trigger,
+    KernelConfig, MonitorRuntime, ProfileRegistry, RuntimeConfig, ScoringMode, SessionEnd,
+    TraceStatus, Trigger,
 };
 use adprom_hmm::{train, BeamConfig, Hmm, SparseConfig};
 use adprom_obs::Registry;
-use adprom_trace::{CallEvent, TraceValidator};
-use adprom_workloads::hospital;
+use adprom_trace::{interleave, CallEvent, TraceValidator};
+use adprom_workloads::{banking, hospital, supermarket, Workload};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Best-run throughput: repeats `run` until the measurement budget is
@@ -114,6 +122,7 @@ fn main() {
     let mut sparse = false;
     let mut beam = false;
     let mut faults = false;
+    let mut multiapp = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -124,11 +133,12 @@ fn main() {
             "--sparse" => sparse = true,
             "--beam" => beam = true,
             "--faults" => faults = true,
+            "--multiapp" => multiapp = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: bench_detect [--smoke] [--sparse] [--beam] [--faults] \
-                     [--metrics-out <path>]"
+                     [--multiapp] [--metrics-out <path>]"
                 );
                 std::process::exit(2);
             }
@@ -409,6 +419,208 @@ fn main() {
         String::new()
     };
 
+    // Multi-application monitoring gate: three CA-dataset applications'
+    // sessions interleaved into one stream through a ProfileRegistry and
+    // a session-multiplexed MonitorRuntime (incremental mode, sparse
+    // kernel). Every session's alerts must be identical to a per-app
+    // serial scan of its de-interleaved trace, and the multiplexed
+    // throughput is recorded against the per-app batched incremental
+    // path over the exact same workload.
+    let multiapp_fields = if multiapp {
+        let sessions_per_app = 64;
+        let mut app_config = ConstructorConfig::default();
+        app_config.train.max_iterations = max_iterations;
+        app_config.flatten_epsilon = 1e-4; // sparse-exact CSR decomposition
+        type AppBuild = (&'static str, fn(usize, u64) -> Workload);
+        let builds: [AppBuild; 3] = [
+            ("banking", banking::workload),
+            ("supermarket", supermarket::workload),
+            ("hospital", hospital::workload),
+        ];
+        let apps: Vec<(&str, Vec<Vec<CallEvent>>, adprom_core::Profile)> = builds
+            .iter()
+            .enumerate()
+            .map(|(i, (name, make))| {
+                let w = make(sessions_per_app, 9 + i as u64);
+                let a = analyze(&w.program);
+                let t = w.collect_traces(&a.site_labels);
+                let (p, _) = build_profile(&format!("App_{name}"), &a, &t, &app_config);
+                (*name, t, p)
+            })
+            .collect();
+
+        let sparse_kernel = KernelConfig::Sparse {
+            sparse: SparseConfig::default(),
+        };
+        let profiles = ProfileRegistry::new().with_kernel(sparse_kernel);
+        for (name, _, app_profile) in &apps {
+            profiles
+                .register(name, app_profile.clone())
+                .expect("CA-dataset profile validates");
+        }
+        let profiles = Arc::new(profiles);
+
+        let sessions: Vec<(String, String, Vec<CallEvent>)> = apps
+            .iter()
+            .flat_map(|(name, traces, _)| {
+                traces
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, t)| (name.to_string(), format!("{name}-{i}"), t.clone()))
+            })
+            .collect();
+        let stream = interleave(&sessions, 0x5E55);
+        let n_sessions = sessions.len();
+        let m_events = stream.len();
+        let incremental_config = RuntimeConfig {
+            mode: ScoringMode::Incremental,
+            queue_capacity: 0,
+            ..RuntimeConfig::default()
+        };
+
+        // Verdict gate (untimed, with monitor metrics attached): the
+        // multiplexed runtime must reproduce each per-app serial
+        // incremental scan bit for bit.
+        let monitor_obs = Registry::new();
+        let reports = {
+            let mut runtime = MonitorRuntime::new(Arc::clone(&profiles))
+                .with_config(incremental_config.clone())
+                .with_registry(&monitor_obs);
+            runtime.ingest_stream(&stream);
+            runtime.finish()
+        };
+        assert_eq!(reports.len(), n_sessions, "one report per session");
+        let mut verdicts_match = true;
+        for report in &reports {
+            assert_eq!(report.end, SessionEnd::Finished, "no evictions expected");
+            let (_, _, trace) = sessions
+                .iter()
+                .find(|(a, s, _)| *a == report.app && *s == report.session)
+                .expect("report maps to an ingested session");
+            let scorer = profiles.scorer(&report.app).expect("registered app");
+            let (serial, _) = scorer.scan_incremental(trace, &report.session);
+            verdicts_match &= format!("{:?}", report.alerts) == format!("{serial:?}");
+        }
+        assert!(
+            verdicts_match,
+            "multiapp runtime verdicts diverged from per-app serial scans"
+        );
+        let status = reports[0].kernel.clone();
+        assert!(
+            status.fallback_reason.is_none(),
+            "flattened CA profiles must keep the sparse kernel"
+        );
+        let multi_reports: Vec<Vec<Alert>> = reports.iter().map(|r| r.alerts.clone()).collect();
+        let multi_partition = flag_partition(&multi_reports);
+        let multi_alerts: usize = multi_reports.iter().map(Vec::len).sum();
+
+        // Single-app baseline: the same traces through the per-app
+        // batched incremental path (sparse kernel, no multiplexing).
+        let detectors: Vec<(BatchDetector, &Vec<Vec<CallEvent>>)> = apps
+            .iter()
+            .map(|(_, traces, app_profile)| {
+                (
+                    BatchDetector::new(app_profile)
+                        .with_kernel(sparse_kernel)
+                        .with_mode(ScoringMode::Incremental),
+                    traces,
+                )
+            })
+            .collect();
+
+        // Throughput under noise: this box drifts 20%+ between runs, so
+        // the two paths are timed adjacently in paired rounds and the
+        // recorded ratio is the best pairing — drift cancels within a
+        // pair where it would not across separately-timed blocks.
+        let rounds = if smoke { 4 } else { max_runs.max(8) };
+        let mut multi_eps = 0.0f64;
+        let mut single_eps = 0.0f64;
+        let mut ratio = 0.0f64;
+        for _ in 0..rounds {
+            let start = Instant::now();
+            let mut runtime =
+                MonitorRuntime::new(Arc::clone(&profiles)).with_config(incremental_config.clone());
+            runtime.ingest_stream(&stream);
+            let timed_alerts: usize = runtime.finish().iter().map(|r| r.alerts.len()).sum();
+            let m = m_events as f64 / start.elapsed().as_secs_f64();
+            assert_eq!(
+                timed_alerts, multi_alerts,
+                "multiplexed runs must be deterministic"
+            );
+
+            let start = Instant::now();
+            let single_alerts: usize = detectors
+                .iter()
+                .map(|(d, traces)| {
+                    d.detect_batch(traces)
+                        .iter()
+                        .map(|r| r.alerts.len())
+                        .sum::<usize>()
+                })
+                .sum();
+            let s = m_events as f64 / start.elapsed().as_secs_f64();
+            assert_eq!(
+                single_alerts, multi_alerts,
+                "per-app batch alerts must match the multiplexed runtime"
+            );
+
+            multi_eps = multi_eps.max(m);
+            single_eps = single_eps.max(s);
+            ratio = ratio.max(m / s);
+        }
+
+        let snap = monitor_obs.snapshot();
+        println!("== Multi-application monitoring ==");
+        println!(
+            "{} apps x {sessions_per_app} sessions: {n_sessions} sessions, {m_events} events, \
+             kernel {} -> {}",
+            apps.len(),
+            status.requested,
+            status.effective,
+        );
+        println!(
+            "sessions opened {}, finished {}, flushes {}, lru/idle evictions {}/{}",
+            snap.counter("monitor.sessions.opened").unwrap_or(0),
+            snap.counter("monitor.sessions.finished").unwrap_or(0),
+            snap.counter("monitor.flushes").unwrap_or(0),
+            snap.counter("monitor.evictions.lru").unwrap_or(0),
+            snap.counter("monitor.evictions.idle").unwrap_or(0),
+        );
+        println!("multiplexed runtime (incremental): {multi_eps:>12.0} events/sec");
+        println!(
+            "per-app batch       (incremental): {single_eps:>12.0} events/sec  \
+             (ratio {ratio:.2})"
+        );
+        println!("verdicts match per-app serial scans: {verdicts_match}\n");
+        if ratio < 0.8 {
+            eprintln!("warning: multiapp throughput ratio {ratio:.2} below the 0.8 target");
+        }
+
+        format!(
+            "    \"multiapp\": true,\n    \
+             \"multiapp_apps\": {},\n    \
+             \"multiapp_sessions\": {n_sessions},\n    \
+             \"multiapp_events\": {m_events},\n    \
+             \"multiapp_kernel_requested\": \"{}\",\n    \
+             \"multiapp_kernel_effective\": \"{}\",\n    \
+             \"multiapp_alerts\": {multi_alerts},\n    \
+             \"multiapp_flag_partition\": [{}, {}, {}, {}],\n    \
+             \"multiapp_events_per_sec\": {multi_eps:.0},\n    \
+             \"single_app_incremental_events_per_sec\": {single_eps:.0},\n    \
+             \"multiapp_vs_single_app_ratio\": {ratio:.2},\n    \
+             \"multiapp_verdicts_match_serial\": {verdicts_match},\n",
+            apps.len(),
+            status.requested,
+            status.effective,
+            multi_partition[0],
+            multi_partition[1],
+            multi_partition[2],
+            multi_partition[3],
+        )
+    } else {
+        String::new()
+    };
+
     println!(
         "== Batched detection throughput (window n = {}, kernel = {kernel_mode}) ==",
         profile.window
@@ -486,13 +698,21 @@ fn main() {
         })
         .unwrap_or_default();
     let partition = flag_partition(&serial_reports);
+    // The unified KernelStatus every detection path now reports: what was
+    // asked for, what is actually scoring windows, and whether validation
+    // forced a dense downgrade.
+    let kernel_status = exact.kernel_status();
     let entry = format!(
         "  {{\n    \"workload\": \"hospital\",\n    \"smoke\": {smoke},\n    \
          \"traces\": {n_traces},\n    \"events\": {events},\n    \
          \"window\": {window},\n    \"threads\": {threads},\n    \
-         \"kernel\": \"{kernel_mode}\",\n    \"alerts\": {serial_alerts},\n    \
+         \"kernel\": \"{kernel_mode}\",\n    \
+         \"kernel_requested\": \"{kernel_requested}\",\n    \
+         \"kernel_effective\": \"{kernel_effective}\",\n    \
+         \"kernel_fell_back\": {kernel_fell_back},\n    \
+         \"alerts\": {serial_alerts},\n    \
          \"flag_partition\": [{}, {}, {}, {}],\n    \
-         \"serial_exact_events_per_sec\": {serial_eps:.0},\n{kernel_fields}{fault_fields}    \
+         \"serial_exact_events_per_sec\": {serial_eps:.0},\n{kernel_fields}{fault_fields}{multiapp_fields}    \
          \"parallel_exact_events_per_sec\": {par_exact_eps:.0},\n    \
          \"parallel_incremental_events_per_sec\": {par_inc_eps:.0},\n    \
          \"speedup_parallel_exact\": {speedup_exact:.2},\n    \
@@ -508,6 +728,9 @@ fn main() {
         partition[2],
         partition[3],
         window = profile.window,
+        kernel_requested = kernel_status.requested,
+        kernel_effective = kernel_status.effective,
+        kernel_fell_back = kernel_status.fell_back(),
         bw_windows = windows_enc.len(),
     );
     append_history("BENCH_detect.json", &entry);

@@ -125,8 +125,8 @@ fn main() {
 fn run_attack(
     workload: &Workload,
     program: adprom_lang::Program,
-    adprom_engine: &DetectionEngine<'_>,
-    cmarkov_engine: &DetectionEngine<'_>,
+    adprom_engine: &DetectionEngine,
+    cmarkov_engine: &DetectionEngine,
 ) -> (Flag, Flag, bool) {
     let attacked = Workload {
         name: workload.name.clone(),

@@ -11,20 +11,22 @@
 //!    activity to its source*;
 //! 3. **Anomalous** — an unlikely sequence without labeled output calls;
 //! 4. **Normal** — everything else.
+//!
+//! Both types in this module — the whole-trace [`DetectionEngine`] and the
+//! streaming [`OnlineDetector`] — are thin shells over the shared scoring
+//! core, [`crate::scorer::WindowScorer`]; so is
+//! [`BatchDetector`](crate::parallel::BatchDetector). There is exactly one
+//! forward-scoring / classification / observation path in the crate.
 
 use crate::profile::Profile;
-use crate::telemetry::{audit_record_from_alert, DetectMetrics};
-use adprom_hmm::{
-    forward_beam, log_likelihood, log_likelihood_sparse, BeamConfig, SparseConfig,
-    SparseTransitions,
-};
+use crate::scorer::{KernelStatus, ScoringMode, SessionScorer, WindowScorer};
+use crate::telemetry::DetectMetrics;
+use adprom_hmm::{BeamConfig, SparseConfig, SparseTransitions};
 use adprom_obs::{AuditLog, Registry};
 use adprom_trace::{CallEvent, CallSink};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Detection flags (§V-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -158,10 +160,11 @@ impl KernelState {
     /// [`KernelState::build`] with CSR validation: the profile's model is
     /// checked (finite, row-stochastic) before building, and the built
     /// decomposition self-checks its structure. `Err` carries the reason;
-    /// resilience-aware callers ([`crate::parallel::BatchDetector`])
-    /// downgrade to the dense kernel instead of scoring through a corrupt
-    /// CSR — and since validation failure means the sparse kernel was
-    /// never built, the degraded mode *is* the dense kernel, bit-exactly.
+    /// resilience-aware callers (the batch detector, the profile
+    /// registry) downgrade to the dense kernel instead of scoring through
+    /// a corrupt CSR — and since validation failure means the sparse
+    /// kernel was never built, the degraded mode *is* the dense kernel,
+    /// bit-exactly.
     pub(crate) fn build_validated(
         config: KernelConfig,
         profile: &Profile,
@@ -175,15 +178,6 @@ impl KernelState {
                 Arc::new(SparseTransitions::try_from_hmm(&profile.hmm, &sparse)?),
                 beam,
             )),
-        }
-    }
-
-    /// Short name for metrics and audit records.
-    pub(crate) fn label(&self) -> &'static str {
-        match self {
-            KernelState::Dense => "dense",
-            KernelState::Sparse(_) => "sparse",
-            KernelState::Beam(..) => "beam",
         }
     }
 }
@@ -211,35 +205,38 @@ impl Alert {
     }
 }
 
-/// Scores windows against a profile.
+/// Scores windows against a profile — the serial, whole-trace front end of
+/// the shared [`WindowScorer`] core.
 #[derive(Debug, Clone)]
-pub struct DetectionEngine<'p> {
-    profile: &'p Profile,
-    /// Active threshold (defaults to the profile's; an admin can override
-    /// via [`DetectionEngine::set_threshold`], e.g. from an adaptive
-    /// controller).
-    threshold: f64,
-    /// Metric handles (no-ops unless [`DetectionEngine::with_registry`] /
-    /// [`DetectionEngine::with_metrics`] installed live ones).
-    metrics: DetectMetrics,
-    /// Audit log for non-Normal detections, if any.
-    audit: Option<Arc<AuditLog>>,
+pub struct DetectionEngine {
+    scorer: WindowScorer,
     /// Session id stamped on audit records (empty when unknown).
     session: String,
-    /// Scoring kernel resolved against the profile (dense by default).
-    kernel: KernelState,
 }
 
-impl<'p> DetectionEngine<'p> {
-    /// Creates an engine over a profile. Instrumentation starts disabled.
-    pub fn new(profile: &'p Profile) -> DetectionEngine<'p> {
+impl DetectionEngine {
+    /// Creates an engine over a profile (cloned behind an `Arc`).
+    /// Instrumentation starts disabled. When the profile is already
+    /// shared, prefer [`DetectionEngine::from_arc`] — it reuses the
+    /// allocation.
+    pub fn new(profile: &Profile) -> DetectionEngine {
+        DetectionEngine::from_arc(Arc::new(profile.clone()))
+    }
+
+    /// Creates an engine over an already-shared profile.
+    pub fn from_arc(profile: Arc<Profile>) -> DetectionEngine {
         DetectionEngine {
-            profile,
-            threshold: profile.threshold,
-            metrics: DetectMetrics::disabled(),
-            audit: None,
+            scorer: WindowScorer::new(profile),
             session: String::new(),
-            kernel: KernelState::Dense,
+        }
+    }
+
+    /// Creates an engine directly over a prepared scorer — the path the
+    /// registry uses so engines share an epoch's CSR decomposition.
+    pub fn from_scorer(scorer: WindowScorer) -> DetectionEngine {
+        DetectionEngine {
+            scorer,
+            session: String::new(),
         }
     }
 
@@ -247,36 +244,29 @@ impl<'p> DetectionEngine<'p> {
     /// profile when `config` needs one. With [`KernelConfig::Sparse`] at
     /// `epsilon = 0` the engine's scores (and therefore its alerts) are
     /// bit-identical to the dense default on smoothed profiles.
-    pub fn with_kernel(self, config: KernelConfig) -> DetectionEngine<'p> {
-        let state = KernelState::build(config, self.profile);
-        self.with_kernel_state(state)
-    }
-
-    /// Installs an already-resolved kernel — the path
-    /// [`BatchDetector`](crate::parallel::BatchDetector) uses to share one
-    /// CSR matrix across every worker instead of rebuilding it per trace.
-    pub(crate) fn with_kernel_state(mut self, state: KernelState) -> DetectionEngine<'p> {
-        self.kernel = state;
+    pub fn with_kernel(mut self, config: KernelConfig) -> DetectionEngine {
+        self.scorer = self.scorer.with_kernel(config);
         self
     }
 
     /// Registers metric handles against `registry` (window counts, flag
     /// counters, score latency).
-    pub fn with_registry(self, registry: &Registry) -> DetectionEngine<'p> {
-        self.with_metrics(DetectMetrics::from_registry(registry))
+    pub fn with_registry(mut self, registry: &Registry) -> DetectionEngine {
+        self.scorer = self.scorer.with_registry(registry);
+        self
     }
 
     /// Installs pre-fetched metric handles — the zero-registration-lock
     /// path batch workers use.
-    pub fn with_metrics(mut self, metrics: DetectMetrics) -> DetectionEngine<'p> {
-        self.metrics = metrics;
+    pub fn with_metrics(mut self, metrics: DetectMetrics) -> DetectionEngine {
+        self.scorer = self.scorer.with_metrics(metrics);
         self
     }
 
     /// Routes every non-Normal detection to `audit` as a JSONL-ready
     /// [`adprom_obs::AuditRecord`].
-    pub fn with_audit(mut self, audit: Arc<AuditLog>) -> DetectionEngine<'p> {
-        self.audit = Some(audit);
+    pub fn with_audit(mut self, audit: Arc<AuditLog>) -> DetectionEngine {
+        self.scorer = self.scorer.with_audit(audit);
         self
     }
 
@@ -287,174 +277,67 @@ impl<'p> DetectionEngine<'p> {
 
     /// The profile in use.
     pub fn profile(&self) -> &Profile {
-        self.profile
+        self.scorer.profile()
     }
 
     /// Overrides the detection threshold.
     pub fn set_threshold(&mut self, threshold: f64) {
-        self.threshold = threshold;
+        self.scorer.set_threshold(threshold);
     }
 
     /// The active threshold.
     pub fn threshold(&self) -> f64 {
-        self.threshold
+        self.scorer.threshold()
     }
 
     /// Short name of the active scoring kernel (`dense`, `sparse`, or
     /// `beam`) — stamped on audit records.
-    pub fn kernel_label(&self) -> &'static str {
-        self.kernel.label()
+    pub fn kernel_label(&self) -> &str {
+        &self.scorer.status().effective
+    }
+
+    /// Requested/effective kernel and the downgrade reason, if any.
+    pub fn kernel_status(&self) -> &KernelStatus {
+        self.scorer.status()
+    }
+
+    /// The shared scoring core this engine fronts.
+    pub fn scorer(&self) -> &WindowScorer {
+        &self.scorer
     }
 
     /// `log P(window | λ)` for a window of call names, computed by the
-    /// configured kernel. Beam-pruned scores are lower bounds; the worst
-    /// per-window gap feeds the `beam.gap_bound_micronats_max` gauge.
+    /// configured kernel.
     pub fn score(&self, names: &[String]) -> f64 {
-        let encoded = self.profile.alphabet.encode_seq(names);
-        self.score_encoded(&encoded)
-    }
-
-    /// [`DetectionEngine::score`] for an already-encoded window — the trace
-    /// scanner encodes each trace once and scores slices of it, so the
-    /// per-window cost is only the forward recursion itself.
-    fn score_encoded(&self, encoded: &[usize]) -> f64 {
-        match &self.kernel {
-            KernelState::Dense => log_likelihood(&self.profile.hmm, encoded),
-            KernelState::Sparse(sp) => log_likelihood_sparse(&self.profile.hmm, sp, encoded),
-            KernelState::Beam(sp, beam) => {
-                let run = forward_beam(&self.profile.hmm, sp, encoded, beam);
-                if run.pruned_states > 0 {
-                    self.metrics.beam_windows_pruned.inc();
-                }
-                // The gauge is integral micro-nats; an infinite bound
-                // (pruning starved the chain) saturates it.
-                let micronats = if run.gap_bound.is_finite() {
-                    (run.gap_bound * 1e6).ceil() as i64
-                } else {
-                    i64::MAX
-                };
-                self.metrics.beam_gap_bound_max.record_max(micronats);
-                run.pass.log_likelihood
-            }
-        }
+        self.scorer.score(names)
     }
 
     /// Classifies one window of events.
     pub fn classify(&self, events: &[CallEvent]) -> Alert {
-        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
-        // Only read the clock when a live histogram will receive the
-        // sample — disabled instrumentation must not cost two syscalls
-        // per window.
-        let timer = self.metrics.score_ns.is_enabled().then(Instant::now);
-        let ll = self.score(&names);
-        if let Some(start) = timer {
-            self.metrics
-                .score_ns
-                .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
-        }
-        self.classify_scored(events, names, ll)
+        self.scorer.classify(events, &self.session)
     }
 
     /// Classifies a window whose log-likelihood was computed externally —
-    /// the hook the incremental batch pipeline uses to reuse the flag
-    /// logic with [`adprom_hmm::SlidingForward`] scores instead of a full
-    /// per-window forward pass.
+    /// the hook for reusing the flag logic with
+    /// [`adprom_hmm::SlidingForward`] scores instead of a full per-window
+    /// forward pass.
     pub fn classify_with_ll(&self, events: &[CallEvent], log_likelihood: f64) -> Alert {
-        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
-        self.classify_scored(events, names, log_likelihood)
-    }
-
-    fn classify_scored(&self, events: &[CallEvent], names: Vec<String>, ll: f64) -> Alert {
-        // Per-window facts first, then the shared precedence rule
-        // ([`Flag::classify`]) decides the flag.
-        let ooc = events
-            .iter()
-            .find(|e| self.profile.is_out_of_context(&e.name, &e.caller));
-        let leak = names.iter().find(|n| n.contains("_Q"));
-        let flag = Flag::classify(ll, self.threshold, leak.is_some(), ooc.is_some());
-        let detail = alert_detail(flag, ooc, leak);
-        self.observe(Alert {
-            flag,
-            log_likelihood: ll,
-            threshold: self.threshold,
-            window: names,
-            detail,
-        })
+        self.scorer
+            .classify_with_ll(events, log_likelihood, &self.session)
     }
 
     /// Feeds a finished alert through the instrumentation — the window
     /// counter, its flag-kind counter, and (for non-Normal alerts) the
-    /// audit log — and returns it unchanged. Every classify path ends
-    /// here; scoring paths that build alerts themselves (the incremental
-    /// batch scanner) call it directly.
+    /// audit log — and returns it unchanged.
     pub fn observe(&self, alert: Alert) -> Alert {
-        self.metrics.windows_scored.inc();
-        self.metrics.flag_counter(alert.flag).inc();
-        if alert.is_alarm() {
-            // Attribute every flagged window to the kernel that scored it
-            // — beam scores are approximate, so forensics must be able to
-            // tell which path raised an alarm.
-            match &self.kernel {
-                KernelState::Dense => self.metrics.kernel_dense.inc(),
-                KernelState::Sparse(_) => self.metrics.kernel_sparse.inc(),
-                KernelState::Beam(..) => self.metrics.kernel_beam.inc(),
-            }
-            if let Some(audit) = &self.audit {
-                audit.record(audit_record_from_alert(
-                    &alert,
-                    &self.session,
-                    self.kernel.label(),
-                ));
-            }
-        }
-        alert
+        self.scorer.observe(alert, &self.session)
     }
 
     /// Scans a whole trace with sliding windows; returns one alert per
-    /// window.
-    ///
-    /// Per-trace facts are computed once up front — the symbol encoding,
-    /// out-of-context verdicts, and labeled-output (`_Q`) markers — so the
-    /// per-window work is one forward recursion plus the flag decision.
-    /// Alerts are identical to classifying each window independently.
+    /// window. Alerts are identical to classifying each window
+    /// independently.
     pub fn scan(&self, events: &[CallEvent]) -> Vec<Alert> {
-        let n = self.profile.window;
-        if events.is_empty() {
-            return Vec::new();
-        }
-        if events.len() <= n {
-            return vec![self.classify(events)];
-        }
-        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
-        let encoded = self.profile.alphabet.encode_seq(&names);
-        let ooc: Vec<bool> = events
-            .iter()
-            .map(|e| self.profile.is_out_of_context(&e.name, &e.caller))
-            .collect();
-        let labeled: Vec<bool> = names.iter().map(|name| name.contains("_Q")).collect();
-        let mut alerts = Vec::with_capacity(events.len() - n + 1);
-        for start in 0..=events.len() - n {
-            let end = start + n;
-            let timer = self.metrics.score_ns.is_enabled().then(Instant::now);
-            let ll = self.score_encoded(&encoded[start..end]);
-            if let Some(t0) = timer {
-                self.metrics
-                    .score_ns
-                    .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
-            }
-            let ooc_event = (start..end).find(|&t| ooc[t]).map(|t| &events[t]);
-            let leak_name = (start..end).find(|&t| labeled[t]).map(|t| &names[t]);
-            let flag = Flag::classify(ll, self.threshold, leak_name.is_some(), ooc_event.is_some());
-            let detail = alert_detail(flag, ooc_event, leak_name);
-            alerts.push(self.observe(Alert {
-                flag,
-                log_likelihood: ll,
-                threshold: self.threshold,
-                window: names[start..end].to_vec(),
-                detail,
-            }));
-        }
-        alerts
+        self.scorer.scan(events, &self.session)
     }
 
     /// Highest-severity flag over a whole trace (severity order:
@@ -468,54 +351,77 @@ impl<'p> DetectionEngine<'p> {
     }
 }
 
-/// Human-readable explanation for an alert, from the window facts that
-/// decided its flag. Shared by the single-window and whole-trace paths so
-/// their wording is identical.
-fn alert_detail(flag: Flag, ooc: Option<&CallEvent>, leak: Option<&String>) -> String {
-    match flag {
-        Flag::OutOfContext => {
-            let e = ooc.expect("flag requires an out-of-context event");
-            format!(
-                "call `{}` issued by `{}`, which never issued it in training",
-                e.name, e.caller
-            )
-        }
-        Flag::DataLeak => {
-            let leak = leak.expect("flag requires a labeled output");
-            format!(
-                "anomalous sequence contains labeled output `{leak}` \
-                 (block {}): targeted data from the DB reached an output statement",
-                leak.rsplit("_Q").next().unwrap_or("?")
-            )
-        }
-        Flag::Anomalous => "sequence probability below threshold".to_string(),
-        Flag::Normal => String::new(),
-    }
-}
-
 /// A streaming detector: plug it in as the interpreter's [`CallSink`] and
 /// it classifies each n-window as calls arrive — the §IV-D online workflow
 /// where "the Calls Collector sends n-length call sequences (the last call
 /// and the n−1 past calls) to the Detection Engine".
-#[derive(Debug)]
+///
+/// Shares the profile behind an `Arc` and has full kernel / metrics /
+/// audit parity with the batch paths: the same [`WindowScorer`] scores
+/// every window, the same `detect.*` counters tick, and non-Normal
+/// windows reach the audit log with the configured session id.
+#[derive(Debug, Clone)]
 pub struct OnlineDetector {
-    profile: Profile,
-    buffer: VecDeque<CallEvent>,
+    scorer: WindowScorer,
+    state: SessionScorer,
+    session: String,
     alerts: Vec<Alert>,
-    /// Only windows at least this long are scored (ramp-up).
-    min_window: usize,
 }
 
 impl OnlineDetector {
-    /// Creates a streaming detector owning a profile.
-    pub fn new(profile: Profile) -> OnlineDetector {
-        let min_window = profile.window;
+    /// Creates a streaming detector over a shared profile (a bare
+    /// [`Profile`] converts too). Exact per-window scoring; ramp-up —
+    /// windows are classified once `window` events arrived.
+    pub fn new(profile: impl Into<Arc<Profile>>) -> OnlineDetector {
+        let scorer = WindowScorer::new(profile.into());
+        let state = SessionScorer::new(&scorer, ScoringMode::ExactWindows);
         OnlineDetector {
-            profile,
-            buffer: VecDeque::new(),
+            scorer,
+            state,
+            session: String::new(),
             alerts: Vec::new(),
-            min_window,
         }
+    }
+
+    /// Switches the scoring mode (exact per-window forward vs incremental
+    /// sliding scoring). Resets streaming state; call before feeding
+    /// events.
+    pub fn with_mode(mut self, mode: ScoringMode) -> OnlineDetector {
+        self.state = SessionScorer::new(&self.scorer, mode);
+        self
+    }
+
+    /// Selects the scoring kernel (validated; degrades to dense on a
+    /// corrupt model, with the reason in
+    /// [`OnlineDetector::kernel_status`]).
+    pub fn with_kernel(mut self, config: KernelConfig) -> OnlineDetector {
+        let mode = self.state.mode();
+        self.scorer = self.scorer.with_kernel_validated(config);
+        self.state = SessionScorer::new(&self.scorer, mode);
+        self
+    }
+
+    /// Registers metric handles against `registry`.
+    pub fn with_registry(mut self, registry: &Registry) -> OnlineDetector {
+        self.scorer = self.scorer.with_registry(registry);
+        self
+    }
+
+    /// Routes every non-Normal detection to `audit`, stamped with the
+    /// session id.
+    pub fn with_audit(mut self, audit: Arc<AuditLog>) -> OnlineDetector {
+        self.scorer = self.scorer.with_audit(audit);
+        self
+    }
+
+    /// Sets the session id stamped on audit records.
+    pub fn set_session(&mut self, session: &str) {
+        self.session = session.to_string();
+    }
+
+    /// Requested/effective kernel and the downgrade reason, if any.
+    pub fn kernel_status(&self) -> &KernelStatus {
+        self.scorer.status()
     }
 
     /// Alerts raised so far (one per full window seen).
@@ -527,18 +433,24 @@ impl OnlineDetector {
     pub fn alarms(&self) -> Vec<&Alert> {
         self.alerts.iter().filter(|a| a.is_alarm()).collect()
     }
+
+    /// Closes the stream: a session shorter than one window emits its
+    /// single short-window alert now (matching
+    /// [`DetectionEngine::scan`]'s `len ≤ n` behavior). Returns the alert
+    /// if one was emitted.
+    pub fn finish(&mut self) -> Option<Alert> {
+        let alert = self.state.finalize(&self.scorer, &self.session);
+        if let Some(alert) = &alert {
+            self.alerts.push(alert.clone());
+        }
+        alert
+    }
 }
 
 impl CallSink for OnlineDetector {
     fn on_call(&mut self, event: CallEvent) {
-        self.buffer.push_back(event);
-        if self.buffer.len() > self.profile.window {
-            self.buffer.pop_front();
-        }
-        if self.buffer.len() >= self.min_window {
-            let window: Vec<CallEvent> = self.buffer.iter().cloned().collect();
-            let engine = DetectionEngine::new(&self.profile);
-            self.alerts.push(engine.classify(&window));
+        if let Some(alert) = self.state.push(&self.scorer, &event, &self.session) {
+            self.alerts.push(alert);
         }
     }
 }
@@ -670,6 +582,65 @@ mod tests {
         // Windows start once 3 events arrived: 4 windows total.
         assert_eq!(online.alerts().len(), 4);
         assert!(online.alarms().is_empty());
+        // A full-length stream has nothing left to emit at close.
+        assert_eq!(online.finish(), None);
+    }
+
+    #[test]
+    fn online_detector_matches_engine_scan_windows() {
+        // The streaming path and the whole-trace scan produce bit-identical
+        // alerts — both are the same WindowScorer underneath.
+        let profile = cyclic_profile();
+        let engine = DetectionEngine::new(&profile);
+        for trace in [
+            vec!["a", "b", "c_Q7", "a", "evil_exfil", "c_Q7", "b", "a"],
+            vec!["a", "b"], // shorter than one window
+            vec!["b", "a", "a"],
+        ] {
+            let events: Vec<CallEvent> = trace.iter().map(|n| event(n, "main")).collect();
+            let mut online = OnlineDetector::new(profile.clone());
+            for e in &events {
+                online.on_call(e.clone());
+            }
+            online.finish();
+            assert_eq!(
+                format!("{:?}", engine.scan(&events)),
+                format!("{:?}", online.alerts()),
+                "trace {trace:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn online_detector_has_metrics_and_audit_parity() {
+        use adprom_obs::{AuditLog, AuditSink, MemoryAuditSink};
+        let profile = cyclic_profile();
+        let registry = Registry::new();
+        let sink = Arc::new(MemoryAuditSink::new());
+        let audit = Arc::new(AuditLog::new(Arc::clone(&sink) as Arc<dyn AuditSink>));
+        let mut online = OnlineDetector::new(profile)
+            .with_kernel(KernelConfig::Sparse {
+                sparse: SparseConfig::default(),
+            })
+            .with_registry(&registry)
+            .with_audit(audit);
+        online.set_session("conn-9");
+        assert_eq!(online.kernel_status().effective, "sparse");
+        for name in ["a", "evil_exfil", "c_Q7", "a"] {
+            online.on_call(event(name, "main"));
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("detect.windows_scored"), Some(2));
+        // The flagged windows are attributed to the sparse kernel...
+        assert_eq!(
+            snap.counter("detect.kernel.sparse"),
+            Some(online.alarms().len() as u64)
+        );
+        // ...and audited with the session id.
+        let records = sink.records();
+        assert_eq!(records.len(), online.alarms().len());
+        assert!(records.iter().all(|r| r.session == "conn-9"));
+        assert!(records.iter().all(|r| r.kernel == "sparse"));
     }
 
     #[test]

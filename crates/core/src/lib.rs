@@ -35,7 +35,10 @@ pub mod init;
 pub mod metrics;
 pub mod parallel;
 pub mod profile;
+pub mod registry;
 pub mod resilience;
+pub mod runtime;
+pub mod scorer;
 pub mod telemetry;
 pub mod threshold;
 
@@ -48,9 +51,15 @@ pub use init::{build_ctvs, init_from_pctm, InitConfig, InitializedModel};
 pub use metrics::{fn_rate_at_fp, roc_curve, Confusion, RocPoint};
 pub use parallel::{BatchDetector, ScoringMode, TraceReport, TraceStatus};
 pub use profile::{LoadPolicy, Profile, ProfileDefect, ProfileIoError};
+pub use registry::{ProfileEpoch, ProfileRegistry, SwapError};
 pub use resilience::{
     apply_ingest_faults, FailPoint, FaultInjector, FaultKind, FaultPlan, FaultyWriter, Health,
     HealthMonitor, RetryPolicy, Trigger,
 };
-pub use telemetry::{audit_record_from_alert, BatchMetrics, DetectMetrics, ResilienceMetrics};
+pub use runtime::{MonitorRuntime, RuntimeConfig, SessionEnd, SessionReport};
+pub use scorer::{KernelStatus, SessionScorer, WindowScorer};
+pub use telemetry::{
+    audit_record_from_alert, BatchMetrics, DetectMetrics, MonitorMetrics, RegistryMetrics,
+    ResilienceMetrics,
+};
 pub use threshold::{select_threshold, threshold_sweep, AdaptiveThreshold};

@@ -10,21 +10,25 @@
 //! field for field, including floating-point scores — to what a serial
 //! `DetectionEngine::scan` loop over the same traces produces, regardless
 //! of thread count or scheduling. Parallelism only changes wall-clock
-//! time, never output.
+//! time, never output. Audit records are written *after* the parallel
+//! pass, in input order, so their sequence numbers are deterministic too —
+//! even when a worker panicked mid-trace and the trace was retried.
 //!
 //! [`ScoringMode::Incremental`] swaps the per-window forward recompute for
-//! [`SlidingForward`] (O(N²) per event instead of O(n·N²)); scores then
+//! the sliding scorer (O(N²) per event instead of O(n·N²)); scores then
 //! use the conditional window semantics documented in
 //! [`adprom_hmm::sliding`]. Still deterministic — the incremental scorer
 //! runs a fixed recurrence per trace — but not bit-identical to
 //! `ExactWindows`, because the window likelihood is conditioned on the
 //! session's history rather than restarted from π.
 
-use crate::detect::{Alert, DetectionEngine, Flag, KernelConfig, KernelState};
+pub use crate::scorer::ScoringMode;
+
+use crate::detect::{Alert, Flag, KernelConfig};
 use crate::profile::Profile;
 use crate::resilience::{sites, FailPoint, FaultInjector, FaultKind, HealthMonitor, RetryPolicy};
-use crate::telemetry::{BatchMetrics, DetectMetrics, ResilienceMetrics};
-use adprom_hmm::SlidingForward;
+use crate::scorer::{KernelStatus, WindowScorer};
+use crate::telemetry::{audit_record_from_alert, BatchMetrics, DetectMetrics, ResilienceMetrics};
 use adprom_obs::{AuditLog, Registry};
 use adprom_trace::CallEvent;
 use rayon::prelude::*;
@@ -33,20 +37,6 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-
-/// How a [`BatchDetector`] scores windows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ScoringMode {
-    /// A full scaled-forward pass per window (exactly
-    /// [`DetectionEngine::scan`]): output is byte-identical to the serial
-    /// engine loop.
-    #[default]
-    ExactWindows,
-    /// Incremental [`SlidingForward`] scoring: one O(N²) update per event.
-    /// Deterministic, but windows are scored conditionally on session
-    /// history (see [`adprom_hmm::sliding`]).
-    Incremental,
-}
 
 /// How a trace's scoring pass concluded.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -87,22 +77,22 @@ impl TraceReport {
     }
 }
 
-/// Scores batches of independent session traces in parallel.
+/// Scores batches of independent session traces in parallel. A thin
+/// parallel shell over the shared [`WindowScorer`] core: workers clone
+/// nothing but `Arc` handles — the profile and the CSR decomposition are
+/// built once and shared.
 #[derive(Debug, Clone)]
-pub struct BatchDetector<'p> {
-    profile: &'p Profile,
-    threshold: f64,
+pub struct BatchDetector {
+    /// The shared scoring core (profile, kernel, threshold, detect
+    /// metrics). Its audit stays unset: batch paths audit post-hoc, in
+    /// input order, for deterministic sequence numbers.
+    scorer: WindowScorer,
     mode: ScoringMode,
-    /// Window/flag handles, cloned into every worker's engine.
-    detect_metrics: DetectMetrics,
     /// Batch-level handles: per-trace latency, task counts, mode and
     /// sliding-scorer accounting.
     metrics: BatchMetrics,
-    /// Audit log shared by every worker (sequence numbers stay global).
+    /// Audit log written after each batch, in input order.
     audit: Option<Arc<AuditLog>>,
-    /// Scoring kernel resolved once against the profile; workers clone the
-    /// shared CSR handle, never rebuild the matrix.
-    kernel: KernelState,
     /// Explicitly sized thread pool, if any — otherwise rayon's default
     /// (machine cores, overridable via `RAYON_NUM_THREADS`).
     pool: Option<ThreadPool>,
@@ -118,44 +108,49 @@ pub struct BatchDetector<'p> {
     fault_panic: FailPoint,
     /// Fail point: delay a worker's scoring pass.
     fault_slow: FailPoint,
-    /// Why the requested sparse/beam kernel was downgraded to dense, if
-    /// CSR validation refused it.
-    kernel_fallback: Option<String>,
     /// The downgrade is surfaced (metric + health) once, on first use.
     fallback_reported: Arc<AtomicBool>,
 }
 
-impl<'p> BatchDetector<'p> {
+impl BatchDetector {
     /// Creates a batch detector in [`ScoringMode::ExactWindows`] with
-    /// instrumentation disabled.
-    pub fn new(profile: &'p Profile) -> BatchDetector<'p> {
+    /// instrumentation disabled. The profile is cloned behind an `Arc`;
+    /// when it is already shared, prefer [`BatchDetector::from_arc`].
+    pub fn new(profile: &Profile) -> BatchDetector {
+        BatchDetector::from_arc(Arc::new(profile.clone()))
+    }
+
+    /// Creates a batch detector over an already-shared profile.
+    pub fn from_arc(profile: Arc<Profile>) -> BatchDetector {
+        BatchDetector::from_scorer(WindowScorer::new(profile))
+    }
+
+    /// Creates a batch detector directly over a prepared scorer (the
+    /// registry path — epochs share one CSR decomposition).
+    pub fn from_scorer(scorer: WindowScorer) -> BatchDetector {
         BatchDetector {
-            profile,
-            threshold: profile.threshold,
+            scorer,
             mode: ScoringMode::ExactWindows,
-            detect_metrics: DetectMetrics::disabled(),
             metrics: BatchMetrics::disabled(),
             audit: None,
-            kernel: KernelState::Dense,
             pool: None,
             retry: RetryPolicy::default(),
             res_metrics: ResilienceMetrics::disabled(),
             health: HealthMonitor::new(),
             fault_panic: FailPoint::disabled(),
             fault_slow: FailPoint::disabled(),
-            kernel_fallback: None,
             fallback_reported: Arc::new(AtomicBool::new(false)),
         }
     }
 
     /// Selects the scoring mode.
-    pub fn with_mode(mut self, mode: ScoringMode) -> BatchDetector<'p> {
+    pub fn with_mode(mut self, mode: ScoringMode) -> BatchDetector {
         self.mode = mode;
         self
     }
 
     /// Selects the scoring kernel. The CSR decomposition (when the config
-    /// needs one) is built *here*, once, and shared by every worker engine
+    /// needs one) is built *here*, once, and shared by every worker
     /// through an `Arc` — parallelism does not repeat the O(N²) build.
     ///
     /// In [`ScoringMode::Incremental`] the sliding scorers pick the kernel
@@ -167,36 +162,39 @@ impl<'p> BatchDetector<'p> {
     /// the detector **degrades to the dense kernel** instead of scoring
     /// through a corrupt decomposition. The downgrade is surfaced on
     /// first use through `resilience.kernel_fallbacks` and the health
-    /// state ([`BatchDetector::kernel_fallback`] carries the reason) —
-    /// and because the sparse kernel was never built, degraded-mode
-    /// output is bit-identical to a dense-kernel run.
-    pub fn with_kernel(mut self, config: KernelConfig) -> BatchDetector<'p> {
-        match KernelState::build_validated(config, self.profile) {
-            Ok(kernel) => {
-                self.kernel = kernel;
-                self.kernel_fallback = None;
-            }
-            Err(reason) => {
-                self.kernel = KernelState::Dense;
-                self.kernel_fallback = Some(format!(
-                    "{} kernel refused by CSR validation, using dense: {reason}",
-                    config.label()
-                ));
-                self.fallback_reported = Arc::new(AtomicBool::new(false));
-            }
+    /// state ([`BatchDetector::kernel_status`] carries the reason) — and
+    /// because the sparse kernel was never built, degraded-mode output is
+    /// bit-identical to a dense-kernel run.
+    pub fn with_kernel(mut self, config: KernelConfig) -> BatchDetector {
+        self.scorer = self.scorer.with_kernel_validated(config);
+        if self.scorer.status().fell_back() {
+            self.fallback_reported = Arc::new(AtomicBool::new(false));
         }
         self
     }
 
+    /// Requested/effective kernel and the downgrade reason, if any — the
+    /// unified [`KernelStatus`] reports, metrics, and bench JSON share.
+    pub fn kernel_status(&self) -> &KernelStatus {
+        self.scorer.status()
+    }
+
     /// Why the requested kernel was downgraded to dense (`None` when the
-    /// requested kernel is in force).
+    /// requested kernel is in force). Shorthand for
+    /// `kernel_status().fallback_reason`.
     pub fn kernel_fallback(&self) -> Option<&str> {
-        self.kernel_fallback.as_deref()
+        self.scorer.status().fallback_reason.as_deref()
+    }
+
+    /// Short name of the kernel actually scoring (`dense`, `sparse`,
+    /// `beam`).
+    pub fn kernel_label(&self) -> &str {
+        &self.scorer.status().effective
     }
 
     /// Replaces the per-trace retry/watchdog policy (default: 2 retries,
     /// 5 ms backoff, no watchdog).
-    pub fn with_retry(mut self, retry: RetryPolicy) -> BatchDetector<'p> {
+    pub fn with_retry(mut self, retry: RetryPolicy) -> BatchDetector {
         self.retry = retry;
         self
     }
@@ -204,7 +202,7 @@ impl<'p> BatchDetector<'p> {
     /// Shares a health monitor: workers raise it to Degraded on absorbed
     /// faults (retries, watchdog trips, kernel downgrades) and Failed
     /// when a trace cannot be scored.
-    pub fn with_health(mut self, health: HealthMonitor) -> BatchDetector<'p> {
+    pub fn with_health(mut self, health: HealthMonitor) -> BatchDetector {
         self.health = health;
         self
     }
@@ -213,7 +211,7 @@ impl<'p> BatchDetector<'p> {
     /// [`sites::SLOW_SCORE`]) from an injected fault schedule. Production
     /// detectors never call this; the handles stay disabled and each
     /// probe is a single branch.
-    pub fn with_faults(mut self, injector: &FaultInjector) -> BatchDetector<'p> {
+    pub fn with_faults(mut self, injector: &FaultInjector) -> BatchDetector {
         self.fault_panic = injector.point(sites::WORKER_PANIC);
         self.fault_slow = injector.point(sites::SLOW_SCORE);
         self
@@ -223,7 +221,7 @@ impl<'p> BatchDetector<'p> {
     /// (0 restores the default pool). [`BatchDetector::threads`] reports
     /// the count actually in force — what benchmarks must record instead
     /// of assuming the machine's core count.
-    pub fn with_threads(mut self, threads: usize) -> BatchDetector<'p> {
+    pub fn with_threads(mut self, threads: usize) -> BatchDetector {
         self.pool = (threads > 0).then(|| {
             ThreadPoolBuilder::new()
                 .num_threads(threads)
@@ -242,35 +240,38 @@ impl<'p> BatchDetector<'p> {
             .map_or_else(rayon::current_num_threads, ThreadPool::current_num_threads)
     }
 
-    /// Short name of the active scoring kernel (`dense`, `sparse`,
-    /// `beam`).
-    pub fn kernel_label(&self) -> &'static str {
-        self.kernel.label()
-    }
-
     /// Registers metric handles against `registry` — once, here; the rayon
     /// workers only touch the shared atomics.
-    pub fn with_registry(mut self, registry: &Registry) -> BatchDetector<'p> {
-        self.detect_metrics = DetectMetrics::from_registry(registry);
+    pub fn with_registry(mut self, registry: &Registry) -> BatchDetector {
+        self.scorer = self
+            .scorer
+            .with_metrics(DetectMetrics::from_registry(registry));
         self.metrics = BatchMetrics::from_registry(registry);
         self.res_metrics = ResilienceMetrics::from_registry(registry);
         self
     }
 
-    /// Routes every non-Normal detection from every worker to `audit`.
-    pub fn with_audit(mut self, audit: Arc<AuditLog>) -> BatchDetector<'p> {
+    /// Routes every non-Normal detection to `audit` — written after the
+    /// parallel pass, in input order, so sequence numbers are
+    /// deterministic at any thread count and under retry.
+    pub fn with_audit(mut self, audit: Arc<AuditLog>) -> BatchDetector {
         self.audit = Some(audit);
         self
     }
 
     /// Overrides the detection threshold (defaults to the profile's).
     pub fn set_threshold(&mut self, threshold: f64) {
-        self.threshold = threshold;
+        self.scorer.set_threshold(threshold);
     }
 
     /// The active scoring mode.
     pub fn mode(&self) -> ScoringMode {
         self.mode
+    }
+
+    /// The shared scoring core this detector fans out.
+    pub fn scorer(&self) -> &WindowScorer {
+        &self.scorer
     }
 
     /// Scores every trace of the batch across the rayon thread pool.
@@ -284,14 +285,16 @@ impl<'p> BatchDetector<'p> {
         let outcomes: Vec<(Vec<Alert>, TraceStatus)> = self.run(|| {
             indices
                 .par_iter()
-                .map(|&i| self.scan_trace_guarded(i, "", &traces[i]))
+                .map(|&i| self.scan_trace_guarded(i, &traces[i]))
                 .collect()
         });
-        outcomes
+        let reports: Vec<TraceReport> = outcomes
             .into_iter()
             .enumerate()
             .map(|(index, (alerts, status))| Self::report(index, None, alerts, status))
-            .collect()
+            .collect();
+        self.audit_reports(&reports);
+        reports
     }
 
     /// Like [`detect_batch`](BatchDetector::detect_batch), but each trace
@@ -316,23 +319,25 @@ impl<'p> BatchDetector<'p> {
         let outcomes: Vec<(Vec<Alert>, TraceStatus)> = self.run(|| {
             indices
                 .par_iter()
-                .map(|&i| self.scan_trace_guarded(i, &sessions[i], &traces[i]))
+                .map(|&i| self.scan_trace_guarded(i, &traces[i]))
                 .collect()
         });
-        outcomes
+        let reports: Vec<TraceReport> = outcomes
             .into_iter()
             .enumerate()
             .map(|(index, (alerts, status))| {
                 Self::report(index, Some(sessions[index].clone()), alerts, status)
             })
-            .collect()
+            .collect();
+        self.audit_reports(&reports);
+        reports
     }
 
     /// Surfaces a kernel downgrade (metric + health) once, when the
     /// detector first scores — after every builder has run, so the order
     /// of `with_kernel` / `with_registry` / `with_health` cannot drop it.
     fn prelude(&self) {
-        if let Some(reason) = &self.kernel_fallback {
+        if let Some(reason) = &self.scorer.status().fallback_reason {
             if !self.fallback_reported.swap(true, Ordering::Relaxed) {
                 self.res_metrics.kernel_fallbacks.inc();
                 self.health.degrade(reason);
@@ -365,6 +370,23 @@ impl<'p> BatchDetector<'p> {
         }
     }
 
+    /// Writes every alarm of the batch to the audit log, serially, in
+    /// input order — the deterministic-sequence-number half of the
+    /// determinism guarantee. Running post-hoc also means a panicked,
+    /// retried attempt can never leave duplicate records behind.
+    fn audit_reports(&self, reports: &[TraceReport]) {
+        let Some(audit) = &self.audit else {
+            return;
+        };
+        let kernel = &self.scorer.status().effective;
+        for report in reports {
+            let session = report.session.as_deref().unwrap_or("");
+            for alert in report.alarms() {
+                audit.record(audit_record_from_alert(alert, session, kernel));
+            }
+        }
+    }
+
     /// Highest-severity flag per trace, in input order.
     pub fn verdicts(&self, traces: &[Vec<CallEvent>]) -> Vec<Flag> {
         self.detect_batch(traces)
@@ -378,19 +400,21 @@ impl<'p> BatchDetector<'p> {
     /// calls. A trace that fails every retry yields no alerts.
     pub fn scan_trace(&self, events: &[CallEvent]) -> Vec<Alert> {
         self.prelude();
-        self.scan_trace_guarded(0, "", events).0
+        let (alerts, _status) = self.scan_trace_guarded(0, events);
+        if let Some(audit) = &self.audit {
+            let kernel = &self.scorer.status().effective;
+            for alert in alerts.iter().filter(|a| a.is_alarm()) {
+                audit.record(audit_record_from_alert(alert, "", kernel));
+            }
+        }
+        alerts
     }
 
     /// One trace, end to end: panic isolation (`catch_unwind` around the
     /// scoring pass), bounded retry with exponential backoff, and the
     /// watchdog elapsed check. `index` keys the fail points, so an
     /// injected fault schedule replays identically at any thread count.
-    fn scan_trace_guarded(
-        &self,
-        index: usize,
-        session: &str,
-        events: &[CallEvent],
-    ) -> (Vec<Alert>, TraceStatus) {
+    fn scan_trace_guarded(&self, index: usize, events: &[CallEvent]) -> (Vec<Alert>, TraceStatus) {
         // Mode accounting is per trace, not per attempt: retries must not
         // inflate the batch counters the observability tests pin.
         match self.mode {
@@ -399,9 +423,7 @@ impl<'p> BatchDetector<'p> {
         }
         let mut attempts = 0u32;
         loop {
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                self.scan_attempt(index, session, events)
-            }));
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.scan_attempt(index, events)));
             match outcome {
                 Ok(alerts) => {
                     let status = if attempts == 0 {
@@ -438,8 +460,10 @@ impl<'p> BatchDetector<'p> {
         }
     }
 
-    /// One scoring attempt (what `catch_unwind` wraps).
-    fn scan_attempt(&self, index: usize, session: &str, events: &[CallEvent]) -> Vec<Alert> {
+    /// One scoring attempt (what `catch_unwind` wraps). Pure scoring
+    /// through the shared [`WindowScorer`] — no audit writes happen here,
+    /// so a panicked attempt leaves no partial audit trail to deduplicate.
+    fn scan_attempt(&self, index: usize, events: &[CallEvent]) -> Vec<Alert> {
         if matches!(self.fault_panic.fire(index as u64), Some(FaultKind::Panic)) {
             panic!(
                 "fault-injected panic at {} (trace {index})",
@@ -451,17 +475,16 @@ impl<'p> BatchDetector<'p> {
         if let Some(FaultKind::SlowScore { millis }) = self.fault_slow.fire(index as u64) {
             std::thread::sleep(std::time::Duration::from_millis(millis));
         }
-        let mut engine = DetectionEngine::new(self.profile)
-            .with_metrics(self.detect_metrics.clone())
-            .with_kernel_state(self.kernel.clone());
-        if let Some(audit) = &self.audit {
-            engine = engine.with_audit(Arc::clone(audit));
-        }
-        engine.set_session(session);
-        engine.set_threshold(self.threshold);
         let alerts = match self.mode {
-            ScoringMode::ExactWindows => engine.scan(events),
-            ScoringMode::Incremental => self.scan_incremental(&engine, events),
+            ScoringMode::ExactWindows => self.scorer.scan(events, ""),
+            ScoringMode::Incremental => {
+                let (alerts, stats) = self.scorer.scan_incremental(events, "");
+                // Surface the sliding scorer's accounting (acceptance
+                // metric: `sliding.reanchors` — 0 for smoothed profiles).
+                self.metrics.sliding_pushes.add(stats.pushes);
+                self.metrics.sliding_reanchors.add(stats.reanchors);
+                alerts
+            }
         };
         if let Some(start) = timer {
             let elapsed = start.elapsed();
@@ -484,123 +507,10 @@ impl<'p> BatchDetector<'p> {
         }
         alerts
     }
-
-    /// Incremental scan: one sliding scorer per trace, one alert per
-    /// window, same window set as [`DetectionEngine::scan`].
-    ///
-    /// Per-event facts — symbol encoding, the out-of-context check, the
-    /// `_Q` label test — are computed once per trace instead of once per
-    /// window, so the per-window cost is the O(N²) alpha update plus alert
-    /// construction, not n map lookups.
-    fn scan_incremental(&self, engine: &DetectionEngine<'_>, events: &[CallEvent]) -> Vec<Alert> {
-        let n = self.profile.window;
-        if events.is_empty() {
-            return Vec::new();
-        }
-        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
-        let encoded = self.profile.alphabet.encode_seq(&names);
-        let out_of_context: Vec<bool> = events
-            .iter()
-            .map(|e| self.profile.is_out_of_context(&e.name, &e.caller))
-            .collect();
-        let labeled: Vec<bool> = names.iter().map(|name| name.contains("_Q")).collect();
-        // Prefix counts make "any flagged event in the window?" O(1).
-        let prefix = |flags: &[bool]| -> Vec<u32> {
-            let mut acc = Vec::with_capacity(flags.len() + 1);
-            acc.push(0u32);
-            for &f in flags {
-                acc.push(acc.last().unwrap() + u32::from(f));
-            }
-            acc
-        };
-        let ooc_prefix = prefix(&out_of_context);
-        let labeled_prefix = prefix(&labeled);
-        let threshold = engine.threshold();
-
-        let mut sliding = SlidingForward::new(&self.profile.hmm, n);
-        // The batch kernel carries into the per-event scorer: sparse
-        // propagation, plus per-step beam pruning for beam configs.
-        match &self.kernel {
-            KernelState::Dense => {}
-            KernelState::Sparse(sp) => sliding = sliding.with_kernel(sp),
-            KernelState::Beam(sp, beam) => sliding = sliding.with_kernel(sp).with_beam(*beam),
-        }
-        let mut alerts = Vec::with_capacity(events.len().saturating_sub(n) + 1);
-        let mut emit = |start: usize, end: usize, ll: f64| {
-            // The shared precedence rule ([`Flag::classify`]), driven by
-            // the precomputed per-event facts.
-            let window = names[start..end].to_vec();
-            let ooc = (ooc_prefix[end] > ooc_prefix[start])
-                .then(|| (start..end).find(|&t| out_of_context[t]).expect("counted"));
-            let leak = (labeled_prefix[end] > labeled_prefix[start])
-                .then(|| (start..end).find(|&t| labeled[t]).expect("counted"));
-            let flag = Flag::classify(ll, threshold, leak.is_some(), ooc.is_some());
-            let detail = match flag {
-                Flag::OutOfContext => {
-                    let t = ooc.expect("flag requires an out-of-context event");
-                    format!(
-                        "call `{}` issued by `{}`, which never issued it in training",
-                        events[t].name, events[t].caller
-                    )
-                }
-                Flag::DataLeak => {
-                    let leak = &names[leak.expect("flag requires a labeled output")];
-                    format!(
-                        "anomalous sequence contains labeled output `{leak}` \
-                         (block {}): targeted data from the DB reached an output statement",
-                        leak.rsplit("_Q").next().unwrap_or("?")
-                    )
-                }
-                Flag::Anomalous => "sequence probability below threshold".to_string(),
-                Flag::Normal => String::new(),
-            };
-            alerts.push(engine.observe(Alert {
-                flag,
-                log_likelihood: ll,
-                threshold,
-                window,
-                detail,
-            }));
-        };
-
-        if events.len() <= n {
-            let mut score = 0.0;
-            for &symbol in &encoded {
-                score = sliding.push(symbol);
-            }
-            emit(0, events.len(), score);
-        } else {
-            for (t, &symbol) in encoded.iter().enumerate() {
-                let score = sliding.push(symbol);
-                if t + 1 >= n {
-                    emit(t + 1 - n, t + 1, score);
-                }
-            }
-        }
-        // Surface the sliding scorer's accounting (acceptance metric:
-        // `sliding.reanchors` — 0 for smoothed profiles).
-        self.metrics.sliding_pushes.add(sliding.stats().pushes);
-        self.metrics
-            .sliding_reanchors
-            .add(sliding.stats().reanchors);
-        if matches!(self.kernel, KernelState::Beam(..)) {
-            // `gap_bound` bounds the score error of *every* window this
-            // trace produced, so it feeds the same running-max gauge the
-            // exact engine uses.
-            let bound = sliding.gap_bound();
-            let micronats = if bound.is_finite() {
-                (bound * 1e6).ceil() as i64
-            } else {
-                i64::MAX
-            };
-            self.detect_metrics.beam_gap_bound_max.record_max(micronats);
-        }
-        alerts
-    }
 }
 
 /// Best-effort rendering of a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -614,6 +524,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 mod tests {
     use super::*;
     use crate::alphabet::Alphabet;
+    use crate::detect::DetectionEngine;
     use adprom_hmm::Hmm;
     use adprom_lang::{CallSiteId, LibCall};
     use std::collections::{BTreeMap, BTreeSet};
@@ -768,15 +679,74 @@ mod tests {
             assert_eq!(report.session.as_deref(), Some(sessions[i].as_str()));
         }
         assert_eq!(reports[2].verdict, Flag::DataLeak);
-        // Audit records carry the originating session, not just an index.
+        // Audit records carry the originating session — and because the
+        // batch audits post-hoc in input order, the sequence is pinned.
         let records = sink.records();
         assert_eq!(records.len(), 2);
-        let mut audited_sessions: Vec<String> = records.iter().map(|r| r.session.clone()).collect();
-        audited_sessions.sort();
+        let audited_sessions: Vec<String> = records.iter().map(|r| r.session.clone()).collect();
         assert_eq!(audited_sessions, vec!["conn-1", "conn-2"]);
+        assert!(records[0].seq < records[1].seq);
         // Anonymous batches leave the session empty.
         let anonymous = detector.detect_batch(&batch);
         assert!(anonymous.iter().all(|r| r.session.is_none()));
+    }
+
+    #[test]
+    fn audit_sequence_is_deterministic_under_faults_and_threads() {
+        // Satellite regression: the audit trail must come out in input
+        // order with contiguous sequence numbers even when workers panic
+        // and retry, at any thread count.
+        use crate::resilience::{sites, FaultKind, FaultPlan, Trigger};
+        use adprom_obs::{AuditLog, AuditSink, MemoryAuditSink};
+        quiet_injected_panics();
+        let profile = cyclic_profile();
+        // Every trace alarms, so every trace contributes audit records.
+        let batch = vec![
+            trace_of(&["b", "a", "a"]),             // anomalous (1 window)
+            trace_of(&["a", "evil_exfil", "c_Q7"]), // data leak (1 window)
+            trace_of(&["b", "a", "a", "b"]),        // anomalous (2 windows)
+        ];
+        let sessions: Vec<String> = vec!["s-0".into(), "s-1".into(), "s-2".into()];
+        let mut baseline: Option<Vec<(u64, String, String)>> = None;
+        for threads in [1usize, 4, 8] {
+            let sink = Arc::new(MemoryAuditSink::new());
+            let audit = Arc::new(AuditLog::new(Arc::clone(&sink) as Arc<dyn AuditSink>));
+            // Panic the middle trace once: it recovers on retry and must
+            // not leave duplicate or out-of-order records.
+            let injector = FaultPlan::new(21)
+                .inject(
+                    sites::WORKER_PANIC,
+                    FaultKind::Panic,
+                    Trigger::OnceForKeys([1u64].into()),
+                )
+                .arm();
+            let detector = BatchDetector::new(&profile)
+                .with_threads(threads)
+                .with_faults(&injector)
+                .with_audit(audit);
+            let reports = detector.detect_sessions(&sessions, &batch);
+            assert_eq!(reports[1].status, TraceStatus::Recovered(1));
+            let got: Vec<(u64, String, String)> = sink
+                .records()
+                .iter()
+                .map(|r| (r.seq, r.session.clone(), r.flag.clone()))
+                .collect();
+            // 4 alarms total, audited in input order with the log's
+            // monotonic sequence: 0..4.
+            assert_eq!(got.len(), 4, "{threads} threads");
+            for (i, (seq, _, _)) in got.iter().enumerate() {
+                assert_eq!(*seq, i as u64, "{threads} threads");
+            }
+            assert_eq!(
+                got.iter().map(|(_, s, _)| s.as_str()).collect::<Vec<_>>(),
+                vec!["s-0", "s-1", "s-2", "s-2"],
+                "{threads} threads"
+            );
+            match &baseline {
+                None => baseline = Some(got),
+                Some(b) => assert_eq!(b, &got, "{threads} threads"),
+            }
+        }
     }
 
     #[test]
@@ -1007,6 +977,11 @@ mod tests {
             .with_health(health.clone());
         assert_eq!(detector.kernel_label(), "dense", "downgraded");
         assert!(detector.kernel_fallback().unwrap().contains("sparse"));
+        // The unified status carries requested vs effective explicitly.
+        let status = detector.kernel_status();
+        assert_eq!(status.requested, "sparse");
+        assert_eq!(status.effective, "dense");
+        assert!(status.fell_back());
 
         // Degraded mode is bit-identical to an explicit dense run.
         let dense = BatchDetector::new(&profile).detect_batch(&batch);

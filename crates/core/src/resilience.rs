@@ -47,6 +47,13 @@ pub mod sites {
     /// Fail an audit/profile write with an I/O error (keyed by write
     /// ordinal, via [`FaultyWriter`](super::FaultyWriter)).
     pub const AUDIT_IO: &str = "audit.io_error";
+    /// Panic a [`MonitorRuntime`](crate::runtime::MonitorRuntime) session
+    /// worker mid-flush — exercises hot-swap-while-scoring (keyed by the
+    /// session's arrival index).
+    pub const MONITOR_SWAP: &str = "monitor.swap_mid_stream";
+    /// Force-evict the keyed session from the runtime's session table, as
+    /// if table pressure had reclaimed it (keyed by arrival index).
+    pub const MONITOR_PRESSURE: &str = "monitor.session_pressure";
 }
 
 /// What a fail point does when it fires.
@@ -68,6 +75,9 @@ pub enum FaultKind {
     TruncateTrace,
     /// Swap the keyed trace's first two events.
     ReorderEvents,
+    /// Evict the keyed session from the runtime's session table (as table
+    /// pressure would), forcing it to finish early.
+    EvictSession,
 }
 
 /// When a fail point fires.

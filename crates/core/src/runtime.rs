@@ -1,0 +1,1087 @@
+//! Layer 3 of the detection stack: the session-multiplexed monitor.
+//!
+//! One deployed monitor watches many applications at once. Their
+//! collectors feed a single interleaved stream of
+//! [`TaggedCall`]s — `(app, session, event)` — and [`MonitorRuntime`]
+//! demultiplexes it into per-session [`SessionScorer`]s, resolving each
+//! session's profile through the [`ProfileRegistry`] (Layer 2) and scoring
+//! through the shared [`WindowScorer`] core (Layer 1).
+//!
+//! Guarantees, in decreasing order of importance:
+//!
+//! * **Interleaving-independence.** A session's alerts depend only on its
+//!   own events, in its own order — any interleaving of the stream yields
+//!   the alerts of scanning the de-interleaved trace with
+//!   [`DetectionEngine::scan`](crate::detect::DetectionEngine) (exact
+//!   mode) or `scan_incremental` (incremental mode), bit for bit.
+//! * **Epoch pinning.** A session scores every window against the profile
+//!   epoch that was current at its first event. A mid-stream hot-swap
+//!   ([`ProfileRegistry::register`]) affects only sessions opened after
+//!   it; `monitor.epoch_pins` counts events that kept scoring on a
+//!   superseded epoch.
+//! * **Determinism.** Reports come back in session arrival order, audit
+//!   records are written serially at deterministic stream positions, and
+//!   eviction decisions depend on logical event ticks — never on thread
+//!   count, wall-clock time, or scheduling. Worker panics are caught and
+//!   retried per session batch; a retried panic cannot duplicate audit
+//!   records (writes happen only at serial commit).
+//! * **Bounded memory.** The session table holds at most
+//!   [`RuntimeConfig::max_sessions`] live sessions (admitting a new one
+//!   evicts the least-recently-active) and at most
+//!   [`RuntimeConfig::queue_capacity`] buffered events (hitting the bound
+//!   flushes the scoring pool — backpressure, not growth). Sessions idle
+//!   for [`RuntimeConfig::idle_timeout`] ticks are finalized at flush
+//!   boundaries.
+
+use crate::detect::{Alert, Flag};
+use crate::parallel::panic_message;
+use crate::registry::ProfileRegistry;
+use crate::resilience::{sites, FailPoint, FaultInjector, FaultKind, RetryPolicy};
+use crate::scorer::{KernelStatus, ScoringMode, SessionScorer, WindowEvent, WindowScorer};
+use crate::telemetry::{audit_record_from_alert, DetectMetrics, MonitorMetrics, ResilienceMetrics};
+use adprom_obs::{AuditLog, Registry};
+use adprom_trace::TaggedCall;
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// FNV-1a for the live-session index: two short-string lookups per
+/// ingested event, where SipHash's per-hash setup dominates. Collision
+/// quality is irrelevant at this scale (hundreds of live sessions).
+#[derive(Debug)]
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv>>;
+
+/// What replaying one session's buffered batch produced: the advanced
+/// scorer state plus its window alerts, or the (caught) panic message.
+type ReplayOutcome = Result<(SessionScorer, Vec<Alert>), String>;
+
+/// Knobs of the [`MonitorRuntime`]. Defaults suit tests and moderate
+/// deployments; production monitors size `max_sessions` to their memory
+/// budget and `queue_capacity` to their flush latency target.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// How per-session windows are scored (exact π-anchored recompute, or
+    /// the incremental sliding recurrence).
+    pub mode: ScoringMode,
+    /// Live-session bound; admitting a session beyond it evicts the
+    /// least-recently-active one (`0` = unbounded).
+    pub max_sessions: usize,
+    /// Sessions with no event for this many ingested-event ticks are
+    /// finalized at the next flush boundary (`0` = never).
+    pub idle_timeout: u64,
+    /// Buffered-event bound; reaching it triggers a flush through the
+    /// scoring pool (`0` = flush only on [`MonitorRuntime::flush`] /
+    /// [`MonitorRuntime::finish`]).
+    pub queue_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            mode: ScoringMode::ExactWindows,
+            max_sessions: 4096,
+            idle_timeout: 0,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Why a session's report was closed out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// Closed by [`MonitorRuntime::finish`] — the stream ended.
+    Finished,
+    /// Finalized by the idle timeout.
+    IdleEvicted,
+    /// Finalized to admit another session (capacity bound, or an injected
+    /// session-table-pressure fault).
+    PressureEvicted,
+    /// Scoring failed every retry; the session carries the alerts
+    /// committed before the failure.
+    Failed(String),
+}
+
+/// The monitoring outcome of one session: identity, the profile epoch it
+/// was pinned to, its alerts, and how it ended. [`MonitorRuntime::finish`]
+/// returns reports in session arrival order.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Application id.
+    pub app: String,
+    /// Session id (unique within the app while live; a session reopened
+    /// after eviction produces a second report).
+    pub session: String,
+    /// Arrival index: the order sessions first appeared on the stream.
+    pub arrival: usize,
+    /// The profile epoch every window of this session was scored against.
+    pub epoch: u64,
+    /// Requested/effective kernel of that epoch.
+    pub kernel: KernelStatus,
+    /// Events this session contributed to the stream.
+    pub events: usize,
+    /// One alert per scored window, in window order.
+    pub alerts: Vec<Alert>,
+    /// Highest-severity flag across the alerts.
+    pub verdict: Flag,
+    /// How the session closed.
+    pub end: SessionEnd,
+}
+
+impl SessionReport {
+    /// The non-Normal alerts.
+    pub fn alarms(&self) -> impl Iterator<Item = &Alert> {
+        self.alerts.iter().filter(|a| a.is_alarm())
+    }
+}
+
+/// Per-session state while the session is live (and its report material
+/// after it closes). Slots are append-only — `arrival` indexes into the
+/// runtime's slot table forever, which is what keeps fail-point keys and
+/// report order stable under eviction.
+#[derive(Debug)]
+struct SessionSlot {
+    app: String,
+    session: String,
+    arrival: usize,
+    epoch: u64,
+    /// Epoch-shared scorer (profile + CSR via `Arc`; audit deliberately
+    /// unset — the runtime audits serially at commit).
+    scorer: WindowScorer,
+    state: SessionScorer,
+    /// Events buffered since the last flush, digested at ingest against
+    /// the pinned epoch's profile (clones are `Arc` bumps, so a retried
+    /// replay re-reads them for free).
+    pending: Vec<WindowEvent>,
+    alerts: Vec<Alert>,
+    events: usize,
+    last_touch: u64,
+    end: Option<SessionEnd>,
+}
+
+/// The session-multiplexed monitor. Feed it an interleaved stream with
+/// [`MonitorRuntime::ingest`] / [`MonitorRuntime::ingest_stream`], then
+/// collect per-session reports with [`MonitorRuntime::finish`].
+#[derive(Debug)]
+pub struct MonitorRuntime {
+    profiles: Arc<ProfileRegistry>,
+    config: RuntimeConfig,
+    slots: Vec<SessionSlot>,
+    /// app → session → slot index, live sessions only. Nested so the
+    /// per-event lookup borrows `&str` keys and never allocates.
+    live: FnvMap<String, FnvMap<String, usize>>,
+    /// `(app, epoch)` → prototype scorer; sessions clone it (Arc bumps).
+    scorers: HashMap<(String, u64), WindowScorer>,
+    /// Logical clock: events ingested so far.
+    tick: u64,
+    /// Buffered events across all live sessions.
+    pending_total: usize,
+    metrics: MonitorMetrics,
+    detect_metrics: DetectMetrics,
+    res_metrics: ResilienceMetrics,
+    audit: Option<Arc<AuditLog>>,
+    pool: Option<ThreadPool>,
+    retry: RetryPolicy,
+    /// Fail point `monitor.swap_mid_stream`: panic a flush worker, keyed
+    /// by session arrival — proves a retry keeps scoring on the pinned
+    /// epoch.
+    fault_swap: FailPoint,
+    /// Fail point `monitor.session_pressure`: force-evict the LRU session,
+    /// keyed by ingest tick — simulates the capacity bound biting.
+    fault_pressure: FailPoint,
+}
+
+impl MonitorRuntime {
+    /// A runtime resolving profiles through `profiles`, with the default
+    /// [`RuntimeConfig`].
+    pub fn new(profiles: Arc<ProfileRegistry>) -> MonitorRuntime {
+        MonitorRuntime {
+            profiles,
+            config: RuntimeConfig::default(),
+            slots: Vec::new(),
+            live: FnvMap::default(),
+            scorers: HashMap::new(),
+            tick: 0,
+            pending_total: 0,
+            metrics: MonitorMetrics::disabled(),
+            detect_metrics: DetectMetrics::disabled(),
+            res_metrics: ResilienceMetrics::disabled(),
+            audit: None,
+            pool: None,
+            retry: RetryPolicy::default(),
+            fault_swap: FailPoint::disabled(),
+            fault_pressure: FailPoint::disabled(),
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: RuntimeConfig) -> MonitorRuntime {
+        self.config = config;
+        self
+    }
+
+    /// Registers metric handles (`monitor.*`, the per-window `detect.*`
+    /// family, and `resilience.*`) against `registry`.
+    pub fn with_registry(mut self, registry: &Registry) -> MonitorRuntime {
+        self.metrics = MonitorMetrics::from_registry(registry);
+        self.detect_metrics = DetectMetrics::from_registry(registry);
+        self.res_metrics = ResilienceMetrics::from_registry(registry);
+        self
+    }
+
+    /// Routes every alarm to `audit`, each record stamped with the
+    /// session's app id and pinned profile epoch. Records are written
+    /// serially at commit points, so sequence numbers are deterministic at
+    /// any thread count and under retry.
+    pub fn with_audit(mut self, audit: Arc<AuditLog>) -> MonitorRuntime {
+        self.audit = Some(audit);
+        self
+    }
+
+    /// Sizes the runtime's own rayon pool to exactly `threads` workers
+    /// (`0` restores the process default).
+    pub fn with_threads(mut self, threads: usize) -> MonitorRuntime {
+        self.pool = (threads > 0).then(|| {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool builds")
+        });
+        self
+    }
+
+    /// Replaces the per-session-batch retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> MonitorRuntime {
+        self.retry = retry;
+        self
+    }
+
+    /// Arms the runtime's fail points from an injector
+    /// ([`sites::MONITOR_SWAP`], [`sites::MONITOR_PRESSURE`]).
+    pub fn with_faults(mut self, injector: &FaultInjector) -> MonitorRuntime {
+        self.fault_swap = injector.point(sites::MONITOR_SWAP);
+        self.fault_pressure = injector.point(sites::MONITOR_PRESSURE);
+        self
+    }
+
+    /// Live sessions currently in the table.
+    pub fn sessions_active(&self) -> usize {
+        self.live.values().map(HashMap::len).sum()
+    }
+
+    /// Events buffered and not yet flushed through the scoring pool.
+    pub fn pending(&self) -> usize {
+        self.pending_total
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Ingests one tagged event. Serial by design: admission, eviction,
+    /// and backpressure decisions happen here, on the logical event clock,
+    /// so they replay identically at any thread count.
+    pub fn ingest(&mut self, tagged: &TaggedCall) {
+        self.metrics.events.inc();
+        self.ingest_inner(tagged);
+        self.metrics.queue_depth.set(self.pending_total as i64);
+    }
+
+    /// The per-event hot path, with counter/gauge updates hoisted out so
+    /// [`MonitorRuntime::ingest_stream`] pays for them once per stream
+    /// rather than once per event.
+    fn ingest_inner(&mut self, tagged: &TaggedCall) {
+        self.tick += 1;
+        if matches!(
+            self.fault_pressure.fire(self.tick),
+            Some(FaultKind::EvictSession)
+        ) {
+            if let Some(victim) = self.lru_candidate() {
+                self.evict(victim, SessionEnd::PressureEvicted);
+            }
+        }
+        let idx = match self
+            .live
+            .get(tagged.app.as_str())
+            .and_then(|sessions| sessions.get(tagged.session.as_str()))
+        {
+            Some(&idx) => idx,
+            None => match self.open_session(&tagged.app, &tagged.session) {
+                Some(idx) => idx,
+                None => {
+                    // No profile registered for this app: the event cannot
+                    // be scored. Drop it, visibly.
+                    self.metrics.unknown_app.inc();
+                    return;
+                }
+            },
+        };
+        let slot = &mut self.slots[idx];
+        slot.pending.push(slot.scorer.digest(&tagged.event));
+        slot.events += 1;
+        slot.last_touch = self.tick;
+        self.pending_total += 1;
+        if self.config.queue_capacity > 0 && self.pending_total >= self.config.queue_capacity {
+            self.flush();
+        }
+    }
+
+    /// Ingests a whole stream in order. Equivalent to calling
+    /// [`MonitorRuntime::ingest`] per event, but the `monitor.events`
+    /// counter and queue-depth gauge settle once at the end of the
+    /// stream instead of ticking per event.
+    pub fn ingest_stream(&mut self, stream: &[TaggedCall]) {
+        self.metrics.events.add(stream.len() as u64);
+        for tagged in stream {
+            self.ingest_inner(tagged);
+        }
+        self.metrics.queue_depth.set(self.pending_total as i64);
+    }
+
+    /// Scores every buffered event: idle sessions are finalized first,
+    /// then the remaining per-session batches replay across the pool
+    /// (each into a clone of its session state, committed serially in
+    /// arrival order on success — a retried panic never double-pushes and
+    /// never reorders the audit log).
+    pub fn flush(&mut self) {
+        if self.config.idle_timeout > 0 {
+            let mut idle: Vec<usize> = self
+                .live
+                .values()
+                .flat_map(HashMap::values)
+                .copied()
+                .filter(|&i| {
+                    self.tick.saturating_sub(self.slots[i].last_touch) >= self.config.idle_timeout
+                })
+                .collect();
+            idle.sort_unstable();
+            for idx in idle {
+                self.evict(idx, SessionEnd::IdleEvicted);
+            }
+        }
+        let mut work: Vec<usize> = self
+            .live
+            .values()
+            .flat_map(HashMap::values)
+            .copied()
+            .filter(|&i| !self.slots[i].pending.is_empty())
+            .collect();
+        work.sort_unstable();
+        if work.is_empty() {
+            return;
+        }
+        self.metrics.flushes.inc();
+        // One registry read per app per flush, not per session.
+        let mut epochs: HashMap<&str, u64> = HashMap::new();
+        for &idx in &work {
+            let slot = &self.slots[idx];
+            let current = *epochs.entry(slot.app.as_str()).or_insert_with(|| {
+                self.profiles
+                    .current(&slot.app)
+                    .map(|e| e.epoch())
+                    .unwrap_or(0)
+            });
+            if current > slot.epoch {
+                self.metrics.epoch_pins.add(slot.pending.len() as u64);
+            }
+        }
+        let this = &*self;
+        // A one-worker pool (or a single batch) gains nothing from the
+        // rayon round-trip; replay inline and skip the cross-thread hop.
+        let single = work.len() == 1
+            || match &self.pool {
+                Some(pool) => pool.current_num_threads() <= 1,
+                None => rayon::current_num_threads() <= 1,
+            };
+        let outcomes: Vec<(usize, ReplayOutcome)> = if single {
+            work.iter()
+                .map(|&idx| (idx, this.replay_guarded(idx)))
+                .collect()
+        } else {
+            this.run(|| {
+                work.par_iter()
+                    .map(|&idx| (idx, this.replay_guarded(idx)))
+                    .collect()
+            })
+        };
+        // Commit serially, in arrival order (`work` is sorted and the
+        // pipeline preserves it).
+        for (idx, outcome) in outcomes {
+            self.commit(idx, outcome);
+        }
+        self.metrics.queue_depth.set(self.pending_total as i64);
+    }
+
+    /// Closes the stream: flushes everything buffered, finalizes every
+    /// live session, and returns one report per session slot, in arrival
+    /// order — evicted and failed sessions included, with their `end`
+    /// reason.
+    pub fn finish(mut self) -> Vec<SessionReport> {
+        self.flush();
+        let mut live: Vec<usize> = self
+            .live
+            .values()
+            .flat_map(HashMap::values)
+            .copied()
+            .collect();
+        live.sort_unstable();
+        for idx in live {
+            if self.slots[idx].end.is_none() {
+                self.close_slot(idx, SessionEnd::Finished);
+            }
+        }
+        self.metrics.queue_depth.set(0);
+        self.slots
+            .into_iter()
+            .map(|slot| {
+                let verdict = slot
+                    .alerts
+                    .iter()
+                    .map(|a| a.flag)
+                    .max()
+                    .unwrap_or(Flag::Normal);
+                SessionReport {
+                    app: slot.app,
+                    session: slot.session,
+                    arrival: slot.arrival,
+                    epoch: slot.epoch,
+                    kernel: slot.scorer.status().clone(),
+                    events: slot.events,
+                    alerts: slot.alerts,
+                    verdict,
+                    end: slot.end.unwrap_or(SessionEnd::Finished),
+                }
+            })
+            .collect()
+    }
+
+    /// Admits a session: resolves the app's current epoch (pinning it),
+    /// evicting the LRU session first if the table is full. `None` when
+    /// the app has no registered profile.
+    fn open_session(&mut self, app: &str, session: &str) -> Option<usize> {
+        let epoch = self.profiles.current(app)?;
+        if self.config.max_sessions > 0 && self.sessions_active() >= self.config.max_sessions {
+            if let Some(victim) = self.lru_candidate() {
+                self.evict(victim, SessionEnd::PressureEvicted);
+            }
+        }
+        let scorer = self
+            .scorers
+            .entry((app.to_string(), epoch.epoch()))
+            .or_insert_with(|| epoch.scorer().with_metrics(self.detect_metrics.clone()))
+            .clone();
+        let state = SessionScorer::new(&scorer, self.config.mode);
+        let arrival = self.slots.len();
+        self.slots.push(SessionSlot {
+            app: app.to_string(),
+            session: session.to_string(),
+            arrival,
+            epoch: epoch.epoch(),
+            scorer,
+            state,
+            pending: Vec::new(),
+            alerts: Vec::new(),
+            events: 0,
+            last_touch: self.tick,
+            end: None,
+        });
+        self.live
+            .entry(app.to_string())
+            .or_default()
+            .insert(session.to_string(), arrival);
+        self.metrics.sessions_opened.inc();
+        self.metrics
+            .sessions_active
+            .set(self.sessions_active() as i64);
+        Some(arrival)
+    }
+
+    /// The least-recently-active live session (ties broken by arrival).
+    fn lru_candidate(&self) -> Option<usize> {
+        self.live
+            .values()
+            .flat_map(HashMap::values)
+            .copied()
+            .min_by_key(|&i| (self.slots[i].last_touch, self.slots[i].arrival))
+    }
+
+    /// Evicts one session: its buffered events are scored (serially —
+    /// evictions happen at deterministic stream positions) and the session
+    /// is finalized with `end`.
+    fn evict(&mut self, idx: usize, end: SessionEnd) {
+        if !self.slots[idx].pending.is_empty() {
+            let outcome = self.replay_guarded(idx);
+            self.commit(idx, outcome);
+        }
+        if self.slots[idx].end.is_none() {
+            self.close_slot(idx, end);
+        }
+    }
+
+    /// Replays one session's pending batch into a clone of its state,
+    /// under panic isolation and bounded retry (keyed by arrival index, so
+    /// an injected fault schedule replays identically at any thread
+    /// count). Returns the advanced state and the windows it emitted.
+    fn replay_guarded(&self, idx: usize) -> ReplayOutcome {
+        let slot = &self.slots[idx];
+        let mut attempts = 0u32;
+        loop {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if matches!(
+                    self.fault_swap.fire(slot.arrival as u64),
+                    Some(FaultKind::Panic)
+                ) {
+                    panic!(
+                        "fault-injected panic at {} (session `{}`, arrival {})",
+                        sites::MONITOR_SWAP,
+                        slot.session,
+                        slot.arrival
+                    );
+                }
+                let mut state = slot.state.clone();
+                let mut alerts = Vec::with_capacity(slot.pending.len());
+                state.push_facts(&slot.scorer, &slot.pending, &slot.session, &mut alerts);
+                (state, alerts)
+            }));
+            match outcome {
+                Ok(done) => {
+                    if attempts > 0 {
+                        self.res_metrics.traces_recovered.inc();
+                        if let Some(health) = self.profiles.health(&slot.app) {
+                            health.degrade(&format!(
+                                "session `{}` recovered after {attempts} retr{}",
+                                slot.session,
+                                if attempts == 1 { "y" } else { "ies" }
+                            ));
+                        }
+                    }
+                    return Ok(done);
+                }
+                Err(payload) => {
+                    self.res_metrics.worker_panics.inc();
+                    let message = panic_message(payload.as_ref());
+                    if attempts >= self.retry.max_retries {
+                        self.res_metrics.traces_failed.inc();
+                        return Err(message);
+                    }
+                    attempts += 1;
+                    self.res_metrics.trace_retries.inc();
+                    let backoff = self.retry.backoff * 2u32.saturating_pow(attempts - 1);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies one replay outcome: on success the advanced state replaces
+    /// the slot's, its alerts are recorded (and audited, serially, here —
+    /// never inside a worker); on failure the session closes as `Failed`
+    /// and its app's health goes to Failed.
+    fn commit(&mut self, idx: usize, outcome: ReplayOutcome) {
+        match outcome {
+            Ok((state, alerts)) => {
+                for alert in &alerts {
+                    self.audit_alarm(idx, alert);
+                }
+                let slot = &mut self.slots[idx];
+                self.pending_total -= slot.pending.len();
+                slot.pending.clear();
+                slot.state = state;
+                slot.alerts.extend(alerts);
+            }
+            Err(message) => {
+                let slot = &mut self.slots[idx];
+                self.pending_total -= slot.pending.len();
+                slot.pending.clear();
+                if let Some(health) = self.profiles.health(&slot.app) {
+                    health.fail(&format!(
+                        "session `{}` unrecoverable: {message}",
+                        slot.session
+                    ));
+                }
+                self.close_slot(idx, SessionEnd::Failed(message));
+            }
+        }
+    }
+
+    /// Finalizes a session (emitting the short window of a trace that
+    /// never filled one, except after a failure) and removes it from the
+    /// live table.
+    fn close_slot(&mut self, idx: usize, end: SessionEnd) {
+        if !matches!(end, SessionEnd::Failed(_)) {
+            let finale = {
+                let slot = &mut self.slots[idx];
+                let scorer = slot.scorer.clone();
+                let session = slot.session.clone();
+                slot.state.finalize(&scorer, &session)
+            };
+            if let Some(alert) = finale {
+                self.audit_alarm(idx, &alert);
+                self.slots[idx].alerts.push(alert);
+            }
+        }
+        self.slots[idx].end = Some(end.clone());
+        let slot = &self.slots[idx];
+        let emptied = match self.live.get_mut(slot.app.as_str()) {
+            Some(sessions) => {
+                sessions.remove(slot.session.as_str());
+                sessions.is_empty()
+            }
+            None => false,
+        };
+        if emptied {
+            self.live.remove(slot.app.as_str());
+        }
+        match end {
+            SessionEnd::Finished => self.metrics.sessions_finished.inc(),
+            SessionEnd::IdleEvicted => self.metrics.evictions_idle.inc(),
+            SessionEnd::PressureEvicted => self.metrics.evictions_lru.inc(),
+            SessionEnd::Failed(_) => {}
+        }
+        self.metrics
+            .sessions_active
+            .set(self.sessions_active() as i64);
+    }
+
+    /// Writes one alarm to the audit log, stamped with the session's app
+    /// id and pinned epoch.
+    fn audit_alarm(&self, idx: usize, alert: &Alert) {
+        let Some(audit) = &self.audit else {
+            return;
+        };
+        if !alert.is_alarm() {
+            return;
+        }
+        let slot = &self.slots[idx];
+        let mut record =
+            audit_record_from_alert(alert, &slot.session, &slot.scorer.status().effective);
+        record.app = slot.app.clone();
+        record.epoch = slot.epoch;
+        audit.record(record);
+    }
+
+    /// Runs `op` inside the explicit pool when one is configured.
+    fn run<R>(&self, op: impl FnOnce() -> R) -> R {
+        match &self.pool {
+            Some(pool) => pool.install(op),
+            None => op(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::detect::KernelConfig;
+    use crate::profile::Profile;
+    use crate::resilience::{FaultPlan, Health, Trigger};
+    use adprom_hmm::Hmm;
+    use adprom_lang::{CallSiteId, LibCall};
+    use adprom_trace::{interleave, CallEvent};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn quiet_injected_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.contains("fault-injected"));
+                if !injected {
+                    default(info);
+                }
+            }));
+        });
+    }
+
+    fn event(name: &str, caller: &str) -> CallEvent {
+        CallEvent {
+            name: name.to_string(),
+            call: LibCall::Printf,
+            caller: caller.to_string(),
+            site: CallSiteId(0),
+            detail: None,
+        }
+    }
+
+    fn cyclic_profile(app: &str, threshold: f64) -> Profile {
+        let alphabet = Alphabet::new(vec!["a".to_string(), "b".to_string(), "c_Q7".to_string()]);
+        let m = alphabet.len();
+        let mut a = vec![vec![0.001; m]; m];
+        a[0][1] = 1.0;
+        a[1][2] = 1.0;
+        a[2][0] = 1.0;
+        a[3][3] = 1.0;
+        let mut b = vec![vec![0.001; m]; m];
+        for (i, row) in b.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        let pi = vec![1.0; m];
+        let mut hmm = Hmm::from_rows(a, b, pi);
+        hmm.smooth(1e-4);
+        let mut call_callers: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for name in ["a", "b", "c_Q7"] {
+            call_callers
+                .entry(name.to_string())
+                .or_default()
+                .insert("main".to_string());
+        }
+        Profile {
+            app_name: app.into(),
+            alphabet,
+            hmm,
+            window: 3,
+            threshold,
+            call_callers,
+            labeled_outputs: vec!["c_Q7".to_string()],
+        }
+    }
+
+    fn trace_of(names: &[&str]) -> Vec<CallEvent> {
+        names.iter().map(|n| event(n, "main")).collect()
+    }
+
+    fn two_app_registry() -> Arc<ProfileRegistry> {
+        let registry = ProfileRegistry::new();
+        registry
+            .register("bank", cyclic_profile("bank", -5.0))
+            .unwrap();
+        registry
+            .register("shop", cyclic_profile("shop", -1.0))
+            .unwrap();
+        Arc::new(registry)
+    }
+
+    fn demo_sessions() -> Vec<(String, String, Vec<CallEvent>)> {
+        vec![
+            (
+                "bank".into(),
+                "s-0".into(),
+                trace_of(&["a", "b", "c_Q7", "a", "b", "c_Q7"]),
+            ),
+            (
+                "bank".into(),
+                "s-1".into(),
+                trace_of(&["a", "evil_exfil", "c_Q7"]),
+            ),
+            ("shop".into(), "s-0".into(), trace_of(&["b", "a", "a", "b"])),
+            ("shop".into(), "s-7".into(), trace_of(&["a", "b"])),
+        ]
+    }
+
+    #[test]
+    fn interleaved_stream_matches_isolated_engine_scans() {
+        let profiles = two_app_registry();
+        let sessions = demo_sessions();
+        let stream = interleave(&sessions, 0xFEED);
+        for mode in [ScoringMode::ExactWindows, ScoringMode::Incremental] {
+            let mut runtime =
+                MonitorRuntime::new(Arc::clone(&profiles)).with_config(RuntimeConfig {
+                    mode,
+                    ..RuntimeConfig::default()
+                });
+            runtime.ingest_stream(&stream);
+            let reports = runtime.finish();
+            assert_eq!(reports.len(), sessions.len());
+            for report in &reports {
+                let (_, _, trace) = sessions
+                    .iter()
+                    .find(|(app, session, _)| *app == report.app && *session == report.session)
+                    .expect("known session");
+                let scorer = profiles.scorer(&report.app).unwrap();
+                let expected = match mode {
+                    ScoringMode::ExactWindows => scorer.scan(trace, &report.session),
+                    ScoringMode::Incremental => scorer.scan_incremental(trace, &report.session).0,
+                };
+                assert_eq!(
+                    format!("{:?}", report.alerts),
+                    format!("{expected:?}"),
+                    "{}/{} ({mode:?})",
+                    report.app,
+                    report.session
+                );
+                assert_eq!(report.end, SessionEnd::Finished);
+                assert_eq!(report.events, trace.len());
+            }
+            // Arrival order is first-appearance order on the stream.
+            let mut seen = std::collections::HashSet::new();
+            let first_appearance: Vec<(String, String)> = stream
+                .iter()
+                .filter(|t| seen.insert((t.app.clone(), t.session.clone())))
+                .map(|t| (t.app.clone(), t.session.clone()))
+                .collect();
+            let report_order: Vec<(String, String)> = reports
+                .iter()
+                .map(|r| (r.app.clone(), r.session.clone()))
+                .collect();
+            assert_eq!(report_order, first_appearance);
+        }
+    }
+
+    #[test]
+    fn hot_swap_mid_stream_pins_inflight_sessions() {
+        let obs = Registry::new();
+        let registry = ProfileRegistry::new();
+        registry
+            .register("bank", cyclic_profile("bank", -5.0))
+            .unwrap();
+        let profiles = Arc::new(registry);
+        let mut runtime = MonitorRuntime::new(Arc::clone(&profiles)).with_registry(&obs);
+
+        let tag = |session: &str, name: &str| TaggedCall {
+            app: "bank".into(),
+            session: session.into(),
+            event: event(name, "main"),
+        };
+        // s-old opens on epoch 1...
+        runtime.ingest(&tag("s-old", "a"));
+        runtime.ingest(&tag("s-old", "b"));
+        // ...the profile hot-swaps to a flag-everything threshold...
+        profiles
+            .register("bank", cyclic_profile("bank", 0.0))
+            .unwrap();
+        // ...s-old keeps streaming (still epoch 1), s-new opens on epoch 2.
+        runtime.ingest(&tag("s-old", "c_Q7"));
+        runtime.ingest(&tag("s-new", "a"));
+        runtime.ingest(&tag("s-new", "b"));
+        runtime.ingest(&tag("s-new", "c_Q7"));
+        let reports = runtime.finish();
+
+        assert_eq!(reports[0].session, "s-old");
+        assert_eq!(reports[0].epoch, 1);
+        assert_eq!(reports[1].session, "s-new");
+        assert_eq!(reports[1].epoch, 2);
+        // s-old scored on the old threshold: the cycle is normal. s-new on
+        // the new threshold: everything is flagged.
+        assert_eq!(reports[0].verdict, Flag::Normal);
+        assert_ne!(reports[1].verdict, Flag::Normal);
+        // All of s-old's events were buffered when the swap landed, so all
+        // of them count as epoch-pinned.
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("monitor.epoch_pins"), Some(3));
+        assert_eq!(snap.counter("monitor.sessions.opened"), Some(2));
+        assert_eq!(snap.gauge("monitor.queue.depth"), Some(0));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru_and_reopens_deterministically() {
+        let obs = Registry::new();
+        let profiles = two_app_registry();
+        let mut runtime = MonitorRuntime::new(profiles)
+            .with_registry(&obs)
+            .with_config(RuntimeConfig {
+                max_sessions: 1,
+                ..RuntimeConfig::default()
+            });
+        let tag = |session: &str, name: &str| TaggedCall {
+            app: "bank".into(),
+            session: session.into(),
+            event: event(name, "main"),
+        };
+        runtime.ingest(&tag("s-0", "a"));
+        runtime.ingest(&tag("s-0", "b"));
+        runtime.ingest(&tag("s-0", "c_Q7"));
+        // Admitting s-1 evicts s-0 (table holds one session).
+        runtime.ingest(&tag("s-1", "a"));
+        // s-0 returns: a fresh slot, evicting s-1 in turn.
+        runtime.ingest(&tag("s-0", "a"));
+        let reports = runtime.finish();
+
+        assert_eq!(reports.len(), 3);
+        assert_eq!(
+            (reports[0].session.as_str(), reports[0].end.clone()),
+            ("s-0", SessionEnd::PressureEvicted)
+        );
+        assert_eq!(reports[0].events, 3);
+        assert_eq!(
+            (reports[1].session.as_str(), reports[1].end.clone()),
+            ("s-1", SessionEnd::PressureEvicted)
+        );
+        assert_eq!(
+            (reports[2].session.as_str(), reports[2].end.clone()),
+            ("s-0", SessionEnd::Finished)
+        );
+        assert_eq!(reports[2].events, 1);
+        // The evicted full trace still scored: the cyclic window is one
+        // whole alert (window == trace length == 3).
+        assert_eq!(reports[0].alerts.len(), 1);
+        assert_eq!(obs.snapshot().counter("monitor.evictions.lru"), Some(2));
+    }
+
+    #[test]
+    fn idle_sessions_finalize_at_flush_boundaries() {
+        let obs = Registry::new();
+        let profiles = two_app_registry();
+        let mut runtime = MonitorRuntime::new(profiles)
+            .with_registry(&obs)
+            .with_config(RuntimeConfig {
+                idle_timeout: 3,
+                ..RuntimeConfig::default()
+            });
+        let tag = |session: &str, name: &str| TaggedCall {
+            app: "bank".into(),
+            session: session.into(),
+            event: event(name, "main"),
+        };
+        runtime.ingest(&tag("s-idle", "a"));
+        for _ in 0..4 {
+            runtime.ingest(&tag("s-busy", "a"));
+        }
+        runtime.flush();
+        assert_eq!(runtime.sessions_active(), 1, "idle session closed");
+        let reports = runtime.finish();
+        assert_eq!(reports[0].session, "s-idle");
+        assert_eq!(reports[0].end, SessionEnd::IdleEvicted);
+        // A short trace still emits its single short window at eviction.
+        assert_eq!(reports[0].alerts.len(), 1);
+        assert_eq!(reports[1].end, SessionEnd::Finished);
+        assert_eq!(obs.snapshot().counter("monitor.evictions.idle"), Some(1));
+    }
+
+    #[test]
+    fn unknown_app_events_are_dropped_and_counted() {
+        let obs = Registry::new();
+        let profiles = two_app_registry();
+        let mut runtime = MonitorRuntime::new(profiles).with_registry(&obs);
+        runtime.ingest(&TaggedCall {
+            app: "nobody".into(),
+            session: "s-0".into(),
+            event: event("a", "main"),
+        });
+        assert_eq!(runtime.sessions_active(), 0);
+        let reports = runtime.finish();
+        assert!(reports.is_empty());
+        assert_eq!(obs.snapshot().counter("monitor.unknown_app"), Some(1));
+    }
+
+    #[test]
+    fn pressure_fault_point_forces_deterministic_eviction() {
+        let profiles = two_app_registry();
+        let injector = FaultPlan::new(7)
+            .inject(
+                sites::MONITOR_PRESSURE,
+                FaultKind::EvictSession,
+                Trigger::OnceForKeys([3u64].into()),
+            )
+            .arm();
+        let mut runtime = MonitorRuntime::new(profiles).with_faults(&injector);
+        let tag = |session: &str, name: &str| TaggedCall {
+            app: "bank".into(),
+            session: session.into(),
+            event: event(name, "main"),
+        };
+        runtime.ingest(&tag("s-0", "a")); // tick 1
+        runtime.ingest(&tag("s-1", "a")); // tick 2
+        runtime.ingest(&tag("s-1", "b")); // tick 3: s-0 (LRU) force-evicted
+        let reports = runtime.finish();
+        assert_eq!(injector.injected(sites::MONITOR_PRESSURE), 1);
+        assert_eq!(reports[0].session, "s-0");
+        assert_eq!(reports[0].end, SessionEnd::PressureEvicted);
+        assert_eq!(reports[1].end, SessionEnd::Finished);
+    }
+
+    #[test]
+    fn swap_fault_panic_retries_on_the_pinned_epoch() {
+        quiet_injected_panics();
+        let obs = Registry::new();
+        let registry = ProfileRegistry::new().with_kernel(KernelConfig::Sparse {
+            sparse: adprom_hmm::SparseConfig::default(),
+        });
+        registry
+            .register("bank", cyclic_profile("bank", -5.0))
+            .unwrap();
+        let profiles = Arc::new(registry);
+        let injector = FaultPlan::new(11)
+            .inject(
+                sites::MONITOR_SWAP,
+                FaultKind::Panic,
+                Trigger::OnceForKeys([0u64].into()),
+            )
+            .arm();
+        let trace = trace_of(&["a", "b", "c_Q7", "a", "b", "c_Q7"]);
+        let mut runtime = MonitorRuntime::new(Arc::clone(&profiles))
+            .with_registry(&obs)
+            .with_faults(&injector);
+        for e in &trace {
+            runtime.ingest(&TaggedCall {
+                app: "bank".into(),
+                session: "s-0".into(),
+                event: e.clone(),
+            });
+        }
+        // Swap lands while s-0's batch is still buffered; the injected
+        // panic then kills the first flush attempt. The retry must score
+        // on epoch 1 — the pinned scorer — not re-resolve epoch 2.
+        profiles
+            .register("bank", cyclic_profile("bank", 0.0))
+            .unwrap();
+        let reports = runtime.finish();
+        assert_eq!(injector.injected(sites::MONITOR_SWAP), 1);
+        assert_eq!(reports[0].epoch, 1);
+        assert_eq!(reports[0].verdict, Flag::Normal, "epoch-1 threshold");
+        assert_eq!(reports[0].kernel.effective, "sparse");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("resilience.worker_panics"), Some(1));
+        assert_eq!(snap.counter("resilience.traces_recovered"), Some(1));
+        assert_eq!(profiles.health("bank").unwrap().state(), Health::Degraded);
+    }
+
+    #[test]
+    fn failed_session_closes_without_poisoning_the_stream() {
+        quiet_injected_panics();
+        let profiles = two_app_registry();
+        let injector = FaultPlan::new(13)
+            .inject(sites::MONITOR_SWAP, FaultKind::Panic, Trigger::Always)
+            .arm();
+        let mut runtime = MonitorRuntime::new(Arc::clone(&profiles))
+            .with_faults(&injector)
+            .with_retry(RetryPolicy {
+                max_retries: 1,
+                backoff: std::time::Duration::ZERO,
+                watchdog: None,
+            });
+        // Trigger::Always panics every flush attempt: retries cannot save
+        // this session.
+        runtime.ingest(&TaggedCall {
+            app: "bank".into(),
+            session: "s-dead".into(),
+            event: event("a", "main"),
+        });
+        let reports = runtime.finish();
+        assert!(matches!(reports[0].end, SessionEnd::Failed(_)));
+        assert!(reports[0].alerts.is_empty());
+        assert_eq!(reports[0].verdict, Flag::Normal);
+        assert_eq!(profiles.health("bank").unwrap().state(), Health::Failed);
+    }
+}

@@ -1,0 +1,966 @@
+//! Layer 1 of the detection stack: the kernel-agnostic window scorer.
+//!
+//! [`WindowScorer`] owns everything needed to turn call windows into
+//! [`Alert`]s — the `Arc`-shared [`Profile`], the resolved scoring kernel
+//! (dense / sparse CSR / beam), the detection threshold, metric handles,
+//! and an optional audit log. [`DetectionEngine`](crate::detect::DetectionEngine),
+//! [`OnlineDetector`](crate::detect::OnlineDetector), and
+//! [`BatchDetector`](crate::parallel::BatchDetector) are thin shells over
+//! it: every forward pass, every [`Flag::classify`] decision, and every
+//! metrics/audit observation in the crate funnels through this one type,
+//! so the three paths cannot drift apart.
+//!
+//! [`SessionScorer`] is the streaming counterpart: the per-session state a
+//! multiplexing runtime keeps while events arrive one at a time. It
+//! reproduces the batch scanners event-for-event — exact mode emits the
+//! same π-anchored window alerts as [`WindowScorer::scan`], incremental
+//! mode the same conditional [`SlidingState`] alerts as
+//! [`WindowScorer::scan_incremental`] — so de-interleaving a stream and
+//! scanning each session's trace in isolation is bit-identical to feeding
+//! the interleaved stream through per-session `SessionScorer`s.
+
+use crate::detect::{Alert, Flag, KernelConfig, KernelState};
+use crate::profile::Profile;
+use crate::telemetry::{audit_record_from_alert, DetectMetrics};
+use adprom_hmm::{forward_beam, log_likelihood, log_likelihood_sparse, SlidingState, SlidingStats};
+use adprom_obs::{AuditLog, Registry};
+use adprom_trace::CallEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How windows are scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringMode {
+    /// A full scaled-forward pass per window (exactly
+    /// [`WindowScorer::scan`]): output is byte-identical to the serial
+    /// engine loop.
+    #[default]
+    ExactWindows,
+    /// Incremental [`SlidingState`] scoring: one O(N²) update per event.
+    /// Deterministic, but windows are scored conditionally on session
+    /// history (see [`adprom_hmm::sliding`]).
+    Incremental,
+}
+
+/// Unified kernel reporting: which kernel was asked for, which is actually
+/// scoring, and why they differ (CSR validation refusing a corrupt model).
+/// One struct serves reports, metrics, health reasons, and the
+/// `bench_detect` JSON — replacing the old `kernel_label()` /
+/// `kernel_fallback()` split.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStatus {
+    /// The kernel the caller configured (`dense`, `sparse`, `beam`).
+    pub requested: String,
+    /// The kernel actually scoring windows. Differs from `requested` only
+    /// when validation forced a downgrade — and then it is always `dense`.
+    pub effective: String,
+    /// Why `effective != requested`, when it is (`None` while the
+    /// requested kernel is in force).
+    pub fallback_reason: Option<String>,
+}
+
+impl Default for KernelStatus {
+    fn default() -> KernelStatus {
+        KernelStatus::in_force("dense")
+    }
+}
+
+impl KernelStatus {
+    /// The requested kernel is the one scoring.
+    pub fn in_force(label: &str) -> KernelStatus {
+        KernelStatus {
+            requested: label.to_string(),
+            effective: label.to_string(),
+            fallback_reason: None,
+        }
+    }
+
+    /// The requested kernel was refused; `effective` (dense) scores
+    /// instead, for `reason`.
+    pub fn fallen_back(requested: &str, effective: &str, reason: String) -> KernelStatus {
+        KernelStatus {
+            requested: requested.to_string(),
+            effective: effective.to_string(),
+            fallback_reason: Some(reason),
+        }
+    }
+
+    /// True when the effective kernel differs from the requested one.
+    pub fn fell_back(&self) -> bool {
+        self.fallback_reason.is_some()
+    }
+}
+
+/// Human-readable explanation for an alert, from the window facts that
+/// decided its flag — `(name, caller)` of the first out-of-context event
+/// and the first DDG-labeled call name. Every scoring path shares this
+/// one function, so alert wording is identical everywhere.
+pub(crate) fn alert_detail(flag: Flag, ooc: Option<(&str, &str)>, leak: Option<&str>) -> String {
+    match flag {
+        Flag::OutOfContext => {
+            let (name, caller) = ooc.expect("flag requires an out-of-context event");
+            format!("call `{name}` issued by `{caller}`, which never issued it in training")
+        }
+        Flag::DataLeak => {
+            let leak = leak.expect("flag requires a labeled output");
+            format!(
+                "anomalous sequence contains labeled output `{leak}` \
+                 (block {}): targeted data from the DB reached an output statement",
+                leak.rsplit("_Q").next().unwrap_or("?")
+            )
+        }
+        Flag::Anomalous => "sequence probability below threshold".to_string(),
+        Flag::Normal => String::new(),
+    }
+}
+
+/// The single scoring core: profile + kernel + threshold + observation
+/// funnel. Cheap to clone — the profile, the CSR decomposition, and every
+/// metric handle are shared, so per-session or per-worker clones cost a
+/// handful of `Arc` bumps.
+#[derive(Debug, Clone)]
+pub struct WindowScorer {
+    profile: Arc<Profile>,
+    /// Active threshold (defaults to the profile's).
+    threshold: f64,
+    /// Scoring kernel resolved against the profile (dense by default).
+    kernel: KernelState,
+    /// Requested/effective kernel and the downgrade reason, if any.
+    status: KernelStatus,
+    /// Metric handles (no-ops unless a registry installed live ones).
+    metrics: DetectMetrics,
+    /// Audit log for non-Normal detections, if any. Paths that need
+    /// deterministic sequence numbers under parallelism (the batch
+    /// detector, the monitor runtime) leave this unset and audit
+    /// post-hoc in input order instead.
+    audit: Option<Arc<AuditLog>>,
+}
+
+impl WindowScorer {
+    /// Creates a scorer over a shared profile. Dense kernel,
+    /// instrumentation disabled.
+    pub fn new(profile: Arc<Profile>) -> WindowScorer {
+        let threshold = profile.threshold;
+        WindowScorer {
+            profile,
+            threshold,
+            kernel: KernelState::Dense,
+            status: KernelStatus::default(),
+            metrics: DetectMetrics::disabled(),
+            audit: None,
+        }
+    }
+
+    /// Selects the scoring kernel, building the CSR decomposition from the
+    /// profile when `config` needs one (unvalidated — the trusted-profile
+    /// path).
+    pub fn with_kernel(mut self, config: KernelConfig) -> WindowScorer {
+        self.kernel = KernelState::build(config, &self.profile);
+        self.status = KernelStatus::in_force(config.label());
+        self
+    }
+
+    /// Selects the scoring kernel with CSR validation: a profile whose
+    /// model fails validation (non-finite entries, rows drifted from
+    /// stochasticity) degrades to the dense kernel instead of scoring
+    /// through a corrupt decomposition. [`WindowScorer::status`] carries
+    /// the downgrade reason; since the sparse kernel was never built,
+    /// degraded output is bit-identical to a dense-kernel run.
+    pub fn with_kernel_validated(mut self, config: KernelConfig) -> WindowScorer {
+        match KernelState::build_validated(config, &self.profile) {
+            Ok(kernel) => {
+                self.kernel = kernel;
+                self.status = KernelStatus::in_force(config.label());
+            }
+            Err(reason) => {
+                self.kernel = KernelState::Dense;
+                self.status = KernelStatus::fallen_back(
+                    config.label(),
+                    "dense",
+                    format!(
+                        "{} kernel refused by CSR validation, using dense: {reason}",
+                        config.label()
+                    ),
+                );
+            }
+        }
+        self
+    }
+
+    /// Installs an already-resolved kernel with its status — how a
+    /// registry epoch shares one CSR matrix across every scorer built
+    /// from it.
+    pub(crate) fn with_kernel_state(
+        mut self,
+        kernel: KernelState,
+        status: KernelStatus,
+    ) -> WindowScorer {
+        self.kernel = kernel;
+        self.status = status;
+        self
+    }
+
+    /// Registers metric handles against `registry`.
+    pub fn with_registry(self, registry: &Registry) -> WindowScorer {
+        self.with_metrics(DetectMetrics::from_registry(registry))
+    }
+
+    /// Installs pre-fetched metric handles.
+    pub fn with_metrics(mut self, metrics: DetectMetrics) -> WindowScorer {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Routes every non-Normal detection through
+    /// [`WindowScorer::observe`] to `audit`.
+    pub fn with_audit(mut self, audit: Arc<AuditLog>) -> WindowScorer {
+        self.audit = Some(audit);
+        self
+    }
+
+    /// Overrides the detection threshold.
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold;
+    }
+
+    /// The active threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The shared profile.
+    pub fn profile(&self) -> &Arc<Profile> {
+        &self.profile
+    }
+
+    /// Requested/effective kernel and the downgrade reason, if any.
+    pub fn status(&self) -> &KernelStatus {
+        &self.status
+    }
+
+    /// The resolved kernel (shared CSR handle).
+    pub(crate) fn kernel(&self) -> &KernelState {
+        &self.kernel
+    }
+
+    /// The metric handles in force.
+    pub(crate) fn metrics(&self) -> &DetectMetrics {
+        &self.metrics
+    }
+
+    /// Digests one event against the profile — encoding, out-of-context
+    /// and labeled-output facts, computed exactly once per event.
+    pub(crate) fn digest(&self, event: &CallEvent) -> WindowEvent {
+        let alphabet = &self.profile.alphabet;
+        let ooc = self.profile.is_out_of_context(&event.name, &event.caller);
+        let encoded = alphabet.encode(&event.name);
+        // A name that mapped to `<unk>` without literally being `<unk>`
+        // is out-of-vocabulary: keep it so alerts show the real call.
+        let name = (encoded == alphabet.unknown() && event.name != alphabet.decode(encoded))
+            .then(|| Arc::<str>::from(event.name.as_str()));
+        WindowEvent {
+            name,
+            caller: if ooc {
+                event.caller.clone()
+            } else {
+                String::new()
+            },
+            encoded,
+            ooc,
+            labeled: event.name.contains("_Q"),
+        }
+    }
+
+    /// `log P(window | λ)` for a window of call names, computed by the
+    /// configured kernel. Beam-pruned scores are lower bounds; the worst
+    /// per-window gap feeds the `beam.gap_bound_micronats_max` gauge.
+    pub fn score(&self, names: &[String]) -> f64 {
+        let encoded = self.profile.alphabet.encode_seq(names);
+        self.score_encoded(&encoded)
+    }
+
+    /// [`WindowScorer::score`] for an already-encoded window — trace
+    /// scanners encode each trace once and score slices of it, so the
+    /// per-window cost is only the forward recursion itself.
+    fn score_encoded(&self, encoded: &[usize]) -> f64 {
+        match &self.kernel {
+            KernelState::Dense => log_likelihood(&self.profile.hmm, encoded),
+            KernelState::Sparse(sp) => log_likelihood_sparse(&self.profile.hmm, sp, encoded),
+            KernelState::Beam(sp, beam) => {
+                let run = forward_beam(&self.profile.hmm, sp, encoded, beam);
+                if run.pruned_states > 0 {
+                    self.metrics.beam_windows_pruned.inc();
+                }
+                // The gauge is integral micro-nats; an infinite bound
+                // (pruning starved the chain) saturates it.
+                self.metrics
+                    .beam_gap_bound_max
+                    .record_max(gap_micronats(run.gap_bound));
+                run.pass.log_likelihood
+            }
+        }
+    }
+
+    /// Classifies one window of events, stamping `session` on any audit
+    /// record it raises.
+    pub fn classify(&self, events: &[CallEvent], session: &str) -> Alert {
+        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
+        // Only read the clock when a live histogram will receive the
+        // sample — disabled instrumentation must not cost two syscalls
+        // per window.
+        let timer = self.metrics.score_ns.is_enabled().then(Instant::now);
+        let ll = self.score(&names);
+        if let Some(start) = timer {
+            self.metrics
+                .score_ns
+                .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        self.classify_scored(events, names, ll, session)
+    }
+
+    /// Classifies a window whose log-likelihood was computed externally —
+    /// the hook for reusing the flag logic with [`SlidingState`] scores
+    /// instead of a full per-window forward pass.
+    pub fn classify_with_ll(
+        &self,
+        events: &[CallEvent],
+        log_likelihood: f64,
+        session: &str,
+    ) -> Alert {
+        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
+        self.classify_scored(events, names, log_likelihood, session)
+    }
+
+    fn classify_scored(
+        &self,
+        events: &[CallEvent],
+        names: Vec<String>,
+        ll: f64,
+        session: &str,
+    ) -> Alert {
+        // Per-window facts first, then the shared precedence rule
+        // ([`Flag::classify`]) decides the flag.
+        let ooc = events
+            .iter()
+            .find(|e| self.profile.is_out_of_context(&e.name, &e.caller));
+        let leak = names.iter().find(|n| n.contains("_Q"));
+        let flag = Flag::classify(ll, self.threshold, leak.is_some(), ooc.is_some());
+        let detail = alert_detail(
+            flag,
+            ooc.map(|e| (e.name.as_str(), e.caller.as_str())),
+            leak.map(String::as_str),
+        );
+        self.observe(
+            Alert {
+                flag,
+                log_likelihood: ll,
+                threshold: self.threshold,
+                window: names,
+                detail,
+            },
+            session,
+        )
+    }
+
+    /// Feeds a finished alert through the instrumentation — the window
+    /// counter, its flag-kind counter, and (for non-Normal alerts) the
+    /// audit log — and returns it unchanged. Every classify path ends
+    /// here.
+    pub fn observe(&self, alert: Alert, session: &str) -> Alert {
+        self.metrics.windows_scored.inc();
+        self.metrics.flag_counter(alert.flag).inc();
+        if alert.is_alarm() {
+            // Attribute every flagged window to the kernel that scored it
+            // — beam scores are approximate, so forensics must be able to
+            // tell which path raised an alarm.
+            match &self.kernel {
+                KernelState::Dense => self.metrics.kernel_dense.inc(),
+                KernelState::Sparse(_) => self.metrics.kernel_sparse.inc(),
+                KernelState::Beam(..) => self.metrics.kernel_beam.inc(),
+            }
+            if let Some(audit) = &self.audit {
+                audit.record(audit_record_from_alert(
+                    &alert,
+                    session,
+                    &self.status.effective,
+                ));
+            }
+        }
+        alert
+    }
+
+    /// Scans a whole trace with sliding windows; returns one alert per
+    /// window.
+    ///
+    /// Per-trace facts are computed once up front — the symbol encoding,
+    /// out-of-context verdicts, and labeled-output (`_Q`) markers — so the
+    /// per-window work is one forward recursion plus the flag decision.
+    /// Alerts are identical to classifying each window independently.
+    pub fn scan(&self, events: &[CallEvent], session: &str) -> Vec<Alert> {
+        let n = self.profile.window;
+        if events.is_empty() {
+            return Vec::new();
+        }
+        if events.len() <= n {
+            return vec![self.classify(events, session)];
+        }
+        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
+        let encoded = self.profile.alphabet.encode_seq(&names);
+        let ooc: Vec<bool> = events
+            .iter()
+            .map(|e| self.profile.is_out_of_context(&e.name, &e.caller))
+            .collect();
+        let labeled: Vec<bool> = names.iter().map(|name| name.contains("_Q")).collect();
+        let mut alerts = Vec::with_capacity(events.len() - n + 1);
+        for start in 0..=events.len() - n {
+            let end = start + n;
+            let timer = self.metrics.score_ns.is_enabled().then(Instant::now);
+            let ll = self.score_encoded(&encoded[start..end]);
+            if let Some(t0) = timer {
+                self.metrics
+                    .score_ns
+                    .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+            let ooc_event = (start..end).find(|&t| ooc[t]).map(|t| &events[t]);
+            let leak_name = (start..end).find(|&t| labeled[t]).map(|t| &names[t]);
+            let flag = Flag::classify(ll, self.threshold, leak_name.is_some(), ooc_event.is_some());
+            let detail = alert_detail(
+                flag,
+                ooc_event.map(|e| (e.name.as_str(), e.caller.as_str())),
+                leak_name.map(String::as_str),
+            );
+            alerts.push(self.observe(
+                Alert {
+                    flag,
+                    log_likelihood: ll,
+                    threshold: self.threshold,
+                    window: names[start..end].to_vec(),
+                    detail,
+                },
+                session,
+            ));
+        }
+        alerts
+    }
+
+    /// Incremental scan: one sliding scorer per trace, one alert per
+    /// window, same window set as [`WindowScorer::scan`] but scored under
+    /// the conditional semantics of [`adprom_hmm::sliding`]. Returns the
+    /// sliding scorer's lifetime stats so callers can surface
+    /// `sliding.pushes` / `sliding.reanchors`.
+    pub fn scan_incremental(
+        &self,
+        events: &[CallEvent],
+        session: &str,
+    ) -> (Vec<Alert>, SlidingStats) {
+        let n = self.profile.window;
+        if events.is_empty() {
+            return (Vec::new(), SlidingStats::default());
+        }
+        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
+        let encoded = self.profile.alphabet.encode_seq(&names);
+        let out_of_context: Vec<bool> = events
+            .iter()
+            .map(|e| self.profile.is_out_of_context(&e.name, &e.caller))
+            .collect();
+        let labeled: Vec<bool> = names.iter().map(|name| name.contains("_Q")).collect();
+        // Prefix counts make "any flagged event in the window?" O(1).
+        let prefix = |flags: &[bool]| -> Vec<u32> {
+            let mut acc = Vec::with_capacity(flags.len() + 1);
+            acc.push(0u32);
+            for &f in flags {
+                acc.push(acc.last().unwrap() + u32::from(f));
+            }
+            acc
+        };
+        let ooc_prefix = prefix(&out_of_context);
+        let labeled_prefix = prefix(&labeled);
+
+        let mut sliding = SlidingState::new(self.profile.hmm.n_states(), n);
+        // The configured kernel carries into the per-event scorer: sparse
+        // propagation, plus per-step beam pruning for beam configs.
+        let kernel = match &self.kernel {
+            KernelState::Dense => None,
+            KernelState::Sparse(sp) => Some(sp.as_ref()),
+            KernelState::Beam(sp, beam) => {
+                sliding = sliding.with_beam(*beam);
+                Some(sp.as_ref())
+            }
+        };
+        let mut alerts = Vec::with_capacity(events.len().saturating_sub(n) + 1);
+        let mut emit = |start: usize, end: usize, ll: f64| {
+            // The shared precedence rule ([`Flag::classify`]), driven by
+            // the precomputed per-event facts.
+            let window = names[start..end].to_vec();
+            let ooc = (ooc_prefix[end] > ooc_prefix[start])
+                .then(|| (start..end).find(|&t| out_of_context[t]).expect("counted"));
+            let leak = (labeled_prefix[end] > labeled_prefix[start])
+                .then(|| (start..end).find(|&t| labeled[t]).expect("counted"));
+            let flag = Flag::classify(ll, self.threshold, leak.is_some(), ooc.is_some());
+            let detail = alert_detail(
+                flag,
+                ooc.map(|t| (events[t].name.as_str(), events[t].caller.as_str())),
+                leak.map(|t| names[t].as_str()),
+            );
+            alerts.push(self.observe(
+                Alert {
+                    flag,
+                    log_likelihood: ll,
+                    threshold: self.threshold,
+                    window,
+                    detail,
+                },
+                session,
+            ));
+        };
+
+        if events.len() <= n {
+            let mut score = 0.0;
+            for &symbol in &encoded {
+                score = sliding.push(&self.profile.hmm, kernel, symbol);
+            }
+            emit(0, events.len(), score);
+        } else {
+            for (t, &symbol) in encoded.iter().enumerate() {
+                let score = sliding.push(&self.profile.hmm, kernel, symbol);
+                if t + 1 >= n {
+                    emit(t + 1 - n, t + 1, score);
+                }
+            }
+        }
+        if matches!(self.kernel, KernelState::Beam(..)) {
+            // `gap_bound` bounds the score error of *every* window this
+            // trace produced, so it feeds the same running-max gauge the
+            // exact path uses.
+            self.metrics
+                .beam_gap_bound_max
+                .record_max(gap_micronats(sliding.gap_bound()));
+        }
+        (alerts, sliding.stats())
+    }
+
+    /// Highest-severity flag over a whole trace (severity order:
+    /// OutOfContext > DataLeak > Anomalous > Normal).
+    pub fn verdict(&self, events: &[CallEvent]) -> Flag {
+        self.scan(events, "")
+            .into_iter()
+            .map(|a| a.flag)
+            .max()
+            .unwrap_or(Flag::Normal)
+    }
+}
+
+/// Beam gap bound in integral micro-nats for the running-max gauge; an
+/// infinite bound (pruning starved the chain) saturates it.
+fn gap_micronats(bound: f64) -> i64 {
+    if bound.is_finite() {
+        (bound * 1e6).ceil() as i64
+    } else {
+        i64::MAX
+    }
+}
+
+/// One event digested against a profile: everything the streaming scorer
+/// needs, precomputed once. Facts are cheap to clone — the monitor
+/// runtime buffers them at ingest and replays clones through
+/// crash-isolated workers — because the common case stores no strings at
+/// all.
+#[derive(Debug, Clone)]
+pub(crate) struct WindowEvent {
+    /// The literal call name, kept only when it is out-of-vocabulary; an
+    /// in-vocabulary fact's name is the profile alphabet's symbol for
+    /// `encoded`, read back at emit time (the alphabet is small and hot,
+    /// where 10⁴ buffered copies would be scattered across the heap).
+    name: Option<Arc<str>>,
+    /// Only out-of-context facts keep their caller (it is only ever read
+    /// to describe one); everything else stores the empty string.
+    caller: String,
+    encoded: usize,
+    ooc: bool,
+    labeled: bool,
+}
+
+impl WindowEvent {
+    /// The call name this fact was digested from.
+    fn name<'a>(&'a self, profile: &'a Profile) -> &'a str {
+        self.name
+            .as_deref()
+            .unwrap_or_else(|| profile.alphabet.decode(self.encoded))
+    }
+}
+
+/// The per-session streaming state of one monitored connection: the
+/// last ≤ n events' facts plus (in incremental mode) the sliding forward
+/// recurrence. Feed events with [`SessionScorer::push`]; close the
+/// session with [`SessionScorer::finalize`] to emit the single short
+/// window of a trace that never filled a full one.
+///
+/// Equivalence contract (what the interleaving proptest pins): pushing a
+/// session's events through a `SessionScorer` — in any interleaving with
+/// other sessions — produces exactly the alerts of
+/// [`WindowScorer::scan`] (exact mode) or
+/// [`WindowScorer::scan_incremental`] (incremental mode) over the
+/// de-interleaved trace, bit for bit.
+///
+/// `Clone` snapshots the whole recurrence: a crash-isolated worker clones
+/// the state, replays events into the clone, and commits it only on
+/// success, so a retried panic never double-pushes.
+#[derive(Debug, Clone)]
+pub struct SessionScorer {
+    mode: ScoringMode,
+    window: usize,
+    ring: VecDeque<WindowEvent>,
+    sliding: Option<SlidingState>,
+    seen: usize,
+    done: bool,
+}
+
+impl SessionScorer {
+    /// Creates streaming state compatible with `scorer`'s profile and
+    /// kernel.
+    pub fn new(scorer: &WindowScorer, mode: ScoringMode) -> SessionScorer {
+        let window = scorer.profile.window;
+        let sliding = (mode == ScoringMode::Incremental).then(|| {
+            let state = SlidingState::new(scorer.profile.hmm.n_states(), window);
+            match scorer.kernel() {
+                KernelState::Beam(_, beam) => state.with_beam(*beam),
+                _ => state,
+            }
+        });
+        SessionScorer {
+            mode,
+            window,
+            ring: VecDeque::with_capacity(window),
+            sliding,
+            seen: 0,
+            done: false,
+        }
+    }
+
+    /// The streaming mode in force.
+    pub fn mode(&self) -> ScoringMode {
+        self.mode
+    }
+
+    /// Events pushed so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Sliding-scorer accounting (incremental mode; zeroes otherwise).
+    pub fn stats(&self) -> SlidingStats {
+        self.sliding
+            .as_ref()
+            .map(SlidingState::stats)
+            .unwrap_or_default()
+    }
+
+    /// Advances the session by one event; returns the alert of the window
+    /// ending at this event once at least `n` events have arrived.
+    pub fn push(
+        &mut self,
+        scorer: &WindowScorer,
+        event: &CallEvent,
+        session: &str,
+    ) -> Option<Alert> {
+        self.push_fact(scorer, scorer.digest(event), session)
+    }
+
+    /// [`SessionScorer::push`] with the digestion already done — the
+    /// monitor runtime digests at ingest (against the session's pinned
+    /// profile) and replays buffered facts here.
+    pub(crate) fn push_fact(
+        &mut self,
+        scorer: &WindowScorer,
+        fact: WindowEvent,
+        session: &str,
+    ) -> Option<Alert> {
+        assert!(!self.done, "session already finalized");
+        let profile = scorer.profile();
+        let encoded = fact.encoded;
+        if self.ring.len() == self.window {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(fact);
+        self.seen += 1;
+        match self.mode {
+            ScoringMode::ExactWindows => (self.ring.len() == self.window).then(|| {
+                let timer = scorer.metrics().score_ns.is_enabled().then(Instant::now);
+                let encoded: Vec<usize> = self.ring.iter().map(|f| f.encoded).collect();
+                let ll = scorer.score_encoded(&encoded);
+                if let Some(t0) = timer {
+                    scorer
+                        .metrics()
+                        .score_ns
+                        .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                }
+                self.emit(scorer, ll, session)
+            }),
+            ScoringMode::Incremental => {
+                let sliding = self.sliding.as_mut().expect("incremental state");
+                let kernel = match scorer.kernel() {
+                    KernelState::Dense => None,
+                    KernelState::Sparse(sp) | KernelState::Beam(sp, _) => Some(sp.as_ref()),
+                };
+                let ll = sliding.push(&profile.hmm, kernel, encoded);
+                (self.seen >= self.window).then(|| self.emit(scorer, ll, session))
+            }
+        }
+    }
+
+    /// Replays a batch of digested facts, appending each window's alert
+    /// to `out` — the monitor runtime's flush path. Alert-equivalent to
+    /// calling [`SessionScorer::push`] once per fact, but the kernel
+    /// resolution and the per-event `Option` round-trip are hoisted out
+    /// of the loop.
+    pub(crate) fn push_facts(
+        &mut self,
+        scorer: &WindowScorer,
+        facts: &[WindowEvent],
+        session: &str,
+        out: &mut Vec<Alert>,
+    ) {
+        match self.mode {
+            // Exact mode rescores the full window per event; the per-event
+            // plumbing is noise next to that.
+            ScoringMode::ExactWindows => {
+                for fact in facts {
+                    if let Some(alert) = self.push_fact(scorer, fact.clone(), session) {
+                        out.push(alert);
+                    }
+                }
+            }
+            ScoringMode::Incremental => {
+                assert!(!self.done, "session already finalized");
+                let profile = scorer.profile();
+                let kernel = match scorer.kernel() {
+                    KernelState::Dense => None,
+                    KernelState::Sparse(sp) | KernelState::Beam(sp, _) => Some(sp.as_ref()),
+                };
+                for fact in facts {
+                    let encoded = fact.encoded;
+                    if self.ring.len() == self.window {
+                        self.ring.pop_front();
+                    }
+                    self.ring.push_back(fact.clone());
+                    self.seen += 1;
+                    let sliding = self.sliding.as_mut().expect("incremental state");
+                    let ll = sliding.push(&profile.hmm, kernel, encoded);
+                    if self.seen >= self.window {
+                        out.push(self.emit(scorer, ll, session));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Closes the session: a trace that never filled a full window emits
+    /// its single short window now (matching the whole-trace scanners'
+    /// `len ≤ n` branch); longer traces emit nothing further. Also
+    /// surfaces the beam gap bound to the running-max gauge.
+    pub fn finalize(&mut self, scorer: &WindowScorer, session: &str) -> Option<Alert> {
+        if self.done {
+            return None;
+        }
+        self.done = true;
+        if let (Some(sliding), KernelState::Beam(..)) = (&self.sliding, scorer.kernel()) {
+            scorer
+                .metrics()
+                .beam_gap_bound_max
+                .record_max(gap_micronats(sliding.gap_bound()));
+        }
+        if self.seen == 0 || self.seen >= self.window {
+            return None;
+        }
+        let ll = match self.mode {
+            ScoringMode::ExactWindows => {
+                let encoded: Vec<usize> = self.ring.iter().map(|f| f.encoded).collect();
+                let timer = scorer.metrics().score_ns.is_enabled().then(Instant::now);
+                let ll = scorer.score_encoded(&encoded);
+                if let Some(t0) = timer {
+                    scorer
+                        .metrics()
+                        .score_ns
+                        .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                }
+                ll
+            }
+            ScoringMode::Incremental => self.sliding.as_ref().expect("incremental state").score(),
+        };
+        Some(self.emit(scorer, ll, session))
+    }
+
+    /// Builds and observes the alert for the window currently in the ring.
+    fn emit(&self, scorer: &WindowScorer, ll: f64, session: &str) -> Alert {
+        let profile = scorer.profile();
+        let names: Vec<String> = self
+            .ring
+            .iter()
+            .map(|f| f.name(profile).to_string())
+            .collect();
+        let ooc = self.ring.iter().find(|f| f.ooc);
+        let leak = self.ring.iter().find(|f| f.labeled);
+        let flag = Flag::classify(ll, scorer.threshold(), leak.is_some(), ooc.is_some());
+        let detail = alert_detail(
+            flag,
+            ooc.map(|f| (f.name(profile), f.caller.as_str())),
+            leak.map(|f| f.name(profile)),
+        );
+        scorer.observe(
+            Alert {
+                flag,
+                log_likelihood: ll,
+                threshold: scorer.threshold(),
+                window: names,
+                detail,
+            },
+            session,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use adprom_hmm::Hmm;
+    use adprom_lang::{CallSiteId, LibCall};
+    use adprom_trace::CallEvent;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn event(name: &str, caller: &str) -> CallEvent {
+        CallEvent {
+            name: name.to_string(),
+            call: LibCall::Printf,
+            caller: caller.to_string(),
+            site: CallSiteId(0),
+            detail: None,
+        }
+    }
+
+    fn cyclic_profile() -> Profile {
+        let alphabet = Alphabet::new(vec!["a".to_string(), "b".to_string(), "c_Q7".to_string()]);
+        let m = alphabet.len();
+        let mut a = vec![vec![0.001; m]; m];
+        a[0][1] = 1.0;
+        a[1][2] = 1.0;
+        a[2][0] = 1.0;
+        a[3][3] = 1.0;
+        let mut b = vec![vec![0.001; m]; m];
+        for (i, row) in b.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        let pi = vec![1.0; m];
+        let mut hmm = Hmm::from_rows(a, b, pi);
+        hmm.smooth(1e-4);
+        let mut call_callers: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for name in ["a", "b", "c_Q7"] {
+            call_callers
+                .entry(name.to_string())
+                .or_default()
+                .insert("main".to_string());
+        }
+        Profile {
+            app_name: "cyclic".into(),
+            alphabet,
+            hmm,
+            window: 3,
+            threshold: -5.0,
+            call_callers,
+            labeled_outputs: vec!["c_Q7".to_string()],
+        }
+    }
+
+    fn traces() -> Vec<Vec<CallEvent>> {
+        vec![
+            ["a", "b", "c_Q7", "a", "b", "c_Q7"]
+                .iter()
+                .map(|n| event(n, "main"))
+                .collect(),
+            ["b", "a", "a", "b", "a"]
+                .iter()
+                .map(|n| event(n, "main"))
+                .collect(),
+            ["a", "evil_exfil", "c_Q7"]
+                .iter()
+                .map(|n| event(n, "main"))
+                .collect(),
+            Vec::new(),
+            ["a", "b"].iter().map(|n| event(n, "main")).collect(),
+            vec![
+                event("a", "main"),
+                event("b", "attacker_function"),
+                event("c_Q7", "main"),
+            ],
+        ]
+    }
+
+    #[test]
+    fn session_scorer_exact_matches_whole_trace_scan() {
+        let scorer = WindowScorer::new(Arc::new(cyclic_profile()));
+        for (i, trace) in traces().iter().enumerate() {
+            let expected = scorer.scan(trace, "");
+            let mut state = SessionScorer::new(&scorer, ScoringMode::ExactWindows);
+            let mut streamed: Vec<Alert> = trace
+                .iter()
+                .filter_map(|e| state.push(&scorer, e, ""))
+                .collect();
+            streamed.extend(state.finalize(&scorer, ""));
+            assert_eq!(
+                format!("{expected:?}"),
+                format!("{streamed:?}"),
+                "trace {i}: streaming must be bit-identical to scan"
+            );
+        }
+    }
+
+    #[test]
+    fn session_scorer_incremental_matches_whole_trace_scan() {
+        let scorer = WindowScorer::new(Arc::new(cyclic_profile()));
+        for (i, trace) in traces().iter().enumerate() {
+            let (expected, stats) = scorer.scan_incremental(trace, "");
+            let mut state = SessionScorer::new(&scorer, ScoringMode::Incremental);
+            let mut streamed: Vec<Alert> = trace
+                .iter()
+                .filter_map(|e| state.push(&scorer, e, ""))
+                .collect();
+            streamed.extend(state.finalize(&scorer, ""));
+            assert_eq!(
+                format!("{expected:?}"),
+                format!("{streamed:?}"),
+                "trace {i}: streaming must be bit-identical to scan_incremental"
+            );
+            assert_eq!(state.stats(), stats, "trace {i}: same push/reanchor totals");
+        }
+    }
+
+    #[test]
+    fn kernel_status_reports_requested_and_effective() {
+        let healthy = WindowScorer::new(Arc::new(cyclic_profile())).with_kernel_validated(
+            KernelConfig::Sparse {
+                sparse: adprom_hmm::SparseConfig::default(),
+            },
+        );
+        assert_eq!(healthy.status().requested, "sparse");
+        assert_eq!(healthy.status().effective, "sparse");
+        assert!(!healthy.status().fell_back());
+
+        let mut poisoned = cyclic_profile();
+        poisoned.hmm.a_row_mut(0)[0] += 0.25;
+        let degraded =
+            WindowScorer::new(Arc::new(poisoned)).with_kernel_validated(KernelConfig::Sparse {
+                sparse: adprom_hmm::SparseConfig::default(),
+            });
+        assert_eq!(degraded.status().requested, "sparse");
+        assert_eq!(degraded.status().effective, "dense");
+        assert!(degraded.status().fell_back());
+        assert!(degraded
+            .status()
+            .fallback_reason
+            .as_deref()
+            .unwrap()
+            .contains("CSR validation"));
+    }
+}

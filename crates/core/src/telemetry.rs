@@ -172,6 +172,96 @@ impl ResilienceMetrics {
     }
 }
 
+/// Metric handles for
+/// [`ProfileRegistry`](crate::registry::ProfileRegistry): tenant count and
+/// hot-swap accounting.
+#[derive(Debug, Clone, Default)]
+pub struct RegistryMetrics {
+    /// `registry.apps` — applications currently registered.
+    pub apps: Gauge,
+    /// `registry.swaps` — successful profile publications (first
+    /// registration included).
+    pub swaps: Counter,
+    /// `registry.swaps_rejected` — hot-swaps refused by validation or a
+    /// failed load; the old epoch stayed in force.
+    pub swaps_rejected: Counter,
+    /// `registry.kernel_fallbacks` — epochs published with a dense
+    /// fallback after CSR validation refused the requested kernel.
+    pub kernel_fallbacks: Counter,
+}
+
+impl RegistryMetrics {
+    /// All-no-op handles (the default).
+    pub fn disabled() -> RegistryMetrics {
+        RegistryMetrics::default()
+    }
+
+    /// Registers every handle against `registry`.
+    pub fn from_registry(registry: &Registry) -> RegistryMetrics {
+        RegistryMetrics {
+            apps: registry.gauge("registry.apps"),
+            swaps: registry.counter("registry.swaps"),
+            swaps_rejected: registry.counter("registry.swaps_rejected"),
+            kernel_fallbacks: registry.counter("registry.kernel_fallbacks"),
+        }
+    }
+}
+
+/// Metric handles for [`MonitorRuntime`](crate::runtime::MonitorRuntime):
+/// session-table occupancy, ingest queue depth, and eviction/swap
+/// accounting across the interleaved stream.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorMetrics {
+    /// `monitor.sessions.active` — sessions currently resident in the
+    /// session table.
+    pub sessions_active: Gauge,
+    /// `monitor.sessions.opened` — sessions admitted to the table.
+    pub sessions_opened: Counter,
+    /// `monitor.sessions.finished` — sessions closed normally.
+    pub sessions_finished: Counter,
+    /// `monitor.queue.depth` — events buffered and not yet flushed
+    /// through the scoring pool.
+    pub queue_depth: Gauge,
+    /// `monitor.events` — tagged events ingested.
+    pub events: Counter,
+    /// `monitor.evictions.lru` — sessions force-finalized because the
+    /// session table hit its capacity bound.
+    pub evictions_lru: Counter,
+    /// `monitor.evictions.idle` — sessions finalized by the idle timeout.
+    pub evictions_idle: Counter,
+    /// `monitor.epoch_pins` — events scored against a pinned (superseded)
+    /// epoch after a mid-stream hot-swap.
+    pub epoch_pins: Counter,
+    /// `monitor.flushes` — scoring-pool flushes (backpressure or final).
+    pub flushes: Counter,
+    /// `monitor.unknown_app` — events dropped because their app id has no
+    /// registered profile.
+    pub unknown_app: Counter,
+}
+
+impl MonitorMetrics {
+    /// All-no-op handles (the default).
+    pub fn disabled() -> MonitorMetrics {
+        MonitorMetrics::default()
+    }
+
+    /// Registers every handle against `registry`.
+    pub fn from_registry(registry: &Registry) -> MonitorMetrics {
+        MonitorMetrics {
+            sessions_active: registry.gauge("monitor.sessions.active"),
+            sessions_opened: registry.counter("monitor.sessions.opened"),
+            sessions_finished: registry.counter("monitor.sessions.finished"),
+            queue_depth: registry.gauge("monitor.queue.depth"),
+            events: registry.counter("monitor.events"),
+            evictions_lru: registry.counter("monitor.evictions.lru"),
+            evictions_idle: registry.counter("monitor.evictions.idle"),
+            epoch_pins: registry.counter("monitor.epoch_pins"),
+            flushes: registry.counter("monitor.flushes"),
+            unknown_app: registry.counter("monitor.unknown_app"),
+        }
+    }
+}
+
 /// Converts a (non-Normal) alert into an audit record for `session`,
 /// stamped with the scoring `kernel` that produced the window's score
 /// (`dense`, `sparse`, or `beam`). The sequence number is assigned later
@@ -190,7 +280,9 @@ pub fn audit_record_from_alert(alert: &Alert, session: &str, kernel: &str) -> Au
         .map(str::to_string);
     AuditRecord {
         seq: 0,
+        app: String::new(),
         session: session.to_string(),
+        epoch: 0,
         flag: alert.flag.to_string(),
         window: alert.window.clone(),
         log_likelihood: alert.log_likelihood,

@@ -35,7 +35,7 @@ pub use baumwelch::{
 };
 pub use forward::{backward, forward, log_likelihood, normalized_log_likelihood, ForwardPass};
 pub use model::{normalize, Hmm, HmmError};
-pub use sliding::{scan_scores, SlidingForward, SlidingStats};
+pub use sliding::{scan_scores, SlidingForward, SlidingState, SlidingStats};
 pub use sparse::{
     backward_sparse, forward_beam, forward_sparse, log_likelihood_sparse, viterbi_sparse,
     BeamConfig, BeamForward, SparseConfig, SparseStats, SparseTransitions,

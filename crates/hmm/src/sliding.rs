@@ -7,6 +7,14 @@
 //! O(N²) by maintaining one running scaled alpha vector and a ring buffer
 //! of per-event log contributions.
 //!
+//! Two shapes are provided: [`SlidingForward`] borrows the model (and an
+//! optional CSR kernel) for the lifetime of a scan — the natural fit for
+//! one-shot trace scoring — while [`SlidingState`] owns only the mutable
+//! recurrence state and takes the model per push. The state form is what
+//! a session-multiplexing runtime needs: thousands of concurrent sessions
+//! keep a `SlidingState` each while sharing one `Arc`-held model, with no
+//! self-referential borrows.
+//!
 //! # Recurrence
 //!
 //! Rabiner's scaled forward pass factors the log-likelihood of a prefix
@@ -44,7 +52,7 @@
 use crate::model::Hmm;
 use crate::sparse::{prune_alpha, BeamConfig, SparseTransitions};
 
-/// Accounting for one [`SlidingForward`]'s lifetime — the observability
+/// Accounting for one sliding scorer's lifetime — the observability
 /// hook the batch pipeline surfaces as `sliding.reanchors` /
 /// `sliding.pushes` metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,15 +68,15 @@ pub struct SlidingStats {
     pub pruned_states: u64,
 }
 
-/// Incremental scaled-forward scorer over a sliding window.
+/// The owned recurrence state of an incremental sliding-window scorer:
+/// everything [`SlidingForward`] maintains *except* the borrowed model
+/// and kernel, which [`SlidingState::push`] takes per call instead.
 ///
-/// Feed events one at a time with [`push`](SlidingForward::push); after
-/// each push, [`score`](SlidingForward::score) is the log-likelihood of
-/// the current window (the last ≤ `window` events) under the conditional
-/// semantics documented at the module level.
+/// Clone-able and `'static`, so a monitoring runtime can keep one per
+/// live session, advance each independently, and snapshot/restore a
+/// session by cloning (the retry path of a crash-isolated worker).
 #[derive(Debug, Clone)]
-pub struct SlidingForward<'a> {
-    hmm: &'a Hmm,
+pub struct SlidingState {
     window: usize,
     /// Scaled alpha after the most recent event (empty before any event or
     /// right after a dead re-anchor).
@@ -86,8 +94,6 @@ pub struct SlidingForward<'a> {
     dead: bool,
     /// Lifetime accounting (pushes, re-anchor fallbacks).
     stats: SlidingStats,
-    /// Optional CSR kernel: the O(N²) propagation step becomes O(nnz + N).
-    kernel: Option<&'a SparseTransitions>,
     /// Optional beam pruning of the running α vector.
     beam: Option<BeamConfig>,
     /// `Ê` of the beam error recursion for the current chain (see
@@ -106,23 +112,20 @@ pub struct SlidingForward<'a> {
     beam_order: Vec<usize>,
 }
 
-impl<'a> SlidingForward<'a> {
-    /// Creates a scorer for `window`-length windows. Panics if `window`
-    /// is 0.
-    pub fn new(hmm: &'a Hmm, window: usize) -> SlidingForward<'a> {
+impl SlidingState {
+    /// Creates state for `window`-length windows over an `n_states`-state
+    /// model. Panics if `window` is 0.
+    pub fn new(n_states: usize, window: usize) -> SlidingState {
         assert!(window > 0, "window length must be positive");
-        let n = hmm.n_states();
-        SlidingForward {
-            hmm,
+        SlidingState {
             window,
-            alpha: vec![0.0; n],
-            scratch: vec![0.0; n],
+            alpha: vec![0.0; n_states],
+            scratch: vec![0.0; n_states],
             ring: Vec::with_capacity(window),
             seen: 0,
             anchor: 0,
             dead: true,
             stats: SlidingStats::default(),
-            kernel: None,
             beam: None,
             beam_err: 0.0,
             beam_peak: 0.0,
@@ -132,29 +135,10 @@ impl<'a> SlidingForward<'a> {
         }
     }
 
-    /// Routes the propagation step through a CSR kernel (O(nnz + N) per
-    /// push instead of O(N²)). The kernel must be built from the same
-    /// model; with `epsilon = 0` scores match the dense path to FP
-    /// reassociation.
-    pub fn with_kernel(mut self, kernel: &'a SparseTransitions) -> SlidingForward<'a> {
-        assert_eq!(
-            kernel.n_states(),
-            self.hmm.n_states(),
-            "kernel built for a different model"
-        );
-        self.kernel = Some(kernel);
-        self
-    }
-
-    /// Enables beam pruning of the running α vector. Requires a kernel
-    /// ([`with_kernel`](SlidingForward::with_kernel)); the cumulative
-    /// score underestimate is bounded by
-    /// [`gap_bound`](SlidingForward::gap_bound).
-    pub fn with_beam(mut self, beam: BeamConfig) -> SlidingForward<'a> {
-        assert!(
-            self.kernel.is_some(),
-            "beam pruning requires a sparse kernel"
-        );
+    /// Enables beam pruning of the running α vector. Every subsequent
+    /// [`SlidingState::push`] must supply a sparse kernel; the cumulative
+    /// score underestimate is bounded by [`SlidingState::gap_bound`].
+    pub fn with_beam(mut self, beam: BeamConfig) -> SlidingState {
         self.beam = Some(beam);
         self
     }
@@ -180,31 +164,33 @@ impl<'a> SlidingForward<'a> {
     }
 
     /// Absolute index of the event the current forward chain starts at.
-    /// Stays 0 for smoothed (zero-free) models; advances only through the
-    /// impossible-prefix fallback.
     pub fn anchor(&self) -> usize {
         self.anchor
     }
 
-    /// Lifetime accounting: events pushed and re-anchor (exact-recompute)
-    /// fallbacks taken. Smoothed models never re-anchor, so
-    /// `stats().reanchors` stays 0 on the production profile path.
+    /// Lifetime accounting: events pushed and re-anchor fallbacks taken.
     pub fn stats(&self) -> SlidingStats {
         self.stats
     }
 
-    /// Advances the window by one event (O(N²)) and returns the score of
-    /// the window now ending at this event — equal to [`score`]
-    /// (SlidingForward::score).
-    pub fn push(&mut self, symbol: usize) -> f64 {
-        let n = self.hmm.n_states();
+    /// Advances the window by one event and returns the score of the
+    /// window now ending at this event. `hmm` (and `kernel`, when one is
+    /// used) must be the same model on every push — the state is just the
+    /// recurrence, it holds no reference to check against.
+    pub fn push(&mut self, hmm: &Hmm, kernel: Option<&SparseTransitions>, symbol: usize) -> f64 {
+        debug_assert_eq!(self.alpha.len(), hmm.n_states(), "state sized for model");
+        debug_assert!(
+            self.beam.is_none() || kernel.is_some(),
+            "beam pruning requires a sparse kernel"
+        );
+        let n = hmm.n_states();
         let mut c = 0.0;
         if !self.dead {
             // One forward step from the running alpha: either the CSR
             // kernel's background-broadcast + deviation-scatter, or the
             // dense i-outer accumulation that walks A row-by-row through
             // the flat row-major storage.
-            match self.kernel {
+            match kernel {
                 Some(sp) => sp.propagate(&self.alpha, &mut self.scratch),
                 None => {
                     self.scratch.iter_mut().for_each(|v| *v = 0.0);
@@ -213,7 +199,7 @@ impl<'a> SlidingForward<'a> {
                         if alpha_i == 0.0 {
                             continue;
                         }
-                        let row = self.hmm.a_row(i);
+                        let row = hmm.a_row(i);
                         for (acc, &a_ij) in self.scratch.iter_mut().zip(row) {
                             *acc += alpha_i * a_ij;
                         }
@@ -222,7 +208,7 @@ impl<'a> SlidingForward<'a> {
             }
             let mut bmax = 0.0f64;
             for (j, acc) in self.scratch.iter_mut().enumerate() {
-                let b = self.hmm.b(j, symbol);
+                let b = hmm.b(j, symbol);
                 bmax = bmax.max(b);
                 *acc *= b;
                 c += *acc;
@@ -252,7 +238,7 @@ impl<'a> SlidingForward<'a> {
             }
             c = 0.0;
             for (j, acc) in self.scratch.iter_mut().enumerate() {
-                *acc = self.hmm.pi[j] * self.hmm.b(j, symbol);
+                *acc = hmm.pi[j] * hmm.b(j, symbol);
                 c += *acc;
             }
             self.anchor = self.seen;
@@ -291,8 +277,8 @@ impl<'a> SlidingForward<'a> {
         self.ring.iter().sum()
     }
 
-    /// Clears all state (keeping the kernel/beam configuration), ready for
-    /// a new trace.
+    /// Clears all state (keeping the beam configuration), ready for a new
+    /// trace.
     pub fn reset(&mut self) {
         self.alpha.iter_mut().for_each(|v| *v = 0.0);
         self.ring.clear();
@@ -304,6 +290,113 @@ impl<'a> SlidingForward<'a> {
         self.beam_peak = 0.0;
         self.beam_pruned_prev = 0.0;
         self.beam_gap_base = 0.0;
+    }
+}
+
+/// Incremental scaled-forward scorer over a sliding window.
+///
+/// Feed events one at a time with [`push`](SlidingForward::push); after
+/// each push, [`score`](SlidingForward::score) is the log-likelihood of
+/// the current window (the last ≤ `window` events) under the conditional
+/// semantics documented at the module level.
+///
+/// This is the borrow-carrying convenience wrapper over [`SlidingState`]:
+/// the model (and kernel) are captured once at construction instead of
+/// being passed per push.
+#[derive(Debug, Clone)]
+pub struct SlidingForward<'a> {
+    hmm: &'a Hmm,
+    /// Optional CSR kernel: the O(N²) propagation step becomes O(nnz + N).
+    kernel: Option<&'a SparseTransitions>,
+    state: SlidingState,
+}
+
+impl<'a> SlidingForward<'a> {
+    /// Creates a scorer for `window`-length windows. Panics if `window`
+    /// is 0.
+    pub fn new(hmm: &'a Hmm, window: usize) -> SlidingForward<'a> {
+        SlidingForward {
+            hmm,
+            kernel: None,
+            state: SlidingState::new(hmm.n_states(), window),
+        }
+    }
+
+    /// Routes the propagation step through a CSR kernel (O(nnz + N) per
+    /// push instead of O(N²)). The kernel must be built from the same
+    /// model; with `epsilon = 0` scores match the dense path to FP
+    /// reassociation.
+    pub fn with_kernel(mut self, kernel: &'a SparseTransitions) -> SlidingForward<'a> {
+        assert_eq!(
+            kernel.n_states(),
+            self.hmm.n_states(),
+            "kernel built for a different model"
+        );
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Enables beam pruning of the running α vector. Requires a kernel
+    /// ([`with_kernel`](SlidingForward::with_kernel)); the cumulative
+    /// score underestimate is bounded by
+    /// [`gap_bound`](SlidingForward::gap_bound).
+    pub fn with_beam(mut self, beam: BeamConfig) -> SlidingForward<'a> {
+        assert!(
+            self.kernel.is_some(),
+            "beam pruning requires a sparse kernel"
+        );
+        self.state = self.state.with_beam(beam);
+        self
+    }
+
+    /// Sound bound on the beam-induced window-score error so far; see
+    /// [`SlidingState::gap_bound`]. 0.0 without a beam.
+    pub fn gap_bound(&self) -> f64 {
+        self.state.gap_bound()
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> usize {
+        self.state.window()
+    }
+
+    /// Number of events pushed so far.
+    pub fn seen(&self) -> usize {
+        self.state.seen()
+    }
+
+    /// Absolute index of the event the current forward chain starts at.
+    /// Stays 0 for smoothed (zero-free) models; advances only through the
+    /// impossible-prefix fallback.
+    pub fn anchor(&self) -> usize {
+        self.state.anchor()
+    }
+
+    /// Lifetime accounting: events pushed and re-anchor (exact-recompute)
+    /// fallbacks taken. Smoothed models never re-anchor, so
+    /// `stats().reanchors` stays 0 on the production profile path.
+    pub fn stats(&self) -> SlidingStats {
+        self.state.stats()
+    }
+
+    /// Advances the window by one event (O(N²)) and returns the score of
+    /// the window now ending at this event — equal to [`score`]
+    /// (SlidingForward::score).
+    pub fn push(&mut self, symbol: usize) -> f64 {
+        self.state.push(self.hmm, self.kernel, symbol)
+    }
+
+    /// Log-likelihood of the current window: the sum of the retained
+    /// per-event contributions (the last `min(seen, window)` events).
+    /// Returns 0.0 before any event — matching `forward(hmm, &[])`.
+    pub fn score(&self) -> f64 {
+        self.state.score()
+    }
+
+    /// Clears all state (keeping the kernel/beam configuration), ready for
+    /// a new trace.
+    pub fn reset(&mut self) {
+        self.state.reset();
     }
 }
 
@@ -487,5 +580,29 @@ mod tests {
         assert_eq!(sliding.stats(), SlidingStats::default());
         let second: Vec<f64> = obs.iter().map(|&s| sliding.push(s)).collect();
         assert_eq!(first, second, "push streams are deterministic");
+    }
+
+    #[test]
+    fn owned_state_matches_borrowing_wrapper() {
+        // The detached state form drives the same recurrence: interleaving
+        // pushes of two independent states against a shared model gives
+        // each session exactly the stream a dedicated SlidingForward would.
+        use crate::sparse::{SparseConfig, SparseTransitions};
+        let hmm = smoothed(5, 6, 17);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let obs_a = hmm.sample(60, 1);
+        let obs_b = hmm.sample(60, 2);
+        let mut wrapped_a = SlidingForward::new(&hmm, 7).with_kernel(&sp);
+        let mut wrapped_b = SlidingForward::new(&hmm, 7);
+        let mut state_a = SlidingState::new(hmm.n_states(), 7);
+        let mut state_b = SlidingState::new(hmm.n_states(), 7);
+        for (&a, &b) in obs_a.iter().zip(&obs_b) {
+            // Interleaved: a, b, a, b … against the two owned states.
+            let sa = state_a.push(&hmm, Some(&sp), a);
+            let sb = state_b.push(&hmm, None, b);
+            assert_eq!(sa.to_bits(), wrapped_a.push(a).to_bits());
+            assert_eq!(sb.to_bits(), wrapped_b.push(b).to_bits());
+        }
+        assert_eq!(state_a.stats(), wrapped_a.stats());
     }
 }

@@ -25,8 +25,14 @@ use std::sync::{Arc, Mutex};
 pub struct AuditRecord {
     /// Monotonic sequence number, assigned by [`AuditLog`].
     pub seq: u64,
+    /// Application id the profiled program is registered under in a
+    /// multi-app deployment; empty for single-app detectors.
+    pub app: String,
     /// Session (connection) the window came from; empty when unknown.
     pub session: String,
+    /// Profile epoch (hot-swap generation) that scored the window; 0 for
+    /// detectors built outside a registry.
+    pub epoch: u64,
     /// Flag name as the engine renders it (`DATA-LEAK`, `ANOMALOUS`,
     /// `OUT-OF-CONTEXT`).
     pub flag: String,
@@ -489,7 +495,9 @@ mod tests {
     fn leak_record() -> AuditRecord {
         AuditRecord {
             seq: 0,
+            app: "order-portal".into(),
             session: "conn-7".into(),
+            epoch: 1,
             flag: "DATA-LEAK".into(),
             window: vec!["PQexec".into(), "printf_Q6".into()],
             log_likelihood: -42.5,

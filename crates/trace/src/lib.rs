@@ -11,6 +11,7 @@
 
 pub mod batch;
 pub mod collector;
+pub mod interleave;
 pub mod interp;
 pub mod ltrace;
 pub mod validate;
@@ -18,6 +19,7 @@ pub mod value;
 
 pub use batch::{BatchCollector, SessionSink};
 pub use collector::{sliding_windows, CallEvent, CallSink, NullSink, TraceCollector};
+pub use interleave::{deinterleave, interleave, InterleavedCollector, SessionTap, TaggedCall};
 pub use interp::{format_printf, run_program, ExecConfig, ExecOutcome, RuntimeError};
 pub use ltrace::LtraceCollector;
 pub use validate::{

@@ -256,7 +256,9 @@ proptest! {
         let originals: Vec<AuditRecord> = (0..4)
             .map(|i| AuditRecord {
                 seq: i,
+                app: String::new(),
                 session: format!("conn-{i}"),
+                epoch: 0,
                 flag: "ANOMALOUS".to_string(),
                 window: vec!["a".to_string(), "b".to_string()],
                 log_likelihood: -12.5 - i as f64,
