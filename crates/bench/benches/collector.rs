@@ -11,12 +11,12 @@ fn events(n: usize) -> Vec<CallEvent> {
     (0..n)
         .map(|i| CallEvent {
             name: if i % 3 == 0 {
-                format!("printf_Q{}", i % 40)
+                format!("printf_Q{}", i % 40).into()
             } else {
-                "mysql_fetch_row".to_string()
+                "mysql_fetch_row".into()
             },
             call: LibCall::Printf,
-            caller: format!("work{}", i % 8),
+            caller: format!("work{}", i % 8).into(),
             site: CallSiteId((i % 90) as u32),
             detail: None,
         })

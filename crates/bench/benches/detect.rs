@@ -26,7 +26,7 @@ fn bench_detection(c: &mut Criterion) {
         b.iter(|| black_box(engine.scan(black_box(trace)).len()))
     });
 
-    let names: Vec<String> = window.iter().map(|e| e.name.clone()).collect();
+    let names: Vec<String> = window.iter().map(|e| e.name.to_string()).collect();
     c.bench_function("score_window15", |b| {
         b.iter(|| black_box(engine.score(black_box(&names))))
     });

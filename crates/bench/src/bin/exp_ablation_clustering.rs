@@ -26,8 +26,8 @@ fn main() {
     let mut labels = analysis.observation_labels();
     for t in &traces {
         for e in t {
-            if !labels.contains(&e.name) {
-                labels.push(e.name.clone());
+            if !labels.iter().any(|l| l.as_str() == &*e.name) {
+                labels.push(e.name.to_string());
             }
         }
     }
@@ -35,7 +35,7 @@ fn main() {
     let windows: Vec<Vec<usize>> = traces
         .iter()
         .flat_map(|t| {
-            let names: Vec<String> = t.iter().map(|e| e.name.clone()).collect();
+            let names: Vec<String> = t.iter().map(|e| e.name.to_string()).collect();
             adprom_trace::sliding_windows(&names, 15)
         })
         .map(|w| alphabet.encode_seq(&w))
@@ -77,7 +77,7 @@ fn main() {
             .iter()
             .take(12)
             .flat_map(|t| {
-                let names: Vec<String> = t.iter().map(|e| e.name.clone()).collect();
+                let names: Vec<String> = t.iter().map(|e| e.name.to_string()).collect();
                 adprom_trace::sliding_windows(&names, 15)
             })
             .map(|w| alphabet.encode_seq(&w))

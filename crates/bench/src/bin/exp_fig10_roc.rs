@@ -77,7 +77,7 @@ fn run_app(spec: &sir::SirSpec) {
     let normal_windows: Vec<Vec<String>> = eval_traces
         .iter()
         .flat_map(|t| {
-            let names: Vec<String> = t.iter().map(|e| e.name.clone()).collect();
+            let names: Vec<String> = t.iter().map(|e| e.name.to_string()).collect();
             adprom_trace::sliding_windows(&names, config.window)
         })
         .collect();

@@ -159,7 +159,7 @@ mod tests {
         let mk = |n: usize| {
             (0..n)
                 .map(|i| CallEvent {
-                    name: format!("c{i}"),
+                    name: format!("c{i}").into(),
                     call: adprom_lang::LibCall::Printf,
                     caller: "main".into(),
                     site: adprom_lang::CallSiteId(i as u32),
@@ -176,7 +176,7 @@ mod tests {
         let mk = |n: usize| {
             (0..n)
                 .map(|i| CallEvent {
-                    name: format!("c{i}"),
+                    name: format!("c{i}").into(),
                     call: adprom_lang::LibCall::Printf,
                     caller: "main".into(),
                     site: adprom_lang::CallSiteId(i as u32),

@@ -1,8 +1,9 @@
 //! A client session: one connection to one database, holding result sets
 //! and cursors, exposed through libpq- and libmysql-shaped methods.
 
-use adprom_db::{Database, DbError, QueryResult, ResultSet, Value};
+use adprom_db::{Database, DbError, QueryResult, Value};
 use std::fmt;
+use std::sync::Arc;
 
 /// Opaque handle to a stored result set (what `PQexec` /
 /// `mysql_store_result` return to the program).
@@ -38,9 +39,21 @@ impl From<DbError> for ClientError {
     }
 }
 
+/// A result set's text view. The rendering itself lives on the
+/// [`adprom_db::ResultSet`] (rendered once per result set, ever — cached
+/// results keep their text across repeats); this is two counters and a
+/// refcount bump. `PQgetvalue` hands out refcounted cell clones and
+/// `mysql_fetch_row` refcounted row clones, so walking a result allocates
+/// nothing per access.
+#[derive(Debug, Default)]
+struct TextResult {
+    nfields: usize,
+    rows: Arc<Vec<Arc<[Arc<str>]>>>,
+}
+
 #[derive(Debug)]
 struct StoredResult {
-    rows: ResultSet,
+    rows: TextResult,
     /// `mysql_fetch_row` cursor.
     cursor: usize,
 }
@@ -55,7 +68,7 @@ pub struct ClientSession {
     db: Database,
     results: Vec<StoredResult>,
     /// Result of the last `mysql_query`, waiting for `mysql_store_result`.
-    pending: Option<ResultSet>,
+    pending: Option<TextResult>,
     /// Count of queries submitted (used by experiment harnesses).
     queries_submitted: u64,
 }
@@ -87,7 +100,7 @@ impl ClientSession {
         self.queries_submitted
     }
 
-    fn store(&mut self, rows: ResultSet) -> ResultHandle {
+    fn store(&mut self, rows: TextResult) -> ResultHandle {
         self.results.push(StoredResult { rows, cursor: 0 });
         ResultHandle(self.results.len() - 1)
     }
@@ -96,14 +109,14 @@ impl ClientSession {
         self.results.get(h.0).ok_or(ClientError::BadHandle(h.0))
     }
 
-    fn result_set_of(result: QueryResult) -> ResultSet {
+    fn text_result_of(result: QueryResult) -> TextResult {
         match result {
-            QueryResult::Rows(rs) => rs,
-            // Command results expose zero tuples, like PGRES_COMMAND_OK.
-            QueryResult::Affected(_) | QueryResult::Ok => ResultSet {
-                columns: vec![],
-                rows: vec![],
+            QueryResult::Rows(rs) => TextResult {
+                nfields: rs.nfields(),
+                rows: Arc::clone(rs.text_rows()),
             },
+            // Command results expose zero tuples, like PGRES_COMMAND_OK.
+            QueryResult::Affected(_) | QueryResult::Ok => TextResult::default(),
         }
     }
 
@@ -113,7 +126,7 @@ impl ClientSession {
     pub fn pq_exec(&mut self, sql: &str) -> Result<ResultHandle, ClientError> {
         self.queries_submitted += 1;
         let result = self.db.execute(sql)?;
-        Ok(self.store(Self::result_set_of(result)))
+        Ok(self.store(Self::text_result_of(result)))
     }
 
     /// `PQprepare`: register a named prepared statement.
@@ -130,19 +143,22 @@ impl ClientSession {
         params: &[String],
     ) -> Result<ResultHandle, ClientError> {
         self.queries_submitted += 1;
-        let values: Vec<Value> = params.iter().map(|p| Value::Text(p.clone())).collect();
+        let values: Vec<Value> = params
+            .iter()
+            .map(|p| Value::Text(p.as_str().into()))
+            .collect();
         let result = self.db.execute_prepared(name, &values)?;
-        Ok(self.store(Self::result_set_of(result)))
+        Ok(self.store(Self::text_result_of(result)))
     }
 
     /// `PQntuples`: number of rows in a result.
     pub fn pq_ntuples(&self, h: ResultHandle) -> Result<usize, ClientError> {
-        Ok(self.stored(h)?.rows.ntuples())
+        Ok(self.stored(h)?.rows.rows.len())
     }
 
     /// `PQnfields`: number of columns in a result.
     pub fn pq_nfields(&self, h: ResultHandle) -> Result<usize, ClientError> {
-        Ok(self.stored(h)?.rows.nfields())
+        Ok(self.stored(h)?.rows.nfields)
     }
 
     /// `PQgetvalue`: field as text; empty string when out of range (libpq
@@ -152,8 +168,15 @@ impl ClientSession {
         h: ResultHandle,
         row: usize,
         col: usize,
-    ) -> Result<String, ClientError> {
-        Ok(self.stored(h)?.rows.get_value(row, col).unwrap_or_default())
+    ) -> Result<Arc<str>, ClientError> {
+        Ok(self
+            .stored(h)?
+            .rows
+            .rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .cloned()
+            .unwrap_or_else(|| Arc::from("")))
     }
 
     /// `PQclear`: drop a stored result (handle becomes a stub; libpq-style
@@ -163,10 +186,7 @@ impl ClientSession {
             .results
             .get_mut(h.0)
             .ok_or(ClientError::BadHandle(h.0))?;
-        slot.rows = ResultSet {
-            columns: vec![],
-            rows: vec![],
-        };
+        slot.rows = TextResult::default();
         slot.cursor = 0;
         Ok(())
     }
@@ -179,7 +199,7 @@ impl ClientSession {
         self.queries_submitted += 1;
         match self.db.execute(sql) {
             Ok(result) => {
-                self.pending = Some(Self::result_set_of(result));
+                self.pending = Some(Self::text_result_of(result));
                 0
             }
             Err(_) => {
@@ -200,9 +220,12 @@ impl ClientSession {
     /// Executes the prepared statement; results become pending.
     pub fn mysql_stmt_execute(&mut self, params: &[String]) -> Result<(), ClientError> {
         self.queries_submitted += 1;
-        let values: Vec<Value> = params.iter().map(|p| Value::Text(p.clone())).collect();
+        let values: Vec<Value> = params
+            .iter()
+            .map(|p| Value::Text(p.as_str().into()))
+            .collect();
         let result = self.db.execute_prepared("__mysql_stmt", &values)?;
-        self.pending = Some(Self::result_set_of(result));
+        self.pending = Some(Self::text_result_of(result));
         Ok(())
     }
 
@@ -212,31 +235,31 @@ impl ClientSession {
         Ok(self.store(rows))
     }
 
-    /// `mysql_fetch_row`: next row as text fields, or `None` at the end.
-    pub fn mysql_fetch_row(&mut self, h: ResultHandle) -> Result<Option<Vec<String>>, ClientError> {
+    /// `mysql_fetch_row`: next row as text fields (refcounted, not copied),
+    /// or `None` at the end.
+    pub fn mysql_fetch_row(
+        &mut self,
+        h: ResultHandle,
+    ) -> Result<Option<Arc<[Arc<str>]>>, ClientError> {
         let slot = self
             .results
             .get_mut(h.0)
             .ok_or(ClientError::BadHandle(h.0))?;
-        if slot.cursor >= slot.rows.ntuples() {
+        let Some(row) = slot.rows.rows.get(slot.cursor) else {
             return Ok(None);
-        }
-        let row = slot.rows.rows[slot.cursor]
-            .iter()
-            .map(|v| v.render())
-            .collect();
+        };
         slot.cursor += 1;
-        Ok(Some(row))
+        Ok(Some(Arc::clone(row)))
     }
 
     /// `mysql_num_rows`.
     pub fn mysql_num_rows(&self, h: ResultHandle) -> Result<usize, ClientError> {
-        Ok(self.stored(h)?.rows.ntuples())
+        Ok(self.stored(h)?.rows.rows.len())
     }
 
     /// `mysql_num_fields`.
     pub fn mysql_num_fields(&self, h: ResultHandle) -> Result<usize, ClientError> {
-        Ok(self.stored(h)?.rows.nfields())
+        Ok(self.stored(h)?.rows.nfields)
     }
 
     /// `mysql_free_result`.
@@ -264,9 +287,9 @@ mod tests {
         let h = s.pq_exec("SELECT * FROM clients WHERE id = 105").unwrap();
         assert_eq!(s.pq_ntuples(h).unwrap(), 1);
         assert_eq!(s.pq_nfields(h).unwrap(), 2);
-        assert_eq!(s.pq_getvalue(h, 0, 1).unwrap(), "alice");
+        assert_eq!(&*s.pq_getvalue(h, 0, 1).unwrap(), "alice");
         // Out-of-range access returns "" like libpq.
-        assert_eq!(s.pq_getvalue(h, 5, 0).unwrap(), "");
+        assert_eq!(&*s.pq_getvalue(h, 5, 0).unwrap(), "");
     }
 
     #[test]
@@ -276,7 +299,7 @@ mod tests {
         let h = s.mysql_store_result().unwrap();
         let mut names = Vec::new();
         while let Some(row) = s.mysql_fetch_row(h).unwrap() {
-            names.push(row[0].clone());
+            names.push(row[0].to_string());
         }
         assert_eq!(names, vec!["alice", "bob", "carol"]);
         // Cursor is exhausted.

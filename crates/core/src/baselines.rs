@@ -59,7 +59,7 @@ pub fn strip_trace(trace: &[CallEvent]) -> Vec<CallEvent> {
     trace
         .iter()
         .map(|e| CallEvent {
-            name: strip_label(&e.name).to_string(),
+            name: strip_label(&e.name).into(),
             ..e.clone()
         })
         .collect()
@@ -84,8 +84,8 @@ pub fn build_cmarkov(
         .collect();
     for t in &stripped_traces {
         for e in t {
-            if !labels.contains(&e.name) {
-                labels.push(e.name.clone());
+            if !labels.iter().any(|l| l.as_str() == &*e.name) {
+                labels.push(e.name.to_string());
             }
         }
     }
@@ -152,8 +152,8 @@ pub fn build_rand_hmm(
     let mut labels = analysis.observation_labels();
     for t in traces {
         for e in t {
-            if !labels.contains(&e.name) {
-                labels.push(e.name.clone());
+            if !labels.iter().any(|l| l.as_str() == &*e.name) {
+                labels.push(e.name.to_string());
             }
         }
     }

@@ -119,7 +119,7 @@ fn record_train_telemetry(registry: &Registry, report: &TrainReport) {
 pub fn trace_windows(traces: &[Vec<CallEvent>], window: usize) -> Vec<Vec<String>> {
     let mut out = Vec::new();
     for t in traces {
-        let names: Vec<String> = t.iter().map(|e| e.name.clone()).collect();
+        let names: Vec<String> = t.iter().map(|e| e.name.to_string()).collect();
         out.extend(sliding_windows(&names, window));
     }
     out
@@ -137,8 +137,8 @@ pub fn build_profile(
     let mut labels = analysis.observation_labels();
     for t in traces {
         for e in t {
-            if !labels.contains(&e.name) {
-                labels.push(e.name.clone());
+            if !labels.iter().any(|l| l.as_str() == &*e.name) {
+                labels.push(e.name.to_string());
             }
         }
     }
@@ -202,9 +202,9 @@ pub fn build_profile(
     for t in traces {
         for e in t {
             call_callers
-                .entry(e.name.clone())
+                .entry(e.name.to_string())
                 .or_default()
-                .insert(e.caller.clone());
+                .insert(e.caller.to_string());
         }
     }
 
@@ -308,7 +308,7 @@ mod tests {
             .iter()
             .any(|l| l.starts_with("printf_Q")));
         // Normal windows score above the threshold.
-        let names: Vec<String> = traces[0].iter().map(|e| e.name.clone()).collect();
+        let names: Vec<String> = traces[0].iter().map(|e| e.name.to_string()).collect();
         let w = &sliding_windows(&names, profile.window)[0];
         let ll = adprom_hmm::log_likelihood(&profile.hmm, &profile.alphabet.encode_seq(w));
         assert!(ll > profile.threshold, "{ll} vs {}", profile.threshold);
@@ -385,7 +385,7 @@ mod tests {
         // The threshold was selected from the flattened model, so normal
         // windows still clear it.
         assert!(report.threshold.is_finite());
-        let names: Vec<String> = traces[0].iter().map(|e| e.name.clone()).collect();
+        let names: Vec<String> = traces[0].iter().map(|e| e.name.to_string()).collect();
         let w = &sliding_windows(&names, profile.window)[0];
         let ll = adprom_hmm::log_likelihood(&profile.hmm, &profile.alphabet.encode_seq(w));
         assert!(ll > profile.threshold, "{ll} vs {}", profile.threshold);

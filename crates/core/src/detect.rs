@@ -465,9 +465,9 @@ mod tests {
 
     fn event(name: &str, caller: &str) -> CallEvent {
         CallEvent {
-            name: name.to_string(),
+            name: name.into(),
             call: LibCall::Printf,
-            caller: caller.to_string(),
+            caller: caller.into(),
             site: CallSiteId(0),
             detail: None,
         }
@@ -660,7 +660,7 @@ mod tests {
                 event("c_Q7", "main"),
             ],
         ] {
-            let names: Vec<String> = window.iter().map(|e| e.name.clone()).collect();
+            let names: Vec<String> = window.iter().map(|e| e.name.to_string()).collect();
             let ll = engine.score(&names);
             assert_eq!(
                 engine.classify(&window),

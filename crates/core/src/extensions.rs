@@ -99,8 +99,8 @@ impl QuerySignatureMonitor {
         } else {
             Some(ExtensionAlert {
                 kind: ExtensionKind::UnknownQuerySignature,
-                call: event.name.clone(),
-                caller: event.caller.clone(),
+                call: event.name.to_string(),
+                caller: event.caller.to_string(),
                 subject: sig.clone(),
             })
         }
@@ -167,8 +167,8 @@ impl FileLabelMonitor {
         if suspicious {
             self.alerts.push(ExtensionAlert {
                 kind: ExtensionKind::LabeledFileAction,
-                call: event.name.clone(),
-                caller: event.caller.clone(),
+                call: event.name.to_string(),
+                caller: event.caller.to_string(),
                 subject: detail.clone(),
             });
         }
@@ -191,7 +191,7 @@ mod tests {
 
     fn event(name: &str, call: LibCall, detail: Option<&str>) -> CallEvent {
         CallEvent {
-            name: name.to_string(),
+            name: name.into(),
             call,
             caller: "main".into(),
             site: CallSiteId(0),

@@ -531,9 +531,9 @@ mod tests {
 
     fn event(name: &str, caller: &str) -> CallEvent {
         CallEvent {
-            name: name.to_string(),
+            name: name.into(),
             call: LibCall::Printf,
-            caller: caller.to_string(),
+            caller: caller.into(),
             site: CallSiteId(0),
             detail: None,
         }

@@ -334,7 +334,7 @@ pub fn apply_ingest_faults(injector: &FaultInjector, traces: &mut [Vec<CallEvent
         let key = index as u64;
         if matches!(corrupt.fire(key), Some(FaultKind::CorruptEvent)) && !trace.is_empty() {
             let victim = (splitmix64(key) as usize) % trace.len();
-            trace[victim].name = format!("{}\u{1}_Qxx", trace[victim].name);
+            trace[victim].name = format!("{}\u{1}_Qxx", trace[victim].name).into();
             applied += 1;
         }
         if matches!(truncate.fire(key), Some(FaultKind::TruncateTrace)) {
@@ -589,9 +589,9 @@ mod tests {
     fn ingest_faults_mutate_only_keyed_traces() {
         use adprom_lang::{CallSiteId, LibCall};
         let event = |name: &str| CallEvent {
-            name: name.to_string(),
+            name: name.into(),
             call: LibCall::Printf,
-            caller: "main".to_string(),
+            caller: "main".into(),
             site: CallSiteId(0),
             detail: None,
         };

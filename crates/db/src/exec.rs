@@ -6,17 +6,43 @@ use crate::sql::{Aggregate, ArithOp, CmpOp, Order, Projection, SqlExpr, SqlScala
 use crate::table::Table;
 use crate::value::Value;
 use std::cmp::Ordering;
+use std::sync::{Arc, OnceLock};
+
+/// A result set rendered as text, the way libpq/libmysqlclient hand rows
+/// to applications: one shared `Arc<str>` per cell, one shared slice per
+/// row, the whole table behind one refcount.
+pub type TextRows = Arc<Vec<Arc<[Arc<str>]>>>;
 
 /// The rows returned by a SELECT.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct ResultSet {
     /// Output column names.
     pub columns: Vec<String>,
     /// Output rows.
     pub rows: Vec<Vec<Value>>,
+    /// Lazily rendered text view of `rows` (see [`ResultSet::text_rows`]).
+    /// Not part of the value: equality ignores it, and mutating `rows`
+    /// after the first render would make it stale — result sets are
+    /// write-once by construction.
+    text: OnceLock<TextRows>,
+}
+
+impl PartialEq for ResultSet {
+    fn eq(&self, other: &ResultSet) -> bool {
+        self.columns == other.columns && self.rows == other.rows
+    }
 }
 
 impl ResultSet {
+    /// Builds a result set.
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<Value>>) -> ResultSet {
+        ResultSet {
+            columns,
+            rows,
+            text: OnceLock::new(),
+        }
+    }
+
     /// Number of tuples (libpq `PQntuples`).
     pub fn ntuples(&self) -> usize {
         self.rows.len()
@@ -35,13 +61,29 @@ impl ResultSet {
             .and_then(|r| r.get(col))
             .map(Value::render)
     }
+
+    /// The whole result rendered as text, the way libpq/libmysqlclient hand
+    /// rows to applications. Rendered once per result set and shared by
+    /// refcount from then on — with the statement-level result cache, a
+    /// repeated query costs two pointer bumps, not a re-render.
+    pub fn text_rows(&self) -> &TextRows {
+        self.text.get_or_init(|| {
+            Arc::new(
+                self.rows
+                    .iter()
+                    .map(|r| r.iter().map(Value::render_shared).collect())
+                    .collect(),
+            )
+        })
+    }
 }
 
 /// Outcome of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryResult {
-    /// SELECT output.
-    Rows(ResultSet),
+    /// SELECT output. Shared so the statement-level result cache can hand
+    /// the same materialized rows to every repeat of a query.
+    Rows(Arc<ResultSet>),
     /// Row count affected by INSERT/UPDATE/DELETE.
     Affected(usize),
     /// DDL success.
@@ -63,6 +105,148 @@ fn resolve_scalar(s: &SqlScalar, params: &[Value]) -> Result<Value, DbError> {
         SqlScalar::Literal(v) => Ok(v.clone()),
         SqlScalar::Param(i) => params.get(i - 1).cloned().ok_or(DbError::MissingParam(*i)),
     }
+}
+
+/// A WHERE/SET expression with column names resolved to row indices and
+/// parameters substituted — bound once per statement so the per-row
+/// evaluation loop does no name lookups. Resolution *failures* are bound as
+/// [`Bound::Fail`] nodes that error only when evaluated, preserving
+/// [`eval_expr`]'s lazy error semantics under short-circuiting `AND`/`OR`.
+enum Bound {
+    Value(Value),
+    Col(usize),
+    Fail(DbError),
+    /// Fast path for the dominant predicate shape `col <op> constant`
+    /// (`id = $1`, `ward != 'none'`, `balance > 0`): compares the cell in
+    /// place — no recursion, no value clones per row.
+    ColCmp(CmpOp, usize, Value),
+    Cmp(CmpOp, Box<Bound>, Box<Bound>),
+    And(Box<Bound>, Box<Bound>),
+    Or(Box<Bound>, Box<Bound>),
+    Not(Box<Bound>),
+    Like(Box<Bound>, Box<Bound>),
+    IsNull(Box<Bound>, bool),
+    Arith(ArithOp, Box<Bound>, Box<Bound>),
+}
+
+fn bind_expr(expr: &SqlExpr, schema: &Schema, params: &[Value]) -> Bound {
+    let sub = |e: &SqlExpr| Box::new(bind_expr(e, schema, params));
+    match expr {
+        SqlExpr::Scalar(s) => match resolve_scalar(s, params) {
+            Ok(v) => Bound::Value(v),
+            Err(e) => Bound::Fail(e),
+        },
+        SqlExpr::Column(name) => match schema.index_of(name) {
+            Ok(idx) => Bound::Col(idx),
+            Err(e) => Bound::Fail(e),
+        },
+        SqlExpr::Cmp(op, a, b) => {
+            match (bind_expr(a, schema, params), bind_expr(b, schema, params)) {
+                (Bound::Col(idx), Bound::Value(v)) => Bound::ColCmp(*op, idx, v),
+                (a, b) => Bound::Cmp(*op, Box::new(a), Box::new(b)),
+            }
+        }
+        SqlExpr::And(a, b) => Bound::And(sub(a), sub(b)),
+        SqlExpr::Or(a, b) => Bound::Or(sub(a), sub(b)),
+        SqlExpr::Not(a) => Bound::Not(sub(a)),
+        SqlExpr::Like(a, p) => Bound::Like(sub(a), sub(p)),
+        SqlExpr::IsNull(a, negated) => Bound::IsNull(sub(a), *negated),
+        SqlExpr::Arith(op, a, b) => Bound::Arith(*op, sub(a), sub(b)),
+    }
+}
+
+/// SQL three-valued comparison result: `NULL` when either side was `NULL`
+/// (no ordering), else `1`/`0`.
+fn cmp_value(op: CmpOp, ord: Option<Ordering>) -> Value {
+    match ord {
+        None => Value::Null,
+        Some(ord) => Value::Int(i64::from(match op {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        })),
+    }
+}
+
+/// Evaluates a bound expression against one row. Mirrors [`eval_expr`]
+/// exactly (that function remains the specification; `bound_matches_eval`
+/// in the tests pins them together), minus the per-row name resolution.
+fn eval_bound(b: &Bound, row: &[Value]) -> Result<Value, DbError> {
+    Ok(match b {
+        Bound::Value(v) => v.clone(),
+        Bound::Col(idx) => row[*idx].clone(),
+        Bound::Fail(e) => return Err(e.clone()),
+        Bound::ColCmp(op, idx, v) => cmp_value(*op, row[*idx].sql_cmp(v)),
+        Bound::Cmp(op, a, b) => {
+            let va = eval_bound(a, row)?;
+            let vb = eval_bound(b, row)?;
+            cmp_value(*op, va.sql_cmp(&vb))
+        }
+        Bound::And(a, b) => {
+            let va = truthy(&eval_bound(a, row)?);
+            if va == Some(false) {
+                return Ok(Value::Int(0));
+            }
+            let vb = truthy(&eval_bound(b, row)?);
+            match (va, vb) {
+                (Some(true), Some(true)) => Value::Int(1),
+                (_, Some(false)) => Value::Int(0),
+                _ => Value::Null,
+            }
+        }
+        Bound::Or(a, b) => {
+            let va = truthy(&eval_bound(a, row)?);
+            if va == Some(true) {
+                return Ok(Value::Int(1));
+            }
+            let vb = truthy(&eval_bound(b, row)?);
+            match (va, vb) {
+                (_, Some(true)) => Value::Int(1),
+                (Some(false), Some(false)) => Value::Int(0),
+                _ => Value::Null,
+            }
+        }
+        Bound::Not(a) => match truthy(&eval_bound(a, row)?) {
+            Some(v) => Value::Int(i64::from(!v)),
+            None => Value::Null,
+        },
+        Bound::Like(a, pat) => {
+            let va = eval_bound(a, row)?;
+            let vp = eval_bound(pat, row)?;
+            match (va, vp) {
+                (Value::Null, _) | (_, Value::Null) => Value::Null,
+                (a, p) => Value::Int(i64::from(like_match(&a.render(), &p.render()))),
+            }
+        }
+        Bound::IsNull(a, negated) => {
+            Value::Int(i64::from(eval_bound(a, row)?.is_null() != *negated))
+        }
+        Bound::Arith(op, a, b) => {
+            let va = eval_bound(a, row)?;
+            let vb = eval_bound(b, row)?;
+            match (va.as_number(), vb.as_number()) {
+                (Some(_), Some(y)) if *op == ArithOp::Div && y == 0.0 => Value::Null,
+                (Some(x), Some(y)) => {
+                    let out = match op {
+                        ArithOp::Add => x + y,
+                        ArithOp::Sub => x - y,
+                        ArithOp::Mul => x * y,
+                        ArithOp::Div => x / y,
+                    };
+                    if let (Value::Int(_), Value::Int(_)) = (&va, &vb) {
+                        if out.fract() == 0.0 && out.is_finite() {
+                            return Ok(Value::Int(out as i64));
+                        }
+                    }
+                    Value::Float(out)
+                }
+                _ => Value::Null,
+            }
+        }
+    })
 }
 
 /// Evaluates a WHERE/SET expression against one row.
@@ -200,11 +384,12 @@ pub fn exec_select(
     params: &[Value],
 ) -> Result<ResultSet, DbError> {
     let schema = table.schema();
+    let bound = where_clause.map(|w| bind_expr(w, schema, params));
     let mut matched: Vec<&Vec<Value>> = Vec::new();
     for row in table.rows() {
-        let keep = match where_clause {
+        let keep = match &bound {
             None => true,
-            Some(w) => truthy(&eval_expr(w, schema, row, params)?) == Some(true),
+            Some(w) => truthy(&eval_bound(w, row)?) == Some(true),
         };
         if keep {
             matched.push(row);
@@ -227,22 +412,22 @@ pub fn exec_select(
     }
 
     match projection {
-        Projection::Star => Ok(ResultSet {
-            columns: schema.columns().iter().map(|c| c.name.clone()).collect(),
-            rows: matched.into_iter().cloned().collect(),
-        }),
+        Projection::Star => Ok(ResultSet::new(
+            schema.columns().iter().map(|c| c.name.clone()).collect(),
+            matched.into_iter().cloned().collect(),
+        )),
         Projection::Columns(cols) => {
             let idxs: Vec<usize> = cols
                 .iter()
                 .map(|c| schema.index_of(c))
                 .collect::<Result<_, _>>()?;
-            Ok(ResultSet {
-                columns: cols.clone(),
-                rows: matched
+            Ok(ResultSet::new(
+                cols.clone(),
+                matched
                     .into_iter()
                     .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
                     .collect(),
-            })
+            ))
         }
         Projection::Aggregates(aggs) => {
             let mut columns = Vec::new();
@@ -252,10 +437,7 @@ pub fn exec_select(
                 columns.push(name);
                 row.push(value);
             }
-            Ok(ResultSet {
-                columns,
-                rows: vec![row],
-            })
+            Ok(ResultSet::new(columns, vec![row]))
         }
     }
 }
@@ -331,21 +513,22 @@ pub fn exec_update(
     params: &[Value],
 ) -> Result<usize, DbError> {
     let schema = table.schema().clone();
-    let set_idxs: Vec<(usize, &SqlExpr)> = sets
+    let set_idxs: Vec<(usize, Bound)> = sets
         .iter()
-        .map(|(c, e)| Ok((schema.index_of(c)?, e)))
+        .map(|(c, e)| Ok((schema.index_of(c)?, bind_expr(e, &schema, params))))
         .collect::<Result<_, DbError>>()?;
+    let bound = where_clause.map(|w| bind_expr(w, &schema, params));
     let mut affected = 0;
     for row in table.rows_mut() {
-        let keep = match where_clause {
+        let keep = match &bound {
             None => true,
-            Some(w) => truthy(&eval_expr(w, &schema, row, params)?) == Some(true),
+            Some(w) => truthy(&eval_bound(w, row)?) == Some(true),
         };
         if keep {
             // Evaluate all SETs against the pre-update row, then apply.
             let mut new_vals = Vec::with_capacity(set_idxs.len());
             for (idx, e) in &set_idxs {
-                let v = eval_expr(e, &schema, row, params)?;
+                let v = eval_bound(e, row)?;
                 let col = &schema.columns()[*idx];
                 if !col.ty.accepts(&v) {
                     return Err(DbError::TypeMismatch {
@@ -371,15 +554,16 @@ pub fn exec_delete(
     params: &[Value],
 ) -> Result<usize, DbError> {
     let schema = table.schema().clone();
+    let bound = where_clause.map(|w| bind_expr(w, &schema, params));
     let mut error = None;
     let before = table.row_count();
     table.rows_mut().retain(|row| {
         if error.is_some() {
             return true;
         }
-        match where_clause {
+        match &bound {
             None => false,
-            Some(w) => match eval_expr(w, &schema, row, params) {
+            Some(w) => match eval_bound(w, row) {
                 Ok(v) => truthy(&v) != Some(true),
                 Err(e) => {
                     error = Some(e);
@@ -490,6 +674,60 @@ mod tests {
         .unwrap();
         let names: Vec<String> = rs.rows.iter().map(|r| r[0].render()).collect();
         assert_eq!(names, vec!["apple", "pear", "plum"]);
+    }
+
+    #[test]
+    fn bound_matches_eval_expr() {
+        // eval_expr is the specification; bind_expr/eval_bound is the fast
+        // path the row loops use. Pin them together over a grid of
+        // expressions, including lazy-error cases (unknown column behind a
+        // short-circuiting OR must only fail when evaluated).
+        use crate::schema::{schema, ColumnType};
+        use crate::table::Table;
+        let s = schema(&[
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Text),
+            ("c", ColumnType::Float),
+        ]);
+        let mut t = Table::new(s);
+        t.insert(vec![
+            Value::Int(1),
+            Value::Text("x".into()),
+            Value::Float(1.5),
+        ])
+        .unwrap();
+        t.insert(vec![Value::Int(0), Value::Null, Value::Float(-2.0)])
+            .unwrap();
+        let params = [Value::Text("x".into())];
+        for src in [
+            "a = 1",
+            "a != 1 AND b = 'x'",
+            "b = $1 OR a < 0",
+            "NOT (a >= 1)",
+            "b LIKE 'x%'",
+            "b IS NULL",
+            "b IS NOT NULL AND c > -3",
+            "a + c * 2 > 0",
+            "a / 0 = 0",
+            "1 = 1 OR nope = 2",
+            "1 = 0 OR nope = 2",
+            "nope = 2 AND 1 = 1",
+            "a = $9",
+        ] {
+            let stmt = crate::sql::parse_sql(&format!("SELECT * FROM t WHERE {src}")).unwrap();
+            let crate::sql::SqlStmt::Select { where_clause, .. } = stmt else {
+                panic!("expected select");
+            };
+            let w = where_clause.unwrap();
+            let bound = bind_expr(&w, t.schema(), &params);
+            for row in t.rows() {
+                assert_eq!(
+                    eval_bound(&bound, row),
+                    eval_expr(&w, t.schema(), row, &params),
+                    "bound/eval divergence on {src:?}"
+                );
+            }
+        }
     }
 
     #[test]

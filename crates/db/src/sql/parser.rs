@@ -224,7 +224,7 @@ impl SqlParser {
             } else {
                 v
             }))),
-            Some(SqlTok::Str(s)) if !negative => Ok(SqlScalar::Literal(Value::Text(s))),
+            Some(SqlTok::Str(s)) if !negative => Ok(SqlScalar::Literal(Value::Text(s.into()))),
             Some(SqlTok::Param(i)) if !negative => Ok(SqlScalar::Param(i)),
             Some(SqlTok::Word(w)) if w.eq_ignore_ascii_case("NULL") && !negative => {
                 Ok(SqlScalar::Literal(Value::Null))

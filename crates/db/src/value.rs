@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// A single cell value.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -11,8 +12,9 @@ pub enum Value {
     Int(i64),
     /// 64-bit float.
     Float(f64),
-    /// UTF-8 text.
-    Text(String),
+    /// UTF-8 text — refcounted so that copying cells (query projection,
+    /// result materialization) never copies the bytes.
+    Text(Arc<str>),
     /// SQL NULL.
     Null,
 }
@@ -29,8 +31,17 @@ impl Value {
         match self {
             Value::Int(v) => v.to_string(),
             Value::Float(v) => format!("{v}"),
-            Value::Text(s) => s.clone(),
+            Value::Text(s) => s.to_string(),
             Value::Null => "NULL".to_string(),
+        }
+    }
+
+    /// Like [`Value::render`], but shares text cells instead of copying
+    /// them — the client layer materializes whole result sets through this.
+    pub fn render_shared(&self) -> Arc<str> {
+        match self {
+            Value::Text(s) => Arc::clone(s),
+            other => other.render().into(),
         }
     }
 
@@ -53,7 +64,7 @@ impl Value {
         match (self, other) {
             (Value::Null, _) | (_, Value::Null) => None,
             (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
-            (Value::Text(a), Value::Text(b)) => Some(a.as_str().cmp(b.as_str())),
+            (Value::Text(a), Value::Text(b)) => Some((**a).cmp(&**b)),
             _ => {
                 let a = self.as_number()?;
                 let b = other.as_number()?;
@@ -88,13 +99,13 @@ impl From<f64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Value {
-        Value::Text(v.to_string())
+        Value::Text(v.into())
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Value {
-        Value::Text(v)
+        Value::Text(v.into())
     }
 }
 

@@ -16,12 +16,15 @@
 //!   it), and a [`pretty`]-printer that round-trips;
 //! * a programmatic [`builder`] used by the synthetic SIR-scale generator and
 //!   by the attack mutators;
-//! * a [`validate`](mod@validate) pass catching structural errors before analysis.
+//! * a [`validate`](mod@validate) pass catching structural errors before analysis;
+//! * a [`bytecode`] compiler + disassembler lowering programs to the compact
+//!   stack-machine form executed by the trace VM.
 
 #![warn(missing_docs)]
 
 pub mod ast;
 pub mod builder;
+pub mod bytecode;
 pub mod libcalls;
 pub mod parser;
 pub mod pretty;
@@ -29,7 +32,8 @@ pub mod validate;
 
 pub use ast::{BinOp, CallSiteId, Callee, Expr, Function, Program, Stmt, UnOp};
 pub use builder::ProgramBuilder;
-pub use libcalls::LibCall;
+pub use bytecode::{compile_program, disassemble, BytecodeProgram, Chunk, CompileError, Op};
+pub use libcalls::{LibCall, OutParam};
 pub use parser::{parse_program, ParseError};
 pub use pretty::pretty_program;
 pub use validate::{validate, validated, ValidateError};

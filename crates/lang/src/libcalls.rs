@@ -190,6 +190,40 @@ impl LibCall {
             LibCall::Scanf | LibCall::Fscanf | LibCall::Gets | LibCall::Fgets | LibCall::Getchar
         )
     }
+
+    /// C out-parameter emulation: which argument *expression*, when it is a
+    /// plain variable, additionally receives the call's result
+    /// (`strcpy(dst, src)` writes `dst`, `scanf("%s", var)` writes `var`).
+    ///
+    /// For every call in this table the stored value equals the returned
+    /// value, so the runtimes (tree-walk and VM) implement the write as
+    /// "store the result into the target variable, keeping it as the call's
+    /// value" — one shared rule instead of two divergent interpreters.
+    pub fn out_param(self) -> Option<OutParam> {
+        match self {
+            LibCall::Scanf | LibCall::Gets | LibCall::Getchar => Some(OutParam::LastArg),
+            LibCall::Fscanf
+            | LibCall::Fgets
+            | LibCall::Strcpy
+            | LibCall::Strncpy
+            | LibCall::Strcat
+            | LibCall::Strncat
+            | LibCall::Sprintf
+            | LibCall::Snprintf
+            | LibCall::Memcpy => Some(OutParam::FirstArg),
+            _ => None,
+        }
+    }
+}
+
+/// Which argument position a call writes through (see
+/// [`LibCall::out_param`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutParam {
+    /// The first argument (`strcpy(dst, ..)`, `fgets(buf, ..)`).
+    FirstArg,
+    /// The last argument (`scanf("%s", var)`).
+    LastArg,
 }
 
 impl fmt::Display for LibCall {

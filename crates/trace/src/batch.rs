@@ -136,9 +136,9 @@ mod tests {
 
     fn event(name: &str) -> CallEvent {
         CallEvent {
-            name: name.to_string(),
+            name: name.into(),
             call: LibCall::Printf,
-            caller: "main".to_string(),
+            caller: "main".into(),
             site: CallSiteId(0),
             detail: None,
         }
@@ -158,7 +158,7 @@ mod tests {
         assert_eq!(batch.total_events(), 3);
         let (sessions, traces) = batch.into_batch();
         assert_eq!(sessions.len(), traces.len());
-        assert_eq!(traces[0][1].name, "c");
+        assert_eq!(&*traces[0][1].name, "c");
     }
 
     #[test]

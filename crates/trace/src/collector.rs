@@ -9,17 +9,24 @@
 
 use adprom_lang::{CallSiteId, LibCall};
 use adprom_obs::{Counter, Registry};
+use std::sync::Arc;
 
 /// One intercepted library call.
+///
+/// `name` and `caller` are shared `Arc<str>`s, not `String`s: the bytecode
+/// VM interns every observation name and caller at compile time and emits
+/// events by bumping refcounts, so trace generation allocates nothing per
+/// event. (`"x".into()` and `format!(..).into()` still build the fields
+/// directly wherever events are constructed by hand.)
 #[derive(Debug, Clone, PartialEq)]
 pub struct CallEvent {
     /// Observation name — the raw call name, or the DDG label
     /// (`printf_Q6`) when the site was labeled by the Analyzer.
-    pub name: String,
+    pub name: Arc<str>,
     /// The underlying library call.
     pub call: LibCall,
     /// The function that issued the call.
-    pub caller: String,
+    pub caller: Arc<str>,
     /// The call site.
     pub site: CallSiteId,
     /// Optional extension payload (§VII mitigations): the normalized query
@@ -49,7 +56,13 @@ pub struct TraceCollector {
 impl TraceCollector {
     /// Creates an empty collector. Instrumentation starts disabled.
     pub fn new() -> TraceCollector {
-        TraceCollector::default()
+        TraceCollector {
+            // Typical workload cases emit on the order of a hundred events;
+            // starting at a realistic capacity keeps the hot `on_call` push
+            // from re-growing the vector several times per trace.
+            events: Vec::with_capacity(128),
+            ingested: Counter::default(),
+        }
     }
 
     /// Counts every ingested event against `registry`'s
@@ -66,7 +79,7 @@ impl TraceCollector {
 
     /// The observation-name sequence of the trace.
     pub fn names(&self) -> Vec<String> {
-        self.events.iter().map(|e| e.name.clone()).collect()
+        self.events.iter().map(|e| e.name.to_string()).collect()
     }
 
     /// Consumes the collector, returning its events.
@@ -150,7 +163,7 @@ mod tests {
         let mut c = TraceCollector::new();
         for (i, name) in ["printf", "PQexec"].iter().enumerate() {
             c.on_call(CallEvent {
-                name: (*name).to_string(),
+                name: (*name).into(),
                 call: LibCall::Printf,
                 caller: "main".into(),
                 site: CallSiteId(i as u32),

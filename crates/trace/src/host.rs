@@ -1,0 +1,594 @@
+//! The shared *host* semantics behind both runtimes.
+//!
+//! The tree-walking interpreter ([`crate::interp`]) and the bytecode VM
+//! ([`crate::vm`]) must emit bit-identical traces; the way that is kept true
+//! by construction is that everything a library call *does* — query the
+//! session, consume stdin, write the virtual filesystem, advance the RNG —
+//! lives here, in one implementation both runtimes call. The runtimes differ
+//! only in how they walk the program; the world the program observes is this
+//! module.
+//!
+//! The out-parameter convention is the one piece the runtimes implement
+//! themselves (the tree-walk writes the frame map, the VM executes a
+//! `StoreKeep` op): for every call in [`LibCall::out_param`]'s table,
+//! [`Host::lib_call`]'s return value is exactly the value to store.
+
+use crate::interp::{ExecConfig, ExecOutcome};
+use crate::value::RtValue;
+use adprom_client::ClientSession;
+use adprom_lang::{BinOp, LibCall, UnOp};
+use std::borrow::Cow;
+use std::sync::Arc;
+
+/// The mutable world a running program observes: database session, stdin,
+/// virtual filesystem, RNG, and the accumulated [`ExecOutcome`].
+pub(crate) struct Host<'a> {
+    pub session: &'a mut ClientSession,
+    pub inputs: &'a [String],
+    pub next_input: usize,
+    pub outcome: ExecOutcome,
+    pub rng_state: u64,
+    /// fopen handles: index → path.
+    pub open_files: Vec<String>,
+    pub extended_events: bool,
+}
+
+impl<'a> Host<'a> {
+    pub fn new(
+        session: &'a mut ClientSession,
+        inputs: &'a [String],
+        config: &ExecConfig,
+    ) -> Host<'a> {
+        Host {
+            session,
+            inputs,
+            next_input: 0,
+            outcome: ExecOutcome::default(),
+            rng_state: config.rng_seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+            open_files: Vec::new(),
+            extended_events: config.extended_events,
+        }
+    }
+
+    /// Extension payload for the event about to be emitted (§VII): query
+    /// signatures for submissions, file paths for file writes, the command
+    /// line for `system`. `None` unless extended events are enabled.
+    ///
+    /// Must be called *before* [`Host::lib_call`] for the same call: details
+    /// describe the world as the call sees it (an `fopen` detail is the path
+    /// argument, not the handle the call is about to create).
+    pub fn detail(&self, lc: LibCall, args: &[RtValue]) -> Option<String> {
+        if !self.extended_events {
+            return None;
+        }
+        let file_path = |v: Option<&RtValue>| -> Option<String> {
+            match v {
+                Some(RtValue::File(id)) => self.open_files.get(*id).cloned(),
+                Some(RtValue::Str(path)) => Some(path.to_string()),
+                _ => None,
+            }
+        };
+        if lc.is_query_submission() {
+            // The SQL text position varies: PQexec(conn, sql) / PQprepare(conn,
+            // name, sql) / mysql_query(conn, sql) / mysql_stmt_prepare(conn, sql).
+            let sql_index = match lc {
+                LibCall::PQprepare => 2,
+                _ => 1,
+            };
+            return args
+                .get(sql_index)
+                .map(|v| adprom_db::query_signature(&v.render()));
+        }
+        match lc {
+            LibCall::Fopen => args.first().map(|v| v.render()),
+            LibCall::Fprintf => file_path(args.first()),
+            LibCall::Fputs | LibCall::Fputc => file_path(args.get(1)),
+            LibCall::Fwrite => file_path(args.get(3)),
+            LibCall::Write => file_path(args.first()),
+            LibCall::System | LibCall::Remove => args.first().map(|v| v.render()),
+            _ => None,
+        }
+    }
+
+    /// Executes a library call against the host world. Returns `None` for
+    /// `exit()`. The caller is responsible for the out-parameter write (see
+    /// [`LibCall::out_param`]): the returned value is the value to store.
+    pub fn lib_call(&mut self, lc: LibCall, args: &[RtValue]) -> Option<RtValue> {
+        let arg = |i: usize| args.get(i).cloned().unwrap_or(RtValue::Null);
+        // Text view of an argument: borrows string arguments in place (the
+        // common case on the hot paths — SQL text, printf formats), renders
+        // everything else.
+        let str_arg = |i: usize| -> Cow<'_, str> {
+            match args.get(i) {
+                Some(RtValue::Str(s)) => Cow::Borrowed(&**s),
+                Some(v) => Cow::Owned(v.render()),
+                None => Cow::Borrowed(""),
+            }
+        };
+        // Same, as a value to return: string arguments come back as a
+        // refcount bump, never a copy.
+        let str_val = |i: usize| -> RtValue {
+            match args.get(i) {
+                Some(RtValue::Str(s)) => RtValue::Str(Arc::clone(s)),
+                Some(v) => RtValue::Str(v.render().into()),
+                None => RtValue::Str("".into()),
+            }
+        };
+        let handle = |i: usize| match args.get(i) {
+            Some(RtValue::Handle(h)) => Some(*h),
+            _ => None,
+        };
+        let v = match lc {
+            // ---- libpq ----
+            LibCall::PQconnectdb => str_val(0),
+            LibCall::PQexec => match self.session.pq_exec(&str_arg(1)) {
+                Ok(h) => RtValue::Handle(h),
+                Err(_) => RtValue::Null,
+            },
+            LibCall::PQprepare => {
+                let _ = self.session.pq_prepare(&str_arg(1), &str_arg(2));
+                RtValue::Int(0)
+            }
+            LibCall::PQexecPrepared => {
+                let params: Vec<String> = args[2..].iter().map(RtValue::render).collect();
+                match self.session.pq_exec_prepared(&str_arg(1), &params) {
+                    Ok(h) => RtValue::Handle(h),
+                    Err(_) => RtValue::Null,
+                }
+            }
+            // Handle-taking calls are lenient on NULL/garbage handles —
+            // attack-mutated programs may query missing tables, and a run
+            // must degrade (empty results) rather than abort.
+            LibCall::PQntuples => match handle(0) {
+                Some(h) => RtValue::Int(self.session.pq_ntuples(h).unwrap_or(0) as i64),
+                None => RtValue::Int(0),
+            },
+            LibCall::PQnfields => match handle(0) {
+                Some(h) => RtValue::Int(self.session.pq_nfields(h).unwrap_or(0) as i64),
+                None => RtValue::Int(0),
+            },
+            LibCall::PQgetvalue => match handle(0) {
+                Some(h) => {
+                    let r = arg(1).as_int().unwrap_or(0).max(0) as usize;
+                    let c = arg(2).as_int().unwrap_or(0).max(0) as usize;
+                    RtValue::Str(
+                        self.session
+                            .pq_getvalue(h, r, c)
+                            .unwrap_or_else(|_| Arc::from("")),
+                    )
+                }
+                None => RtValue::Str("".into()),
+            },
+            LibCall::PQclear => {
+                if let Some(h) = handle(0) {
+                    let _ = self.session.pq_clear(h);
+                }
+                RtValue::Null
+            }
+            LibCall::PQfinish => RtValue::Null,
+
+            // ---- libmysqlclient ----
+            LibCall::MysqlInit | LibCall::MysqlRealConnect => RtValue::Str("conn".into()),
+            LibCall::MysqlQuery => RtValue::Int(self.session.mysql_query(&str_arg(1))),
+            LibCall::MysqlStoreResult => match self.session.mysql_store_result() {
+                Ok(h) => RtValue::Handle(h),
+                Err(_) => RtValue::Null,
+            },
+            LibCall::MysqlFetchRow => match handle(0) {
+                Some(h) => match self.session.mysql_fetch_row(h) {
+                    Ok(Some(row)) => RtValue::Row(row),
+                    _ => RtValue::Null,
+                },
+                None => RtValue::Null,
+            },
+            LibCall::MysqlNumRows => match handle(0) {
+                Some(h) => RtValue::Int(self.session.mysql_num_rows(h).unwrap_or(0) as i64),
+                None => RtValue::Int(0),
+            },
+            LibCall::MysqlNumFields => match handle(0) {
+                Some(h) => RtValue::Int(self.session.mysql_num_fields(h).unwrap_or(0) as i64),
+                None => RtValue::Int(0),
+            },
+            LibCall::MysqlFreeResult => {
+                if let Some(h) = handle(0) {
+                    let _ = self.session.mysql_free_result(h);
+                }
+                RtValue::Null
+            }
+            LibCall::MysqlClose => RtValue::Null,
+            LibCall::MysqlStmtPrepare => {
+                let _ = self.session.mysql_stmt_prepare(&str_arg(1));
+                RtValue::Int(0)
+            }
+            LibCall::MysqlStmtExecute => {
+                let params: Vec<String> = args[1..].iter().map(RtValue::render).collect();
+                let _ = self.session.mysql_stmt_execute(&params);
+                RtValue::Int(0)
+            }
+
+            // ---- stdout ----
+            LibCall::Printf => {
+                let at = self.outcome.stdout.len();
+                format_printf_into(
+                    &mut self.outcome.stdout,
+                    &str_arg(0),
+                    &args[1.min(args.len())..],
+                );
+                RtValue::Int((self.outcome.stdout.len() - at) as i64)
+            }
+            LibCall::Puts => {
+                self.outcome.stdout.push_str(&str_arg(0));
+                self.outcome.stdout.push('\n');
+                RtValue::Int(0)
+            }
+            LibCall::Putchar => {
+                self.outcome.stdout.push_str(&str_arg(0));
+                RtValue::Int(0)
+            }
+
+            // ---- files ----
+            LibCall::Fopen => {
+                let path = str_arg(0).into_owned();
+                let mode = str_arg(1);
+                if !mode.contains('a') {
+                    self.outcome.files.insert(path.clone(), String::new());
+                } else {
+                    self.outcome.files.entry(path.clone()).or_default();
+                }
+                self.open_files.push(path);
+                RtValue::File(self.open_files.len() - 1)
+            }
+            LibCall::Fprintf => {
+                let text = format_printf(&str_arg(1), &args[2.min(args.len())..]);
+                self.write_file(arg(0), &text);
+                RtValue::Int(text.len() as i64)
+            }
+            LibCall::Fputs | LibCall::Fputc => {
+                let text = str_arg(0);
+                self.write_file(arg(1), &text);
+                RtValue::Int(0)
+            }
+            LibCall::Fwrite => {
+                let text = str_arg(0);
+                self.write_file(arg(3), &text);
+                RtValue::Int(text.len() as i64)
+            }
+            LibCall::Write => {
+                // write(fd, buf, len): fd 1 = stdout, else a virtual fd.
+                let fd = arg(0);
+                let text = str_arg(1);
+                if fd.as_int() == Some(1) {
+                    self.outcome.stdout.push_str(&text);
+                } else {
+                    self.write_file(fd, &text);
+                }
+                RtValue::Int(text.len() as i64)
+            }
+            LibCall::Fclose | LibCall::Fflush => RtValue::Int(0),
+            LibCall::Fread => RtValue::Str("".into()),
+            LibCall::Remove => {
+                self.outcome.files.remove(&*str_arg(0));
+                RtValue::Int(0)
+            }
+
+            // ---- stdin (out-param store is the runtime's job) ----
+            LibCall::Scanf
+            | LibCall::Gets
+            | LibCall::Getchar
+            | LibCall::Fscanf
+            | LibCall::Fgets => self.read_input(),
+
+            // ---- strings ----
+            LibCall::Strcpy | LibCall::Strncpy => str_val(1),
+            LibCall::Strcat | LibCall::Strncat => {
+                let mut dst = str_arg(0).into_owned();
+                dst.push_str(&str_arg(1));
+                RtValue::Str(dst.into())
+            }
+            LibCall::Sprintf | LibCall::Snprintf => {
+                // sprintf(dst, fmt, ...) — snprintf has a size arg we ignore.
+                let (fmt_idx, rest_idx) = if lc == LibCall::Snprintf {
+                    (2, 3)
+                } else {
+                    (1, 2)
+                };
+                let text = format_printf(&str_arg(fmt_idx), &args[rest_idx.min(args.len())..]);
+                RtValue::Str(text.into())
+            }
+            LibCall::Strcmp => {
+                let a = str_arg(0);
+                let b = str_arg(1);
+                RtValue::Int(match a.cmp(&b) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                })
+            }
+            LibCall::Strlen => RtValue::Int(str_arg(0).len() as i64),
+            LibCall::Strstr => {
+                let hay = str_arg(0);
+                let needle = str_arg(1);
+                match hay.find(&*needle) {
+                    Some(pos) => RtValue::Str(Arc::from(&hay[pos..])),
+                    None => RtValue::Null,
+                }
+            }
+            LibCall::Atoi => RtValue::Int(parse_prefix_int(&str_arg(0))),
+            LibCall::Atof => RtValue::Float(str_arg(0).trim().parse().unwrap_or(0.0)),
+            LibCall::Memcpy => arg(1),
+            LibCall::Memset => arg(0),
+
+            // ---- misc ----
+            LibCall::System => {
+                self.outcome.system_commands.push(str_arg(0).into_owned());
+                RtValue::Int(0)
+            }
+            LibCall::Exit => return None,
+            LibCall::Malloc => RtValue::Str("".into()),
+            LibCall::Free => RtValue::Null,
+            LibCall::Rand => {
+                // xorshift64*: deterministic per seed.
+                self.rng_state ^= self.rng_state >> 12;
+                self.rng_state ^= self.rng_state << 25;
+                self.rng_state ^= self.rng_state >> 27;
+                RtValue::Int(((self.rng_state.wrapping_mul(0x2545F4914F6CDD1D)) >> 33) as i64)
+            }
+            LibCall::Srand => {
+                self.rng_state = arg(0).as_int().unwrap_or(0) as u64 | 1;
+                RtValue::Null
+            }
+            LibCall::Time => RtValue::Int(1_600_000_000),
+            LibCall::Getenv => RtValue::Str("".into()),
+            LibCall::Sleep => RtValue::Int(0),
+            LibCall::Abs => RtValue::Int(arg(0).as_int().unwrap_or(0).abs()),
+            LibCall::Sqrt => RtValue::Float(arg(0).as_number().unwrap_or(0.0).max(0.0).sqrt()),
+        };
+        Some(v)
+    }
+
+    fn read_input(&mut self) -> RtValue {
+        match self.inputs.get(self.next_input) {
+            Some(line) => {
+                self.next_input += 1;
+                RtValue::Str(line.as_str().into())
+            }
+            None => RtValue::Str("".into()),
+        }
+    }
+
+    fn write_file(&mut self, file: RtValue, text: &str) {
+        let path = match file {
+            RtValue::File(id) => self.open_files.get(id).cloned(),
+            RtValue::Str(path) => Some(path.to_string()),
+            _ => None,
+        };
+        let path = path.unwrap_or_else(|| "<unknown>".to_string());
+        self.outcome.files.entry(path).or_default().push_str(text);
+    }
+}
+
+/// Applies a unary operator.
+pub(crate) fn unary_op(op: UnOp, v: RtValue) -> RtValue {
+    match op {
+        UnOp::Neg => match v {
+            RtValue::Int(v) => RtValue::Int(-v),
+            RtValue::Float(v) => RtValue::Float(-v),
+            other => RtValue::Float(-other.as_number().unwrap_or(0.0)),
+        },
+        UnOp::Not => RtValue::Bool(!v.truthy()),
+    }
+}
+
+/// Indexes a row or string; anything else (and out-of-range) yields null.
+pub(crate) fn index_value(base: RtValue, idx: RtValue) -> RtValue {
+    let i = idx.as_int().unwrap_or(0).max(0) as usize;
+    match base {
+        RtValue::Row(cols) => cols
+            .get(i)
+            .map(|s| RtValue::Str(Arc::clone(s)))
+            .unwrap_or(RtValue::Null),
+        RtValue::Str(s) => s
+            .chars()
+            .nth(i)
+            .map(|c| RtValue::Str(c.to_string().into()))
+            .unwrap_or(RtValue::Null),
+        _ => RtValue::Null,
+    }
+}
+
+/// Applies a non-short-circuit binary operator (`&&`/`||` are handled by the
+/// runtimes: jumps in the VM, early return in the tree-walk).
+pub(crate) fn binary_op(op: BinOp, a: RtValue, b: RtValue) -> RtValue {
+    use BinOp::*;
+    match op {
+        Add => match (&a, &b) {
+            (RtValue::Str(x), _) => RtValue::Str(format!("{x}{}", b.render()).into()),
+            (_, RtValue::Str(y)) => RtValue::Str(format!("{}{y}", a.render()).into()),
+            (RtValue::Int(x), RtValue::Int(y)) => RtValue::Int(x.wrapping_add(*y)),
+            _ => num_op(&a, &b, |x, y| x + y),
+        },
+        Sub => int_preserving(&a, &b, i64::wrapping_sub, |x, y| x - y),
+        Mul => int_preserving(&a, &b, i64::wrapping_mul, |x, y| x * y),
+        Div => {
+            if let (RtValue::Int(x), RtValue::Int(y)) = (&a, &b) {
+                if *y != 0 {
+                    return RtValue::Int(x / y);
+                }
+                return RtValue::Int(0);
+            }
+            let y = b.as_number().unwrap_or(0.0);
+            if y == 0.0 {
+                RtValue::Float(0.0)
+            } else {
+                num_op(&a, &b, |x, y| x / y)
+            }
+        }
+        Rem => {
+            let x = a.as_int().unwrap_or(0);
+            let y = b.as_int().unwrap_or(0);
+            RtValue::Int(if y == 0 { 0 } else { x % y })
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let ord = compare(&a, &b);
+            let r = match (op, ord) {
+                (Eq, Some(o)) => o == std::cmp::Ordering::Equal,
+                (Ne, Some(o)) => o != std::cmp::Ordering::Equal,
+                (Lt, Some(o)) => o == std::cmp::Ordering::Less,
+                (Le, Some(o)) => o != std::cmp::Ordering::Greater,
+                (Gt, Some(o)) => o == std::cmp::Ordering::Greater,
+                (Ge, Some(o)) => o != std::cmp::Ordering::Less,
+                // Null comparisons: only != is true.
+                (Ne, None) => !(matches!(a, RtValue::Null) && matches!(b, RtValue::Null)),
+                (Eq, None) => matches!(a, RtValue::Null) && matches!(b, RtValue::Null),
+                _ => false,
+            };
+            RtValue::Bool(r)
+        }
+        And | Or => unreachable!("short-circuited by the runtimes"),
+    }
+}
+
+fn int_preserving(
+    a: &RtValue,
+    b: &RtValue,
+    int_op: fn(i64, i64) -> i64,
+    float_op: fn(f64, f64) -> f64,
+) -> RtValue {
+    if let (RtValue::Int(x), RtValue::Int(y)) = (a, b) {
+        RtValue::Int(int_op(*x, *y))
+    } else {
+        num_op(a, b, float_op)
+    }
+}
+
+fn num_op(a: &RtValue, b: &RtValue, f: fn(f64, f64) -> f64) -> RtValue {
+    RtValue::Float(f(
+        a.as_number().unwrap_or(0.0),
+        b.as_number().unwrap_or(0.0),
+    ))
+}
+
+fn compare(a: &RtValue, b: &RtValue) -> Option<std::cmp::Ordering> {
+    match (a, b) {
+        (RtValue::Null, _) | (_, RtValue::Null) => None,
+        (RtValue::Str(x), RtValue::Str(y)) => {
+            // Numeric-looking strings compare numerically, else lexically.
+            match (x.trim().parse::<f64>(), y.trim().parse::<f64>()) {
+                (Ok(nx), Ok(ny)) => nx.partial_cmp(&ny),
+                _ => Some(x.cmp(y)),
+            }
+        }
+        _ => {
+            let na = a.as_number()?;
+            let nb = b.as_number()?;
+            na.partial_cmp(&nb)
+        }
+    }
+}
+
+fn parse_prefix_int(s: &str) -> i64 {
+    let t = s.trim_start();
+    let (sign, rest) = match t.strip_prefix('-') {
+        Some(r) => (-1, r),
+        None => (1, t.strip_prefix('+').unwrap_or(t)),
+    };
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse::<i64>().map(|v| sign * v).unwrap_or(0)
+}
+
+/// Minimal printf formatting: consumes `%s`/`%d`/`%i`/`%f`/`%c` in order;
+/// `%%` emits a literal percent; unknown directives are copied through.
+pub fn format_printf(fmt: &str, args: &[RtValue]) -> String {
+    let mut out = String::with_capacity(fmt.len() + 8 * args.len());
+    format_printf_into(&mut out, fmt, args);
+    out
+}
+
+/// [`format_printf`] appending to an existing buffer — `printf` formats
+/// straight into the captured stdout, with no intermediate `String`.
+fn format_printf_into(out: &mut String, fmt: &str, args: &[RtValue]) {
+    use std::fmt::Write;
+    let mut arg_iter = args.iter();
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('%') => out.push('%'),
+            // String args append in place (no intermediate render alloc).
+            Some('s') | Some('c') => match arg_iter.next() {
+                Some(RtValue::Str(s)) => out.push_str(s),
+                Some(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                None => {}
+            },
+            Some('d') | Some('i') => {
+                let v = arg_iter.next().and_then(RtValue::as_int).unwrap_or(0);
+                let _ = write!(out, "{v}");
+            }
+            Some('f') => {
+                let v = arg_iter.next().and_then(RtValue::as_number).unwrap_or(0.0);
+                let _ = write!(out, "{v:.6}");
+            }
+            Some(other) => {
+                out.push('%');
+                out.push(other);
+            }
+            None => out.push('%'),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printf_formatting() {
+        assert_eq!(
+            format_printf(
+                "%s has %d items (%f%%)",
+                &[
+                    RtValue::Str("cart".into()),
+                    RtValue::Int(3),
+                    RtValue::Float(99.5)
+                ]
+            ),
+            "cart has 3 items (99.500000%)"
+        );
+        assert_eq!(format_printf("100%%", &[]), "100%");
+    }
+
+    #[test]
+    fn atoi_parses_prefix() {
+        assert_eq!(parse_prefix_int("42abc"), 42);
+        assert_eq!(parse_prefix_int("  -7"), -7);
+        assert_eq!(parse_prefix_int("x"), 0);
+    }
+
+    #[test]
+    fn out_param_calls_return_the_stored_value() {
+        // The contract the runtimes rely on: for every out-param call, the
+        // host's return value IS the value to store. Spot-check the string
+        // family, whose return values are computed (not just echoed input).
+        let mut session = ClientSession::connect(adprom_db::Database::new("t"));
+        let mut host = Host::new(&mut session, &[], &ExecConfig::default());
+        let v = host.lib_call(
+            LibCall::Strcat,
+            &[RtValue::Str("ab".into()), RtValue::Str("cd".into())],
+        );
+        assert_eq!(v, Some(RtValue::Str("abcd".into())));
+        let v = host.lib_call(
+            LibCall::Sprintf,
+            &[
+                RtValue::Str("dst".into()),
+                RtValue::Str("%d!".into()),
+                RtValue::Int(7),
+            ],
+        );
+        assert_eq!(v, Some(RtValue::Str("7!".into())));
+    }
+}

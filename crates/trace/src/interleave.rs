@@ -177,9 +177,9 @@ mod tests {
 
     fn event(name: &str) -> CallEvent {
         CallEvent {
-            name: name.to_string(),
+            name: name.into(),
             call: LibCall::Printf,
-            caller: "main".to_string(),
+            caller: "main".into(),
             site: CallSiteId(0),
             detail: None,
         }
@@ -229,7 +229,7 @@ mod tests {
         assert_eq!(
             stream
                 .iter()
-                .map(|t| (t.app.as_str(), t.session.as_str(), t.event.name.as_str()))
+                .map(|t| (t.app.as_str(), t.session.as_str(), &*t.event.name))
                 .collect::<Vec<_>>(),
             vec![
                 ("bank", "s-0", "a"),

@@ -11,13 +11,29 @@
 //! Observation names come from the `site_labels` map produced by the static
 //! Analyzer — this is the "dynamic instrumentation" of §IV-D: labeled
 //! output sites report `printf_Q<bid>` instead of `printf`.
+//!
+//! The tree-walk is the *reference semantics* of the language. The bytecode
+//! VM in [`crate::vm`] is the production path; both delegate every library
+//! call to the shared [`crate::host`] layer, and the differential suite in
+//! `tests/vm_equivalence.rs` pins their traces bit-identical.
 
 use crate::collector::{CallEvent, CallSink};
+use crate::host::{binary_op, index_value, unary_op, Host};
 use crate::value::RtValue;
 use adprom_client::ClientSession;
-use adprom_lang::{BinOp, CallSiteId, Callee, Expr, Function, LibCall, Program, Stmt, UnOp};
+use adprom_lang::{BinOp, CallSiteId, Callee, Expr, Function, OutParam, Program, Stmt};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Which runtime executes programs (see [`crate::vm::execute_program`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The reference tree-walking interpreter.
+    TreeWalk,
+    /// The bytecode VM — compile once, dispatch a flat instruction stream.
+    #[default]
+    Vm,
+}
 
 /// Interpreter configuration.
 #[derive(Debug, Clone)]
@@ -30,6 +46,8 @@ pub struct ExecConfig {
     /// commands) to the matching call events — the §VII mitigations. Off by
     /// default: the baseline collector records names and callers only.
     pub extended_events: bool,
+    /// Which runtime [`crate::vm::execute_program`] dispatches to.
+    pub mode: ExecMode,
 }
 
 impl Default for ExecConfig {
@@ -38,6 +56,7 @@ impl Default for ExecConfig {
             step_limit: 5_000_000,
             rng_seed: 0xAD50,
             extended_events: false,
+            mode: ExecMode::default(),
         }
     }
 }
@@ -51,7 +70,9 @@ pub struct ExecOutcome {
     pub files: HashMap<String, String>,
     /// Commands passed to `system()`.
     pub system_commands: Vec<String>,
-    /// Evaluation steps consumed.
+    /// Evaluation steps consumed. The only field that legitimately differs
+    /// between execution modes: the tree-walk counts AST nodes, the VM
+    /// counts instructions.
     pub steps: u64,
     /// True if the program called `exit()`.
     pub exited: bool,
@@ -66,6 +87,11 @@ pub enum RuntimeError {
     StepLimit,
     /// The program has no `main`.
     NoMain,
+    /// The program failed to compile to bytecode (VM mode only).
+    Compile(String),
+    /// User-call nesting exceeded the VM's frame budget (VM mode only; the
+    /// tree-walk's equivalent limit is the native stack).
+    CallDepth,
 }
 
 impl fmt::Display for RuntimeError {
@@ -74,6 +100,8 @@ impl fmt::Display for RuntimeError {
             RuntimeError::UndefinedFunction(name) => write!(f, "undefined function `{name}`"),
             RuntimeError::StepLimit => write!(f, "step limit exceeded"),
             RuntimeError::NoMain => write!(f, "program has no main"),
+            RuntimeError::Compile(msg) => write!(f, "bytecode compilation failed: {msg}"),
+            RuntimeError::CallDepth => write!(f, "call depth exceeded"),
         }
     }
 }
@@ -88,7 +116,7 @@ enum Flow {
     Exit,
 }
 
-/// Runs a program to completion.
+/// Runs a program to completion on the tree-walking interpreter.
 ///
 /// * `session` — the database connection the program talks to;
 /// * `inputs` — the stdin lines consumed by `scanf`/`gets`/`fgets` (a test
@@ -96,6 +124,9 @@ enum Flow {
 /// * `site_labels` — observation names per call site (from the Analyzer);
 ///   pass an empty map to trace raw names;
 /// * `sink` — where call events go.
+///
+/// This entry point always tree-walks, whatever `config.mode` says — it *is*
+/// the reference. Use [`crate::vm::execute_program`] for mode dispatch.
 pub fn run_program(
     prog: &Program,
     session: &mut ClientSession,
@@ -107,35 +138,24 @@ pub fn run_program(
     let main = prog.entry().ok_or(RuntimeError::NoMain)?;
     let mut interp = Interp {
         prog,
-        session,
         sink,
         labels: site_labels,
-        inputs,
-        next_input: 0,
-        outcome: ExecOutcome::default(),
-        config: config.clone(),
-        rng_state: config.rng_seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
-        open_files: Vec::new(),
+        step_limit: config.step_limit,
+        host: Host::new(session, inputs, config),
     };
     let mut frame = HashMap::new();
     if let Flow::Exit = interp.run_function(main, &mut frame)? {
-        interp.outcome.exited = true;
+        interp.host.outcome.exited = true;
     }
-    Ok(interp.outcome)
+    Ok(interp.host.outcome)
 }
 
 struct Interp<'a> {
     prog: &'a Program,
-    session: &'a mut ClientSession,
     sink: &'a mut dyn CallSink,
     labels: &'a HashMap<CallSiteId, String>,
-    inputs: &'a [String],
-    next_input: usize,
-    outcome: ExecOutcome,
-    config: ExecConfig,
-    rng_state: u64,
-    /// fopen handles: index → path.
-    open_files: Vec<String>,
+    step_limit: u64,
+    host: Host<'a>,
 }
 
 type Frame = HashMap<String, RtValue>;
@@ -157,8 +177,8 @@ macro_rules! eval_value {
 
 impl Interp<'_> {
     fn tick(&mut self) -> Result<(), RuntimeError> {
-        self.outcome.steps += 1;
-        if self.outcome.steps > self.config.step_limit {
+        self.host.outcome.steps += 1;
+        if self.host.outcome.steps > self.step_limit {
             return Err(RuntimeError::StepLimit);
         }
         Ok(())
@@ -289,7 +309,7 @@ impl Interp<'_> {
         let v = match e {
             Expr::Int(v) => RtValue::Int(*v),
             Expr::Float(v) => RtValue::Float(*v),
-            Expr::Str(s) => RtValue::Str(s.clone()),
+            Expr::Str(s) => RtValue::Str(s.as_str().into()),
             Expr::Bool(b) => RtValue::Bool(*b),
             Expr::Null => RtValue::Null,
             // Uninitialized variables read as NULL (C uninitialized-global
@@ -298,14 +318,7 @@ impl Interp<'_> {
             Expr::Var(name) => frame.get(name).cloned().unwrap_or(RtValue::Null),
             Expr::Unary(op, a) => {
                 let va = eval_value!(self, a, caller, frame);
-                match op {
-                    UnOp::Neg => match va {
-                        RtValue::Int(v) => RtValue::Int(-v),
-                        RtValue::Float(v) => RtValue::Float(-v),
-                        other => RtValue::Float(-other.as_number().unwrap_or(0.0)),
-                    },
-                    UnOp::Not => RtValue::Bool(!va.truthy()),
-                }
+                unary_op(*op, va)
             }
             Expr::Binary(op, a, b) => {
                 // Short-circuit logicals.
@@ -332,19 +345,7 @@ impl Interp<'_> {
             Expr::Index(a, idx) => {
                 let va = eval_value!(self, a, caller, frame);
                 let vi = eval_value!(self, idx, caller, frame);
-                let i = vi.as_int().unwrap_or(0).max(0) as usize;
-                match va {
-                    RtValue::Row(cols) => cols
-                        .get(i)
-                        .map(|s| RtValue::Str(s.clone()))
-                        .unwrap_or(RtValue::Null),
-                    RtValue::Str(s) => s
-                        .chars()
-                        .nth(i)
-                        .map(|c| RtValue::Str(c.to_string()))
-                        .unwrap_or(RtValue::Null),
-                    _ => RtValue::Null,
-                }
+                index_value(va, vi)
             }
             Expr::Call {
                 site, callee, args, ..
@@ -373,25 +374,35 @@ impl Interp<'_> {
                         }
                     }
                     Callee::Library(lc) => {
-                        let name = self
+                        let name: std::sync::Arc<str> = self
                             .labels
                             .get(site)
-                            .cloned()
-                            .unwrap_or_else(|| lc.name().to_string());
-                        let detail = if self.config.extended_events {
-                            event_detail(*lc, &arg_values, &self.open_files)
-                        } else {
-                            None
-                        };
+                            .map(|l| l.as_str().into())
+                            .unwrap_or_else(|| lc.name().into());
+                        let detail = self.host.detail(*lc, &arg_values);
                         self.sink.on_call(CallEvent {
                             name,
                             call: *lc,
-                            caller: caller.to_string(),
+                            caller: caller.into(),
                             site: *site,
                             detail,
                         });
-                        match self.lib_call(*lc, args, arg_values, frame)? {
-                            Some(v) => v,
+                        match self.host.lib_call(*lc, &arg_values) {
+                            Some(v) => {
+                                // Out-parameter emulation (`strcpy(dst, ..)`,
+                                // `scanf("%s", v)`): when the target argument
+                                // is a plain variable, the call's value is
+                                // also stored into it.
+                                let target = match lc.out_param() {
+                                    Some(OutParam::FirstArg) => args.first(),
+                                    Some(OutParam::LastArg) => args.last(),
+                                    None => None,
+                                };
+                                if let Some(Expr::Var(var)) = target {
+                                    frame.insert(var.clone(), v.clone());
+                                }
+                                v
+                            }
                             None => return Ok(Evaled::Exit),
                         }
                     }
@@ -400,453 +411,6 @@ impl Interp<'_> {
         };
         Ok(Evaled::Value(v))
     }
-
-    /// Executes a library call. Returns `None` for `exit()`.
-    fn lib_call(
-        &mut self,
-        lc: LibCall,
-        arg_exprs: &[Expr],
-        args: Vec<RtValue>,
-        frame: &mut Frame,
-    ) -> Result<Option<RtValue>, RuntimeError> {
-        let arg = |i: usize| args.get(i).cloned().unwrap_or(RtValue::Null);
-        let str_arg = |i: usize| arg(i).render();
-        let handle = |i: usize| match arg(i) {
-            RtValue::Handle(h) => Some(h),
-            _ => None,
-        };
-        let v = match lc {
-            // ---- libpq ----
-            LibCall::PQconnectdb => RtValue::Str(str_arg(0)),
-            LibCall::PQexec => match self.session.pq_exec(&str_arg(1)) {
-                Ok(h) => RtValue::Handle(h),
-                Err(_) => RtValue::Null,
-            },
-            LibCall::PQprepare => {
-                let _ = self.session.pq_prepare(&str_arg(1), &str_arg(2));
-                RtValue::Int(0)
-            }
-            LibCall::PQexecPrepared => {
-                let params: Vec<String> = args[2..].iter().map(RtValue::render).collect();
-                match self.session.pq_exec_prepared(&str_arg(1), &params) {
-                    Ok(h) => RtValue::Handle(h),
-                    Err(_) => RtValue::Null,
-                }
-            }
-            // Handle-taking calls are lenient on NULL/garbage handles —
-            // attack-mutated programs may query missing tables, and a run
-            // must degrade (empty results) rather than abort.
-            LibCall::PQntuples => match handle(0) {
-                Some(h) => RtValue::Int(self.session.pq_ntuples(h).unwrap_or(0) as i64),
-                None => RtValue::Int(0),
-            },
-            LibCall::PQnfields => match handle(0) {
-                Some(h) => RtValue::Int(self.session.pq_nfields(h).unwrap_or(0) as i64),
-                None => RtValue::Int(0),
-            },
-            LibCall::PQgetvalue => match handle(0) {
-                Some(h) => {
-                    let r = arg(1).as_int().unwrap_or(0).max(0) as usize;
-                    let c = arg(2).as_int().unwrap_or(0).max(0) as usize;
-                    RtValue::Str(self.session.pq_getvalue(h, r, c).unwrap_or_default())
-                }
-                None => RtValue::Str(String::new()),
-            },
-            LibCall::PQclear => {
-                if let Some(h) = handle(0) {
-                    let _ = self.session.pq_clear(h);
-                }
-                RtValue::Null
-            }
-            LibCall::PQfinish => RtValue::Null,
-
-            // ---- libmysqlclient ----
-            LibCall::MysqlInit | LibCall::MysqlRealConnect => RtValue::Str("conn".into()),
-            LibCall::MysqlQuery => RtValue::Int(self.session.mysql_query(&str_arg(1))),
-            LibCall::MysqlStoreResult => match self.session.mysql_store_result() {
-                Ok(h) => RtValue::Handle(h),
-                Err(_) => RtValue::Null,
-            },
-            LibCall::MysqlFetchRow => match handle(0) {
-                Some(h) => match self.session.mysql_fetch_row(h) {
-                    Ok(Some(row)) => RtValue::Row(row),
-                    _ => RtValue::Null,
-                },
-                None => RtValue::Null,
-            },
-            LibCall::MysqlNumRows => match handle(0) {
-                Some(h) => RtValue::Int(self.session.mysql_num_rows(h).unwrap_or(0) as i64),
-                None => RtValue::Int(0),
-            },
-            LibCall::MysqlNumFields => match handle(0) {
-                Some(h) => RtValue::Int(self.session.mysql_num_fields(h).unwrap_or(0) as i64),
-                None => RtValue::Int(0),
-            },
-            LibCall::MysqlFreeResult => {
-                if let Some(h) = handle(0) {
-                    let _ = self.session.mysql_free_result(h);
-                }
-                RtValue::Null
-            }
-            LibCall::MysqlClose => RtValue::Null,
-            LibCall::MysqlStmtPrepare => {
-                let _ = self.session.mysql_stmt_prepare(&str_arg(1));
-                RtValue::Int(0)
-            }
-            LibCall::MysqlStmtExecute => {
-                let params: Vec<String> = args[1..].iter().map(RtValue::render).collect();
-                let _ = self.session.mysql_stmt_execute(&params);
-                RtValue::Int(0)
-            }
-
-            // ---- stdout ----
-            LibCall::Printf => {
-                let text = format_printf(&str_arg(0), &args[1.min(args.len())..]);
-                self.outcome.stdout.push_str(&text);
-                RtValue::Int(text.len() as i64)
-            }
-            LibCall::Puts => {
-                self.outcome.stdout.push_str(&str_arg(0));
-                self.outcome.stdout.push('\n');
-                RtValue::Int(0)
-            }
-            LibCall::Putchar => {
-                self.outcome.stdout.push_str(&str_arg(0));
-                RtValue::Int(0)
-            }
-
-            // ---- files ----
-            LibCall::Fopen => {
-                let path = str_arg(0);
-                let mode = str_arg(1);
-                if !mode.contains('a') {
-                    self.outcome.files.insert(path.clone(), String::new());
-                } else {
-                    self.outcome.files.entry(path.clone()).or_default();
-                }
-                self.open_files.push(path);
-                RtValue::File(self.open_files.len() - 1)
-            }
-            LibCall::Fprintf => {
-                let text = format_printf(&str_arg(1), &args[2.min(args.len())..]);
-                self.write_file(arg(0), &text);
-                RtValue::Int(text.len() as i64)
-            }
-            LibCall::Fputs | LibCall::Fputc => {
-                let text = str_arg(0);
-                self.write_file(arg(1), &text);
-                RtValue::Int(0)
-            }
-            LibCall::Fwrite => {
-                let text = str_arg(0);
-                self.write_file(arg(3), &text);
-                RtValue::Int(text.len() as i64)
-            }
-            LibCall::Write => {
-                // write(fd, buf, len): fd 1 = stdout, else a virtual fd.
-                let fd = arg(0);
-                let text = str_arg(1);
-                if fd.as_int() == Some(1) {
-                    self.outcome.stdout.push_str(&text);
-                } else {
-                    self.write_file(fd, &text);
-                }
-                RtValue::Int(text.len() as i64)
-            }
-            LibCall::Fclose | LibCall::Fflush => RtValue::Int(0),
-            LibCall::Fread => RtValue::Str(String::new()),
-            LibCall::Remove => {
-                self.outcome.files.remove(&str_arg(0));
-                RtValue::Int(0)
-            }
-
-            // ---- stdin ----
-            LibCall::Scanf | LibCall::Gets | LibCall::Getchar => {
-                let v = self.read_input();
-                // scanf("%s", var)-style: if a variable expression was
-                // passed as the last argument, also store into it.
-                if let Some(Expr::Var(name)) = arg_exprs.last() {
-                    frame.insert(name.clone(), v.clone());
-                }
-                v
-            }
-            LibCall::Fscanf | LibCall::Fgets => {
-                let v = self.read_input();
-                if let Some(Expr::Var(name)) = arg_exprs.first() {
-                    frame.insert(name.clone(), v.clone());
-                }
-                v
-            }
-
-            // ---- strings ----
-            LibCall::Strcpy | LibCall::Strncpy => {
-                let src = str_arg(1);
-                self.store_into(arg_exprs.first(), RtValue::Str(src.clone()), frame);
-                RtValue::Str(src)
-            }
-            LibCall::Strcat | LibCall::Strncat => {
-                let mut dst = str_arg(0);
-                dst.push_str(&str_arg(1));
-                self.store_into(arg_exprs.first(), RtValue::Str(dst.clone()), frame);
-                RtValue::Str(dst)
-            }
-            LibCall::Sprintf | LibCall::Snprintf => {
-                // sprintf(dst, fmt, ...) — snprintf has a size arg we ignore.
-                let (fmt_idx, rest_idx) = if lc == LibCall::Snprintf {
-                    (2, 3)
-                } else {
-                    (1, 2)
-                };
-                let text = format_printf(&str_arg(fmt_idx), &args[rest_idx.min(args.len())..]);
-                self.store_into(arg_exprs.first(), RtValue::Str(text.clone()), frame);
-                RtValue::Str(text)
-            }
-            LibCall::Strcmp => {
-                let a = str_arg(0);
-                let b = str_arg(1);
-                RtValue::Int(match a.cmp(&b) {
-                    std::cmp::Ordering::Less => -1,
-                    std::cmp::Ordering::Equal => 0,
-                    std::cmp::Ordering::Greater => 1,
-                })
-            }
-            LibCall::Strlen => RtValue::Int(str_arg(0).len() as i64),
-            LibCall::Strstr => {
-                let hay = str_arg(0);
-                let needle = str_arg(1);
-                match hay.find(&needle) {
-                    Some(pos) => RtValue::Str(hay[pos..].to_string()),
-                    None => RtValue::Null,
-                }
-            }
-            LibCall::Atoi => RtValue::Int(parse_prefix_int(&str_arg(0))),
-            LibCall::Atof => RtValue::Float(str_arg(0).trim().parse().unwrap_or(0.0)),
-            LibCall::Memcpy => {
-                let src = arg(1);
-                self.store_into(arg_exprs.first(), src.clone(), frame);
-                src
-            }
-            LibCall::Memset => arg(0),
-
-            // ---- misc ----
-            LibCall::System => {
-                self.outcome.system_commands.push(str_arg(0));
-                RtValue::Int(0)
-            }
-            LibCall::Exit => return Ok(None),
-            LibCall::Malloc => RtValue::Str(String::new()),
-            LibCall::Free => RtValue::Null,
-            LibCall::Rand => {
-                // xorshift64*: deterministic per seed.
-                self.rng_state ^= self.rng_state >> 12;
-                self.rng_state ^= self.rng_state << 25;
-                self.rng_state ^= self.rng_state >> 27;
-                RtValue::Int(((self.rng_state.wrapping_mul(0x2545F4914F6CDD1D)) >> 33) as i64)
-            }
-            LibCall::Srand => {
-                self.rng_state = arg(0).as_int().unwrap_or(0) as u64 | 1;
-                RtValue::Null
-            }
-            LibCall::Time => RtValue::Int(1_600_000_000),
-            LibCall::Getenv => RtValue::Str(String::new()),
-            LibCall::Sleep => RtValue::Int(0),
-            LibCall::Abs => RtValue::Int(arg(0).as_int().unwrap_or(0).abs()),
-            LibCall::Sqrt => RtValue::Float(arg(0).as_number().unwrap_or(0.0).max(0.0).sqrt()),
-        };
-        Ok(Some(v))
-    }
-
-    fn read_input(&mut self) -> RtValue {
-        match self.inputs.get(self.next_input) {
-            Some(line) => {
-                self.next_input += 1;
-                RtValue::Str(line.clone())
-            }
-            None => RtValue::Str(String::new()),
-        }
-    }
-
-    /// Emulates out-parameter writes (`strcpy(dst, ..)`): when the argument
-    /// expression is a variable, store the new value into it.
-    fn store_into(&mut self, arg: Option<&Expr>, value: RtValue, frame: &mut Frame) {
-        if let Some(Expr::Var(name)) = arg {
-            frame.insert(name.clone(), value);
-        }
-    }
-
-    fn write_file(&mut self, file: RtValue, text: &str) {
-        let path = match file {
-            RtValue::File(id) => self.open_files.get(id).cloned(),
-            RtValue::Str(path) => Some(path),
-            _ => None,
-        };
-        let path = path.unwrap_or_else(|| "<unknown>".to_string());
-        self.outcome.files.entry(path).or_default().push_str(text);
-    }
-}
-
-/// Extension payload for a call (§VII): query signatures for submissions,
-/// file paths for file writes, the command line for `system`.
-fn event_detail(lc: LibCall, args: &[RtValue], open_files: &[String]) -> Option<String> {
-    let file_path = |v: Option<&RtValue>| -> Option<String> {
-        match v {
-            Some(RtValue::File(id)) => open_files.get(*id).cloned(),
-            Some(RtValue::Str(path)) => Some(path.clone()),
-            _ => None,
-        }
-    };
-    if lc.is_query_submission() {
-        // The SQL text position varies: PQexec(conn, sql) / PQprepare(conn,
-        // name, sql) / mysql_query(conn, sql) / mysql_stmt_prepare(conn, sql).
-        let sql_index = match lc {
-            LibCall::PQprepare => 2,
-            _ => 1,
-        };
-        return args
-            .get(sql_index)
-            .map(|v| adprom_db::query_signature(&v.render()));
-    }
-    match lc {
-        LibCall::Fopen => args.first().map(|v| v.render()),
-        LibCall::Fprintf => file_path(args.first()),
-        LibCall::Fputs | LibCall::Fputc => file_path(args.get(1)),
-        LibCall::Fwrite => file_path(args.get(3)),
-        LibCall::Write => file_path(args.first()),
-        LibCall::System | LibCall::Remove => args.first().map(|v| v.render()),
-        _ => None,
-    }
-}
-
-fn binary_op(op: BinOp, a: RtValue, b: RtValue) -> RtValue {
-    use BinOp::*;
-    match op {
-        Add => match (&a, &b) {
-            (RtValue::Str(x), _) => RtValue::Str(format!("{x}{}", b.render())),
-            (_, RtValue::Str(y)) => RtValue::Str(format!("{}{y}", a.render())),
-            (RtValue::Int(x), RtValue::Int(y)) => RtValue::Int(x.wrapping_add(*y)),
-            _ => num_op(&a, &b, |x, y| x + y),
-        },
-        Sub => int_preserving(&a, &b, i64::wrapping_sub, |x, y| x - y),
-        Mul => int_preserving(&a, &b, i64::wrapping_mul, |x, y| x * y),
-        Div => {
-            if let (RtValue::Int(x), RtValue::Int(y)) = (&a, &b) {
-                if *y != 0 {
-                    return RtValue::Int(x / y);
-                }
-                return RtValue::Int(0);
-            }
-            let y = b.as_number().unwrap_or(0.0);
-            if y == 0.0 {
-                RtValue::Float(0.0)
-            } else {
-                num_op(&a, &b, |x, y| x / y)
-            }
-        }
-        Rem => {
-            let x = a.as_int().unwrap_or(0);
-            let y = b.as_int().unwrap_or(0);
-            RtValue::Int(if y == 0 { 0 } else { x % y })
-        }
-        Eq | Ne | Lt | Le | Gt | Ge => {
-            let ord = compare(&a, &b);
-            let r = match (op, ord) {
-                (Eq, Some(o)) => o == std::cmp::Ordering::Equal,
-                (Ne, Some(o)) => o != std::cmp::Ordering::Equal,
-                (Lt, Some(o)) => o == std::cmp::Ordering::Less,
-                (Le, Some(o)) => o != std::cmp::Ordering::Greater,
-                (Gt, Some(o)) => o == std::cmp::Ordering::Greater,
-                (Ge, Some(o)) => o != std::cmp::Ordering::Less,
-                // Null comparisons: only != is true.
-                (Ne, None) => !(matches!(a, RtValue::Null) && matches!(b, RtValue::Null)),
-                (Eq, None) => matches!(a, RtValue::Null) && matches!(b, RtValue::Null),
-                _ => false,
-            };
-            RtValue::Bool(r)
-        }
-        And | Or => unreachable!("short-circuited in eval"),
-    }
-}
-
-fn int_preserving(
-    a: &RtValue,
-    b: &RtValue,
-    int_op: fn(i64, i64) -> i64,
-    float_op: fn(f64, f64) -> f64,
-) -> RtValue {
-    if let (RtValue::Int(x), RtValue::Int(y)) = (a, b) {
-        RtValue::Int(int_op(*x, *y))
-    } else {
-        num_op(a, b, float_op)
-    }
-}
-
-fn num_op(a: &RtValue, b: &RtValue, f: fn(f64, f64) -> f64) -> RtValue {
-    RtValue::Float(f(
-        a.as_number().unwrap_or(0.0),
-        b.as_number().unwrap_or(0.0),
-    ))
-}
-
-fn compare(a: &RtValue, b: &RtValue) -> Option<std::cmp::Ordering> {
-    match (a, b) {
-        (RtValue::Null, _) | (_, RtValue::Null) => None,
-        (RtValue::Str(x), RtValue::Str(y)) => {
-            // Numeric-looking strings compare numerically, else lexically.
-            match (x.trim().parse::<f64>(), y.trim().parse::<f64>()) {
-                (Ok(nx), Ok(ny)) => nx.partial_cmp(&ny),
-                _ => Some(x.cmp(y)),
-            }
-        }
-        _ => {
-            let na = a.as_number()?;
-            let nb = b.as_number()?;
-            na.partial_cmp(&nb)
-        }
-    }
-}
-
-fn parse_prefix_int(s: &str) -> i64 {
-    let t = s.trim_start();
-    let (sign, rest) = match t.strip_prefix('-') {
-        Some(r) => (-1, r),
-        None => (1, t.strip_prefix('+').unwrap_or(t)),
-    };
-    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
-    digits.parse::<i64>().map(|v| sign * v).unwrap_or(0)
-}
-
-/// Minimal printf formatting: consumes `%s`/`%d`/`%i`/`%f`/`%c` in order;
-/// `%%` emits a literal percent; unknown directives are copied through.
-pub fn format_printf(fmt: &str, args: &[RtValue]) -> String {
-    let mut out = String::with_capacity(fmt.len());
-    let mut arg_iter = args.iter();
-    let mut chars = fmt.chars().peekable();
-    while let Some(c) = chars.next() {
-        if c != '%' {
-            out.push(c);
-            continue;
-        }
-        match chars.next() {
-            Some('%') => out.push('%'),
-            Some('s') | Some('c') => {
-                out.push_str(&arg_iter.next().map(RtValue::render).unwrap_or_default())
-            }
-            Some('d') | Some('i') => {
-                let v = arg_iter.next().and_then(RtValue::as_int).unwrap_or(0);
-                out.push_str(&v.to_string());
-            }
-            Some('f') => {
-                let v = arg_iter.next().and_then(RtValue::as_number).unwrap_or(0.0);
-                out.push_str(&format!("{v:.6}"));
-            }
-            Some(other) => {
-                out.push('%');
-                out.push(other);
-            }
-            None => out.push('%'),
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -975,7 +539,7 @@ mod tests {
             &ExecConfig::default(),
         )
         .unwrap();
-        assert_eq!(collector.events()[0].caller, "helper");
+        assert_eq!(&*collector.events()[0].caller, "helper");
     }
 
     #[test]
@@ -1055,29 +619,6 @@ mod tests {
             &[],
         );
         assert_eq!(outcome.system_commands.len(), 1);
-    }
-
-    #[test]
-    fn printf_formatting() {
-        assert_eq!(
-            format_printf(
-                "%s has %d items (%f%%)",
-                &[
-                    RtValue::Str("cart".into()),
-                    RtValue::Int(3),
-                    RtValue::Float(99.5)
-                ]
-            ),
-            "cart has 3 items (99.500000%)"
-        );
-        assert_eq!(format_printf("100%%", &[]), "100%");
-    }
-
-    #[test]
-    fn atoi_parses_prefix() {
-        assert_eq!(parse_prefix_int("42abc"), 42);
-        assert_eq!(parse_prefix_int("  -7"), -7);
-        assert_eq!(parse_prefix_int("x"), 0);
     }
 
     #[test]

@@ -168,7 +168,10 @@ impl TraceValidator {
         }
         if let Some(known) = &self.known {
             if !events.is_empty() && self.policy.max_unknown_fraction < 1.0 {
-                let unknown = events.iter().filter(|e| !known.contains(&e.name)).count();
+                let unknown = events
+                    .iter()
+                    .filter(|e| !known.contains(e.name.as_ref()))
+                    .count();
                 let fraction = unknown as f64 / events.len() as f64;
                 if fraction > self.policy.max_unknown_fraction {
                     return Err(format!(
@@ -219,9 +222,9 @@ mod tests {
 
     fn event(name: &str) -> CallEvent {
         CallEvent {
-            name: name.to_string(),
+            name: name.into(),
             call: LibCall::Printf,
-            caller: "main".to_string(),
+            caller: "main".into(),
             site: CallSiteId(0),
             detail: None,
         }

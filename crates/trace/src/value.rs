@@ -2,8 +2,14 @@
 
 use adprom_client::ResultHandle;
 use std::fmt;
+use std::sync::Arc;
 
 /// A runtime value.
+///
+/// Strings are `Arc<str>` so that copying a value — every `Load`/`Const`
+/// push in the VM, every argument clone on a library call — is a refcount
+/// bump, not a heap allocation. The allocation happens once, where the
+/// string is *produced* (constant pool, stdin, database cell).
 #[derive(Debug, Clone, PartialEq)]
 pub enum RtValue {
     /// Integer.
@@ -11,15 +17,16 @@ pub enum RtValue {
     /// Float.
     Float(f64),
     /// String.
-    Str(String),
+    Str(Arc<str>),
     /// Boolean.
     Bool(bool),
     /// Null (also what exhausted cursors and failed lookups produce).
     Null,
     /// A database result handle (`PQexec` / `mysql_store_result`).
     Handle(ResultHandle),
-    /// A fetched row (`mysql_fetch_row`).
-    Row(Vec<String>),
+    /// A fetched row (`mysql_fetch_row`) — shared with the session's stored
+    /// result, so fetching and copying rows never copies the cells.
+    Row(Arc<[Arc<str>]>),
     /// An open file handle (`fopen`).
     File(usize),
 }
@@ -58,21 +65,35 @@ impl RtValue {
     /// Renders the value as the program would print it.
     pub fn render(&self) -> String {
         match self {
-            RtValue::Int(v) => v.to_string(),
-            RtValue::Float(v) => format!("{v}"),
-            RtValue::Str(s) => s.clone(),
-            RtValue::Bool(b) => if *b { "1" } else { "0" }.to_string(),
-            RtValue::Null => "NULL".to_string(),
-            RtValue::Handle(h) => format!("<result:{}>", h.0),
-            RtValue::Row(cols) => cols.join(" "),
-            RtValue::File(id) => format!("<file:{id}>"),
+            // Fast path: no formatter machinery for plain strings.
+            RtValue::Str(s) => s.to_string(),
+            other => other.to_string(),
         }
     }
 }
 
+/// The program-visible text of a value; writes straight into the formatter
+/// so `write!`-style callers never build an intermediate `String`.
 impl fmt::Display for RtValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.render())
+        match self {
+            RtValue::Int(v) => write!(f, "{v}"),
+            RtValue::Float(v) => write!(f, "{v}"),
+            RtValue::Str(s) => f.write_str(s),
+            RtValue::Bool(b) => f.write_str(if *b { "1" } else { "0" }),
+            RtValue::Null => f.write_str("NULL"),
+            RtValue::Handle(h) => write!(f, "<result:{}>", h.0),
+            RtValue::Row(cols) => {
+                for (i, c) in cols.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    f.write_str(c)?;
+                }
+                Ok(())
+            }
+            RtValue::File(id) => write!(f, "<file:{id}>"),
+        }
     }
 }
 
@@ -84,10 +105,10 @@ mod tests {
     fn truthiness() {
         assert!(!RtValue::Int(0).truthy());
         assert!(RtValue::Int(2).truthy());
-        assert!(!RtValue::Str(String::new()).truthy());
+        assert!(!RtValue::Str("".into()).truthy());
         assert!(RtValue::Str("x".into()).truthy());
         assert!(!RtValue::Null.truthy());
-        assert!(RtValue::Row(vec![]).truthy());
+        assert!(RtValue::Row(Vec::new().into()).truthy());
     }
 
     #[test]

@@ -1,0 +1,786 @@
+//! Differential equivalence: the bytecode VM against the tree-walking
+//! reference interpreter.
+//!
+//! Every property here runs the *same program* on the *same inputs* against
+//! *identically seeded databases* under both runtimes and requires
+//! bit-identical results: the same `CallEvent` sequence (names, calls,
+//! callers, sites, details), the same stdout / virtual filesystem / system
+//! commands / exit flag, and the same error when a run faults. The only
+//! field allowed to differ is `ExecOutcome::steps` — the tree-walk counts
+//! AST nodes, the VM counts instructions, by design.
+//!
+//! Programs are generated from a private deterministic RNG (seeded by
+//! proptest-supplied `u64`s) and are terminating by construction: loops are
+//! either counted `for` loops with a dedicated, never-reassigned counter or
+//! canned result-set walks that exhaust a finite query result.
+//!
+//! CI runs this suite at an elevated case count via `PROPTEST_CASES`; on
+//! failure the vendored runner records the generated inputs under
+//! `proptest-regressions/`, which the workflow uploads as an artifact.
+
+use adprom_client::ClientSession;
+use adprom_db::Database;
+use adprom_lang::{BinOp, CallSiteId, Callee, Expr, Function, LibCall, Program, Stmt, UnOp};
+use adprom_trace::{
+    run_program, CallEvent, ExecConfig, ExecMode, ExecOutcome, RuntimeError, TraceCollector,
+    TraceValidator, VmProgram,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Deterministic program generator
+// ---------------------------------------------------------------------------
+
+/// xorshift64* — the generator's own RNG, independent of the runtimes'.
+struct Rng64(u64);
+
+impl Rng64 {
+    fn new(seed: u64) -> Rng64 {
+        Rng64(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, one_in: u64) -> bool {
+        self.below(one_in) == 0
+    }
+}
+
+const VARS: &[&str] = &["a", "b", "c", "q"];
+const STRINGS: &[&str] = &["", "10", "abc", "ID='", "' OR '1'='1", "out.txt", "w"];
+const FORMATS: &[&str] = &["%s", "%d", "row=%d %s", "%f!", "%s %s"];
+const SQL: &[&str] = &[
+    "SELECT * FROM items WHERE ID = 10",
+    "SELECT * FROM items WHERE ID >= 10",
+    "SELECT name FROM items",
+    "SELECT * FROM no_such_table",
+];
+
+struct Gen {
+    rng: Rng64,
+    next_site: u32,
+    /// Helpers callable from the function being generated (acyclic).
+    callable: Vec<(&'static str, usize)>,
+}
+
+impl Gen {
+    fn site(&mut self) -> CallSiteId {
+        let s = CallSiteId(self.next_site);
+        self.next_site += 1;
+        s
+    }
+
+    fn call(&mut self, callee: Callee, args: Vec<Expr>) -> Expr {
+        Expr::Call {
+            site: self.site(),
+            callee,
+            args,
+            line: 0,
+        }
+    }
+
+    fn lib(&mut self, lc: LibCall, args: Vec<Expr>) -> Expr {
+        self.call(Callee::Library(lc), args)
+    }
+
+    fn var(&mut self) -> &'static str {
+        VARS[self.rng.below(VARS.len() as u64) as usize]
+    }
+
+    fn string(&mut self) -> Expr {
+        Expr::Str(STRINGS[self.rng.below(STRINGS.len() as u64) as usize].to_string())
+    }
+
+    fn literal(&mut self) -> Expr {
+        match self.rng.below(5) {
+            0 => Expr::Int(self.rng.below(21) as i64 - 10),
+            1 => Expr::Float((self.rng.below(41) as f64 - 20.0) / 4.0),
+            2 => self.string(),
+            3 => Expr::Bool(self.rng.chance(2)),
+            _ => Expr::Null,
+        }
+    }
+
+    fn expr(&mut self, depth: u32) -> Expr {
+        if depth >= 3 {
+            return self.literal();
+        }
+        match self.rng.below(12) {
+            0..=3 => self.literal(),
+            4 | 5 => Expr::Var(self.var().to_string()),
+            6 | 7 => {
+                const OPS: &[BinOp] = &[
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Rem,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::Lt,
+                    BinOp::Le,
+                    BinOp::Gt,
+                    BinOp::Ge,
+                    BinOp::And,
+                    BinOp::Or,
+                ];
+                let op = OPS[self.rng.below(OPS.len() as u64) as usize];
+                let a = self.expr(depth + 1);
+                let b = self.expr(depth + 1);
+                Expr::Binary(op, Box::new(a), Box::new(b))
+            }
+            8 => {
+                let op = if self.rng.chance(2) {
+                    UnOp::Neg
+                } else {
+                    UnOp::Not
+                };
+                let a = self.expr(depth + 1);
+                Expr::Unary(op, Box::new(a))
+            }
+            9 => {
+                let v = Expr::Var(self.var().to_string());
+                let i = self.expr(depth + 1);
+                Expr::Index(Box::new(v), Box::new(i))
+            }
+            10 => self.pure_libcall(depth),
+            _ => {
+                if !self.callable.is_empty() && self.rng.chance(2) {
+                    let (name, arity) =
+                        self.callable[self.rng.below(self.callable.len() as u64) as usize];
+                    let args = (0..arity).map(|_| self.expr(depth + 1)).collect();
+                    self.call(Callee::User(name.to_string()), args)
+                } else {
+                    self.literal()
+                }
+            }
+        }
+    }
+
+    /// Side-effect-light library calls usable anywhere in an expression.
+    fn pure_libcall(&mut self, depth: u32) -> Expr {
+        match self.rng.below(9) {
+            0 => {
+                let a = self.expr(depth + 1);
+                self.lib(LibCall::Atoi, vec![a])
+            }
+            1 => {
+                let a = self.expr(depth + 1);
+                self.lib(LibCall::Strlen, vec![a])
+            }
+            2 => {
+                let a = self.expr(depth + 1);
+                let b = self.expr(depth + 1);
+                self.lib(LibCall::Strcmp, vec![a, b])
+            }
+            3 => {
+                let a = self.expr(depth + 1);
+                let b = self.expr(depth + 1);
+                self.lib(LibCall::Strstr, vec![a, b])
+            }
+            4 => {
+                let a = self.expr(depth + 1);
+                self.lib(LibCall::Abs, vec![a])
+            }
+            5 => {
+                let a = self.expr(depth + 1);
+                self.lib(LibCall::Sqrt, vec![a])
+            }
+            6 => self.lib(LibCall::Rand, vec![]),
+            7 => self.lib(LibCall::Time, vec![]),
+            _ => self.lib(LibCall::Getchar, vec![]),
+        }
+    }
+
+    /// An effectful library call for statement position.
+    fn stmt_libcall(&mut self) -> Expr {
+        match self.rng.below(12) {
+            0 | 1 => {
+                let fmt = FORMATS[self.rng.below(FORMATS.len() as u64) as usize].to_string();
+                let argc = self.rng.below(3) as usize;
+                let mut args = vec![Expr::Str(fmt)];
+                for _ in 0..argc {
+                    let a = self.expr(1);
+                    args.push(a);
+                }
+                self.lib(LibCall::Printf, args)
+            }
+            2 => {
+                let a = self.expr(1);
+                self.lib(LibCall::Puts, vec![a])
+            }
+            3 => {
+                // Destination is usually a variable (out-param path), but
+                // sometimes not — both runtimes must skip the store then.
+                let dst = if self.rng.chance(4) {
+                    self.literal()
+                } else {
+                    Expr::Var(self.var().to_string())
+                };
+                let src = self.expr(1);
+                self.lib(LibCall::Strcpy, vec![dst, src])
+            }
+            4 => {
+                let dst = Expr::Var(self.var().to_string());
+                let src = self.expr(1);
+                self.lib(LibCall::Strcat, vec![dst, src])
+            }
+            5 => {
+                let dst = Expr::Var(self.var().to_string());
+                let fmt = FORMATS[self.rng.below(FORMATS.len() as u64) as usize].to_string();
+                let a = self.expr(1);
+                self.lib(LibCall::Sprintf, vec![dst, Expr::Str(fmt), a])
+            }
+            6 => {
+                let target = Expr::Var(self.var().to_string());
+                self.lib(LibCall::Scanf, vec![Expr::Str("%s".into()), target])
+            }
+            7 => self.lib(LibCall::Scanf, vec![]),
+            8 => {
+                let cmd = self.string();
+                self.lib(LibCall::System, vec![cmd])
+            }
+            9 => {
+                let seed = Expr::Int(self.rng.below(1000) as i64);
+                self.lib(LibCall::Srand, vec![seed])
+            }
+            10 => {
+                let path = self.string();
+                self.lib(LibCall::Fopen, vec![path, Expr::Str("w".into())])
+            }
+            _ => {
+                if self.rng.chance(24) {
+                    // Rare: calling a function that does not exist must
+                    // fault identically in both runtimes.
+                    let a = self.expr(1);
+                    self.call(Callee::User("ghost".to_string()), vec![a])
+                } else if self.rng.chance(16) {
+                    self.lib(LibCall::Exit, vec![Expr::Int(0)])
+                } else {
+                    let a = self.expr(1);
+                    self.lib(LibCall::Puts, vec![a])
+                }
+            }
+        }
+    }
+
+    /// `let r = PQexec(conn, sql); let n = PQntuples(r); for … printf`.
+    fn pq_block(&mut self, loop_depth: u32) -> Vec<Stmt> {
+        let sql = SQL[self.rng.below(SQL.len() as u64) as usize].to_string();
+        let iv = format!("pqi{loop_depth}");
+        let exec = self.lib(
+            LibCall::PQexec,
+            vec![Expr::Var("conn".into()), Expr::Str(sql)],
+        );
+        let ntuples = self.lib(LibCall::PQntuples, vec![Expr::Var("r".into())]);
+        let getvalue = self.lib(
+            LibCall::PQgetvalue,
+            vec![Expr::Var("r".into()), Expr::Var(iv.clone()), Expr::Int(0)],
+        );
+        let print = self.lib(LibCall::Printf, vec![Expr::Str("%s ".into()), getvalue]);
+        vec![
+            Stmt::Let("r".into(), exec),
+            Stmt::Let("n".into(), ntuples),
+            Stmt::For {
+                init: Box::new(Stmt::Let(iv.clone(), Expr::Int(0))),
+                cond: Expr::Binary(
+                    BinOp::Lt,
+                    Box::new(Expr::Var(iv.clone())),
+                    Box::new(Expr::Var("n".into())),
+                ),
+                step: Box::new(Stmt::Assign(
+                    iv.clone(),
+                    Expr::Binary(BinOp::Add, Box::new(Expr::Var(iv)), Box::new(Expr::Int(1))),
+                )),
+                body: vec![Stmt::Expr(print)],
+            },
+        ]
+    }
+
+    /// `mysql_query; store_result; fetch_row; while (row != null) { … }`.
+    fn mysql_block(&mut self) -> Vec<Stmt> {
+        let sql = SQL[self.rng.below(SQL.len() as u64) as usize].to_string();
+        let query = self.lib(
+            LibCall::MysqlQuery,
+            vec![Expr::Var("conn".into()), Expr::Str(sql)],
+        );
+        let store = self.lib(LibCall::MysqlStoreResult, vec![Expr::Var("conn".into())]);
+        let fetch1 = self.lib(LibCall::MysqlFetchRow, vec![Expr::Var("r".into())]);
+        let fetch2 = self.lib(LibCall::MysqlFetchRow, vec![Expr::Var("r".into())]);
+        let row0 = Expr::Index(Box::new(Expr::Var("row".into())), Box::new(Expr::Int(0)));
+        let print = self.lib(LibCall::Printf, vec![Expr::Str("%s ".into()), row0]);
+        vec![
+            Stmt::Expr(query),
+            Stmt::Let("r".into(), store),
+            Stmt::Let("row".into(), fetch1),
+            Stmt::While {
+                cond: Expr::Binary(
+                    BinOp::Ne,
+                    Box::new(Expr::Var("row".into())),
+                    Box::new(Expr::Null),
+                ),
+                body: vec![Stmt::Expr(print), Stmt::Assign("row".into(), fetch2)],
+            },
+        ]
+    }
+
+    fn stmt(&mut self, depth: u32, in_loop: bool, out: &mut Vec<Stmt>) {
+        match self.rng.below(12) {
+            0 | 1 => {
+                let e = self.expr(0);
+                out.push(Stmt::Let(self.var().to_string(), e));
+            }
+            2 => {
+                let e = self.expr(0);
+                out.push(Stmt::Assign(self.var().to_string(), e));
+            }
+            3..=5 => {
+                let e = self.stmt_libcall();
+                out.push(Stmt::Expr(e));
+            }
+            6 | 7 => {
+                let cond = self.expr(0);
+                let mut then_branch = Vec::new();
+                let mut else_branch = Vec::new();
+                for _ in 0..=self.rng.below(2) {
+                    self.stmt(depth + 1, in_loop, &mut then_branch);
+                }
+                if self.rng.chance(2) {
+                    self.stmt(depth + 1, in_loop, &mut else_branch);
+                }
+                out.push(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                });
+            }
+            8 if depth < 2 => {
+                // Counted loop; the counter is dedicated (never the target
+                // of generated assignments), so termination is structural.
+                let iv = format!("i{depth}");
+                let bound = self.rng.below(4) as i64;
+                let mut body = Vec::new();
+                for _ in 0..=self.rng.below(2) {
+                    self.stmt(depth + 1, true, &mut body);
+                }
+                if self.rng.chance(3) {
+                    body.push(if self.rng.chance(2) {
+                        Stmt::Break
+                    } else {
+                        Stmt::Continue
+                    });
+                }
+                out.push(Stmt::For {
+                    init: Box::new(Stmt::Let(iv.clone(), Expr::Int(0))),
+                    cond: Expr::Binary(
+                        BinOp::Lt,
+                        Box::new(Expr::Var(iv.clone())),
+                        Box::new(Expr::Int(bound)),
+                    ),
+                    step: Box::new(Stmt::Assign(
+                        iv.clone(),
+                        Expr::Binary(BinOp::Add, Box::new(Expr::Var(iv)), Box::new(Expr::Int(1))),
+                    )),
+                    body,
+                });
+            }
+            9 => out.extend(self.pq_block(depth)),
+            10 => out.extend(self.mysql_block()),
+            11 if in_loop => out.push(if self.rng.chance(2) {
+                Stmt::Break
+            } else {
+                Stmt::Continue
+            }),
+            _ => {
+                let e = self.expr(0);
+                out.push(Stmt::Let(self.var().to_string(), e));
+            }
+        }
+    }
+}
+
+/// Generates a terminating random program plus its stdin vector.
+fn generate_program(seed: u64, size: usize) -> (Program, Vec<String>) {
+    let mut g = Gen {
+        rng: Rng64::new(seed),
+        next_site: 0,
+        callable: Vec::new(),
+    };
+
+    // helper0 — leaf function (library calls only).
+    let mut body0 = Vec::new();
+    for _ in 0..=g.rng.below(3) {
+        g.stmt(0, false, &mut body0);
+    }
+    if g.rng.chance(2) {
+        let e = g.expr(0);
+        body0.push(Stmt::Return(Some(e)));
+    }
+    let helper0 = Function::new("helper0", vec!["p0".into()], body0);
+
+    // helper1 — may call helper0 (acyclic ⇒ no unbounded recursion).
+    g.callable = vec![("helper0", 1)];
+    let mut body1 = Vec::new();
+    for _ in 0..=g.rng.below(3) {
+        g.stmt(0, false, &mut body1);
+    }
+    if g.rng.chance(3) {
+        body1.push(Stmt::Return(None));
+        g.stmt(0, false, &mut body1); // dead code after return: still compiled
+    }
+    let helper1 = Function::new("helper1", vec!["p0".into(), "p1".into()], body1);
+
+    // main — may call both helpers.
+    g.callable = vec![("helper0", 1), ("helper1", 2)];
+    let mut main_body = Vec::new();
+    for _ in 0..2 + size {
+        g.stmt(0, false, &mut main_body);
+    }
+    let main = Function::new("main", vec![], main_body);
+
+    let next_site = g.next_site;
+    let prog = Program::new(vec![main, helper0, helper1], next_site);
+
+    let inputs = (0..g.rng.below(5))
+        .map(|_| STRINGS[g.rng.below(STRINGS.len() as u64) as usize].to_string())
+        .collect();
+    (prog, inputs)
+}
+
+// ---------------------------------------------------------------------------
+// Differential harness
+// ---------------------------------------------------------------------------
+
+fn seeded_db() -> Database {
+    let mut db = Database::new("shop");
+    db.execute("CREATE TABLE items (ID INT, name TEXT)")
+        .unwrap();
+    db.execute("INSERT INTO items VALUES (10, 'apple'), (11, 'pear'), (12, 'plum'), (13, 'fig')")
+        .unwrap();
+    db
+}
+
+/// Labels every output-sink call site `name_Q<bid>` (the Analyzer's shape).
+fn sink_labels(prog: &Program) -> HashMap<CallSiteId, String> {
+    let mut labels = HashMap::new();
+    prog.for_each_call(|site, callee, _| {
+        if let Callee::Library(lc) = callee {
+            if lc.is_output_sink() {
+                labels.insert(site, format!("{}_Q{}", lc.name(), site.0 % 7));
+            }
+        }
+    });
+    labels
+}
+
+type RunResult = (Result<ExecOutcome, RuntimeError>, Vec<CallEvent>);
+
+fn run_tree_walk(
+    prog: &Program,
+    inputs: &[String],
+    labels: &HashMap<CallSiteId, String>,
+    config: &ExecConfig,
+) -> RunResult {
+    let mut session = ClientSession::connect(seeded_db());
+    let mut collector = TraceCollector::new();
+    let result = run_program(prog, &mut session, inputs, labels, &mut collector, config);
+    (result, collector.into_events())
+}
+
+fn run_vm(
+    prog: &Program,
+    inputs: &[String],
+    labels: &HashMap<CallSiteId, String>,
+    config: &ExecConfig,
+) -> RunResult {
+    let mut session = ClientSession::connect(seeded_db());
+    let mut collector = TraceCollector::new();
+    let result = VmProgram::compile(prog, labels)
+        .and_then(|vm| vm.run(&mut session, inputs, &mut collector, config));
+    (result, collector.into_events())
+}
+
+/// Asserts the two runs are bit-identical (everything except `steps`).
+fn assert_equivalent(tw: &RunResult, vm: &RunResult, ctx: &str) -> Result<(), String> {
+    let (tw_result, tw_events) = tw;
+    let (vm_result, vm_events) = vm;
+    if tw_events != vm_events {
+        let at = tw_events
+            .iter()
+            .zip(vm_events.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| tw_events.len().min(vm_events.len()));
+        return Err(format!(
+            "{ctx}: traces diverge at event {at}: tree-walk {:?} (len {}) vs vm {:?} (len {})",
+            tw_events.get(at),
+            tw_events.len(),
+            vm_events.get(at),
+            vm_events.len(),
+        ));
+    }
+    match (tw_result, vm_result) {
+        (Ok(a), Ok(b)) => {
+            if a.stdout != b.stdout {
+                return Err(format!(
+                    "{ctx}: stdout diverges: {:?} vs {:?}",
+                    a.stdout, b.stdout
+                ));
+            }
+            if a.files != b.files {
+                return Err(format!(
+                    "{ctx}: files diverge: {:?} vs {:?}",
+                    a.files, b.files
+                ));
+            }
+            if a.system_commands != b.system_commands {
+                return Err(format!(
+                    "{ctx}: system commands diverge: {:?} vs {:?}",
+                    a.system_commands, b.system_commands
+                ));
+            }
+            if a.exited != b.exited {
+                return Err(format!(
+                    "{ctx}: exited diverges: {} vs {}",
+                    a.exited, b.exited
+                ));
+            }
+            Ok(())
+        }
+        (Err(a), Err(b)) => {
+            if a != b {
+                return Err(format!("{ctx}: errors diverge: {a:?} vs {b:?}"));
+            }
+            Ok(())
+        }
+        (a, b) => Err(format!(
+            "{ctx}: result kinds diverge: tree-walk {a:?} vs vm {b:?}"
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The tentpole property: arbitrary programs × inputs × RNG seeds ×
+    /// label maps trace bit-identically under both runtimes.
+    #[test]
+    fn random_programs_trace_identically(
+        seed in any::<u64>(),
+        size in 1usize..10,
+        rng_seed in any::<u64>(),
+        label_sinks in any::<bool>(),
+        extended in any::<bool>(),
+    ) {
+        let (prog, inputs) = generate_program(seed, size);
+        let labels = if label_sinks {
+            sink_labels(&prog)
+        } else {
+            HashMap::new()
+        };
+        let config = ExecConfig {
+            rng_seed,
+            extended_events: extended,
+            ..ExecConfig::default()
+        };
+        let tw = run_tree_walk(&prog, &inputs, &labels, &config);
+        let vm = run_vm(&prog, &inputs, &labels, &config);
+        if let Err(msg) = assert_equivalent(&tw, &vm, "random program") {
+            prop_assert!(false, "{} (generator seed {seed}, size {size})", msg);
+        }
+    }
+
+    /// Both runtimes consume the same stdin stream and honor the same RNG
+    /// seed — the `rand()` and `scanf()` streams are part of the contract.
+    #[test]
+    fn rng_and_stdin_streams_match(seed in any::<u64>(), rng_seed in any::<u64>()) {
+        let src_prog = {
+            let mut g = Gen { rng: Rng64::new(seed), next_site: 0, callable: vec![] };
+            let mut body = Vec::new();
+            for _ in 0..4 {
+                let r = g.lib(LibCall::Rand, vec![]);
+                let print = g.lib(
+                    LibCall::Printf,
+                    vec![Expr::Str("%d ".into()), r],
+                );
+                body.push(Stmt::Expr(print));
+                let s = g.lib(LibCall::Scanf, vec![]);
+                body.push(Stmt::Let("x".into(), s));
+                let echo = g.lib(
+                    LibCall::Puts,
+                    vec![Expr::Var("x".into())],
+                );
+                body.push(Stmt::Expr(echo));
+            }
+            let next = g.next_site;
+            Program::new(vec![Function::new("main", vec![], body)], next)
+        };
+        let inputs: Vec<String> = vec!["one".into(), "two".into()];
+        let config = ExecConfig { rng_seed, ..ExecConfig::default() };
+        let tw = run_tree_walk(&src_prog, &inputs, &HashMap::new(), &config);
+        let vm = run_vm(&src_prog, &inputs, &HashMap::new(), &config);
+        if let Err(msg) = assert_equivalent(&tw, &vm, "rng/stdin streams") {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine parity (satellite fix): `TraceValidator::screen` must treat
+// VM-emitted traces exactly like tree-walk ones.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_label_quarantined_identically_in_both_modes() {
+    use adprom_lang::parse_program;
+
+    let prog = parse_program("fn main() { let x = \"v\"; printf(\"%s\", x); puts(x); }").unwrap();
+    // A corrupted Analyzer map: non-numeric block id on the printf site.
+    let mut labels = HashMap::new();
+    prog.for_each_call(|site, callee, _| {
+        if callee.name() == "printf" {
+            labels.insert(site, "printf_Qxx".to_string());
+        }
+    });
+
+    let validator = TraceValidator::new();
+    let mut screened = Vec::new();
+    for mode in [ExecMode::TreeWalk, ExecMode::Vm] {
+        let mut session = ClientSession::connect(seeded_db());
+        let mut collector = TraceCollector::new();
+        adprom_trace::execute_program(
+            &prog,
+            &mut session,
+            &[],
+            &labels,
+            &mut collector,
+            &ExecConfig {
+                mode,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        let batch = validator.screen(
+            &["s1".to_string()],
+            std::slice::from_ref(&collector.into_events()),
+        );
+        assert_eq!(
+            batch.quarantined.len(),
+            1,
+            "{mode:?}: malformed _Q label must quarantine the trace"
+        );
+        assert!(batch.traces.is_empty(), "{mode:?}: nothing clean to keep");
+        screened.push(batch.quarantined[0].clone());
+    }
+    assert_eq!(
+        screened[0], screened[1],
+        "quarantine verdicts must be identical across execution modes"
+    );
+}
+
+#[test]
+fn well_labeled_traces_pass_screening_in_both_modes() {
+    use adprom_lang::parse_program;
+
+    let prog = parse_program("fn main() { printf(\"%d\", 1); }").unwrap();
+    let labels = sink_labels(&prog);
+    let validator = TraceValidator::new();
+    for mode in [ExecMode::TreeWalk, ExecMode::Vm] {
+        let mut session = ClientSession::connect(seeded_db());
+        let mut collector = TraceCollector::new();
+        adprom_trace::execute_program(
+            &prog,
+            &mut session,
+            &[],
+            &labels,
+            &mut collector,
+            &ExecConfig {
+                mode,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        let batch = validator.screen(
+            &["s1".to_string()],
+            std::slice::from_ref(&collector.into_events()),
+        );
+        assert_eq!(batch.traces.len(), 1, "{mode:?}");
+        assert!(batch.quarantined.is_empty(), "{mode:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canned divergence-prone programs (regression anchors for the generator)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn canned_edge_programs_trace_identically() {
+    use adprom_lang::parse_program;
+
+    let sources = [
+        // Short-circuit results are Bools in both runtimes.
+        "fn main() { let a = 1 && \"s\"; let b = 0 || 0.0; printf(\"%d %d\", a, b); }",
+        // exit() nested inside an argument list.
+        "fn main() { printf(\"%d\", exit(0)); puts(\"no\"); }",
+        // Stray break leaves the function like a null return.
+        "fn main() { let x = f(); printf(\"%s\", x); }\nfn f() { break; puts(\"no\"); }",
+        // Out-param through a call chain.
+        "fn main() { let q = \"\"; strcpy(q, \"a\"); strcat(q, scanf()); puts(q); }",
+        // For-loop continue hits the step, not the condition.
+        "fn main() { for (let i = 0; i < 3; i = i + 1) { if (i == 1) { continue; } printf(\"%d\", i); } }",
+        // Shadowing `let` reuses the same storage in both runtimes.
+        "fn main() { let x = 1; if (1) { let x = 2; } printf(\"%d\", x); }",
+        // Arity mismatches: extra args dropped, missing params null.
+        "fn main() { printf(\"%d\", f(1, 2, 3)); g(); }\nfn f(a) { return a; }\nfn g(p) { puts(\"g\"); }",
+    ];
+    for src in sources {
+        let prog = parse_program(src).unwrap();
+        let config = ExecConfig::default();
+        let tw = run_tree_walk(&prog, &["in".to_string()], &HashMap::new(), &config);
+        let vm = run_vm(&prog, &["in".to_string()], &HashMap::new(), &config);
+        assert_equivalent(&tw, &vm, src).unwrap();
+    }
+}
+
+#[test]
+fn harness_sanity_steps_do_differ_and_events_are_nonempty() {
+    // Confirms the generator produces real work and the runtimes genuinely
+    // take different paths (instruction counts differ) while traces match.
+    let mut total_events = 0usize;
+    let mut steps_differed = false;
+    for seed in 0..64u64 {
+        let (prog, inputs) = generate_program(seed, 6);
+        let labels = sink_labels(&prog);
+        let config = ExecConfig::default();
+        let tw = run_tree_walk(&prog, &inputs, &labels, &config);
+        let vm = run_vm(&prog, &inputs, &labels, &config);
+        assert_equivalent(&tw, &vm, "sanity").unwrap();
+        total_events += tw.1.len();
+        if let (Ok(a), Ok(b)) = (&tw.0, &vm.0) {
+            if a.steps != b.steps {
+                steps_differed = true;
+            }
+        }
+    }
+    assert!(
+        total_events > 200,
+        "generator too weak: {total_events} events over 64 programs"
+    );
+    assert!(
+        steps_differed,
+        "step counters never diverged — are both paths really running?"
+    );
+}

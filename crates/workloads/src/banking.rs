@@ -358,7 +358,7 @@ mod tests {
         );
         let attacked = w.run_case(&injection_case(), &HashMap::new());
         let fetches = |t: &[adprom_trace::CallEvent]| {
-            t.iter().filter(|e| e.name == "mysql_fetch_row").count()
+            t.iter().filter(|e| &*e.name == "mysql_fetch_row").count()
         };
         assert_eq!(fetches(&normal), 2); // one row + end-of-cursor
         assert_eq!(fetches(&attacked), 13); // all 12 clients + end
@@ -378,7 +378,7 @@ mod tests {
         );
         let fetches = attacked
             .iter()
-            .filter(|e| e.name == "mysql_fetch_row")
+            .filter(|e| &*e.name == "mysql_fetch_row")
             .count();
         assert_eq!(fetches, 1); // immediate end-of-cursor
     }

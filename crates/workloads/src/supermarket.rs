@@ -375,7 +375,7 @@ mod tests {
             ],
         );
         let trace = w.run_case(&case, &HashMap::new());
-        assert!(trace.iter().any(|e| e.name == "fprintf"));
+        assert!(trace.iter().any(|e| &*e.name == "fprintf"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use adprom_client::ClientSession;
 use adprom_db::Database;
 use adprom_lang::{CallSiteId, Program};
-use adprom_trace::{run_program, CallEvent, CallSink, ExecConfig, TraceCollector};
+use adprom_trace::{execute_program, CallEvent, CallSink, ExecConfig, TraceCollector, VmProgram};
 use std::collections::HashMap;
 
 /// One test case: a named stdin input vector.
@@ -66,7 +66,9 @@ impl Workload {
         let mut session = ClientSession::connect(db);
         // A workload program is expected to run cleanly; step-limit or
         // argument errors in a curated app are bugs, so surface them loudly.
-        run_program(
+        // `execute_program` runs the bytecode VM by default (the tree-walk
+        // stays available via `ExecConfig::mode`).
+        execute_program(
             &self.program,
             &mut session,
             &case.inputs,
@@ -77,11 +79,27 @@ impl Workload {
         .unwrap_or_else(|e| panic!("workload {} case {} failed: {e}", self.name, case.name));
     }
 
-    /// Runs every test case, returning one trace per case.
+    /// Runs every test case, returning one trace per case. Compiles the
+    /// program once and reuses the bytecode across cases.
     pub fn collect_traces(&self, site_labels: &HashMap<CallSiteId, String>) -> Vec<Vec<CallEvent>> {
+        let vm = VmProgram::compile(&self.program, site_labels)
+            .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", self.name));
         self.test_cases
             .iter()
-            .map(|c| self.run_case(c, site_labels))
+            .map(|case| {
+                let mut collector = TraceCollector::new();
+                let mut session = ClientSession::connect((self.make_db)());
+                vm.run(
+                    &mut session,
+                    &case.inputs,
+                    &mut collector,
+                    &ExecConfig::default(),
+                )
+                .unwrap_or_else(|e| {
+                    panic!("workload {} case {} failed: {e}", self.name, case.name)
+                });
+                collector.into_events()
+            })
             .collect()
     }
 }

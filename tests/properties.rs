@@ -128,12 +128,12 @@ proptest! {
     fn sql_like_semantics(text in "[a-c]{0,8}") {
         let mut db = Database::new("p");
         db.execute("CREATE TABLE t (s TEXT)").unwrap();
-        db.execute_with_params("INSERT INTO t VALUES ($1)", &[Value::Text(text.clone())])
+        db.execute_with_params("INSERT INTO t VALUES ($1)", &[Value::Text(text.as_str().into())])
             .unwrap();
         // Exact pattern ⇔ equality.
         let r = db
             .execute_with_params("SELECT COUNT(*) FROM t WHERE s LIKE $1",
-                                 &[Value::Text(text.clone())])
+                                 &[Value::Text(text.as_str().into())])
             .unwrap();
         assert_eq!(r.rows().unwrap().get_value(0, 0).unwrap(), "1");
         // Universal pattern.
@@ -176,9 +176,9 @@ proptest! {
             .map(|t| {
                 t.iter()
                     .map(|&i| CallEvent {
-                        name: names[i].to_string(),
+                        name: names[i].into(),
                         call: LibCall::Printf,
-                        caller: "main".to_string(),
+                        caller: "main".into(),
                         site: CallSiteId(0),
                         detail: None,
                     })

@@ -199,9 +199,9 @@ fn degraded_mode_dense_fallback_is_bit_identical_to_dense() {
     let mut profile = tiny_profile();
     profile.hmm.a_row_mut(0)[0] += 0.25;
     let event = |name: &str| adprom::trace::CallEvent {
-        name: name.to_string(),
+        name: name.into(),
         call: adprom::lang::LibCall::Printf,
-        caller: "main".to_string(),
+        caller: "main".into(),
         site: adprom::lang::CallSiteId(0),
         detail: None,
     };

@@ -39,9 +39,9 @@ fn quiet_injected_panics() {
 
 fn event(name: &str, caller: &str) -> CallEvent {
     CallEvent {
-        name: name.to_string(),
+        name: name.into(),
         call: LibCall::Printf,
-        caller: caller.to_string(),
+        caller: caller.into(),
         site: CallSiteId(0),
         detail: None,
     }

@@ -44,6 +44,44 @@ impl Default for ProptestConfig {
 /// The deterministic RNG driving generation.
 pub type TestRng = StdRng;
 
+/// Resolves the per-property case count: the `PROPTEST_CASES` environment
+/// variable, when set to a positive integer, overrides the configured value.
+/// CI uses this to run elevated counts (e.g. 512) without touching the
+/// in-tree `proptest_config` defaults.
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(n) if n > 0 => n,
+            _ => configured,
+        },
+        Err(_) => configured,
+    }
+}
+
+/// Writes a failing case to `<dir>/<property>.txt`, where `<dir>` is
+/// `$PROPTEST_REGRESSION_DIR` or `proptest-regressions/` under the test's
+/// working directory (the package root under cargo). The runner is fully
+/// deterministic — rerunning the property replays the same cases — so the
+/// file records the generated inputs for diagnosis rather than a replay
+/// seed; CI uploads it as an artifact on failure.
+#[doc(hidden)]
+pub fn record_regression(property: &str, case: u32, cases: u32, msg: &str, inputs: &str) {
+    let dir = std::env::var("PROPTEST_REGRESSION_DIR")
+        .unwrap_or_else(|_| "proptest-regressions".to_string());
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = std::path::Path::new(&dir).join(format!("{property}.txt"));
+    let body = format!(
+        "# proptest regression record (offline stand-in: deterministic runner, no seeds)\n\
+         property: {property}\n\
+         failed_at_case: {case}/{cases}\n\
+         message: {msg}\n\
+         inputs: {inputs}\n"
+    );
+    let _ = std::fs::write(path, body);
+}
+
 /// Creates the per-property RNG. Seeded from the property name so distinct
 /// properties explore different streams, deterministically.
 #[doc(hidden)]
@@ -335,8 +373,9 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::ProptestConfig = $config;
+                let __cases = $crate::resolve_cases(__config.cases);
                 let mut __rng = $crate::test_rng(stringify!($name));
-                for __case in 0..__config.cases {
+                for __case in 0..__cases {
                     $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
                     // Rendered before the body runs: the body takes the
                     // inputs by value and may consume them.
@@ -349,9 +388,12 @@ macro_rules! proptest {
                     let __outcome: ::std::result::Result<(), ::std::string::String> =
                         (|| { $body ::std::result::Result::Ok(()) })();
                     if let ::std::result::Result::Err(__msg) = __outcome {
+                        $crate::record_regression(
+                            stringify!($name), __case + 1, __cases, &__msg, &__input_desc,
+                        );
                         ::std::panic!(
                             "property `{}` failed at case {}/{}: {}\n  inputs: {}",
-                            stringify!($name), __case + 1, __config.cases, __msg,
+                            stringify!($name), __case + 1, __cases, __msg,
                             __input_desc
                         );
                     }
@@ -465,6 +507,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "property `always_fails` failed")]
     fn failures_panic_with_context() {
+        // Keep the regression record out of the source tree.
+        std::env::set_var(
+            "PROPTEST_REGRESSION_DIR",
+            std::env::temp_dir().join("adprom-proptest-regressions"),
+        );
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(1))]
             fn always_fails(x in 0u8..1) {
@@ -472,5 +519,23 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    #[test]
+    fn resolve_cases_defaults_to_configured() {
+        // PROPTEST_CASES is not set in the normal test environment.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(crate::resolve_cases(64), 64);
+        }
+    }
+
+    #[test]
+    fn regression_record_is_written() {
+        let dir = std::env::temp_dir().join("adprom-proptest-regressions");
+        std::env::set_var("PROPTEST_REGRESSION_DIR", &dir);
+        crate::record_regression("some_property", 3, 64, "boom", "x = 7, ");
+        let body = std::fs::read_to_string(dir.join("some_property.txt")).unwrap();
+        assert!(body.contains("failed_at_case: 3/64"));
+        assert!(body.contains("x = 7"));
     }
 }

@@ -264,6 +264,22 @@ impl Serialize for str {
     }
 }
 
+// Shared-string impls (serde gates these behind the `rc` feature).
+impl Serialize for std::sync::Arc<str> {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Str(s) => Ok(std::sync::Arc::from(s.as_str())),
+            other => Err(DeError(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
 impl Serialize for char {
     fn serialize(&self) -> Content {
         Content::Str(self.to_string())
