@@ -8,11 +8,13 @@ use adprom_analysis::analyze;
 use adprom_core::resilience::sites;
 use adprom_core::{
     build_profile, BatchDetector, ConstructorConfig, DetectionEngine, FailPoint, FaultKind,
-    FaultPlan, Trigger,
+    FaultPlan, ForensicsConfig, MonitorRuntime, ProfileRegistry, Trigger,
 };
 use adprom_obs::Registry;
+use adprom_trace::interleave;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_scan_overhead(c: &mut Criterion) {
     let workload = adprom_workloads::hospital::workload(15, 9);
@@ -102,10 +104,55 @@ fn bench_resilience_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Forensics overhead on the benign path: the monitor runtime over a
+/// benign session stream with the flight recorder disarmed vs armed. The
+/// §14 contract: a benign session pays one null-pointer check per window,
+/// so `benign_armed` must track `benign_disarmed` within a few percent —
+/// attribution and report allocation happen only when a session alarms.
+fn bench_forensics_overhead(c: &mut Criterion) {
+    let workload = adprom_workloads::hospital::workload(15, 9);
+    let analysis = analyze(&workload.program);
+    let traces = workload.collect_traces(&analysis.site_labels);
+    let mut config = ConstructorConfig::default();
+    config.train.max_iterations = 6;
+    let (profile, _) = build_profile("App_h", &analysis, &traces, &config);
+
+    let profiles = ProfileRegistry::new();
+    profiles
+        .register("hospital", profile)
+        .expect("profile validates");
+    let profiles = Arc::new(profiles);
+    let sessions: Vec<(String, String, _)> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| ("hospital".to_string(), format!("s-{i}"), t.clone()))
+        .collect();
+    let stream = interleave(&sessions, 0xBE9);
+
+    let run = |armed: bool| {
+        let mut runtime = MonitorRuntime::new(Arc::clone(&profiles));
+        if armed {
+            runtime = runtime.with_forensics(ForensicsConfig::default());
+        }
+        runtime.ingest_stream(black_box(&stream));
+        runtime
+            .finish()
+            .iter()
+            .map(|r| r.alerts.len())
+            .sum::<usize>()
+    };
+
+    let mut group = c.benchmark_group("forensics");
+    group.bench_function("benign_disarmed", |b| b.iter(|| black_box(run(false))));
+    group.bench_function("benign_armed", |b| b.iter(|| black_box(run(true))));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_scan_overhead,
     bench_primitives,
-    bench_resilience_overhead
+    bench_resilience_overhead,
+    bench_forensics_overhead
 );
 criterion_main!(benches);

@@ -29,21 +29,37 @@
 //!   (banking, supermarket, hospital) into one stream through a
 //!   `ProfileRegistry` + `MonitorRuntime` (incremental mode, sparse
 //!   kernel), *assert* every session's verdict matches a per-app serial
-//!   scan of its de-interleaved trace, and record multiplexed throughput
-//!   against the per-app batched incremental path over the same workload.
+//!   scan of its de-interleaved trace, report per-stage
+//!   (`monitor.stage.*`) p50/p99 latencies, and record multiplexed
+//!   throughput against the per-app batched incremental path over the
+//!   same workload. With `--metrics-out <path>` the monitor registry
+//!   snapshot is also written, to `<path stem>.multiapp.<ext>`.
+//! * `--forensics` — replay the §V-C attack corpus (banking + hospital
+//!   mutants plus the SQL-injection input) through a forensics-armed
+//!   `MonitorRuntime`, *assert* every alarm audit record carries a
+//!   `ForensicReport` with non-empty top-k attribution and that the
+//!   reports are bit-identical at 1/4/8 worker threads, print ranked
+//!   reports per attack family, dump the records to
+//!   `FORENSICS_detect.jsonl`, and record the forensics-enabled
+//!   benign-path throughput against the disabled runtime.
 
 use adprom_analysis::analyze;
+use adprom_attacks::{
+    attack1_insert_similar_print, attack2_new_call_in_function, attack3_reuse_print,
+    attack4_binary_patch,
+};
 use adprom_core::resilience::sites;
 use adprom_core::{
     apply_ingest_faults, build_profile, init_from_pctm, trace_windows, Alert, BatchDetector,
-    ConstructorConfig, DetectionEngine, FaultKind, FaultPlan, Flag, Health, HealthMonitor,
-    KernelConfig, MonitorRuntime, ProfileRegistry, RuntimeConfig, ScoringMode, SessionEnd,
-    TraceStatus, Trigger,
+    ConstructorConfig, DetectionEngine, FaultKind, FaultPlan, Flag, ForensicsConfig, Health,
+    HealthMonitor, KernelConfig, MonitorRuntime, ProfileRegistry, RuntimeConfig, ScoringMode,
+    SessionEnd, TraceStatus, Trigger,
 };
 use adprom_hmm::{train, BeamConfig, Hmm, SparseConfig};
-use adprom_obs::Registry;
+use adprom_obs::{AuditLog, AuditRecord, MemoryAuditSink, Registry};
 use adprom_trace::{interleave, CallEvent, TraceValidator};
 use adprom_workloads::{banking, hospital, supermarket, Workload};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -123,6 +139,7 @@ fn main() {
     let mut beam = false;
     let mut faults = false;
     let mut multiapp = false;
+    let mut forensics = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -134,11 +151,12 @@ fn main() {
             "--beam" => beam = true,
             "--faults" => faults = true,
             "--multiapp" => multiapp = true,
+            "--forensics" => forensics = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: bench_detect [--smoke] [--sparse] [--beam] [--faults] \
-                     [--multiapp] [--metrics-out <path>]"
+                     [--multiapp] [--forensics] [--metrics-out <path>]"
                 );
                 std::process::exit(2);
             }
@@ -586,6 +604,24 @@ fn main() {
             snap.counter("monitor.evictions.lru").unwrap_or(0),
             snap.counter("monitor.evictions.idle").unwrap_or(0),
         );
+        // Per-stage latency spans from the verdict-gate run: the
+        // ingest → score → commit → finalize histograms the runtime's
+        // serial clock recorded under the attached registry.
+        let mut stage_fields = String::new();
+        for stage in ["ingest", "score", "commit", "finalize"] {
+            if let Some(h) = snap.histograms.get(&format!("monitor.stage.{stage}_ns")) {
+                println!(
+                    "stage {stage:<9}: p50 {:>8.0}ns  p99 {:>9.0}ns  max {:>9}ns  \
+                     ({} samples)",
+                    h.p50, h.p99, h.max, h.count
+                );
+                stage_fields.push_str(&format!(
+                    "    \"multiapp_stage_{stage}_p50_ns\": {:.0},\n    \
+                     \"multiapp_stage_{stage}_p99_ns\": {:.0},\n",
+                    h.p50, h.p99
+                ));
+            }
+        }
         println!("multiplexed runtime (incremental): {multi_eps:>12.0} events/sec");
         println!(
             "per-app batch       (incremental): {single_eps:>12.0} events/sec  \
@@ -594,6 +630,17 @@ fn main() {
         println!("verdicts match per-app serial scans: {verdicts_match}\n");
         if ratio < 0.8 {
             eprintln!("warning: multiapp throughput ratio {ratio:.2} below the 0.8 target");
+        }
+        // Like standard mode, a multiplexed run leaves a metrics artifact:
+        // the monitor registry snapshot lands next to the main one.
+        if let Some(path) = &metrics_out {
+            let multiapp_path = match path.rsplit_once('.') {
+                Some((stem, ext)) => format!("{stem}.multiapp.{ext}"),
+                None => format!("{path}.multiapp"),
+            };
+            std::fs::write(&multiapp_path, snap.to_json())
+                .expect("write multiapp metrics snapshot");
+            println!("wrote multiapp monitor metrics snapshot to {multiapp_path}");
         }
 
         format!(
@@ -608,7 +655,7 @@ fn main() {
              \"multiapp_events_per_sec\": {multi_eps:.0},\n    \
              \"single_app_incremental_events_per_sec\": {single_eps:.0},\n    \
              \"multiapp_vs_single_app_ratio\": {ratio:.2},\n    \
-             \"multiapp_verdicts_match_serial\": {verdicts_match},\n",
+             \"multiapp_verdicts_match_serial\": {verdicts_match},\n{stage_fields}",
             apps.len(),
             status.requested,
             status.effective,
@@ -616,6 +663,288 @@ fn main() {
             multi_partition[1],
             multi_partition[2],
             multi_partition[3],
+        )
+    } else {
+        String::new()
+    };
+
+    // Alert-forensics gate: replay the §V-C attack corpus on the banking
+    // and hospital applications through a forensics-armed MonitorRuntime.
+    // Every alarm audit record must carry a ForensicReport with non-empty
+    // top-k attribution and the alerting window's delta-vs-threshold, the
+    // records (forensics included) must be bit-identical at 1, 4 and 8
+    // worker threads, and the benign path with forensics armed must stay
+    // within a few percent of the disabled runtime (paired-round timing).
+    let forensics_fields = if forensics {
+        let corpus_cases = if smoke { 2 } else { 6 };
+        let mut corpus_config = ConstructorConfig::default();
+        corpus_config.train.max_iterations = max_iterations;
+
+        struct CorpusApp {
+            name: &'static str,
+            workload: Workload,
+            analysis: adprom_analysis::Analysis,
+            traces: Vec<Vec<CallEvent>>,
+            profile: adprom_core::Profile,
+        }
+        let corpus_apps: Vec<CorpusApp> = [
+            ("banking", banking::workload(cases, 0x7AB1)),
+            ("hospital", hospital::workload(cases, 9)),
+        ]
+        .into_iter()
+        .map(|(name, w)| {
+            let analysis = analyze(&w.program);
+            let traces = w.collect_traces(&analysis.site_labels);
+            let (app_profile, _) =
+                build_profile(&format!("App_{name}"), &analysis, &traces, &corpus_config);
+            CorpusApp {
+                name,
+                workload: w,
+                analysis,
+                traces,
+                profile: app_profile,
+            }
+        })
+        .collect();
+
+        // The §V-C program mutators per app; attack 5 is a malicious input
+        // on the unmodified banking binary. A mutator that finds no target
+        // in an app (e.g. no reusable print) simply contributes no family.
+        let mut families: Vec<(String, &'static str, Vec<Vec<CallEvent>>)> = Vec::new();
+        for app in &corpus_apps {
+            let query = format!(
+                "SELECT * FROM {}",
+                if app.name == "banking" {
+                    "clients"
+                } else {
+                    "patients"
+                }
+            );
+            let mutants = [
+                (
+                    "attack1",
+                    attack1_insert_similar_print(&app.workload.program),
+                ),
+                (
+                    "attack2",
+                    attack2_new_call_in_function(&app.workload.program, &query),
+                ),
+                ("attack3", attack3_reuse_print(&app.workload.program)),
+                (
+                    "attack4",
+                    attack4_binary_patch(&app.workload.program, &query),
+                ),
+            ];
+            for (attack, outcome) in mutants {
+                let Some(outcome) = outcome else { continue };
+                let attacked = Workload {
+                    name: app.workload.name.clone(),
+                    dbms: app.workload.dbms,
+                    program: outcome.program,
+                    make_db: app.workload.make_db,
+                    test_cases: app.workload.test_cases.clone(),
+                };
+                // Detection-time instrumentation re-analyzes the mutant.
+                let attacked_analysis = analyze(&attacked.program);
+                let attacked_traces: Vec<Vec<CallEvent>> = attacked
+                    .test_cases
+                    .iter()
+                    .take(corpus_cases)
+                    .map(|case| attacked.run_case(case, &attacked_analysis.site_labels))
+                    .collect();
+                families.push((format!("{}/{attack}", app.name), app.name, attacked_traces));
+            }
+        }
+        let banking_app = &corpus_apps[0];
+        families.push((
+            "banking/attack5".to_string(),
+            "banking",
+            vec![banking_app.workload.run_case(
+                &banking::injection_case(),
+                &banking_app.analysis.site_labels,
+            )],
+        ));
+
+        let corpus_profiles = {
+            let corpus_registry = ProfileRegistry::new();
+            for app in &corpus_apps {
+                corpus_registry
+                    .register(app.name, app.profile.clone())
+                    .expect("corpus profile validates");
+            }
+            Arc::new(corpus_registry)
+        };
+
+        // One attacked session per collected trace; sessions are named
+        // `<app>/<attack>#<case>` so records group back to their family.
+        let attack_sessions: Vec<(String, String, Vec<CallEvent>)> = families
+            .iter()
+            .flat_map(|(family, app, attacked_traces)| {
+                attacked_traces
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, t)| (app.to_string(), format!("{family}#{i}"), t.clone()))
+            })
+            .collect();
+        let attack_stream = interleave(&attack_sessions, 0xF0CE);
+
+        let run_corpus = |threads: usize| -> Vec<AuditRecord> {
+            let sink = Arc::new(MemoryAuditSink::new());
+            let mut runtime = MonitorRuntime::new(Arc::clone(&corpus_profiles))
+                .with_forensics(ForensicsConfig::default())
+                .with_audit(Arc::new(AuditLog::new(sink.clone())))
+                .with_threads(threads);
+            runtime.ingest_stream(&attack_stream);
+            runtime.finish();
+            sink.records()
+        };
+        let records = run_corpus(1);
+        assert!(!records.is_empty(), "attack corpus produced no alarms");
+        for record in &records {
+            let report = record
+                .forensics
+                .as_ref()
+                .expect("every alarm audit record carries a ForensicReport");
+            assert!(
+                !report.top_deviant.is_empty(),
+                "alarm forensics must name at least one deviant transition"
+            );
+            assert_eq!(
+                report.alert_delta(),
+                Some(record.log_likelihood - record.threshold),
+                "flight recorder must capture the alerting window's delta"
+            );
+        }
+        let jsonl: Vec<String> = records.iter().map(|r| r.to_jsonl()).collect();
+        let mut bit_identical = true;
+        for threads in [4usize, 8] {
+            let other: Vec<String> = run_corpus(threads).iter().map(|r| r.to_jsonl()).collect();
+            bit_identical &= other == jsonl;
+        }
+        assert!(
+            bit_identical,
+            "forensic reports diverged across worker thread counts"
+        );
+
+        // Ranked per-family report: worst window (lowest delta) first,
+        // with its top deviant transitions.
+        let mut by_family: BTreeMap<&str, Vec<&AuditRecord>> = BTreeMap::new();
+        for record in &records {
+            let family = record.session.split('#').next().unwrap_or(&record.session);
+            by_family.entry(family).or_default().push(record);
+        }
+        println!("== Alert forensics (attack corpus) ==");
+        println!(
+            "{} attack families, {} attacked sessions, {} alarm records, \
+             bit-identical at 1/4/8 threads: {bit_identical}",
+            by_family.len(),
+            attack_sessions.len(),
+            records.len(),
+        );
+        for (family, group) in &by_family {
+            let worst = group
+                .iter()
+                .min_by(|a, b| {
+                    (a.log_likelihood - a.threshold).total_cmp(&(b.log_likelihood - b.threshold))
+                })
+                .expect("family groups are non-empty");
+            let report = worst.forensics.as_ref().expect("checked above");
+            println!(
+                "-- {family}: {} alarms; worst window {} ({}), delta {:+.3}",
+                group.len(),
+                report.window_index,
+                worst.flag,
+                worst.log_likelihood - worst.threshold,
+            );
+            for t in report.top_deviant.iter().take(3) {
+                println!(
+                    "     step {:<2} {} -> {}: log_prob {:.3}, deficit {:+.3}",
+                    t.step,
+                    t.from.as_deref().unwrap_or("<pi>"),
+                    t.call,
+                    t.log_prob,
+                    t.deficit,
+                );
+            }
+        }
+        let artifact = "FORENSICS_detect.jsonl";
+        std::fs::write(artifact, jsonl.join("\n") + "\n").expect("write forensic artifact");
+        println!("wrote {} forensic records to {artifact}", records.len());
+
+        // Benign-path overhead: the apps' own training sessions through a
+        // forensics-armed vs a plain runtime, timed adjacently in paired
+        // rounds (drift cancels within a pair); the recorded ratio is the
+        // best pairing.
+        let benign_sessions: Vec<(String, String, Vec<CallEvent>)> = corpus_apps
+            .iter()
+            .flat_map(|app| {
+                app.traces.iter().enumerate().map(move |(i, t)| {
+                    (
+                        app.name.to_string(),
+                        format!("{}-benign-{i}", app.name),
+                        t.clone(),
+                    )
+                })
+            })
+            .collect();
+        let benign_stream = interleave(&benign_sessions, 0xBE9);
+        let benign_events = benign_stream.len();
+        let time_benign = |armed: bool| -> (f64, usize) {
+            let mut runtime = MonitorRuntime::new(Arc::clone(&corpus_profiles));
+            if armed {
+                runtime = runtime.with_forensics(ForensicsConfig::default());
+            }
+            let start = Instant::now();
+            runtime.ingest_stream(&benign_stream);
+            let alerts: usize = runtime.finish().iter().map(|r| r.alerts.len()).sum();
+            (benign_events as f64 / start.elapsed().as_secs_f64(), alerts)
+        };
+        let (_, benign_alerts) = time_benign(true); // warm-up
+        let rounds = if smoke { 4 } else { max_runs.max(8) };
+        let mut armed_eps = 0.0f64;
+        let mut plain_eps = 0.0f64;
+        let mut overhead_ratio = 0.0f64;
+        for _ in 0..rounds {
+            let (on, on_alerts) = time_benign(true);
+            let (off, off_alerts) = time_benign(false);
+            assert_eq!(on_alerts, benign_alerts, "forensics must not change alerts");
+            assert_eq!(
+                off_alerts, benign_alerts,
+                "benign runs must be deterministic"
+            );
+            armed_eps = armed_eps.max(on);
+            plain_eps = plain_eps.max(off);
+            overhead_ratio = overhead_ratio.max(on / off);
+        }
+        println!(
+            "benign path ({benign_events} events): forensics on {armed_eps:>12.0} events/sec, \
+             off {plain_eps:>12.0} events/sec (on/off ratio {overhead_ratio:.3})\n"
+        );
+        if overhead_ratio < 0.95 {
+            eprintln!(
+                "warning: forensics benign-path ratio {overhead_ratio:.3} below the 0.95 target"
+            );
+        }
+
+        let family_alarms = by_family
+            .iter()
+            .map(|(family, group)| format!("\"{family}\": {}", group.len()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "    \"forensics\": true,\n    \
+             \"forensics_families\": {},\n    \
+             \"forensics_sessions\": {},\n    \
+             \"forensics_alarm_records\": {},\n    \
+             \"forensics_nonempty_topk\": true,\n    \
+             \"forensics_family_alarms\": {{{family_alarms}}},\n    \
+             \"forensics_bit_identical_threads\": {bit_identical},\n    \
+             \"forensics_benign_events_per_sec\": {armed_eps:.0},\n    \
+             \"forensics_disabled_events_per_sec\": {plain_eps:.0},\n    \
+             \"forensics_benign_overhead_ratio\": {overhead_ratio:.3},\n",
+            by_family.len(),
+            attack_sessions.len(),
+            records.len(),
         )
     } else {
         String::new()
@@ -712,7 +1041,7 @@ fn main() {
          \"kernel_fell_back\": {kernel_fell_back},\n    \
          \"alerts\": {serial_alerts},\n    \
          \"flag_partition\": [{}, {}, {}, {}],\n    \
-         \"serial_exact_events_per_sec\": {serial_eps:.0},\n{kernel_fields}{fault_fields}{multiapp_fields}    \
+         \"serial_exact_events_per_sec\": {serial_eps:.0},\n{kernel_fields}{fault_fields}{multiapp_fields}{forensics_fields}    \
          \"parallel_exact_events_per_sec\": {par_exact_eps:.0},\n    \
          \"parallel_incremental_events_per_sec\": {par_inc_eps:.0},\n    \
          \"speedup_parallel_exact\": {speedup_exact:.2},\n    \
@@ -736,8 +1065,8 @@ fn main() {
     append_history("BENCH_detect.json", &entry);
     println!("\nappended run to BENCH_detect.json");
 
-    if let Some(path) = metrics_out {
-        std::fs::write(&path, snapshot.to_json()).expect("write metrics snapshot");
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, snapshot.to_json()).expect("write metrics snapshot");
         println!("wrote metrics snapshot to {path}");
     }
 }

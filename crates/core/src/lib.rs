@@ -57,7 +57,7 @@ pub use resilience::{
     HealthMonitor, RetryPolicy, Trigger,
 };
 pub use runtime::{MonitorRuntime, RuntimeConfig, SessionEnd, SessionReport};
-pub use scorer::{KernelStatus, SessionScorer, WindowScorer};
+pub use scorer::{ForensicsConfig, KernelStatus, SessionScorer, WindowScorer};
 pub use telemetry::{
     audit_record_from_alert, BatchMetrics, DetectMetrics, MonitorMetrics, RegistryMetrics,
     ResilienceMetrics,

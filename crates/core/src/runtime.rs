@@ -37,9 +37,11 @@ use crate::detect::{Alert, Flag};
 use crate::parallel::panic_message;
 use crate::registry::ProfileRegistry;
 use crate::resilience::{sites, FailPoint, FaultInjector, FaultKind, RetryPolicy};
-use crate::scorer::{KernelStatus, ScoringMode, SessionScorer, WindowEvent, WindowScorer};
+use crate::scorer::{
+    ForensicsConfig, KernelStatus, ScoringMode, SessionScorer, WindowEvent, WindowScorer,
+};
 use crate::telemetry::{audit_record_from_alert, DetectMetrics, MonitorMetrics, ResilienceMetrics};
-use adprom_obs::{AuditLog, Registry};
+use adprom_obs::{AuditLog, ForensicReport, Registry, SpanContext, Tracer};
 use adprom_trace::TaggedCall;
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
@@ -47,6 +49,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// FNV-1a for the live-session index: two short-string lookups per
 /// ingested event, where SipHash's per-hash setup dominates. Collision
@@ -207,6 +210,14 @@ pub struct MonitorRuntime {
     audit: Option<Arc<AuditLog>>,
     pool: Option<ThreadPool>,
     retry: RetryPolicy,
+    /// Flight-recorder knobs; `None` leaves forensics off (the default).
+    forensics: Option<ForensicsConfig>,
+    /// Span tracer for end-to-end pipeline tracing (disabled by default:
+    /// one branch per stage).
+    tracer: Tracer,
+    /// Monotonic flush-batch id, stamped on score/commit/audit span
+    /// contexts (0 until the first non-empty flush).
+    flush_seq: u64,
     /// Fail point `monitor.swap_mid_stream`: panic a flush worker, keyed
     /// by session arrival — proves a retry keeps scoring on the pinned
     /// epoch.
@@ -234,6 +245,9 @@ impl MonitorRuntime {
             audit: None,
             pool: None,
             retry: RetryPolicy::default(),
+            forensics: None,
+            tracer: Tracer::disabled(),
+            flush_seq: 0,
             fault_swap: FailPoint::disabled(),
             fault_pressure: FailPoint::disabled(),
         }
@@ -260,6 +274,30 @@ impl MonitorRuntime {
     /// any thread count and under retry.
     pub fn with_audit(mut self, audit: Arc<AuditLog>) -> MonitorRuntime {
         self.audit = Some(audit);
+        self
+    }
+
+    /// Arms a flight recorder on every session: each scored window's
+    /// score/threshold/delta/flag lands in a bounded per-session ring, and
+    /// every alarm's audit record carries a
+    /// [`ForensicReport`] — the window's top-k most-deviant call
+    /// transitions (exact factors of the same forward pass that scored
+    /// it) plus the session's recent window-score series. Reports are
+    /// drained at the serial commit point, so — like verdicts and audit
+    /// sequence numbers — they are bit-identical at any thread count.
+    pub fn with_forensics(mut self, config: ForensicsConfig) -> MonitorRuntime {
+        self.forensics = Some(config);
+        self
+    }
+
+    /// Traces the pipeline end to end: ingest, flush, per-session score,
+    /// commit, and audit stages open spans carrying a [`SpanContext`]
+    /// (app, session, pinned epoch, flush batch id), so one session's path
+    /// through the runtime can be reassembled from the span stream.
+    /// Ingest spans carry epoch 0 (the session's epoch is resolved at
+    /// admission, after the span opens).
+    pub fn with_tracer(mut self, tracer: Tracer) -> MonitorRuntime {
+        self.tracer = tracer;
         self
     }
 
@@ -309,6 +347,20 @@ impl MonitorRuntime {
     /// so they replay identically at any thread count.
     pub fn ingest(&mut self, tagged: &TaggedCall) {
         self.metrics.events.inc();
+        // The span borrows a clone of the tracer so the guard can outlive
+        // the `&mut self` call it times. Built only when tracing is on.
+        let tracer = self.tracer.is_enabled().then(|| self.tracer.clone());
+        let _span = tracer.as_ref().map(|t| {
+            t.enter_with(
+                "monitor/ingest",
+                SpanContext {
+                    app: tagged.app.clone(),
+                    session: tagged.session.clone(),
+                    epoch: 0,
+                    batch: self.flush_seq,
+                },
+            )
+        });
         self.ingest_inner(tagged);
         self.metrics.queue_depth.set(self.pending_total as i64);
     }
@@ -317,6 +369,23 @@ impl MonitorRuntime {
     /// [`MonitorRuntime::ingest_stream`] pays for them once per stream
     /// rather than once per event.
     fn ingest_inner(&mut self, tagged: &TaggedCall) {
+        let timer = self.metrics.stage_ingest_ns.is_enabled().then(Instant::now);
+        self.ingest_event(tagged);
+        if let Some(t0) = timer {
+            self.metrics
+                .stage_ingest_ns
+                .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        if self.config.queue_capacity > 0 && self.pending_total >= self.config.queue_capacity {
+            self.flush();
+        }
+    }
+
+    /// Ingest bookkeeping proper: admission, eviction, digestion,
+    /// buffering — everything except the backpressure flush (excluded from
+    /// `monitor.stage.ingest_ns` so the histogram measures ingest, not a
+    /// whole flush that happened to trigger here).
+    fn ingest_event(&mut self, tagged: &TaggedCall) {
         self.tick += 1;
         if matches!(
             self.fault_pressure.fire(self.tick),
@@ -347,9 +416,6 @@ impl MonitorRuntime {
         slot.events += 1;
         slot.last_touch = self.tick;
         self.pending_total += 1;
-        if self.config.queue_capacity > 0 && self.pending_total >= self.config.queue_capacity {
-            self.flush();
-        }
     }
 
     /// Ingests a whole stream in order. Equivalent to calling
@@ -397,6 +463,8 @@ impl MonitorRuntime {
             return;
         }
         self.metrics.flushes.inc();
+        self.flush_seq += 1;
+        self.metrics.flush_batch_sessions.set(work.len() as i64);
         // One registry read per app per flush, not per session.
         let mut epochs: HashMap<&str, u64> = HashMap::new();
         for &idx in &work {
@@ -419,16 +487,29 @@ impl MonitorRuntime {
                 Some(pool) => pool.current_num_threads() <= 1,
                 None => rayon::current_num_threads() <= 1,
             };
-        let outcomes: Vec<(usize, ReplayOutcome)> = if single {
-            work.iter()
-                .map(|&idx| (idx, this.replay_guarded(idx)))
-                .collect()
-        } else {
-            this.run(|| {
-                work.par_iter()
+        let outcomes: Vec<(usize, ReplayOutcome)> = {
+            // The flush span covers the scoring fan-out; the serial commit
+            // loop below opens its own per-session spans.
+            let _span = self.tracer.is_enabled().then(|| {
+                self.tracer.enter_with(
+                    "monitor/flush",
+                    SpanContext {
+                        batch: self.flush_seq,
+                        ..SpanContext::default()
+                    },
+                )
+            });
+            if single {
+                work.iter()
                     .map(|&idx| (idx, this.replay_guarded(idx)))
                     .collect()
-            })
+            } else {
+                this.run(|| {
+                    work.par_iter()
+                        .map(|&idx| (idx, this.replay_guarded(idx)))
+                        .collect()
+                })
+            }
         };
         // Commit serially, in arrival order (`work` is sorted and the
         // pipeline preserves it).
@@ -496,7 +577,10 @@ impl MonitorRuntime {
             .entry((app.to_string(), epoch.epoch()))
             .or_insert_with(|| epoch.scorer().with_metrics(self.detect_metrics.clone()))
             .clone();
-        let state = SessionScorer::new(&scorer, self.config.mode);
+        let mut state = SessionScorer::new(&scorer, self.config.mode);
+        if let Some(config) = self.forensics {
+            state = state.with_forensics(config);
+        }
         let arrival = self.slots.len();
         self.slots.push(SessionSlot {
             app: app.to_string(),
@@ -550,8 +634,20 @@ impl MonitorRuntime {
     /// count). Returns the advanced state and the windows it emitted.
     fn replay_guarded(&self, idx: usize) -> ReplayOutcome {
         let slot = &self.slots[idx];
+        let timer = self.metrics.stage_score_ns.is_enabled().then(Instant::now);
+        let _span = self.tracer.is_enabled().then(|| {
+            self.tracer.enter_with(
+                "monitor/score",
+                SpanContext {
+                    app: slot.app.clone(),
+                    session: slot.session.clone(),
+                    epoch: slot.epoch,
+                    batch: self.flush_seq,
+                },
+            )
+        });
         let mut attempts = 0u32;
-        loop {
+        let outcome = loop {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 if matches!(
                     self.fault_swap.fire(slot.arrival as u64),
@@ -581,14 +677,14 @@ impl MonitorRuntime {
                             ));
                         }
                     }
-                    return Ok(done);
+                    break Ok(done);
                 }
                 Err(payload) => {
                     self.res_metrics.worker_panics.inc();
                     let message = panic_message(payload.as_ref());
                     if attempts >= self.retry.max_retries {
                         self.res_metrics.traces_failed.inc();
-                        return Err(message);
+                        break Err(message);
                     }
                     attempts += 1;
                     self.res_metrics.trace_retries.inc();
@@ -598,18 +694,48 @@ impl MonitorRuntime {
                     }
                 }
             }
+        };
+        if let Some(t0) = timer {
+            self.metrics
+                .stage_score_ns
+                .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
+        outcome
     }
 
     /// Applies one replay outcome: on success the advanced state replaces
     /// the slot's, its alerts are recorded (and audited, serially, here —
     /// never inside a worker); on failure the session closes as `Failed`
-    /// and its app's health goes to Failed.
+    /// and its app's health goes to Failed. Forensic reports are drained
+    /// here too — from the advanced state, so a retried panic (whose clone
+    /// was discarded) cannot duplicate them — and paired with their alarms
+    /// in emit order.
     fn commit(&mut self, idx: usize, outcome: ReplayOutcome) {
+        let timer = self.metrics.stage_commit_ns.is_enabled().then(Instant::now);
         match outcome {
-            Ok((state, alerts)) => {
+            Ok((mut state, alerts)) => {
+                let _span = self.tracer.is_enabled().then(|| {
+                    let slot = &self.slots[idx];
+                    self.tracer.enter_with(
+                        "monitor/commit",
+                        SpanContext {
+                            app: slot.app.clone(),
+                            session: slot.session.clone(),
+                            epoch: slot.epoch,
+                            batch: self.flush_seq,
+                        },
+                    )
+                });
+                let reports = state.take_forensics();
+                self.metrics.forensics_reports.add(reports.len() as u64);
+                let mut reports = reports.into_iter();
                 for alert in &alerts {
-                    self.audit_alarm(idx, alert);
+                    let forensics = if alert.is_alarm() {
+                        reports.next()
+                    } else {
+                        None
+                    };
+                    self.audit_alarm(idx, alert, forensics);
                 }
                 let slot = &mut self.slots[idx];
                 self.pending_total -= slot.pending.len();
@@ -630,12 +756,22 @@ impl MonitorRuntime {
                 self.close_slot(idx, SessionEnd::Failed(message));
             }
         }
+        if let Some(t0) = timer {
+            self.metrics
+                .stage_commit_ns
+                .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
     }
 
     /// Finalizes a session (emitting the short window of a trace that
     /// never filled one, except after a failure) and removes it from the
     /// live table.
     fn close_slot(&mut self, idx: usize, end: SessionEnd) {
+        let timer = self
+            .metrics
+            .stage_finalize_ns
+            .is_enabled()
+            .then(Instant::now);
         if !matches!(end, SessionEnd::Failed(_)) {
             let finale = {
                 let slot = &mut self.slots[idx];
@@ -644,7 +780,14 @@ impl MonitorRuntime {
                 slot.state.finalize(&scorer, &session)
             };
             if let Some(alert) = finale {
-                self.audit_alarm(idx, &alert);
+                // Finalize emits at most one window, so at most one report
+                // is pending (everything earlier drained at commit).
+                let forensics = {
+                    let mut reports = self.slots[idx].state.take_forensics();
+                    self.metrics.forensics_reports.add(reports.len() as u64);
+                    reports.pop()
+                };
+                self.audit_alarm(idx, &alert, forensics);
                 self.slots[idx].alerts.push(alert);
             }
         }
@@ -669,11 +812,17 @@ impl MonitorRuntime {
         self.metrics
             .sessions_active
             .set(self.sessions_active() as i64);
+        if let Some(t0) = timer {
+            self.metrics
+                .stage_finalize_ns
+                .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
     }
 
     /// Writes one alarm to the audit log, stamped with the session's app
-    /// id and pinned epoch.
-    fn audit_alarm(&self, idx: usize, alert: &Alert) {
+    /// id, pinned epoch, and (when the flight recorder is armed) the
+    /// alarm's forensic report.
+    fn audit_alarm(&self, idx: usize, alert: &Alert, forensics: Option<ForensicReport>) {
         let Some(audit) = &self.audit else {
             return;
         };
@@ -681,10 +830,22 @@ impl MonitorRuntime {
             return;
         }
         let slot = &self.slots[idx];
+        let _span = self.tracer.is_enabled().then(|| {
+            self.tracer.enter_with(
+                "monitor/audit",
+                SpanContext {
+                    app: slot.app.clone(),
+                    session: slot.session.clone(),
+                    epoch: slot.epoch,
+                    batch: self.flush_seq,
+                },
+            )
+        });
         let mut record =
             audit_record_from_alert(alert, &slot.session, &slot.scorer.status().effective);
         record.app = slot.app.clone();
         record.epoch = slot.epoch;
+        record.forensics = forensics;
         audit.record(record);
     }
 
@@ -1009,6 +1170,126 @@ mod tests {
         assert_eq!(reports[0].session, "s-0");
         assert_eq!(reports[0].end, SessionEnd::PressureEvicted);
         assert_eq!(reports[1].end, SessionEnd::Finished);
+    }
+
+    #[test]
+    fn alarm_audit_records_carry_forensics_and_benign_sessions_produce_none() {
+        use adprom_obs::{AuditLog, MemoryAuditSink};
+        let obs = Registry::new();
+        let sink = Arc::new(MemoryAuditSink::new());
+        let audit = Arc::new(AuditLog::new(sink.clone() as Arc<dyn adprom_obs::AuditSink>));
+        let profiles = two_app_registry();
+        let mut runtime = MonitorRuntime::new(profiles)
+            .with_registry(&obs)
+            .with_audit(audit)
+            .with_forensics(crate::scorer::ForensicsConfig::default());
+        let stream = interleave(&demo_sessions(), 0xFEED);
+        runtime.ingest_stream(&stream);
+        let reports = runtime.finish();
+        let alarm_total: usize = reports.iter().map(|r| r.alarms().count()).sum();
+        assert!(alarm_total > 0, "demo sessions include an attack");
+        let records = sink.records();
+        assert_eq!(records.len(), alarm_total);
+        for record in &records {
+            let forensics = record.forensics.as_ref().expect("every alarm explained");
+            assert!(!forensics.top_deviant.is_empty());
+            assert_eq!(
+                forensics.alert_delta(),
+                Some(record.log_likelihood - record.threshold)
+            );
+            assert_eq!(
+                forensics.attributed_log_likelihood.to_bits(),
+                record.log_likelihood.to_bits(),
+                "exact mode attributes the audited score itself"
+            );
+        }
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.counter("monitor.forensics.reports"),
+            Some(alarm_total as u64)
+        );
+
+        // A purely benign stream builds no reports at all.
+        let obs2 = Registry::new();
+        let sink2 = Arc::new(MemoryAuditSink::new());
+        let mut benign = MonitorRuntime::new(two_app_registry())
+            .with_registry(&obs2)
+            .with_audit(Arc::new(AuditLog::new(
+                sink2.clone() as Arc<dyn adprom_obs::AuditSink>
+            )))
+            .with_forensics(crate::scorer::ForensicsConfig::default());
+        for e in trace_of(&["a", "b", "c_Q7", "a", "b", "c_Q7"]) {
+            benign.ingest(&TaggedCall {
+                app: "bank".into(),
+                session: "s-ok".into(),
+                event: e,
+            });
+        }
+        let reports = benign.finish();
+        assert_eq!(reports[0].verdict, Flag::Normal);
+        assert!(sink2.records().is_empty());
+        assert_eq!(
+            obs2.snapshot().counter("monitor.forensics.reports"),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn tracer_spans_carry_session_context_through_the_pipeline() {
+        use adprom_obs::{RingSink, SpanSink, Tracer};
+        let span_registry = Registry::new();
+        let ring = Arc::new(RingSink::new(256));
+        let tracer = Tracer::new(span_registry.clone(), ring.clone() as Arc<dyn SpanSink>);
+        let mut runtime = MonitorRuntime::new(two_app_registry()).with_tracer(tracer);
+        for e in trace_of(&["a", "b", "c_Q7", "a"]) {
+            runtime.ingest(&TaggedCall {
+                app: "bank".into(),
+                session: "s-0".into(),
+                event: e,
+            });
+        }
+        runtime.finish();
+        let events = ring.events();
+        let stage = |path: &str| -> Vec<_> { events.iter().filter(|e| e.path == path).collect() };
+        assert_eq!(stage("monitor/ingest").len(), 4);
+        assert_eq!(stage("monitor/flush").len(), 1);
+        let score = stage("monitor/score");
+        assert_eq!(score.len(), 1);
+        let ctx = score[0].context.as_ref().expect("score span has context");
+        assert_eq!((ctx.app.as_str(), ctx.session.as_str()), ("bank", "s-0"));
+        assert_eq!((ctx.epoch, ctx.batch), (1, 1));
+        let commit = stage("monitor/commit");
+        assert_eq!(commit.len(), 1);
+        assert_eq!(commit[0].context, score[0].context);
+        // Span durations also landed in the tracer's registry.
+        assert_eq!(span_registry.histogram("span.monitor/ingest").count(), 4);
+    }
+
+    #[test]
+    fn stage_histograms_populate_under_a_live_registry() {
+        let obs = Registry::new();
+        let mut runtime = MonitorRuntime::new(two_app_registry()).with_registry(&obs);
+        let stream = interleave(&demo_sessions(), 0xBEEF);
+        runtime.ingest_stream(&stream);
+        runtime.finish();
+        let events: u64 = demo_sessions().iter().map(|(_, _, t)| t.len() as u64).sum();
+        assert_eq!(obs.histogram("monitor.stage.ingest_ns").count(), events);
+        assert_eq!(
+            obs.histogram("monitor.stage.score_ns").count(),
+            demo_sessions().len() as u64
+        );
+        assert_eq!(
+            obs.histogram("monitor.stage.commit_ns").count(),
+            demo_sessions().len() as u64
+        );
+        assert_eq!(
+            obs.histogram("monitor.stage.finalize_ns").count(),
+            demo_sessions().len() as u64
+        );
+        assert_eq!(
+            obs.snapshot().gauge("monitor.flush.batch_sessions"),
+            Some(demo_sessions().len() as i64)
+        );
     }
 
     #[test]

@@ -22,8 +22,11 @@
 use crate::detect::{Alert, Flag, KernelConfig, KernelState};
 use crate::profile::Profile;
 use crate::telemetry::{audit_record_from_alert, DetectMetrics};
-use adprom_hmm::{forward_beam, log_likelihood, log_likelihood_sparse, SlidingState, SlidingStats};
-use adprom_obs::{AuditLog, Registry};
+use adprom_hmm::{
+    forward_beam, log_likelihood, log_likelihood_sparse, step_scores, step_scores_sparse,
+    SlidingState, SlidingStats, StepScores,
+};
+use adprom_obs::{AuditLog, DeviantTransition, ForensicReport, Registry, WindowTrace};
 use adprom_trace::CallEvent;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -42,6 +45,30 @@ pub enum ScoringMode {
     /// Deterministic, but windows are scored conditionally on session
     /// history (see [`adprom_hmm::sliding`]).
     Incremental,
+}
+
+/// Knobs of the per-session flight recorder (see
+/// [`SessionScorer::with_forensics`]). Defaults keep reports small enough
+/// to ride every audit record while still showing the score trajectory
+/// into an alarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForensicsConfig {
+    /// Bounded ring of recent window traces kept per session — the
+    /// delta-vs-threshold series a [`ForensicReport`] carries (values
+    /// below 1 behave as 1: the alerting window itself is always kept).
+    pub flight_capacity: usize,
+    /// Most-deviant steps reported per alarmed window (values below 1
+    /// behave as 1).
+    pub top_k: usize,
+}
+
+impl Default for ForensicsConfig {
+    fn default() -> ForensicsConfig {
+        ForensicsConfig {
+            flight_capacity: 8,
+            top_k: 5,
+        }
+    }
 }
 
 /// Unified kernel reporting: which kernel was asked for, which is actually
@@ -299,6 +326,58 @@ impl WindowScorer {
                     .beam_gap_bound_max
                     .record_max(gap_micronats(run.gap_bound));
                 run.pass.log_likelihood
+            }
+        }
+    }
+
+    /// Kernel-matched per-step score attribution for one window of call
+    /// names: `steps[t] = ln P(o_t | o_0..o_{t-1}, λ)`, the exact factors
+    /// of the window's log-likelihood under the configured kernel. The
+    /// factors sum (left to right) bitwise to
+    /// [`WindowScorer::score`] of the same window, so an alert's deficit
+    /// can be charged to individual call transitions without a second
+    /// scoring model.
+    pub fn attribution(&self, names: &[String]) -> StepScores {
+        let encoded = self.profile.alphabet.encode_seq(names);
+        self.attribution_encoded(&encoded)
+    }
+
+    /// [`WindowScorer::attribution`] for an already-encoded window, with
+    /// no metric side effects — the diagnostic path.
+    pub(crate) fn attribution_encoded(&self, encoded: &[usize]) -> StepScores {
+        match &self.kernel {
+            KernelState::Dense => step_scores(&self.profile.hmm, encoded),
+            KernelState::Sparse(sp) => step_scores_sparse(&self.profile.hmm, sp, encoded),
+            KernelState::Beam(sp, beam) => {
+                let run = forward_beam(&self.profile.hmm, sp, encoded, beam);
+                StepScores {
+                    steps: run.step_log,
+                    log_likelihood: run.pass.log_likelihood,
+                }
+            }
+        }
+    }
+
+    /// The forensic *scoring* path: one forward pass that yields both the
+    /// window's score and its per-step factors, with the same beam metric
+    /// observations as [`WindowScorer::score`] — so a forensics-enabled
+    /// session scores each window exactly once.
+    pub(crate) fn score_attributed_encoded(&self, encoded: &[usize]) -> StepScores {
+        match &self.kernel {
+            KernelState::Dense => step_scores(&self.profile.hmm, encoded),
+            KernelState::Sparse(sp) => step_scores_sparse(&self.profile.hmm, sp, encoded),
+            KernelState::Beam(sp, beam) => {
+                let run = forward_beam(&self.profile.hmm, sp, encoded, beam);
+                if run.pruned_states > 0 {
+                    self.metrics.beam_windows_pruned.inc();
+                }
+                self.metrics
+                    .beam_gap_bound_max
+                    .record_max(gap_micronats(run.gap_bound));
+                StepScores {
+                    steps: run.step_log,
+                    log_likelihood: run.pass.log_likelihood,
+                }
             }
         }
     }
@@ -591,6 +670,24 @@ impl WindowEvent {
     }
 }
 
+/// The session flight recorder: a bounded ring of recent window traces
+/// plus the forensic reports built at alarms since the last drain. Boxed
+/// inside [`SessionScorer`] so sessions without forensics pay one null
+/// pointer; cloned with the scorer state, so a crash-isolated replay that
+/// is retried cannot duplicate reports (the clone starts from the
+/// last-committed, already-drained state).
+#[derive(Debug, Clone)]
+struct FlightRecorder {
+    config: ForensicsConfig,
+    /// Recent window traces, oldest first, bounded by `flight_capacity`.
+    windows: VecDeque<WindowTrace>,
+    /// Windows emitted so far — the next window's index.
+    emitted: u64,
+    /// Reports built at alarms, in alarm order, awaiting
+    /// [`SessionScorer::take_forensics`].
+    pending: Vec<ForensicReport>,
+}
+
 /// The per-session streaming state of one monitored connection: the
 /// last ≤ n events' facts plus (in incremental mode) the sliding forward
 /// recurrence. Feed events with [`SessionScorer::push`]; close the
@@ -615,6 +712,7 @@ pub struct SessionScorer {
     sliding: Option<SlidingState>,
     seen: usize,
     done: bool,
+    flight: Option<Box<FlightRecorder>>,
 }
 
 impl SessionScorer {
@@ -636,7 +734,45 @@ impl SessionScorer {
             sliding,
             seen: 0,
             done: false,
+            flight: None,
         }
+    }
+
+    /// Arms the session flight recorder: every scored window's
+    /// `(score, threshold, delta, flag)` lands in a bounded ring, and each
+    /// alarmed window additionally gets a [`ForensicReport`] — its top-k
+    /// most-deviant call transitions (exact per-step factors of the
+    /// window's score) plus the recorder's recent-window tail. Reports
+    /// accumulate until [`SessionScorer::take_forensics`] drains them.
+    ///
+    /// In exact mode the scoring pass itself produces the per-step
+    /// factors, so forensics adds no extra forward recursion; benign
+    /// windows allocate nothing beyond the ring slot. In incremental mode
+    /// the alert's score is conditional on session history, so the
+    /// attribution is a separate π-anchored pass over the alarmed
+    /// window's own calls — run only when a window alarms.
+    pub fn with_forensics(mut self, config: ForensicsConfig) -> SessionScorer {
+        self.flight = Some(Box::new(FlightRecorder {
+            config,
+            windows: VecDeque::with_capacity(config.flight_capacity.max(1)),
+            emitted: 0,
+            pending: Vec::new(),
+        }));
+        self
+    }
+
+    /// True when [`SessionScorer::with_forensics`] armed the recorder.
+    pub fn forensics_enabled(&self) -> bool {
+        self.flight.is_some()
+    }
+
+    /// Drains the forensic reports built since the last drain, in alarm
+    /// order (empty when forensics are disabled or no window alarmed).
+    pub fn take_forensics(&mut self) -> Vec<ForensicReport> {
+        self.flight
+            .as_mut()
+            .map(|f| std::mem::take(&mut f.pending))
+            .unwrap_or_default()
     }
 
     /// The streaming mode in force.
@@ -689,14 +825,21 @@ impl SessionScorer {
             ScoringMode::ExactWindows => (self.ring.len() == self.window).then(|| {
                 let timer = scorer.metrics().score_ns.is_enabled().then(Instant::now);
                 let encoded: Vec<usize> = self.ring.iter().map(|f| f.encoded).collect();
-                let ll = scorer.score_encoded(&encoded);
+                // With forensics armed, the scoring pass itself yields the
+                // per-step factors — same recursion, same op order, one run.
+                let (ll, steps) = if self.flight.is_some() {
+                    let scored = scorer.score_attributed_encoded(&encoded);
+                    (scored.log_likelihood, Some(scored.steps))
+                } else {
+                    (scorer.score_encoded(&encoded), None)
+                };
                 if let Some(t0) = timer {
                     scorer
                         .metrics()
                         .score_ns
                         .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 }
-                self.emit(scorer, ll, session)
+                self.emit(scorer, ll, session, steps)
             }),
             ScoringMode::Incremental => {
                 let sliding = self.sliding.as_mut().expect("incremental state");
@@ -705,7 +848,7 @@ impl SessionScorer {
                     KernelState::Sparse(sp) | KernelState::Beam(sp, _) => Some(sp.as_ref()),
                 };
                 let ll = sliding.push(&profile.hmm, kernel, encoded);
-                (self.seen >= self.window).then(|| self.emit(scorer, ll, session))
+                (self.seen >= self.window).then(|| self.emit(scorer, ll, session, None))
             }
         }
     }
@@ -749,7 +892,7 @@ impl SessionScorer {
                     let sliding = self.sliding.as_mut().expect("incremental state");
                     let ll = sliding.push(&profile.hmm, kernel, encoded);
                     if self.seen >= self.window {
-                        out.push(self.emit(scorer, ll, session));
+                        out.push(self.emit(scorer, ll, session, None));
                     }
                 }
             }
@@ -774,26 +917,44 @@ impl SessionScorer {
         if self.seen == 0 || self.seen >= self.window {
             return None;
         }
-        let ll = match self.mode {
+        let (ll, steps) = match self.mode {
             ScoringMode::ExactWindows => {
                 let encoded: Vec<usize> = self.ring.iter().map(|f| f.encoded).collect();
                 let timer = scorer.metrics().score_ns.is_enabled().then(Instant::now);
-                let ll = scorer.score_encoded(&encoded);
+                let (ll, steps) = if self.flight.is_some() {
+                    let scored = scorer.score_attributed_encoded(&encoded);
+                    (scored.log_likelihood, Some(scored.steps))
+                } else {
+                    (scorer.score_encoded(&encoded), None)
+                };
                 if let Some(t0) = timer {
                     scorer
                         .metrics()
                         .score_ns
                         .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 }
-                ll
+                (ll, steps)
             }
-            ScoringMode::Incremental => self.sliding.as_ref().expect("incremental state").score(),
+            ScoringMode::Incremental => (
+                self.sliding.as_ref().expect("incremental state").score(),
+                None,
+            ),
         };
-        Some(self.emit(scorer, ll, session))
+        Some(self.emit(scorer, ll, session, steps))
     }
 
-    /// Builds and observes the alert for the window currently in the ring.
-    fn emit(&self, scorer: &WindowScorer, ll: f64, session: &str) -> Alert {
+    /// Builds and observes the alert for the window currently in the ring,
+    /// feeding the flight recorder when one is armed. `steps` carries the
+    /// scoring pass's own per-step factors (exact mode); when absent an
+    /// alarmed window's attribution is computed here, π-anchored over the
+    /// ring's calls.
+    fn emit(
+        &mut self,
+        scorer: &WindowScorer,
+        ll: f64,
+        session: &str,
+        steps: Option<Vec<f64>>,
+    ) -> Alert {
         let profile = scorer.profile();
         let names: Vec<String> = self
             .ring
@@ -808,16 +969,71 @@ impl SessionScorer {
             ooc.map(|f| (f.name(profile), f.caller.as_str())),
             leak.map(|f| f.name(profile)),
         );
-        scorer.observe(
-            Alert {
-                flag,
+        let alert = Alert {
+            flag,
+            log_likelihood: ll,
+            threshold: scorer.threshold(),
+            window: names,
+            detail,
+        };
+        if let Some(flight) = &mut self.flight {
+            let threshold = scorer.threshold();
+            let index = flight.emitted;
+            flight.emitted += 1;
+            if flight.windows.len() >= flight.config.flight_capacity.max(1) {
+                flight.windows.pop_front();
+            }
+            flight.windows.push_back(WindowTrace {
+                index,
                 log_likelihood: ll,
-                threshold: scorer.threshold(),
-                window: names,
-                detail,
-            },
-            session,
-        )
+                threshold,
+                delta: ll - threshold,
+                flag: alert.flag.to_string(),
+            });
+            if alert.is_alarm() {
+                let scored = match steps {
+                    // The factors of the pass that scored this window:
+                    // resumming them reproduces `ll` bitwise.
+                    Some(steps) => StepScores {
+                        steps,
+                        log_likelihood: ll,
+                    },
+                    None => {
+                        let encoded: Vec<usize> = self.ring.iter().map(|f| f.encoded).collect();
+                        scorer.attribution_encoded(&encoded)
+                    }
+                };
+                let share = threshold / self.ring.len().max(1) as f64;
+                let mut ranked: Vec<DeviantTransition> = scored
+                    .steps
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &log_prob)| DeviantTransition {
+                        step: t,
+                        call: self.ring[t].name(profile).to_string(),
+                        from: t
+                            .checked_sub(1)
+                            .map(|p| self.ring[p].name(profile).to_string()),
+                        log_prob,
+                        deficit: log_prob - share,
+                    })
+                    .collect();
+                ranked.sort_by(|a, b| a.log_prob.total_cmp(&b.log_prob).then(a.step.cmp(&b.step)));
+                ranked.truncate(flight.config.top_k.max(1));
+                flight.pending.push(ForensicReport {
+                    mode: match self.mode {
+                        ScoringMode::ExactWindows => "exact_windows",
+                        ScoringMode::Incremental => "incremental",
+                    }
+                    .to_string(),
+                    window_index: index,
+                    attributed_log_likelihood: scored.log_likelihood,
+                    top_deviant: ranked,
+                    recent_windows: flight.windows.iter().cloned().collect(),
+                });
+            }
+        }
+        scorer.observe(alert, session)
     }
 }
 
@@ -871,6 +1087,10 @@ mod tests {
             call_callers,
             labeled_outputs: vec!["c_Q7".to_string()],
         }
+    }
+
+    fn trace_from(names: &[&str]) -> Vec<CallEvent> {
+        names.iter().map(|n| event(n, "main")).collect()
     }
 
     fn traces() -> Vec<Vec<CallEvent>> {
@@ -933,6 +1153,75 @@ mod tests {
                 "trace {i}: streaming must be bit-identical to scan_incremental"
             );
             assert_eq!(state.stats(), stats, "trace {i}: same push/reanchor totals");
+        }
+    }
+
+    #[test]
+    fn flight_recorder_attributes_alarms_and_stays_empty_when_benign() {
+        let scorer = WindowScorer::new(Arc::new(cyclic_profile()));
+        // The trained cycle never alarms: no reports, and the recorder's
+        // pending list never allocates.
+        let benign = trace_from(&["a", "b", "c_Q7", "a", "b", "c_Q7"]);
+        let mut state = SessionScorer::new(&scorer, ScoringMode::ExactWindows)
+            .with_forensics(ForensicsConfig::default());
+        for e in &benign {
+            state.push(&scorer, e, "");
+        }
+        state.finalize(&scorer, "");
+        assert!(state.take_forensics().is_empty());
+
+        // An exfiltration call drives windows under threshold: one report
+        // per alarm, attributed bitwise to the alert's own score.
+        let attack = trace_from(&["a", "evil_exfil", "c_Q7", "a"]);
+        let mut state = SessionScorer::new(&scorer, ScoringMode::ExactWindows)
+            .with_forensics(ForensicsConfig::default());
+        let mut alerts: Vec<Alert> = attack
+            .iter()
+            .filter_map(|e| state.push(&scorer, e, ""))
+            .collect();
+        alerts.extend(state.finalize(&scorer, ""));
+        let alarms: Vec<&Alert> = alerts.iter().filter(|a| a.is_alarm()).collect();
+        assert!(!alarms.is_empty());
+        let reports = state.take_forensics();
+        assert_eq!(reports.len(), alarms.len());
+        for (report, alarm) in reports.iter().zip(&alarms) {
+            assert_eq!(
+                report.attributed_log_likelihood.to_bits(),
+                alarm.log_likelihood.to_bits(),
+                "exact mode attributes the alert's own score"
+            );
+            assert!(!report.top_deviant.is_empty());
+            assert!(report
+                .top_deviant
+                .windows(2)
+                .all(|w| w[0].log_prob <= w[1].log_prob));
+            assert_eq!(
+                report.alert_delta(),
+                Some(alarm.log_likelihood - alarm.threshold)
+            );
+        }
+        // Drained means drained: a second take returns nothing.
+        assert!(state.take_forensics().is_empty());
+    }
+
+    #[test]
+    fn forensics_do_not_change_alerts() {
+        let scorer = WindowScorer::new(Arc::new(cyclic_profile()));
+        for trace in traces() {
+            let mut plain = SessionScorer::new(&scorer, ScoringMode::ExactWindows);
+            let mut armed = SessionScorer::new(&scorer, ScoringMode::ExactWindows)
+                .with_forensics(ForensicsConfig::default());
+            let mut expected: Vec<Alert> = trace
+                .iter()
+                .filter_map(|e| plain.push(&scorer, e, ""))
+                .collect();
+            expected.extend(plain.finalize(&scorer, ""));
+            let mut got: Vec<Alert> = trace
+                .iter()
+                .filter_map(|e| armed.push(&scorer, e, ""))
+                .collect();
+            got.extend(armed.finalize(&scorer, ""));
+            assert_eq!(format!("{expected:?}"), format!("{got:?}"));
         }
     }
 

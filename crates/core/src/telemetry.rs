@@ -237,6 +237,27 @@ pub struct MonitorMetrics {
     /// `monitor.unknown_app` — events dropped because their app id has no
     /// registered profile.
     pub unknown_app: Counter,
+    /// `monitor.stage.ingest_ns` — wall-clock nanoseconds per ingested
+    /// event (digestion + session-table bookkeeping, excluding any
+    /// backpressure flush it triggers).
+    pub stage_ingest_ns: Histogram,
+    /// `monitor.stage.score_ns` — wall-clock nanoseconds to replay one
+    /// session's buffered batch through the scoring kernel (retries
+    /// included).
+    pub stage_score_ns: Histogram,
+    /// `monitor.stage.commit_ns` — wall-clock nanoseconds to serially
+    /// commit one replay outcome (audit writes included).
+    pub stage_commit_ns: Histogram,
+    /// `monitor.stage.finalize_ns` — wall-clock nanoseconds to close one
+    /// session slot (short-window finalization + table removal).
+    pub stage_finalize_ns: Histogram,
+    /// `monitor.flush.batch_sessions` — session batches scored by the most
+    /// recent flush.
+    pub flush_batch_sessions: Gauge,
+    /// `monitor.forensics.reports` — forensic reports drained from session
+    /// flight recorders (0 while no session alarms, however many events
+    /// flow — the benign-path no-allocation observable).
+    pub forensics_reports: Counter,
 }
 
 impl MonitorMetrics {
@@ -258,6 +279,12 @@ impl MonitorMetrics {
             epoch_pins: registry.counter("monitor.epoch_pins"),
             flushes: registry.counter("monitor.flushes"),
             unknown_app: registry.counter("monitor.unknown_app"),
+            stage_ingest_ns: registry.histogram("monitor.stage.ingest_ns"),
+            stage_score_ns: registry.histogram("monitor.stage.score_ns"),
+            stage_commit_ns: registry.histogram("monitor.stage.commit_ns"),
+            stage_finalize_ns: registry.histogram("monitor.stage.finalize_ns"),
+            flush_batch_sessions: registry.gauge("monitor.flush.batch_sessions"),
+            forensics_reports: registry.counter("monitor.forensics.reports"),
         }
     }
 }
@@ -291,6 +318,7 @@ pub fn audit_record_from_alert(alert: &Alert, session: &str, kernel: &str) -> Au
         kernel: kernel.to_string(),
         label,
         bid,
+        forensics: None,
     }
 }
 

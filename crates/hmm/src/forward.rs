@@ -97,6 +97,106 @@ fn impossible(alpha: Vec<Vec<f64>>, scale: Vec<f64>) -> ForwardPass {
     }
 }
 
+/// Per-step decomposition of a scaled forward pass's log-likelihood.
+///
+/// `steps[t]` is `ln Σ_j α̂_t(j)` before rescaling — exactly
+/// `ln P(o_t | o_0..o_{t-1}, λ)`, the conditional log-probability of the
+/// t-th observation given its prefix. `log_likelihood` accumulates the
+/// identical `sum.ln()` terms in the identical order as [`forward`], so the
+/// total is bit-for-bit the score the detection path already computed; the
+/// steps are the same pass's factors, not a second scoring run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepScores {
+    /// Per-observation conditional log-probabilities, in sequence order.
+    /// When the sequence is impossible the vector ends with the
+    /// `-inf` step at which probability mass vanished.
+    pub steps: Vec<f64>,
+    /// `log P(O | λ)`; `-inf` when the sequence is impossible.
+    pub log_likelihood: f64,
+}
+
+/// Dense-kernel attribution: the per-step factors of the same scaled
+/// forward recursion as [`forward`], using two rolling state vectors. The
+/// arithmetic (operation order included) matches [`forward`] exactly, so
+/// `log_likelihood` is bit-identical to `forward(hmm, obs).log_likelihood`.
+#[allow(clippy::needless_range_loop)] // dense recursions index several arrays in lock-step
+pub fn step_scores(hmm: &Hmm, obs: &[usize]) -> StepScores {
+    let n = hmm.n_states();
+    let t_len = obs.len();
+    let mut steps = Vec::with_capacity(t_len);
+    let mut log_likelihood = 0.0f64;
+    if t_len == 0 {
+        return StepScores {
+            steps,
+            log_likelihood: 0.0,
+        };
+    }
+
+    let mut prev = vec![0.0f64; n];
+    let mut cur = vec![0.0f64; n];
+
+    // t = 0
+    let mut sum = 0.0;
+    for i in 0..n {
+        prev[i] = hmm.pi[i] * hmm.b(i, obs[0]);
+        sum += prev[i];
+    }
+    if sum <= 0.0 {
+        steps.push(f64::NEG_INFINITY);
+        return StepScores {
+            steps,
+            log_likelihood: f64::NEG_INFINITY,
+        };
+    }
+    let scale = 1.0 / sum;
+    for v in &mut prev {
+        *v *= scale;
+    }
+    let step = sum.ln();
+    log_likelihood += step;
+    steps.push(step);
+
+    // t > 0 — same i-outermost row accumulation as `forward`.
+    for t in 1..t_len {
+        cur.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..n {
+            let prev_i = prev[i];
+            if prev_i == 0.0 {
+                continue;
+            }
+            let row = hmm.a_row(i);
+            for (c, &a_ij) in cur.iter_mut().zip(row) {
+                *c += prev_i * a_ij;
+            }
+        }
+        let mut sum = 0.0;
+        for (j, c) in cur.iter_mut().enumerate() {
+            *c *= hmm.b(j, obs[t]);
+            sum += *c;
+        }
+        if sum <= 0.0 {
+            steps.push(f64::NEG_INFINITY);
+            return StepScores {
+                steps,
+                log_likelihood: f64::NEG_INFINITY,
+            };
+        }
+        let scale = 1.0 / sum;
+        for v in cur.iter_mut() {
+            *v *= scale;
+        }
+        let step = sum.ln();
+        log_likelihood += step;
+        steps.push(step);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+
+    StepScores {
+        steps,
+        log_likelihood,
+    }
+}
+
 /// Convenience: `log P(O | λ)`.
 pub fn log_likelihood(hmm: &Hmm, obs: &[usize]) -> f64 {
     forward(hmm, obs).log_likelihood
@@ -225,6 +325,42 @@ mod tests {
     #[test]
     fn empty_sequence_scores_zero() {
         assert_eq!(log_likelihood(&toy(), &[]), 0.0);
+    }
+
+    #[test]
+    fn step_scores_decompose_the_forward_score_bitwise() {
+        for seed in 0..5 {
+            let mut hmm = Hmm::random(6, 4, seed);
+            hmm.smooth(1e-4);
+            let obs = hmm.sample(60, seed + 100);
+            let scores = step_scores(&hmm, &obs);
+            // Identical op sequence to `forward`: total and re-summed
+            // steps must both reproduce the score bit-for-bit.
+            assert_eq!(scores.log_likelihood, forward(&hmm, &obs).log_likelihood);
+            assert_eq!(scores.steps.len(), obs.len());
+            let resummed = scores.steps.iter().fold(0.0f64, |acc, s| acc + s);
+            assert_eq!(resummed, scores.log_likelihood);
+        }
+        let empty = step_scores(&toy(), &[]);
+        assert_eq!(empty.log_likelihood, 0.0);
+        assert!(empty.steps.is_empty());
+    }
+
+    #[test]
+    fn step_scores_mark_the_impossible_step() {
+        let hmm = Hmm::new(
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            vec![vec![1.0, 0.0], vec![1.0, 0.0]], // symbol 1 never emitted
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let scores = step_scores(&hmm, &[0, 1, 0]);
+        assert_eq!(scores.log_likelihood, f64::NEG_INFINITY);
+        // Step 0 is fine; step 1 is where mass vanished; the tail is
+        // unscored.
+        assert_eq!(scores.steps.len(), 2);
+        assert!(scores.steps[0].is_finite());
+        assert_eq!(scores.steps[1], f64::NEG_INFINITY);
     }
 
     #[test]

@@ -33,11 +33,14 @@ pub mod viterbi;
 pub use baumwelch::{
     mean_log_likelihood, reestimate, reestimate_with_config, train, TrainConfig, TrainReport,
 };
-pub use forward::{backward, forward, log_likelihood, normalized_log_likelihood, ForwardPass};
+pub use forward::{
+    backward, forward, log_likelihood, normalized_log_likelihood, step_scores, ForwardPass,
+    StepScores,
+};
 pub use model::{normalize, Hmm, HmmError};
 pub use sliding::{scan_scores, SlidingForward, SlidingState, SlidingStats};
 pub use sparse::{
-    backward_sparse, forward_beam, forward_sparse, log_likelihood_sparse, viterbi_sparse,
-    BeamConfig, BeamForward, SparseConfig, SparseStats, SparseTransitions,
+    backward_sparse, forward_beam, forward_sparse, log_likelihood_sparse, step_scores_sparse,
+    viterbi_sparse, BeamConfig, BeamForward, SparseConfig, SparseStats, SparseTransitions,
 };
 pub use viterbi::viterbi;

@@ -56,7 +56,7 @@
 //! sole emitter of a later symbol — which is why the recursion carries
 //! `bmax` explicitly.
 
-use crate::forward::ForwardPass;
+use crate::forward::{ForwardPass, StepScores};
 use crate::model::Hmm;
 
 /// Construction parameters for [`SparseTransitions`].
@@ -582,6 +582,78 @@ pub fn log_likelihood_sparse(hmm: &Hmm, sp: &SparseTransitions, obs: &[usize]) -
     log_likelihood
 }
 
+/// Sparse-kernel attribution: the per-step factors of the same rolling
+/// recursion as [`log_likelihood_sparse`]. Each `steps[t]` is the
+/// `sum.ln()` term of step `t` — `ln P(o_t | o_0..o_{t-1}, λ)` — and the
+/// total accumulates the identical terms in the identical order, so it is
+/// bit-identical to `log_likelihood_sparse(hmm, sp, obs)`. This is what a
+/// forensic report decomposes an alerted window's score with: the pass the
+/// detector ran, re-expressed per observation, not a second scoring model.
+pub fn step_scores_sparse(hmm: &Hmm, sp: &SparseTransitions, obs: &[usize]) -> StepScores {
+    debug_assert_eq!(hmm.n_states(), sp.n_states());
+    let n = hmm.n_states();
+    let mut steps = Vec::with_capacity(obs.len());
+    if obs.is_empty() {
+        return StepScores {
+            steps,
+            log_likelihood: 0.0,
+        };
+    }
+    let mut prev = vec![0.0; n];
+    let mut cur = vec![0.0; n];
+    let mut log_likelihood = 0.0f64;
+
+    let mut sum = 0.0;
+    let bcol = sp.emission_col(obs[0]);
+    for ((p, pi), b) in prev.iter_mut().zip(&hmm.pi).zip(bcol) {
+        *p = pi * b;
+        sum += *p;
+    }
+    if sum <= 0.0 {
+        steps.push(f64::NEG_INFINITY);
+        return StepScores {
+            steps,
+            log_likelihood: f64::NEG_INFINITY,
+        };
+    }
+    let scale = 1.0 / sum;
+    for v in &mut prev {
+        *v *= scale;
+    }
+    let step = sum.ln();
+    log_likelihood += step;
+    steps.push(step);
+
+    for &symbol in &obs[1..] {
+        sp.propagate(&prev, &mut cur);
+        let mut sum = 0.0;
+        let bcol = sp.emission_col(symbol);
+        for (c, b) in cur.iter_mut().zip(bcol) {
+            *c *= b;
+            sum += *c;
+        }
+        if sum <= 0.0 {
+            steps.push(f64::NEG_INFINITY);
+            return StepScores {
+                steps,
+                log_likelihood: f64::NEG_INFINITY,
+            };
+        }
+        let scale = 1.0 / sum;
+        for v in cur.iter_mut() {
+            *v *= scale;
+        }
+        let step = sum.ln();
+        log_likelihood += step;
+        steps.push(step);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    StepScores {
+        steps,
+        log_likelihood,
+    }
+}
+
 /// Most likely hidden-state path through the sparse kernel, with its log
 /// probability. The log-probability matches [`crate::viterbi::viterbi`]
 /// (up to FP reassociation); the path may differ where candidates tie.
@@ -735,6 +807,11 @@ pub struct BeamForward {
     pub gap_bound: f64,
     /// States zeroed across all steps.
     pub pruned_states: u64,
+    /// Per-step `sum.ln()` factors of this (pruned) pass, in sequence
+    /// order — the identical terms `pass.log_likelihood` accumulates, kept
+    /// for score attribution. Ends with a `-inf` entry when pruning (or
+    /// the model) starved the chain.
+    pub step_log: Vec<f64>,
 }
 
 /// Beam-pruned scaled forward pass: after every scaling step the α vector
@@ -755,6 +832,7 @@ pub fn forward_beam(
     let mut err = 0.0f64; // Ê_t: scaled exact-minus-pruned mass bound
     let mut pruned_states = 0u64;
     let mut order = Vec::with_capacity(n);
+    let mut step_log = Vec::with_capacity(t_len);
 
     if t_len == 0 {
         return BeamForward {
@@ -765,6 +843,7 @@ pub fn forward_beam(
             },
             gap_bound: 0.0,
             pruned_states: 0,
+            step_log,
         };
     }
 
@@ -774,17 +853,21 @@ pub fn forward_beam(
         sum += *a;
     }
     if sum <= 0.0 {
+        step_log.push(f64::NEG_INFINITY);
         return BeamForward {
             pass: impossible(alpha, scale),
             gap_bound: 0.0,
             pruned_states: 0,
+            step_log,
         };
     }
     scale[0] = 1.0 / sum;
     for v in &mut alpha[0] {
         *v *= scale[0];
     }
-    log_likelihood += sum.ln();
+    let step = sum.ln();
+    log_likelihood += step;
+    step_log.push(step);
     let (pm, pc) = prune_alpha(&mut alpha[0], &mut order, beam);
     // p_t: mass pruned at the previous step of the recursion.
     let mut pruned_prev = pm;
@@ -807,17 +890,21 @@ pub fn forward_beam(
         if sum <= 0.0 {
             // Pruning starved the chain (the exact pass may have survived):
             // the bound is vacuous from here on.
+            step_log.push(f64::NEG_INFINITY);
             return BeamForward {
                 pass: impossible(alpha, scale),
                 gap_bound: f64::INFINITY,
                 pruned_states,
+                step_log,
             };
         }
         scale[t] = 1.0 / sum;
         for v in cur.iter_mut() {
             *v *= scale[t];
         }
-        log_likelihood += sum.ln();
+        let step = sum.ln();
+        log_likelihood += step;
+        step_log.push(step);
         // Ê_{t} ≤ (Ê_{t-1} + p_{t-1}) · bmax_t / c_t, with c_t = sum.
         err = (err + pruned_prev) * bmax / sum;
         let (pm, pc) = prune_alpha(cur, &mut order, beam);
@@ -833,6 +920,7 @@ pub fn forward_beam(
         },
         gap_bound: err.ln_1p(),
         pruned_states,
+        step_log,
     }
 }
 
@@ -960,6 +1048,47 @@ mod tests {
         let hmm = smoothed(4, 3, 9);
         let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
         assert_eq!(log_likelihood_sparse(&hmm, &sp, &[]), 0.0);
+    }
+
+    #[test]
+    fn step_scores_sparse_decompose_the_rolling_score_bitwise() {
+        for seed in 0..5 {
+            let hmm = smoothed(6, 4, seed);
+            let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+            let obs = hmm.sample(60, seed + 300);
+            let scores = step_scores_sparse(&hmm, &sp, &obs);
+            // Same op sequence: the total is the detector's score, bitwise,
+            // and the steps are the very terms it accumulated.
+            assert_eq!(
+                scores.log_likelihood,
+                log_likelihood_sparse(&hmm, &sp, &obs)
+            );
+            assert_eq!(scores.steps.len(), obs.len());
+            let resummed = scores.steps.iter().fold(0.0f64, |acc, s| acc + s);
+            assert_eq!(resummed, scores.log_likelihood);
+        }
+        let hmm = smoothed(4, 3, 9);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let empty = step_scores_sparse(&hmm, &sp, &[]);
+        assert_eq!(empty.log_likelihood, 0.0);
+        assert!(empty.steps.is_empty());
+    }
+
+    #[test]
+    fn beam_step_log_decomposes_the_pruned_score_bitwise() {
+        for seed in 0..5 {
+            let hmm = smoothed(8, 5, seed);
+            let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+            let obs = hmm.sample(40, seed + 500);
+            let beam = BeamConfig {
+                top_k: Some(4),
+                mass_epsilon: 0.0,
+            };
+            let run = forward_beam(&hmm, &sp, &obs, &beam);
+            assert_eq!(run.step_log.len(), obs.len());
+            let resummed = run.step_log.iter().fold(0.0f64, |acc, s| acc + s);
+            assert_eq!(resummed, run.pass.log_likelihood);
+        }
     }
 
     #[test]

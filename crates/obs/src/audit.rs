@@ -13,7 +13,9 @@
 //! [`DurableAuditSink`] (crash-safe length-prefixed + CRC-checked JSONL
 //! file with torn-tail recovery and size-based rotation).
 
-use serde::{Deserialize, Serialize};
+use crate::forensics::ForensicReport;
+use crate::registry::{Counter, Gauge, Registry};
+use serde::{de_field, de_field_opt, Content, DeError, Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -21,7 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// One audit-trail entry: a replayable, attributable alert.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AuditRecord {
     /// Monotonic sequence number, assigned by [`AuditLog`].
     pub seq: u64,
@@ -53,6 +55,63 @@ pub struct AuditRecord {
     /// The DDG block id parsed from the label (`6` for `printf_Q6`) —
     /// the pointer back to the data source.
     pub bid: Option<String>,
+    /// Forensic evidence (score attribution + flight-recorder tail),
+    /// present when the scoring session had its flight recorder enabled.
+    /// Omitted from the JSONL entirely when `None`, and tolerated as
+    /// missing on parse, so records written before this field existed
+    /// still round-trip.
+    pub forensics: Option<ForensicReport>,
+}
+
+// Serialization is hand-written (the derive stand-in has no
+// `#[serde(default)]`): `forensics` is emitted only when present and
+// parsed leniently, every other field exactly as the derive would.
+impl Serialize for AuditRecord {
+    fn serialize(&self) -> Content {
+        let mut map: Vec<(Content, Content)> = Vec::with_capacity(13);
+        let mut push = |name: &str, value: Content| {
+            map.push((Content::Str(name.to_string()), value));
+        };
+        push("seq", self.seq.serialize());
+        push("app", self.app.serialize());
+        push("session", self.session.serialize());
+        push("epoch", self.epoch.serialize());
+        push("flag", self.flag.serialize());
+        push("window", self.window.serialize());
+        push("log_likelihood", self.log_likelihood.serialize());
+        push("threshold", self.threshold.serialize());
+        push("detail", self.detail.serialize());
+        push("kernel", self.kernel.serialize());
+        push("label", self.label.serialize());
+        push("bid", self.bid.serialize());
+        if let Some(forensics) = &self.forensics {
+            push("forensics", forensics.serialize());
+        }
+        Content::Map(map)
+    }
+}
+
+impl Deserialize for AuditRecord {
+    fn deserialize(v: &Content) -> Result<AuditRecord, DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| DeError(format!("expected map for AuditRecord, found {}", v.kind())))?;
+        Ok(AuditRecord {
+            seq: de_field(map, "seq")?,
+            app: de_field(map, "app")?,
+            session: de_field(map, "session")?,
+            epoch: de_field(map, "epoch")?,
+            flag: de_field(map, "flag")?,
+            window: de_field(map, "window")?,
+            log_likelihood: de_field(map, "log_likelihood")?,
+            threshold: de_field(map, "threshold")?,
+            detail: de_field(map, "detail")?,
+            kernel: de_field(map, "kernel")?,
+            label: de_field(map, "label")?,
+            bid: de_field(map, "bid")?,
+            forensics: de_field_opt(map, "forensics")?,
+        })
+    }
 }
 
 impl AuditRecord {
@@ -261,6 +320,9 @@ pub struct DurableAuditSink {
     state: Mutex<DurableState>,
     write_errors: AtomicU64,
     rotations: AtomicU64,
+    m_rotations: Counter,
+    m_wal_bytes: Gauge,
+    m_write_errors: Counter,
 }
 
 #[derive(Debug)]
@@ -293,8 +355,24 @@ impl DurableAuditSink {
             }),
             write_errors: AtomicU64::new(0),
             rotations: AtomicU64::new(0),
+            m_rotations: Counter::noop(),
+            m_wal_bytes: Gauge::noop(),
+            m_write_errors: Counter::noop(),
         };
         Ok((sink, report))
+    }
+
+    /// Publishes the sink's rotation/size/error accounting to `registry`:
+    /// `audit.rotations` and `audit.write_errors` counters, and an
+    /// `audit.wal_bytes` gauge tracking the active file's size. The gauge
+    /// is seeded with the recovered file's current size.
+    pub fn with_registry(mut self, registry: &Registry) -> DurableAuditSink {
+        self.m_rotations = registry.counter("audit.rotations");
+        self.m_wal_bytes = registry.gauge("audit.wal_bytes");
+        self.m_write_errors = registry.counter("audit.write_errors");
+        let bytes = self.state.lock().expect("audit state poisoned").bytes;
+        self.m_wal_bytes.set(bytes as i64);
+        self
     }
 
     /// The recovery scan: walks the frames front-to-back and truncates the
@@ -383,6 +461,8 @@ impl DurableAuditSink {
         state.writer = BufWriter::new(file);
         state.bytes = 0;
         self.rotations.fetch_add(1, Ordering::Relaxed);
+        self.m_rotations.inc();
+        self.m_wal_bytes.set(0);
         Ok(())
     }
 }
@@ -429,12 +509,15 @@ impl AuditSink for DurableAuditSink {
             .is_ok();
         if !ok {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
+            self.m_write_errors.inc();
             return;
         }
         state.bytes += framed.len() as u64;
+        self.m_wal_bytes.set(state.bytes as i64);
         if state.bytes > self.config.max_file_bytes {
             if let Err(_e) = self.rotate(&mut state) {
                 self.write_errors.fetch_add(1, Ordering::Relaxed);
+                self.m_write_errors.inc();
             }
         }
     }
@@ -506,6 +589,7 @@ mod tests {
             kernel: "dense".into(),
             label: Some("printf_Q6".into()),
             bid: Some("6".into()),
+            forensics: None,
         }
     }
 
@@ -516,6 +600,44 @@ mod tests {
         assert!(!line.contains('\n'));
         let parsed = AuditRecord::from_jsonl(&line).unwrap();
         assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn forensics_field_round_trips_and_old_lines_still_parse() {
+        use crate::forensics::{DeviantTransition, ForensicReport, WindowTrace};
+        let mut record = leak_record();
+        record.forensics = Some(ForensicReport {
+            mode: "exact_windows".into(),
+            window_index: 2,
+            attributed_log_likelihood: -42.5,
+            top_deviant: vec![DeviantTransition {
+                step: 1,
+                call: "printf_Q6".into(),
+                from: Some("PQexec".into()),
+                log_prob: -40.0,
+                deficit: -25.0,
+            }],
+            recent_windows: vec![WindowTrace {
+                index: 2,
+                log_likelihood: -42.5,
+                threshold: -30.0,
+                delta: -12.5,
+                flag: "DATA-LEAK".into(),
+            }],
+        });
+        let line = record.to_jsonl();
+        assert!(line.contains("\"forensics\""));
+        let parsed = AuditRecord::from_jsonl(&line).unwrap();
+        assert_eq!(parsed, record);
+
+        // Records without forensics omit the key entirely…
+        let plain = leak_record();
+        assert!(!plain.to_jsonl().contains("forensics"));
+        // …and a pre-forensics line (no such key at all) still parses.
+        let legacy = r#"{"seq":3,"app":"a","session":"s","epoch":1,"flag":"ANOMALOUS","window":["x"],"log_likelihood":-9.0,"threshold":-5.0,"detail":"d","kernel":"dense","label":null,"bid":null}"#;
+        let parsed = AuditRecord::from_jsonl(legacy).unwrap();
+        assert_eq!(parsed.seq, 3);
+        assert_eq!(parsed.forensics, None);
     }
 
     #[test]
@@ -693,6 +815,41 @@ mod tests {
             assert_eq!(records.len(), 1, "rotation .{i}");
         }
         assert!(!super::rotated_path(&path, 3).exists());
+    }
+
+    #[test]
+    fn rotation_and_size_are_visible_in_the_registry() {
+        let path = temp_path("rotate-metrics.wal");
+        let registry = Registry::new();
+        let config = WalConfig {
+            max_file_bytes: 1, // rotate after every record
+            keep: 2,
+        };
+        let (sink, _) = DurableAuditSink::open_with(&path, config).unwrap();
+        let sink = sink.with_registry(&registry);
+        for _ in 0..3 {
+            sink.append(&leak_record());
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("audit.rotations"), Some(3));
+        assert_eq!(snap.counter("audit.write_errors"), Some(0));
+        // Every append rotated immediately, so the active WAL is empty
+        // again and the gauge reflects that.
+        assert_eq!(snap.gauge("audit.wal_bytes"), Some(0));
+
+        // One more append without rotation pressure: the gauge tracks the
+        // live file size.
+        let path2 = temp_path("size-metrics.wal");
+        let registry2 = Registry::new();
+        let (sink2, _) = DurableAuditSink::open(&path2).unwrap();
+        let sink2 = sink2.with_registry(&registry2);
+        sink2.append(&leak_record());
+        let written = std::fs::metadata(&path2).unwrap().len();
+        assert!(written > 0);
+        assert_eq!(
+            registry2.snapshot().gauge("audit.wal_bytes"),
+            Some(written as i64)
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Forensic evidence attached to alerts: *why* a window scored below the
+//! profile threshold.
+//!
+//! An alert alone (`flag + log-likelihood`) tells a security officer that
+//! a session deviated, not *where*. The scaled forward pass already
+//! factors a window's score into per-observation terms —
+//! `log P(w | λ) = Σ_t ln P(o_t | o_0..o_{t-1}, λ)` — so the detector can
+//! name the exact call transitions that drove the deficit without a
+//! second scoring model. A [`ForensicReport`] packages that attribution
+//! together with the session's flight-recorder tail (the recent
+//! window-score series) and is attached to the alert's
+//! [`crate::AuditRecord`] only when a session actually alarms, keeping
+//! the benign path allocation-free.
+
+use serde::{Deserialize, Serialize};
+
+/// One window in the session flight recorder: the score series a session
+/// carried into its alert, oldest first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowTrace {
+    /// Window index within the session, in scoring order (0-based).
+    pub index: u64,
+    /// The window's log-likelihood as the detector scored it.
+    pub log_likelihood: f64,
+    /// The profile threshold in force for this window.
+    pub threshold: f64,
+    /// `log_likelihood - threshold`: negative means below threshold.
+    pub delta: f64,
+    /// The window's flag (`NORMAL`, `ANOMALOUS`, `DATA LEAK`,
+    /// `OUT OF CONTEXT`).
+    pub flag: String,
+}
+
+/// One ranked step of an alerted window's score attribution: an observed
+/// call bigram and how much probability the profile gave it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviantTransition {
+    /// Position of the observation within the alerted window (0-based).
+    pub step: usize,
+    /// The observed call at this step.
+    pub call: String,
+    /// The preceding call in the window; `None` for the first step, whose
+    /// factor is anchored on the profile's initial distribution π.
+    pub from: Option<String>,
+    /// `ln P(o_t | o_0..o_{t-1}, λ)` — this step's exact factor of the
+    /// window's log-likelihood, from the same forward pass that scored it.
+    pub log_prob: f64,
+    /// `log_prob - threshold / window_len`: this step's contribution
+    /// relative to an even per-step share of the threshold. Negative means
+    /// the step pushed the window toward (or past) the alarm line.
+    pub deficit: f64,
+}
+
+/// Forensic evidence for one alarming window, attached to its
+/// [`crate::AuditRecord`] when the session's flight recorder is enabled.
+///
+/// Reports are pure functions of the session's event stream and pinned
+/// profile epoch, so — like verdicts and audit sequence numbers — they are
+/// bit-identical at any worker thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForensicReport {
+    /// Scoring mode of the session (`exact_windows` or `incremental`).
+    pub mode: String,
+    /// The alarming window's index within the session (0-based).
+    pub window_index: u64,
+    /// The window's log-likelihood on the attribution basis: the
+    /// π-anchored forward pass over the window's own calls. In
+    /// `exact_windows` mode this is bit-identical to the alert's score;
+    /// in `incremental` mode the alert's score is conditioned on session
+    /// history and may differ (both are recorded).
+    pub attributed_log_likelihood: f64,
+    /// The most deviant steps of the alerted window, worst (lowest
+    /// `log_prob`) first; ties break on step index. Non-empty for every
+    /// alarmed window of a non-empty trace.
+    pub top_deviant: Vec<DeviantTransition>,
+    /// The flight recorder's bounded tail of recent window scores
+    /// (including the alerted window itself), oldest first.
+    pub recent_windows: Vec<WindowTrace>,
+}
+
+impl ForensicReport {
+    /// The alerted window's delta-vs-threshold, if the flight recorder
+    /// captured it (it always captures the alerting window itself).
+    pub fn alert_delta(&self) -> Option<f64> {
+        self.recent_windows
+            .iter()
+            .find(|w| w.index == self.window_index)
+            .map(|w| w.delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ForensicReport {
+        ForensicReport {
+            mode: "exact_windows".into(),
+            window_index: 4,
+            attributed_log_likelihood: -9.25,
+            top_deviant: vec![
+                DeviantTransition {
+                    step: 2,
+                    call: "pread_Q7".into(),
+                    from: Some("memcpy".into()),
+                    log_prob: -6.5,
+                    deficit: -4.0,
+                },
+                DeviantTransition {
+                    step: 0,
+                    call: "memcpy".into(),
+                    from: None,
+                    log_prob: -1.5,
+                    deficit: 1.0,
+                },
+            ],
+            recent_windows: vec![
+                WindowTrace {
+                    index: 3,
+                    log_likelihood: -2.0,
+                    threshold: -7.5,
+                    delta: 5.5,
+                    flag: "NORMAL".into(),
+                },
+                WindowTrace {
+                    index: 4,
+                    log_likelihood: -9.25,
+                    threshold: -7.5,
+                    delta: -1.75,
+                    flag: "ANOMALOUS".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ForensicReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn alert_delta_reads_the_alerting_window() {
+        let report = sample();
+        assert_eq!(report.alert_delta(), Some(-1.75));
+        let mut missing = report;
+        missing.recent_windows.clear();
+        assert_eq!(missing.alert_delta(), None);
+    }
+}

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod forensics;
 pub mod registry;
 pub mod span;
 
@@ -36,5 +37,8 @@ pub use audit::{
     crc32, AuditLog, AuditRecord, AuditSink, DurableAuditSink, JsonlAuditSink, MemoryAuditSink,
     NullAuditSink, RecoveryReport, WalConfig,
 };
+pub use forensics::{DeviantTransition, ForensicReport, WindowTrace};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
-pub use span::{NullSpanSink, RingSink, Span, SpanEvent, SpanSink, StderrSink, Tracer};
+pub use span::{
+    NullSpanSink, RingSink, Span, SpanContext, SpanEvent, SpanSink, StderrSink, Tracer,
+};

@@ -179,6 +179,20 @@ fn bucket_floor(idx: usize) -> u64 {
     }
 }
 
+/// Inclusive integer upper bound of a bucket — the Prometheus `le` value.
+/// Bucket 0 holds only zeros; bucket `i` spans `[2^(i-1), 2^i)`, so its
+/// largest integer member is `2^i - 1`; the final bucket absorbs
+/// everything up to `u64::MAX`.
+fn bucket_ceiling(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
 /// Approximate quantile: walk the cumulative bucket counts to the target
 /// rank and interpolate linearly inside the owning bucket.
 fn quantile(buckets: &[u64], count: u64, q: f64) -> f64 {
@@ -416,8 +430,12 @@ impl Registry {
     }
 
     /// Prometheus-style text exposition: counters and gauges as scalar
-    /// samples, histograms as `summary` metrics (quantile samples plus
-    /// `_sum` / `_count`). Metric names are sanitized (`.` and `-` → `_`).
+    /// samples, histograms as proper `histogram` families with cumulative
+    /// `_bucket{le="…"}` samples plus `_sum` / `_count`. The `le` bounds
+    /// are the log₂ buckets' exact integer ceilings (`0`, `1`, `3`, `7`,
+    /// …, `2^i - 1`), emitted up to the highest non-empty bucket and
+    /// always closed with `le="+Inf"`. Metric names are sanitized (`.`
+    /// and `-` → `_`).
     pub fn render_prometheus(&self) -> String {
         let snap = self.snapshot();
         let mut out = String::new();
@@ -431,14 +449,43 @@ impl Registry {
             let _ = writeln!(out, "# TYPE {n} gauge");
             let _ = writeln!(out, "{n} {value}");
         }
-        for (name, h) in &snap.histograms {
-            let n = sanitize(name);
-            let _ = writeln!(out, "# TYPE {n} summary");
-            for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
-                let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
+        // Cumulative buckets need the raw per-bucket counts, which the
+        // summary snapshot does not carry — read the cores directly.
+        let Some(inner) = &self.inner else {
+            return out;
+        };
+        let cores: Vec<(String, Arc<HistogramCore>)> = inner
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        for (name, core) in cores {
+            let n = sanitize(&name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let buckets: Vec<u64> = core
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect();
+            // Using the bucket total for `+Inf`/`_count` keeps the family
+            // internally consistent even if a sample lands concurrently
+            // with this scrape.
+            let total: u64 = buckets.iter().sum();
+            let last = buckets.iter().rposition(|&c| c != 0).unwrap_or(0);
+            let mut cumulative = 0u64;
+            for (idx, &count) in buckets.iter().enumerate().take(last + 1) {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "{n}_bucket{{le=\"{}\"}} {cumulative}",
+                    bucket_ceiling(idx)
+                );
             }
-            let _ = writeln!(out, "{n}_sum {}", h.sum);
-            let _ = writeln!(out, "{n}_count {}", h.count);
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {total}");
+            let _ = writeln!(out, "{n}_sum {}", core.sum.load(Ordering::Relaxed));
+            let _ = writeln!(out, "{n}_count {total}");
         }
         out
     }
@@ -582,9 +629,58 @@ mod tests {
         assert!(text.contains("# TYPE detect_windows_scored counter"));
         assert!(text.contains("detect_windows_scored 2"));
         assert!(text.contains("# TYPE sessions_open gauge"));
-        assert!(text.contains("# TYPE detect_score_ns summary"));
+        assert!(text.contains("# TYPE detect_score_ns histogram"));
+        // 500 lives in [256, 512): cumulative count 1 at le=511.
+        assert!(text.contains("detect_score_ns_bucket{le=\"511\"} 1"));
+        assert!(text.contains("detect_score_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("detect_score_ns_sum 500"));
         assert!(text.contains("detect_score_ns_count 1"));
-        assert!(text.contains("quantile=\"0.99\""));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat");
+        // Samples spread over four distinct buckets (plus the zero
+        // bucket), with known per-bucket counts.
+        h.record(0); // bucket 0 (le=0): 1
+        for _ in 0..3 {
+            h.record(1); // bucket 1 (le=1): 3
+        }
+        for _ in 0..2 {
+            h.record(300); // bucket 9 (le=511): 2
+        }
+        h.record(100_000); // bucket 17 (le=131071): 1
+        let text = registry.render_prometheus();
+
+        // Parse every `lat_bucket` sample in emission order.
+        let mut bounds = Vec::new();
+        let mut counts = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("lat_bucket{le=\"") {
+                let (bound, count) = rest.split_once("\"} ").unwrap();
+                bounds.push(bound.to_string());
+                counts.push(count.parse::<u64>().unwrap());
+            }
+        }
+        // Cumulativity: counts never decrease, and +Inf equals the total.
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(bounds.last().map(String::as_str), Some("+Inf"));
+        assert_eq!(counts.last(), Some(&7));
+        // Spot-check the known cumulative steps.
+        let at = |b: &str| {
+            counts[bounds
+                .iter()
+                .position(|x| x == b)
+                .unwrap_or_else(|| panic!("bound {b} missing in {bounds:?}"))]
+        };
+        assert_eq!(at("0"), 1);
+        assert_eq!(at("1"), 4);
+        assert_eq!(at("511"), 6);
+        assert_eq!(at("131071"), 7);
+        // Empty buckets between populated ones are still emitted (with the
+        // running cumulative), so the family has no holes below the top.
+        assert_eq!(at("255"), 4);
     }
 
     #[test]

@@ -16,6 +16,23 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// End-to-end trace identity carried by pipeline spans: which
+/// application, session, profile epoch, and ingest batch a stage's work
+/// belonged to. The monitor runtime stamps this on its
+/// ingest → flush → score → audit spans so a single session's path
+/// through the pipeline can be reassembled from the span stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanContext {
+    /// Application id (empty when the stage is not app-specific).
+    pub app: String,
+    /// Session id (empty for batch-level stages).
+    pub session: String,
+    /// Profile epoch the session is pinned to (0 when not applicable).
+    pub epoch: u64,
+    /// Monotonic flush-batch id assigned by the runtime's serial clock.
+    pub batch: u64,
+}
+
 /// One closed span, as delivered to a [`SpanSink`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanEvent {
@@ -25,6 +42,9 @@ pub struct SpanEvent {
     pub nanos: u64,
     /// Nesting depth (0 for root spans).
     pub depth: usize,
+    /// Trace identity, when the span was opened with
+    /// [`Tracer::enter_with`] (children inherit it).
+    pub context: Option<SpanContext>,
 }
 
 /// Receives closed spans.
@@ -153,7 +173,14 @@ impl Tracer {
 
     /// Opens a root span for `stage`.
     pub fn enter(&self, stage: &str) -> Span<'_> {
-        Span::open(self, stage.to_string(), 0)
+        Span::open(self, stage.to_string(), 0, None)
+    }
+
+    /// Opens a root span for `stage` carrying a trace identity. The
+    /// context rides the closed [`SpanEvent`] and is inherited by
+    /// [`Span::child`] spans.
+    pub fn enter_with(&self, stage: &str, context: SpanContext) -> Span<'_> {
+        Span::open(self, stage.to_string(), 0, Some(context))
     }
 }
 
@@ -165,6 +192,7 @@ pub struct Span<'t> {
     depth: usize,
     start: Option<Instant>,
     histogram: Histogram,
+    context: Option<SpanContext>,
 }
 
 impl<'t> Span<'t> {
@@ -174,7 +202,12 @@ impl<'t> Span<'t> {
         tracer.enter(stage)
     }
 
-    fn open(tracer: &'t Tracer, path: String, depth: usize) -> Span<'t> {
+    fn open(
+        tracer: &'t Tracer,
+        path: String,
+        depth: usize,
+        context: Option<SpanContext>,
+    ) -> Span<'t> {
         let (start, histogram) = if tracer.enabled {
             let histogram = tracer.registry.histogram(&format!("span.{path}"));
             (Some(Instant::now()), histogram)
@@ -187,16 +220,24 @@ impl<'t> Span<'t> {
             depth,
             start,
             histogram,
+            context,
         }
     }
 
-    /// Opens a nested span: path `parent/stage`, depth + 1.
+    /// Opens a nested span: path `parent/stage`, depth + 1, inheriting the
+    /// parent's trace context.
     pub fn child(&self, stage: &str) -> Span<'t> {
         Span::open(
             self.tracer,
             format!("{}/{stage}", self.path),
             self.depth + 1,
+            self.context.clone(),
         )
+    }
+
+    /// The span's trace identity, if one was attached at open.
+    pub fn context(&self) -> Option<&SpanContext> {
+        self.context.as_ref()
     }
 
     /// The span's `/`-joined path.
@@ -221,6 +262,7 @@ impl Drop for Span<'_> {
                 path: std::mem::take(&mut self.path),
                 nanos,
                 depth: self.depth,
+                context: self.context.take(),
             });
         }
     }
@@ -284,12 +326,43 @@ mod tests {
                 path: format!("s{i}"),
                 nanos: i,
                 depth: 0,
+                context: None,
             });
         }
         let events = ring.events();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].path, "s2");
         assert_eq!(events[1].path, "s3");
+    }
+
+    #[test]
+    fn context_rides_the_event_and_is_inherited_by_children() {
+        let registry = Registry::new();
+        let ring = Arc::new(RingSink::new(8));
+        let tracer = Tracer::new(registry, ring.clone() as Arc<dyn SpanSink>);
+        let ctx = SpanContext {
+            app: "hospital".into(),
+            session: "s-17".into(),
+            epoch: 2,
+            batch: 41,
+        };
+        {
+            let outer = tracer.enter_with("flush", ctx.clone());
+            assert_eq!(outer.context(), Some(&ctx));
+            {
+                let _inner = outer.child("score");
+            }
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].path, "flush/score");
+        assert_eq!(events[0].context.as_ref(), Some(&ctx));
+        assert_eq!(events[1].context.as_ref(), Some(&ctx));
+        // Plain enter stays context-free.
+        {
+            let _span = tracer.enter("ingest");
+        }
+        assert_eq!(ring.events().last().unwrap().context, None);
     }
 
     #[test]

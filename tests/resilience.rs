@@ -267,6 +267,7 @@ proptest! {
                 kernel: "dense".to_string(),
                 label: None,
                 bid: None,
+                forensics: None,
             })
             .collect();
         for record in &originals {

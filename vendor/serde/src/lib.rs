@@ -129,6 +129,23 @@ pub fn de_field<T: Deserialize>(map: &[(Content, Content)], name: &str) -> Resul
     Err(DeError(format!("missing field `{name}`")))
 }
 
+/// Looks up an *optional* struct field by name: a missing key (or an
+/// explicit null) deserializes to `None` instead of erroring, so types can
+/// grow optional fields while older serialized records keep parsing. Used
+/// by hand-written impls; the derive stand-in has no `#[serde(default)]`.
+pub fn de_field_opt<T: Deserialize>(
+    map: &[(Content, Content)],
+    name: &str,
+) -> Result<Option<T>, DeError> {
+    for (k, v) in map {
+        if k.as_str() == Some(name) {
+            return Option::<T>::deserialize(v)
+                .map_err(|e| DeError(format!("field `{name}`: {e}")));
+        }
+    }
+    Ok(None)
+}
+
 /// Deserializes element `idx` of a sequence.
 #[doc(hidden)]
 pub fn de_element<T: Deserialize>(seq: &[Content], idx: usize) -> Result<T, DeError> {
