@@ -17,6 +17,12 @@
 //!   counts and per-window flags match the dense kernel exactly.
 //! * `--beam` — sparse kernel plus mass-threshold beam pruning of α
 //!   (approximate scores, bounded error).
+//! * `--simd` — SIMD-shaped scoring gate: the batched lane-major sparse
+//!   kernel in f64 vs the f32 fast path with f64 guard-band
+//!   verification, timed adjacently in paired rounds. The run *asserts*
+//!   that the f32-verified per-window flags are identical to the pure
+//!   f64 run's, and records the throughput ratio plus how many windows
+//!   the guard band sent back to f64.
 //! * `--metrics-out <path>` — dump the full pipeline metrics snapshot
 //!   (training, detection, batch, kernel and sliding-scorer accounting).
 //! * `--smoke` — small workload and short measurement budget, for CI.
@@ -52,10 +58,13 @@ use adprom_core::resilience::sites;
 use adprom_core::{
     apply_ingest_faults, build_profile, init_from_pctm, trace_windows, Alert, BatchDetector,
     ConstructorConfig, DetectionEngine, FaultKind, FaultPlan, Flag, ForensicsConfig, Health,
-    HealthMonitor, KernelConfig, MonitorRuntime, ProfileRegistry, RuntimeConfig, ScoringMode,
-    SessionEnd, TraceStatus, Trigger,
+    HealthMonitor, KernelConfig, MonitorRuntime, Precision, ProfileRegistry, RuntimeConfig,
+    ScoringMode, SessionEnd, TraceStatus, Trigger,
 };
-use adprom_hmm::{train, BeamConfig, Hmm, SparseConfig};
+use adprom_hmm::{
+    log_likelihood_sparse, score_windows_batch, train, BeamConfig, F32Kernel, Hmm, SparseConfig,
+    SparseTransitions,
+};
 use adprom_obs::{AuditLog, AuditRecord, MemoryAuditSink, Registry};
 use adprom_trace::{interleave, CallEvent, TraceValidator};
 use adprom_workloads::{banking, hospital, supermarket, Workload};
@@ -140,6 +149,7 @@ fn main() {
     let mut faults = false;
     let mut multiapp = false;
     let mut forensics = false;
+    let mut simd = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -149,13 +159,14 @@ fn main() {
             "--smoke" => smoke = true,
             "--sparse" => sparse = true,
             "--beam" => beam = true,
+            "--simd" => simd = true,
             "--faults" => faults = true,
             "--multiapp" => multiapp = true,
             "--forensics" => forensics = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: bench_detect [--smoke] [--sparse] [--beam] [--faults] \
+                    "usage: bench_detect [--smoke] [--sparse] [--beam] [--simd] [--faults] \
                      [--multiapp] [--forensics] [--metrics-out <path>]"
                 );
                 std::process::exit(2);
@@ -173,6 +184,20 @@ fn main() {
         "sparse"
     } else {
         "dense"
+    };
+    // One label per run shape: history entries carry it so gates select
+    // the latest entry per (workload, mode) instead of guessing by tail
+    // position across heterogeneous runs.
+    let mode_label = if simd {
+        "simd"
+    } else if multiapp {
+        "multiapp"
+    } else if forensics {
+        "forensics"
+    } else if faults {
+        "faults"
+    } else {
+        kernel_mode
     };
     let kernel_config = if beam {
         // Mass-threshold pruning only: states carrying < 1e-6 combined
@@ -202,7 +227,7 @@ fn main() {
     let mut config = ConstructorConfig::default();
     config.train.max_iterations = max_iterations;
     config.registry = registry.clone();
-    if sparse || beam {
+    if sparse || beam || simd {
         // Collapse Baum–Welch's floor dust back to a bit-exact per-row
         // background so the CSR decomposition is sparse (and, at ε = 0,
         // exact) on the trained model.
@@ -950,6 +975,167 @@ fn main() {
         String::new()
     };
 
+    // SIMD-shaped scoring gate: the batched lane-major sparse kernel in
+    // f64 against the f32 fast path (guard-band rescore in f64), timed
+    // adjacently in paired rounds so machine drift cancels within a
+    // pair. The f32-verified run must reproduce the pure-f64 flags
+    // window for window — the guard band sends every near-threshold
+    // window back to the exact kernel.
+    let simd_fields = if simd {
+        let sparse_kernel = KernelConfig::Sparse {
+            sparse: SparseConfig::default(),
+        };
+        let simd_obs = Registry::new();
+        let f64_engine = DetectionEngine::new(&profile)
+            .with_registry(&simd_obs)
+            .with_kernel(sparse_kernel);
+        let f32_engine = DetectionEngine::new(&profile)
+            .with_registry(&simd_obs)
+            .with_kernel(sparse_kernel)
+            .with_precision(Precision::f32_verified());
+        let status = f32_engine.kernel_status().clone();
+        assert_eq!(
+            status.effective, "sparse",
+            "flattened profile must keep the sparse kernel"
+        );
+        assert_eq!(status.precision, "f32-verified");
+        let guard_band = match Precision::f32_verified() {
+            Precision::F32Verified { guard_band } => guard_band,
+            Precision::F64 => unreachable!(),
+        };
+
+        // Flag-equality gate first (also warms both engines), with the
+        // guard-band counters snapshotted around exactly one pass so the
+        // recorded accepted/rescored split is deterministic.
+        let before = simd_obs.snapshot();
+        let f64_reports: Vec<Vec<Alert>> = batch.iter().map(|t| f64_engine.scan(t)).collect();
+        let f32_reports: Vec<Vec<Alert>> = batch.iter().map(|t| f32_engine.scan(t)).collect();
+        let after = simd_obs.snapshot();
+        let delta =
+            |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+        let f32_accepted = delta("detect.kernel.f32_windows");
+        let f32_rescored = delta("detect.kernel.f32_rescored");
+        let f64_flags: Vec<Flag> = f64_reports.iter().flatten().map(|a| a.flag).collect();
+        let f32_flags: Vec<Flag> = f32_reports.iter().flatten().map(|a| a.flag).collect();
+        let flags_match_f64 =
+            f64_flags == f32_flags && flag_partition(&f64_reports) == flag_partition(&f32_reports);
+        assert!(
+            flags_match_f64,
+            "f32-verified flag partition diverged from f64: {:?} vs {:?}",
+            flag_partition(&f32_reports),
+            flag_partition(&f64_reports),
+        );
+
+        // Kernel-level paired rounds on the identical window set: the
+        // scalar per-window sparse kernel (the pre-batch "current" path)
+        // against the batched f64 kernel and the batched f32 kernel,
+        // timed back to back within each round so machine drift cancels
+        // inside a pair. Throughput is normalized by the same `events`
+        // denominator the scan numbers use.
+        let sp = SparseTransitions::from_hmm(&profile.hmm, &SparseConfig::default());
+        let fk = F32Kernel::from_sparse(&profile.hmm, &sp);
+        let wrefs: Vec<&[usize]> = windows_enc.iter().map(|w| w.as_slice()).collect();
+        let lanes = status.batch_width.max(1) as usize;
+        let rounds = if smoke { 4 } else { max_runs.max(8) };
+        let mut sparse_eps = 0.0f64;
+        let mut batch64_eps = 0.0f64;
+        let mut simd_eps = 0.0f64;
+        let mut ratio = 0.0f64;
+        let mut ratio64 = 0.0f64;
+        let mut sink = 0.0f64;
+        for _ in 0..rounds {
+            let start = Instant::now();
+            for w in &wrefs {
+                sink += log_likelihood_sparse(&profile.hmm, &sp, w);
+            }
+            let scal_e = events as f64 / start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            for c in wrefs.chunks(lanes) {
+                sink += score_windows_batch(&profile.hmm, &sp, c, false).scores[0];
+            }
+            let b64_e = events as f64 / start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            for c in wrefs.chunks(lanes) {
+                sink += fk.score_windows_batch(c, false).scores[0];
+            }
+            let f32_e = events as f64 / start.elapsed().as_secs_f64();
+            sparse_eps = sparse_eps.max(scal_e);
+            batch64_eps = batch64_eps.max(b64_e);
+            simd_eps = simd_eps.max(f32_e);
+            ratio = ratio.max(f32_e / scal_e);
+            ratio64 = ratio64.max(b64_e / scal_e);
+        }
+        std::hint::black_box(sink);
+
+        // End-to-end scan throughput of the two engines (windowing, flag
+        // logic and telemetry included), paired the same way.
+        let mut scan_f64_eps = 0.0f64;
+        let mut scan_simd_eps = 0.0f64;
+        for _ in 0..rounds {
+            let start = Instant::now();
+            let f64_alerts: usize = batch.iter().map(|t| f64_engine.scan(t).len()).sum();
+            let f64_e = events as f64 / start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            let f32_alerts: usize = batch.iter().map(|t| f32_engine.scan(t).len()).sum();
+            let f32_e = events as f64 / start.elapsed().as_secs_f64();
+            assert_eq!(
+                f64_alerts, f32_alerts,
+                "alert counts must match across precisions"
+            );
+            scan_f64_eps = scan_f64_eps.max(f64_e);
+            scan_simd_eps = scan_simd_eps.max(f32_e);
+        }
+
+        println!(
+            "== SIMD-shaped scoring (sparse kernel, batch width {}, guard band {guard_band} \
+             nats) ==",
+            status.batch_width
+        );
+        println!("scalar sparse kernel      : {sparse_eps:>12.0} events/sec");
+        println!(
+            "batched f64 kernel        : {batch64_eps:>12.0} events/sec  ({ratio64:.2}x scalar)"
+        );
+        println!(
+            "batched f32 kernel        : {simd_eps:>12.0} events/sec  \
+             ({ratio:.2}x scalar sparse, {:.2}x serial dense)",
+            simd_eps / serial_eps
+        );
+        println!(
+            "engine scan               : f64 {scan_f64_eps:>10.0} ev/s, f32-verified \
+             {scan_simd_eps:>10.0} ev/s ({:.2}x)",
+            scan_simd_eps / scan_f64_eps
+        );
+        println!(
+            "one pass: {f32_accepted} windows accepted in f32, {f32_rescored} rescored in f64; \
+             flags match f64: {flags_match_f64}\n"
+        );
+        if ratio < 1.5 {
+            eprintln!("warning: simd/sparse throughput ratio {ratio:.2} below the 1.5 target");
+        }
+        format!(
+            "    \"simd\": true,\n    \
+             \"precision\": \"{}\",\n    \
+             \"batch_width\": {},\n    \
+             \"guard_band_nats\": {guard_band},\n    \
+             \"sparse_events_per_sec\": {sparse_eps:.0},\n    \
+             \"batch_f64_events_per_sec\": {batch64_eps:.0},\n    \
+             \"simd_events_per_sec\": {simd_eps:.0},\n    \
+             \"speedup_simd_vs_sparse\": {ratio:.2},\n    \
+             \"speedup_batch_f64_vs_sparse\": {ratio64:.2},\n    \
+             \"speedup_simd_vs_dense\": {:.2},\n    \
+             \"scan_f64_events_per_sec\": {scan_f64_eps:.0},\n    \
+             \"scan_simd_events_per_sec\": {scan_simd_eps:.0},\n    \
+             \"flags_match_f64\": {flags_match_f64},\n    \
+             \"f32_windows_accepted\": {f32_accepted},\n    \
+             \"f32_windows_rescored\": {f32_rescored},\n",
+            status.precision,
+            status.batch_width,
+            simd_eps / serial_eps,
+        )
+    } else {
+        String::new()
+    };
+
     println!(
         "== Batched detection throughput (window n = {}, kernel = {kernel_mode}) ==",
         profile.window
@@ -1032,7 +1218,8 @@ fn main() {
     // forced a dense downgrade.
     let kernel_status = exact.kernel_status();
     let entry = format!(
-        "  {{\n    \"workload\": \"hospital\",\n    \"smoke\": {smoke},\n    \
+        "  {{\n    \"schema\": 2,\n    \"workload\": \"hospital\",\n    \
+         \"mode\": \"{mode_label}\",\n    \"smoke\": {smoke},\n    \
          \"traces\": {n_traces},\n    \"events\": {events},\n    \
          \"window\": {window},\n    \"threads\": {threads},\n    \
          \"kernel\": \"{kernel_mode}\",\n    \
@@ -1041,7 +1228,7 @@ fn main() {
          \"kernel_fell_back\": {kernel_fell_back},\n    \
          \"alerts\": {serial_alerts},\n    \
          \"flag_partition\": [{}, {}, {}, {}],\n    \
-         \"serial_exact_events_per_sec\": {serial_eps:.0},\n{kernel_fields}{fault_fields}{multiapp_fields}{forensics_fields}    \
+         \"serial_exact_events_per_sec\": {serial_eps:.0},\n{kernel_fields}{fault_fields}{multiapp_fields}{forensics_fields}{simd_fields}    \
          \"parallel_exact_events_per_sec\": {par_exact_eps:.0},\n    \
          \"parallel_incremental_events_per_sec\": {par_inc_eps:.0},\n    \
          \"speedup_parallel_exact\": {speedup_exact:.2},\n    \

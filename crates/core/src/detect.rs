@@ -249,6 +249,15 @@ impl DetectionEngine {
         self
     }
 
+    /// Selects the scoring precision (see
+    /// [`WindowScorer::with_precision`]): `F32Verified` scores sparse
+    /// windows in f32 and rescores anything within the guard band of the
+    /// threshold in f64, so flags match the pure-f64 engine.
+    pub fn with_precision(mut self, precision: adprom_hmm::Precision) -> DetectionEngine {
+        self.scorer = self.scorer.with_precision(precision);
+        self
+    }
+
     /// Registers metric handles against `registry` (window counts, flag
     /// counters, score latency).
     pub fn with_registry(mut self, registry: &Registry) -> DetectionEngine {
@@ -398,6 +407,13 @@ impl OnlineDetector {
         let mode = self.state.mode();
         self.scorer = self.scorer.with_kernel_validated(config);
         self.state = SessionScorer::new(&self.scorer, mode);
+        self
+    }
+
+    /// Selects the scoring precision (see
+    /// [`WindowScorer::with_precision`]).
+    pub fn with_precision(mut self, precision: adprom_hmm::Precision) -> OnlineDetector {
+        self.scorer = self.scorer.with_precision(precision);
         self
     }
 

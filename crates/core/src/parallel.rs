@@ -173,6 +173,15 @@ impl BatchDetector {
         self
     }
 
+    /// Selects the scoring precision (see
+    /// [`WindowScorer::with_precision`]): workers share the f32 mirror of
+    /// the CSR through an `Arc`, and every flag the batch emits matches
+    /// the pure-f64 detector's.
+    pub fn with_precision(mut self, precision: adprom_hmm::Precision) -> BatchDetector {
+        self.scorer = self.scorer.with_precision(precision);
+        self
+    }
+
     /// Requested/effective kernel and the downgrade reason, if any — the
     /// unified [`KernelStatus`] reports, metrics, and bench JSON share.
     pub fn kernel_status(&self) -> &KernelStatus {

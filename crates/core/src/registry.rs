@@ -28,6 +28,7 @@ use crate::profile::{LoadPolicy, Profile, ProfileDefect, ProfileIoError};
 use crate::resilience::HealthMonitor;
 use crate::scorer::{KernelStatus, WindowScorer};
 use crate::telemetry::RegistryMetrics;
+use adprom_hmm::Precision;
 use adprom_obs::Registry;
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -44,6 +45,7 @@ pub struct ProfileEpoch {
     profile: Arc<Profile>,
     kernel: KernelState,
     status: KernelStatus,
+    precision: Precision,
 }
 
 impl ProfileEpoch {
@@ -69,10 +71,13 @@ impl ProfileEpoch {
     }
 
     /// A [`WindowScorer`] scoring on this epoch. Cheap: the profile and
-    /// the CSR decomposition are shared, not rebuilt.
+    /// the CSR decomposition are shared, not rebuilt (under
+    /// [`Precision::F32Verified`] each scorer mirrors the CSR into f32
+    /// once; callers that fan out clone one scorer, sharing the mirror).
     pub fn scorer(&self) -> WindowScorer {
         WindowScorer::new(Arc::clone(&self.profile))
             .with_kernel_state(self.kernel.clone(), self.status.clone())
+            .with_precision(self.precision)
     }
 
     /// A [`DetectionEngine`] scoring on this epoch.
@@ -113,6 +118,8 @@ struct AppEntry {
 pub struct ProfileRegistry {
     /// Kernel resolved against every registered profile (per epoch).
     kernel: KernelConfig,
+    /// Scoring precision applied to every scorer built from an epoch.
+    precision: Precision,
     /// How profiles loaded from disk treat semantic defects.
     policy: LoadPolicy,
     apps: RwLock<BTreeMap<String, AppEntry>>,
@@ -131,6 +138,7 @@ impl ProfileRegistry {
     pub fn new() -> ProfileRegistry {
         ProfileRegistry {
             kernel: KernelConfig::Dense,
+            precision: Precision::F64,
             policy: LoadPolicy::Strict,
             apps: RwLock::new(BTreeMap::new()),
             metrics: RegistryMetrics::disabled(),
@@ -142,6 +150,14 @@ impl ProfileRegistry {
     /// epochs keep the kernel they were built with.
     pub fn with_kernel(mut self, kernel: KernelConfig) -> ProfileRegistry {
         self.kernel = kernel;
+        self
+    }
+
+    /// Selects the scoring precision for every scorer built from epochs
+    /// published from now on (see
+    /// [`WindowScorer::with_precision`](crate::scorer::WindowScorer::with_precision)).
+    pub fn with_precision(mut self, precision: Precision) -> ProfileRegistry {
+        self.precision = precision;
         self
     }
 
@@ -194,6 +210,14 @@ impl ProfileRegistry {
                 ),
             ),
         };
+        // The published status reports the caps the epoch's scorers will
+        // run with (precision, batch width) — derived through the scorer
+        // itself so registry snapshots can never drift from what scores.
+        let status = WindowScorer::new(Arc::clone(&profile))
+            .with_kernel_state(kernel.clone(), status)
+            .with_precision(self.precision)
+            .status()
+            .clone();
         let mut apps = self.apps.write().expect("registry poisoned");
         let (epoch, health) = match apps.get(app) {
             Some(entry) => (entry.current.epoch + 1, entry.health.clone()),
@@ -209,6 +233,7 @@ impl ProfileRegistry {
             profile,
             kernel,
             status,
+            precision: self.precision,
         });
         apps.insert(
             app.to_string(),

@@ -23,8 +23,9 @@ use crate::detect::{Alert, Flag, KernelConfig, KernelState};
 use crate::profile::Profile;
 use crate::telemetry::{audit_record_from_alert, DetectMetrics};
 use adprom_hmm::{
-    forward_beam, log_likelihood, log_likelihood_sparse, step_scores, step_scores_sparse,
-    SlidingState, SlidingStats, StepScores,
+    forward_beam, log_likelihood, log_likelihood_sparse,
+    score_windows_batch as sparse_windows_batch, step_scores, step_scores_sparse, BatchScores,
+    F32Kernel, Precision, SlidingState, SlidingStats, StepScores,
 };
 use adprom_obs::{AuditLog, DeviantTransition, ForensicReport, Registry, WindowTrace};
 use adprom_trace::CallEvent;
@@ -86,6 +87,14 @@ pub struct KernelStatus {
     /// Why `effective != requested`, when it is (`None` while the
     /// requested kernel is in force).
     pub fallback_reason: Option<String>,
+    /// Scoring precision in force: `f64`, or `f32-verified` when the
+    /// guard-banded f32 fast path is scoring (sparse kernels only — dense
+    /// and beam kernels transparently stay `f64`, see
+    /// [`WindowScorer::with_precision`]).
+    pub precision: String,
+    /// Widest window-batch the scorer's batched paths hand the kernel in
+    /// one pass; `1` means windows are scored one at a time.
+    pub batch_width: u32,
 }
 
 impl Default for KernelStatus {
@@ -101,6 +110,8 @@ impl KernelStatus {
             requested: label.to_string(),
             effective: label.to_string(),
             fallback_reason: None,
+            precision: "f64".to_string(),
+            batch_width: 1,
         }
     }
 
@@ -111,6 +122,8 @@ impl KernelStatus {
             requested: requested.to_string(),
             effective: effective.to_string(),
             fallback_reason: Some(reason),
+            precision: "f64".to_string(),
+            batch_width: 1,
         }
     }
 
@@ -119,6 +132,13 @@ impl KernelStatus {
         self.fallback_reason.is_some()
     }
 }
+
+/// Lane cap for the internally batched scoring paths ([`WindowScorer::scan`],
+/// [`SessionScorer::push_facts`] in exact mode): window batches are chunked
+/// to this many lanes so the kernel's lane-major scratch
+/// (`2 × n_states × lanes` values) stays L1/L2-resident for paper-scale
+/// models while still amortizing each pass over the transition structure.
+pub(crate) const MAX_BATCH_LANES: usize = 32;
 
 /// Human-readable explanation for an alert, from the window facts that
 /// decided its flag — `(name, caller)` of the first out-of-context event
@@ -156,6 +176,11 @@ pub struct WindowScorer {
     kernel: KernelState,
     /// Requested/effective kernel and the downgrade reason, if any.
     status: KernelStatus,
+    /// Scoring precision policy (pure f64 by default).
+    precision: Precision,
+    /// The f32 mirror of the sparse kernel, built only while
+    /// [`Precision::F32Verified`] is in force over a sparse kernel.
+    fast: Option<Arc<F32Kernel>>,
     /// Metric handles (no-ops unless a registry installed live ones).
     metrics: DetectMetrics,
     /// Audit log for non-Normal detections, if any. Paths that need
@@ -175,6 +200,8 @@ impl WindowScorer {
             threshold,
             kernel: KernelState::Dense,
             status: KernelStatus::default(),
+            precision: Precision::F64,
+            fast: None,
             metrics: DetectMetrics::disabled(),
             audit: None,
         }
@@ -186,6 +213,7 @@ impl WindowScorer {
     pub fn with_kernel(mut self, config: KernelConfig) -> WindowScorer {
         self.kernel = KernelState::build(config, &self.profile);
         self.status = KernelStatus::in_force(config.label());
+        self.rebuild_fast();
         self
     }
 
@@ -213,6 +241,7 @@ impl WindowScorer {
                 );
             }
         }
+        self.rebuild_fast();
         self
     }
 
@@ -226,7 +255,49 @@ impl WindowScorer {
     ) -> WindowScorer {
         self.kernel = kernel;
         self.status = status;
+        self.rebuild_fast();
         self
+    }
+
+    /// Selects the scoring precision. [`Precision::F32Verified`] arms the
+    /// f32 fast path over sparse kernels: windows score in f32, and any
+    /// window whose f32 score lands within `guard_band` nats of the
+    /// threshold — or comes out non-finite — is rescored in f64, so the
+    /// emitted flags match the pure-f64 path whenever the true f32↔f64
+    /// score gap stays under the band (measured ≈ 1e-4 nats on
+    /// paper-scale profiles, against a 0.25-nat default band; the
+    /// precision proptests and the `bench_detect --simd` `flags_match_f64`
+    /// record pin this). Dense and beam kernels have no f32 mirror — beam
+    /// pruning decisions in f32 could diverge unboundedly — and
+    /// transparently keep scoring in f64, which
+    /// [`KernelStatus::precision`] reports.
+    pub fn with_precision(mut self, precision: Precision) -> WindowScorer {
+        self.precision = precision;
+        self.rebuild_fast();
+        self
+    }
+
+    /// (Re)derives the f32 fast kernel and the status's precision /
+    /// batch-width report from the current kernel + precision pair.
+    /// Called by every builder that changes either, so builder order
+    /// doesn't matter.
+    fn rebuild_fast(&mut self) {
+        self.fast = match (self.precision, &self.kernel) {
+            (Precision::F32Verified { .. }, KernelState::Sparse(sp)) => {
+                Some(Arc::new(F32Kernel::from_sparse(&self.profile.hmm, sp)))
+            }
+            _ => None,
+        };
+        self.status.precision = if self.fast.is_some() {
+            self.precision.label()
+        } else {
+            Precision::F64.label()
+        }
+        .to_string();
+        self.status.batch_width = match &self.kernel {
+            KernelState::Sparse(_) => MAX_BATCH_LANES as u32,
+            _ => 1,
+        };
     }
 
     /// Registers metric handles against `registry`.
@@ -265,6 +336,11 @@ impl WindowScorer {
     /// Requested/effective kernel and the downgrade reason, if any.
     pub fn status(&self) -> &KernelStatus {
         &self.status
+    }
+
+    /// The scoring precision policy in force.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// The resolved kernel (shared CSR handle).
@@ -308,10 +384,108 @@ impl WindowScorer {
         self.score_encoded(&encoded)
     }
 
+    /// Scores `k` same-profile, same-length windows in one pass over the
+    /// transition structure — the batch API. Scores are identical to
+    /// calling [`WindowScorer::score`] once per window: the batched
+    /// sparse kernel is bit-identical per lane at any batch width, and
+    /// the f32-verified fast path is batch-width independent, so batching
+    /// is purely a cache-reuse optimization. Windows of mixed lengths
+    /// must be scored individually (the kernel asserts equal lengths).
+    pub fn score_windows_batch(&self, windows: &[Vec<String>]) -> Vec<f64> {
+        let encoded: Vec<Vec<usize>> = windows
+            .iter()
+            .map(|w| self.profile.alphabet.encode_seq(w))
+            .collect();
+        let lanes: Vec<&[usize]> = encoded.iter().map(Vec::as_slice).collect();
+        self.score_batch_encoded(&lanes, false).scores
+    }
+
+    /// [`WindowScorer::score_windows_batch`] over already-encoded windows,
+    /// optionally carrying each lane's per-step factors (the forensic
+    /// path). Sparse kernels score all lanes in one pass — in f32 with
+    /// guard-band f64 rescoring under [`Precision::F32Verified`]; dense
+    /// and beam kernels score lane by lane through the scalar dispatch
+    /// (beam pruning is stateful per window, and both keep their metric
+    /// side effects), so every caller batches through this one entry
+    /// point regardless of kernel.
+    pub(crate) fn score_batch_encoded(
+        &self,
+        windows: &[&[usize]],
+        want_steps: bool,
+    ) -> BatchScores {
+        if windows.is_empty() {
+            return BatchScores {
+                scores: Vec::new(),
+                steps: want_steps.then(Vec::new),
+            };
+        }
+        match &self.kernel {
+            KernelState::Sparse(sp) => {
+                self.metrics.batch_windows.add(windows.len() as u64);
+                let (Precision::F32Verified { guard_band }, Some(fast)) =
+                    (self.precision, &self.fast)
+                else {
+                    return sparse_windows_batch(&self.profile.hmm, sp, windows, want_steps);
+                };
+                let mut out = fast.score_windows_batch(windows, want_steps);
+                let mut rescored = 0u64;
+                for (lane, window) in windows.iter().enumerate() {
+                    let s = out.scores[lane];
+                    if s.is_finite() && (s - self.threshold).abs() > guard_band {
+                        continue;
+                    }
+                    // Guard-band hit (or non-finite score): the f64 kernel
+                    // decides this window, steps included.
+                    rescored += 1;
+                    if let Some(steps) = &mut out.steps {
+                        let scored = step_scores_sparse(&self.profile.hmm, sp, window);
+                        out.scores[lane] = scored.log_likelihood;
+                        steps[lane] = scored.steps;
+                    } else {
+                        out.scores[lane] = log_likelihood_sparse(&self.profile.hmm, sp, window);
+                    }
+                }
+                self.metrics
+                    .f32_windows
+                    .add(windows.len() as u64 - rescored);
+                self.metrics.f32_rescored.add(rescored);
+                out
+            }
+            _ => {
+                let mut scores = Vec::with_capacity(windows.len());
+                let mut steps = want_steps.then(|| Vec::with_capacity(windows.len()));
+                for window in windows {
+                    if let Some(steps) = &mut steps {
+                        let scored = self.score_attributed_encoded(window);
+                        scores.push(scored.log_likelihood);
+                        steps.push(scored.steps);
+                    } else {
+                        scores.push(self.score_encoded(window));
+                    }
+                }
+                BatchScores { scores, steps }
+            }
+        }
+    }
+
     /// [`WindowScorer::score`] for an already-encoded window — trace
     /// scanners encode each trace once and score slices of it, so the
-    /// per-window cost is only the forward recursion itself.
+    /// per-window cost is only the forward recursion itself. Under
+    /// [`Precision::F32Verified`] the sparse kernel's f32 mirror scores
+    /// first; the per-lane f32 result is batch-width independent, so this
+    /// scalar path stays bit-identical to the batched one.
     fn score_encoded(&self, encoded: &[usize]) -> f64 {
+        if let (Precision::F32Verified { guard_band }, Some(fast), KernelState::Sparse(sp)) =
+            (self.precision, &self.fast, &self.kernel)
+        {
+            let s = fast.score_windows_batch(&[encoded], false).scores[0];
+            if s.is_finite() && (s - self.threshold).abs() > guard_band {
+                self.metrics.f32_windows.inc();
+                return s;
+            }
+            self.metrics.f32_rescored.inc();
+            return log_likelihood_sparse(&self.profile.hmm, sp, encoded);
+        }
         match &self.kernel {
             KernelState::Dense => log_likelihood(&self.profile.hmm, encoded),
             KernelState::Sparse(sp) => log_likelihood_sparse(&self.profile.hmm, sp, encoded),
@@ -363,6 +537,21 @@ impl WindowScorer {
     /// observations as [`WindowScorer::score`] — so a forensics-enabled
     /// session scores each window exactly once.
     pub(crate) fn score_attributed_encoded(&self, encoded: &[usize]) -> StepScores {
+        if let (Precision::F32Verified { guard_band }, Some(fast), KernelState::Sparse(sp)) =
+            (self.precision, &self.fast, &self.kernel)
+        {
+            let out = fast.score_windows_batch(&[encoded], true);
+            let s = out.scores[0];
+            if s.is_finite() && (s - self.threshold).abs() > guard_band {
+                self.metrics.f32_windows.inc();
+                return StepScores {
+                    steps: out.steps.expect("steps requested").swap_remove(0),
+                    log_likelihood: s,
+                };
+            }
+            self.metrics.f32_rescored.inc();
+            return step_scores_sparse(&self.profile.hmm, sp, encoded);
+        }
         match &self.kernel {
             KernelState::Dense => step_scores(&self.profile.hmm, encoded),
             KernelState::Sparse(sp) => step_scores_sparse(&self.profile.hmm, sp, encoded),
@@ -492,34 +681,49 @@ impl WindowScorer {
             .map(|e| self.profile.is_out_of_context(&e.name, &e.caller))
             .collect();
         let labeled: Vec<bool> = names.iter().map(|name| name.contains("_Q")).collect();
-        let mut alerts = Vec::with_capacity(events.len() - n + 1);
-        for start in 0..=events.len() - n {
-            let end = start + n;
+        let total = events.len() - n + 1;
+        let mut alerts = Vec::with_capacity(total);
+        // Windows go to the kernel in lane-capped batches: one pass over
+        // the transition structure scores up to MAX_BATCH_LANES adjacent
+        // windows (scores identical to scoring each alone — see
+        // [`WindowScorer::score_windows_batch`]).
+        let mut first = 0usize;
+        while first < total {
+            let k = MAX_BATCH_LANES.min(total - first);
+            let lanes: Vec<&[usize]> = (first..first + k).map(|s| &encoded[s..s + n]).collect();
             let timer = self.metrics.score_ns.is_enabled().then(Instant::now);
-            let ll = self.score_encoded(&encoded[start..end]);
+            let scored = self.score_batch_encoded(&lanes, false);
             if let Some(t0) = timer {
-                self.metrics
-                    .score_ns
-                    .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                // One histogram sample per window (the pinned contract),
+                // each carrying the batch's per-window share.
+                let per = u64::try_from(t0.elapsed().as_nanos() / k as u128).unwrap_or(u64::MAX);
+                for _ in 0..k {
+                    self.metrics.score_ns.record(per);
+                }
             }
-            let ooc_event = (start..end).find(|&t| ooc[t]).map(|t| &events[t]);
-            let leak_name = (start..end).find(|&t| labeled[t]).map(|t| &names[t]);
-            let flag = Flag::classify(ll, self.threshold, leak_name.is_some(), ooc_event.is_some());
-            let detail = alert_detail(
-                flag,
-                ooc_event.map(|e| (&*e.name, &*e.caller)),
-                leak_name.map(String::as_str),
-            );
-            alerts.push(self.observe(
-                Alert {
+            for (lane, ll) in scored.scores.into_iter().enumerate() {
+                let (start, end) = (first + lane, first + lane + n);
+                let ooc_event = (start..end).find(|&t| ooc[t]).map(|t| &events[t]);
+                let leak_name = (start..end).find(|&t| labeled[t]).map(|t| &names[t]);
+                let flag =
+                    Flag::classify(ll, self.threshold, leak_name.is_some(), ooc_event.is_some());
+                let detail = alert_detail(
                     flag,
-                    log_likelihood: ll,
-                    threshold: self.threshold,
-                    window: names[start..end].to_vec(),
-                    detail,
-                },
-                session,
-            ));
+                    ooc_event.map(|e| (&*e.name, &*e.caller)),
+                    leak_name.map(String::as_str),
+                );
+                alerts.push(self.observe(
+                    Alert {
+                        flag,
+                        log_likelihood: ll,
+                        threshold: self.threshold,
+                        window: names[start..end].to_vec(),
+                        detail,
+                    },
+                    session,
+                ));
+            }
+            first += k;
         }
         alerts
     }
@@ -855,9 +1059,12 @@ impl SessionScorer {
 
     /// Replays a batch of digested facts, appending each window's alert
     /// to `out` — the monitor runtime's flush path. Alert-equivalent to
-    /// calling [`SessionScorer::push`] once per fact, but the kernel
-    /// resolution and the per-event `Option` round-trip are hoisted out
-    /// of the loop.
+    /// calling [`SessionScorer::push`] once per fact; exact mode
+    /// additionally hands every window that completes during the batch to
+    /// the kernel in one lane-capped pass
+    /// ([`WindowScorer::score_batch_encoded`]), which is how multiplexed
+    /// sessions sharing an app profile batch naturally — the scores are
+    /// identical to scoring each window alone.
     pub(crate) fn push_facts(
         &mut self,
         scorer: &WindowScorer,
@@ -866,14 +1073,62 @@ impl SessionScorer {
         out: &mut Vec<Alert>,
     ) {
         match self.mode {
-            // Exact mode rescores the full window per event; the per-event
-            // plumbing is noise next to that.
             ScoringMode::ExactWindows => {
-                for fact in facts {
-                    if let Some(alert) = self.push_fact(scorer, fact.clone(), session) {
-                        out.push(alert);
-                    }
+                assert!(!self.done, "session already finalized");
+                if facts.is_empty() {
+                    return;
                 }
+                let w = self.window;
+                // One contiguous view of ring + incoming facts: every
+                // window completing during this batch is a slice of it.
+                let mut combined: Vec<WindowEvent> =
+                    Vec::with_capacity(self.ring.len() + facts.len());
+                combined.extend(self.ring.iter().cloned());
+                combined.extend_from_slice(facts);
+                let encoded: Vec<usize> = combined.iter().map(|f| f.encoded).collect();
+                // The window ending at combined[e] completes once e+1 ≥ w;
+                // only windows ending at one of this batch's facts are new.
+                let first_fact = combined.len() - facts.len();
+                let want_steps = self.flight.is_some();
+                let mut end = first_fact.max(w.saturating_sub(1));
+                while end < combined.len() {
+                    let k = MAX_BATCH_LANES.min(combined.len() - end);
+                    let lanes: Vec<&[usize]> =
+                        (end..end + k).map(|e| &encoded[e + 1 - w..=e]).collect();
+                    let timer = scorer.metrics().score_ns.is_enabled().then(Instant::now);
+                    let scored = scorer.score_batch_encoded(&lanes, want_steps);
+                    if let Some(t0) = timer {
+                        // One sample per window, carrying the batch's
+                        // per-window share (the pinned count contract).
+                        let per =
+                            u64::try_from(t0.elapsed().as_nanos() / k as u128).unwrap_or(u64::MAX);
+                        for _ in 0..k {
+                            scorer.metrics().score_ns.record(per);
+                        }
+                    }
+                    let mut lane_steps = scored.steps.map(Vec::into_iter);
+                    for (lane, ll) in scored.scores.into_iter().enumerate() {
+                        let e = end + lane;
+                        let steps = lane_steps.as_mut().and_then(Iterator::next);
+                        out.push(Self::emit_window(
+                            self.mode,
+                            &mut self.flight,
+                            scorer,
+                            ll,
+                            session,
+                            steps,
+                            &combined[e + 1 - w..=e],
+                        ));
+                    }
+                    end += k;
+                }
+                // Advance the ring to the post-batch state: the last ≤ w
+                // events, exactly as per-fact pushes would have left it.
+                self.seen += facts.len();
+                let keep = combined.len().min(w);
+                let tail = combined.len() - keep;
+                self.ring.clear();
+                self.ring.extend(combined.drain(tail..));
             }
             ScoringMode::Incremental => {
                 assert!(!self.done, "session already finalized");
@@ -955,14 +1210,37 @@ impl SessionScorer {
         session: &str,
         steps: Option<Vec<f64>>,
     ) -> Alert {
+        self.ring.make_contiguous();
+        let (window, _) = self.ring.as_slices();
+        Self::emit_window(
+            self.mode,
+            &mut self.flight,
+            scorer,
+            ll,
+            session,
+            steps,
+            window,
+        )
+    }
+
+    /// [`SessionScorer::emit`] over an explicit window slice — the batched
+    /// replay path emits windows that live in its combined ring+facts
+    /// buffer rather than the ring, so this takes the recorder and mode as
+    /// split borrows instead of `&mut self`.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_window(
+        mode: ScoringMode,
+        flight: &mut Option<Box<FlightRecorder>>,
+        scorer: &WindowScorer,
+        ll: f64,
+        session: &str,
+        steps: Option<Vec<f64>>,
+        window: &[WindowEvent],
+    ) -> Alert {
         let profile = scorer.profile();
-        let names: Vec<String> = self
-            .ring
-            .iter()
-            .map(|f| f.name(profile).to_string())
-            .collect();
-        let ooc = self.ring.iter().find(|f| f.ooc);
-        let leak = self.ring.iter().find(|f| f.labeled);
+        let names: Vec<String> = window.iter().map(|f| f.name(profile).to_string()).collect();
+        let ooc = window.iter().find(|f| f.ooc);
+        let leak = window.iter().find(|f| f.labeled);
         let flag = Flag::classify(ll, scorer.threshold(), leak.is_some(), ooc.is_some());
         let detail = alert_detail(
             flag,
@@ -976,7 +1254,7 @@ impl SessionScorer {
             window: names,
             detail,
         };
-        if let Some(flight) = &mut self.flight {
+        if let Some(flight) = flight {
             let threshold = scorer.threshold();
             let index = flight.emitted;
             flight.emitted += 1;
@@ -999,21 +1277,21 @@ impl SessionScorer {
                         log_likelihood: ll,
                     },
                     None => {
-                        let encoded: Vec<usize> = self.ring.iter().map(|f| f.encoded).collect();
+                        let encoded: Vec<usize> = window.iter().map(|f| f.encoded).collect();
                         scorer.attribution_encoded(&encoded)
                     }
                 };
-                let share = threshold / self.ring.len().max(1) as f64;
+                let share = threshold / window.len().max(1) as f64;
                 let mut ranked: Vec<DeviantTransition> = scored
                     .steps
                     .iter()
                     .enumerate()
                     .map(|(t, &log_prob)| DeviantTransition {
                         step: t,
-                        call: self.ring[t].name(profile).to_string(),
+                        call: window[t].name(profile).to_string(),
                         from: t
                             .checked_sub(1)
-                            .map(|p| self.ring[p].name(profile).to_string()),
+                            .map(|p| window[p].name(profile).to_string()),
                         log_prob,
                         deficit: log_prob - share,
                     })
@@ -1021,7 +1299,7 @@ impl SessionScorer {
                 ranked.sort_by(|a, b| a.log_prob.total_cmp(&b.log_prob).then(a.step.cmp(&b.step)));
                 ranked.truncate(flight.config.top_k.max(1));
                 flight.pending.push(ForensicReport {
-                    mode: match self.mode {
+                    mode: match mode {
                         ScoringMode::ExactWindows => "exact_windows",
                         ScoringMode::Incremental => "incremental",
                     }

@@ -40,6 +40,16 @@ pub struct DetectMetrics {
     /// `detect.kernel.beam` — flagged windows scored with beam pruning
     /// (scores approximate, bounded by `beam.gap_bound_micronats_max`).
     pub kernel_beam: Counter,
+    /// `detect.kernel.batch_windows` — windows scored through the batched
+    /// sparse kernel (any precision); `windows_scored` minus this is the
+    /// lane-by-lane remainder (dense/beam kernels, short windows).
+    pub batch_windows: Counter,
+    /// `detect.kernel.f32_windows` — windows whose f32 fast-path score was
+    /// accepted (landed outside the guard band around the threshold).
+    pub f32_windows: Counter,
+    /// `detect.kernel.f32_rescored` — windows rescored in f64 because the
+    /// f32 score landed inside the guard band (or was non-finite).
+    pub f32_rescored: Counter,
     /// `beam.windows_pruned` — beam-scored windows where at least one
     /// state was pruned from α.
     pub beam_windows_pruned: Counter,
@@ -68,6 +78,9 @@ impl DetectMetrics {
             kernel_dense: registry.counter("detect.kernel.dense"),
             kernel_sparse: registry.counter("detect.kernel.sparse"),
             kernel_beam: registry.counter("detect.kernel.beam"),
+            batch_windows: registry.counter("detect.kernel.batch_windows"),
+            f32_windows: registry.counter("detect.kernel.f32_windows"),
+            f32_rescored: registry.counter("detect.kernel.f32_rescored"),
             beam_windows_pruned: registry.counter("beam.windows_pruned"),
             beam_gap_bound_max: registry.gauge("beam.gap_bound_micronats_max"),
         }

@@ -17,6 +17,26 @@ pub struct ForwardPass {
     pub log_likelihood: f64,
 }
 
+/// `cur[j] += prev_i * row[j]`, unrolled by 8. The per-element operation is
+/// exactly the scalar axpy the recursions always performed (independent
+/// elements, no reassociation), so results stay bit-identical while the
+/// chunked shape gives the autovectorizer straight-line packed
+/// multiply-adds (DESIGN.md §15 records the `--emit=asm` inspection).
+#[inline]
+pub(crate) fn axpy_row(cur: &mut [f64], row: &[f64], prev_i: f64) {
+    debug_assert_eq!(cur.len(), row.len());
+    let mut cur_c = cur.chunks_exact_mut(8);
+    let mut row_c = row.chunks_exact(8);
+    for (c8, a8) in cur_c.by_ref().zip(row_c.by_ref()) {
+        for (c, a_ij) in c8.iter_mut().zip(a8) {
+            *c += prev_i * a_ij;
+        }
+    }
+    for (c, a_ij) in cur_c.into_remainder().iter_mut().zip(row_c.remainder()) {
+        *c += prev_i * a_ij;
+    }
+}
+
 /// Runs the scaled forward algorithm. Panics in debug builds if symbols are
 /// out of range; callers validate with [`Hmm::check_observations`].
 #[allow(clippy::needless_range_loop)] // dense recursions index several arrays in lock-step
@@ -62,10 +82,7 @@ pub fn forward(hmm: &Hmm, obs: &[usize]) -> ForwardPass {
             if prev_i == 0.0 {
                 continue;
             }
-            let row = hmm.a_row(i);
-            for (c, &a_ij) in cur.iter_mut().zip(row) {
-                *c += prev_i * a_ij;
-            }
+            axpy_row(cur, hmm.a_row(i), prev_i);
         }
         let mut sum = 0.0;
         for (j, c) in cur.iter_mut().enumerate() {
@@ -164,10 +181,7 @@ pub fn step_scores(hmm: &Hmm, obs: &[usize]) -> StepScores {
             if prev_i == 0.0 {
                 continue;
             }
-            let row = hmm.a_row(i);
-            for (c, &a_ij) in cur.iter_mut().zip(row) {
-                *c += prev_i * a_ij;
-            }
+            axpy_row(&mut cur, hmm.a_row(i), prev_i);
         }
         let mut sum = 0.0;
         for (j, c) in cur.iter_mut().enumerate() {

@@ -16,13 +16,19 @@
 //! provides [`SparseTransitions`]: a CSR transition kernel that drops the
 //! per-event constant to O(nnz + N) — exactly for smoothed pCTM models via
 //! the background + deviation decomposition — plus optional beam pruning
-//! with a sound log-likelihood error bound.
+//! with a sound log-likelihood error bound. [`batch`] layers a lane-major
+//! cross-window kernel on top ([`score_windows_batch`]): k same-profile
+//! windows scored in one pass over the transition structure, each lane
+//! bit-identical to the scalar kernel, with an f32 fast path
+//! ([`F32Kernel`], [`Precision`]) whose flags are verified against f64
+//! near the decision threshold.
 //!
 //! Models can be initialized randomly (the Rand-HMM baseline) or from the
 //! statically computed pCTM (done in `adprom-core`).
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod baumwelch;
 pub mod forward;
 pub mod model;
@@ -30,6 +36,7 @@ pub mod sliding;
 pub mod sparse;
 pub mod viterbi;
 
+pub use batch::{score_windows_batch, BatchScores, F32Kernel, Precision};
 pub use baumwelch::{
     mean_log_likelihood, reestimate, reestimate_with_config, train, TrainConfig, TrainReport,
 };

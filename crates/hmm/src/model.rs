@@ -118,6 +118,22 @@ impl Hmm {
         (0..self.n).map(|i| self.b_row(i))
     }
 
+    /// B transposed to symbol-major: `out[k * n + j] = b(j, k)`. The
+    /// scoring kernels read one emission *column* per event; symbol-major
+    /// storage turns those `n` strided loads into one contiguous slice
+    /// (`&out[k * n..(k + 1) * n]`), which is what the SoA kernels in
+    /// `sparse`/`batch` stream.
+    pub fn b_transposed(&self) -> Vec<f64> {
+        let (n, m) = (self.n, self.m);
+        let mut bt = vec![0.0f64; m * n];
+        for (k, chunk) in bt.chunks_exact_mut(n).enumerate() {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = self.b(j, k);
+            }
+        }
+        bt
+    }
+
     /// Builds a model from nested rows, validating shape and stochasticity.
     pub fn new(a: Vec<Vec<f64>>, b: Vec<Vec<f64>>, pi: Vec<f64>) -> Result<Hmm, HmmError> {
         let hmm = Hmm::try_from_rows(a, b, pi)?;

@@ -199,10 +199,7 @@ impl SlidingState {
                         if alpha_i == 0.0 {
                             continue;
                         }
-                        let row = hmm.a_row(i);
-                        for (acc, &a_ij) in self.scratch.iter_mut().zip(row) {
-                            *acc += alpha_i * a_ij;
-                        }
+                        crate::forward::axpy_row(&mut self.scratch, hmm.a_row(i), alpha_i);
                     }
                 }
             }

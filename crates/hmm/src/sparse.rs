@@ -103,40 +103,40 @@ pub struct SparseStats {
 /// share across worker threads behind an `Arc`.
 #[derive(Debug, Clone)]
 pub struct SparseTransitions {
-    n: usize,
+    pub(crate) n: usize,
     /// CSR row pointers into `col`/`val`/`dev`/`log_val` (length `n + 1`).
-    row_start: Vec<usize>,
+    pub(crate) row_start: Vec<usize>,
     /// Destination state of each stored entry.
-    col: Vec<u32>,
+    pub(crate) col: Vec<u32>,
     /// Full transition probability `a_ij` of each stored entry.
-    val: Vec<f64>,
+    pub(crate) val: Vec<f64>,
     /// Deviation `a_ij − background_i` of each stored entry.
-    dev: Vec<f64>,
+    pub(crate) dev: Vec<f64>,
     /// `ln a_ij` of each stored entry (for Viterbi).
-    log_val: Vec<f64>,
+    pub(crate) log_val: Vec<f64>,
     /// Per-row background `c_i` (the folded minimum; 0 for dense rows and
     /// rows whose minimum is a true zero).
-    background: Vec<f64>,
+    pub(crate) background: Vec<f64>,
     /// `ln c_i` (`-inf` where the background is zero).
-    log_background: Vec<f64>,
+    pub(crate) log_background: Vec<f64>,
     /// Transposed (CSC) column pointers into `trow`/`tdev` (length `n + 1`).
     /// Within a column, sources are stored in ascending row order. Dense
     /// fallback rows are excluded — they live in `dense_idx`/`dense_val`.
-    tcol_start: Vec<usize>,
+    pub(crate) tcol_start: Vec<usize>,
     /// Source state of each transposed entry.
-    trow: Vec<u32>,
+    pub(crate) trow: Vec<u32>,
     /// Deviation of each transposed entry (same values as `dev`, reordered).
-    tdev: Vec<f64>,
+    pub(crate) tdev: Vec<f64>,
     /// Row indices of dense fallback rows.
-    dense_idx: Vec<u32>,
+    pub(crate) dense_idx: Vec<u32>,
     /// Full `n`-wide rows of each dense fallback row, concatenated, so the
     /// forward gather can apply them as contiguous (vectorizable) axpys
     /// instead of `n` scattered CSC entries each.
-    dense_val: Vec<f64>,
+    pub(crate) dense_val: Vec<f64>,
     /// Emission matrix transposed to symbol-major (`bt[k * n + j] =
     /// b(j, k)`), so the per-event emission multiply reads one contiguous
     /// slice instead of `n` loads strided by the alphabet size.
-    bt: Vec<f64>,
+    pub(crate) bt: Vec<f64>,
     stats: SparseStats,
 }
 
@@ -238,13 +238,7 @@ impl SparseTransitions {
                 cursor[col[k] as usize] += 1;
             }
         }
-        let m = hmm.n_symbols();
-        let mut bt = vec![0.0f64; m * n];
-        for (k, chunk) in bt.chunks_exact_mut(n).enumerate() {
-            for (j, slot) in chunk.iter_mut().enumerate() {
-                *slot = hmm.b(j, k);
-            }
-        }
+        let bt = hmm.b_transposed();
         let stats = SparseStats {
             nnz,
             dense_rows,
@@ -354,8 +348,13 @@ impl SparseTransitions {
     }
 
     /// Symbol-major emission column: `emission_col(k)[j] == b(j, k)`.
+    ///
+    /// The debug assert documents (and checks, in debug builds) the range
+    /// invariant the release-mode slice relies on; callers index with
+    /// encoded symbols that are in-range by construction.
     #[inline]
     pub fn emission_col(&self, symbol: usize) -> &[f64] {
+        debug_assert!((symbol + 1) * self.n <= self.bt.len(), "symbol in range");
         &self.bt[symbol * self.n..(symbol + 1) * self.n]
     }
 
@@ -390,9 +389,23 @@ impl SparseTransitions {
     /// followed by one contiguous axpy per dense fallback row — those rows
     /// would otherwise contribute `n` scattered entries each, and as
     /// contiguous slices the compiler can vectorize them.
+    /// Bounds are hoisted once per call (the asserts below), so every inner
+    /// loop runs over provably in-range slices; the dense-fallback axpy is
+    /// unrolled by 8 so the autovectorizer emits packed multiply-adds (see
+    /// DESIGN.md §15 for the `--emit=asm` inspection notes). The reductions
+    /// (background dot, per-column gather) deliberately stay single-chain,
+    /// in index order: every bit-identity pin in this crate relies on the
+    /// scalar kernels accumulating in one fixed order. The cross-window
+    /// batch kernel in [`crate::batch`] is where reductions vectorize —
+    /// across lanes, never within one.
+    #[inline]
     pub fn propagate(&self, alpha: &[f64], out: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(alpha.len(), n);
+        assert_eq!(out.len(), n);
+        let background = &self.background[..n];
         let mut base = 0.0;
-        for (a, bg) in alpha.iter().zip(&self.background) {
+        for (a, bg) in alpha.iter().zip(background) {
             base += a * bg;
         }
         for (j, o) in out.iter_mut().enumerate() {
@@ -403,10 +416,17 @@ impl SparseTransitions {
             }
             *o = acc;
         }
-        let n = self.n;
         for (k, &i) in self.dense_idx.iter().enumerate() {
             let a = alpha[i as usize];
-            for (o, v) in out.iter_mut().zip(&self.dense_val[k * n..(k + 1) * n]) {
+            let row = &self.dense_val[k * n..(k + 1) * n];
+            let mut out_c = out.chunks_exact_mut(8);
+            let mut row_c = row.chunks_exact(8);
+            for (o8, v8) in out_c.by_ref().zip(row_c.by_ref()) {
+                for (o, v) in o8.iter_mut().zip(v8) {
+                    *o += a * v;
+                }
+            }
+            for (o, v) in out_c.into_remainder().iter_mut().zip(row_c.remainder()) {
                 *o += a * v;
             }
         }
@@ -414,11 +434,19 @@ impl SparseTransitions {
 
     /// `out[i] = Σ_j a(i,j) · x[j]` — the backward gather step,
     /// O(nnz + N) via the row-sum identity `Σ_j a_ij·x_j = c_i·Σx + Σ d·x`.
+    /// As with [`propagate`](SparseTransitions::propagate): slice lengths
+    /// asserted once per call, per-row gathers kept in stored-entry order
+    /// so the result stays bit-stable across refactors.
+    #[inline]
     pub fn back_apply(&self, x: &[f64], out: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(x.len(), n);
+        assert_eq!(out.len(), n);
+        let background = &self.background[..n];
         let total: f64 = x.iter().sum();
         for (i, o) in out.iter_mut().enumerate() {
             let (s, e) = (self.row_start[i], self.row_start[i + 1]);
-            let mut acc = self.background[i] * total;
+            let mut acc = background[i] * total;
             for (c, d) in self.col[s..e].iter().zip(&self.dev[s..e]) {
                 acc += d * x[*c as usize];
             }

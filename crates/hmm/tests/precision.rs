@@ -1,0 +1,152 @@
+//! Property tests for the batched scoring kernels and the f32 fast path:
+//! batch scores must be bit-identical to the scalar sparse kernel at any
+//! batch width, and the f32↔f64 raw-score gap must stay far inside the
+//! guard band that triggers f64 rescoring.
+
+use adprom_hmm::{
+    log_likelihood_sparse, score_windows_batch, F32Kernel, Hmm, Precision, SparseConfig,
+    SparseTransitions,
+};
+use proptest::prelude::*;
+
+/// An arbitrary small stochastic model.
+fn arb_hmm(max_n: usize, max_m: usize) -> impl Strategy<Value = Hmm> {
+    (1..=max_n, 1..=max_m, any::<u64>()).prop_map(|(n, m, seed)| Hmm::random(n, m, seed))
+}
+
+/// Case count: `PROPTEST_CASES` when set (CI runs this suite at 512),
+/// else the local default.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `count` same-length windows sampled from the model.
+fn sample_windows(hmm: &Hmm, count: usize, len: usize, seed: u64) -> Vec<Vec<usize>> {
+    (0..count as u64)
+        .map(|i| hmm.sample(len, seed ^ (0x9E37_79B9 ^ i.wrapping_mul(0x85EB_CA6B))))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+
+    /// The batched f64 kernel is bit-identical (`==`, not approximately)
+    /// to the scalar rolling sparse scorer in every lane, at every batch
+    /// width — including widths past the 32-lane split and models with
+    /// structural zeros where lanes die to −∞.
+    #[test]
+    fn batch_f64_bit_identical_to_scalar(
+        hmm in arb_hmm(6, 5), seed in any::<u64>(), len in 1usize..24,
+        count in 1usize..40, smooth in any::<bool>(),
+    ) {
+        let mut hmm = hmm;
+        if smooth {
+            hmm.smooth(1e-4);
+        }
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let windows = sample_windows(&hmm, count, len, seed);
+        let lanes: Vec<&[usize]> = windows.iter().map(Vec::as_slice).collect();
+        let batch = score_windows_batch(&hmm, &sp, &lanes, false);
+        prop_assert_eq!(batch.scores.len(), count);
+        for (lane, w) in windows.iter().enumerate() {
+            let scalar = log_likelihood_sparse(&hmm, &sp, w);
+            prop_assert!(
+                batch.scores[lane] == scalar
+                    || (batch.scores[lane].is_nan() && scalar.is_nan()),
+                "lane {lane}: batch {} vs scalar {scalar}", batch.scores[lane]
+            );
+        }
+    }
+
+    /// Batch width never changes a score: scoring the same windows one at
+    /// a time, in pairs, or all at once yields bit-identical results —
+    /// the lane-local recursion makes batching purely a cache-reuse
+    /// optimization, for the f64 and the f32 kernel alike.
+    #[test]
+    fn batch_width_is_score_invariant(
+        hmm in arb_hmm(6, 5), seed in any::<u64>(), len in 1usize..20,
+        count in 2usize..24, split in 1usize..8,
+    ) {
+        let mut hmm = hmm;
+        hmm.smooth(1e-4);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let fk = F32Kernel::from_sparse(&hmm, &sp);
+        let windows = sample_windows(&hmm, count, len, seed);
+        let lanes: Vec<&[usize]> = windows.iter().map(Vec::as_slice).collect();
+
+        let all64 = score_windows_batch(&hmm, &sp, &lanes, false).scores;
+        let all32 = fk.score_windows_batch(&lanes, false).scores;
+        let mut chunked64 = Vec::new();
+        let mut chunked32 = Vec::new();
+        for chunk in lanes.chunks(split) {
+            chunked64.extend(score_windows_batch(&hmm, &sp, chunk, false).scores);
+            chunked32.extend(fk.score_windows_batch(chunk, false).scores);
+        }
+        for lane in 0..count {
+            prop_assert!(all64[lane] == chunked64[lane],
+                "f64 lane {lane}: width {count} gave {} vs width {split} {}",
+                all64[lane], chunked64[lane]);
+            prop_assert!(all32[lane] == chunked32[lane],
+                "f32 lane {lane}: width {count} gave {} vs width {split} {}",
+                all32[lane], chunked32[lane]);
+        }
+    }
+
+    /// Per-step factor traces from the batch kernel match the scalar
+    /// scorer's totals: each lane's steps sum to its score.
+    #[test]
+    fn batch_steps_sum_to_scores(
+        hmm in arb_hmm(5, 4), seed in any::<u64>(), len in 1usize..16,
+        count in 1usize..10,
+    ) {
+        let mut hmm = hmm;
+        hmm.smooth(1e-4);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let windows = sample_windows(&hmm, count, len, seed);
+        let lanes: Vec<&[usize]> = windows.iter().map(Vec::as_slice).collect();
+        let batch = score_windows_batch(&hmm, &sp, &lanes, true);
+        let steps = batch.steps.expect("want_steps = true");
+        for (lane, lane_steps) in steps.iter().enumerate() {
+            prop_assert_eq!(lane_steps.len(), len);
+            let total: f64 = lane_steps.iter().sum();
+            prop_assert!((total - batch.scores[lane]).abs() < 1e-9,
+                "lane {lane}: steps sum {total} vs score {}", batch.scores[lane]);
+        }
+    }
+
+    /// The tolerance bound that justifies the default guard band: on
+    /// smoothed models the f32 kernel's raw score stays within a small
+    /// per-step error of the f64 score — orders of magnitude inside the
+    /// 0.25-nat guard band, so a window can only be misranked by f32 when
+    /// it already sits inside the band that forces an f64 rescore.
+    #[test]
+    fn f32_score_gap_is_bounded(
+        hmm in arb_hmm(8, 6), seed in any::<u64>(), len in 1usize..40,
+        count in 1usize..12,
+    ) {
+        let mut hmm = hmm;
+        hmm.smooth(1e-4);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let fk = F32Kernel::from_sparse(&hmm, &sp);
+        let windows = sample_windows(&hmm, count, len, seed);
+        let lanes: Vec<&[usize]> = windows.iter().map(Vec::as_slice).collect();
+        let exact = score_windows_batch(&hmm, &sp, &lanes, false).scores;
+        let fast = fk.score_windows_batch(&lanes, false).scores;
+        // Worst case per settled step: the ~1-ulp polynomial ln plus f32
+        // accumulation noise across the α vector. 1e-4 nats/step is a
+        // loose envelope; observed gaps sit near 1e-6.
+        let bound = 1e-4 * len as f64;
+        for lane in 0..count {
+            prop_assert!(exact[lane].is_finite(), "smoothed model scored -inf");
+            let gap = (fast[lane] - exact[lane]).abs();
+            prop_assert!(gap <= bound,
+                "lane {lane}: |f32 - f64| = {gap} exceeds {bound} (f32 {} vs f64 {})",
+                fast[lane], exact[lane]);
+            prop_assert!(gap < Precision::DEFAULT_GUARD_BAND / 100.0,
+                "lane {lane}: gap {gap} is not safely inside the guard band");
+        }
+    }
+}
