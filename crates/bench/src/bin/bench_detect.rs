@@ -48,6 +48,13 @@
 //!   reports per attack family, dump the records to
 //!   `FORENSICS_detect.jsonl`, and record the forensics-enabled
 //!   benign-path throughput against the disabled runtime.
+//! * `--overload` — replay the attack corpus plus the benign training
+//!   sessions through an overload-controlled `MonitorRuntime` whose
+//!   scoring budget is half its hard ingest bound (sustained 2× load),
+//!   *assert* session recall of 1.0 against the unconstrained run,
+//!   bit-identical tier histories at 1/4/8 threads, and a queue
+//!   high-water at or under the bound; record the per-tier assignment
+//!   and window partitions plus a DropNewest shed sub-run.
 
 use adprom_analysis::analyze;
 use adprom_attacks::{
@@ -57,9 +64,10 @@ use adprom_attacks::{
 use adprom_core::resilience::sites;
 use adprom_core::{
     apply_ingest_faults, build_profile, init_from_pctm, trace_windows, Alert, BatchDetector,
-    ConstructorConfig, DetectionEngine, FaultKind, FaultPlan, Flag, ForensicsConfig, Health,
-    HealthMonitor, KernelConfig, MonitorRuntime, Precision, ProfileRegistry, RuntimeConfig,
-    ScoringMode, SessionEnd, TraceStatus, Trigger,
+    ConstructorConfig, DetectionEngine, FaultInjector, FaultKind, FaultPlan, Flag, ForensicsConfig,
+    Health, HealthMonitor, KernelConfig, MonitorRuntime, OverloadConfig, Precision,
+    ProfileRegistry, RuntimeConfig, ScoringMode, ScoringTier, SessionEnd, SessionReport,
+    ShedPolicy, TraceStatus, Trigger,
 };
 use adprom_hmm::{
     log_likelihood_sparse, score_windows_batch, train, BeamConfig, F32Kernel, Hmm, SparseConfig,
@@ -141,6 +149,158 @@ fn append_history(path: &str, entry: &str) {
     std::fs::write(path, &history).expect("write BENCH_detect.json");
 }
 
+/// The §V-C attack corpus shared by the `--forensics` and `--overload`
+/// gates: banking + hospital profiles, one attacked session per mutant
+/// test case (plus the SQL-injection input on the unmodified banking
+/// binary), and the apps' own training sessions as the benign load.
+struct AttackCorpus {
+    profiles: Arc<ProfileRegistry>,
+    attack_sessions: Vec<(String, String, Vec<CallEvent>)>,
+    benign_sessions: Vec<(String, String, Vec<CallEvent>)>,
+}
+
+fn build_attack_corpus(
+    cases: usize,
+    corpus_cases: usize,
+    max_iterations: usize,
+    kernel: Option<KernelConfig>,
+) -> AttackCorpus {
+    let mut corpus_config = ConstructorConfig::default();
+    corpus_config.train.max_iterations = max_iterations;
+    if kernel.is_some() {
+        // Kernelled corpora flatten Baum–Welch's floor dust so the CSR
+        // decomposition is sparse (and, at ε = 0, exact).
+        corpus_config.flatten_epsilon = 1e-4;
+    }
+
+    struct CorpusApp {
+        name: &'static str,
+        workload: Workload,
+        analysis: adprom_analysis::Analysis,
+        traces: Vec<Vec<CallEvent>>,
+        profile: adprom_core::Profile,
+    }
+    let corpus_apps: Vec<CorpusApp> = [
+        ("banking", banking::workload(cases, 0x7AB1)),
+        ("hospital", hospital::workload(cases, 9)),
+    ]
+    .into_iter()
+    .map(|(name, w)| {
+        let analysis = analyze(&w.program);
+        let traces = w.collect_traces(&analysis.site_labels);
+        let (app_profile, _) =
+            build_profile(&format!("App_{name}"), &analysis, &traces, &corpus_config);
+        CorpusApp {
+            name,
+            workload: w,
+            analysis,
+            traces,
+            profile: app_profile,
+        }
+    })
+    .collect();
+
+    // The §V-C program mutators per app; attack 5 is a malicious input
+    // on the unmodified banking binary. A mutator that finds no target
+    // in an app (e.g. no reusable print) simply contributes no family.
+    let mut families: Vec<(String, &'static str, Vec<Vec<CallEvent>>)> = Vec::new();
+    for app in &corpus_apps {
+        let query = format!(
+            "SELECT * FROM {}",
+            if app.name == "banking" {
+                "clients"
+            } else {
+                "patients"
+            }
+        );
+        let mutants = [
+            (
+                "attack1",
+                attack1_insert_similar_print(&app.workload.program),
+            ),
+            (
+                "attack2",
+                attack2_new_call_in_function(&app.workload.program, &query),
+            ),
+            ("attack3", attack3_reuse_print(&app.workload.program)),
+            (
+                "attack4",
+                attack4_binary_patch(&app.workload.program, &query),
+            ),
+        ];
+        for (attack, outcome) in mutants {
+            let Some(outcome) = outcome else { continue };
+            let attacked = Workload {
+                name: app.workload.name.clone(),
+                dbms: app.workload.dbms,
+                program: outcome.program,
+                make_db: app.workload.make_db,
+                test_cases: app.workload.test_cases.clone(),
+            };
+            // Detection-time instrumentation re-analyzes the mutant.
+            let attacked_analysis = analyze(&attacked.program);
+            let attacked_traces: Vec<Vec<CallEvent>> = attacked
+                .test_cases
+                .iter()
+                .take(corpus_cases)
+                .map(|case| attacked.run_case(case, &attacked_analysis.site_labels))
+                .collect();
+            families.push((format!("{}/{attack}", app.name), app.name, attacked_traces));
+        }
+    }
+    let banking_app = &corpus_apps[0];
+    families.push((
+        "banking/attack5".to_string(),
+        "banking",
+        vec![banking_app.workload.run_case(
+            &banking::injection_case(),
+            &banking_app.analysis.site_labels,
+        )],
+    ));
+
+    let profiles = {
+        let corpus_registry = match kernel {
+            Some(config) => ProfileRegistry::new().with_kernel(config),
+            None => ProfileRegistry::new(),
+        };
+        for app in &corpus_apps {
+            corpus_registry
+                .register(app.name, app.profile.clone())
+                .expect("corpus profile validates");
+        }
+        Arc::new(corpus_registry)
+    };
+
+    // One attacked session per collected trace; sessions are named
+    // `<app>/<attack>#<case>` so records group back to their family.
+    let attack_sessions: Vec<(String, String, Vec<CallEvent>)> = families
+        .iter()
+        .flat_map(|(family, app, attacked_traces)| {
+            attacked_traces
+                .iter()
+                .enumerate()
+                .map(move |(i, t)| (app.to_string(), format!("{family}#{i}"), t.clone()))
+        })
+        .collect();
+    let benign_sessions: Vec<(String, String, Vec<CallEvent>)> = corpus_apps
+        .iter()
+        .flat_map(|app| {
+            app.traces.iter().enumerate().map(move |(i, t)| {
+                (
+                    app.name.to_string(),
+                    format!("{}-benign-{i}", app.name),
+                    t.clone(),
+                )
+            })
+        })
+        .collect();
+    AttackCorpus {
+        profiles,
+        attack_sessions,
+        benign_sessions,
+    }
+}
+
 fn main() {
     let mut metrics_out: Option<String> = None;
     let mut smoke = false;
@@ -150,6 +310,7 @@ fn main() {
     let mut multiapp = false;
     let mut forensics = false;
     let mut simd = false;
+    let mut overload = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -163,11 +324,12 @@ fn main() {
             "--faults" => faults = true,
             "--multiapp" => multiapp = true,
             "--forensics" => forensics = true,
+            "--overload" => overload = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: bench_detect [--smoke] [--sparse] [--beam] [--simd] [--faults] \
-                     [--multiapp] [--forensics] [--metrics-out <path>]"
+                     [--multiapp] [--forensics] [--overload] [--metrics-out <path>]"
                 );
                 std::process::exit(2);
             }
@@ -188,7 +350,9 @@ fn main() {
     // One label per run shape: history entries carry it so gates select
     // the latest entry per (workload, mode) instead of guessing by tail
     // position across heterogeneous runs.
-    let mode_label = if simd {
+    let mode_label = if overload {
+        "overload"
+    } else if simd {
         "simd"
     } else if multiapp {
         "multiapp"
@@ -440,6 +604,47 @@ fn main() {
         assert_eq!(recovered as u64, injector.injected(sites::WORKER_PANIC));
         assert_eq!(health.state(), Health::Degraded);
 
+        // Queue-overflow fail point: stream the screened sessions through
+        // a MonitorRuntime whose hard ingest bound is tripped by injected
+        // QueueOverflow faults every few events. The forced backpressure
+        // flushes reshape the batch boundaries but must not change a
+        // single verdict versus the fault-free streaming run.
+        let overflow_sessions: Vec<(String, String, Vec<CallEvent>)> = screened
+            .sessions
+            .iter()
+            .zip(&screened.traces)
+            .map(|(s, t)| ("hospital".to_string(), s.clone(), t.clone()))
+            .collect();
+        let overflow_stream = interleave(&overflow_sessions, 0x0F10);
+        let run_stream = |injector: Option<&FaultInjector>| -> String {
+            let stream_profiles = ProfileRegistry::new();
+            stream_profiles
+                .register("hospital", profile.clone())
+                .expect("profile validates");
+            let mut runtime = MonitorRuntime::new(Arc::new(stream_profiles));
+            if let Some(injector) = injector {
+                runtime = runtime.with_faults(injector);
+            }
+            runtime.ingest_stream(&overflow_stream);
+            format!("{:?}", runtime.finish())
+        };
+        let overflow_injector = FaultPlan::new(43)
+            .inject(
+                sites::MONITOR_QUEUE_OVERFLOW,
+                FaultKind::QueueOverflow,
+                Trigger::EveryNth(7),
+            )
+            .arm();
+        let clean_verdicts = run_stream(None);
+        let overflow_verdicts = run_stream(Some(&overflow_injector));
+        let overflow_injected = overflow_injector.injected(sites::MONITOR_QUEUE_OVERFLOW);
+        assert!(overflow_injected > 0, "overflow fail point never fired");
+        let overflow_verdicts_match = clean_verdicts == overflow_verdicts;
+        assert!(
+            overflow_verdicts_match,
+            "injected queue overflow changed a session verdict"
+        );
+
         println!("== Fault injection ==");
         println!(
             "ingest faults applied: {injected_ingest} ({quarantined} corrupt quarantined, \
@@ -451,12 +656,18 @@ fn main() {
             injector.injected(sites::WORKER_PANIC),
             health.state()
         );
+        println!(
+            "queue overflows injected: {overflow_injected}, streaming verdicts match \
+             fault-free run: {overflow_verdicts_match}"
+        );
         format!(
             "    \"fault_injection\": true,\n    \
              \"fault_ingest_applied\": {injected_ingest},\n    \
              \"fault_quarantined\": {quarantined},\n    \
              \"fault_panics_recovered\": {recovered},\n    \
-             \"fault_verdicts_match_clean\": {verdicts_match},\n"
+             \"fault_verdicts_match_clean\": {verdicts_match},\n    \
+             \"fault_overflow_injected\": {overflow_injected},\n    \
+             \"fault_overflow_verdicts_match\": {overflow_verdicts_match},\n"
         )
     } else {
         String::new()
@@ -702,115 +913,9 @@ fn main() {
     // within a few percent of the disabled runtime (paired-round timing).
     let forensics_fields = if forensics {
         let corpus_cases = if smoke { 2 } else { 6 };
-        let mut corpus_config = ConstructorConfig::default();
-        corpus_config.train.max_iterations = max_iterations;
-
-        struct CorpusApp {
-            name: &'static str,
-            workload: Workload,
-            analysis: adprom_analysis::Analysis,
-            traces: Vec<Vec<CallEvent>>,
-            profile: adprom_core::Profile,
-        }
-        let corpus_apps: Vec<CorpusApp> = [
-            ("banking", banking::workload(cases, 0x7AB1)),
-            ("hospital", hospital::workload(cases, 9)),
-        ]
-        .into_iter()
-        .map(|(name, w)| {
-            let analysis = analyze(&w.program);
-            let traces = w.collect_traces(&analysis.site_labels);
-            let (app_profile, _) =
-                build_profile(&format!("App_{name}"), &analysis, &traces, &corpus_config);
-            CorpusApp {
-                name,
-                workload: w,
-                analysis,
-                traces,
-                profile: app_profile,
-            }
-        })
-        .collect();
-
-        // The §V-C program mutators per app; attack 5 is a malicious input
-        // on the unmodified banking binary. A mutator that finds no target
-        // in an app (e.g. no reusable print) simply contributes no family.
-        let mut families: Vec<(String, &'static str, Vec<Vec<CallEvent>>)> = Vec::new();
-        for app in &corpus_apps {
-            let query = format!(
-                "SELECT * FROM {}",
-                if app.name == "banking" {
-                    "clients"
-                } else {
-                    "patients"
-                }
-            );
-            let mutants = [
-                (
-                    "attack1",
-                    attack1_insert_similar_print(&app.workload.program),
-                ),
-                (
-                    "attack2",
-                    attack2_new_call_in_function(&app.workload.program, &query),
-                ),
-                ("attack3", attack3_reuse_print(&app.workload.program)),
-                (
-                    "attack4",
-                    attack4_binary_patch(&app.workload.program, &query),
-                ),
-            ];
-            for (attack, outcome) in mutants {
-                let Some(outcome) = outcome else { continue };
-                let attacked = Workload {
-                    name: app.workload.name.clone(),
-                    dbms: app.workload.dbms,
-                    program: outcome.program,
-                    make_db: app.workload.make_db,
-                    test_cases: app.workload.test_cases.clone(),
-                };
-                // Detection-time instrumentation re-analyzes the mutant.
-                let attacked_analysis = analyze(&attacked.program);
-                let attacked_traces: Vec<Vec<CallEvent>> = attacked
-                    .test_cases
-                    .iter()
-                    .take(corpus_cases)
-                    .map(|case| attacked.run_case(case, &attacked_analysis.site_labels))
-                    .collect();
-                families.push((format!("{}/{attack}", app.name), app.name, attacked_traces));
-            }
-        }
-        let banking_app = &corpus_apps[0];
-        families.push((
-            "banking/attack5".to_string(),
-            "banking",
-            vec![banking_app.workload.run_case(
-                &banking::injection_case(),
-                &banking_app.analysis.site_labels,
-            )],
-        ));
-
-        let corpus_profiles = {
-            let corpus_registry = ProfileRegistry::new();
-            for app in &corpus_apps {
-                corpus_registry
-                    .register(app.name, app.profile.clone())
-                    .expect("corpus profile validates");
-            }
-            Arc::new(corpus_registry)
-        };
-
-        // One attacked session per collected trace; sessions are named
-        // `<app>/<attack>#<case>` so records group back to their family.
-        let attack_sessions: Vec<(String, String, Vec<CallEvent>)> = families
-            .iter()
-            .flat_map(|(family, app, attacked_traces)| {
-                attacked_traces
-                    .iter()
-                    .enumerate()
-                    .map(move |(i, t)| (app.to_string(), format!("{family}#{i}"), t.clone()))
-            })
-            .collect();
+        let corpus = build_attack_corpus(cases, corpus_cases, max_iterations, None);
+        let corpus_profiles = corpus.profiles;
+        let attack_sessions = corpus.attack_sessions;
         let attack_stream = interleave(&attack_sessions, 0xF0CE);
 
         let run_corpus = |threads: usize| -> Vec<AuditRecord> {
@@ -900,19 +1005,7 @@ fn main() {
         // forensics-armed vs a plain runtime, timed adjacently in paired
         // rounds (drift cancels within a pair); the recorded ratio is the
         // best pairing.
-        let benign_sessions: Vec<(String, String, Vec<CallEvent>)> = corpus_apps
-            .iter()
-            .flat_map(|app| {
-                app.traces.iter().enumerate().map(move |(i, t)| {
-                    (
-                        app.name.to_string(),
-                        format!("{}-benign-{i}", app.name),
-                        t.clone(),
-                    )
-                })
-            })
-            .collect();
-        let benign_stream = interleave(&benign_sessions, 0xBE9);
+        let benign_stream = interleave(&corpus.benign_sessions, 0xBE9);
         let benign_events = benign_stream.len();
         let time_benign = |armed: bool| -> (f64, usize) {
             let mut runtime = MonitorRuntime::new(Arc::clone(&corpus_profiles));
@@ -970,6 +1063,221 @@ fn main() {
             by_family.len(),
             attack_sessions.len(),
             records.len(),
+        )
+    } else {
+        String::new()
+    };
+
+    // Overload-control gate: the attack corpus rides on top of the benign
+    // training sessions through a monitor whose scoring budget is half
+    // its hard ingest bound — a sustained 2× overload. The tier scheduler
+    // must keep session recall at 1.0 (every session the unconstrained
+    // monitor alarms on still alarms), stay bit-identical across worker
+    // thread counts, and never buffer past the bound.
+    let overload_fields = if overload {
+        let corpus_cases = if smoke { 2 } else { 6 };
+        let corpus = build_attack_corpus(
+            cases,
+            corpus_cases,
+            max_iterations,
+            Some(KernelConfig::Sparse {
+                sparse: SparseConfig::default(),
+            }),
+        );
+        let mut load_sessions = corpus.attack_sessions.clone();
+        load_sessions.extend(corpus.benign_sessions.iter().cloned());
+        let stream = interleave(&load_sessions, 0x10AD);
+
+        let capacity = 64usize;
+        let budget = capacity / 2; // every flush carries 2× the budget
+        let overload_config = OverloadConfig {
+            capacity,
+            shed_policy: ShedPolicy::Backpressure,
+            budget,
+            ..OverloadConfig::default()
+        };
+        let run = |threads: usize, config: OverloadConfig| -> (Vec<SessionReport>, Registry, f64) {
+            let obs = Registry::new();
+            let mut runtime = MonitorRuntime::new(Arc::clone(&corpus.profiles))
+                .with_threads(threads)
+                .with_registry(&obs)
+                .with_config(RuntimeConfig {
+                    mode: ScoringMode::Incremental,
+                    overload: config,
+                    ..RuntimeConfig::default()
+                });
+            let start = Instant::now();
+            runtime.ingest_stream(&stream);
+            let reports = runtime.finish();
+            let eps = stream.len() as f64 / start.elapsed().as_secs_f64();
+            (reports, obs, eps)
+        };
+
+        // Unconstrained baseline: same kernel and mode, ladder disarmed.
+        let (baseline, _, _) = run(1, OverloadConfig::default());
+        let baseline_alarmed: BTreeMap<(String, String), usize> = baseline
+            .iter()
+            .filter(|r| r.alarms().count() > 0)
+            .map(|r| ((r.app.clone(), r.session.clone()), r.alarms().count()))
+            .collect();
+        let baseline_alarms: usize = baseline.iter().map(|r| r.alarms().count()).sum();
+        assert!(
+            !baseline_alarmed.is_empty(),
+            "attack corpus must alarm the unconstrained monitor"
+        );
+
+        let (reports, obs, overload_eps) = run(1, overload_config);
+        let alarm_count =
+            |reports: &[adprom_core::SessionReport], key: &(String, String)| -> usize {
+                reports
+                    .iter()
+                    .find(|r| r.app == key.0 && r.session == key.1)
+                    .map_or(0, |r| r.alarms().count())
+            };
+        let recalled = baseline_alarmed
+            .keys()
+            .filter(|key| alarm_count(&reports, key) > 0)
+            .count();
+        let recall = recalled as f64 / baseline_alarmed.len() as f64;
+        assert!(
+            (recall - 1.0).abs() < f64::EPSILON,
+            "overload lost alarms: only {recalled}/{} alarmed sessions recalled",
+            baseline_alarmed.len()
+        );
+        let alarms: usize = reports.iter().map(|r| r.alarms().count()).sum();
+        assert!(
+            alarms >= baseline_alarms,
+            "lower-bound classification can only add alarms"
+        );
+        for report in &reports {
+            if report.alarms().count() > 0 {
+                assert_eq!(
+                    report.tier,
+                    ScoringTier::Full,
+                    "alarmed sessions must end pinned at the full tier"
+                );
+            }
+        }
+
+        let snap = obs.snapshot();
+        let high_water = snap.gauge("monitor.queue.depth").unwrap_or(0);
+        assert!(
+            high_water <= capacity as i64,
+            "queue high-water {high_water} breached the hard bound {capacity}"
+        );
+        let tier_assigned = [
+            snap.counter("monitor.tier.full.assigned").unwrap_or(0),
+            snap.counter("monitor.tier.beam.assigned").unwrap_or(0),
+            snap.counter("monitor.tier.spot.assigned").unwrap_or(0),
+        ];
+        let tier_windows = [
+            snap.counter("monitor.tier.full.windows").unwrap_or(0),
+            snap.counter("monitor.tier.beam.windows").unwrap_or(0),
+            snap.counter("monitor.tier.spot.windows").unwrap_or(0),
+        ];
+        let spot_skipped = snap.counter("monitor.tier.spot.skipped").unwrap_or(0);
+        let escalations = snap.counter("monitor.tier.escalations").unwrap_or(0);
+        let backpressure = snap.counter("monitor.backpressure.flushes").unwrap_or(0);
+        let episodes = snap.counter("monitor.overload.episodes").unwrap_or(0);
+        assert!(backpressure > 0, "2x load must trip the hard bound");
+
+        // Thread determinism: every tier, shed, and verdict decision
+        // rides the serial ingest clock.
+        let rendered = format!("{reports:?}");
+        let mut bit_identical = true;
+        for threads in [4usize, 8] {
+            let (other, _, _) = run(threads, overload_config);
+            bit_identical &= format!("{other:?}") == rendered;
+        }
+        assert!(
+            bit_identical,
+            "overload schedule diverged across worker thread counts"
+        );
+
+        // DropNewest sub-run: benign traffic of demoted sessions may be
+        // shed; dangerous facts and alarmed sessions never are, so
+        // session recall must hold even while events are dropped.
+        let (shed_reports, shed_obs, _) = run(
+            1,
+            OverloadConfig {
+                shed_policy: ShedPolicy::DropNewest,
+                ..overload_config
+            },
+        );
+        let shed_recalled = baseline_alarmed
+            .keys()
+            .filter(|key| alarm_count(&shed_reports, key) > 0)
+            .count();
+        let shed_recall = shed_recalled as f64 / baseline_alarmed.len() as f64;
+        assert!(
+            (shed_recall - 1.0).abs() < f64::EPSILON,
+            "shedding lost an alarmed session"
+        );
+        let shed_events = shed_obs
+            .snapshot()
+            .counter("monitor.shed.events")
+            .unwrap_or(0);
+
+        println!("== Overload control (attack corpus at 2x scoring budget) ==");
+        println!(
+            "{} sessions ({} attacked), {} events; capacity {capacity}, budget {budget}",
+            load_sessions.len(),
+            corpus.attack_sessions.len(),
+            stream.len(),
+        );
+        println!(
+            "recall {recall:.3} ({recalled}/{} alarmed sessions; {alarms} alarms vs \
+             {baseline_alarms} baseline)",
+            baseline_alarmed.len()
+        );
+        println!(
+            "tiers assigned full/beam/spot: {}/{}/{}; windows {}/{}/{} \
+             (+{spot_skipped} spot-skipped), {escalations} escalations",
+            tier_assigned[0],
+            tier_assigned[1],
+            tier_assigned[2],
+            tier_windows[0],
+            tier_windows[1],
+            tier_windows[2],
+        );
+        println!(
+            "queue high-water {high_water}/{capacity}, {backpressure} backpressure flushes, \
+             {episodes} overload episode(s); DropNewest shed {shed_events} events, \
+             recall {shed_recall:.3}"
+        );
+        println!(
+            "bit-identical at 1/4/8 threads: {bit_identical}; overloaded throughput \
+             {overload_eps:.0} events/sec\n"
+        );
+
+        format!(
+            "    \"overload\": true,\n    \
+             \"overload_capacity\": {capacity},\n    \
+             \"overload_budget\": {budget},\n    \
+             \"overload_sessions\": {},\n    \
+             \"overload_events\": {},\n    \
+             \"overload_recall\": {recall:.3},\n    \
+             \"overload_baseline_alarms\": {baseline_alarms},\n    \
+             \"overload_alarms\": {alarms},\n    \
+             \"overload_tier_assigned\": [{}, {}, {}],\n    \
+             \"overload_tier_windows\": [{}, {}, {}],\n    \
+             \"overload_spot_skipped\": {spot_skipped},\n    \
+             \"overload_escalations\": {escalations},\n    \
+             \"overload_backpressure_flushes\": {backpressure},\n    \
+             \"overload_episodes\": {episodes},\n    \
+             \"overload_queue_high_water\": {high_water},\n    \
+             \"overload_shed_events\": {shed_events},\n    \
+             \"overload_shed_recall\": {shed_recall:.3},\n    \
+             \"overload_bit_identical_threads\": {bit_identical},\n    \
+             \"overload_events_per_sec\": {overload_eps:.0},\n",
+            load_sessions.len(),
+            stream.len(),
+            tier_assigned[0],
+            tier_assigned[1],
+            tier_assigned[2],
+            tier_windows[0],
+            tier_windows[1],
+            tier_windows[2],
         )
     } else {
         String::new()
@@ -1228,7 +1536,7 @@ fn main() {
          \"kernel_fell_back\": {kernel_fell_back},\n    \
          \"alerts\": {serial_alerts},\n    \
          \"flag_partition\": [{}, {}, {}, {}],\n    \
-         \"serial_exact_events_per_sec\": {serial_eps:.0},\n{kernel_fields}{fault_fields}{multiapp_fields}{forensics_fields}{simd_fields}    \
+         \"serial_exact_events_per_sec\": {serial_eps:.0},\n{kernel_fields}{fault_fields}{multiapp_fields}{forensics_fields}{overload_fields}{simd_fields}    \
          \"parallel_exact_events_per_sec\": {par_exact_eps:.0},\n    \
          \"parallel_incremental_events_per_sec\": {par_inc_eps:.0},\n    \
          \"speedup_parallel_exact\": {speedup_exact:.2},\n    \

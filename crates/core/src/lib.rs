@@ -57,8 +57,11 @@ pub use resilience::{
     apply_ingest_faults, FailPoint, FaultInjector, FaultKind, FaultPlan, FaultyWriter, Health,
     HealthMonitor, RetryPolicy, Trigger,
 };
-pub use runtime::{MonitorRuntime, RuntimeConfig, SessionEnd, SessionReport};
-pub use scorer::{ForensicsConfig, KernelStatus, SessionScorer, WindowScorer};
+pub use runtime::{
+    IngestStatus, MonitorRuntime, OverloadConfig, RuntimeConfig, SessionEnd, SessionReport,
+    ShedPolicy,
+};
+pub use scorer::{ForensicsConfig, KernelStatus, ScoringTier, SessionScorer, WindowScorer};
 pub use telemetry::{
     audit_record_from_alert, BatchMetrics, DetectMetrics, MonitorMetrics, RegistryMetrics,
     ResilienceMetrics,

@@ -54,6 +54,10 @@ pub mod sites {
     /// Force-evict the keyed session from the runtime's session table, as
     /// if table pressure had reclaimed it (keyed by arrival index).
     pub const MONITOR_PRESSURE: &str = "monitor.session_pressure";
+    /// Treat the runtime's bounded ingest queue as full for the keyed
+    /// event (keyed by ingest tick) — exercises the backpressure/shed
+    /// path without actually filling the queue.
+    pub const MONITOR_QUEUE_OVERFLOW: &str = "monitor.queue_overflow";
 }
 
 /// What a fail point does when it fires.
@@ -78,6 +82,10 @@ pub enum FaultKind {
     /// Evict the keyed session from the runtime's session table (as table
     /// pressure would), forcing it to finish early.
     EvictSession,
+    /// Report the runtime's bounded ingest queue as full for the keyed
+    /// event, forcing the configured overload response (backpressure
+    /// flush or shed) as a real capacity hit would.
+    QueueOverflow,
 }
 
 /// When a fail point fires.
@@ -468,13 +476,17 @@ impl HealthMonitor {
     }
 
     /// Records an absorbed fault; raises the state to at least Degraded.
-    pub fn degrade(&self, reason: &str) {
-        self.transition(Health::Degraded, reason);
+    /// Returns true when the state actually rose (false on a repeat
+    /// absorb in the same or a higher state, which records the reason but
+    /// re-emits nothing).
+    pub fn degrade(&self, reason: &str) -> bool {
+        self.transition(Health::Degraded, reason)
     }
 
     /// Records an unrecoverable fault; raises the state to Failed.
-    pub fn fail(&self, reason: &str) {
-        self.transition(Health::Failed, reason);
+    /// Returns true when the state actually rose.
+    pub fn fail(&self, reason: &str) -> bool {
+        self.transition(Health::Failed, reason)
     }
 
     /// Every reason recorded so far, in arrival order.
@@ -489,16 +501,23 @@ impl HealthMonitor {
         self.gauge.set(0);
     }
 
-    fn transition(&self, to: Health, reason: &str) {
-        self.inner
+    fn transition(&self, to: Health, reason: &str) -> bool {
+        let prev = self
+            .inner
             .state
             .fetch_max(to.as_gauge() as u8, Ordering::Relaxed);
-        self.gauge.record_max(to.as_gauge());
+        let rose = prev < to.as_gauge() as u8;
+        // Touch the gauge only on a genuine rise: repeated same-state
+        // absorbs must not re-emit `health.state` transitions.
+        if rose {
+            self.gauge.record_max(to.as_gauge());
+        }
         let mut reasons = self.inner.reasons.lock().expect("health poisoned");
         // Bounded: a fault storm must not turn the monitor into a leak.
         if reasons.len() < 256 {
             reasons.push(reason.to_string());
         }
+        rose
     }
 }
 
@@ -662,6 +681,41 @@ mod tests {
         let clone = health.clone();
         clone.fail("y");
         assert_eq!(health.state(), Health::Failed);
+        assert_eq!(registry.snapshot().gauge("health.state"), Some(2));
+    }
+
+    #[test]
+    fn reset_rearms_monotonic_ladder_between_runs() {
+        let registry = Registry::new();
+        let health = HealthMonitor::with_registry(&registry);
+        assert!(health.fail("run 1 fatal"));
+        assert_eq!(registry.snapshot().gauge("health.state"), Some(2));
+        health.reset();
+        assert_eq!(health.state(), Health::Healthy);
+        assert_eq!(registry.snapshot().gauge("health.state"), Some(0));
+        // The ladder is re-armed: the same climb fires again from the
+        // bottom, not swallowed by the previous run's Failed state.
+        assert!(health.degrade("run 2 absorb"));
+        assert_eq!(health.state(), Health::Degraded);
+        assert_eq!(registry.snapshot().gauge("health.state"), Some(1));
+        assert!(health.fail("run 2 fatal"));
+        assert_eq!(registry.snapshot().gauge("health.state"), Some(2));
+        assert_eq!(health.reasons(), vec!["run 2 absorb", "run 2 fatal"]);
+    }
+
+    #[test]
+    fn repeated_same_state_absorbs_do_not_reemit_gauge() {
+        let registry = Registry::new();
+        let health = HealthMonitor::with_registry(&registry);
+        assert!(health.degrade("first absorb"), "rise emits");
+        assert!(!health.degrade("second absorb"), "repeat does not");
+        assert!(!health.degrade("third absorb"));
+        // Reasons still accumulate — only the gauge transition is
+        // deduplicated.
+        assert_eq!(health.reasons().len(), 3);
+        assert_eq!(registry.snapshot().gauge("health.state"), Some(1));
+        assert!(health.fail("escalate"), "a genuine rise still emits");
+        assert!(!health.degrade("late absorb"), "below current state");
         assert_eq!(registry.snapshot().gauge("health.state"), Some(2));
     }
 }

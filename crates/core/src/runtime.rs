@@ -36,11 +36,13 @@
 use crate::detect::{Alert, Flag};
 use crate::parallel::panic_message;
 use crate::registry::ProfileRegistry;
-use crate::resilience::{sites, FailPoint, FaultInjector, FaultKind, RetryPolicy};
+use crate::resilience::{sites, FailPoint, FaultInjector, FaultKind, Health, RetryPolicy};
 use crate::scorer::{
-    ForensicsConfig, KernelStatus, ScoringMode, SessionScorer, WindowEvent, WindowScorer,
+    gap_micronats, ForensicsConfig, KernelStatus, ScoringMode, ScoringTier, SessionScorer,
+    TierStamp, WindowEvent, WindowScorer,
 };
 use crate::telemetry::{audit_record_from_alert, DetectMetrics, MonitorMetrics, ResilienceMetrics};
+use adprom_hmm::BeamConfig;
 use adprom_obs::{AuditLog, ForensicReport, Registry, SpanContext, Tracer};
 use adprom_trace::TaggedCall;
 use rayon::prelude::*;
@@ -84,6 +86,83 @@ type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv>>;
 /// scorer state plus its window alerts, or the (caught) panic message.
 type ReplayOutcome = Result<(SessionScorer, Vec<Alert>), String>;
 
+/// What the ingest boundary does with an event that arrives while the
+/// bounded queue ([`OverloadConfig::capacity`]) is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Flush synchronously, then admit the event: the caller stalls for
+    /// one flush (the explicit backpressure signal,
+    /// `monitor.backpressure.flushes`) and no event is ever lost.
+    #[default]
+    Backpressure,
+    /// Shed the incoming event (`monitor.shed.events`) when its session
+    /// is currently demoted below the full tier and the event itself is
+    /// benign (not out-of-context, not DDG-labeled). Protected sessions —
+    /// unarmed, full-tier, alarmed — and dangerous events always fall
+    /// back to the backpressure flush, so a shed can never remove the
+    /// fact that would have flagged a window by itself.
+    DropNewest,
+}
+
+/// Overload-control knobs of the [`MonitorRuntime`]: the hard ingest
+/// bound with its shed policy, and the risk-budget tier scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// Hard buffered-event bound, enforced *before* buffering: an event
+    /// arriving with `capacity` events already pending takes the
+    /// [`ShedPolicy`] path, so `pending()` never exceeds it (`0` = no
+    /// hard bound; the soft [`RuntimeConfig::queue_capacity`] flush
+    /// still applies).
+    pub capacity: usize,
+    /// What happens to an event that hits the bound.
+    pub shed_policy: ShedPolicy,
+    /// Events the monitor can afford to full-score per flush. `0`
+    /// disarms the tier ladder (every session stays on the unconstrained
+    /// path); otherwise each flush re-assigns every working session a
+    /// [`ScoringTier`] so the highest-risk sessions spend the budget.
+    /// Only meaningful in [`ScoringMode::Incremental`] — exact mode has
+    /// no sliding recurrence to degrade.
+    pub budget: usize,
+    /// Spot-check cadence: a spot-tier session emits every
+    /// `spot_every`-th window (values below 1 behave as 1; danger
+    /// windows always emit regardless).
+    pub spot_every: u32,
+    /// Beam installed into demoted sessions' sliding recurrences (sparse
+    /// kernels only; suspended while the session holds the full tier).
+    pub beam: BeamConfig,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> OverloadConfig {
+        OverloadConfig {
+            capacity: 0,
+            shed_policy: ShedPolicy::Backpressure,
+            budget: 0,
+            spot_every: 4,
+            beam: BeamConfig {
+                top_k: Some(8),
+                mass_epsilon: 0.0,
+            },
+        }
+    }
+}
+
+/// What the ingest boundary did with one event — the backpressure
+/// signal a collector can react to (slow down, buffer upstream, or
+/// account for the shed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestStatus {
+    /// Buffered normally.
+    Admitted,
+    /// Buffered, but only after a forced synchronous flush — the queue
+    /// was at capacity and the caller paid the flush latency.
+    Backpressured,
+    /// Dropped by [`ShedPolicy::DropNewest`] at capacity.
+    Shed,
+    /// Dropped because the app has no registered profile.
+    UnknownApp,
+}
+
 /// Knobs of the [`MonitorRuntime`]. Defaults suit tests and moderate
 /// deployments; production monitors size `max_sessions` to their memory
 /// budget and `queue_capacity` to their flush latency target.
@@ -102,6 +181,9 @@ pub struct RuntimeConfig {
     /// scoring pool (`0` = flush only on [`MonitorRuntime::flush`] /
     /// [`MonitorRuntime::finish`]).
     pub queue_capacity: usize,
+    /// Overload control: the hard ingest bound, shed policy, and the
+    /// risk-budget tier scheduler (disarmed by default).
+    pub overload: OverloadConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -111,6 +193,7 @@ impl Default for RuntimeConfig {
             max_sessions: 4096,
             idle_timeout: 0,
             queue_capacity: 1024,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -154,6 +237,15 @@ pub struct SessionReport {
     pub verdict: Flag,
     /// How the session closed.
     pub end: SessionEnd,
+    /// The scoring tier in force when the session closed
+    /// ([`ScoringTier::Full`] when the ladder was disarmed).
+    pub tier: ScoringTier,
+    /// Every tier the risk scheduler assigned this session, in flush
+    /// order (empty when the ladder was disarmed) — the determinism
+    /// proptest compares these bit for bit across thread counts.
+    pub tiers: Vec<ScoringTier>,
+    /// Self-escalations back to the full tier the session took.
+    pub escalations: u32,
 }
 
 impl SessionReport {
@@ -185,6 +277,9 @@ struct SessionSlot {
     events: usize,
     last_touch: u64,
     end: Option<SessionEnd>,
+    /// Scheduler assignment history, one entry per flush that worked
+    /// this session (empty while the tier ladder is disarmed).
+    tiers: Vec<ScoringTier>,
 }
 
 /// The session-multiplexed monitor. Feed it an interleaved stream with
@@ -225,6 +320,14 @@ pub struct MonitorRuntime {
     /// Fail point `monitor.session_pressure`: force-evict the LRU session,
     /// keyed by ingest tick — simulates the capacity bound biting.
     fault_pressure: FailPoint,
+    /// Fail point `monitor.queue_overflow`: treat the bounded ingest
+    /// queue as full for the keyed tick — exercises the backpressure /
+    /// shed path without actually filling the queue.
+    fault_overflow: FailPoint,
+    /// True while inside an overload episode (pending work above the
+    /// risk budget) — edges, not levels, drive health raises and the
+    /// `monitor.overload.episodes` counter.
+    overload_episode: bool,
 }
 
 impl MonitorRuntime {
@@ -250,6 +353,8 @@ impl MonitorRuntime {
             flush_seq: 0,
             fault_swap: FailPoint::disabled(),
             fault_pressure: FailPoint::disabled(),
+            fault_overflow: FailPoint::disabled(),
+            overload_episode: false,
         }
     }
 
@@ -320,10 +425,12 @@ impl MonitorRuntime {
     }
 
     /// Arms the runtime's fail points from an injector
-    /// ([`sites::MONITOR_SWAP`], [`sites::MONITOR_PRESSURE`]).
+    /// ([`sites::MONITOR_SWAP`], [`sites::MONITOR_PRESSURE`],
+    /// [`sites::MONITOR_QUEUE_OVERFLOW`]).
     pub fn with_faults(mut self, injector: &FaultInjector) -> MonitorRuntime {
         self.fault_swap = injector.point(sites::MONITOR_SWAP);
         self.fault_pressure = injector.point(sites::MONITOR_PRESSURE);
+        self.fault_overflow = injector.point(sites::MONITOR_QUEUE_OVERFLOW);
         self
     }
 
@@ -342,10 +449,11 @@ impl MonitorRuntime {
         &self.config
     }
 
-    /// Ingests one tagged event. Serial by design: admission, eviction,
-    /// and backpressure decisions happen here, on the logical event clock,
-    /// so they replay identically at any thread count.
-    pub fn ingest(&mut self, tagged: &TaggedCall) {
+    /// Ingests one tagged event and reports what the boundary did with it
+    /// — the explicit backpressure signal. Serial by design: admission,
+    /// eviction, and backpressure decisions happen here, on the logical
+    /// event clock, so they replay identically at any thread count.
+    pub fn ingest(&mut self, tagged: &TaggedCall) -> IngestStatus {
         self.metrics.events.inc();
         // The span borrows a clone of the tracer so the guard can outlive
         // the `&mut self` call it times. Built only when tracing is on.
@@ -361,31 +469,37 @@ impl MonitorRuntime {
                 },
             )
         });
-        self.ingest_inner(tagged);
-        self.metrics.queue_depth.set(self.pending_total as i64);
+        self.ingest_inner(tagged)
     }
 
-    /// The per-event hot path, with counter/gauge updates hoisted out so
+    /// The per-event hot path, with counter updates hoisted out so
     /// [`MonitorRuntime::ingest_stream`] pays for them once per stream
     /// rather than once per event.
-    fn ingest_inner(&mut self, tagged: &TaggedCall) {
+    fn ingest_inner(&mut self, tagged: &TaggedCall) -> IngestStatus {
         let timer = self.metrics.stage_ingest_ns.is_enabled().then(Instant::now);
-        self.ingest_event(tagged);
+        let status = self.ingest_event(tagged);
         if let Some(t0) = timer {
             self.metrics
                 .stage_ingest_ns
                 .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
+        // High-water mark, recorded before the soft-capacity flush drains
+        // it — a last-write-wins snapshot here would hide every spike.
+        self.metrics
+            .queue_depth
+            .record_max(self.pending_total as i64);
         if self.config.queue_capacity > 0 && self.pending_total >= self.config.queue_capacity {
             self.flush();
         }
+        status
     }
 
     /// Ingest bookkeeping proper: admission, eviction, digestion,
-    /// buffering — everything except the backpressure flush (excluded from
-    /// `monitor.stage.ingest_ns` so the histogram measures ingest, not a
-    /// whole flush that happened to trigger here).
-    fn ingest_event(&mut self, tagged: &TaggedCall) {
+    /// buffering, and the hard queue bound — everything except the
+    /// backpressure flush itself (excluded from `monitor.stage.ingest_ns`
+    /// so the histogram measures ingest, not a whole flush that happened
+    /// to trigger here).
+    fn ingest_event(&mut self, tagged: &TaggedCall) -> IngestStatus {
         self.tick += 1;
         if matches!(
             self.fault_pressure.fire(self.tick),
@@ -407,27 +521,63 @@ impl MonitorRuntime {
                     // No profile registered for this app: the event cannot
                     // be scored. Drop it, visibly.
                     self.metrics.unknown_app.inc();
-                    return;
+                    return IngestStatus::UnknownApp;
                 }
             },
         };
+        // The hard bound is checked *before* buffering, so `pending()`
+        // never exceeds `OverloadConfig.capacity` — not even transiently.
+        let capacity = self.config.overload.capacity;
+        let full = (capacity > 0 && self.pending_total >= capacity)
+            || matches!(
+                self.fault_overflow.fire(self.tick),
+                Some(FaultKind::QueueOverflow)
+            );
+        let mut status = IngestStatus::Admitted;
+        let fact = self.slots[idx].scorer.digest(&tagged.event);
+        if full {
+            if self.config.overload.shed_policy == ShedPolicy::DropNewest
+                && !self.protected(idx)
+                && !fact.is_dangerous()
+            {
+                // Shed: the event arrived (it counts and keeps the
+                // session warm) but is never scored.
+                let slot = &mut self.slots[idx];
+                slot.events += 1;
+                slot.last_touch = self.tick;
+                self.metrics.shed_events.inc();
+                return IngestStatus::Shed;
+            }
+            self.metrics.backpressure_flushes.inc();
+            self.flush();
+            status = IngestStatus::Backpressured;
+        }
         let slot = &mut self.slots[idx];
-        slot.pending.push(slot.scorer.digest(&tagged.event));
+        slot.pending.push(fact);
         slot.events += 1;
         slot.last_touch = self.tick;
         self.pending_total += 1;
+        status
+    }
+
+    /// Sessions the shed policy may never drop events from: unarmed
+    /// sessions (no tier ladder bounds the loss) and sessions holding the
+    /// full tier — the floor class of alarmed, escalated, and brand-new
+    /// sessions.
+    fn protected(&self, idx: usize) -> bool {
+        let state = &self.slots[idx].state;
+        !state.tier_armed() || state.tier() == ScoringTier::Full
     }
 
     /// Ingests a whole stream in order. Equivalent to calling
     /// [`MonitorRuntime::ingest`] per event, but the `monitor.events`
-    /// counter and queue-depth gauge settle once at the end of the
-    /// stream instead of ticking per event.
+    /// counter settles once at the end of the stream instead of ticking
+    /// per event.
     pub fn ingest_stream(&mut self, stream: &[TaggedCall]) {
         self.metrics.events.add(stream.len() as u64);
         for tagged in stream {
             self.ingest_inner(tagged);
         }
-        self.metrics.queue_depth.set(self.pending_total as i64);
     }
 
     /// Scores every buffered event: idle sessions are finalized first,
@@ -465,6 +615,7 @@ impl MonitorRuntime {
         self.metrics.flushes.inc();
         self.flush_seq += 1;
         self.metrics.flush_batch_sessions.set(work.len() as i64);
+        self.assign_tiers(&work);
         // One registry read per app per flush, not per session.
         let mut epochs: HashMap<&str, u64> = HashMap::new();
         for &idx in &work {
@@ -516,7 +667,119 @@ impl MonitorRuntime {
         for (idx, outcome) in outcomes {
             self.commit(idx, outcome);
         }
-        self.metrics.queue_depth.set(self.pending_total as i64);
+    }
+
+    /// The risk-budget scheduler: re-evaluates every working session's
+    /// scoring tier at the serial flush boundary — on the ingest clock,
+    /// never inside a worker — so assignments are bit-identical at any
+    /// thread count. No-op while the ladder is disarmed (`budget == 0`)
+    /// or outside incremental mode.
+    ///
+    /// Risk has three inputs (after Grushka-Cohen et al.: allocate the
+    /// scoring budget by per-session risk, not uniformly):
+    ///
+    /// * the **floor class** holds the full tier unconditionally —
+    ///   sessions that already alarmed or self-escalated, sessions still
+    ///   inside their first window (the new-session prior: an unknown
+    ///   session is assumed risky), and sessions of an app whose
+    ///   [`HealthMonitor`](crate::resilience::HealthMonitor) is already
+    ///   at or above [`Health::Degraded`];
+    /// * everything else ranks by **margin** — last emitted score minus
+    ///   threshold, ascending, ties by arrival — so sessions scoring
+    ///   closest to the threshold get scrutinized first;
+    /// * the **budget walk**: full tier while cumulative pending events
+    ///   fit the budget, the beam tier for the next `budget/2` events,
+    ///   spot-check for the rest. When total pending fits the budget
+    ///   everyone lands back at full — recovery lowers the ladder
+    ///   automatically.
+    ///
+    /// Crossing into overload (total pending above budget) degrades the
+    /// health of every app in the batch once per episode, in sorted app
+    /// order; draining back under budget closes the episode.
+    fn assign_tiers(&mut self, work: &[usize]) {
+        let budget = self.config.overload.budget;
+        if budget == 0 || self.config.mode != ScoringMode::Incremental {
+            return;
+        }
+        let mut spent = 0usize;
+        let mut ranked: Vec<(u8, f64, usize)> = Vec::with_capacity(work.len());
+        for &idx in work {
+            let slot = &self.slots[idx];
+            let window = slot.scorer.profile().window;
+            let degraded = self
+                .profiles
+                .health(&slot.app)
+                .is_some_and(|h| h.state() >= Health::Degraded);
+            let floor = slot.state.has_alarmed()
+                || slot.state.escalations() > 0
+                || slot.state.seen() < window;
+            if floor {
+                spent += slot.pending.len();
+                self.set_tier(idx, ScoringTier::Full);
+            } else {
+                // Degraded-app sessions rank ahead of healthy ones at
+                // equal margin: the app is already absorbing faults, so
+                // its sessions get the benefit of full scoring first.
+                ranked.push((u8::from(!degraded), slot.state.risk_margin(), idx));
+            }
+        }
+        ranked.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(a.1.total_cmp(&b.1))
+                .then(self.slots[a.2].arrival.cmp(&self.slots[b.2].arrival))
+        });
+        let beam_band = budget.div_ceil(2);
+        let mut beam_spent = 0usize;
+        for &(_, _, idx) in &ranked {
+            let cost = self.slots[idx].pending.len();
+            let tier = if spent + cost <= budget {
+                spent += cost;
+                ScoringTier::Full
+            } else if beam_spent + cost <= beam_band {
+                beam_spent += cost;
+                ScoringTier::BeamPruned
+            } else {
+                ScoringTier::SpotCheck
+            };
+            self.set_tier(idx, tier);
+        }
+        let total: usize = work.iter().map(|&i| self.slots[i].pending.len()).sum();
+        let overloaded = total > budget;
+        self.metrics.overload_active.set(i64::from(overloaded));
+        if overloaded && !self.overload_episode {
+            self.overload_episode = true;
+            self.metrics.overload_episodes.inc();
+            // Sorted app order: FnvMap iteration must never order an
+            // externally visible effect.
+            let mut apps: Vec<&str> = work.iter().map(|&i| self.slots[i].app.as_str()).collect();
+            apps.sort_unstable();
+            apps.dedup();
+            for app in apps {
+                if let Some(health) = self.profiles.health(app) {
+                    health.degrade(&format!(
+                        "ingest overload: {total} pending events exceed scoring budget {budget}"
+                    ));
+                }
+            }
+        } else if !overloaded {
+            self.overload_episode = false;
+        }
+    }
+
+    /// Applies one scheduler decision: the session may override a
+    /// demotion (alarmed sessions are pinned at full — the starvation
+    /// floor), so the recorded history carries the tier actually in
+    /// force.
+    fn set_tier(&mut self, idx: usize, tier: ScoringTier) {
+        let slot = &mut self.slots[idx];
+        slot.state.assign_tier(tier);
+        let assigned = slot.state.tier();
+        slot.tiers.push(assigned);
+        match assigned {
+            ScoringTier::Full => self.metrics.tier_full_assigned.inc(),
+            ScoringTier::BeamPruned => self.metrics.tier_beam_assigned.inc(),
+            ScoringTier::SpotCheck => self.metrics.tier_spot_assigned.inc(),
+        }
     }
 
     /// Closes the stream: flushes everything buffered, finalizes every
@@ -537,7 +800,8 @@ impl MonitorRuntime {
                 self.close_slot(idx, SessionEnd::Finished);
             }
         }
-        self.metrics.queue_depth.set(0);
+        // `monitor.queue.depth` is a run-lifetime high-water mark now —
+        // finishing must not erase it.
         self.slots
             .into_iter()
             .map(|slot| {
@@ -547,16 +811,21 @@ impl MonitorRuntime {
                     .map(|a| a.flag)
                     .max()
                     .unwrap_or(Flag::Normal);
+                let mut kernel = slot.scorer.status().clone();
+                kernel.gap_bound_micronats = gap_micronats(slot.state.gap_bound());
                 SessionReport {
                     app: slot.app,
                     session: slot.session,
                     arrival: slot.arrival,
                     epoch: slot.epoch,
-                    kernel: slot.scorer.status().clone(),
+                    kernel,
                     events: slot.events,
                     alerts: slot.alerts,
                     verdict,
                     end: slot.end.unwrap_or(SessionEnd::Finished),
+                    tier: slot.state.tier(),
+                    tiers: slot.tiers,
+                    escalations: slot.state.escalations(),
                 }
             })
             .collect()
@@ -578,6 +847,13 @@ impl MonitorRuntime {
             .or_insert_with(|| epoch.scorer().with_metrics(self.detect_metrics.clone()))
             .clone();
         let mut state = SessionScorer::new(&scorer, self.config.mode);
+        if self.config.overload.budget > 0 {
+            state = state.with_tier_support(
+                &scorer,
+                self.config.overload.beam,
+                self.config.overload.spot_every,
+            );
+        }
         if let Some(config) = self.forensics {
             state = state.with_forensics(config);
         }
@@ -594,6 +870,7 @@ impl MonitorRuntime {
             events: 0,
             last_touch: self.tick,
             end: None,
+            tiers: Vec::new(),
         });
         self.live
             .entry(app.to_string())
@@ -729,13 +1006,17 @@ impl MonitorRuntime {
                 let reports = state.take_forensics();
                 self.metrics.forensics_reports.add(reports.len() as u64);
                 let mut reports = reports.into_iter();
+                // Tier stamps are per-alarm in emit order, exactly like
+                // forensic reports — drained from the advanced state so a
+                // retried panic cannot duplicate them.
+                let mut stamps = state.take_tier_stamps().into_iter();
                 for alert in &alerts {
-                    let forensics = if alert.is_alarm() {
-                        reports.next()
+                    let (forensics, stamp) = if alert.is_alarm() {
+                        (reports.next(), stamps.next())
                     } else {
-                        None
+                        (None, None)
                     };
-                    self.audit_alarm(idx, alert, forensics);
+                    self.audit_alarm(idx, alert, forensics, stamp);
                 }
                 let slot = &mut self.slots[idx];
                 self.pending_total -= slot.pending.len();
@@ -781,13 +1062,15 @@ impl MonitorRuntime {
             };
             if let Some(alert) = finale {
                 // Finalize emits at most one window, so at most one report
-                // is pending (everything earlier drained at commit).
+                // (and one tier stamp) is pending — everything earlier
+                // drained at commit.
                 let forensics = {
                     let mut reports = self.slots[idx].state.take_forensics();
                     self.metrics.forensics_reports.add(reports.len() as u64);
                     reports.pop()
                 };
-                self.audit_alarm(idx, &alert, forensics);
+                let stamp = self.slots[idx].state.take_tier_stamps().pop();
+                self.audit_alarm(idx, &alert, forensics, stamp);
                 self.slots[idx].alerts.push(alert);
             }
         }
@@ -820,9 +1103,16 @@ impl MonitorRuntime {
     }
 
     /// Writes one alarm to the audit log, stamped with the session's app
-    /// id, pinned epoch, and (when the flight recorder is armed) the
-    /// alarm's forensic report.
-    fn audit_alarm(&self, idx: usize, alert: &Alert, forensics: Option<ForensicReport>) {
+    /// id, pinned epoch, (when the flight recorder is armed) the alarm's
+    /// forensic report, and (when the tier ladder is armed) its tier and
+    /// escalation provenance.
+    fn audit_alarm(
+        &self,
+        idx: usize,
+        alert: &Alert,
+        forensics: Option<ForensicReport>,
+        stamp: Option<TierStamp>,
+    ) {
         let Some(audit) = &self.audit else {
             return;
         };
@@ -846,6 +1136,11 @@ impl MonitorRuntime {
         record.app = slot.app.clone();
         record.epoch = slot.epoch;
         record.forensics = forensics;
+        if let Some(stamp) = stamp {
+            record.tier = Some(stamp.tier.label().to_string());
+            record.escalation = stamp.escalation;
+            record.gap_bound_micronats = Some(gap_micronats(stamp.gap_bound));
+        }
         audit.record(record);
     }
 
@@ -1052,7 +1347,10 @@ mod tests {
         let snap = obs.snapshot();
         assert_eq!(snap.counter("monitor.epoch_pins"), Some(3));
         assert_eq!(snap.counter("monitor.sessions.opened"), Some(2));
-        assert_eq!(snap.gauge("monitor.queue.depth"), Some(0));
+        // The queue gauge is a high-water mark: all 6 events were
+        // buffered (nothing flushed before `finish`), and finishing does
+        // not erase the peak.
+        assert_eq!(snap.gauge("monitor.queue.depth"), Some(6));
     }
 
     #[test]
@@ -1336,6 +1634,184 @@ mod tests {
         assert_eq!(snap.counter("resilience.worker_panics"), Some(1));
         assert_eq!(snap.counter("resilience.traces_recovered"), Some(1));
         assert_eq!(profiles.health("bank").unwrap().state(), Health::Degraded);
+    }
+
+    #[test]
+    fn tier_ladder_demotes_escalates_and_pins_under_budget_pressure() {
+        let obs = Registry::new();
+        let registry = ProfileRegistry::new();
+        registry
+            .register("bank", cyclic_profile("bank", -5.0))
+            .unwrap();
+        let profiles = Arc::new(registry);
+        let mut runtime = MonitorRuntime::new(Arc::clone(&profiles))
+            .with_registry(&obs)
+            .with_config(RuntimeConfig {
+                mode: ScoringMode::Incremental,
+                overload: OverloadConfig {
+                    budget: 6,
+                    ..OverloadConfig::default()
+                },
+                ..RuntimeConfig::default()
+            });
+        let tag = |session: &str, name: &str| TaggedCall {
+            app: "bank".into(),
+            session: session.into(),
+            event: event(name, "main"),
+        };
+        // Flush 1: all three sessions are inside their first window — the
+        // new-session prior holds every one at the full tier, and nine
+        // pending events over a budget of six open an overload episode.
+        for s in ["s-0", "s-1", "s-2"] {
+            for name in ["a", "b", "c_Q7"] {
+                runtime.ingest(&tag(s, name));
+            }
+        }
+        runtime.flush();
+        assert_eq!(profiles.health("bank").unwrap().state(), Health::Degraded);
+        // Flush 2: margins are identical (same benign first window), so
+        // ties break by arrival and the budget walk demotes s-2 to the
+        // beam tier — where its out-of-context call alarms and the
+        // session escalates itself back to full mid-flush.
+        for s in ["s-0", "s-1"] {
+            for name in ["a", "b", "c_Q7"] {
+                runtime.ingest(&tag(s, name));
+            }
+        }
+        for name in ["a", "evil_exfil", "c_Q7"] {
+            runtime.ingest(&tag("s-2", name));
+        }
+        runtime.flush();
+        // Flush 3: the alarmed session is pinned at full regardless of
+        // rank, and three pending events fit the budget — recovery.
+        for s in ["s-0", "s-1", "s-2"] {
+            runtime.ingest(&tag(s, "a"));
+        }
+        let reports = runtime.finish();
+        let s2 = reports.iter().find(|r| r.session == "s-2").unwrap();
+        assert_eq!(
+            s2.tiers,
+            vec![
+                ScoringTier::Full,
+                ScoringTier::BeamPruned,
+                ScoringTier::Full
+            ]
+        );
+        assert_eq!(s2.tier, ScoringTier::Full);
+        assert!(s2.escalations >= 1, "beam-tier alarm must escalate");
+        assert!(s2.alarms().count() >= 1, "the exfil window still alarms");
+        for report in reports.iter().filter(|r| r.session != "s-2") {
+            assert_eq!(report.verdict, Flag::Normal);
+            assert_eq!(report.escalations, 0);
+            assert_eq!(report.tiers.len(), 3);
+        }
+        let snap = obs.snapshot();
+        assert!(snap.counter("monitor.tier.escalations").unwrap() >= 1);
+        assert_eq!(snap.counter("monitor.tier.full.assigned"), Some(8));
+        assert_eq!(snap.counter("monitor.tier.beam.assigned"), Some(1));
+        assert_eq!(snap.counter("monitor.tier.spot.assigned"), Some(0));
+        // The episode opened once (flushes 1–2 were one continuous
+        // overload) and closed when flush 3 fit the budget.
+        assert_eq!(snap.counter("monitor.overload.episodes"), Some(1));
+        assert_eq!(snap.gauge("monitor.overload.active"), Some(0));
+    }
+
+    #[test]
+    fn drop_newest_sheds_only_demoted_benign_traffic() {
+        let obs = Registry::new();
+        let registry = ProfileRegistry::new();
+        registry
+            .register("bank", cyclic_profile("bank", -5.0))
+            .unwrap();
+        let mut runtime = MonitorRuntime::new(Arc::new(registry))
+            .with_registry(&obs)
+            .with_config(RuntimeConfig {
+                mode: ScoringMode::Incremental,
+                overload: OverloadConfig {
+                    capacity: 6,
+                    shed_policy: ShedPolicy::DropNewest,
+                    budget: 3,
+                    ..OverloadConfig::default()
+                },
+                ..RuntimeConfig::default()
+            });
+        let tag = |session: &str, name: &str| TaggedCall {
+            app: "bank".into(),
+            session: session.into(),
+            event: event(name, "main"),
+        };
+        // Two flushes establish margins; the second demotes s-1 (equal
+        // margin, later arrival) to the spot tier under budget 3.
+        for _ in 0..2 {
+            for s in ["s-0", "s-1"] {
+                for name in ["a", "b", "c_Q7"] {
+                    assert_eq!(runtime.ingest(&tag(s, name)), IngestStatus::Admitted);
+                }
+            }
+            runtime.flush();
+        }
+        // Fill the queue to its hard bound...
+        for name in ["a", "b", "c_Q7", "a", "b", "c_Q7"] {
+            assert_eq!(runtime.ingest(&tag("s-0", name)), IngestStatus::Admitted);
+        }
+        assert_eq!(runtime.pending(), 6);
+        // ...a benign event for the demoted session is shed (counted,
+        // never scored, queue still at the bound)...
+        assert_eq!(runtime.ingest(&tag("s-1", "a")), IngestStatus::Shed);
+        assert_eq!(runtime.pending(), 6);
+        // ...but a dangerous (DDG-labeled) event for the same demoted
+        // session must not be lost: it falls back to the backpressure
+        // flush and is admitted.
+        assert_eq!(
+            runtime.ingest(&tag("s-1", "c_Q7")),
+            IngestStatus::Backpressured
+        );
+        assert_eq!(runtime.pending(), 1);
+        let reports = runtime.finish();
+        let s1 = reports.iter().find(|r| r.session == "s-1").unwrap();
+        // The shed event still counted toward the session's event total.
+        assert_eq!(s1.events, 8);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("monitor.shed.events"), Some(1));
+        assert_eq!(snap.counter("monitor.backpressure.flushes"), Some(1));
+        assert_eq!(snap.gauge("monitor.queue.depth"), Some(6));
+    }
+
+    #[test]
+    fn hard_capacity_bound_holds_via_backpressure() {
+        let obs = Registry::new();
+        let registry = ProfileRegistry::new();
+        registry
+            .register("bank", cyclic_profile("bank", -5.0))
+            .unwrap();
+        let mut runtime = MonitorRuntime::new(Arc::new(registry))
+            .with_registry(&obs)
+            .with_config(RuntimeConfig {
+                overload: OverloadConfig {
+                    capacity: 4,
+                    ..OverloadConfig::default()
+                },
+                ..RuntimeConfig::default()
+            });
+        let mut backpressured = 0;
+        for i in 0..10 {
+            let status = runtime.ingest(&TaggedCall {
+                app: "bank".into(),
+                session: "s-0".into(),
+                event: event(["a", "b", "c_Q7"][i % 3], "main"),
+            });
+            if status == IngestStatus::Backpressured {
+                backpressured += 1;
+            }
+            assert!(runtime.pending() <= 4, "hard bound breached at event {i}");
+        }
+        // Events 5 and 9 arrive with four already pending: each pays one
+        // synchronous flush and is then admitted.
+        assert_eq!(backpressured, 2);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("monitor.backpressure.flushes"), Some(2));
+        assert_eq!(snap.gauge("monitor.queue.depth"), Some(4));
+        runtime.finish();
     }
 
     #[test]

@@ -25,12 +25,13 @@ use crate::telemetry::{audit_record_from_alert, DetectMetrics};
 use adprom_hmm::{
     forward_beam, log_likelihood, log_likelihood_sparse,
     score_windows_batch as sparse_windows_batch, step_scores, step_scores_sparse, BatchScores,
-    F32Kernel, Precision, SlidingState, SlidingStats, StepScores,
+    BeamConfig, F32Kernel, Precision, SlidingState, SlidingStats, StepScores,
 };
 use adprom_obs::{AuditLog, DeviantTransition, ForensicReport, Registry, WindowTrace};
 use adprom_trace::CallEvent;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -95,6 +96,11 @@ pub struct KernelStatus {
     /// Widest window-batch the scorer's batched paths hand the kernel in
     /// one pass; `1` means windows are scored one at a time.
     pub batch_width: u32,
+    /// Cumulative beam-pruning score-error bound in integral micro-nats
+    /// (`0` when no pruning ever ran). Session reports stamp the owning
+    /// session's [`SlidingState::gap_bound`] here at close, so pruned-tier
+    /// verdicts carry their score-bound provenance.
+    pub gap_bound_micronats: i64,
 }
 
 impl Default for KernelStatus {
@@ -112,6 +118,7 @@ impl KernelStatus {
             fallback_reason: None,
             precision: "f64".to_string(),
             batch_width: 1,
+            gap_bound_micronats: 0,
         }
     }
 
@@ -124,6 +131,7 @@ impl KernelStatus {
             fallback_reason: Some(reason),
             precision: "f64".to_string(),
             batch_width: 1,
+            gap_bound_micronats: 0,
         }
     }
 
@@ -131,6 +139,70 @@ impl KernelStatus {
     pub fn fell_back(&self) -> bool {
         self.fallback_reason.is_some()
     }
+}
+
+/// The scoring tier the risk-budget scheduler holds a live session at
+/// while the monitor is overloaded (see
+/// [`OverloadConfig`](crate::runtime::OverloadConfig)). Ordered by
+/// fidelity — `SpotCheck < BeamPruned < Full` — so the starvation floor
+/// "never below tier X" is an `Ord` comparison.
+///
+/// Every tier keeps the sliding recurrence exact enough to be *sound*:
+/// flags under the two degraded tiers are classified on the score's
+/// gap-bound lower bound, so a window whose unconstrained verdict is an
+/// alarm still alarms (the degraded tiers can over-alarm, never
+/// under-alarm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub enum ScoringTier {
+    /// Beam-pruned pushes, and only every k-th window's verdict is
+    /// emitted; skipped windows carry the last verdict forward and are
+    /// skipped only when provably Normal (lower-bound score at or above
+    /// threshold, no out-of-context call in the window).
+    SpotCheck,
+    /// Beam-pruned sliding pushes ([`SlidingState::with_beam`]); every
+    /// window emits, flags classified on `score − gap_bound()`. A score
+    /// within `gap_bound()` of the threshold escalates the session back
+    /// to [`ScoringTier::Full`] — the sliding-window mirror of the f32
+    /// guard-band rescore.
+    BeamPruned,
+    /// The unconstrained baseline: exact incremental pushes, every window
+    /// emitted. Sessions start here and alarmed sessions are pinned here.
+    #[default]
+    Full,
+}
+
+impl ScoringTier {
+    /// Short label used by metrics, audit records, and bench JSON:
+    /// `"spot"`, `"beam"`, or `"full"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScoringTier::SpotCheck => "spot",
+            ScoringTier::BeamPruned => "beam",
+            ScoringTier::Full => "full",
+        }
+    }
+}
+
+impl fmt::Display for ScoringTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-alarm tier provenance recorded by a tier-armed [`SessionScorer`]:
+/// the tier the window was scored under, the escalation it triggered (if
+/// any), and the gap bound in force — one stamp per emitted alarm, in
+/// alarm order, drained alongside forensics at commit.
+#[derive(Debug, Clone)]
+pub(crate) struct TierStamp {
+    /// Tier the alarming window was scored under.
+    pub(crate) tier: ScoringTier,
+    /// Why the alarm escalated the session back to full scoring, when it
+    /// did.
+    pub(crate) escalation: Option<String>,
+    /// The cumulative beam gap bound at emission (nats; `0.0` when the
+    /// session never pruned).
+    pub(crate) gap_bound: f64,
 }
 
 /// Lane cap for the internally batched scoring paths ([`WindowScorer::scan`],
@@ -837,7 +909,7 @@ impl WindowScorer {
 
 /// Beam gap bound in integral micro-nats for the running-max gauge; an
 /// infinite bound (pruning starved the chain) saturates it.
-fn gap_micronats(bound: f64) -> i64 {
+pub(crate) fn gap_micronats(bound: f64) -> i64 {
     if bound.is_finite() {
         (bound * 1e6).ceil() as i64
     } else {
@@ -872,6 +944,43 @@ impl WindowEvent {
             .as_deref()
             .unwrap_or_else(|| profile.alphabet.decode(self.encoded))
     }
+
+    /// True when this fact can flag a window by itself — out-of-context
+    /// or DDG-labeled. Load shedding must never drop such an event.
+    pub(crate) fn is_dangerous(&self) -> bool {
+        self.ooc || self.labeled
+    }
+}
+
+/// Tier-ladder state of one session, boxed inside [`SessionScorer`] so
+/// unarmed sessions (every scorer outside an overload-configured
+/// [`MonitorRuntime`](crate::runtime::MonitorRuntime)) pay one null
+/// pointer. Cloned with the scorer state, so a crash-isolated replay
+/// that is retried cannot double-count escalations or stamps.
+#[derive(Debug, Clone)]
+struct TierState {
+    /// Tier currently in force (scheduler-assigned or self-escalated).
+    tier: ScoringTier,
+    /// Spot-check cadence: every `spot_every`-th window emits.
+    spot_every: u32,
+    /// Windows skipped since the last emitted one (spot tier).
+    since_check: u32,
+    /// The verdict carried forward across skipped spot-check windows.
+    carried: Flag,
+    /// Self-escalations back to [`ScoringTier::Full`] so far.
+    escalations: u32,
+    /// True once any window alarmed — pins the session at the full tier.
+    alarmed: bool,
+    /// Last emitted window's `score − threshold` (the risk scheduler's
+    /// margin input; `+∞` until the first window emits, so brand-new
+    /// sessions rank as unknown rather than safe).
+    margin: f64,
+    /// True when the tier machinery installed (and so may suspend/resume)
+    /// the sliding beam; false for dense kernels (nothing to prune) and
+    /// beam kernels (the beam is baseline semantics, never suspended).
+    owns_beam: bool,
+    /// Tier provenance of alarms since the last drain.
+    stamps: Vec<TierStamp>,
 }
 
 /// The session flight recorder: a bounded ring of recent window traces
@@ -917,6 +1026,7 @@ pub struct SessionScorer {
     seen: usize,
     done: bool,
     flight: Option<Box<FlightRecorder>>,
+    tier: Option<Box<TierState>>,
 }
 
 impl SessionScorer {
@@ -939,6 +1049,7 @@ impl SessionScorer {
             seen: 0,
             done: false,
             flight: None,
+            tier: None,
         }
     }
 
@@ -976,6 +1087,123 @@ impl SessionScorer {
         self.flight
             .as_mut()
             .map(|f| std::mem::take(&mut f.pending))
+            .unwrap_or_default()
+    }
+
+    /// Arms the risk-budget tier ladder: the session starts at
+    /// [`ScoringTier::Full`] and the scheduler may demote it with
+    /// [`SessionScorer::assign_tier`]. For a sparse kernel, `beam` is
+    /// installed into the sliding recurrence *suspended*
+    /// ([`SlidingState::set_beam_active`]) — pushes stay exact until a
+    /// demotion activates pruning. No-op outside incremental mode (tiers
+    /// modulate the sliding recurrence; exact mode has nothing to
+    /// degrade) — and for a beam kernel, whose always-on beam is baseline
+    /// semantics and is never toggled. Must be called before any push.
+    pub fn with_tier_support(
+        mut self,
+        scorer: &WindowScorer,
+        beam: BeamConfig,
+        spot_every: u32,
+    ) -> SessionScorer {
+        if self.mode != ScoringMode::Incremental {
+            return self;
+        }
+        let owns_beam = matches!(scorer.kernel(), KernelState::Sparse(_))
+            && (beam.top_k.is_some() || beam.mass_epsilon > 0.0);
+        if owns_beam {
+            if let Some(state) = self.sliding.take() {
+                let mut state = state.with_beam(beam);
+                state.set_beam_active(false);
+                self.sliding = Some(state);
+            }
+        }
+        self.tier = Some(Box::new(TierState {
+            tier: ScoringTier::Full,
+            spot_every: spot_every.max(1),
+            since_check: 0,
+            carried: Flag::Normal,
+            escalations: 0,
+            alarmed: false,
+            margin: f64::INFINITY,
+            owns_beam,
+            stamps: Vec::new(),
+        }));
+        self
+    }
+
+    /// True when [`SessionScorer::with_tier_support`] armed the ladder.
+    pub(crate) fn tier_armed(&self) -> bool {
+        self.tier.is_some()
+    }
+
+    /// The scoring tier in force ([`ScoringTier::Full`] when the ladder
+    /// is unarmed).
+    pub fn tier(&self) -> ScoringTier {
+        self.tier.as_deref().map_or(ScoringTier::Full, |t| t.tier)
+    }
+
+    /// Assigns the session's scoring tier (the serial scheduler's side of
+    /// the ladder). Alarmed sessions are pinned at [`ScoringTier::Full`]
+    /// — the starvation floor — so a demotion request on one is a no-op.
+    /// Activates or suspends the tier-owned sliding beam to match.
+    pub(crate) fn assign_tier(&mut self, tier: ScoringTier) {
+        let Some(state) = self.tier.as_deref_mut() else {
+            return;
+        };
+        let tier = if state.alarmed {
+            ScoringTier::Full
+        } else {
+            tier
+        };
+        state.tier = tier;
+        state.since_check = 0;
+        if state.owns_beam {
+            if let Some(sliding) = self.sliding.as_mut() {
+                sliding.set_beam_active(tier != ScoringTier::Full);
+            }
+        }
+    }
+
+    /// Last emitted window's `score − threshold` (`+∞` until one emits)
+    /// — the risk scheduler's margin input.
+    pub(crate) fn risk_margin(&self) -> f64 {
+        self.tier.as_deref().map_or(f64::INFINITY, |t| t.margin)
+    }
+
+    /// True once any window of this session alarmed (tier-armed sessions
+    /// only).
+    pub(crate) fn has_alarmed(&self) -> bool {
+        self.tier.as_deref().is_some_and(|t| t.alarmed)
+    }
+
+    /// Self-escalations back to [`ScoringTier::Full`] so far.
+    pub fn escalations(&self) -> u32 {
+        self.tier.as_deref().map_or(0, |t| t.escalations)
+    }
+
+    /// The verdict in force between spot checks — the last emitted
+    /// window's flag, carried forward across skipped windows (`None`
+    /// until a tier-armed session emits its first window).
+    pub fn carried_verdict(&self) -> Option<Flag> {
+        self.tier
+            .as_deref()
+            .filter(|t| t.margin.is_finite())
+            .map(|t| t.carried)
+    }
+
+    /// Cumulative beam-pruning score-error bound of the sliding
+    /// recurrence, in nats (`0.0` in exact mode or when nothing was ever
+    /// pruned). Sound for every window scored so far.
+    pub fn gap_bound(&self) -> f64 {
+        self.sliding.as_ref().map_or(0.0, SlidingState::gap_bound)
+    }
+
+    /// Drains the tier stamps recorded for alarms since the last drain,
+    /// in alarm order (empty when the ladder is unarmed).
+    pub(crate) fn take_tier_stamps(&mut self) -> Vec<TierStamp> {
+        self.tier
+            .as_deref_mut()
+            .map(|t| std::mem::take(&mut t.stamps))
             .unwrap_or_default()
     }
 
@@ -1043,7 +1271,7 @@ impl SessionScorer {
                         .score_ns
                         .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 }
-                self.emit(scorer, ll, session, steps)
+                self.emit(scorer, ll, ll, session, steps)
             }),
             ScoringMode::Incremental => {
                 let sliding = self.sliding.as_mut().expect("incremental state");
@@ -1052,7 +1280,11 @@ impl SessionScorer {
                     KernelState::Sparse(sp) | KernelState::Beam(sp, _) => Some(sp.as_ref()),
                 };
                 let ll = sliding.push(&profile.hmm, kernel, encoded);
-                (self.seen >= self.window).then(|| self.emit(scorer, ll, session, None))
+                if self.seen >= self.window {
+                    self.emit_scored(scorer, ll, session)
+                } else {
+                    None
+                }
             }
         }
     }
@@ -1115,6 +1347,7 @@ impl SessionScorer {
                             &mut self.flight,
                             scorer,
                             ll,
+                            ll,
                             session,
                             steps,
                             &combined[e + 1 - w..=e],
@@ -1147,7 +1380,9 @@ impl SessionScorer {
                     let sliding = self.sliding.as_mut().expect("incremental state");
                     let ll = sliding.push(&profile.hmm, kernel, encoded);
                     if self.seen >= self.window {
-                        out.push(self.emit(scorer, ll, session, None));
+                        if let Some(alert) = self.emit_scored(scorer, ll, session) {
+                            out.push(alert);
+                        }
                     }
                 }
             }
@@ -1195,18 +1430,112 @@ impl SessionScorer {
                 None,
             ),
         };
-        Some(self.emit(scorer, ll, session, steps))
+        let slack = if self.tier.is_some() {
+            self.gap_bound()
+        } else {
+            0.0
+        };
+        let alert = self.emit(scorer, ll, ll - slack, session, steps);
+        if alert.is_alarm() {
+            if let Some(state) = self.tier.as_deref_mut() {
+                state.alarmed = true;
+                state.stamps.push(TierStamp {
+                    tier: state.tier,
+                    escalation: None,
+                    gap_bound: slack,
+                });
+            }
+        }
+        Some(alert)
+    }
+
+    /// Tier-aware emission of the incremental window ending at the
+    /// current event: unarmed sessions emit exactly as before; armed
+    /// sessions classify the flag on the sound lower bound
+    /// `score − gap_bound()` (identical to the raw score while nothing
+    /// was pruned), may skip provably-Normal spot-check windows, and
+    /// self-escalate back to [`ScoringTier::Full`] when a degraded-tier
+    /// window alarms or its pruned score lands within the gap bound of
+    /// the threshold — the guard-band discipline of the f32 fast path,
+    /// transplanted to the tier ladder.
+    fn emit_scored(&mut self, scorer: &WindowScorer, ll: f64, session: &str) -> Option<Alert> {
+        let Some(state) = self.tier.as_deref() else {
+            return Some(self.emit(scorer, ll, ll, session, None));
+        };
+        let tier = state.tier;
+        let due = state.since_check + 1 >= state.spot_every;
+        let g = self.gap_bound();
+        let threshold = scorer.threshold();
+        // The exact conditional score is within [floor, ll]: pruning only
+        // ever removes probability mass.
+        let floor = ll - g;
+        if tier == ScoringTier::SpotCheck && !due {
+            // Skip only when the verdict is provably Normal: DataLeak and
+            // Anomalous both require a below-threshold score, and
+            // OutOfContext is decided by the window facts alone.
+            let ooc_in_window = self.ring.iter().any(|f| f.ooc);
+            if floor >= threshold && !ooc_in_window {
+                let state = self.tier.as_deref_mut().expect("tier state");
+                state.since_check += 1;
+                state.margin = ll - threshold;
+                scorer.metrics().tier_spot_skipped.inc();
+                return None;
+            }
+        }
+        let alert = self.emit(scorer, ll, floor, session, None);
+        let metrics = scorer.metrics();
+        match tier {
+            ScoringTier::Full => metrics.tier_full_windows.inc(),
+            ScoringTier::BeamPruned => metrics.tier_beam_windows.inc(),
+            ScoringTier::SpotCheck => metrics.tier_spot_windows.inc(),
+        }
+        let alarm = alert.is_alarm();
+        let escalation = if tier == ScoringTier::Full {
+            None
+        } else if alarm {
+            Some("alarm raised below full tier")
+        } else if g > 0.0 && (ll - threshold).abs() <= g {
+            Some("pruned score within gap bound of threshold")
+        } else {
+            None
+        };
+        let state = self.tier.as_deref_mut().expect("tier state");
+        state.since_check = 0;
+        state.margin = ll - threshold;
+        state.carried = alert.flag;
+        if alarm {
+            state.alarmed = true;
+            state.stamps.push(TierStamp {
+                tier,
+                escalation: escalation.map(str::to_string),
+                gap_bound: g,
+            });
+        }
+        if escalation.is_some() {
+            state.tier = ScoringTier::Full;
+            state.escalations += 1;
+            metrics.tier_escalations.inc();
+            if state.owns_beam {
+                if let Some(sliding) = self.sliding.as_mut() {
+                    sliding.set_beam_active(false);
+                }
+            }
+        }
+        Some(alert)
     }
 
     /// Builds and observes the alert for the window currently in the ring,
     /// feeding the flight recorder when one is armed. `steps` carries the
     /// scoring pass's own per-step factors (exact mode); when absent an
     /// alarmed window's attribution is computed here, π-anchored over the
-    /// ring's calls.
+    /// ring's calls. `flag_ll` is the score the flag is classified on —
+    /// `ll` itself everywhere except tier-armed sessions, which classify
+    /// on the gap-bound lower bound.
     fn emit(
         &mut self,
         scorer: &WindowScorer,
         ll: f64,
+        flag_ll: f64,
         session: &str,
         steps: Option<Vec<f64>>,
     ) -> Alert {
@@ -1217,6 +1546,7 @@ impl SessionScorer {
             &mut self.flight,
             scorer,
             ll,
+            flag_ll,
             session,
             steps,
             window,
@@ -1233,6 +1563,7 @@ impl SessionScorer {
         flight: &mut Option<Box<FlightRecorder>>,
         scorer: &WindowScorer,
         ll: f64,
+        flag_ll: f64,
         session: &str,
         steps: Option<Vec<f64>>,
         window: &[WindowEvent],
@@ -1241,7 +1572,7 @@ impl SessionScorer {
         let names: Vec<String> = window.iter().map(|f| f.name(profile).to_string()).collect();
         let ooc = window.iter().find(|f| f.ooc);
         let leak = window.iter().find(|f| f.labeled);
-        let flag = Flag::classify(ll, scorer.threshold(), leak.is_some(), ooc.is_some());
+        let flag = Flag::classify(flag_ll, scorer.threshold(), leak.is_some(), ooc.is_some());
         let detail = alert_detail(
             flag,
             ooc.map(|f| (f.name(profile), f.caller.as_str())),
@@ -1501,6 +1832,124 @@ mod tests {
             got.extend(armed.finalize(&scorer, ""));
             assert_eq!(format!("{expected:?}"), format!("{got:?}"));
         }
+    }
+
+    #[test]
+    fn full_tier_armed_session_is_bit_identical_to_unarmed_baseline() {
+        // Arming the ladder installs the beam *suspended*: as long as the
+        // session holds the full tier, nothing is ever pruned, the gap
+        // bound stays zero, and every alert is bit-identical to the
+        // unarmed incremental baseline — even with an aggressive beam.
+        let scorer = WindowScorer::new(Arc::new(cyclic_profile())).with_kernel_validated(
+            KernelConfig::Sparse {
+                sparse: adprom_hmm::SparseConfig::default(),
+            },
+        );
+        let beam = BeamConfig {
+            top_k: Some(1),
+            mass_epsilon: 0.0,
+        };
+        for (i, trace) in traces().iter().enumerate() {
+            let mut plain = SessionScorer::new(&scorer, ScoringMode::Incremental);
+            let mut armed = SessionScorer::new(&scorer, ScoringMode::Incremental)
+                .with_tier_support(&scorer, beam, 4);
+            assert_eq!(armed.tier(), ScoringTier::Full);
+            let mut expected: Vec<Alert> = trace
+                .iter()
+                .filter_map(|e| plain.push(&scorer, e, ""))
+                .collect();
+            expected.extend(plain.finalize(&scorer, ""));
+            let mut got: Vec<Alert> = trace
+                .iter()
+                .filter_map(|e| armed.push(&scorer, e, ""))
+                .collect();
+            got.extend(armed.finalize(&scorer, ""));
+            assert_eq!(
+                format!("{expected:?}"),
+                format!("{got:?}"),
+                "trace {i}: full tier must not perturb the baseline"
+            );
+            assert_eq!(armed.gap_bound(), 0.0, "trace {i}: beam never engaged");
+        }
+    }
+
+    #[test]
+    fn spot_tier_skips_provably_normal_windows_and_carries_the_verdict() {
+        let registry = Registry::new();
+        let scorer = WindowScorer::new(Arc::new(cyclic_profile())).with_registry(&registry);
+        let beam = BeamConfig {
+            top_k: None,
+            mass_epsilon: 0.0,
+        };
+        let mut state = SessionScorer::new(&scorer, ScoringMode::Incremental)
+            .with_tier_support(&scorer, beam, 4);
+        state.assign_tier(ScoringTier::SpotCheck);
+        assert_eq!(state.carried_verdict(), None, "no window emitted yet");
+        // Four benign cycles: 12 events, 10 windows. Only every fourth
+        // check emits (windows 4 and 8); the other eight are provably
+        // Normal — the exact score is at or above its lower bound, which
+        // clears the threshold — and are skipped.
+        let trace = trace_from(&[
+            "a", "b", "c_Q7", "a", "b", "c_Q7", "a", "b", "c_Q7", "a", "b", "c_Q7",
+        ]);
+        let alerts: Vec<Alert> = trace
+            .iter()
+            .filter_map(|e| state.push(&scorer, e, ""))
+            .collect();
+        assert!(state.finalize(&scorer, "").is_none());
+        assert_eq!(alerts.len(), 2, "every fourth window emits");
+        assert!(alerts.iter().all(|a| a.flag == Flag::Normal));
+        assert_eq!(state.carried_verdict(), Some(Flag::Normal));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("monitor.tier.spot.windows"), Some(2));
+        assert_eq!(snap.counter("monitor.tier.spot.skipped"), Some(8));
+        assert_eq!(snap.counter("monitor.tier.escalations"), Some(0));
+    }
+
+    #[test]
+    fn beam_tier_alarm_escalates_back_to_full_and_pins() {
+        let registry = Registry::new();
+        let scorer = WindowScorer::new(Arc::new(cyclic_profile()))
+            .with_kernel_validated(KernelConfig::Sparse {
+                sparse: adprom_hmm::SparseConfig::default(),
+            })
+            .with_registry(&registry);
+        let beam = BeamConfig {
+            top_k: Some(2),
+            mass_epsilon: 0.0,
+        };
+        let mut state = SessionScorer::new(&scorer, ScoringMode::Incremental)
+            .with_tier_support(&scorer, beam, 4);
+        state.assign_tier(ScoringTier::BeamPruned);
+        assert_eq!(state.tier(), ScoringTier::BeamPruned);
+        // The exfiltration window alarms under the demoted tier: the
+        // session must escalate itself back to full scoring.
+        let attack = trace_from(&["a", "evil_exfil", "c_Q7", "a"]);
+        let mut alerts: Vec<Alert> = attack
+            .iter()
+            .filter_map(|e| state.push(&scorer, e, ""))
+            .collect();
+        alerts.extend(state.finalize(&scorer, ""));
+        assert!(
+            alerts.iter().any(Alert::is_alarm),
+            "the attack still alarms"
+        );
+        assert!(state.escalations() >= 1);
+        assert_eq!(state.tier(), ScoringTier::Full);
+        // An alarmed session is pinned: a later demotion is a no-op.
+        state.assign_tier(ScoringTier::SpotCheck);
+        assert_eq!(state.tier(), ScoringTier::Full);
+        let snap = registry.snapshot();
+        assert!(snap.counter("monitor.tier.escalations").unwrap() >= 1);
+        // Every alarm carries a tier stamp, in emit order.
+        let stamps = state.take_tier_stamps();
+        assert_eq!(stamps.len(), alerts.iter().filter(|a| a.is_alarm()).count());
+        assert_eq!(stamps[0].tier, ScoringTier::BeamPruned);
+        assert_eq!(
+            stamps[0].escalation.as_deref(),
+            Some("alarm raised below full tier")
+        );
+        assert!(state.take_tier_stamps().is_empty(), "drained means drained");
     }
 
     #[test]

@@ -57,6 +57,23 @@ pub struct DetectMetrics {
     /// log-likelihood error bound, in micro-nats (the bound is a small
     /// f64; gauges are integral, so it is scaled by 1e6 and rounded up).
     pub beam_gap_bound_max: Gauge,
+    /// `monitor.tier.full.windows` — windows emitted by tier-armed
+    /// sessions while assigned the full-incremental tier.
+    pub tier_full_windows: Counter,
+    /// `monitor.tier.beam.windows` — windows emitted under the
+    /// beam-pruned tier (flags classified on the gap-bound lower bound).
+    pub tier_beam_windows: Counter,
+    /// `monitor.tier.spot.windows` — windows emitted under the
+    /// spot-check tier (cadence checks plus danger escapes).
+    pub tier_spot_windows: Counter,
+    /// `monitor.tier.spot.skipped` — spot-check windows whose verdict was
+    /// carried forward without emission (provably Normal: lower-bound
+    /// score at or above threshold and no out-of-context call).
+    pub tier_spot_skipped: Counter,
+    /// `monitor.tier.escalations` — self-escalations back to the full
+    /// tier (gap-bound uncertainty around the threshold, or an alarm
+    /// raised below the full tier).
+    pub tier_escalations: Counter,
 }
 
 impl DetectMetrics {
@@ -83,6 +100,11 @@ impl DetectMetrics {
             f32_rescored: registry.counter("detect.kernel.f32_rescored"),
             beam_windows_pruned: registry.counter("beam.windows_pruned"),
             beam_gap_bound_max: registry.gauge("beam.gap_bound_micronats_max"),
+            tier_full_windows: registry.counter("monitor.tier.full.windows"),
+            tier_beam_windows: registry.counter("monitor.tier.beam.windows"),
+            tier_spot_windows: registry.counter("monitor.tier.spot.windows"),
+            tier_spot_skipped: registry.counter("monitor.tier.spot.skipped"),
+            tier_escalations: registry.counter("monitor.tier.escalations"),
         }
     }
 
@@ -232,8 +254,10 @@ pub struct MonitorMetrics {
     pub sessions_opened: Counter,
     /// `monitor.sessions.finished` — sessions closed normally.
     pub sessions_finished: Counter,
-    /// `monitor.queue.depth` — events buffered and not yet flushed
-    /// through the scoring pool.
+    /// `monitor.queue.depth` — run-lifetime high-water mark of events
+    /// buffered and not yet flushed through the scoring pool (recorded
+    /// via [`Gauge::record_max`] so transient spikes between flushes are
+    /// not hidden by a last-write-wins snapshot).
     pub queue_depth: Gauge,
     /// `monitor.events` — tagged events ingested.
     pub events: Counter,
@@ -271,6 +295,28 @@ pub struct MonitorMetrics {
     /// flight recorders (0 while no session alarms, however many events
     /// flow — the benign-path no-allocation observable).
     pub forensics_reports: Counter,
+    /// `monitor.tier.full.assigned` — risk-scheduler assignments to the
+    /// full-incremental tier (one per session per re-evaluation).
+    pub tier_full_assigned: Counter,
+    /// `monitor.tier.beam.assigned` — assignments to the beam-pruned
+    /// tier.
+    pub tier_beam_assigned: Counter,
+    /// `monitor.tier.spot.assigned` — assignments to the spot-check
+    /// tier.
+    pub tier_spot_assigned: Counter,
+    /// `monitor.shed.events` — events dropped at the ingest boundary by
+    /// the `DropNewest` shed policy while the queue sat at capacity.
+    pub shed_events: Counter,
+    /// `monitor.backpressure.flushes` — synchronous flushes forced at the
+    /// ingest boundary because the bounded queue was full (the explicit
+    /// backpressure signal: the caller stalls for one flush).
+    pub backpressure_flushes: Counter,
+    /// `monitor.overload.active` — 1 while the pending load exceeds the
+    /// configured risk budget, 0 once a flush drains back under it.
+    pub overload_active: Gauge,
+    /// `monitor.overload.episodes` — transitions from under-budget to
+    /// over-budget (distinct overload episodes, not per-event).
+    pub overload_episodes: Counter,
 }
 
 impl MonitorMetrics {
@@ -298,6 +344,13 @@ impl MonitorMetrics {
             stage_finalize_ns: registry.histogram("monitor.stage.finalize_ns"),
             flush_batch_sessions: registry.gauge("monitor.flush.batch_sessions"),
             forensics_reports: registry.counter("monitor.forensics.reports"),
+            tier_full_assigned: registry.counter("monitor.tier.full.assigned"),
+            tier_beam_assigned: registry.counter("monitor.tier.beam.assigned"),
+            tier_spot_assigned: registry.counter("monitor.tier.spot.assigned"),
+            shed_events: registry.counter("monitor.shed.events"),
+            backpressure_flushes: registry.counter("monitor.backpressure.flushes"),
+            overload_active: registry.gauge("monitor.overload.active"),
+            overload_episodes: registry.counter("monitor.overload.episodes"),
         }
     }
 }
@@ -332,6 +385,9 @@ pub fn audit_record_from_alert(alert: &Alert, session: &str, kernel: &str) -> Au
         label,
         bid,
         forensics: None,
+        tier: None,
+        escalation: None,
+        gap_bound_micronats: None,
     }
 }
 

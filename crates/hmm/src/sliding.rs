@@ -96,6 +96,11 @@ pub struct SlidingState {
     stats: SlidingStats,
     /// Optional beam pruning of the running α vector.
     beam: Option<BeamConfig>,
+    /// True while a configured beam is suspended
+    /// ([`SlidingState::set_beam_active`]): pushes propagate exactly, but
+    /// the error recursion keeps running so [`SlidingState::gap_bound`]
+    /// stays a sound bound over windows that still overlap pruned pushes.
+    beam_idle: bool,
     /// `Ê` of the beam error recursion for the current chain (see
     /// [`crate::sparse::forward_beam`]).
     beam_err: f64,
@@ -127,6 +132,7 @@ impl SlidingState {
             dead: true,
             stats: SlidingStats::default(),
             beam: None,
+            beam_idle: false,
             beam_err: 0.0,
             beam_peak: 0.0,
             beam_pruned_prev: 0.0,
@@ -141,6 +147,23 @@ impl SlidingState {
     pub fn with_beam(mut self, beam: BeamConfig) -> SlidingState {
         self.beam = Some(beam);
         self
+    }
+
+    /// Suspends (`false`) or resumes (`true`) a configured beam without
+    /// discarding it — the hook a tiered scheduler uses to demote a
+    /// session to pruned scoring and promote it back mid-stream. While
+    /// suspended, pushes propagate the full α vector (no new mass is
+    /// pruned), but the beam error recursion keeps running so
+    /// [`SlidingState::gap_bound`] remains a sound bound for every window
+    /// that still overlaps previously pruned pushes. A no-op without a
+    /// configured beam.
+    pub fn set_beam_active(&mut self, active: bool) {
+        self.beam_idle = !active;
+    }
+
+    /// True when a beam is configured and not suspended.
+    pub fn beam_active(&self) -> bool {
+        self.beam.is_some() && !self.beam_idle
     }
 
     /// Sound bound on the beam-induced window-score error so far:
@@ -247,9 +270,15 @@ impl SlidingState {
                 *dst = src * inv;
             }
             if let Some(beam) = self.beam {
-                let (pm, pc) = prune_alpha(&mut self.alpha, &mut self.beam_order, &beam);
-                self.beam_pruned_prev = pm;
-                self.stats.pruned_states += pc as u64;
+                if self.beam_idle {
+                    // Suspended: nothing pruned this push, so the next
+                    // error-recursion step folds in zero fresh mass.
+                    self.beam_pruned_prev = 0.0;
+                } else {
+                    let (pm, pc) = prune_alpha(&mut self.alpha, &mut self.beam_order, &beam);
+                    self.beam_pruned_prev = pm;
+                    self.stats.pruned_states += pc as u64;
+                }
             }
             c.ln()
         } else {
@@ -563,6 +592,63 @@ mod tests {
             );
         }
         assert!(pruned.stats().pruned_states > 0);
+    }
+
+    #[test]
+    fn suspended_beam_scores_exactly_and_resume_prunes() {
+        use crate::sparse::{BeamConfig, SparseConfig, SparseTransitions};
+        let hmm = smoothed(10, 6, 21);
+        let sp = SparseTransitions::from_hmm(&hmm, &SparseConfig::default());
+        let obs = hmm.sample(120, 8);
+        let beam = BeamConfig {
+            top_k: Some(3),
+            mass_epsilon: 0.02,
+        };
+        // A beam configured but suspended from the start is bit-identical
+        // to no beam at all, and its gap bound stays zero.
+        let mut exact = SlidingState::new(hmm.n_states(), 15);
+        let mut idle = SlidingState::new(hmm.n_states(), 15).with_beam(beam);
+        idle.set_beam_active(false);
+        assert!(!idle.beam_active());
+        for &s in &obs[..40] {
+            let e = exact.push(&hmm, Some(&sp), s);
+            let i = idle.push(&hmm, Some(&sp), s);
+            assert_eq!(e.to_bits(), i.to_bits(), "suspended beam must be exact");
+        }
+        assert_eq!(idle.gap_bound(), 0.0);
+        assert_eq!(idle.stats().pruned_states, 0);
+        // Resume: pruning starts, and every window's error stays within
+        // the cumulative gap bound even across the toggle.
+        idle.set_beam_active(true);
+        assert!(idle.beam_active());
+        for &s in &obs[40..80] {
+            let e = exact.push(&hmm, Some(&sp), s);
+            let p = idle.push(&hmm, Some(&sp), s);
+            assert!(
+                (e - p).abs() <= idle.gap_bound() + 1e-9,
+                "gap {} exceeds bound {}",
+                (e - p).abs(),
+                idle.gap_bound()
+            );
+        }
+        assert!(idle.stats().pruned_states > 0, "resumed beam prunes");
+        let bound_at_suspend = idle.gap_bound();
+        assert!(bound_at_suspend > 0.0);
+        // Suspend again: no new pruning, the bound keeps covering windows
+        // that overlap the pruned stretch.
+        idle.set_beam_active(false);
+        let pruned_before = idle.stats().pruned_states;
+        for &s in &obs[80..] {
+            let e = exact.push(&hmm, Some(&sp), s);
+            let p = idle.push(&hmm, Some(&sp), s);
+            assert!(
+                (e - p).abs() <= idle.gap_bound() + 1e-9,
+                "post-suspend gap {} exceeds bound {}",
+                (e - p).abs(),
+                idle.gap_bound()
+            );
+        }
+        assert_eq!(idle.stats().pruned_states, pruned_before);
     }
 
     #[test]

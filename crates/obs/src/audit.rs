@@ -61,14 +61,26 @@ pub struct AuditRecord {
     /// missing on parse, so records written before this field existed
     /// still round-trip.
     pub forensics: Option<ForensicReport>,
+    /// Scoring tier the alarming window was scored under (`full`,
+    /// `beam`, `spot`) when the runtime's risk-budget tier ladder was
+    /// armed. Omitted/lenient like `forensics`.
+    pub tier: Option<String>,
+    /// Why the alarm escalated its session back to full scoring, when a
+    /// degraded-tier window alarmed or scored inside the gap bound.
+    pub escalation: Option<String>,
+    /// Cumulative beam-pruning score-error bound at emission, in
+    /// integral micro-nats — the provenance that bounds how far
+    /// `log_likelihood` can sit above the exact score.
+    pub gap_bound_micronats: Option<i64>,
 }
 
 // Serialization is hand-written (the derive stand-in has no
-// `#[serde(default)]`): `forensics` is emitted only when present and
-// parsed leniently, every other field exactly as the derive would.
+// `#[serde(default)]`): `forensics` and the tier-provenance fields are
+// emitted only when present and parsed leniently, every other field
+// exactly as the derive would.
 impl Serialize for AuditRecord {
     fn serialize(&self) -> Content {
-        let mut map: Vec<(Content, Content)> = Vec::with_capacity(13);
+        let mut map: Vec<(Content, Content)> = Vec::with_capacity(16);
         let mut push = |name: &str, value: Content| {
             map.push((Content::Str(name.to_string()), value));
         };
@@ -86,6 +98,15 @@ impl Serialize for AuditRecord {
         push("bid", self.bid.serialize());
         if let Some(forensics) = &self.forensics {
             push("forensics", forensics.serialize());
+        }
+        if let Some(tier) = &self.tier {
+            push("tier", tier.serialize());
+        }
+        if let Some(escalation) = &self.escalation {
+            push("escalation", escalation.serialize());
+        }
+        if let Some(gap) = &self.gap_bound_micronats {
+            push("gap_bound_micronats", gap.serialize());
         }
         Content::Map(map)
     }
@@ -110,6 +131,9 @@ impl Deserialize for AuditRecord {
             label: de_field(map, "label")?,
             bid: de_field(map, "bid")?,
             forensics: de_field_opt(map, "forensics")?,
+            tier: de_field_opt(map, "tier")?,
+            escalation: de_field_opt(map, "escalation")?,
+            gap_bound_micronats: de_field_opt(map, "gap_bound_micronats")?,
         })
     }
 }
@@ -590,6 +614,9 @@ mod tests {
             label: Some("printf_Q6".into()),
             bid: Some("6".into()),
             forensics: None,
+            tier: None,
+            escalation: None,
+            gap_bound_micronats: None,
         }
     }
 
@@ -638,6 +665,28 @@ mod tests {
         let parsed = AuditRecord::from_jsonl(legacy).unwrap();
         assert_eq!(parsed.seq, 3);
         assert_eq!(parsed.forensics, None);
+        assert_eq!(parsed.tier, None);
+        assert_eq!(parsed.escalation, None);
+        assert_eq!(parsed.gap_bound_micronats, None);
+    }
+
+    #[test]
+    fn tier_provenance_round_trips_and_is_omitted_when_absent() {
+        let mut record = leak_record();
+        record.tier = Some("beam".into());
+        record.escalation = Some("alarm raised below full tier".into());
+        record.gap_bound_micronats = Some(1234);
+        let line = record.to_jsonl();
+        assert!(line.contains("\"tier\":\"beam\""));
+        assert!(line.contains("\"gap_bound_micronats\":1234"));
+        let parsed = AuditRecord::from_jsonl(&line).unwrap();
+        assert_eq!(parsed, record);
+        // Unstamped records keep the keys out of the line entirely.
+        let plain = leak_record();
+        let line = plain.to_jsonl();
+        assert!(!line.contains("tier"));
+        assert!(!line.contains("escalation"));
+        assert!(!line.contains("gap_bound"));
     }
 
     #[test]

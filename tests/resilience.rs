@@ -268,6 +268,9 @@ proptest! {
                 label: None,
                 bid: None,
                 forensics: None,
+                tier: None,
+                escalation: None,
+                gap_bound_micronats: None,
             })
             .collect();
         for record in &originals {
