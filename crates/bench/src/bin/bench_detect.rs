@@ -48,6 +48,17 @@
 //!   reports per attack family, dump the records to
 //!   `FORENSICS_detect.jsonl`, and record the forensics-enabled
 //!   benign-path throughput against the disabled runtime.
+//! * `--service` — replay the 3-application interleaved corpus through
+//!   the sharded monitoring service's framed wire path: encode the
+//!   stream as `ADP1` frames, ingest through a `ShardedMonitor` at
+//!   shard counts {1, 2, 4, 8}, *assert* per-session verdicts are
+//!   bit-identical to an unsharded `MonitorRuntime` over the same
+//!   stream, *assert* a mid-stream cross-shard profile hot-swap never
+//!   splits a session's windows across epochs, and record aggregate
+//!   events/sec per shard count. On this box shard replays are timed
+//!   one at a time and the aggregate is the critical-path model
+//!   (total events / slowest shard — the array's capacity when each
+//!   shard owns a core), recorded alongside the serial wall number.
 //! * `--overload` — replay the attack corpus plus the benign training
 //!   sessions through an overload-controlled `MonitorRuntime` whose
 //!   scoring budget is half its hard ingest bound (sustained 2× load),
@@ -63,11 +74,12 @@ use adprom_attacks::{
 };
 use adprom_core::resilience::sites;
 use adprom_core::{
-    apply_ingest_faults, build_profile, init_from_pctm, trace_windows, Alert, BatchDetector,
-    ConstructorConfig, DetectionEngine, FaultInjector, FaultKind, FaultPlan, Flag, ForensicsConfig,
-    Health, HealthMonitor, KernelConfig, MonitorRuntime, OverloadConfig, Precision,
-    ProfileRegistry, RuntimeConfig, ScoringMode, ScoringTier, SessionEnd, SessionReport,
-    ShedPolicy, TraceStatus, Trigger,
+    apply_ingest_faults, build_profile, encode_stream, init_from_pctm, partition_stream, shard_for,
+    trace_windows, verdict_partition, Alert, BatchDetector, ConstructorConfig, DetectionEngine,
+    FaultInjector, FaultKind, FaultPlan, Flag, ForensicsConfig, Health, HealthMonitor,
+    KernelConfig, MonitorRuntime, OverloadConfig, Precision, ProfileRegistry, RuntimeConfig,
+    ScoringMode, ScoringTier, SessionEnd, SessionReport, ShardedMonitor, ShedPolicy, TraceStatus,
+    Trigger,
 };
 use adprom_hmm::{
     log_likelihood_sparse, score_windows_batch, train, BeamConfig, F32Kernel, Hmm, SparseConfig,
@@ -311,6 +323,7 @@ fn main() {
     let mut forensics = false;
     let mut simd = false;
     let mut overload = false;
+    let mut service = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -325,16 +338,28 @@ fn main() {
             "--multiapp" => multiapp = true,
             "--forensics" => forensics = true,
             "--overload" => overload = true,
+            "--service" => service = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: bench_detect [--smoke] [--sparse] [--beam] [--simd] [--faults] \
-                     [--multiapp] [--forensics] [--overload] [--metrics-out <path>]"
+                     [--multiapp] [--forensics] [--overload] [--service] [--metrics-out <path>]"
                 );
                 std::process::exit(2);
             }
         }
     }
+    // Bare --metrics-out filenames land under target/ (with the other
+    // build products) instead of littering the repo root; explicit
+    // directories are honored as given.
+    let metrics_out = metrics_out.map(|path| {
+        if path.contains('/') {
+            path
+        } else {
+            format!("target/{path}")
+        }
+    });
+    std::fs::create_dir_all("target").expect("create target dir");
     let (cases, max_iterations, max_runs, budget_secs) = if smoke {
         (12, 3, 2, 0.3)
     } else {
@@ -350,7 +375,9 @@ fn main() {
     // One label per run shape: history entries carry it so gates select
     // the latest entry per (workload, mode) instead of guessing by tail
     // position across heterogeneous runs.
-    let mode_label = if overload {
+    let mode_label = if service {
+        "service"
+    } else if overload {
         "overload"
     } else if simd {
         "simd"
@@ -904,6 +931,283 @@ fn main() {
         String::new()
     };
 
+    // Sharded-service gate: the same 3-app corpus, shipped through the
+    // ADP1 framed wire path into a ShardedMonitor at shard counts
+    // {1, 2, 4, 8}. Verdicts must be bit-identical to one unsharded
+    // runtime; a mid-stream cross-shard hot-swap must never split a
+    // session's windows across epochs; and the shard array must show
+    // near-linear capacity scaling.
+    let service_fields = if service {
+        let sessions_per_app = 64;
+        let mut app_config = ConstructorConfig::default();
+        app_config.train.max_iterations = max_iterations;
+        app_config.flatten_epsilon = 1e-4; // sparse-exact CSR decomposition
+        type AppBuild = (&'static str, fn(usize, u64) -> Workload);
+        let builds: [AppBuild; 3] = [
+            ("banking", banking::workload),
+            ("supermarket", supermarket::workload),
+            ("hospital", hospital::workload),
+        ];
+        let apps: Vec<(&str, Vec<Vec<CallEvent>>, adprom_core::Profile)> = builds
+            .iter()
+            .enumerate()
+            .map(|(i, (name, make))| {
+                let w = make(sessions_per_app, 9 + i as u64);
+                let a = analyze(&w.program);
+                let t = w.collect_traces(&a.site_labels);
+                let (p, _) = build_profile(&format!("App_{name}"), &a, &t, &app_config);
+                (*name, t, p)
+            })
+            .collect();
+        let sparse_kernel = KernelConfig::Sparse {
+            sparse: SparseConfig::default(),
+        };
+        let make_registry = || {
+            let profiles = ProfileRegistry::new().with_kernel(sparse_kernel);
+            for (name, _, app_profile) in &apps {
+                profiles
+                    .register(name, app_profile.clone())
+                    .expect("CA-dataset profile validates");
+            }
+            Arc::new(profiles)
+        };
+        let profiles = make_registry();
+
+        let sessions: Vec<(String, String, Vec<CallEvent>)> = apps
+            .iter()
+            .flat_map(|(name, traces, _)| {
+                traces
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, t)| (name.to_string(), format!("{name}-{i}"), t.clone()))
+            })
+            .collect();
+        let stream = interleave(&sessions, 0x5E55);
+        let n_sessions = sessions.len();
+        let m_events = stream.len();
+        let incremental_config = RuntimeConfig {
+            mode: ScoringMode::Incremental,
+            queue_capacity: 0,
+            ..RuntimeConfig::default()
+        };
+
+        // Frame the corpus once; every service ingest below decodes it.
+        let frame_batch = 256;
+        let frames = encode_stream(&stream, frame_batch);
+        let frame_count = m_events.div_ceil(frame_batch);
+
+        // Unsharded baseline: the verdicts every shard count must hit.
+        let baseline: BTreeMap<(String, String), String> = {
+            let mut runtime =
+                MonitorRuntime::new(Arc::clone(&profiles)).with_config(incremental_config.clone());
+            runtime.ingest_stream(&stream);
+            runtime
+                .finish()
+                .into_iter()
+                .map(|r| ((r.app, r.session), format!("{:?}", r.alerts)))
+                .collect()
+        };
+        assert_eq!(baseline.len(), n_sessions, "one verdict per session");
+
+        // Verdict gate per shard count (untimed): framed ingest through
+        // the sharded service, bit-identical per-session alerts.
+        let shard_counts = [1usize, 2, 4, 8];
+        let mut service_alerts = 0usize;
+        let mut shard_events_s4: Vec<u64> = Vec::new();
+        let mut shard_partition_s4: Vec<[usize; 4]> = Vec::new();
+        for &shards in &shard_counts {
+            let mut svc = ShardedMonitor::new(Arc::clone(&profiles), shards)
+                .with_config(incremental_config.clone());
+            let ingest = svc.ingest_frames(&frames);
+            assert_eq!(ingest.frames, frame_count, "every frame decodes");
+            assert!(
+                ingest.frame_defects.is_empty(),
+                "{:?}",
+                ingest.frame_defects
+            );
+            assert!(ingest.quarantined.is_empty(), "clean corpus screens clean");
+            assert_eq!(ingest.admitted, m_events, "every event admitted");
+            if shards == 4 {
+                shard_events_s4 = svc.snapshot().iter().map(|s| s.tally.ingested).collect();
+            }
+            let reports = svc.finish();
+            assert_eq!(reports.len(), n_sessions, "one report per session");
+            for report in &reports {
+                let key = (report.app.clone(), report.session.clone());
+                assert_eq!(
+                    &format!("{:?}", report.alerts),
+                    &baseline[&key],
+                    "shards={shards}: {}/{} diverged from the unsharded runtime",
+                    report.app,
+                    report.session
+                );
+            }
+            service_alerts = reports.iter().map(|r| r.alerts.len()).sum();
+            if shards == 4 {
+                shard_partition_s4 = (0..4)
+                    .map(|s| {
+                        let own: Vec<SessionReport> = reports
+                            .iter()
+                            .filter(|r| shard_for(&r.app, &r.session, 4) == s)
+                            .cloned()
+                            .collect();
+                        verdict_partition(&own)
+                    })
+                    .collect();
+            }
+        }
+
+        // Hot-swap coherence at shards = 4: swap banking's profile
+        // mid-stream (a cross-shard publish barrier) and require every
+        // session's report to sit entirely at one epoch — the epoch in
+        // force when its first event arrived.
+        let swap_epoch;
+        {
+            let mut svc =
+                ShardedMonitor::new(make_registry(), 4).with_config(incremental_config.clone());
+            let half = m_events / 2;
+            svc.ingest_frames(&encode_stream(&stream[..half], frame_batch));
+            let mut banking_v2 = apps[0].2.clone();
+            banking_v2.threshold -= 1.0;
+            swap_epoch = svc
+                .swap_profile("banking", banking_v2)
+                .expect("swapped profile validates");
+            assert_eq!(swap_epoch, 2, "second banking epoch");
+            svc.ingest_frames(&encode_stream(&stream[half..], frame_batch));
+            for report in svc.finish() {
+                let first = stream
+                    .iter()
+                    .position(|t| t.app == report.app && t.session == report.session)
+                    .expect("session is on the stream");
+                let expected = if report.app == "banking" && first >= half {
+                    2
+                } else {
+                    1
+                };
+                assert_eq!(
+                    report.epoch, expected,
+                    "{}/{} (first event {first}) split across the swap barrier",
+                    report.app, report.session
+                );
+            }
+        }
+
+        // Capacity scaling: each shard's framed substream replayed on its
+        // own runtime with per-shard timers, all shard counts timed
+        // adjacently per round so machine drift cancels across counts.
+        // This box has one core, so shards are timed one at a time and
+        // the aggregate is the critical-path model: total events over the
+        // slowest shard — the array's throughput when each shard owns a
+        // core. The serial wall number (sum of shard times) is recorded
+        // alongside it.
+        let part_frames: Vec<Vec<Vec<u8>>> = shard_counts
+            .iter()
+            .map(|&shards| {
+                partition_stream(&stream, shards)
+                    .iter()
+                    .map(|part| encode_stream(part, frame_batch))
+                    .collect()
+            })
+            .collect();
+        let rounds = if smoke { 3 } else { max_runs.max(6) };
+        let mut best_critical = [f64::INFINITY; 4];
+        let mut best_serial = [f64::INFINITY; 4];
+        for _ in 0..rounds {
+            for (i, frames_per_shard) in part_frames.iter().enumerate() {
+                let mut slowest = 0f64;
+                let mut wall = 0f64;
+                let mut alerts = 0usize;
+                for shard_frames in frames_per_shard {
+                    let mut shard = ShardedMonitor::new(Arc::clone(&profiles), 1)
+                        .with_config(incremental_config.clone());
+                    let start = Instant::now();
+                    shard.ingest_frames(shard_frames);
+                    alerts += shard.finish().iter().map(|r| r.alerts.len()).sum::<usize>();
+                    let secs = start.elapsed().as_secs_f64();
+                    slowest = slowest.max(secs);
+                    wall += secs;
+                }
+                assert_eq!(
+                    alerts, service_alerts,
+                    "timed replays must be deterministic"
+                );
+                best_critical[i] = best_critical[i].min(slowest);
+                best_serial[i] = best_serial[i].min(wall);
+            }
+        }
+        let aggregate_eps: Vec<f64> = best_critical.iter().map(|s| m_events as f64 / s).collect();
+        let serial_eps: Vec<f64> = best_serial.iter().map(|s| m_events as f64 / s).collect();
+        let scaling_4x = aggregate_eps[2] / aggregate_eps[0];
+
+        println!("== Sharded monitoring service ==");
+        println!(
+            "{} apps x {sessions_per_app} sessions: {n_sessions} sessions, {m_events} events, \
+             {frame_count} frames ({} bytes on the wire)",
+            apps.len(),
+            frames.len(),
+        );
+        println!("verdicts bit-identical to the unsharded runtime at shards {{1, 2, 4, 8}}");
+        println!(
+            "mid-stream banking hot-swap published epoch {swap_epoch}; no session split \
+             across the barrier"
+        );
+        println!("shard event partition at 4 shards: {shard_events_s4:?}");
+        for (i, &shards) in shard_counts.iter().enumerate() {
+            println!(
+                "shards {shards}: {:>12.0} events/sec aggregate (critical path)  \
+                 {:>12.0} events/sec serial wall",
+                aggregate_eps[i], serial_eps[i],
+            );
+        }
+        println!("scaling at 4 shards: {scaling_4x:.2}x\n");
+        assert!(
+            scaling_4x >= 2.0,
+            "4-shard aggregate must be at least 2x the 1-shard baseline, got {scaling_4x:.2}x"
+        );
+
+        let partition_rows = shard_partition_s4
+            .iter()
+            .map(|p| format!("[{}, {}, {}, {}]", p[0], p[1], p[2], p[3]))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "    \"service\": true,\n    \
+             \"service_sessions\": {n_sessions},\n    \
+             \"service_events\": {m_events},\n    \
+             \"service_frames\": {frame_count},\n    \
+             \"service_frame_bytes\": {},\n    \
+             \"service_shard_counts\": [1, 2, 4, 8],\n    \
+             \"service_events_per_sec\": [{}],\n    \
+             \"service_serial_events_per_sec\": [{}],\n    \
+             \"service_parallelism_model\": \"critical-path\",\n    \
+             \"service_scaling_4x\": {scaling_4x:.2},\n    \
+             \"service_alerts\": {service_alerts},\n    \
+             \"service_verdicts_match_single\": true,\n    \
+             \"service_swap_epoch\": {swap_epoch},\n    \
+             \"service_swap_epoch_coherent\": true,\n    \
+             \"service_shard_events_s4\": [{}],\n    \
+             \"service_shard_verdict_partition_s4\": [{partition_rows}],\n",
+            frames.len(),
+            aggregate_eps
+                .iter()
+                .map(|e| format!("{e:.0}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            serial_eps
+                .iter()
+                .map(|e| format!("{e:.0}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            shard_events_s4
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
+        )
+    } else {
+        String::new()
+    };
+
     // Alert-forensics gate: replay the §V-C attack corpus on the banking
     // and hospital applications through a forensics-armed MonitorRuntime.
     // Every alarm audit record must carry a ForensicReport with non-empty
@@ -997,7 +1301,7 @@ fn main() {
                 );
             }
         }
-        let artifact = "FORENSICS_detect.jsonl";
+        let artifact = "target/FORENSICS_detect.jsonl";
         std::fs::write(artifact, jsonl.join("\n") + "\n").expect("write forensic artifact");
         println!("wrote {} forensic records to {artifact}", records.len());
 
@@ -1536,7 +1840,7 @@ fn main() {
          \"kernel_fell_back\": {kernel_fell_back},\n    \
          \"alerts\": {serial_alerts},\n    \
          \"flag_partition\": [{}, {}, {}, {}],\n    \
-         \"serial_exact_events_per_sec\": {serial_eps:.0},\n{kernel_fields}{fault_fields}{multiapp_fields}{forensics_fields}{overload_fields}{simd_fields}    \
+         \"serial_exact_events_per_sec\": {serial_eps:.0},\n{kernel_fields}{fault_fields}{multiapp_fields}{service_fields}{forensics_fields}{overload_fields}{simd_fields}    \
          \"parallel_exact_events_per_sec\": {par_exact_eps:.0},\n    \
          \"parallel_incremental_events_per_sec\": {par_inc_eps:.0},\n    \
          \"speedup_parallel_exact\": {speedup_exact:.2},\n    \

@@ -39,8 +39,10 @@ pub mod registry;
 pub mod resilience;
 pub mod runtime;
 pub mod scorer;
+pub mod shard;
 pub mod telemetry;
 pub mod threshold;
+pub mod wire;
 
 pub use adprom_hmm::Precision;
 pub use alphabet::{Alphabet, UNKNOWN};
@@ -58,12 +60,20 @@ pub use resilience::{
     HealthMonitor, RetryPolicy, Trigger,
 };
 pub use runtime::{
-    IngestStatus, MonitorRuntime, OverloadConfig, RuntimeConfig, SessionEnd, SessionReport,
+    fnv1a, IngestStatus, MonitorRuntime, OverloadConfig, RuntimeConfig, SessionEnd, SessionReport,
     ShedPolicy,
 };
 pub use scorer::{ForensicsConfig, KernelStatus, ScoringTier, SessionScorer, WindowScorer};
+pub use shard::{
+    partition_stream, shard_for, verdict_partition, FrameIngest, ServiceCommand, ServiceResponse,
+    ShardStatus, ShardTally, ShardedMonitor,
+};
 pub use telemetry::{
     audit_record_from_alert, BatchMetrics, DetectMetrics, MonitorMetrics, RegistryMetrics,
-    ResilienceMetrics,
+    ResilienceMetrics, ShardMetrics,
 };
 pub use threshold::{select_threshold, threshold_sweep, AdaptiveThreshold};
+pub use wire::{
+    decode_frames, encode_frame, encode_frame_into, encode_stream, FrameDecoder, FrameDefect,
+    WireError, WireRecord, WIRE_HEADER, WIRE_MAGIC,
+};

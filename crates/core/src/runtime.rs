@@ -82,6 +82,15 @@ impl Hasher for Fnv {
 
 type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv>>;
 
+/// FNV-1a over `bytes` — the same hash the live-session index uses.
+/// [`ShardedMonitor`](crate::shard::ShardedMonitor) partitions sessions
+/// with it so routing and the in-shard index agree on one cheap function.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::default();
+    h.write(bytes);
+    h.finish()
+}
+
 /// What replaying one session's buffered batch produced: the advanced
 /// scorer state plus its window alerts, or the (caught) panic message.
 type ReplayOutcome = Result<(SessionScorer, Vec<Alert>), String>;
@@ -313,6 +322,10 @@ pub struct MonitorRuntime {
     /// Monotonic flush-batch id, stamped on score/commit/audit span
     /// contexts (0 until the first non-empty flush).
     flush_seq: u64,
+    /// Shard index stamped on every span context this runtime opens (0
+    /// for an unsharded monitor; set by
+    /// [`ShardedMonitor`](crate::shard::ShardedMonitor)).
+    shard_id: u32,
     /// Fail point `monitor.swap_mid_stream`: panic a flush worker, keyed
     /// by session arrival — proves a retry keeps scoring on the pinned
     /// epoch.
@@ -351,6 +364,7 @@ impl MonitorRuntime {
             forensics: None,
             tracer: Tracer::disabled(),
             flush_seq: 0,
+            shard_id: 0,
             fault_swap: FailPoint::disabled(),
             fault_pressure: FailPoint::disabled(),
             fault_overflow: FailPoint::disabled(),
@@ -418,6 +432,13 @@ impl MonitorRuntime {
         self
     }
 
+    /// Stamps `shard` on every span context this runtime opens, so a
+    /// sharded service's stage histograms can be filtered per shard.
+    pub fn with_shard_id(mut self, shard: u32) -> MonitorRuntime {
+        self.shard_id = shard;
+        self
+    }
+
     /// Replaces the per-session-batch retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> MonitorRuntime {
         self.retry = retry;
@@ -466,6 +487,7 @@ impl MonitorRuntime {
                     session: tagged.session.clone(),
                     epoch: 0,
                     batch: self.flush_seq,
+                    shard: self.shard_id,
                 },
             )
         });
@@ -646,6 +668,7 @@ impl MonitorRuntime {
                     "monitor/flush",
                     SpanContext {
                         batch: self.flush_seq,
+                        shard: self.shard_id,
                         ..SpanContext::default()
                     },
                 )
@@ -920,6 +943,7 @@ impl MonitorRuntime {
                     session: slot.session.clone(),
                     epoch: slot.epoch,
                     batch: self.flush_seq,
+                    shard: self.shard_id,
                 },
             )
         });
@@ -1000,6 +1024,7 @@ impl MonitorRuntime {
                             session: slot.session.clone(),
                             epoch: slot.epoch,
                             batch: self.flush_seq,
+                            shard: self.shard_id,
                         },
                     )
                 });
@@ -1128,6 +1153,7 @@ impl MonitorRuntime {
                     session: slot.session.clone(),
                     epoch: slot.epoch,
                     batch: self.flush_seq,
+                    shard: self.shard_id,
                 },
             )
         });

@@ -355,6 +355,41 @@ impl MonitorMetrics {
     }
 }
 
+/// Per-shard metric handles for
+/// [`ShardedMonitor`](crate::shard::ShardedMonitor): what each shard's
+/// ingest boundary did with the events routed to it. Registered as
+/// `monitor.shard.<i>.{ingested,backpressured,shed}` so dashboards can
+/// spot a hot or shedding shard that aggregate `monitor.*` counters
+/// (shared by every shard's runtime) would average away.
+#[derive(Debug, Clone, Default)]
+pub struct ShardMetrics {
+    /// `monitor.shard.<i>.ingested` — events admitted by this shard
+    /// (normally or after a backpressure flush).
+    pub ingested: Counter,
+    /// `monitor.shard.<i>.backpressured` — events this shard admitted
+    /// only after a forced synchronous flush.
+    pub backpressured: Counter,
+    /// `monitor.shard.<i>.shed` — events this shard dropped at capacity
+    /// under [`ShedPolicy::DropNewest`](crate::runtime::ShedPolicy).
+    pub shed: Counter,
+}
+
+impl ShardMetrics {
+    /// All-no-op handles (the default).
+    pub fn disabled() -> ShardMetrics {
+        ShardMetrics::default()
+    }
+
+    /// Registers the family for shard `shard` against `registry`.
+    pub fn from_registry(registry: &Registry, shard: usize) -> ShardMetrics {
+        ShardMetrics {
+            ingested: registry.counter(&format!("monitor.shard.{shard}.ingested")),
+            backpressured: registry.counter(&format!("monitor.shard.{shard}.backpressured")),
+            shed: registry.counter(&format!("monitor.shard.{shard}.shed")),
+        }
+    }
+}
+
 /// Converts a (non-Normal) alert into an audit record for `session`,
 /// stamped with the scoring `kernel` that produced the window's score
 /// (`dense`, `sparse`, or `beam`). The sequence number is assigned later

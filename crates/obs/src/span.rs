@@ -31,6 +31,9 @@ pub struct SpanContext {
     pub epoch: u64,
     /// Monotonic flush-batch id assigned by the runtime's serial clock.
     pub batch: u64,
+    /// Shard index of the runtime that ran the stage (0 for an unsharded
+    /// monitor), so per-stage histograms can be filtered per shard.
+    pub shard: u32,
 }
 
 /// One closed span, as delivered to a [`SpanSink`].
@@ -345,6 +348,7 @@ mod tests {
             session: "s-17".into(),
             epoch: 2,
             batch: 41,
+            shard: 3,
         };
         {
             let outer = tracer.enter_with("flush", ctx.clone());

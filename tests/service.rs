@@ -1,0 +1,282 @@
+//! The sharded service's equivalence contract: the wire format
+//! round-trips bit-identically and survives any single-byte corruption
+//! with the damage quarantined to one frame; and a [`ShardedMonitor`] at
+//! any shard count {1, 2, 4, 8} and any per-shard thread count produces
+//! exactly the per-session verdicts of one unsharded [`MonitorRuntime`],
+//! merged in deterministic `(shard, arrival)` order — including across a
+//! mid-stream cross-shard profile hot-swap.
+
+use adprom::core::{
+    decode_frames, encode_stream, shard_for, MonitorRuntime, Profile, ProfileRegistry,
+    RuntimeConfig, ShardedMonitor,
+};
+use adprom::core::{Alphabet, ScoringMode};
+use adprom::hmm::Hmm;
+use adprom::lang::{CallSiteId, LibCall};
+use adprom::trace::{interleave, CallEvent, TaggedCall};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+fn event(name: &str, caller: &str) -> CallEvent {
+    CallEvent {
+        name: name.into(),
+        call: LibCall::Printf,
+        caller: caller.into(),
+        site: CallSiteId(0),
+        detail: None,
+    }
+}
+
+/// The cyclic a→b→c toy profile from the runtime equivalence suite.
+fn cyclic_profile(app: &str, threshold: f64) -> Profile {
+    let alphabet = Alphabet::new(vec!["a".to_string(), "b".to_string(), "c_Q7".to_string()]);
+    let m = alphabet.len();
+    let mut a = vec![vec![0.001; m]; m];
+    a[0][1] = 1.0;
+    a[1][2] = 1.0;
+    a[2][0] = 1.0;
+    a[3][3] = 1.0;
+    let mut b = vec![vec![0.001; m]; m];
+    for (i, row) in b.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    let pi = vec![1.0; m];
+    let mut hmm = Hmm::from_rows(a, b, pi);
+    hmm.smooth(1e-4);
+    let mut call_callers: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for name in ["a", "b", "c_Q7"] {
+        call_callers
+            .entry(name.to_string())
+            .or_default()
+            .insert("main".to_string());
+    }
+    Profile {
+        app_name: app.into(),
+        alphabet,
+        hmm,
+        window: 3,
+        threshold,
+        call_callers,
+        labeled_outputs: vec!["c_Q7".to_string()],
+    }
+}
+
+fn registry() -> Arc<ProfileRegistry> {
+    let profiles = ProfileRegistry::new();
+    profiles
+        .register("bank", cyclic_profile("bank", -5.0))
+        .unwrap();
+    profiles
+        .register("shop", cyclic_profile("shop", -5.0))
+        .unwrap();
+    Arc::new(profiles)
+}
+
+/// One random session trace: 1–11 calls drawn from the alphabet plus an
+/// out-of-vocabulary name, some issued by an untrained caller.
+fn arb_trace() -> impl Strategy<Value = Vec<CallEvent>> {
+    const NAMES: [&str; 4] = ["a", "b", "c_Q7", "evil_exfil"];
+    prop::collection::vec((0usize..NAMES.len(), any::<bool>()), 1..12).prop_map(|calls| {
+        calls
+            .into_iter()
+            .map(|(pick, attacker)| {
+                event(
+                    NAMES[pick],
+                    if attacker {
+                        "attacker_function"
+                    } else {
+                        "main"
+                    },
+                )
+            })
+            .collect()
+    })
+}
+
+/// Random multi-app session sets: 1–4 sessions each for two apps, enough
+/// ids that every shard count in {1, 2, 4, 8} gets populated sometimes.
+fn arb_sessions() -> impl Strategy<Value = Vec<(String, String, Vec<CallEvent>)>> {
+    (
+        prop::collection::vec(arb_trace(), 1..5),
+        prop::collection::vec(arb_trace(), 1..5),
+    )
+        .prop_map(|(bank, shop)| {
+            let mut sessions = Vec::new();
+            for (i, trace) in bank.into_iter().enumerate() {
+                sessions.push(("bank".to_string(), format!("b-{i}"), trace));
+            }
+            for (i, trace) in shop.into_iter().enumerate() {
+                sessions.push(("shop".to_string(), format!("s-{i}"), trace));
+            }
+            sessions
+        })
+}
+
+/// `(app, session) → (epoch, alerts)` from a finished monitor, plus the
+/// report order as a session-id sequence.
+type VerdictMap = BTreeMap<(String, String), (u64, String)>;
+
+fn verdicts(reports: Vec<adprom::core::SessionReport>) -> (VerdictMap, Vec<(String, String)>) {
+    let order: Vec<(String, String)> = reports
+        .iter()
+        .map(|r| (r.app.clone(), r.session.clone()))
+        .collect();
+    let map = reports
+        .into_iter()
+        .map(|r| ((r.app, r.session), (r.epoch, format!("{:?}", r.alerts))))
+        .collect();
+    (map, order)
+}
+
+/// The deterministic merge order the service promises: shard-major, and
+/// within a shard, session first-arrival order on that shard's substream.
+fn expected_order(stream: &[TaggedCall], shards: usize) -> Vec<(String, String)> {
+    let mut order = Vec::new();
+    for shard in 0..shards {
+        let mut seen = BTreeSet::new();
+        for tagged in stream {
+            if shard_for(&tagged.app, &tagged.session, shards) == shard
+                && seen.insert((tagged.app.clone(), tagged.session.clone()))
+            {
+                order.push((tagged.app.clone(), tagged.session.clone()));
+            }
+        }
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(32)
+    ))]
+
+    /// Satellite: shard-count invariance. At shards {1, 2, 4, 8} and
+    /// per-shard scoring threads {1, 4}, serial and partition-parallel
+    /// drives, the sharded service reports exactly the single-runtime
+    /// verdict per session — across a mid-stream hot-swap — and merges in
+    /// the promised deterministic order.
+    #[test]
+    fn sharded_service_matches_single_runtime(
+        sessions in arb_sessions(),
+        seed in any::<u64>(),
+        swap_pct in 0usize..=100,
+    ) {
+        let stream = interleave(&sessions, seed | 1);
+        let cut = stream.len() * swap_pct / 100;
+        let swap = swap_pct < 60; // sometimes no swap at all
+
+        // Unsharded baseline. Epoch pinning happens at ingest, so the
+        // bare register here is equivalent to the service's
+        // flush-then-publish barrier.
+        let config = RuntimeConfig {
+            mode: ScoringMode::Incremental,
+            ..RuntimeConfig::default()
+        };
+        let profiles = registry();
+        let mut single = MonitorRuntime::new(Arc::clone(&profiles)).with_config(config.clone());
+        single.ingest_stream(&stream[..cut]);
+        if swap {
+            profiles.register("bank", cyclic_profile("bank", 0.0)).unwrap();
+        }
+        single.ingest_stream(&stream[cut..]);
+        let (expected, _) = verdicts(single.finish());
+
+        for shards in [1usize, 2, 4, 8] {
+            for threads in [1usize, 4] {
+                for parallel in [false, true] {
+                    let mut service = ShardedMonitor::new(registry(), shards)
+                        .with_config(config.clone())
+                        .with_threads(threads);
+                    if parallel {
+                        service.ingest_stream_parallel(&stream[..cut]);
+                    } else {
+                        service.ingest_stream(&stream[..cut]);
+                    }
+                    if swap {
+                        service.swap_profile("bank", cyclic_profile("bank", 0.0)).unwrap();
+                    }
+                    if parallel {
+                        service.ingest_stream_parallel(&stream[cut..]);
+                    } else {
+                        service.ingest_stream(&stream[cut..]);
+                    }
+                    let (got, order) = verdicts(service.finish());
+                    prop_assert_eq!(
+                        &got, &expected,
+                        "verdict drift at shards={} threads={} parallel={}",
+                        shards, threads, parallel
+                    );
+                    prop_assert_eq!(
+                        &order, &expected_order(&stream, shards),
+                        "merge order drift at shards={} threads={} parallel={}",
+                        shards, threads, parallel
+                    );
+                }
+            }
+        }
+    }
+
+    /// Satellite: the wire format round-trips bit-identically — decoding
+    /// recovers every record exactly, and re-encoding the decoded records
+    /// reproduces the original buffer byte for byte.
+    #[test]
+    fn wire_roundtrip_is_bit_identical(
+        sessions in arb_sessions(),
+        seed in any::<u64>(),
+        batch in 1usize..9,
+    ) {
+        let stream = interleave(&sessions, seed | 1);
+        let bytes = encode_stream(&stream, batch);
+        let (batches, defects) = decode_frames(&bytes);
+        prop_assert!(defects.is_empty(), "{defects:?}");
+        let decoded: Vec<TaggedCall> = batches
+            .iter()
+            .flatten()
+            .map(|r| r.to_tagged())
+            .collect();
+        prop_assert_eq!(&decoded, &stream);
+        prop_assert_eq!(encode_stream(&decoded, batch), bytes);
+    }
+
+    /// Satellite: any single-byte corruption is detected and quarantined
+    /// to the frame containing it — every other frame's records decode
+    /// intact, so one bad frame never poisons the frames behind it.
+    #[test]
+    fn wire_single_byte_corruption_is_detected_and_contained(
+        sessions in arb_sessions(),
+        seed in any::<u64>(),
+        pos in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let stream = interleave(&sessions, seed | 1);
+        let batch = 4;
+        // Frame start offsets, to identify which frame absorbed the hit.
+        let mut frame_spans = Vec::new();
+        let mut offset = 0usize;
+        for chunk in stream.chunks(batch) {
+            let len = encode_stream(chunk, 0).len();
+            frame_spans.push((offset, offset + len, chunk.to_vec()));
+            offset += len;
+        }
+        let mut bytes = encode_stream(&stream, batch);
+        prop_assert_eq!(bytes.len(), offset);
+        let pos = (pos % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip;
+
+        let (batches, defects) = decode_frames(&bytes);
+        prop_assert!(!defects.is_empty(), "byte {pos} ^ {flip:#x} went undetected");
+        let decoded: Vec<Vec<TaggedCall>> = batches
+            .iter()
+            .map(|b| b.iter().map(|r| r.to_tagged()).collect())
+            .collect();
+        for (start, end, records) in &frame_spans {
+            if pos < *start || pos >= *end {
+                prop_assert!(
+                    decoded.iter().any(|b| b == records),
+                    "undamaged frame [{start}, {end}) lost after byte {pos} ^ {flip:#x}"
+                );
+            }
+        }
+    }
+}
